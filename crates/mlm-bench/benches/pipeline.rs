@@ -1,0 +1,89 @@
+//! Host-pipeline benchmarks: chunked triple-buffered streaming vs an
+//! unchunked pass, and the copy-thread split.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlm_core::merge_bench::merge_kernel;
+use mlm_core::pipeline::{host::run_host_pipeline, Placement, PipelineSpec};
+use mlm_core::workload::generate_keys;
+use parsort::pool::WorkPool;
+use std::hint::black_box;
+
+const N: usize = 1 << 21;
+
+fn spec(p_copy: usize, p_comp: usize, placement: Placement) -> PipelineSpec {
+    PipelineSpec {
+        total_bytes: (N * 8) as u64,
+        chunk_bytes: (N * 8 / 8) as u64,
+        p_in: p_copy,
+        p_out: p_copy,
+        p_comp,
+        compute_passes: 1,
+        compute_rate: 1e9,
+        copy_rate: 1e9,
+        placement,
+        lockstep: true,
+        data_addr: 0,
+    }
+}
+
+fn bench_pipeline_vs_direct(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let pool = WorkPool::new(threads);
+    let data = generate_keys(N, mlm_core::InputOrder::Random, 3);
+    let mut g = c.benchmark_group("host_pipeline");
+    g.throughput(Throughput::Bytes((N * 8) as u64));
+    g.sample_size(10);
+
+    g.bench_function("chunked_triple_buffered", |b| {
+        let mut out = vec![0i64; N];
+        let s = spec(1.max(threads / 4), 1.max(threads / 2), Placement::Hbw);
+        b.iter(|| {
+            run_host_pipeline(&pool, &s, black_box(&data), black_box(&mut out), |slice, _| {
+                merge_kernel(slice, 1)
+            });
+            black_box(out.len())
+        })
+    });
+
+    g.bench_function("implicit_no_copies", |b| {
+        let mut out = vec![0i64; N];
+        let mut s = spec(0, threads, Placement::Implicit);
+        s.p_in = 0;
+        s.p_out = 0;
+        b.iter(|| {
+            run_host_pipeline(&pool, &s, black_box(&data), black_box(&mut out), |slice, _| {
+                merge_kernel(slice, 1)
+            });
+            black_box(out.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_copy_thread_split(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let pool = WorkPool::new(threads);
+    let data = generate_keys(N, mlm_core::InputOrder::Random, 3);
+    let mut g = c.benchmark_group("copy_thread_split");
+    g.throughput(Throughput::Bytes((N * 8) as u64));
+    g.sample_size(10);
+    for p_copy in [1usize, 2, 4] {
+        if 2 * p_copy >= threads {
+            continue;
+        }
+        let s = spec(p_copy, threads - 2 * p_copy, Placement::Hbw);
+        g.bench_with_input(BenchmarkId::from_parameter(p_copy), &s, |b, s| {
+            let mut out = vec![0i64; N];
+            b.iter(|| {
+                run_host_pipeline(&pool, s, black_box(&data), black_box(&mut out), |slice, _| {
+                    merge_kernel(slice, 4)
+                });
+                black_box(out.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline_vs_direct, bench_copy_thread_split);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Simulator performance: how fast the DES regenerates paper experiments,
+//! plus the bandwidth-arbiter microbenchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knl_sim::bandwidth::{allocate_rates, FlowSpec};
+use knl_sim::machine::{MachineConfig, MemMode};
+use knl_sim::Simulator;
+use mlm_bench::experiments::simulate_sort;
+use mlm_core::merge_bench::{merge_bench_program, MergeBenchParams};
+use mlm_core::{Calibration, InputOrder, SortAlgorithm};
+use std::hint::black_box;
+
+fn bench_water_filling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bandwidth_arbiter");
+    for n in [16usize, 64, 256] {
+        let flows: Vec<FlowSpec> = (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    FlowSpec { demand: vec![(0, 1.0), (1, 1.0)], cap: 4.8e9 }
+                } else {
+                    FlowSpec::single(1, 1.0, 6.78e9)
+                }
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &flows, |b, flows| {
+            b.iter(|| black_box(allocate_rates(&[90e9, 400e9], black_box(flows))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_table1_cell(c: &mut Criterion) {
+    let cal = Calibration::default();
+    let mut g = c.benchmark_group("sim_table1_cell");
+    g.sample_size(10);
+    for alg in [SortAlgorithm::GnuFlat, SortAlgorithm::MlmSort, SortAlgorithm::MlmImplicit] {
+        g.bench_with_input(BenchmarkId::from_parameter(alg.label()), &alg, |b, &alg| {
+            b.iter(|| {
+                black_box(simulate_sort(&cal, 2_000_000_000, InputOrder::Random, alg).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge_bench_run(c: &mut Criterion) {
+    let machine = MachineConfig::knl_7250(MemMode::Flat);
+    let cal = Calibration::default();
+    let mut g = c.benchmark_group("sim_merge_bench");
+    g.sample_size(10);
+    g.bench_function("16copy_8repeats", |b| {
+        let params = MergeBenchParams::paper(16, 8);
+        let prog = merge_bench_program(&machine, &cal, &params).unwrap();
+        let sim = Simulator::new(machine.clone());
+        b.iter(|| black_box(sim.run(&prog).unwrap().makespan))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_water_filling, bench_table1_cell, bench_merge_bench_run);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Native benchmarks of the sorting substrate: serial introsort on the
+//! paper's two input orders, the GNU-stand-in parallel mergesort, and the
+//! MLM-sort variants (host backend).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlm_core::sort::host::{mlm_sort, run_host_sort};
+use mlm_core::workload::{generate_keys, InputOrder};
+use mlm_core::SortAlgorithm;
+use parsort::funnel::funnelsort;
+use parsort::radix::radix_sort;
+use parsort::parallel::parallel_mergesort;
+use parsort::pool::WorkPool;
+use parsort::serial::introsort;
+use std::hint::black_box;
+
+const N: usize = 1 << 20;
+
+fn bench_serial_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serial_introsort");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    for order in [InputOrder::Random, InputOrder::Reverse, InputOrder::Sorted] {
+        let keys = generate_keys(N, order, 42);
+        g.bench_with_input(BenchmarkId::from_parameter(order.label()), &keys, |b, keys| {
+            b.iter(|| {
+                let mut v = keys.clone();
+                introsort(black_box(&mut v));
+                black_box(v.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_sort(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let pool = WorkPool::new(threads);
+    let mut g = c.benchmark_group("parallel_mergesort");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    for order in [InputOrder::Random, InputOrder::Reverse] {
+        let keys = generate_keys(N, order, 42);
+        g.bench_with_input(BenchmarkId::from_parameter(order.label()), &keys, |b, keys| {
+            b.iter(|| {
+                let mut v = keys.clone();
+                parallel_mergesort(&pool, black_box(&mut v));
+                black_box(v.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort_variants(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let pool = WorkPool::new(threads);
+    let keys = generate_keys(N, InputOrder::Random, 42);
+    let mut g = c.benchmark_group("table1_variants_host");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    for alg in SortAlgorithm::TABLE1 {
+        g.bench_with_input(BenchmarkId::from_parameter(alg.label()), &keys, |b, keys| {
+            b.iter(|| {
+                let mut v = keys.clone();
+                run_host_sort(&pool, alg, black_box(&mut v), N / 4);
+                black_box(v.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_megachunk_sweep(c: &mut Criterion) {
+    // Host-scale analogue of Figure 7: MLM-sort time vs megachunk size.
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let pool = WorkPool::new(threads);
+    let keys = generate_keys(N, InputOrder::Random, 42);
+    let mut g = c.benchmark_group("fig7_host_megachunk");
+    g.sample_size(10);
+    for mega in [N / 16, N / 4, N] {
+        g.bench_with_input(BenchmarkId::from_parameter(mega), &keys, |b, keys| {
+            b.iter(|| {
+                let mut v = keys.clone();
+                mlm_sort(&pool, black_box(&mut v), mega, true);
+                black_box(v.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// §2.1 ablation: the cache-aware introsort (what MLM-sort tunes per
+/// machine) vs the cache-oblivious funnelsort (what Frigo et al. suggest
+/// needs no tuning).
+fn bench_cache_aware_vs_oblivious(c: &mut Criterion) {
+    let keys = generate_keys(N, InputOrder::Random, 42);
+    let mut g = c.benchmark_group("ablation_cache_obliviousness");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    g.bench_function("introsort_cache_aware", |b| {
+        b.iter(|| {
+            let mut v = keys.clone();
+            introsort(black_box(&mut v));
+            black_box(v.len())
+        })
+    });
+    g.bench_function("funnelsort_cache_oblivious", |b| {
+        b.iter(|| {
+            let mut v = keys.clone();
+            funnelsort(black_box(&mut v));
+            black_box(v.len())
+        })
+    });
+    g.bench_function("radix_bandwidth_bound", |b| {
+        b.iter(|| {
+            let mut v = keys.clone();
+            radix_sort(black_box(&mut v));
+            black_box(v.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_serial_sort,
+    bench_parallel_sort,
+    bench_sort_variants,
+    bench_megachunk_sweep,
+    bench_cache_aware_vs_oblivious
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! §6 future work: strong scaling of distributed MLM-sort across multiple
+//! KNL nodes (PSRS with per-node MLM-sort, Omni-Path-class interconnect).
+
+use mlm_bench::report::{render_table, secs, write_csv};
+use mlm_cluster::sim::strong_scaling;
+use mlm_core::{Calibration, InputOrder};
+
+fn main() {
+    let cal = Calibration::default();
+    let n = 8_000_000_000u64;
+    let counts = [1usize, 2, 4, 8, 16, 32, 64];
+    let reports =
+        strong_scaling(&cal, n, InputOrder::Random, &counts, 256).expect("scaling sweep");
+    let single = reports[0];
+
+    let headers = [
+        "Nodes",
+        "Shard (elems)",
+        "Local sort (s)",
+        "Exchange (s)",
+        "Final merge (s)",
+        "Total (s)",
+        "Speedup",
+        "Efficiency",
+    ];
+    let body: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.nodes.to_string(),
+                r.shard_elems.to_string(),
+                secs(r.local_sort),
+                secs(r.exchange),
+                secs(r.final_merge),
+                secs(r.total),
+                format!("{:.2}x", r.speedup_over(&single)),
+                format!("{:.0}%", r.speedup_over(&single) / r.nodes as f64 * 100.0),
+            ]
+        })
+        .collect();
+    println!("Distributed MLM-sort strong scaling — 8B random int64, Omni-Path links\n");
+    println!("{}", render_table(&headers, &body));
+    if let Ok(path) = write_csv("cluster_study", &headers, &body) {
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,34 @@
+//! §6 future work: explore alternative near-memory configurations and
+//! report what the paper's chunked algorithm is worth on each — "in hopes
+//! of suggesting more optimal design points for both hardware and
+//! applications".
+
+use mlm_bench::experiments::design_space;
+use mlm_bench::report::{ratio, render_table, secs, write_csv};
+use mlm_core::Calibration;
+
+fn main() {
+    let cal = Calibration::default();
+    let points = design_space(&cal).expect("design space simulation failed");
+    let headers =
+        ["BW ratio (near/DDR)", "Capacity (GiB)", "Megachunk (elems)", "MLM-sort (s)", "GNU-flat (s)", "Speedup"];
+    let body: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.2}", p.bw_ratio),
+                p.capacity_gib.to_string(),
+                p.megachunk.to_string(),
+                secs(p.mlm_seconds),
+                secs(p.gnu_seconds),
+                ratio(p.speedup),
+            ]
+        })
+        .collect();
+    println!("Design-space exploration — 2B random int64, 256 threads");
+    println!("(the KNL itself is the 4.44x / 16 GiB row)\n");
+    println!("{}", render_table(&headers, &body));
+    if let Ok(path) = write_csv("design_space", &headers, &body) {
+        println!("wrote {path}");
+    }
+}

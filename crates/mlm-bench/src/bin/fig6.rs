@@ -1,0 +1,33 @@
+//! Regenerate Figure 6: speedup over GNU-flat for every variant, random
+//! input (panel a) and reverse-sorted input (panel b).
+
+use mlm_bench::experiments::{fig6, table1};
+use mlm_bench::report::{render_table, write_csv};
+use mlm_core::{Calibration, InputOrder};
+
+fn main() {
+    let cal = Calibration::default();
+    let rows = table1(&cal).expect("table1 simulation failed");
+    let bars = fig6(&rows);
+
+    for (panel, order) in [("a", InputOrder::Random), ("b", InputOrder::Reverse)] {
+        let headers = ["Elements", "Algorithm", "Sim speedup", "Paper speedup"];
+        let body: Vec<Vec<String>> = bars
+            .iter()
+            .filter(|b| b.order == order)
+            .map(|b| {
+                vec![
+                    b.elements.to_string(),
+                    b.algorithm.label().to_string(),
+                    format!("{:.2}", b.sim_speedup),
+                    format!("{:.2}", b.paper_speedup),
+                ]
+            })
+            .collect();
+        println!("Figure 6{panel} — speedup over GNU-flat ({} input)\n", order.label());
+        println!("{}", render_table(&headers, &body));
+        if let Ok(path) = write_csv(&format!("fig6{panel}"), &headers, &body) {
+            println!("wrote {path}\n");
+        }
+    }
+}

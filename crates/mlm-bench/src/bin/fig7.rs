@@ -1,0 +1,30 @@
+//! Regenerate Figure 7: 6-billion-element sort time vs megachunk size for
+//! MLM-sort (flat mode) and MLM-implicit (hardware cache mode). MLM-sort
+//! becomes infeasible past the MCDRAM capacity; MLM-implicit keeps
+//! improving.
+
+use mlm_bench::experiments::fig7;
+use mlm_bench::report::{render_table, write_csv};
+use mlm_core::Calibration;
+
+fn main() {
+    let cal = Calibration::default();
+    let points = fig7(&cal);
+
+    let headers = ["Algorithm", "Megachunk (elements)", "Sim (s)"];
+    let body: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.algorithm.label().to_string(),
+                p.megachunk_elems.to_string(),
+                p.seconds.map_or_else(|| "infeasible (exceeds MCDRAM)".into(), |s| format!("{s:.2}")),
+            ]
+        })
+        .collect();
+    println!("Figure 7 — chunked sort of 6B int64 vs megachunk size\n");
+    println!("{}", render_table(&headers, &body));
+    if let Ok(path) = write_csv("fig7", &headers, &body) {
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerate Figure 8: merge-benchmark execution time vs copy threads for
+//! repeats 1..64 — model prediction (panel a) and simulated empirical
+//! times (panel b).
+
+use mlm_bench::experiments::fig8;
+use mlm_bench::report::{render_table, write_csv};
+use mlm_core::Calibration;
+
+fn main() {
+    let cal = Calibration::default();
+    let points = fig8(&cal).expect("fig8 simulation failed");
+
+    let headers = ["Repeats", "Copy threads", "Model (s)", "Empirical sim (s)"];
+    let body: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.repeats.to_string(),
+                p.copy_threads.to_string(),
+                p.model_seconds.map_or_else(|| "-".into(), |t| format!("{t:.3}")),
+                format!("{:.3}", p.sim_seconds),
+            ]
+        })
+        .collect();
+    println!("Figure 8 — merge benchmark: model (a) and empirical (b)\n");
+    println!("{}", render_table(&headers, &body));
+    if let Ok(path) = write_csv("fig8", &headers, &body) {
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,35 @@
+//! §4.2's hybrid-mode observation, quantified: hybrid ≈ flat at equal
+//! chunk size, but its smaller addressable MCDRAM caps the chunk, so the
+//! best results come from flat (or implicit) mode.
+
+use mlm_bench::experiments::hybrid_study;
+use mlm_bench::report::{render_table, secs, write_csv};
+use mlm_core::Calibration;
+
+fn main() {
+    let points = hybrid_study(&Calibration::default()).expect("hybrid study failed");
+    let headers = [
+        "Cache fraction",
+        "Max megachunk (elems)",
+        "MLM-sort (s)",
+        "Flat @ same chunk (s)",
+        "Ratio",
+    ];
+    let body: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.2}", p.cache_fraction),
+                p.max_megachunk.to_string(),
+                secs(p.seconds),
+                secs(p.flat_same_chunk),
+                format!("{:.3}", p.seconds / p.flat_same_chunk),
+            ]
+        })
+        .collect();
+    println!("Hybrid-mode study — MLM-sort, 2B random int64, 256 threads\n");
+    println!("{}", render_table(&headers, &body));
+    if let Ok(path) = write_csv("hybrid_study", &headers, &body) {
+        println!("wrote {path}");
+    }
+}

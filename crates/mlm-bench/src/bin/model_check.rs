@@ -1,0 +1,18 @@
+//! Quantify model-vs-simulator agreement over the Figure-8 grid — the
+//! paper's "we use experimental evidence to demonstrate the correctness
+//! of the model", as a number.
+
+use mlm_bench::experiments::model_validation;
+use mlm_core::Calibration;
+
+fn main() {
+    let v = model_validation(&Calibration::default()).expect("validation failed");
+    println!("Model (Eqs. 1-5) vs discrete-event simulator, Figure-8 grid");
+    println!("  points compared:            {}", v.points);
+    println!("  geometric-mean |ratio|:     {:.3}", v.geo_mean_ratio);
+    println!("  worst-case ratio:           {:.3}", v.worst_ratio);
+    println!(
+        "  per-repeats argmin agreement within one pow2 step: {:.0}%",
+        v.argmin_agreement * 100.0
+    );
+}

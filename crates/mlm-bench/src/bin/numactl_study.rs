@@ -1,0 +1,46 @@
+//! §2.4 comparison (Li et al.): `numactl --preferred` placement vs
+//! chunking. Preferred placement is excellent while the data fits MCDRAM
+//! and collapses beyond 2 B elements (16 GB); MLM-sort's chunking keeps
+//! its margin at every size — the reason chunking exists.
+
+use knl_sim::machine::{MachineConfig, MemMode};
+use knl_sim::Simulator;
+use mlm_bench::paper::paper_megachunk;
+use mlm_bench::report::{render_table, secs, write_csv};
+use mlm_bench::{BILLION, PAPER_THREADS};
+use mlm_core::sort::sim::build_sort_program;
+use mlm_core::{Calibration, InputOrder, SortAlgorithm, SortWorkload};
+
+fn sim(cal: &Calibration, n: u64, alg: SortAlgorithm, mega: u64) -> f64 {
+    let machine = MachineConfig::knl_7250(MemMode::Flat);
+    let w = SortWorkload::int64(n, InputOrder::Random);
+    let prog = build_sort_program(&machine, cal, w, alg, mega, PAPER_THREADS).unwrap();
+    Simulator::new(machine).run(&prog).unwrap().makespan
+}
+
+fn main() {
+    let cal = Calibration::default();
+    let headers =
+        ["Elements", "Fits MCDRAM?", "GNU-flat (s)", "GNU-numactl (s)", "MLM-sort (s)", "numactl gain", "MLM gain"];
+    let mut body = Vec::new();
+    for &n in &[BILLION, 3 * BILLION / 2, 2 * BILLION, 3 * BILLION, 4 * BILLION, 6 * BILLION] {
+        let gnu = sim(&cal, n, SortAlgorithm::GnuFlat, n);
+        let numactl = sim(&cal, n, SortAlgorithm::GnuNumactl, n);
+        let mlm = sim(&cal, n, SortAlgorithm::MlmSort, paper_megachunk(n).min(n));
+        let fits = 8 * n <= 16 * (1u64 << 30);
+        body.push(vec![
+            n.to_string(),
+            if fits { "yes" } else { "no" }.to_string(),
+            secs(gnu),
+            secs(numactl),
+            secs(mlm),
+            format!("{:.2}x", gnu / numactl),
+            format!("{:.2}x", gnu / mlm),
+        ]);
+    }
+    println!("numactl-preferred vs chunking — random int64, 256 threads\n");
+    println!("{}", render_table(&headers, &body));
+    if let Ok(path) = write_csv("numactl_study", &headers, &body) {
+        println!("wrote {path}");
+    }
+}

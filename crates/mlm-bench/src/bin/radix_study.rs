@@ -1,0 +1,28 @@
+//! §6 "more benchmarks": the purely bandwidth-bound radix sort through the
+//! chunking framework, against the comparison-bound introsort — the more
+//! bandwidth-bound the kernel, the more MCDRAM chunking is worth.
+
+use mlm_bench::experiments::radix_study;
+use mlm_bench::report::{ratio, render_table, secs, write_csv};
+use mlm_core::Calibration;
+
+fn main() {
+    let rows = radix_study(&Calibration::default()).expect("radix study failed");
+    let headers = ["Kernel", "DDR only (s)", "MCDRAM chunked (s)", "Chunking speedup"];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.kernel.to_string(),
+                secs(r.ddr_seconds),
+                secs(r.mlm_seconds),
+                ratio(r.speedup),
+            ]
+        })
+        .collect();
+    println!("Radix study — 2B int64, 1B megachunks, 256 threads\n");
+    println!("{}", render_table(&headers, &body));
+    if let Ok(path) = write_csv("radix_study", &headers, &body) {
+        println!("wrote {path}");
+    }
+}

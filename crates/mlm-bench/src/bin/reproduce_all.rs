@@ -1,0 +1,151 @@
+//! Regenerate the paper's complete evaluation plus every extension in one
+//! run: Tables 1–3, Figures 6–8, the Bender corroboration, and the §6
+//! future-work studies. CSVs land under `results/`.
+
+use mlm_core::Calibration;
+
+fn banner(title: &str) {
+    println!();
+    println!("{}", "=".repeat(72));
+    println!("== {title}");
+    println!("{}", "=".repeat(72));
+}
+
+fn main() {
+    let cal = Calibration::default();
+
+    banner("Table 2 — machine constants");
+    match mlm_bench::experiments::table2_sim() {
+        Ok(t2) => println!(
+            "DDR {:.0} GB/s | MCDRAM {:.0} GB/s | S_copy {:.1} | S_comp {:.2} (GB/s)",
+            t2.ddr_max / 1e9,
+            t2.mcdram_max / 1e9,
+            t2.s_copy / 1e9,
+            t2.s_comp / 1e9
+        ),
+        Err(e) => eprintln!("table2 failed: {e}"),
+    }
+
+    banner("Table 1 / Figure 6 — sort performance");
+    match mlm_bench::experiments::table1(&cal) {
+        Ok(rows) => {
+            for r in &rows {
+                println!(
+                    "{:>11} {:<8} {:<13} sim {:>6.2}s  paper {:>6.2}s",
+                    r.elements,
+                    r.order.label(),
+                    r.algorithm.label(),
+                    r.sim_seconds,
+                    r.paper_mean
+                );
+            }
+            let bars = mlm_bench::experiments::fig6(&rows);
+            let best = bars
+                .iter()
+                .filter(|b| b.algorithm != mlm_core::SortAlgorithm::GnuFlat)
+                .map(|b| b.sim_speedup)
+                .fold(0.0f64, f64::max);
+            println!("peak speedup over GNU-flat: {best:.2}x (paper: up to 1.9x)");
+        }
+        Err(e) => eprintln!("table1 failed: {e}"),
+    }
+
+    banner("Figure 7 — chunk-size sweep (6B elements)");
+    for p in mlm_bench::experiments::fig7(&cal) {
+        println!(
+            "{:<13} mega {:>10}: {}",
+            p.algorithm.label(),
+            p.megachunk_elems,
+            p.seconds.map_or_else(|| "infeasible".into(), |s| format!("{s:.2}s"))
+        );
+    }
+
+    banner("Table 3 — optimal copy threads");
+    match mlm_bench::experiments::table3(&cal) {
+        Ok(rows) => {
+            for r in rows {
+                println!(
+                    "repeats {:>2}: model {:>2} (paper {:>2}) | empirical {:>2} (paper {:>2})",
+                    r.repeats, r.model, r.paper_model, r.empirical, r.paper_empirical
+                );
+            }
+        }
+        Err(e) => eprintln!("table3 failed: {e}"),
+    }
+
+    banner("Model validation (Eqs. 1-5 vs simulator)");
+    match mlm_bench::experiments::model_validation(&cal) {
+        Ok(v) => println!(
+            "{} points | geo-mean ratio {:.3} | worst {:.3} | argmin agreement {:.0}%",
+            v.points,
+            v.geo_mean_ratio,
+            v.worst_ratio,
+            v.argmin_agreement * 100.0
+        ),
+        Err(e) => eprintln!("validation failed: {e}"),
+    }
+
+    banner("Bender et al. corroboration");
+    match mlm_bench::experiments::bender_check(&cal) {
+        Ok(b) => println!(
+            "basic chunked speedup {:.2}x (predicted ~1.3x) | DDR traffic reduction {:.2}x (predicted ~2.5x)",
+            b.basic_speedup, b.ddr_traffic_reduction
+        ),
+        Err(e) => eprintln!("bender failed: {e}"),
+    }
+
+    banner("Hybrid-mode study (§4.2)");
+    match mlm_bench::experiments::hybrid_study(&cal) {
+        Ok(points) => {
+            for p in points {
+                println!(
+                    "cache fraction {:.2}: {:>5.2}s vs flat@same-chunk {:>5.2}s (ratio {:.3})",
+                    p.cache_fraction,
+                    p.seconds,
+                    p.flat_same_chunk,
+                    p.seconds / p.flat_same_chunk
+                );
+            }
+        }
+        Err(e) => eprintln!("hybrid failed: {e}"),
+    }
+
+    banner("Design space (§6)");
+    match mlm_bench::experiments::design_space(&cal) {
+        Ok(points) => {
+            for p in points {
+                println!(
+                    "bw {:>4.2}x cap {:>2} GiB: MLM {:>5.2}s vs GNU {:>5.2}s = {:.2}x",
+                    p.bw_ratio, p.capacity_gib, p.mlm_seconds, p.gnu_seconds, p.speedup
+                );
+            }
+        }
+        Err(e) => eprintln!("design space failed: {e}"),
+    }
+
+    banner("Multi-node strong scaling (§6)");
+    match mlm_cluster::sim::strong_scaling(
+        &cal,
+        8_000_000_000,
+        mlm_core::InputOrder::Random,
+        &[1, 2, 4, 8, 16, 32, 64],
+        256,
+    ) {
+        Ok(reports) => {
+            let single = reports[0];
+            for r in reports {
+                println!(
+                    "{:>3} nodes: total {:>6.2}s (speedup {:>5.2}x, exchange {:>4.1}%)",
+                    r.nodes,
+                    r.total,
+                    r.speedup_over(&single),
+                    r.exchange / r.total * 100.0
+                );
+            }
+        }
+        Err(e) => eprintln!("cluster failed: {e}"),
+    }
+
+    println!();
+    println!("done — see results/*.csv for machine-readable outputs");
+}

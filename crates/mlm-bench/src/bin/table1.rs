@@ -1,0 +1,34 @@
+//! Regenerate the paper's Table 1: raw sorting performance for all five
+//! variants at 2/4/6 billion int64 elements, random and reverse input.
+
+use mlm_bench::experiments::table1;
+use mlm_bench::report::{render_table, secs, write_csv};
+use mlm_core::Calibration;
+
+fn main() {
+    let cal = Calibration::default();
+    let rows = table1(&cal).expect("table1 simulation failed");
+
+    let headers =
+        ["Elements", "Input Order", "Algorithm", "Sim (s)", "Paper Mean (s)", "Paper SD (s)", "Sim/Paper"];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.elements.to_string(),
+                r.order.label().to_string(),
+                r.algorithm.label().to_string(),
+                secs(r.sim_seconds),
+                secs(r.paper_mean),
+                format!("{:.4}", r.paper_std),
+                format!("{:.2}", r.sim_seconds / r.paper_mean),
+            ]
+        })
+        .collect();
+    println!("Table 1 — raw sorting performance (simulated KNL vs paper)\n");
+    println!("{}", render_table(&headers, &body));
+    match write_csv("table1", &headers, &body) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerate Table 3: optimal number of copy threads for the merge
+//! benchmark — model vs (simulated) empirical, against the paper's two
+//! columns.
+
+use mlm_bench::experiments::table3;
+use mlm_bench::report::{render_table, write_csv};
+use mlm_core::Calibration;
+
+fn main() {
+    let cal = Calibration::default();
+    let rows = table3(&cal).expect("table3 simulation failed");
+    let headers =
+        ["Repeats", "Model", "Empirical (pow2 sim)", "Paper model", "Paper empirical"];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.repeats.to_string(),
+                r.model.to_string(),
+                r.empirical.to_string(),
+                r.paper_model.to_string(),
+                r.paper_empirical.to_string(),
+            ]
+        })
+        .collect();
+    println!("Table 3 — optimal copy threads for the merge benchmark\n");
+    println!("{}", render_table(&headers, &body));
+    if let Ok(path) = write_csv("table3", &headers, &body) {
+        println!("wrote {path}");
+    }
+}

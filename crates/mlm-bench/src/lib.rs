@@ -1,0 +1,27 @@
+//! # mlm-bench — the experiment harness
+//!
+//! One driver per table/figure of the paper's evaluation, shared between
+//! the `src/bin/*` binaries (which print tables and write CSVs under
+//! `results/`) and the integration tests (which assert the paper's
+//! qualitative claims hold).
+//!
+//! | paper artifact | driver | binary |
+//! |---|---|---|
+//! | Table 1 | [`experiments::table1`] | `table1` |
+//! | Figure 6a/6b | [`experiments::fig6`] | `fig6` |
+//! | Figure 7 | [`experiments::fig7`] | `fig7` |
+//! | Table 2 | [`experiments::table2_sim`] | `table2` |
+//! | Figure 8a/8b | [`experiments::fig8`] | `fig8` |
+//! | Table 3 | [`experiments::table3`] | `table3` |
+//! | §2.3 / §4 Bender corroboration | [`experiments::bender_check`] | `bender_check` |
+
+pub mod calibrate;
+pub mod experiments;
+pub mod paper;
+pub mod report;
+
+/// Number of simulated hardware threads the paper's runs used.
+pub const PAPER_THREADS: usize = 256;
+
+/// One billion elements — the paper's problem-size unit.
+pub const BILLION: u64 = 1_000_000_000;

@@ -1,0 +1,158 @@
+//! The paper's published numbers, embedded for side-by-side comparison.
+
+use mlm_core::{InputOrder, SortAlgorithm};
+
+/// One row of the paper's Table 1 (raw sorting performance, mean of 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperTable1Row {
+    /// Problem size in elements.
+    pub elements: u64,
+    /// Input ordering.
+    pub order: InputOrder,
+    /// Algorithm variant.
+    pub algorithm: SortAlgorithm,
+    /// Mean seconds.
+    pub mean: f64,
+    /// Standard deviation, seconds.
+    pub std_dev: f64,
+}
+
+/// The paper's Table 1, verbatim (30 rows).
+///
+/// Note: the paper's 6B-random MLM-ddr row reads 18.74 s — identical to
+/// its 4B-random MLM-ddr row and inconsistent with the 2B→4B scaling; it
+/// is flagged in EXPERIMENTS.md as a likely transcription slip in the
+/// original and excluded from shape comparisons.
+pub const TABLE1: [PaperTable1Row; 30] = {
+    use InputOrder::{Random, Reverse};
+    use SortAlgorithm::{GnuCache, GnuFlat, MlmDdr, MlmImplicit, MlmSort};
+    const fn row(
+        elements: u64,
+        order: InputOrder,
+        algorithm: SortAlgorithm,
+        mean: f64,
+        std_dev: f64,
+    ) -> PaperTable1Row {
+        PaperTable1Row { elements, order, algorithm, mean, std_dev }
+    }
+    [
+        row(2_000_000_000, Random, GnuFlat, 11.92, 0.1662),
+        row(2_000_000_000, Random, GnuCache, 9.73, 0.1777),
+        row(2_000_000_000, Random, MlmDdr, 9.28, 0.0043),
+        row(2_000_000_000, Random, MlmSort, 8.09, 0.0072),
+        row(2_000_000_000, Random, MlmImplicit, 7.37, 0.0186),
+        row(4_000_000_000, Random, GnuFlat, 24.21, 0.1638),
+        row(4_000_000_000, Random, GnuCache, 19.76, 0.1892),
+        row(4_000_000_000, Random, MlmDdr, 18.74, 0.0113),
+        row(4_000_000_000, Random, MlmSort, 16.28, 0.0080),
+        row(4_000_000_000, Random, MlmImplicit, 14.56, 0.2288),
+        row(6_000_000_000, Random, GnuFlat, 36.52, 0.2565),
+        row(6_000_000_000, Random, GnuCache, 29.53, 0.3412),
+        row(6_000_000_000, Random, MlmDdr, 18.74, 0.0113), // sic — see note
+        row(6_000_000_000, Random, MlmSort, 22.71, 0.0099),
+        row(6_000_000_000, Random, MlmImplicit, 21.66, 0.3154),
+        row(2_000_000_000, Reverse, GnuFlat, 7.97, 0.2446),
+        row(2_000_000_000, Reverse, GnuCache, 7.19, 0.2069),
+        row(2_000_000_000, Reverse, MlmDdr, 4.79, 0.0049),
+        row(2_000_000_000, Reverse, MlmSort, 4.46, 0.0128),
+        row(2_000_000_000, Reverse, MlmImplicit, 4.10, 0.0183),
+        row(4_000_000_000, Reverse, GnuFlat, 16.06, 0.3832),
+        row(4_000_000_000, Reverse, GnuCache, 14.27, 0.1739),
+        row(4_000_000_000, Reverse, MlmDdr, 9.53, 0.0130),
+        row(4_000_000_000, Reverse, MlmSort, 9.02, 0.0129),
+        row(4_000_000_000, Reverse, MlmImplicit, 8.31, 0.0098),
+        row(6_000_000_000, Reverse, GnuFlat, 23.94, 0.5884),
+        row(6_000_000_000, Reverse, GnuCache, 21.85, 0.3622),
+        row(6_000_000_000, Reverse, MlmDdr, 14.48, 0.0200),
+        row(6_000_000_000, Reverse, MlmSort, 12.56, 0.0086),
+        row(6_000_000_000, Reverse, MlmImplicit, 12.76, 0.0159),
+    ]
+};
+
+/// Look up a Table 1 row.
+pub fn table1_row(
+    elements: u64,
+    order: InputOrder,
+    algorithm: SortAlgorithm,
+) -> Option<&'static PaperTable1Row> {
+    TABLE1
+        .iter()
+        .find(|r| r.elements == elements && r.order == order && r.algorithm == algorithm)
+}
+
+/// The paper's Table 3: repeats → (model optimum, empirical optimum among
+/// powers of two).
+pub const TABLE3: [(u32, usize, usize); 7] = [
+    (1, 10, 16),
+    (2, 10, 16),
+    (4, 10, 8),
+    (8, 8, 4),
+    (16, 3, 2),
+    (32, 2, 2),
+    (64, 1, 1),
+];
+
+/// The megachunk size the paper used for MLM-sort / MLM-ddr at a given
+/// problem size (§4.1): 1.5 B elements for the 6 B runs, 1 B otherwise.
+pub fn paper_megachunk(elements: u64) -> u64 {
+    if elements >= 6_000_000_000 {
+        1_500_000_000
+    } else {
+        1_000_000_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_is_complete() {
+        assert_eq!(TABLE1.len(), 30);
+        for &n in &[2_000_000_000u64, 4_000_000_000, 6_000_000_000] {
+            for order in InputOrder::PAPER {
+                for alg in SortAlgorithm::TABLE1 {
+                    assert!(
+                        table1_row(n, order, alg).is_some(),
+                        "missing {n} {order:?} {alg:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_speedup_band_holds_in_published_data() {
+        // The abstract's 1.6-1.9x claim, checked against the paper's own
+        // numbers (best MLM variant vs GNU-flat).
+        for &n in &[2_000_000_000u64, 4_000_000_000, 6_000_000_000] {
+            for order in InputOrder::PAPER {
+                let flat = table1_row(n, order, SortAlgorithm::GnuFlat).unwrap().mean;
+                let best = SortAlgorithm::TABLE1[3..]
+                    .iter()
+                    .map(|&a| table1_row(n, order, a).unwrap().mean)
+                    .fold(f64::INFINITY, f64::min);
+                let speedup = flat / best;
+                assert!(
+                    (1.5..2.0).contains(&speedup),
+                    "{n} {order:?}: published speedup {speedup}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn megachunk_rule_matches_section_4_1() {
+        assert_eq!(paper_megachunk(2_000_000_000), 1_000_000_000);
+        assert_eq!(paper_megachunk(4_000_000_000), 1_000_000_000);
+        assert_eq!(paper_megachunk(6_000_000_000), 1_500_000_000);
+    }
+
+    #[test]
+    fn table3_is_monotone_in_both_columns() {
+        for w in TABLE3.windows(2) {
+            assert!(w[1].1 <= w[0].1, "model column");
+            assert!(w[1].2 <= w[0].2, "empirical column");
+        }
+    }
+}

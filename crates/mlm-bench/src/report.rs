@@ -1,0 +1,122 @@
+//! Plain-text table rendering and CSV output for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Render rows as a fixed-width text table with a header rule.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, "{:<w$}  ", h, w = widths[i]);
+    }
+    out.push('\n');
+    for (i, _) in headers.iter().enumerate() {
+        let _ = write!(out, "{}  ", "-".repeat(widths[i]));
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "{:<w$}  ", cell, w = widths.get(i).copied().unwrap_or(0));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write rows as CSV under `results/<name>.csv` (creating the directory),
+/// returning the path written. Cells containing commas or quotes are
+/// quoted per RFC 4180.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<String> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut body = String::new();
+    let escape = |cell: &str| -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    body.push_str(&headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    body.push('\n');
+    for row in rows {
+        body.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        body.push('\n');
+    }
+    std::fs::write(&path, body)?;
+    Ok(path.display().to_string())
+}
+
+/// Format seconds with 2 decimal places.
+pub fn secs(t: f64) -> String {
+    format!("{t:.2}")
+}
+
+/// Format a ratio with 2 decimal places and an `x` suffix.
+pub fn ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Format bytes/s as decimal GB/s.
+pub fn gbps(b: f64) -> String {
+    format!("{:.1} GB/s", b / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let t = render_table(
+            &["alg", "time"],
+            &[
+                vec!["GNU-flat".into(), "11.92".into()],
+                vec!["MLM".into(), "8.09".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("alg"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("GNU-flat"));
+        // Columns align: "time" header starts at the same offset in all rows.
+        let col = lines[0].find("time").unwrap();
+        assert_eq!(&lines[2][col..col + 5], "11.92");
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let dir = std::env::temp_dir().join(format!("mlmbench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let path = write_csv(
+            "escape_test",
+            &["a", "b"],
+            &[vec!["x,y".into(), "he said \"hi\"".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::env::set_current_dir(old).unwrap();
+        assert!(content.contains("\"x,y\""));
+        assert!(content.contains("\"he said \"\"hi\"\"\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(11.917), "11.92");
+        assert_eq!(ratio(1.618), "1.62x");
+        assert_eq!(gbps(90e9), "90.0 GB/s");
+    }
+}

@@ -1,0 +1,88 @@
+//! # mlm-cluster — distributed MLM-sort across multiple KNL nodes
+//!
+//! The paper's §6 names its first piece of future work: "this work
+//! considers different MCDRAM usage models in a single KNL node ...
+//! Future work will extend this to multiple KNL nodes." This crate is that
+//! extension, in the same two-backend style as the rest of the
+//! reproduction:
+//!
+//! * [`host`] — a real, message-passing **Parallel Sorting by Regular
+//!   Sampling** (PSRS) implementation whose per-node local sort is
+//!   MLM-sort. Node shards exchange partitions over `crossbeam` channels;
+//!   correctness is validated against `sort_unstable` at host scale.
+//! * [`sim`] — a virtual-time composition for paper-scale problems: local
+//!   phases run on the [`knl_sim`] KNL model, the all-to-all exchange on an
+//!   interconnect model, producing strong-scaling curves and the
+//!   network-vs-memory crossover.
+//!
+//! PSRS maps naturally onto the paper's framing of MLM-sort as "primarily
+//! a *distributed* rather than a multithreaded algorithm" (§4): the serial
+//! chunk sorts inside each node and the node-local sorts inside the
+//! cluster play the same role at two scales.
+
+pub mod host;
+pub mod sim;
+
+use serde::{Deserialize, Serialize};
+
+/// Interconnect + node-count description of the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of KNL nodes.
+    pub nodes: usize,
+    /// Per-node injection bandwidth in bytes/s, full duplex (Omni-Path on
+    /// the KNL generation: ~12.5 GB/s per direction).
+    pub link_bandwidth: f64,
+    /// Per-message latency in seconds (used once per exchange phase —
+    /// messages are large, so bandwidth dominates).
+    pub link_latency: f64,
+}
+
+impl ClusterConfig {
+    /// An Omni-Path-class cluster of `nodes` KNLs.
+    pub fn omnipath(nodes: usize) -> Self {
+        ClusterConfig { nodes, link_bandwidth: 12.5e9, link_latency: 2e-6 }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("need at least one node".into());
+        }
+        if !self.link_bandwidth.is_finite() || self.link_bandwidth <= 0.0 {
+            return Err("link bandwidth must be positive".into());
+        }
+        if !self.link_latency.is_finite() || self.link_latency < 0.0 {
+            return Err("link latency must be >= 0".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omnipath_preset_validates() {
+        for n in [1usize, 2, 8, 64] {
+            ClusterConfig::omnipath(n).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        assert!(ClusterConfig { nodes: 0, link_bandwidth: 1.0, link_latency: 0.0 }
+            .validate()
+            .is_err());
+        assert!(ClusterConfig { nodes: 2, link_bandwidth: 0.0, link_latency: 0.0 }
+            .validate()
+            .is_err());
+        assert!(ClusterConfig { nodes: 2, link_bandwidth: 1.0, link_latency: -1.0 }
+            .validate()
+            .is_err());
+        assert!(ClusterConfig { nodes: 2, link_bandwidth: f64::NAN, link_latency: 0.0 }
+            .validate()
+            .is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! The paper's copy-thread model (§3.2, Equations 1–5), implemented
+//! verbatim.
+//!
+//! The model predicts the execution time of a buffered chunking algorithm
+//! from five machine/problem parameters (paper Table 2) and the thread-pool
+//! split, and from it the near-optimal number of copy threads.
+//!
+//! Equation numbers in the code refer to the paper:
+//!
+//! * Eq. 1: `T_total = max(T_copy, T_comp)`
+//! * Eq. 2: `T_copy = 2·B / ((p_in + p_out)·C_copy)`
+//! * Eq. 3: `C_copy = S_copy` until DDR saturates, then the DDR share
+//! * Eq. 4: `T_comp = 2·B·passes / (p_comp·C_comp)`
+//! * Eq. 5: `C_comp = S_comp` until MCDRAM saturates, then the leftover
+//!   MCDRAM share
+
+use serde::{Deserialize, Serialize};
+
+/// Inputs to the model — the paper's Table 2 plus the thread budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Data set size `B_copy` in bytes (Table 2: 14.9 GB).
+    pub b_copy: f64,
+    /// Peak DDR bandwidth in bytes/s (Table 2: 90 GB/s).
+    pub ddr_max: f64,
+    /// Peak MCDRAM bandwidth in bytes/s (Table 2: 400 GB/s).
+    pub mcdram_max: f64,
+    /// Per-thread copy rate `S_copy` in bytes/s (Table 2: 4.8 GB/s).
+    pub s_copy: f64,
+    /// Per-thread compute rate `S_comp` in bytes/s (Table 2: 6.78 GB/s).
+    pub s_comp: f64,
+    /// Total hardware threads to divide among the three pools (paper: 256).
+    pub total_threads: usize,
+}
+
+impl ModelParams {
+    /// The paper's Table 2 values.
+    pub fn paper_table2() -> Self {
+        ModelParams {
+            b_copy: 14.9e9,
+            ddr_max: 90e9,
+            mcdram_max: 400e9,
+            s_copy: 4.8e9,
+            s_comp: 6.78e9,
+            total_threads: 256,
+        }
+    }
+
+    /// Eq. 3: effective per-thread copy rate for `p_in + p_out` copy
+    /// threads.
+    pub fn c_copy(&self, p_in: usize, p_out: usize) -> f64 {
+        let p = (p_in + p_out) as f64;
+        if p * self.s_copy <= self.ddr_max {
+            self.s_copy
+        } else {
+            self.ddr_max / p
+        }
+    }
+
+    /// Eq. 2: time to copy the data set into MCDRAM and back out.
+    pub fn t_copy(&self, p_in: usize, p_out: usize) -> f64 {
+        let p = (p_in + p_out) as f64;
+        if p == 0.0 {
+            return f64::INFINITY;
+        }
+        2.0 * self.b_copy / (p * self.c_copy(p_in, p_out))
+    }
+
+    /// Eq. 5: effective per-thread compute rate for `p_comp` compute
+    /// threads sharing MCDRAM with `p_in + p_out` copy threads.
+    pub fn c_comp(&self, p_comp: usize, p_in: usize, p_out: usize) -> f64 {
+        let pc = p_comp as f64;
+        let demand = pc * self.s_comp + (p_in + p_out) as f64 * self.s_copy;
+        if demand <= self.mcdram_max {
+            self.s_comp
+        } else {
+            let copy_share = (p_in + p_out) as f64 * self.c_copy(p_in, p_out);
+            ((self.mcdram_max - copy_share) / pc).max(0.0)
+        }
+    }
+
+    /// Eq. 4: compute time for `passes` read+write passes over the data.
+    pub fn t_comp(&self, p_comp: usize, p_in: usize, p_out: usize, passes: u32) -> f64 {
+        if p_comp == 0 {
+            return f64::INFINITY;
+        }
+        let c = self.c_comp(p_comp, p_in, p_out);
+        if c <= 0.0 {
+            return f64::INFINITY;
+        }
+        2.0 * self.b_copy * f64::from(passes) / (p_comp as f64 * c)
+    }
+
+    /// Eq. 1: predicted total time with `p_in = p_out = copy_threads` and
+    /// the remaining threads computing.
+    ///
+    /// Returns `None` when the split is infeasible (no compute threads
+    /// left).
+    pub fn t_total(&self, copy_threads: usize, passes: u32) -> Option<f64> {
+        let used = 2 * copy_threads;
+        if copy_threads == 0 || used >= self.total_threads {
+            return None;
+        }
+        let p_comp = self.total_threads - used;
+        Some(self.t_copy(copy_threads, copy_threads).max(self.t_comp(
+            p_comp,
+            copy_threads,
+            copy_threads,
+            passes,
+        )))
+    }
+
+    /// Scan all feasible symmetric splits and return
+    /// `(best copy-in threads, predicted seconds)` for the given number of
+    /// compute passes (the merge benchmark's `repeats`).
+    pub fn optimal_copy_threads(&self, passes: u32) -> (usize, f64) {
+        let mut best = (1, f64::INFINITY);
+        let mut p = 1;
+        while 2 * p < self.total_threads {
+            if let Some(t) = self.t_total(p, passes) {
+                // Strict improvement beyond float noise: plateaus (e.g. the
+                // DDR-saturated regime, where T_copy is analytically
+                // constant in p) resolve to the smallest thread count.
+                if t < best.1 * (1.0 - 1e-9) {
+                    best = (p, t);
+                }
+            }
+            p += 1;
+        }
+        best
+    }
+
+    /// Predicted time for an *asymmetric* split `p_in != p_out` — the
+    /// paper's model assumes the pools equal ("the copy-in and copy-out
+    /// pools are equal in size and have equivalent workloads"); this
+    /// generalisation lets that assumption be checked rather than taken.
+    /// Each pool moves `B` bytes, so the copy phase ends when the slower
+    /// pool finishes; both share DDR.
+    pub fn t_total_asymmetric(&self, p_in: usize, p_out: usize, passes: u32) -> Option<f64> {
+        let used = p_in + p_out;
+        if p_in == 0 || p_out == 0 || used >= self.total_threads {
+            return None;
+        }
+        let c = self.c_copy(p_in, p_out);
+        // The slower (smaller) pool bounds the copy phase.
+        let t_copy = self.b_copy / (p_in.min(p_out) as f64 * c);
+        let p_comp = self.total_threads - used;
+        Some(t_copy.max(self.t_comp(p_comp, p_in, p_out, passes)))
+    }
+
+    /// Search all asymmetric splits; returns `(p_in, p_out, seconds)`.
+    pub fn optimal_asymmetric(&self, passes: u32) -> (usize, usize, f64) {
+        let mut best = (1, 1, f64::INFINITY);
+        for p_in in 1..self.total_threads {
+            for p_out in 1..(self.total_threads - p_in) {
+                if p_in + p_out >= self.total_threads {
+                    break;
+                }
+                if let Some(t) = self.t_total_asymmetric(p_in, p_out, passes) {
+                    if t < best.2 * (1.0 - 1e-9) {
+                        best = (p_in, p_out, t);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Like [`Self::optimal_copy_threads`] but restricted to the candidate
+    /// set the paper's empirical sweep used (powers of two up to 32).
+    pub fn optimal_copy_threads_pow2(&self, passes: u32) -> (usize, f64) {
+        let mut best = (1, f64::INFINITY);
+        for p in [1usize, 2, 4, 8, 16, 32] {
+            if 2 * p >= self.total_threads {
+                break;
+            }
+            if let Some(t) = self.t_total(p, passes) {
+                if t < best.1 * (1.0 - 1e-9) {
+                    best = (p, t);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> ModelParams {
+        ModelParams::paper_table2()
+    }
+
+    #[test]
+    fn c_copy_saturates_at_ddr() {
+        let m = m();
+        // 9 in + 9 out = 18 threads * 4.8 = 86.4 < 90: unsaturated.
+        assert_eq!(m.c_copy(9, 9), 4.8e9);
+        // 10 + 10 = 20 threads * 4.8 = 96 > 90: saturated share.
+        let c = m.c_copy(10, 10);
+        assert!((c - 90e9 / 20.0).abs() < 1.0);
+        // Aggregate copy bandwidth never exceeds DDR_max.
+        for p in 1..=64 {
+            let agg = 2.0 * p as f64 * m.c_copy(p, p);
+            assert!(agg <= 90e9 * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn t_copy_matches_closed_form() {
+        let m = m();
+        // Below saturation: 2*14.9 GB / (16 * 4.8 GB/s).
+        let t = m.t_copy(8, 8);
+        assert!((t - 2.0 * 14.9e9 / (16.0 * 4.8e9)).abs() < 1e-9);
+        // Above saturation: 2*B / DDR_max.
+        let t = m.t_copy(32, 32);
+        assert!((t - 2.0 * 14.9e9 / 90e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn c_comp_shares_leftover_mcdram() {
+        let m = m();
+        // 224 compute threads want 1518 GB/s >> 400: saturated. The 32
+        // copy threads are themselves DDR-saturated, so their MCDRAM share
+        // is DDR_max, not 32 x S_copy (Eq. 3 feeding Eq. 5).
+        let c = m.c_comp(224, 16, 16);
+        let copy_share = 90e9;
+        assert!((c - (400e9 - copy_share) / 224.0).abs() < 1.0);
+        // Below DDR saturation the share really is p x S_copy.
+        let c = m.c_comp(224, 8, 8);
+        assert!((c - (400e9 - 16.0 * 4.8e9) / 224.0).abs() < 1.0);
+        // Few compute threads: unsaturated.
+        assert_eq!(m.c_comp(16, 8, 8), 6.78e9);
+    }
+
+    #[test]
+    fn more_repeats_need_fewer_copy_threads() {
+        let m = m();
+        let mut prev = usize::MAX;
+        for repeats in [1u32, 2, 4, 8, 16, 32, 64] {
+            let (p, t) = m.optimal_copy_threads(repeats);
+            assert!(t.is_finite());
+            assert!(
+                p <= prev,
+                "optimal copy threads must be non-increasing in repeats: {p} > {prev}"
+            );
+            prev = p;
+        }
+    }
+
+    /// The paper's Table 3 model column: repeats → optimal copy threads
+    /// {1:10, 2:10, 4:10, 8:8, 16:3, 32:2, 64:1}. Our implementation of
+    /// Eqs. 1–5 reproduces the asymptotes exactly (10 at low repeats, 1 at
+    /// high) and lands within ±3 everywhere (the paper's 8-repeat point is
+    /// a near-tie plateau; see EXPERIMENTS.md).
+    #[test]
+    fn model_reproduces_table3_shape() {
+        let m = m();
+        let expect = [(1u32, 10usize), (2, 10), (4, 10), (8, 8), (16, 3), (32, 2), (64, 1)];
+        for (repeats, want) in expect {
+            let (got, _) = m.optimal_copy_threads(repeats);
+            assert!(
+                (got as i64 - want as i64).unsigned_abs() <= 3,
+                "repeats={repeats}: model says {got}, paper Table 3 says {want}"
+            );
+        }
+        assert_eq!(m.optimal_copy_threads(1).0, 10);
+        assert_eq!(m.optimal_copy_threads(2).0, 10);
+        // High-repeat asymptote is exactly one copy thread.
+        assert_eq!(m.optimal_copy_threads(64).0, 1);
+        assert_eq!(m.optimal_copy_threads(128).0, 1);
+    }
+
+    #[test]
+    fn t_total_infeasible_splits() {
+        let m = m();
+        assert!(m.t_total(0, 1).is_none());
+        assert!(m.t_total(128, 1).is_none(), "no compute threads left");
+    }
+
+    #[test]
+    fn pow2_restriction_is_never_better() {
+        let m = m();
+        for repeats in [1u32, 4, 16, 64] {
+            let (_, free) = m.optimal_copy_threads(repeats);
+            let (_, pow2) = m.optimal_copy_threads_pow2(repeats);
+            assert!(pow2 >= free - 1e-12);
+        }
+    }
+
+    /// The paper's symmetric-pools assumption is justified by its own
+    /// model: the asymmetric optimum is (near-)symmetric because both
+    /// pools move the same number of bytes.
+    #[test]
+    fn asymmetric_optimum_is_symmetric() {
+        let m = m();
+        for passes in [1u32, 8, 64] {
+            let (p_in, p_out, t_asym) = m.optimal_asymmetric(passes);
+            assert_eq!(p_in, p_out, "passes={passes}: optimum {p_in}/{p_out}");
+            let (p_sym, t_sym) = m.optimal_copy_threads(passes);
+            assert_eq!(p_in, p_sym);
+            assert!((t_asym - t_sym).abs() < 1e-9 * t_sym.max(1.0));
+        }
+        // And a lopsided split is strictly worse than its balanced peer.
+        let balanced = m.t_total_asymmetric(8, 8, 4).unwrap();
+        let lopsided = m.t_total_asymmetric(2, 14, 4).unwrap();
+        assert!(lopsided > balanced);
+    }
+
+    #[test]
+    fn t_total_is_max_of_copy_and_compute() {
+        let m = m();
+        let p = 8;
+        let t = m.t_total(p, 4).unwrap();
+        let tc = m.t_copy(p, p);
+        let tm = m.t_comp(m.total_threads - 2 * p, p, p, 4);
+        assert_eq!(t, tc.max(tm));
+    }
+}

@@ -1,0 +1,324 @@
+//! Executing a chunked pipeline with real threads and real buffers.
+//!
+//! This backend validates the *software* half of the paper: the triple
+//! thread-pool, triple-buffer schedule must produce bit-correct results
+//! under full overlap. Host memory has a single level, so wall-clock here
+//! is not the experiment (that is the simulator's job) — correctness and
+//! native benchmarking are.
+
+use parsort::pool::{split_range, WorkPool};
+
+use super::{Placement, PipelineSpec};
+
+/// How a chunk kernel sees its slice of the current chunk.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelCtx {
+    /// Chunk index within the run.
+    pub chunk: usize,
+    /// Compute-thread index within the pool.
+    pub thread: usize,
+    /// Global element offset of this slice within the whole data set.
+    pub global_offset: usize,
+}
+
+/// Result of a host pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostRunStats {
+    /// Number of chunks processed.
+    pub chunks: usize,
+    /// Number of lockstep steps executed.
+    pub steps: usize,
+    /// Wall-clock duration of the chunked phase.
+    pub elapsed: std::time::Duration,
+}
+
+/// Stream `data` through the chunked pipeline, applying `kernel` to each
+/// compute thread's slice of each chunk, writing results to `out`.
+///
+/// `kernel(slice, ctx)` must be a pure per-slice transformation — exactly
+/// the shape of the paper's merge benchmark and of MLM-sort's serial sort
+/// phase. Buffers are rotated so copy-in, compute, and copy-out of three
+/// consecutive chunks overlap; with `spec.placement == Implicit` the kernel
+/// runs in place on `out` (which is first filled from `data`).
+///
+/// `spec` fields `compute_rate`/`copy_rate`/`data_addr` are ignored on the
+/// host; pool sizes and chunk geometry are honoured. Element counts are
+/// derived from `data.len()`, not `spec.total_bytes`.
+///
+/// # Panics
+/// Panics if `out.len() != data.len()` or the spec fails validation.
+pub fn run_host_pipeline<T, F>(
+    pool: &WorkPool,
+    spec: &PipelineSpec,
+    data: &[T],
+    out: &mut [T],
+    kernel: F,
+) -> HostRunStats
+where
+    T: Copy + Send + Sync,
+    F: Fn(&mut [T], KernelCtx) + Send + Sync,
+{
+    assert_eq!(out.len(), data.len(), "out must match data length");
+    let start = std::time::Instant::now();
+    if data.is_empty() {
+        return HostRunStats { chunks: 0, steps: 0, elapsed: start.elapsed() };
+    }
+    spec.validate().expect("invalid pipeline spec");
+    let elem = std::mem::size_of::<T>().max(1);
+    let chunk_elems = (spec.chunk_bytes as usize / elem).max(1);
+    let n_chunks = data.len().div_ceil(chunk_elems).max(1);
+
+    if spec.placement == Placement::Implicit {
+        // Implicit mode: one memcpy of the whole input (the data already
+        // lives where it is computed on), then all threads process chunks
+        // in place.
+        out.copy_from_slice(data);
+        for c in 0..n_chunks {
+            let lo = c * chunk_elems;
+            let hi = ((c + 1) * chunk_elems).min(out.len());
+            let chunk = &mut out[lo..hi];
+            let parts = spec.p_comp.min(chunk.len()).max(1);
+            let mut slices = Vec::with_capacity(parts);
+            let mut rest = chunk;
+            for t in 0..parts {
+                let (s, e) = split_range(hi - lo, parts, t);
+                let (head, tail) = rest.split_at_mut(e - s);
+                slices.push((t, s, head));
+                rest = tail;
+            }
+            let kernel = &kernel;
+            pool.scoped(slices.into_iter().map(|(t, s, slice)| {
+                let ctx = KernelCtx { chunk: c, thread: t, global_offset: lo + s };
+                move || kernel(slice, ctx)
+            }));
+        }
+        return HostRunStats {
+            chunks: n_chunks,
+            steps: n_chunks,
+            elapsed: start.elapsed(),
+        };
+    }
+
+    // Explicit pipeline: three rotating buffers.
+    let mut buffers: Vec<Vec<T>> = (0..3).map(|_| Vec::new()).collect();
+    let steps = n_chunks + 2;
+    for s in 0..steps {
+        // Each step builds a batch of tasks: copy-in chunk s, compute on
+        // chunk s-1, copy-out chunk s-2 — executed concurrently, then the
+        // implicit barrier of `scoped` closes the step (the paper's
+        // lockstep schedule).
+        let (buf_a, buf_b, buf_c) = three_mut(&mut buffers, s % 3, (s + 2) % 3, (s + 1) % 3);
+
+        // Stage geometry.
+        let in_range = if s < n_chunks {
+            let lo = s * chunk_elems;
+            Some((lo, ((s + 1) * chunk_elems).min(data.len())))
+        } else {
+            None
+        };
+        let comp_chunk = (s >= 1 && s - 1 < n_chunks).then(|| s - 1);
+        let out_chunk = (s >= 2 && s - 2 < n_chunks).then(|| s - 2);
+
+        // Prepare copy-in destination.
+        if let Some((lo, hi)) = in_range {
+            buf_a.clear();
+            buf_a.resize(hi - lo, data[0]);
+        }
+
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+
+        if let Some((lo, hi)) = in_range {
+            let src = &data[lo..hi];
+            let parts = spec.p_in.min(src.len()).max(1);
+            let mut rest: &mut [T] = buf_a;
+            for t in 0..parts {
+                let (ss, se) = split_range(src.len(), parts, t);
+                let (head, tail) = rest.split_at_mut(se - ss);
+                rest = tail;
+                let s_slice = &src[ss..se];
+                tasks.push(Box::new(move || head.copy_from_slice(s_slice)));
+            }
+        }
+
+        if let Some(c) = comp_chunk {
+            let lo = c * chunk_elems;
+            let len = buf_b.len();
+            let parts = spec.p_comp.min(len).max(1);
+            let mut rest: &mut [T] = buf_b;
+            let kernel = &kernel;
+            for t in 0..parts {
+                let (ss, se) = split_range(len, parts, t);
+                let (head, tail) = rest.split_at_mut(se - ss);
+                rest = tail;
+                let ctx = KernelCtx { chunk: c, thread: t, global_offset: lo + ss };
+                tasks.push(Box::new(move || kernel(head, ctx)));
+            }
+        }
+
+        if let Some(c) = out_chunk {
+            let lo = c * chunk_elems;
+            let hi = (lo + chunk_elems).min(out.len());
+            let dst = &mut out[lo..hi];
+            let src: &[T] = buf_c;
+            debug_assert_eq!(src.len(), dst.len());
+            let parts = spec.p_out.min(src.len()).max(1);
+            let mut rest = dst;
+            for t in 0..parts {
+                let (ss, se) = split_range(src.len(), parts, t);
+                let (head, tail) = rest.split_at_mut(se - ss);
+                rest = tail;
+                let s_slice = &src[ss..se];
+                tasks.push(Box::new(move || head.copy_from_slice(s_slice)));
+            }
+        }
+
+        pool.scoped(tasks);
+    }
+
+    HostRunStats { chunks: n_chunks, steps, elapsed: start.elapsed() }
+}
+
+/// Disjoint mutable references to three distinct buffer slots.
+fn three_mut<T>(
+    buffers: &mut [Vec<T>],
+    a: usize,
+    b: usize,
+    c: usize,
+) -> (&mut Vec<T>, &mut Vec<T>, &mut Vec<T>) {
+    assert!(a != b && b != c && a != c, "buffer indices must be distinct");
+    assert!(a < buffers.len() && b < buffers.len() && c < buffers.len());
+    let ptr = buffers.as_mut_ptr();
+    // SAFETY: the indices are pairwise distinct and in bounds, so the three
+    // references alias disjoint elements.
+    unsafe { (&mut *ptr.add(a), &mut *ptr.add(b), &mut *ptr.add(c)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(chunk_bytes: u64, placement: Placement) -> PipelineSpec {
+        PipelineSpec {
+            total_bytes: 0, // host side derives sizes from the slice
+            chunk_bytes,
+            p_in: 2,
+            p_out: 2,
+            p_comp: 3,
+            compute_passes: 1,
+            compute_rate: 1e9,
+            copy_rate: 1e9,
+            placement,
+            lockstep: true,
+            data_addr: 0,
+        }
+    }
+
+    fn negate_kernel(slice: &mut [i64], _ctx: KernelCtx) {
+        slice.iter_mut().for_each(|x| *x = -*x);
+    }
+
+    #[test]
+    fn explicit_pipeline_transforms_all_data() {
+        let pool = WorkPool::new(7);
+        let mut s = spec(8 * 100, Placement::Hbw);
+        s.total_bytes = 8 * 1000;
+        let data: Vec<i64> = (0..1000).collect();
+        let mut out = vec![0i64; 1000];
+        let stats = run_host_pipeline(&pool, &s, &data, &mut out, negate_kernel);
+        assert_eq!(stats.chunks, 10);
+        assert_eq!(stats.steps, 12);
+        let expect: Vec<i64> = (0..1000).map(|x| -x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn ragged_tail_handled() {
+        let pool = WorkPool::new(4);
+        let mut s = spec(8 * 64, Placement::Hbw);
+        s.total_bytes = 8 * 1003;
+        let data: Vec<i64> = (0..1003).collect();
+        let mut out = vec![0i64; 1003];
+        run_host_pipeline(&pool, &s, &data, &mut out, negate_kernel);
+        assert!(out.iter().zip(&data).all(|(o, d)| *o == -d));
+    }
+
+    #[test]
+    fn single_chunk_works() {
+        let pool = WorkPool::new(4);
+        let mut s = spec(1 << 20, Placement::Hbw);
+        s.total_bytes = 8 * 50;
+        let data: Vec<i64> = (0..50).collect();
+        let mut out = vec![0i64; 50];
+        run_host_pipeline(&pool, &s, &data, &mut out, negate_kernel);
+        assert!(out.iter().zip(&data).all(|(o, d)| *o == -d));
+    }
+
+    #[test]
+    fn implicit_mode_matches_explicit() {
+        let pool = WorkPool::new(4);
+        let data: Vec<i64> = (0..777).map(|x| x * 3).collect();
+
+        let mut s = spec(8 * 100, Placement::Hbw);
+        s.total_bytes = 8 * 777;
+        let mut out_explicit = vec![0i64; 777];
+        run_host_pipeline(&pool, &s, &data, &mut out_explicit, negate_kernel);
+
+        let mut si = spec(8 * 100, Placement::Implicit);
+        si.total_bytes = 8 * 777;
+        si.p_in = 0;
+        si.p_out = 0;
+        let mut out_implicit = vec![0i64; 777];
+        run_host_pipeline(&pool, &si, &data, &mut out_implicit, negate_kernel);
+
+        assert_eq!(out_explicit, out_implicit);
+    }
+
+    #[test]
+    fn kernel_ctx_reports_global_offsets() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let pool = WorkPool::new(3);
+        let n = 300usize;
+        let mut s = spec(8 * 64, Placement::Hbw);
+        s.total_bytes = (8 * n) as u64;
+        let data: Vec<i64> = (0..n as i64).collect();
+        let mut out = vec![0i64; n];
+        let seen = AtomicU64::new(0);
+        run_host_pipeline(&pool, &s, &data, &mut out, |slice, ctx| {
+            // Every element equals its global index, so offsets must line up.
+            for (i, v) in slice.iter().enumerate() {
+                assert_eq!(*v as usize, ctx.global_offset + i);
+            }
+            seen.fetch_add(slice.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), n as u64);
+        assert_eq!(out, data, "identity kernel copies through");
+    }
+
+    #[test]
+    fn empty_input_is_noop() {
+        let pool = WorkPool::new(2);
+        let mut s = spec(1 << 10, Placement::Hbw);
+        s.total_bytes = 8; // irrelevant: host sizes come from the slice
+        let data: Vec<i64> = vec![];
+        let mut out: Vec<i64> = vec![];
+        let stats = run_host_pipeline(&pool, &s, &data, &mut out, negate_kernel);
+        assert_eq!(stats.chunks, 0);
+    }
+
+    #[test]
+    fn three_mut_returns_disjoint_refs() {
+        let mut v = vec![vec![1], vec![2], vec![3]];
+        let (a, b, c) = three_mut(&mut v, 0, 2, 1);
+        a.push(10);
+        b.push(30);
+        c.push(20);
+        assert_eq!(v, vec![vec![1, 10], vec![2, 20], vec![3, 30]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn three_mut_rejects_duplicates() {
+        let mut v = vec![vec![1], vec![2], vec![3]];
+        let _ = three_mut(&mut v, 0, 0, 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Chunking + buffering: the paper's §3 framework.
+//!
+//! A large DDR-resident data set is processed in MCDRAM-sized chunks by
+//! three dedicated thread pools — copy-in, compute, copy-out — with three
+//! rotating buffers so that step `s` overlaps the copy-in of chunk `s`, the
+//! compute on chunk `s-1`, and the copy-out of chunk `s-2` (paper Fig. 2).
+//!
+//! Two backends share one [`PipelineSpec`]:
+//!
+//! * [`sim::build_program`] lowers the schedule to a [`knl_sim`] op graph
+//!   for virtual-time experiments at paper scale;
+//! * [`host::run_host_pipeline`] executes the same schedule with real
+//!   threads and real buffers at host scale, validating that the pipeline
+//!   produces correct data.
+
+pub mod host;
+pub mod sim;
+
+use serde::{Deserialize, Serialize};
+
+/// Where the pipeline's chunk buffers live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Buffers in flat-mode MCDRAM (the paper's chunked flat algorithm).
+    Hbw,
+    /// Buffers in DDR — the chunking structure with no MCDRAM (MLM-ddr).
+    Ddr,
+    /// No buffers at all: compute touches the original DDR data through
+    /// the MCDRAM cache (the paper's *implicit cache mode*, Fig. 5).
+    Implicit,
+}
+
+/// Full description of one chunked execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    /// Total bytes to stream through the pipeline.
+    pub total_bytes: u64,
+    /// Chunk (and buffer) size in bytes.
+    pub chunk_bytes: u64,
+    /// Copy-in pool size (ignored for [`Placement::Implicit`]).
+    pub p_in: usize,
+    /// Copy-out pool size (ignored for [`Placement::Implicit`]).
+    pub p_out: usize,
+    /// Compute pool size.
+    pub p_comp: usize,
+    /// Read+write passes the kernel makes over each chunk (the merge
+    /// benchmark's `repeats`).
+    pub compute_passes: u32,
+    /// Per-thread compute traffic cap in bytes/s (the paper's `S_comp`).
+    pub compute_rate: f64,
+    /// Per-thread copy rate cap in bytes/s (the paper's `S_copy`).
+    pub copy_rate: f64,
+    /// Buffer placement.
+    pub placement: Placement,
+    /// `true` = the paper's lockstep steps (a barrier after every step,
+    /// matching the model's `max(T_copy, T_comp)` structure);
+    /// `false` = pure dataflow dependencies (buffer-recycling only), an
+    /// ablation the paper leaves as future work.
+    pub lockstep: bool,
+    /// Simulated DDR base address of the source data (used by cache-mode
+    /// accesses).
+    pub data_addr: u64,
+}
+
+impl PipelineSpec {
+    /// Number of chunks (the last may be ragged).
+    pub fn n_chunks(&self) -> usize {
+        assert!(self.chunk_bytes > 0, "chunk_bytes must be positive");
+        self.total_bytes.div_ceil(self.chunk_bytes) as usize
+    }
+
+    /// Size of chunk `c` in bytes.
+    pub fn chunk_size(&self, c: usize) -> u64 {
+        let start = c as u64 * self.chunk_bytes;
+        self.chunk_bytes.min(self.total_bytes - start.min(self.total_bytes))
+    }
+
+    /// Total simulated threads the schedule occupies.
+    pub fn threads(&self) -> usize {
+        match self.placement {
+            Placement::Implicit => self.p_comp,
+            _ => self.p_in + self.p_out + self.p_comp,
+        }
+    }
+
+    /// Basic feasibility checks shared by both backends.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.total_bytes == 0 {
+            return Err("total_bytes must be positive".into());
+        }
+        if self.chunk_bytes == 0 {
+            return Err("chunk_bytes must be positive".into());
+        }
+        if self.p_comp == 0 {
+            return Err("need at least one compute thread".into());
+        }
+        if self.placement != Placement::Implicit && (self.p_in == 0 || self.p_out == 0) {
+            return Err("explicit pipelines need copy-in and copy-out threads".into());
+        }
+        if self.compute_passes == 0 {
+            return Err("compute_passes must be >= 1".into());
+        }
+        if self.compute_rate <= 0.0 || self.copy_rate <= 0.0 {
+            return Err("rates must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> PipelineSpec {
+        PipelineSpec {
+            total_bytes: 100,
+            chunk_bytes: 30,
+            p_in: 2,
+            p_out: 2,
+            p_comp: 4,
+            compute_passes: 1,
+            compute_rate: 1e9,
+            copy_rate: 1e9,
+            placement: Placement::Hbw,
+            lockstep: true,
+            data_addr: 0,
+        }
+    }
+
+    #[test]
+    fn chunk_math_handles_ragged_tail() {
+        let s = spec();
+        assert_eq!(s.n_chunks(), 4);
+        assert_eq!(s.chunk_size(0), 30);
+        assert_eq!(s.chunk_size(2), 30);
+        assert_eq!(s.chunk_size(3), 10);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn exact_division_has_no_tail() {
+        let mut s = spec();
+        s.total_bytes = 90;
+        assert_eq!(s.n_chunks(), 3);
+        assert_eq!(s.chunk_size(2), 30);
+    }
+
+    #[test]
+    fn thread_accounting_by_placement() {
+        let mut s = spec();
+        assert_eq!(s.threads(), 8);
+        s.placement = Placement::Implicit;
+        assert_eq!(s.threads(), 4);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        let mut s = spec();
+        s.total_bytes = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = spec();
+        s.p_comp = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = spec();
+        s.p_in = 0;
+        assert!(s.validate().is_err());
+
+        // Implicit mode doesn't need copy pools.
+        let mut s = spec();
+        s.placement = Placement::Implicit;
+        s.p_in = 0;
+        s.p_out = 0;
+        assert!(s.validate().is_ok());
+
+        let mut s = spec();
+        s.compute_passes = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = spec();
+        s.copy_rate = 0.0;
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,415 @@
+//! Real, correctness-checked implementations of the sort variants.
+//!
+//! Host memory has one level, so the explicit "copy to MCDRAM" steps
+//! degenerate to buffer copies — but every algorithmic step (megachunk
+//! split, per-thread serial sorts, multiway merges, final merge) runs for
+//! real, which is what validates the sim builders' schedules and feeds the
+//! native Criterion benchmarks.
+
+use parsort::multiway::parallel_multiway_merge_into;
+use parsort::parallel::{parallel_mergesort, sort_chunks_serial, split_borrows};
+use parsort::pool::{split_range, WorkPool};
+
+use super::SortAlgorithm;
+
+/// Execution statistics of a host sort run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostSortStats {
+    /// Megachunks processed (1 when the megachunk covers the input).
+    pub megachunks: usize,
+    /// Serial chunk sorts performed.
+    pub chunk_sorts: usize,
+    /// Wall-clock duration.
+    pub elapsed: std::time::Duration,
+}
+
+/// Sort `data` with the MLM-sort structure (paper §4): split into
+/// megachunks of at most `megachunk_elems`; within each, one serial sort
+/// per pool thread followed by a parallel multiway merge; finally a
+/// parallel multiway merge across megachunks.
+///
+/// `explicit_copy = true` mirrors MLM-sort (the megachunk is staged through
+/// a separate buffer, as flat-mode MCDRAM requires); `false` mirrors
+/// MLM-implicit / MLM-ddr (sort in place, merge through scratch).
+pub fn mlm_sort<T: Ord + Copy + Send + Sync>(
+    pool: &WorkPool,
+    data: &mut [T],
+    megachunk_elems: usize,
+    explicit_copy: bool,
+) -> HostSortStats {
+    let start = std::time::Instant::now();
+    let n = data.len();
+    assert!(megachunk_elems > 0, "megachunk must be positive");
+    if n < 2 {
+        return HostSortStats { megachunks: n.min(1), chunk_sorts: 0, elapsed: start.elapsed() };
+    }
+    let k = n.div_ceil(megachunk_elems);
+    let p = pool.threads();
+    let mut scratch = data.to_vec();
+    let mut chunk_sorts = 0usize;
+
+    for m in 0..k {
+        let lo = m * megachunk_elems;
+        let hi = ((m + 1) * megachunk_elems).min(n);
+        let mega = hi - lo;
+        let parts = p.min(mega);
+        chunk_sorts += parts;
+        if explicit_copy {
+            // "Copy-in": stage the megachunk in the buffer, sort there,
+            // merge back out to the original array (MCDRAM -> DDR).
+            parallel_copy(pool, &data[lo..hi], &mut scratch[lo..hi]);
+            sort_chunks_serial(pool, chunks_of(&mut scratch[lo..hi], parts));
+            let runs = split_borrows(&scratch[lo..hi], parts);
+            parallel_multiway_merge_into(pool, &runs, &mut data[lo..hi]);
+        } else {
+            // Implicit: sort in place, merge through scratch, copy back.
+            sort_chunks_serial(pool, chunks_of(&mut data[lo..hi], parts));
+            let runs = split_borrows(&data[lo..hi], parts);
+            parallel_multiway_merge_into(pool, &runs, &mut scratch[lo..hi]);
+            parallel_copy(pool, &scratch[lo..hi], &mut data[lo..hi]);
+        }
+    }
+
+    if k > 1 {
+        // Final multiway merge of the sorted megachunk runs.
+        let runs: Vec<&[T]> = (0..k)
+            .map(|m| {
+                let lo = m * megachunk_elems;
+                let hi = ((m + 1) * megachunk_elems).min(n);
+                &data[lo..hi]
+            })
+            .collect();
+        parallel_multiway_merge_into(pool, &runs, &mut scratch);
+        parallel_copy(pool, &scratch, data);
+    }
+
+    HostSortStats { megachunks: k, chunk_sorts, elapsed: start.elapsed() }
+}
+
+/// The "basic algorithm" of §4: megachunks sorted with the *parallel*
+/// mergesort (Bender et al.'s scheme), then a final multiway merge.
+pub fn basic_chunked_sort<T: Ord + Copy + Send + Sync>(
+    pool: &WorkPool,
+    data: &mut [T],
+    megachunk_elems: usize,
+) -> HostSortStats {
+    let start = std::time::Instant::now();
+    let n = data.len();
+    assert!(megachunk_elems > 0, "megachunk must be positive");
+    if n < 2 {
+        return HostSortStats { megachunks: n.min(1), chunk_sorts: 0, elapsed: start.elapsed() };
+    }
+    let k = n.div_ceil(megachunk_elems);
+    for m in 0..k {
+        let lo = m * megachunk_elems;
+        let hi = ((m + 1) * megachunk_elems).min(n);
+        parallel_mergesort(pool, &mut data[lo..hi]);
+    }
+    if k > 1 {
+        let mut scratch = data.to_vec();
+        let runs: Vec<&[T]> = (0..k)
+            .map(|m| &data[m * megachunk_elems..((m + 1) * megachunk_elems).min(n)])
+            .collect();
+        parallel_multiway_merge_into(pool, &runs, &mut scratch);
+        parallel_copy(pool, &scratch, data);
+    }
+    HostSortStats { megachunks: k, chunk_sorts: 0, elapsed: start.elapsed() }
+}
+
+/// MLM-sort with double-buffered megachunks (the paper's §6 future work):
+/// while the pool sorts the chunks of megachunk `m` (staged in buffer
+/// `m % 2`), it concurrently copies megachunk `m + 1` into the other
+/// buffer, hiding the copy-in latency behind the sort phase.
+pub fn mlm_sort_buffered<T: Ord + Copy + Send + Sync>(
+    pool: &WorkPool,
+    data: &mut [T],
+    megachunk_elems: usize,
+) -> HostSortStats {
+    let start = std::time::Instant::now();
+    let n = data.len();
+    assert!(megachunk_elems > 0, "megachunk must be positive");
+    if n < 2 {
+        return HostSortStats { megachunks: n.min(1), chunk_sorts: 0, elapsed: start.elapsed() };
+    }
+    let k = n.div_ceil(megachunk_elems);
+    let p = pool.threads();
+    let mut chunk_sorts = 0usize;
+
+    let bounds = |m: usize| -> (usize, usize) {
+        (m * megachunk_elems, ((m + 1) * megachunk_elems).min(n))
+    };
+
+    // Two staging buffers ("the two halves of MCDRAM").
+    let mut bufs: [Vec<T>; 2] = [Vec::new(), Vec::new()];
+    {
+        // Prime: stage megachunk 0.
+        let (lo, hi) = bounds(0);
+        bufs[0].clear();
+        bufs[0].extend_from_slice(&data[lo..hi]);
+    }
+
+    for m in 0..k {
+        let (lo, hi) = bounds(m);
+        let mega = hi - lo;
+        let parts = p.min(mega);
+        chunk_sorts += parts;
+
+        // Split the two buffers so the copy-in of m+1 and the chunk sorts
+        // of m can run in one scoped batch.
+        let (cur, next) = {
+            let (a, b) = bufs.split_at_mut(1);
+            if m % 2 == 0 { (&mut a[0], &mut b[0]) } else { (&mut b[0], &mut a[0]) }
+        };
+
+        // Prepare the prefetch destination.
+        let prefetch_src = if m + 1 < k {
+            let (nlo, nhi) = bounds(m + 1);
+            next.clear();
+            next.resize(nhi - nlo, data[0]);
+            Some(&data[nlo..nhi])
+        } else {
+            None
+        };
+
+        {
+            // One batch: sort tasks on `cur` + copy tasks into `next`.
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+            for chunk in chunks_of(cur, parts) {
+                tasks.push(Box::new(move || parsort::serial::introsort(chunk)));
+            }
+            if let Some(src) = prefetch_src {
+                let copy_parts = 4.min(src.len()).max(1);
+                let mut rest: &mut [T] = next;
+                for t in 0..copy_parts {
+                    let (s, e) = split_range(src.len(), copy_parts, t);
+                    let (head, tail) = rest.split_at_mut(e - s);
+                    rest = tail;
+                    let sr = &src[s..e];
+                    tasks.push(Box::new(move || head.copy_from_slice(sr)));
+                }
+            }
+            pool.scoped(tasks);
+        }
+
+        // Merge the sorted chunk runs of `cur` out to the original array.
+        let runs = split_borrows(cur, parts);
+        parallel_multiway_merge_into(pool, &runs, &mut data[lo..hi]);
+    }
+
+    if k > 1 {
+        let mut scratch = data.to_vec();
+        let runs: Vec<&[T]> = (0..k)
+            .map(|m| {
+                let (lo, hi) = bounds(m);
+                &data[lo..hi]
+            })
+            .collect();
+        parallel_multiway_merge_into(pool, &runs, &mut scratch);
+        parallel_copy(pool, &scratch, data);
+    }
+
+    HostSortStats { megachunks: k, chunk_sorts, elapsed: start.elapsed() }
+}
+
+/// Dispatch a host-scale run of any Table-1 variant. The MCDRAM
+/// *placement* differences vanish on the host (one memory level); the
+/// *algorithmic* differences — GNU vs MLM structure, explicit staging vs
+/// in-place — are preserved.
+pub fn run_host_sort<T: Ord + Copy + Send + Sync>(
+    pool: &WorkPool,
+    alg: SortAlgorithm,
+    data: &mut [T],
+    megachunk_elems: usize,
+) -> HostSortStats {
+    match alg {
+        SortAlgorithm::GnuFlat | SortAlgorithm::GnuCache | SortAlgorithm::GnuNumactl => {
+            let start = std::time::Instant::now();
+            parallel_mergesort(pool, data);
+            HostSortStats { megachunks: 1, chunk_sorts: 0, elapsed: start.elapsed() }
+        }
+        SortAlgorithm::MlmDdr | SortAlgorithm::MlmImplicit => {
+            mlm_sort(pool, data, megachunk_elems, false)
+        }
+        SortAlgorithm::MlmSort => mlm_sort(pool, data, megachunk_elems, true),
+        SortAlgorithm::BasicChunked => basic_chunked_sort(pool, data, megachunk_elems),
+        SortAlgorithm::MlmSortBuffered => mlm_sort_buffered(pool, data, megachunk_elems),
+    }
+}
+
+/// Split a slice into `parts` near-equal mutable chunks.
+fn chunks_of<T>(data: &mut [T], parts: usize) -> Vec<&mut [T]> {
+    let len = data.len();
+    let mut out = Vec::with_capacity(parts);
+    let mut rest = data;
+    for i in 0..parts {
+        let (s, e) = split_range(len, parts, i);
+        let (head, tail) = rest.split_at_mut(e - s);
+        out.push(head);
+        rest = tail;
+    }
+    out
+}
+
+/// Copy `src` to `dst` using every pool thread (the host stand-in for the
+/// copy-in / copy-out pools).
+pub fn parallel_copy<T: Copy + Send + Sync>(pool: &WorkPool, src: &[T], dst: &mut [T]) {
+    assert_eq!(src.len(), dst.len());
+    if src.is_empty() {
+        return;
+    }
+    let parts = pool.threads().min(src.len());
+    let len = src.len();
+    let mut rest = dst;
+    let mut tasks = Vec::with_capacity(parts);
+    for t in 0..parts {
+        let (s, e) = split_range(len, parts, t);
+        let (head, tail) = rest.split_at_mut(e - s);
+        rest = tail;
+        let sr = &src[s..e];
+        tasks.push(move || head.copy_from_slice(sr));
+    }
+    pool.scoped(tasks);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate_keys, InputOrder};
+    use parsort::serial::is_sorted;
+
+    fn check_full_sort(alg: SortAlgorithm, n: usize, mega: usize, order: InputOrder) {
+        let pool = WorkPool::new(4);
+        let mut v = generate_keys(n, order, 42);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let stats = run_host_sort(&pool, alg, &mut v, mega);
+        assert_eq!(v, expect, "{alg:?} n={n} mega={mega} {order:?}");
+        assert!(stats.elapsed.as_nanos() > 0 || n < 2);
+    }
+
+    #[test]
+    fn every_variant_sorts_random_input() {
+        for alg in SortAlgorithm::TABLE1 {
+            check_full_sort(alg, 10_000, 3_000, InputOrder::Random);
+        }
+        check_full_sort(SortAlgorithm::BasicChunked, 10_000, 3_000, InputOrder::Random);
+    }
+
+    #[test]
+    fn every_variant_sorts_reverse_input() {
+        for alg in SortAlgorithm::TABLE1 {
+            check_full_sort(alg, 8_192, 1_000, InputOrder::Reverse);
+        }
+    }
+
+    #[test]
+    fn mlm_sort_explicit_and_implicit_agree() {
+        let pool = WorkPool::new(4);
+        let base = generate_keys(50_000, InputOrder::Random, 7);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        mlm_sort(&pool, &mut a, 12_000, true);
+        mlm_sort(&pool, &mut b, 12_000, false);
+        assert_eq!(a, b);
+        assert!(is_sorted(&a));
+    }
+
+    #[test]
+    fn megachunk_equal_to_input_is_single_chunk() {
+        let pool = WorkPool::new(4);
+        let mut v = generate_keys(5_000, InputOrder::Random, 3);
+        let stats = mlm_sort(&pool, &mut v, 5_000, false);
+        assert_eq!(stats.megachunks, 1);
+        assert!(is_sorted(&v));
+    }
+
+    #[test]
+    fn megachunk_larger_than_input_is_fine() {
+        let pool = WorkPool::new(2);
+        let mut v = generate_keys(1_000, InputOrder::Random, 3);
+        let stats = mlm_sort(&pool, &mut v, 1 << 30, true);
+        assert_eq!(stats.megachunks, 1);
+        assert!(is_sorted(&v));
+    }
+
+    #[test]
+    fn tiny_and_empty_inputs() {
+        let pool = WorkPool::new(4);
+        let mut v: Vec<i64> = vec![];
+        mlm_sort(&pool, &mut v, 10, true);
+        let mut v = vec![5i64];
+        mlm_sort(&pool, &mut v, 10, false);
+        assert_eq!(v, [5]);
+        let mut v = vec![2i64, 1];
+        mlm_sort(&pool, &mut v, 1, true);
+        assert_eq!(v, [1, 2]);
+    }
+
+    #[test]
+    fn ragged_megachunks_sort_correctly() {
+        let pool = WorkPool::new(3);
+        let mut v = generate_keys(10_007, InputOrder::Random, 9);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let stats = mlm_sort(&pool, &mut v, 3_000, true);
+        assert_eq!(stats.megachunks, 4);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn chunk_sort_count_matches_structure() {
+        let pool = WorkPool::new(4);
+        let mut v = generate_keys(8_000, InputOrder::Random, 1);
+        let stats = mlm_sort(&pool, &mut v, 2_000, true);
+        assert_eq!(stats.megachunks, 4);
+        assert_eq!(stats.chunk_sorts, 16, "4 megachunks x 4 pool threads");
+    }
+
+    #[test]
+    fn duplicates_survive_all_variants() {
+        let pool = WorkPool::new(4);
+        for alg in SortAlgorithm::TABLE1 {
+            let input: Vec<i64> = (0..9_999).map(|i| i % 13).collect();
+            let twelves = input.iter().filter(|&&x| x == 12).count();
+            let mut v = input;
+            run_host_sort(&pool, alg, &mut v, 2_500);
+            assert!(is_sorted(&v));
+            assert_eq!(v.iter().filter(|&&x| x == 12).count(), twelves, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn buffered_variant_sorts_correctly() {
+        let pool = WorkPool::new(4);
+        for (n, mega) in [(50_000usize, 12_000usize), (10_007, 2_000), (1_000, 1 << 20)] {
+            for order in [InputOrder::Random, InputOrder::Reverse] {
+                let mut v = generate_keys(n, order, 17);
+                let mut expect = v.clone();
+                expect.sort_unstable();
+                let stats = mlm_sort_buffered(&pool, &mut v, mega);
+                assert_eq!(v, expect, "n={n} mega={mega} {order:?}");
+                assert_eq!(stats.megachunks, n.div_ceil(mega));
+            }
+        }
+    }
+
+    #[test]
+    fn buffered_variant_matches_plain_mlm_sort() {
+        let pool = WorkPool::new(6);
+        let base = generate_keys(60_000, InputOrder::Random, 23);
+        let mut a = base.clone();
+        let mut b = base;
+        mlm_sort(&pool, &mut a, 14_000, true);
+        mlm_sort_buffered(&pool, &mut b, 14_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_copy_is_exact() {
+        let pool = WorkPool::new(4);
+        let src: Vec<i64> = (0..12_345).collect();
+        let mut dst = vec![0i64; 12_345];
+        parallel_copy(&pool, &src, &mut dst);
+        assert_eq!(src, dst);
+    }
+}

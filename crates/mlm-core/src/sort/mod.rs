@@ -1,0 +1,120 @@
+//! MLM-sort and its competitors (paper §4).
+//!
+//! Five algorithm variants appear in the paper's Table 1 / Figure 6:
+//!
+//! | name           | structure                                   | MCDRAM use           |
+//! |----------------|---------------------------------------------|----------------------|
+//! | `GNU-flat`     | parallel multiway mergesort                 | none (DDR only)      |
+//! | `GNU-cache`    | parallel multiway mergesort                 | hardware cache       |
+//! | `MLM-ddr`      | MLM-sort structure, buffers in DDR          | none                 |
+//! | `MLM-sort`     | megachunks copied to MCDRAM, serial chunk sorts, multiway merges | flat-mode scratchpad |
+//! | `MLM-implicit` | MLM-sort code, no explicit copies           | hardware cache       |
+//!
+//! [`host`] executes real, correctness-checked implementations at host
+//! scale; [`sim`] lowers the same algorithms to op graphs for paper-scale
+//! virtual-time runs.
+
+pub mod host;
+pub mod sim;
+
+use serde::{Deserialize, Serialize};
+
+/// The algorithm variants of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SortAlgorithm {
+    /// GNU parallel sort on DDR-resident data, flat mode.
+    GnuFlat,
+    /// GNU parallel sort with MCDRAM as hardware cache.
+    GnuCache,
+    /// MLM-sort structure with all buffers in DDR (no MCDRAM at all).
+    MlmDdr,
+    /// MLM-sort: explicit chunking through flat-mode MCDRAM.
+    MlmSort,
+    /// MLM-implicit: MLM-sort's chunked code in hardware cache mode.
+    MlmImplicit,
+    /// The "basic algorithm" of §4: chunk + *parallel* sort per megachunk
+    /// (Bender et al.'s simplified scheme) in flat mode.
+    BasicChunked,
+    /// GNU parallel sort with `numactl --preferred`-style placement
+    /// (paper §2.4, the Li et al. configuration): no chunking; the key
+    /// array simply lands in MCDRAM until it is full and spills the
+    /// remainder to DDR. Fast while the data fits, cliff beyond.
+    GnuNumactl,
+    /// MLM-sort with double-buffered megachunks: a dedicated copy pool
+    /// prefetches megachunk `m+1` into the second half of MCDRAM while the
+    /// compute pool sorts and merges megachunk `m` — the paper's §6 future
+    /// work ("a slightly different approach might allow hiding the copy-in
+    /// latency of the next megachunk"). Megachunks are capped at MCDRAM/2.
+    MlmSortBuffered,
+}
+
+impl SortAlgorithm {
+    /// The five variants of Table 1, in its row order.
+    pub const TABLE1: [SortAlgorithm; 5] = [
+        SortAlgorithm::GnuFlat,
+        SortAlgorithm::GnuCache,
+        SortAlgorithm::MlmDdr,
+        SortAlgorithm::MlmSort,
+        SortAlgorithm::MlmImplicit,
+    ];
+
+    /// Label used in tables (matches the paper's).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SortAlgorithm::GnuFlat => "GNU-flat",
+            SortAlgorithm::GnuCache => "GNU-cache",
+            SortAlgorithm::MlmDdr => "MLM-ddr",
+            SortAlgorithm::MlmSort => "MLM-sort",
+            SortAlgorithm::MlmImplicit => "MLM-implicit",
+            SortAlgorithm::BasicChunked => "basic-chunked",
+            SortAlgorithm::GnuNumactl => "GNU-numactl",
+            SortAlgorithm::MlmSortBuffered => "MLM-sort-buffered",
+        }
+    }
+
+    /// Does this variant require the machine to expose a hardware cache?
+    pub fn needs_cache_mode(&self) -> bool {
+        matches!(self, SortAlgorithm::GnuCache | SortAlgorithm::MlmImplicit)
+    }
+
+    /// Does this variant require flat-addressable MCDRAM?
+    pub fn needs_flat_mcdram(&self) -> bool {
+        matches!(
+            self,
+            SortAlgorithm::MlmSort
+                | SortAlgorithm::BasicChunked
+                | SortAlgorithm::MlmSortBuffered
+                | SortAlgorithm::GnuNumactl
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_five_labeled_variants() {
+        let labels: Vec<&str> = SortAlgorithm::TABLE1.iter().map(|a| a.label()).collect();
+        assert_eq!(
+            labels,
+            ["GNU-flat", "GNU-cache", "MLM-ddr", "MLM-sort", "MLM-implicit"]
+        );
+    }
+
+    #[test]
+    fn mode_requirements() {
+        assert!(SortAlgorithm::GnuCache.needs_cache_mode());
+        assert!(SortAlgorithm::MlmImplicit.needs_cache_mode());
+        assert!(!SortAlgorithm::MlmSort.needs_cache_mode());
+        assert!(SortAlgorithm::MlmSort.needs_flat_mcdram());
+        assert!(SortAlgorithm::BasicChunked.needs_flat_mcdram());
+        assert!(SortAlgorithm::MlmSortBuffered.needs_flat_mcdram());
+        assert!(SortAlgorithm::GnuNumactl.needs_flat_mcdram());
+        assert_eq!(SortAlgorithm::GnuNumactl.label(), "GNU-numactl");
+        assert!(!SortAlgorithm::MlmSortBuffered.needs_cache_mode());
+        assert_eq!(SortAlgorithm::MlmSortBuffered.label(), "MLM-sort-buffered");
+        assert!(!SortAlgorithm::GnuFlat.needs_flat_mcdram());
+        assert!(!SortAlgorithm::MlmDdr.needs_flat_mcdram());
+    }
+}

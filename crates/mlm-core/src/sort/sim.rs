@@ -1,0 +1,910 @@
+//! Lowering the sort variants to simulated op graphs.
+//!
+//! Every variant is expressed as a sequence of *phases* (serial chunk
+//! sorts, multiway merges, bulk copies) separated by fork/join barriers,
+//! mirroring the host implementations in [`super::host`] step for step.
+//! Compute rates come from [`Calibration`]; bandwidth contention, DDR
+//! saturation, and MCDRAM-cache behaviour then emerge from the
+//! [`knl_sim`] engine.
+//!
+//! ## Cache-mode sort residency
+//!
+//! Serial introsort is recursive: at recursion level `l` the active working
+//! set is `block/2^l`. On the real machine the MCDRAM cache is *physically*
+//! indexed and the OS scatters pages, so two threads' blocks rarely alias
+//! even when the total data exceeds the cache. An address-exact model over
+//! virtually-contiguous arrays would grossly overestimate conflict misses,
+//! so sort phases model residency analytically: the first pass is issued
+//! through the real cache model (cold misses, fills, penalties), and each
+//! deeper level is MCDRAM-served iff the machine-wide active working set
+//! (one subproblem per thread) fits the cache. Bulk copies and merges are
+//! sequential streams, where address-exact cache modeling is accurate —
+//! they go through [`Place::CachedDdr`].
+
+use knl_sim::machine::MachineConfig;
+use knl_sim::ops::{Access, OpId, OpKind, Place, Program};
+
+use super::SortAlgorithm;
+use crate::calibration::Calibration;
+use crate::workload::{InputOrder, SortWorkload};
+
+/// Copy-pool size for [`SortAlgorithm::MlmSortBuffered`]: small, because
+/// prefetching a megachunk is brief and every copy thread is a compute
+/// thread forgone (the §5 tradeoff).
+pub const BUFFERED_COPY_THREADS: usize = 4;
+
+/// Where a sort/merge phase's data is served from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DataPlace {
+    /// Uncached DDR (flat mode).
+    Ddr,
+    /// Flat-mode MCDRAM.
+    Mcdram,
+    /// DDR range at the given base address, through the MCDRAM cache.
+    Cached(u64),
+}
+
+impl DataPlace {
+    fn place_at(&self, offset: u64) -> Place {
+        match *self {
+            DataPlace::Ddr => Place::Ddr,
+            DataPlace::Mcdram => Place::Mcdram,
+            DataPlace::Cached(base) => Place::CachedDdr { addr: base + offset },
+        }
+    }
+}
+
+/// Builder state shared by all phase emitters.
+struct SortBuilder<'a> {
+    prog: Program,
+    threads: usize,
+    cal: &'a Calibration,
+    machine: &'a MachineConfig,
+    barrier: Vec<OpId>,
+}
+
+impl<'a> SortBuilder<'a> {
+    fn new(threads: usize, cal: &'a Calibration, machine: &'a MachineConfig) -> Self {
+        SortBuilder { prog: Program::new(threads), threads, cal, machine, barrier: Vec::new() }
+    }
+
+    /// Close a phase: every thread joins (paying the fork/join overhead),
+    /// and subsequent phases depend on the join.
+    fn join_phase(&mut self, phase_ops: &[OpId]) {
+        let overhead = self.cal.phase_overhead;
+        self.barrier = (0..self.threads)
+            .map(|t| self.prog.push(t, OpKind::Delay { seconds: overhead }, phase_ops))
+            .collect();
+    }
+
+    /// Contiguous byte share `(offset, len)` of thread `t` out of `total`.
+    fn share(&self, total: u64, t: usize) -> (u64, u64) {
+        let p = self.threads as u64;
+        let base = total / p;
+        let extra = total % p;
+        let t64 = t as u64;
+        let offset = t64 * base + t64.min(extra);
+        let len = base + u64::from(t64 < extra);
+        (offset, len)
+    }
+
+    /// Emit one serial-sort phase: every thread introsorts a `block_elems`
+    /// chunk residing at `place` (for [`DataPlace::Cached`], thread `t`'s
+    /// block starts at `base + t * block_bytes`).
+    ///
+    /// `rate_mult` applies the GNU efficiency penalty when modeling the
+    /// baseline.
+    fn serial_sort_phase(
+        &mut self,
+        block_elems: u64,
+        elem_bytes: u64,
+        order: InputOrder,
+        place: DataPlace,
+        rate_mult: f64,
+    ) {
+        if block_elems == 0 {
+            return;
+        }
+        let block_bytes = block_elems * elem_bytes;
+        let passes = self.cal.sort_passes(block_elems as usize);
+        let s_sort = self.cal.sort_rate(order) * rate_mult;
+        // Cache-resident recursion levels: pure compute, no bus traffic,
+        // identical whichever memory level holds the block.
+        let incache_seconds = block_elems as f64 * self.cal.incache_time(order) / rate_mult;
+        let boost = self.cal.mcdram_boost;
+        let mut ops = Vec::with_capacity(self.threads * 2);
+
+        for t in 0..self.threads {
+            match place {
+                DataPlace::Ddr => {
+                    let traffic = block_bytes * u64::from(passes);
+                    let id = self.prog.push(
+                        t,
+                        OpKind::Stream {
+                            accesses: vec![
+                                Access::read(Place::Ddr, traffic),
+                                Access::write(Place::Ddr, traffic),
+                            ],
+                            rate_cap: s_sort,
+                        },
+                        &self.barrier.clone(),
+                    );
+                    ops.push(id);
+                }
+                DataPlace::Mcdram => {
+                    let traffic = block_bytes * u64::from(passes);
+                    let id = self.prog.push(
+                        t,
+                        OpKind::Stream {
+                            accesses: vec![
+                                Access::read(Place::Mcdram, traffic),
+                                Access::write(Place::Mcdram, traffic),
+                            ],
+                            rate_cap: s_sort * boost,
+                        },
+                        &self.barrier.clone(),
+                    );
+                    ops.push(id);
+                }
+                DataPlace::Cached(base) => {
+                    let addr = base + t as u64 * block_bytes;
+                    // Pass 0: cold, through the real cache model.
+                    let deps = self.barrier.clone();
+                    let cold = self.prog.push(
+                        t,
+                        OpKind::Stream {
+                            accesses: vec![
+                                Access::read(Place::CachedDdr { addr }, block_bytes),
+                                Access::write(Place::CachedDdr { addr }, block_bytes),
+                            ],
+                            rate_cap: s_sort,
+                        },
+                        &deps,
+                    );
+                    ops.push(cold);
+
+                    // Deeper levels: analytic residency split. A recursion
+                    // level is MCDRAM-served when the machine-wide *active*
+                    // working set (one subproblem per thread) fits the
+                    // cache — total data size is irrelevant because each
+                    // thread only touches its current subproblem, which is
+                    // exactly the paper's explanation for MLM-implicit's
+                    // megachunk-equals-problem-size win.
+                    let eff_cache = self.machine.effective_cache_capacity() as f64;
+                    let per_thread_cache = eff_cache / self.threads as f64;
+                    let mut warm = 0u64;
+                    let mut cold_levels = 0u64;
+                    for l in 1..passes {
+                        let sub = block_bytes as f64 / 2f64.powi(l as i32);
+                        if sub <= per_thread_cache {
+                            warm += 1;
+                        } else {
+                            cold_levels += 1;
+                        }
+                    }
+                    if warm > 0 {
+                        let half = block_bytes * warm;
+                        let id = self.prog.push(
+                            t,
+                            OpKind::Stream {
+                                accesses: vec![
+                                    Access::read(Place::Mcdram, half),
+                                    Access::write(Place::Mcdram, half),
+                                ],
+                                rate_cap: s_sort * boost,
+                            },
+                            &[cold],
+                        );
+                        ops.push(id);
+                    }
+                    if cold_levels > 0 {
+                        // Capacity/conflict-missing levels: DDR read+write
+                        // plus MCDRAM fill traffic; rate scaled so the data
+                        // traffic (2 x half) still moves at `s_sort`.
+                        let half = block_bytes * cold_levels;
+                        let id = self.prog.push(
+                            t,
+                            OpKind::Stream {
+                                accesses: vec![
+                                    Access::read(Place::Ddr, half),
+                                    Access::write(Place::Ddr, half),
+                                    Access::write(Place::Mcdram, half),
+                                ],
+                                rate_cap: s_sort * 1.5,
+                            },
+                            &[cold],
+                        );
+                        ops.push(id);
+                    }
+                }
+            }
+            if incache_seconds > 0.0 {
+                // Program order on the thread serializes this after the
+                // thread's memory passes.
+                let id = self.prog.push(t, OpKind::Delay { seconds: incache_seconds }, &[]);
+                ops.push(id);
+            }
+        }
+        self.join_phase(&ops);
+    }
+
+    /// Emit one parallel multiway-merge phase over `total_bytes` of data in
+    /// `k` runs: each thread streams its share from `src` to `dst`.
+    /// `order_boost` controls whether the merge rate benefits from
+    /// structured input: MLM's plain loser-tree merges do (disjoint runs
+    /// from reverse-sorted input keep the tournament winner stable), but
+    /// the paper's GNU-baseline timings show no such benefit in its merge
+    /// phase, so the GNU variants pass `false` (see EXPERIMENTS.md).
+    #[allow(clippy::too_many_arguments)]
+    fn multiway_merge_phase(
+        &mut self,
+        total_bytes: u64,
+        k: usize,
+        order: InputOrder,
+        src: DataPlace,
+        dst: DataPlace,
+        rate_mult: f64,
+        order_boost: bool,
+    ) {
+        let rate = if order_boost {
+            self.cal.multiway_rate_ordered(k, order)
+        } else {
+            self.cal.multiway_rate(k)
+        } * rate_mult;
+        let mut ops = Vec::with_capacity(self.threads);
+        for t in 0..self.threads {
+            let (offset, len) = self.share(total_bytes, t);
+            if len == 0 {
+                continue;
+            }
+            let id = self.prog.push(
+                t,
+                OpKind::Stream {
+                    accesses: vec![
+                        Access::read(src.place_at(offset), len),
+                        Access::write(dst.place_at(offset), len),
+                    ],
+                    rate_cap: rate,
+                },
+                &self.barrier.clone(),
+            );
+            ops.push(id);
+        }
+        self.join_phase(&ops);
+    }
+
+    /// Emit one bulk-copy phase: all threads cooperatively move
+    /// `total_bytes` from `src` to `dst` at the machine's `S_copy`.
+    fn copy_phase(&mut self, total_bytes: u64, src: DataPlace, dst: DataPlace) {
+        let rate = self.machine.per_thread_copy_bw;
+        let mut ops = Vec::with_capacity(self.threads);
+        for t in 0..self.threads {
+            let (offset, len) = self.share(total_bytes, t);
+            if len == 0 {
+                continue;
+            }
+            let id = self.prog.push(
+                t,
+                OpKind::Copy {
+                    src: src.place_at(offset),
+                    dst: dst.place_at(offset),
+                    bytes: len,
+                    rate_cap: rate,
+                },
+                &self.barrier.clone(),
+            );
+            ops.push(id);
+        }
+        self.join_phase(&ops);
+    }
+}
+
+/// Build the simulated program for one Table-1 sort run.
+///
+/// Address layout: the key array occupies DDR `[0, n_bytes)`; the merge
+/// scratch occupies `[n_bytes, 2 n_bytes)`. `threads` is the paper's 256.
+///
+/// Returns an error if the variant is incompatible with the machine's
+/// memory mode (e.g. `MLM-sort` on a cache-mode machine) or if the
+/// megachunk cannot fit the addressable MCDRAM where it must.
+pub fn build_sort_program(
+    machine: &MachineConfig,
+    cal: &Calibration,
+    w: SortWorkload,
+    alg: SortAlgorithm,
+    megachunk_elems: u64,
+    threads: usize,
+) -> Result<Program, String> {
+    cal.validate()?;
+    machine.validate().map_err(|e| e.to_string())?;
+    if w.n == 0 {
+        return Err("empty workload".into());
+    }
+    if megachunk_elems == 0 {
+        return Err("megachunk must be positive".into());
+    }
+    if threads == 0 {
+        return Err("need at least one thread".into());
+    }
+    if alg.needs_cache_mode() && !machine.mode.has_cache() {
+        return Err(format!("{} requires a cache-mode machine", alg.label()));
+    }
+    if alg.needs_flat_mcdram() && machine.addressable_mcdram() == 0 {
+        return Err(format!("{} requires flat-addressable MCDRAM", alg.label()));
+    }
+
+    let elem = u64::from(w.elem_bytes);
+    let n_bytes = w.bytes();
+    let data = 0u64;
+    let scratch = n_bytes;
+    let order = w.order;
+
+    let mega_elems = megachunk_elems.min(w.n);
+    let mega_bytes = mega_elems * elem;
+    let k_megas = w.n.div_ceil(mega_elems) as usize;
+
+    // GNU-numactl is unchunked: its data spills past MCDRAM by design, so
+    // the megachunk feasibility check does not apply to it.
+    if alg.needs_flat_mcdram()
+        && alg != SortAlgorithm::GnuNumactl
+        && mega_bytes > machine.addressable_mcdram()
+    {
+        return Err(format!(
+            "megachunk of {mega_bytes} bytes exceeds addressable MCDRAM ({})",
+            machine.addressable_mcdram()
+        ));
+    }
+
+    let mut b = SortBuilder::new(threads, cal, machine);
+    let p = threads as u64;
+
+    match alg {
+        SortAlgorithm::GnuFlat | SortAlgorithm::GnuCache => {
+            let block = w.n.div_ceil(p);
+            let gnu = cal.gnu_efficiency;
+            let (sort_place, src, dst) = if alg == SortAlgorithm::GnuCache {
+                (DataPlace::Cached(data), DataPlace::Cached(data), DataPlace::Cached(scratch))
+            } else {
+                (DataPlace::Ddr, DataPlace::Ddr, DataPlace::Ddr)
+            };
+            b.serial_sort_phase(block, elem, order, sort_place, gnu);
+            b.multiway_merge_phase(n_bytes, threads, order, src, dst, gnu, false);
+            // Copy back from scratch into the caller's array, as the
+            // out-of-place GNU merge does.
+            let (cb_src, cb_dst) = if alg == SortAlgorithm::GnuCache {
+                (DataPlace::Cached(scratch), DataPlace::Cached(data))
+            } else {
+                (DataPlace::Ddr, DataPlace::Ddr)
+            };
+            b.copy_phase(n_bytes, cb_src, cb_dst);
+        }
+
+        SortAlgorithm::MlmDdr => {
+            for m in 0..k_megas {
+                let bytes = mega_size(w.n, mega_elems, m) * elem;
+                // Stage into the DDR buffer (the MLM structure's copy-in,
+                // pointed at DDR), sort serial chunks, merge back out.
+                b.copy_phase(bytes, DataPlace::Ddr, DataPlace::Ddr);
+                let chunk = mega_size(w.n, mega_elems, m).div_ceil(p);
+                b.serial_sort_phase(chunk, elem, order, DataPlace::Ddr, 1.0);
+                b.multiway_merge_phase(bytes, threads, order, DataPlace::Ddr, DataPlace::Ddr, 1.0, true);
+            }
+            if k_megas > 1 {
+                b.multiway_merge_phase(n_bytes, k_megas, order, DataPlace::Ddr, DataPlace::Ddr, 1.0, true);
+                b.copy_phase(n_bytes, DataPlace::Ddr, DataPlace::Ddr);
+            }
+        }
+
+        SortAlgorithm::MlmSort => {
+            for m in 0..k_megas {
+                let elems = mega_size(w.n, mega_elems, m);
+                let bytes = elems * elem;
+                let base = data + m as u64 * mega_bytes;
+                b.copy_phase(bytes, DataPlace::Cached(base), DataPlace::Mcdram);
+                let chunk = elems.div_ceil(p);
+                b.serial_sort_phase(chunk, elem, order, DataPlace::Mcdram, 1.0);
+                b.multiway_merge_phase(
+                    bytes,
+                    threads,
+                    order,
+                    DataPlace::Mcdram,
+                    DataPlace::Cached(base),
+                    1.0,
+                    true,
+                );
+            }
+            if k_megas > 1 {
+                b.multiway_merge_phase(
+                    n_bytes,
+                    k_megas,
+                    order,
+                    DataPlace::Cached(data),
+                    DataPlace::Cached(scratch),
+                    1.0,
+                    true,
+                );
+                b.copy_phase(n_bytes, DataPlace::Cached(scratch), DataPlace::Cached(data));
+            }
+        }
+
+        SortAlgorithm::MlmImplicit => {
+            for m in 0..k_megas {
+                let elems = mega_size(w.n, mega_elems, m);
+                let bytes = elems * elem;
+                let base = data + m as u64 * mega_bytes;
+                let chunk = elems.div_ceil(p);
+                b.serial_sort_phase(chunk, elem, order, DataPlace::Cached(base), 1.0);
+                b.multiway_merge_phase(
+                    bytes,
+                    threads,
+                    order,
+                    DataPlace::Cached(base),
+                    DataPlace::Cached(scratch + m as u64 * mega_bytes),
+                    1.0,
+                    true,
+                );
+                b.copy_phase(
+                    bytes,
+                    DataPlace::Cached(scratch + m as u64 * mega_bytes),
+                    DataPlace::Cached(base),
+                );
+            }
+            if k_megas > 1 {
+                b.multiway_merge_phase(
+                    n_bytes,
+                    k_megas,
+                    order,
+                    DataPlace::Cached(data),
+                    DataPlace::Cached(scratch),
+                    1.0,
+                    true,
+                );
+                b.copy_phase(n_bytes, DataPlace::Cached(scratch), DataPlace::Cached(data));
+            }
+        }
+
+        SortAlgorithm::GnuNumactl => {
+            // §2.4 (Li et al.): flat mode with `numactl --preferred` — the
+            // first `addressable_mcdram` bytes of the array live in MCDRAM,
+            // the spill in DDR; the unchunked GNU sort runs over the mix.
+            // Per-thread blocks are contiguous, so a `fit` fraction of the
+            // threads work MCDRAM-resident blocks and the rest DDR blocks.
+            let gnu = cal.gnu_efficiency;
+            let block = w.n.div_ceil(p);
+            let fit = (machine.addressable_mcdram() as f64 / n_bytes as f64).min(1.0);
+            let mcdram_threads = (threads as f64 * fit).round() as usize;
+            let passes = cal.sort_passes(block as usize);
+            let incache = block as f64 * cal.incache_time(order) / gnu;
+            let mut phase_ops = Vec::with_capacity(2 * threads);
+            for t in 0..threads {
+                let place = if t < mcdram_threads { Place::Mcdram } else { Place::Ddr };
+                let traffic = block * elem * u64::from(passes);
+                let rate = if t < mcdram_threads {
+                    cal.sort_rate(order) * cal.mcdram_boost * gnu
+                } else {
+                    cal.sort_rate(order) * gnu
+                };
+                let id = b.prog.push(
+                    t,
+                    OpKind::Stream {
+                        accesses: vec![Access::read(place, traffic), Access::write(place, traffic)],
+                        rate_cap: rate,
+                    },
+                    &[],
+                );
+                phase_ops.push(id);
+                phase_ops.push(b.prog.push(t, OpKind::Delay { seconds: incache }, &[]));
+            }
+            b.join_phase(&phase_ops);
+            // Unchunked multiway merge: reads the mixed-placement array,
+            // writes the scratch (DDR — the spill means scratch cannot be
+            // MCDRAM-resident). Model the read side by the same fraction.
+            let rate = cal.multiway_rate(threads) * gnu;
+            let mut merge_ops = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let (_, len) = b.share(n_bytes, t);
+                if len == 0 {
+                    continue;
+                }
+                let read_place = if t < mcdram_threads { Place::Mcdram } else { Place::Ddr };
+                let id = b.prog.push(
+                    t,
+                    OpKind::Stream {
+                        accesses: vec![
+                            Access::read(read_place, len),
+                            Access::write(Place::Ddr, len),
+                        ],
+                        rate_cap: rate,
+                    },
+                    &b.barrier.clone(),
+                );
+                merge_ops.push(id);
+            }
+            b.join_phase(&merge_ops);
+            b.copy_phase(n_bytes, DataPlace::Ddr, DataPlace::Ddr);
+        }
+
+        SortAlgorithm::MlmSortBuffered => {
+            // §6 future work: double-buffer megachunks so a small dedicated
+            // copy pool prefetches megachunk m+1 while the compute pool
+            // sorts and merges megachunk m. Two megachunks are resident,
+            // so each may only use half the scratchpad.
+            if 2 * mega_bytes > machine.addressable_mcdram() {
+                return Err("buffered MLM-sort needs megachunk <= MCDRAM/2".into());
+            }
+            // A small dedicated pool prefetches megachunk m+1 while the
+            // rest compute on m (the §5 lesson: copy threads are compute
+            // threads forgone, so keep the pool small). The *prime* copy
+            // of megachunk 0 has nothing to overlap with, so, as the
+            // paper's §3.2 notes about unoccupied pools, every thread
+            // helps with it.
+            let p_copy = BUFFERED_COPY_THREADS.min(threads.saturating_sub(1)).max(1);
+            let p_comp = threads - p_copy;
+            let comp0 = p_copy;
+            let mut copyin_done: Vec<Vec<OpId>> = vec![Vec::new(); k_megas];
+            let mut merge_done: Vec<Vec<OpId>> = vec![Vec::new(); k_megas];
+
+            for m in 0..k_megas {
+                let elems = mega_size(w.n, mega_elems, m);
+                let bytes = elems * elem;
+                let base = data + m as u64 * mega_bytes;
+
+                // Prefetch megachunk m; buffer (m % 2) is free once
+                // megachunk m-2 has merged out.
+                let pool = if m == 0 { threads } else { p_copy };
+                let deps: Vec<OpId> =
+                    if m >= 2 { merge_done[m - 2].clone() } else { Vec::new() };
+                let mut offset = 0u64;
+                for t in 0..pool {
+                    let share =
+                        bytes / pool as u64 + u64::from((t as u64) < bytes % pool as u64);
+                    if share == 0 {
+                        continue;
+                    }
+                    let id = b.prog.push(
+                        t,
+                        OpKind::Copy {
+                            src: Place::CachedDdr { addr: base + offset },
+                            dst: Place::Mcdram,
+                            bytes: share,
+                            rate_cap: machine.per_thread_copy_bw,
+                        },
+                        &deps,
+                    );
+                    offset += share;
+                    copyin_done[m].push(id);
+                }
+
+                // Serial chunk sorts on the compute pool (in MCDRAM).
+                let chunk = elems.div_ceil(p_comp as u64);
+                let block_bytes = chunk * elem;
+                let passes = cal.sort_passes(chunk as usize);
+                let incache = chunk as f64 * cal.incache_time(order);
+                let mut sort_done = Vec::with_capacity(2 * p_comp);
+                for t in 0..p_comp {
+                    let traffic = block_bytes * u64::from(passes);
+                    let mem = b.prog.push(
+                        comp0 + t,
+                        OpKind::Stream {
+                            accesses: vec![
+                                Access::read(Place::Mcdram, traffic),
+                                Access::write(Place::Mcdram, traffic),
+                            ],
+                            rate_cap: cal.sort_rate(order) * cal.mcdram_boost,
+                        },
+                        &copyin_done[m],
+                    );
+                    sort_done.push(mem);
+                    if incache > 0.0 {
+                        sort_done.push(
+                            b.prog.push(comp0 + t, OpKind::Delay { seconds: incache }, &[]),
+                        );
+                    }
+                }
+
+                // Multiway merge out to DDR on the compute pool.
+                let rate = cal.multiway_rate_ordered(p_comp, order);
+                for t in 0..p_comp {
+                    let share =
+                        bytes / p_comp as u64 + u64::from((t as u64) < bytes % p_comp as u64);
+                    if share == 0 {
+                        continue;
+                    }
+                    let id = b.prog.push(
+                        comp0 + t,
+                        OpKind::Stream {
+                            accesses: vec![
+                                Access::read(Place::Mcdram, share),
+                                Access::write(
+                                    Place::CachedDdr { addr: base + t as u64 * share },
+                                    share,
+                                ),
+                            ],
+                            rate_cap: rate,
+                        },
+                        &sort_done,
+                    );
+                    merge_done[m].push(id);
+                }
+            }
+
+            // Final multiway merge + copyback, joined on the last megachunk.
+            if k_megas > 1 {
+                b.barrier = merge_done.concat();
+                b.multiway_merge_phase(
+                    n_bytes,
+                    k_megas,
+                    order,
+                    DataPlace::Cached(data),
+                    DataPlace::Cached(scratch),
+                    1.0,
+                    true,
+                );
+                b.copy_phase(n_bytes, DataPlace::Cached(scratch), DataPlace::Cached(data));
+            }
+        }
+
+        SortAlgorithm::BasicChunked => {
+            // Bender et al.'s simplified scheme: the megachunk is sorted
+            // with the *parallel* mergesort while resident in MCDRAM.
+            // The in-MCDRAM merge needs its own temp, so the megachunk may
+            // only occupy half the scratchpad.
+            if 2 * mega_bytes > machine.addressable_mcdram() {
+                return Err("basic-chunked needs megachunk <= MCDRAM/2".into());
+            }
+            let gnu = cal.gnu_efficiency;
+            for m in 0..k_megas {
+                let elems = mega_size(w.n, mega_elems, m);
+                let bytes = elems * elem;
+                let base = data + m as u64 * mega_bytes;
+                b.copy_phase(bytes, DataPlace::Cached(base), DataPlace::Mcdram);
+                let block = elems.div_ceil(p);
+                b.serial_sort_phase(block, elem, order, DataPlace::Mcdram, gnu);
+                // The parallel sort's own multiway merge writes straight
+                // back out to DDR (it needs a distinct output buffer anyway,
+                // which is why the megachunk is capped at MCDRAM/2).
+                b.multiway_merge_phase(bytes, threads, order, DataPlace::Mcdram, DataPlace::Cached(base), gnu, false);
+            }
+            if k_megas > 1 {
+                b.multiway_merge_phase(
+                    n_bytes,
+                    k_megas,
+                    order,
+                    DataPlace::Cached(data),
+                    DataPlace::Cached(scratch),
+                    1.0,
+                    false,
+                );
+                b.copy_phase(n_bytes, DataPlace::Cached(scratch), DataPlace::Cached(data));
+            }
+        }
+    }
+
+    Ok(b.prog)
+}
+
+/// Elements in megachunk `m`.
+fn mega_size(n: u64, mega_elems: u64, m: usize) -> u64 {
+    let lo = m as u64 * mega_elems;
+    mega_elems.min(n - lo.min(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knl_sim::machine::MemMode;
+    use knl_sim::Simulator;
+
+    const BILLION: u64 = 1_000_000_000;
+
+    fn run(alg: SortAlgorithm, mode: MemMode, n: u64, order: InputOrder, mega: u64) -> f64 {
+        let machine = MachineConfig::knl_7250(mode);
+        let cal = Calibration::default();
+        let w = SortWorkload::int64(n, order);
+        let prog = build_sort_program(&machine, &cal, w, alg, mega, 256).unwrap();
+        Simulator::new(machine).run(&prog).unwrap().makespan
+    }
+
+    #[test]
+    fn mode_mismatches_are_rejected() {
+        let machine = MachineConfig::knl_7250(MemMode::Flat);
+        let cal = Calibration::default();
+        let w = SortWorkload::int64(BILLION, InputOrder::Random);
+        assert!(build_sort_program(&machine, &cal, w, SortAlgorithm::GnuCache, BILLION, 256)
+            .is_err());
+        let cache = MachineConfig::knl_7250(MemMode::Cache);
+        assert!(build_sort_program(&cache, &cal, w, SortAlgorithm::MlmSort, BILLION, 256).is_err());
+    }
+
+    #[test]
+    fn oversized_megachunk_is_rejected_in_flat_mode() {
+        let machine = MachineConfig::knl_7250(MemMode::Flat);
+        let cal = Calibration::default();
+        let w = SortWorkload::int64(4 * BILLION, InputOrder::Random);
+        // 3e9 elements = 24 GB > 16 GiB MCDRAM.
+        assert!(build_sort_program(&machine, &cal, w, SortAlgorithm::MlmSort, 3 * BILLION, 256)
+            .is_err());
+        // But fine for the DDR variant.
+        assert!(build_sort_program(&machine, &cal, w, SortAlgorithm::MlmDdr, 3 * BILLION, 256)
+            .is_ok());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        let machine = MachineConfig::knl_7250(MemMode::Flat);
+        let cal = Calibration::default();
+        let w0 = SortWorkload::int64(0, InputOrder::Random);
+        assert!(build_sort_program(&machine, &cal, w0, SortAlgorithm::GnuFlat, 1, 256).is_err());
+        let w = SortWorkload::int64(100, InputOrder::Random);
+        assert!(build_sort_program(&machine, &cal, w, SortAlgorithm::GnuFlat, 0, 256).is_err());
+        assert!(build_sort_program(&machine, &cal, w, SortAlgorithm::GnuFlat, 10, 0).is_err());
+    }
+
+    /// The paper's headline (Fig. 6a, 2B random): MLM-sort and MLM-implicit
+    /// beat GNU-cache, which beats GNU-flat; MLM-ddr sits between GNU-cache
+    /// and MLM-sort.
+    #[test]
+    fn table1_orderings_hold_for_2b_random() {
+        let n = 2 * BILLION;
+        let gnu_flat = run(SortAlgorithm::GnuFlat, MemMode::Flat, n, InputOrder::Random, n);
+        let gnu_cache = run(SortAlgorithm::GnuCache, MemMode::Cache, n, InputOrder::Random, n);
+        let mlm_ddr = run(SortAlgorithm::MlmDdr, MemMode::Flat, n, InputOrder::Random, BILLION);
+        let mlm_sort = run(SortAlgorithm::MlmSort, MemMode::Flat, n, InputOrder::Random, BILLION);
+        let mlm_impl = run(SortAlgorithm::MlmImplicit, MemMode::Cache, n, InputOrder::Random, n);
+
+        assert!(gnu_cache < gnu_flat, "GNU-cache {gnu_cache} !< GNU-flat {gnu_flat}");
+        assert!(mlm_ddr < gnu_flat, "MLM-ddr {mlm_ddr} !< GNU-flat {gnu_flat}");
+        assert!(mlm_sort < mlm_ddr, "MLM-sort {mlm_sort} !< MLM-ddr {mlm_ddr}");
+        assert!(mlm_impl < gnu_cache, "MLM-implicit {mlm_impl} !< GNU-cache {gnu_cache}");
+
+        // Headline speedup band: 1.4x-2.1x over GNU-flat for the winners.
+        for t in [mlm_sort, mlm_impl] {
+            let speedup = gnu_flat / t;
+            assert!((1.3..2.2).contains(&speedup), "speedup {speedup}");
+        }
+    }
+
+    #[test]
+    fn reverse_input_is_faster_than_random() {
+        let n = 2 * BILLION;
+        for (alg, mode, mega) in [
+            (SortAlgorithm::GnuFlat, MemMode::Flat, n),
+            (SortAlgorithm::MlmSort, MemMode::Flat, BILLION),
+            (SortAlgorithm::MlmImplicit, MemMode::Cache, n),
+        ] {
+            let r = run(alg, mode, n, InputOrder::Random, mega);
+            let v = run(alg, mode, n, InputOrder::Reverse, mega);
+            assert!(v < r, "{alg:?}: reverse {v} !< random {r}");
+        }
+    }
+
+    #[test]
+    fn times_scale_roughly_linearly_with_n() {
+        let t2 = run(SortAlgorithm::MlmSort, MemMode::Flat, 2 * BILLION, InputOrder::Random, BILLION);
+        let t4 = run(SortAlgorithm::MlmSort, MemMode::Flat, 4 * BILLION, InputOrder::Random, BILLION);
+        let ratio = t4 / t2;
+        assert!((1.8..2.4).contains(&ratio), "4B/2B ratio {ratio}");
+    }
+
+    #[test]
+    fn basic_chunked_beats_gnu_flat_but_not_mlm_sort() {
+        // Bender et al. predicted ~30% for the basic chunked algorithm; the
+        // paper found it gains over GNU-flat but not over hardware cache
+        // mode. Check the first part and that MLM-sort still wins.
+        let n = 2 * BILLION;
+        let gnu_flat = run(SortAlgorithm::GnuFlat, MemMode::Flat, n, InputOrder::Random, n);
+        let basic = run(SortAlgorithm::BasicChunked, MemMode::Flat, n, InputOrder::Random, BILLION);
+        let mlm_sort = run(SortAlgorithm::MlmSort, MemMode::Flat, n, InputOrder::Random, BILLION);
+        assert!(basic < gnu_flat, "basic {basic} !< GNU-flat {gnu_flat}");
+        assert!(mlm_sort < basic, "MLM-sort {mlm_sort} !< basic {basic}");
+    }
+
+    #[test]
+    fn deterministic_program_construction() {
+        let machine = MachineConfig::knl_7250(MemMode::Flat);
+        let cal = Calibration::default();
+        let w = SortWorkload::int64(BILLION, InputOrder::Random);
+        let a = build_sort_program(&machine, &cal, w, SortAlgorithm::MlmSort, BILLION / 2, 64)
+            .unwrap();
+        let b = build_sort_program(&machine, &cal, w, SortAlgorithm::MlmSort, BILLION / 2, 64)
+            .unwrap();
+        assert_eq!(a.ops().len(), b.ops().len());
+    }
+
+    /// The §6 future-work variant: hiding megachunk copy-in latency with a
+    /// small dedicated copy pool. The gain is the hidden copy time minus
+    /// the compute threads forgone, so it shows where copies are a larger
+    /// fraction of the runtime — many megachunks, compute-light (reverse)
+    /// input. On compute-heavy random input at two megachunks the two
+    /// variants tie, which is itself the paper's §5 lesson (dedicating
+    /// threads to copying is not free).
+    #[test]
+    fn buffered_mlm_sort_hides_copy_latency() {
+        let n = 2 * BILLION;
+        let mega = BILLION / 2; // 4 megachunks: 3 of 4 copy-ins hidden
+        let plain = run(SortAlgorithm::MlmSort, MemMode::Flat, n, InputOrder::Reverse, mega);
+        let buffered =
+            run(SortAlgorithm::MlmSortBuffered, MemMode::Flat, n, InputOrder::Reverse, mega);
+        assert!(
+            buffered < plain,
+            "buffered {buffered:.3} should beat plain {plain:.3}"
+        );
+        // The gain is the hidden copy-in time: bounded by ~10%.
+        assert!(buffered > plain * 0.85, "gain implausibly large: {buffered} vs {plain}");
+
+        // And on compute-heavy input the two variants stay within 1%.
+        let plain_r = run(SortAlgorithm::MlmSort, MemMode::Flat, n, InputOrder::Random, BILLION);
+        let buffered_r =
+            run(SortAlgorithm::MlmSortBuffered, MemMode::Flat, n, InputOrder::Random, BILLION);
+        assert!((buffered_r / plain_r - 1.0).abs() < 0.01, "{buffered_r} vs {plain_r}");
+    }
+
+    #[test]
+    fn buffered_mlm_sort_respects_half_mcdram_cap() {
+        let machine = MachineConfig::knl_7250(MemMode::Flat);
+        let cal = Calibration::default();
+        let w = SortWorkload::int64(4 * BILLION, InputOrder::Random);
+        // 1B elements = 8 GB = exactly half of 16 GiB: fits.
+        assert!(build_sort_program(&machine, &cal, w, SortAlgorithm::MlmSortBuffered, BILLION, 256)
+            .is_ok());
+        // 1.5B elements = 12 GB > MCDRAM/2: rejected.
+        assert!(build_sort_program(
+            &machine,
+            &cal,
+            w,
+            SortAlgorithm::MlmSortBuffered,
+            3 * BILLION / 2,
+            256
+        )
+        .is_err());
+    }
+
+    /// §2.4 (Li et al.): numactl-preferred placement is excellent while
+    /// the data fits MCDRAM and falls off a cliff beyond — the crossover
+    /// that motivates chunking in the first place.
+    #[test]
+    fn numactl_cliff_at_mcdram_capacity() {
+        // 1B elements = 8 GB: fits; numactl beats even MLM-sort (no copies).
+        let small_numactl =
+            run(SortAlgorithm::GnuNumactl, MemMode::Flat, BILLION, InputOrder::Random, BILLION);
+        let small_gnu =
+            run(SortAlgorithm::GnuFlat, MemMode::Flat, BILLION, InputOrder::Random, BILLION);
+        assert!(
+            small_numactl < small_gnu,
+            "in-capacity numactl {small_numactl} !< GNU-flat {small_gnu}"
+        );
+
+        // 6B elements = 48 GB: only a third fits; the advantage collapses
+        // while MLM-sort's chunking keeps its full margin.
+        let big_numactl = run(
+            SortAlgorithm::GnuNumactl,
+            MemMode::Flat,
+            6 * BILLION,
+            InputOrder::Random,
+            6 * BILLION,
+        );
+        let big_gnu =
+            run(SortAlgorithm::GnuFlat, MemMode::Flat, 6 * BILLION, InputOrder::Random, 6 * BILLION);
+        let big_mlm = run(
+            SortAlgorithm::MlmSort,
+            MemMode::Flat,
+            6 * BILLION,
+            InputOrder::Random,
+            3 * BILLION / 2,
+        );
+        let numactl_gain = big_gnu / big_numactl;
+        let mlm_gain = big_gnu / big_mlm;
+        assert!(
+            mlm_gain > numactl_gain * 1.1,
+            "chunking must beat numactl out of capacity: {mlm_gain} vs {numactl_gain}"
+        );
+    }
+
+    #[test]
+    fn mega_size_covers_input() {
+        assert_eq!(mega_size(10, 4, 0), 4);
+        assert_eq!(mega_size(10, 4, 1), 4);
+        assert_eq!(mega_size(10, 4, 2), 2);
+        assert_eq!(mega_size(10, 4, 3), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Workload descriptions and host-side input generators.
+
+use serde::{Deserialize, Serialize};
+
+/// Initial ordering of the keys to sort (the paper evaluates random and
+/// reverse-sorted arrays; sorted input is included for completeness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputOrder {
+    /// Uniformly random 64-bit keys.
+    Random,
+    /// Strictly decreasing keys — structured input MLM-sort exploits.
+    Reverse,
+    /// Already sorted (best case).
+    Sorted,
+}
+
+impl InputOrder {
+    /// All orders the harness sweeps.
+    pub const ALL: [InputOrder; 3] = [InputOrder::Random, InputOrder::Reverse, InputOrder::Sorted];
+
+    /// The paper's Table 1 orders.
+    pub const PAPER: [InputOrder; 2] = [InputOrder::Random, InputOrder::Reverse];
+
+    /// Short label used in table output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InputOrder::Random => "random",
+            InputOrder::Reverse => "reverse",
+            InputOrder::Sorted => "sorted",
+        }
+    }
+}
+
+/// A sorting workload: `n` keys of `elem_bytes` bytes in the given order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SortWorkload {
+    /// Number of keys.
+    pub n: u64,
+    /// Bytes per key (the paper sorts `int64`: 8).
+    pub elem_bytes: u32,
+    /// Initial ordering.
+    pub order: InputOrder,
+}
+
+impl SortWorkload {
+    /// The paper's element type is `int64`.
+    pub fn int64(n: u64, order: InputOrder) -> Self {
+        SortWorkload { n, elem_bytes: 8, order }
+    }
+
+    /// Total bytes of the key array.
+    pub fn bytes(&self) -> u64 {
+        self.n * u64::from(self.elem_bytes)
+    }
+}
+
+/// SplitMix64 — a tiny, high-quality deterministic generator for test and
+/// example data (keeps `rand` out of the core crate's dependencies).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator; equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next value as a non-negative `i64` (so subtraction-free comparators
+    /// in examples cannot overflow).
+    #[inline]
+    pub fn next_i64(&mut self) -> i64 {
+        (self.next_u64() >> 1) as i64
+    }
+}
+
+/// Generate `n` keys in the given order (host-scale data for validation).
+pub fn generate_keys(n: usize, order: InputOrder, seed: u64) -> Vec<i64> {
+    match order {
+        InputOrder::Random => {
+            let mut rng = SplitMix64::new(seed);
+            (0..n).map(|_| rng.next_i64()).collect()
+        }
+        InputOrder::Reverse => (0..n as i64).rev().collect(),
+        InputOrder::Sorted => (0..n as i64).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_bytes() {
+        let w = SortWorkload::int64(2_000_000_000, InputOrder::Random);
+        assert_eq!(w.bytes(), 16_000_000_000);
+        assert_eq!(w.elem_bytes, 8);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        // Different seeds diverge.
+        let mut c = SplitMix64::new(8);
+        assert_ne!(xs[0], c.next_u64());
+        // No immediate repetition.
+        assert!(xs.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn generated_orders_have_expected_structure() {
+        let r = generate_keys(1000, InputOrder::Reverse, 0);
+        assert!(r.windows(2).all(|w| w[0] > w[1]));
+        let s = generate_keys(1000, InputOrder::Sorted, 0);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        let rnd = generate_keys(1000, InputOrder::Random, 1);
+        assert!(rnd.iter().all(|&x| x >= 0));
+        // Random really is unordered (overwhelmingly likely).
+        assert!(rnd.windows(2).any(|w| w[0] > w[1]));
+        assert!(rnd.windows(2).any(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(InputOrder::Random.label(), "random");
+        assert_eq!(InputOrder::Reverse.label(), "reverse");
+        assert_eq!(InputOrder::Sorted.label(), "sorted");
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the core crate: pipeline lowering conservation,
+//! model invariants, serde round trips.
+
+use knl_sim::machine::{MachineConfig, MemMode};
+use knl_sim::{MemLevel, Simulator};
+use mlm_core::pipeline::{sim::build_program, Placement, PipelineSpec};
+use mlm_core::{Calibration, InputOrder, MergeBenchParams, SortAlgorithm, SortWorkload};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = PipelineSpec> {
+    (
+        1u64..200,          // total in MiB
+        1u64..64,           // chunk in MiB
+        1usize..5,          // p_in
+        1usize..5,          // p_out
+        1usize..9,          // p_comp
+        1u32..9,            // passes
+        any::<bool>(),      // lockstep
+    )
+        .prop_map(|(total, chunk, p_in, p_out, p_comp, passes, lockstep)| PipelineSpec {
+            total_bytes: total << 20,
+            chunk_bytes: chunk << 20,
+            p_in,
+            p_out,
+            p_comp,
+            compute_passes: passes,
+            compute_rate: 1.5e9,
+            copy_rate: 1.0e9,
+            placement: Placement::Hbw,
+            lockstep,
+            data_addr: 0,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The lowered pipeline moves every byte exactly once in and once out
+    /// of DDR, and `2 x passes` times over MCDRAM, regardless of geometry.
+    #[test]
+    fn pipeline_program_conserves_traffic(spec in arb_spec()) {
+        let prog = build_program(&spec).unwrap();
+        let cfg = MachineConfig::tiny(MemMode::Flat);
+        // The tiny machine has 64 MiB of MCDRAM; buffers are modeled as
+        // traffic, not allocations, so any chunk size simulates.
+        let r = Simulator::new(cfg).run(&prog).unwrap();
+        prop_assert_eq!(r.traffic_on(MemLevel::Ddr).read, spec.total_bytes);
+        prop_assert_eq!(r.traffic_on(MemLevel::Ddr).written, spec.total_bytes);
+        let mcdram = r.traffic_on(MemLevel::Mcdram).total();
+        let expect = 2 * spec.total_bytes + 2 * spec.total_bytes * u64::from(spec.compute_passes);
+        prop_assert_eq!(mcdram, expect);
+        prop_assert!(r.makespan > 0.0 && r.makespan.is_finite());
+    }
+
+    /// Dataflow scheduling is never slower than lockstep on the same spec.
+    #[test]
+    fn dataflow_never_loses_to_lockstep(spec in arb_spec()) {
+        let mut lock = spec.clone();
+        lock.lockstep = true;
+        let mut flow = spec;
+        flow.lockstep = false;
+        let cfg = MachineConfig::tiny(MemMode::Flat);
+        let sim = Simulator::new(cfg);
+        let t_lock = sim.run(&build_program(&lock).unwrap()).unwrap().makespan;
+        let t_flow = sim.run(&build_program(&flow).unwrap()).unwrap().makespan;
+        prop_assert!(t_flow <= t_lock * (1.0 + 1e-9), "{t_flow} > {t_lock}");
+    }
+
+    /// Sort programs lower successfully for every feasible parameter mix
+    /// and give positive finite makespans that grow with n.
+    #[test]
+    fn sort_programs_are_robust(
+        n_millions in 1u64..200,
+        mega_millions in 1u64..200,
+        threads in 1usize..64,
+        order_ix in 0usize..2,
+    ) {
+        let n = n_millions * 1_000_000;
+        let mega = (mega_millions * 1_000_000).min(n);
+        let order = InputOrder::PAPER[order_ix];
+        let machine = MachineConfig::knl_7250(MemMode::Flat);
+        let cal = Calibration::default();
+        let w = SortWorkload::int64(n, order);
+        let prog = mlm_core::sort::sim::build_sort_program(
+            &machine, &cal, w, SortAlgorithm::MlmSort, mega, threads,
+        ).unwrap();
+        let r = Simulator::new(machine).run(&prog).unwrap();
+        prop_assert!(r.makespan > 0.0 && r.makespan.is_finite());
+        // At least one full read+write of the data happened somewhere.
+        prop_assert!(r.ddr_traffic() + r.mcdram_traffic() >= 2 * w.bytes());
+    }
+
+    /// Merge-bench virtual time decreases (weakly) in compute threads when
+    /// copy threads are fixed and repeats are high.
+    #[test]
+    fn merge_bench_time_monotone_in_total_threads(
+        total in 32usize..256,
+    ) {
+        let machine = MachineConfig::knl_7250(MemMode::Flat);
+        let cal = Calibration::default();
+        let t1 = mlm_core::merge_bench::simulate_merge_bench(
+            &machine,
+            &cal,
+            &MergeBenchParams { total_threads: total, ..MergeBenchParams::paper(4, 32) },
+        ).unwrap();
+        let t2 = mlm_core::merge_bench::simulate_merge_bench(
+            &machine,
+            &cal,
+            &MergeBenchParams { total_threads: total + 16, ..MergeBenchParams::paper(4, 32) },
+        ).unwrap();
+        prop_assert!(t2 <= t1 * (1.0 + 1e-9), "{t2} > {t1}");
+    }
+}
+
+/// Experiment records are serialized for results files; pin the derived
+/// implementations with real JSON round trips.
+#[test]
+fn serde_round_trips() {
+    let cal = Calibration::default();
+    let json = serde_json::to_string(&cal).unwrap();
+    let back: Calibration = serde_json::from_str(&json).unwrap();
+    assert_eq!(cal, back);
+
+    let params = MergeBenchParams::paper(8, 16);
+    let json = serde_json::to_string(&params).unwrap();
+    let back: MergeBenchParams = serde_json::from_str(&json).unwrap();
+    assert_eq!(params, back);
+
+    let w = SortWorkload::int64(123, InputOrder::Reverse);
+    let back: SortWorkload =
+        serde_json::from_str(&serde_json::to_string(&w).unwrap()).unwrap();
+    assert_eq!(w, back);
+
+    let machine = MachineConfig::knl_7250(MemMode::Hybrid { cache_fraction: 0.25 });
+    let back: MachineConfig =
+        serde_json::from_str(&serde_json::to_string(&machine).unwrap()).unwrap();
+    assert_eq!(machine, back);
+}

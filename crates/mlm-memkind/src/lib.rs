@@ -1,0 +1,272 @@
+//! # mlm-memkind — a memkind-style heap manager for the simulated node
+//!
+//! On real KNL hardware, flat-mode MCDRAM is reached through the
+//! [memkind](http://memkind.github.io/memkind/) library (`hbw_malloc()` et
+//! al., Cantalupo et al., SAND2015-1862C). This crate reproduces that
+//! interface surface over the simulated machine of [`knl_sim`]: named
+//! allocation *kinds* with distinct placement policies, per-level capacity
+//! accounting, and the fallback semantics that make `HBW_PREFERRED`
+//! different from strict `HBW`.
+//!
+//! Allocations return [`SimAllocation`] handles carrying concrete simulated
+//! address ranges, which is what lets the cache model observe direct-mapped
+//! aliasing between co-resident arrays.
+//!
+//! ```
+//! use knl_sim::machine::{MachineConfig, MemMode};
+//! use mlm_memkind::{Kind, MemKind};
+//!
+//! let mk = MemKind::new(&MachineConfig::knl_7250(MemMode::Flat));
+//! let a = mk.malloc(Kind::Hbw, 1 << 30).unwrap();
+//! assert_eq!(a.region().level, knl_sim::MemLevel::Mcdram);
+//! mk.free(a);
+//! ```
+
+use knl_sim::alloc::{Region, RegionAllocator};
+use knl_sim::machine::MachineConfig;
+use knl_sim::{MemLevel, SimError};
+use parking_lot::Mutex;
+
+/// Allocation kind, mirroring memkind's partition names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// Ordinary DDR allocation (`MEMKIND_DEFAULT`).
+    Default,
+    /// Strict high-bandwidth allocation (`MEMKIND_HBW`): fails when the
+    /// addressable MCDRAM is exhausted.
+    Hbw,
+    /// Preferred high-bandwidth allocation (`MEMKIND_HBW_PREFERRED`): falls
+    /// back to DDR when MCDRAM is exhausted — the behaviour `numactl
+    /// --preferred` gives whole applications, which is how Li et al. ran
+    /// their flat-mode experiments (paper §2.4).
+    HbwPreferred,
+}
+
+/// A live simulated allocation. Free it with [`MemKind::free`]; dropping it
+/// without freeing leaks simulated capacity (tracked, like a real leak).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SimAllocation {
+    region: Region,
+    kind: Kind,
+    serial: u64,
+}
+
+impl SimAllocation {
+    /// The simulated address range backing this allocation.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// The kind it was requested with (not necessarily where it landed —
+    /// see [`SimAllocation::level`]).
+    pub fn kind(&self) -> Kind {
+        self.kind
+    }
+
+    /// The level the allocation actually landed in.
+    pub fn level(&self) -> MemLevel {
+        self.region.level
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> u64 {
+        self.region.size
+    }
+}
+
+struct Inner {
+    ddr: RegionAllocator,
+    mcdram: RegionAllocator,
+    next_serial: u64,
+    live: usize,
+}
+
+/// The heap manager: one per simulated machine.
+pub struct MemKind {
+    inner: Mutex<Inner>,
+}
+
+impl MemKind {
+    /// Build a manager for `cfg`. In cache mode the MCDRAM partition has
+    /// zero capacity and all `Hbw` requests fail (as strict `hbw_malloc`
+    /// does on a cache-mode KNL); in hybrid mode it has the flat share.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        MemKind {
+            inner: Mutex::new(Inner {
+                ddr: RegionAllocator::new(MemLevel::Ddr, cfg.ddr_capacity),
+                mcdram: RegionAllocator::new(MemLevel::Mcdram, cfg.addressable_mcdram()),
+                next_serial: 0,
+                live: 0,
+            }),
+        }
+    }
+
+    /// Allocate `size` bytes with the given kind's policy.
+    pub fn malloc(&self, kind: Kind, size: u64) -> Result<SimAllocation, SimError> {
+        self.memalign(kind, size, 1)
+    }
+
+    /// Variant of [`Self::malloc`] with an alignment requirement
+    /// (`hbw_posix_memalign`).
+    pub fn memalign(&self, kind: Kind, size: u64, align: u64) -> Result<SimAllocation, SimError> {
+        let mut g = self.inner.lock();
+        let region = match kind {
+            Kind::Default => g.ddr.alloc_aligned(size, align)?,
+            Kind::Hbw => g.mcdram.alloc_aligned(size, align)?,
+            Kind::HbwPreferred => match g.mcdram.alloc_aligned(size, align) {
+                Ok(r) => r,
+                Err(SimError::OutOfMemory { .. }) => g.ddr.alloc_aligned(size, align)?,
+                Err(e) => return Err(e),
+            },
+        };
+        let serial = g.next_serial;
+        g.next_serial += 1;
+        g.live += 1;
+        Ok(SimAllocation { region, kind, serial })
+    }
+
+    /// Release an allocation back to its level.
+    pub fn free(&self, alloc: SimAllocation) {
+        let mut g = self.inner.lock();
+        match alloc.region.level {
+            MemLevel::Ddr => g.ddr.free(alloc.region),
+            MemLevel::Mcdram => g.mcdram.free(alloc.region),
+        }
+        g.live -= 1;
+    }
+
+    /// Bytes still allocatable in the given level (`hbw_verify` analogue).
+    pub fn available(&self, level: MemLevel) -> u64 {
+        let g = self.inner.lock();
+        match level {
+            MemLevel::Ddr => g.ddr.available(),
+            MemLevel::Mcdram => g.mcdram.available(),
+        }
+    }
+
+    /// True if strict HBW allocation is possible at all
+    /// (`hbw_check_available`).
+    pub fn hbw_available(&self) -> bool {
+        self.inner.lock().mcdram.capacity() > 0
+    }
+
+    /// Number of live (unfreed) allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.inner.lock().live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knl_sim::machine::MemMode;
+    use knl_sim::GIB;
+
+    fn flat() -> MemKind {
+        MemKind::new(&MachineConfig::knl_7250(MemMode::Flat))
+    }
+
+    #[test]
+    fn default_kind_lands_in_ddr() {
+        let mk = flat();
+        let a = mk.malloc(Kind::Default, GIB).unwrap();
+        assert_eq!(a.level(), MemLevel::Ddr);
+        assert_eq!(a.size(), GIB);
+        mk.free(a);
+        assert_eq!(mk.live_allocations(), 0);
+    }
+
+    #[test]
+    fn hbw_lands_in_mcdram_and_respects_capacity() {
+        let mk = flat();
+        let a = mk.malloc(Kind::Hbw, 10 * GIB).unwrap();
+        assert_eq!(a.level(), MemLevel::Mcdram);
+        // 16 GiB total; 10 used; 8 more must fail strictly.
+        let err = mk.malloc(Kind::Hbw, 8 * GIB).unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { level: MemLevel::Mcdram, .. }));
+        mk.free(a);
+        assert!(mk.malloc(Kind::Hbw, 16 * GIB).is_ok());
+    }
+
+    #[test]
+    fn hbw_preferred_falls_back_to_ddr() {
+        let mk = flat();
+        let big = mk.malloc(Kind::Hbw, 16 * GIB).unwrap();
+        let b = mk.malloc(Kind::HbwPreferred, GIB).unwrap();
+        assert_eq!(b.level(), MemLevel::Ddr, "fallback after MCDRAM exhausted");
+        assert_eq!(b.kind(), Kind::HbwPreferred);
+        mk.free(big);
+        mk.free(b);
+        let c = mk.malloc(Kind::HbwPreferred, GIB).unwrap();
+        assert_eq!(c.level(), MemLevel::Mcdram, "MCDRAM again once free");
+        mk.free(c);
+    }
+
+    #[test]
+    fn cache_mode_has_no_hbw() {
+        let mk = MemKind::new(&MachineConfig::knl_7250(MemMode::Cache));
+        assert!(!mk.hbw_available());
+        assert!(mk.malloc(Kind::Hbw, 1).is_err());
+        // Preferred degrades to DDR.
+        let a = mk.malloc(Kind::HbwPreferred, GIB).unwrap();
+        assert_eq!(a.level(), MemLevel::Ddr);
+        mk.free(a);
+    }
+
+    #[test]
+    fn hybrid_mode_exposes_partial_hbw() {
+        let mk = MemKind::new(&MachineConfig::knl_7250(MemMode::Hybrid { cache_fraction: 0.5 }));
+        assert!(mk.hbw_available());
+        assert_eq!(mk.available(MemLevel::Mcdram), 8 * GIB);
+        let a = mk.malloc(Kind::Hbw, 8 * GIB).unwrap();
+        assert!(mk.malloc(Kind::Hbw, 1).is_err());
+        mk.free(a);
+    }
+
+    #[test]
+    fn memalign_respects_alignment() {
+        let mk = flat();
+        let _pad = mk.malloc(Kind::Hbw, 3).unwrap();
+        let a = mk.memalign(Kind::Hbw, 100, 4096).unwrap();
+        assert_eq!(a.region().addr % 4096, 0);
+        mk.free(a);
+    }
+
+    #[test]
+    fn distinct_allocations_do_not_overlap() {
+        let mk = flat();
+        let a = mk.malloc(Kind::Default, GIB).unwrap();
+        let b = mk.malloc(Kind::Default, GIB).unwrap();
+        let (ra, rb) = (a.region(), b.region());
+        assert!(ra.end() <= rb.addr || rb.end() <= ra.addr);
+        mk.free(a);
+        mk.free(b);
+    }
+
+    #[test]
+    fn available_tracks_usage() {
+        let mk = flat();
+        let before = mk.available(MemLevel::Ddr);
+        let a = mk.malloc(Kind::Default, 5 * GIB).unwrap();
+        assert_eq!(mk.available(MemLevel::Ddr), before - 5 * GIB);
+        mk.free(a);
+        assert_eq!(mk.available(MemLevel::Ddr), before);
+    }
+
+    #[test]
+    fn allocations_are_distinguishable() {
+        // Two same-shaped allocations must not compare equal (serial differs).
+        let mk = flat();
+        let a = mk.malloc(Kind::Default, 64).unwrap();
+        mk.free(a.clone());
+        let b = mk.malloc(Kind::Default, 64).unwrap();
+        assert_ne!(a, b);
+        mk.free(b);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mk = flat();
+        assert!(mk.malloc(Kind::Default, 0).is_err());
+    }
+}

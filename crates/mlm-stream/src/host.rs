@@ -1,0 +1,139 @@
+//! Native STREAM: measure the host machine's sustainable bandwidth.
+
+use parsort::pool::{split_range, WorkPool};
+
+use crate::{StreamKernel, StreamResult};
+
+/// STREAM's scalar constant.
+const Q: f64 = 3.0;
+
+/// Run one kernel `iters` times over `n`-element arrays with every pool
+/// thread and report the best iteration (STREAM's methodology).
+///
+/// # Panics
+/// Panics if `n == 0` or `iters == 0`.
+pub fn run_kernel(pool: &WorkPool, kernel: StreamKernel, n: usize, iters: usize) -> StreamResult {
+    assert!(n > 0 && iters > 0);
+    let mut a = vec![1.0f64; n];
+    let mut b = vec![2.0f64; n];
+    let mut c = vec![0.0f64; n];
+
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = std::time::Instant::now();
+        match kernel {
+            StreamKernel::Copy => {
+                stream_zip(pool, &a, &mut c, |x, out| *out = x);
+            }
+            StreamKernel::Scale => {
+                stream_zip(pool, &c, &mut b, |x, out| *out = Q * x);
+            }
+            StreamKernel::Add => {
+                stream_zip2(pool, &a, &b, &mut c, |x, y, out| *out = x + y);
+            }
+            StreamKernel::Triad => {
+                // a = b + q*c : write into `a`.
+                stream_zip2(pool, &b, &c, &mut a, |x, y, out| *out = x + Q * y);
+            }
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    // Defeat dead-code elimination across iterations.
+    std::hint::black_box((&a, &b, &c));
+
+    let bytes = kernel.traffic_bytes(n);
+    StreamResult { kernel, bytes, seconds: best, bandwidth: bytes as f64 / best.max(1e-12) }
+}
+
+/// Run all four kernels (STREAM's canonical sweep).
+pub fn run_all(pool: &WorkPool, n: usize, iters: usize) -> Vec<StreamResult> {
+    StreamKernel::ALL.iter().map(|&k| run_kernel(pool, k, n, iters)).collect()
+}
+
+fn stream_zip<F>(pool: &WorkPool, src: &[f64], dst: &mut [f64], f: F)
+where
+    F: Fn(f64, &mut f64) + Send + Sync,
+{
+    let len = src.len();
+    let parts = pool.threads().min(len);
+    let mut rest = dst;
+    let mut tasks = Vec::with_capacity(parts);
+    for t in 0..parts {
+        let (s, e) = split_range(len, parts, t);
+        let (head, tail) = rest.split_at_mut(e - s);
+        rest = tail;
+        let src_part = &src[s..e];
+        let f = &f;
+        tasks.push(move || {
+            for (x, out) in src_part.iter().zip(head.iter_mut()) {
+                f(*x, out);
+            }
+        });
+    }
+    pool.scoped(tasks);
+}
+
+fn stream_zip2<F>(pool: &WorkPool, s1: &[f64], s2: &[f64], dst: &mut [f64], f: F)
+where
+    F: Fn(f64, f64, &mut f64) + Send + Sync,
+{
+    let len = s1.len();
+    let parts = pool.threads().min(len);
+    let mut rest = dst;
+    let mut tasks = Vec::with_capacity(parts);
+    for t in 0..parts {
+        let (s, e) = split_range(len, parts, t);
+        let (head, tail) = rest.split_at_mut(e - s);
+        rest = tail;
+        let (p1, p2) = (&s1[s..e], &s2[s..e]);
+        let f = &f;
+        tasks.push(move || {
+            for ((x, y), out) in p1.iter().zip(p2.iter()).zip(head.iter_mut()) {
+                f(*x, *y, out);
+            }
+        });
+    }
+    pool.scoped(tasks);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_compute_correct_values() {
+        let pool = WorkPool::new(2);
+        let n = 10_000;
+        // Copy: c = a = 1.0
+        let r = run_kernel(&pool, StreamKernel::Copy, n, 2);
+        assert!(r.bandwidth > 0.0);
+        assert_eq!(r.bytes, 16 * n as u64);
+
+        // End-to-end value check with a hand-rolled pipeline.
+        let mut a = vec![1.0f64; 8];
+        let b = vec![2.0f64; 8];
+        let c = vec![4.0f64; 8];
+        stream_zip2(&pool, &b, &c, &mut a, |x, y, out| *out = x + 3.0 * y);
+        assert!(a.iter().all(|&v| v == 14.0));
+    }
+
+    #[test]
+    fn run_all_reports_four_kernels() {
+        let pool = WorkPool::new(2);
+        let results = run_all(&pool, 4096, 2);
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert!(r.seconds > 0.0);
+            assert!(r.bandwidth.is_finite() && r.bandwidth > 0.0);
+        }
+        // Add/Triad move 1.5x the bytes of Copy/Scale.
+        assert_eq!(results[2].bytes, results[0].bytes * 3 / 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_elements_rejected() {
+        let pool = WorkPool::new(1);
+        run_kernel(&pool, StreamKernel::Copy, 0, 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! # mlm-stream — STREAM (McCalpin) bandwidth kernels
+//!
+//! The paper's Table 2 derives `DDR_max` and `MCDRAM_max` from the STREAM
+//! benchmark. This crate provides both directions of that measurement:
+//!
+//! * [`host`] — the four classic kernels (Copy, Scale, Add, Triad) run with
+//!   real threads over real arrays, used by `mlm-bench --bin calibrate` to
+//!   characterise the host machine;
+//! * [`sim`] — the same kernels lowered to [`knl_sim`] ops, used as a
+//!   sanity check that the simulated buses deliver exactly their configured
+//!   bandwidth (the simulator's "Table 2").
+
+pub mod host;
+pub mod sim;
+
+use serde::{Deserialize, Serialize};
+
+/// The four STREAM kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamKernel {
+    /// `c[i] = a[i]` — 2 words of traffic per element.
+    Copy,
+    /// `b[i] = q * c[i]` — 2 words.
+    Scale,
+    /// `c[i] = a[i] + b[i]` — 3 words.
+    Add,
+    /// `a[i] = b[i] + q * c[i]` — 3 words.
+    Triad,
+}
+
+impl StreamKernel {
+    /// All four kernels in STREAM's canonical order.
+    pub const ALL: [StreamKernel; 4] =
+        [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad];
+
+    /// Memory traffic in bytes for one iteration over `n` `f64` elements,
+    /// using STREAM's own counting rules.
+    pub fn traffic_bytes(&self, n: usize) -> u64 {
+        let words = match self {
+            StreamKernel::Copy | StreamKernel::Scale => 2,
+            StreamKernel::Add | StreamKernel::Triad => 3,
+        };
+        words * 8 * n as u64
+    }
+
+    /// Canonical name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StreamKernel::Copy => "Copy",
+            StreamKernel::Scale => "Scale",
+            StreamKernel::Add => "Add",
+            StreamKernel::Triad => "Triad",
+        }
+    }
+}
+
+/// One measured (or simulated) bandwidth figure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamResult {
+    /// Which kernel.
+    pub kernel: StreamKernel,
+    /// Traffic counted, in bytes.
+    pub bytes: u64,
+    /// Best-iteration time in seconds.
+    pub seconds: f64,
+    /// `bytes / seconds`.
+    pub bandwidth: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_counting_matches_stream_rules() {
+        assert_eq!(StreamKernel::Copy.traffic_bytes(1000), 16_000);
+        assert_eq!(StreamKernel::Scale.traffic_bytes(1000), 16_000);
+        assert_eq!(StreamKernel::Add.traffic_bytes(1000), 24_000);
+        assert_eq!(StreamKernel::Triad.traffic_bytes(1000), 24_000);
+    }
+
+    #[test]
+    fn names_are_canonical() {
+        let names: Vec<&str> = StreamKernel::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, ["Copy", "Scale", "Add", "Triad"]);
+    }
+}

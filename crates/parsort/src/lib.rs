@@ -1,0 +1,51 @@
+//! # parsort — from-scratch parallel sorting for the KNL reproduction
+//!
+//! The paper (Butcher et al., ICPP 2018) builds MLM-sort on two library
+//! components it treats as state of the art:
+//!
+//! * the GNU libstdc++ **parallel mode sort** (MCSTL's multiway mergesort),
+//!   used as the `GNU-flat` / `GNU-cache` baselines, and
+//! * **`std::sort`** (serial introsort), used for MLM-sort's per-thread
+//!   chunk sorts.
+//!
+//! Neither is available to a pure-Rust reproduction, so this crate
+//! implements both from scratch with the same algorithmic structure:
+//!
+//! * [`serial::introsort`] — median-of-three quicksort, heapsort fallback,
+//!   insertion-sort base case;
+//! * [`merge`] — serial and co-rank-splitting parallel two-way merges;
+//! * [`multiway`] — loser-tree k-way merge, multisequence selection, and
+//!   the parallel multiway merge built from them;
+//! * [`parallel::parallel_mergesort`] — block sort + parallel multiway
+//!   merge, the GNU parallel sort stand-in;
+//! * [`pool::WorkPool`] — a fixed-size thread pool with scoped execution,
+//!   matching the paper's dedicated copy/compute thread-pool structure;
+//! * [`funnel::funnelsort`] — a simplified cache-oblivious funnelsort, the
+//!   §2.1 alternative the paper contrasts its cache-aware design against;
+//! * [`radix::radix_sort`] — LSD radix sort, the purely bandwidth-bound
+//!   kernel the paper's §6 "more benchmarks" future work points toward.
+//!
+//! ```
+//! use parsort::{pool::WorkPool, parallel::parallel_mergesort, serial::is_sorted};
+//!
+//! let pool = WorkPool::new(4);
+//! let mut data: Vec<i64> = (0..10_000).rev().collect();
+//! parallel_mergesort(&pool, &mut data);
+//! assert!(is_sorted(&data));
+//! ```
+
+pub mod funnel;
+pub mod merge;
+pub mod radix;
+pub mod multiway;
+pub mod parallel;
+pub mod pool;
+pub mod serial;
+
+pub use funnel::funnelsort;
+pub use radix::{parallel_radix_sort, radix_sort};
+pub use merge::{merge_into, parallel_merge_into};
+pub use multiway::{multiway_merge_into, parallel_multiway_merge_into, LoserTree};
+pub use parallel::parallel_mergesort;
+pub use pool::WorkPool;
+pub use serial::{introsort, is_sorted};

@@ -1,0 +1,417 @@
+//! K-way merging: loser-tree merge, multisequence selection, and the
+//! parallel multiway merge built from both.
+//!
+//! This is the stand-in for the GNU parallel mode's `multiway_merge`
+//! (Singler et al., MCSTL): the output is partitioned among threads at
+//! exact global ranks found by multisequence selection, and each thread
+//! merges its slice of every run with a tournament (loser) tree.
+
+use crate::pool::{split_range, WorkPool};
+
+/// Tournament tree over `k` sorted runs yielding the global minimum on each
+/// [`LoserTree::pop`]. Uses the classic implicit layout: internal nodes
+/// `1..k` hold losers, leaves are the run heads, the overall winner is
+/// tracked separately.
+pub struct LoserTree<'a, T> {
+    runs: Vec<&'a [T]>,
+    /// Cursor into each run.
+    pos: Vec<usize>,
+    /// `tree[j]` = run index of the loser parked at internal node `j`.
+    tree: Vec<usize>,
+    winner: usize,
+    remaining: usize,
+}
+
+impl<'a, T: Ord> LoserTree<'a, T> {
+    /// Build a tree over the given sorted runs (empty runs are fine).
+    ///
+    /// # Panics
+    /// Panics if `runs` is empty.
+    pub fn new(runs: Vec<&'a [T]>) -> Self {
+        assert!(!runs.is_empty(), "need at least one run");
+        let k = runs.len();
+        let remaining = runs.iter().map(|r| r.len()).sum();
+        let mut lt = LoserTree {
+            pos: vec![0; k],
+            tree: vec![usize::MAX; k],
+            winner: usize::MAX,
+            remaining,
+            runs,
+        };
+        lt.winner = lt.build(1);
+        lt
+    }
+
+    /// Current element of run `r`, `None` when exhausted (= +infinity).
+    #[inline]
+    fn head(&self, r: usize) -> Option<&T> {
+        self.runs[r].get(self.pos[r])
+    }
+
+    /// True if run `a`'s head sorts before run `b`'s head (exhausted runs
+    /// sort last; ties break toward the lower run index for determinism).
+    #[inline]
+    fn beats(&self, a: usize, b: usize) -> bool {
+        match (self.head(a), self.head(b)) {
+            (Some(x), Some(y)) => match x.cmp(y) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => a < b,
+            },
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a < b,
+        }
+    }
+
+    /// Recursively play the tournament below internal node `node`,
+    /// returning the winning run and parking losers.
+    fn build(&mut self, node: usize) -> usize {
+        let k = self.runs.len();
+        if node >= k {
+            return node - k; // leaf: run index
+        }
+        let left = self.build(2 * node);
+        let right = self.build(2 * node + 1);
+        let (win, lose) = if self.beats(left, right) { (left, right) } else { (right, left) };
+        self.tree[node] = lose;
+        win
+    }
+
+    /// Total elements left across all runs.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Remove and return (a reference to) the smallest remaining element.
+    pub fn pop(&mut self) -> Option<&'a T> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let w = self.winner;
+        let item = &self.runs[w][self.pos[w]];
+        self.pos[w] += 1;
+        self.remaining -= 1;
+
+        // Replay from the winner's leaf to the root.
+        let k = self.runs.len();
+        let mut winner = w;
+        let mut node = (k + w) / 2;
+        while node >= 1 {
+            let challenger = self.tree[node];
+            if challenger != usize::MAX && self.beats(challenger, winner) {
+                self.tree[node] = winner;
+                winner = challenger;
+            }
+            node /= 2;
+        }
+        self.winner = winner;
+        Some(item)
+    }
+}
+
+/// Merge `runs` (each sorted) into `out` with a loser tree.
+///
+/// # Panics
+/// Panics if `out.len()` differs from the total input length.
+pub fn multiway_merge_into<T: Ord + Copy>(runs: &[&[T]], out: &mut [T]) {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    assert_eq!(out.len(), total, "output size mismatch");
+    if total == 0 {
+        return;
+    }
+    if runs.len() == 1 {
+        out.copy_from_slice(runs[0]);
+        return;
+    }
+    let mut lt = LoserTree::new(runs.to_vec());
+    for slot in out.iter_mut() {
+        *slot = *lt.pop().expect("tree drained early");
+    }
+    debug_assert!(lt.pop().is_none());
+}
+
+/// Multisequence selection: given sorted `seqs` and a global rank `r`,
+/// return split positions `s[i]` with `sum(s) == r` such that every element
+/// before a split is `<=` every element after any split.
+///
+/// This is the partitioning primitive that lets the parallel multiway merge
+/// hand each thread an exact, independent slice of the output.
+///
+/// # Panics
+/// Panics if `r` exceeds the total number of elements.
+pub fn multiseq_select<T: Ord + Copy>(seqs: &[&[T]], r: usize) -> Vec<usize> {
+    let total: usize = seqs.iter().map(|s| s.len()).sum();
+    assert!(r <= total, "rank {r} > total {total}");
+    let k = seqs.len();
+    if r == 0 {
+        return vec![0; k];
+    }
+    if r == total {
+        return seqs.iter().map(|s| s.len()).collect();
+    }
+
+    // Search ranges per sequence.
+    let mut lo = vec![0usize; k];
+    let mut hi: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
+
+    loop {
+        // Pick a pivot from the sequence with the widest remaining range.
+        let (widest, width) = (0..k)
+            .map(|i| (i, hi[i] - lo[i]))
+            .max_by_key(|&(_, w)| w)
+            .unwrap();
+        if width == 0 {
+            // Fully narrowed: lo is a valid split summing to r by invariant.
+            debug_assert_eq!(lo.iter().sum::<usize>(), r);
+            return lo;
+        }
+        let mid = lo[widest] + width / 2;
+        let pivot = seqs[widest][mid];
+
+        // Global ranks of the pivot value.
+        let less: usize = seqs.iter().map(|s| s.partition_point(|x| *x < pivot)).sum();
+        let less_eq: usize = seqs.iter().map(|s| s.partition_point(|x| *x <= pivot)).sum();
+
+        if less <= r && r <= less_eq {
+            // Take everything < pivot, then pad with ties up to r.
+            let mut split: Vec<usize> =
+                seqs.iter().map(|s| s.partition_point(|x| *x < pivot)).collect();
+            let mut need = r - less;
+            for (i, s) in seqs.iter().enumerate() {
+                if need == 0 {
+                    break;
+                }
+                let ties = s.partition_point(|x| *x <= pivot) - split[i];
+                let take = ties.min(need);
+                split[i] += take;
+                need -= take;
+            }
+            debug_assert_eq!(need, 0);
+            return split;
+        } else if less_eq < r {
+            // Pivot too small: splits lie at or beyond each seq's `<= pivot`
+            // boundary. This at least halves the widest range because
+            // pp(seqs[widest], <= pivot) > mid.
+            for i in 0..k {
+                lo[i] = lo[i].max(seqs[i].partition_point(|x| *x <= pivot)).min(hi[i]);
+            }
+        } else {
+            // less > r: pivot too large.
+            for i in 0..k {
+                hi[i] = hi[i].min(seqs[i].partition_point(|x| *x < pivot)).max(lo[i]);
+            }
+        }
+    }
+}
+
+/// Merge `runs` into `out` using every thread of `pool`: the output is cut
+/// at exact global ranks via [`multiseq_select`]; each thread loser-tree
+/// merges its share.
+///
+/// # Panics
+/// Panics if `out.len()` differs from the total input length.
+pub fn parallel_multiway_merge_into<T: Ord + Copy + Send + Sync>(
+    pool: &WorkPool,
+    runs: &[&[T]],
+    out: &mut [T],
+) {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    assert_eq!(out.len(), total, "output size mismatch");
+    if total == 0 {
+        return;
+    }
+    let parts = pool.threads().min(total);
+    if parts == 1 || runs.len() == 1 {
+        multiway_merge_into(runs, out);
+        return;
+    }
+
+    // Split positions per part boundary.
+    let mut boundaries = Vec::with_capacity(parts + 1);
+    for p in 0..parts {
+        let (start, _) = split_range(total, parts, p);
+        boundaries.push(multiseq_select(runs, start));
+    }
+    boundaries.push(runs.iter().map(|r| r.len()).collect());
+
+    let mut out_parts: Vec<&mut [T]> = Vec::with_capacity(parts);
+    let mut rest = out;
+    for p in 0..parts {
+        let (start, end) = split_range(total, parts, p);
+        let (head, tail) = rest.split_at_mut(end - start);
+        out_parts.push(head);
+        rest = tail;
+    }
+
+    pool.scoped(out_parts.into_iter().enumerate().map(|(p, out_part)| {
+        let sub_runs: Vec<&[T]> = runs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| &r[boundaries[p][i]..boundaries[p + 1][i]])
+            .collect();
+        move || multiway_merge_into(&sub_runs, out_part)
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::is_sorted;
+
+    fn reference_merge(runs: &[&[i64]]) -> Vec<i64> {
+        let mut all: Vec<i64> = runs.iter().flat_map(|r| r.iter().copied()).collect();
+        all.sort_unstable();
+        all
+    }
+
+    fn rng_vec(n: usize, seed: u64) -> Vec<i64> {
+        let mut state = seed | 1;
+        let mut v: Vec<i64> = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 24) % 1000) as i64
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn loser_tree_merges_three_runs() {
+        let a = [1i64, 4, 7];
+        let b = [2i64, 5, 8];
+        let c = [3i64, 6, 9];
+        let mut lt = LoserTree::new(vec![&a[..], &b[..], &c[..]]);
+        let mut got = Vec::new();
+        while let Some(x) = lt.pop() {
+            got.push(*x);
+        }
+        assert_eq!(got, (1..=9).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn loser_tree_single_run() {
+        let a = [1i64, 2, 3];
+        let mut lt = LoserTree::new(vec![&a[..]]);
+        assert_eq!(lt.remaining(), 3);
+        assert_eq!(*lt.pop().unwrap(), 1);
+        assert_eq!(*lt.pop().unwrap(), 2);
+        assert_eq!(*lt.pop().unwrap(), 3);
+        assert!(lt.pop().is_none());
+    }
+
+    #[test]
+    fn loser_tree_handles_empty_runs() {
+        let a: [i64; 0] = [];
+        let b = [5i64];
+        let c: [i64; 0] = [];
+        let mut lt = LoserTree::new(vec![&a[..], &b[..], &c[..]]);
+        assert_eq!(*lt.pop().unwrap(), 5);
+        assert!(lt.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn loser_tree_rejects_no_runs() {
+        let _ = LoserTree::<i64>::new(vec![]);
+    }
+
+    #[test]
+    fn multiway_merge_various_shapes() {
+        for &(k, n) in &[(1usize, 10usize), (2, 100), (3, 33), (7, 50), (16, 8), (5, 0)] {
+            let runs_owned: Vec<Vec<i64>> =
+                (0..k).map(|i| rng_vec(n + i, (i as u64 + 1) * 7919)).collect();
+            let runs: Vec<&[i64]> = runs_owned.iter().map(|r| r.as_slice()).collect();
+            let expect = reference_merge(&runs);
+            let mut out = vec![0i64; expect.len()];
+            multiway_merge_into(&runs, &mut out);
+            assert_eq!(out, expect, "k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn multiseq_select_invariants() {
+        let runs_owned: Vec<Vec<i64>> = vec![
+            rng_vec(57, 1),
+            rng_vec(91, 2),
+            rng_vec(3, 3),
+            vec![],
+            rng_vec(40, 4),
+        ];
+        let runs: Vec<&[i64]> = runs_owned.iter().map(|r| r.as_slice()).collect();
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+        for r in [0, 1, 2, total / 3, total / 2, total - 1, total] {
+            let split = multiseq_select(&runs, r);
+            assert_eq!(split.iter().sum::<usize>(), r, "rank {r}");
+            let max_before = runs
+                .iter()
+                .zip(&split)
+                .flat_map(|(s, &c)| s[..c].iter())
+                .max();
+            let min_after = runs
+                .iter()
+                .zip(&split)
+                .flat_map(|(s, &c)| s[c..].iter())
+                .min();
+            if let (Some(mb), Some(ma)) = (max_before, min_after) {
+                assert!(mb <= ma, "rank {r}: {mb} > {ma}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiseq_select_all_duplicates() {
+        let a = vec![5i64; 100];
+        let b = vec![5i64; 50];
+        let runs: Vec<&[i64]> = vec![&a, &b];
+        for r in [0usize, 1, 75, 149, 150] {
+            let split = multiseq_select(&runs, r);
+            assert_eq!(split.iter().sum::<usize>(), r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn multiseq_select_rank_out_of_range() {
+        let a = [1i64, 2];
+        multiseq_select(&[&a[..]], 3);
+    }
+
+    #[test]
+    fn parallel_multiway_matches_serial() {
+        let pool = WorkPool::new(4);
+        for &(k, n) in &[(2usize, 1000usize), (4, 997), (8, 250), (3, 1)] {
+            let runs_owned: Vec<Vec<i64>> =
+                (0..k).map(|i| rng_vec(n, (i as u64 + 1) * 104729)).collect();
+            let runs: Vec<&[i64]> = runs_owned.iter().map(|r| r.as_slice()).collect();
+            let expect = reference_merge(&runs);
+            let mut out = vec![0i64; expect.len()];
+            parallel_multiway_merge_into(&pool, &runs, &mut out);
+            assert_eq!(out, expect, "k={k} n={n}");
+            assert!(is_sorted(&out));
+        }
+    }
+
+    #[test]
+    fn parallel_multiway_empty_input() {
+        let pool = WorkPool::new(4);
+        let runs: Vec<&[i64]> = vec![&[], &[]];
+        let mut out: Vec<i64> = vec![];
+        parallel_multiway_merge_into(&pool, &runs, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_multiway_skewed_runs() {
+        let pool = WorkPool::new(4);
+        let a = rng_vec(10_000, 11);
+        let b = rng_vec(3, 13);
+        let c = rng_vec(500, 17);
+        let runs: Vec<&[i64]> = vec![&a, &b, &c];
+        let expect = reference_merge(&runs);
+        let mut out = vec![0i64; expect.len()];
+        parallel_multiway_merge_into(&pool, &runs, &mut out);
+        assert_eq!(out, expect);
+    }
+}

@@ -1,0 +1,139 @@
+//! Parallel sorts: the multiway mergesort that stands in for GNU parallel
+//! mode's `__gnu_parallel::sort`, plus helpers shared by MLM-sort.
+//!
+//! Structure (identical to MCSTL's): split the input into one block per
+//! thread, sort blocks independently with serial introsort, then perform a
+//! single parallel multiway merge of the sorted blocks through a temporary
+//! buffer.
+
+use crate::multiway::parallel_multiway_merge_into;
+use crate::pool::{split_mut, WorkPool};
+use crate::serial::introsort;
+
+/// Sort `data` in place with every thread of `pool` (GNU parallel sort
+/// stand-in).
+///
+/// Allocates a temporary buffer of the same size for the merge step, like
+/// the out-of-place merge in the GNU implementation.
+pub fn parallel_mergesort<T: Ord + Copy + Send + Sync>(pool: &WorkPool, data: &mut [T]) {
+    let n = data.len();
+    if n < 2 {
+        return;
+    }
+    let parts = pool.threads().min(n);
+
+    // Phase 1: sort one contiguous block per thread.
+    {
+        let blocks = split_mut(data, parts);
+        pool.scoped(blocks.into_iter().map(|b| move || introsort(b)));
+    }
+
+    // Phase 2: multiway merge the sorted blocks through a temp buffer.
+    let mut buf = data.to_vec();
+    {
+        let runs: Vec<&[T]> = split_borrows(data, parts);
+        parallel_multiway_merge_into(pool, &runs, &mut buf);
+    }
+    data.copy_from_slice(&buf);
+}
+
+/// Sort each of `chunks` independently and in parallel, one serial sort per
+/// pool thread at a time (MLM-sort's per-thread serial sort phase).
+pub fn sort_chunks_serial<T: Ord + Send>(pool: &WorkPool, chunks: Vec<&mut [T]>) {
+    pool.scoped(chunks.into_iter().map(|c| move || introsort(c)));
+}
+
+/// Borrow `data` as `parts` near-equal contiguous immutable runs.
+pub fn split_borrows<T>(data: &[T], parts: usize) -> Vec<&[T]> {
+    let len = data.len();
+    (0..parts)
+        .map(|i| {
+            let (s, e) = crate::pool::split_range(len, parts, i);
+            &data[s..e]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::is_sorted;
+
+    fn rng_vec(n: usize, seed: u64) -> Vec<i64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 17) as i64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_sort_matches_std() {
+        let pool = WorkPool::new(4);
+        for n in [0usize, 1, 2, 10, 1000, 4096, 100_003] {
+            let mut v = rng_vec(n, n as u64 + 5);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            parallel_mergesort(&pool, &mut v);
+            assert_eq!(v, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_sort_reverse_input() {
+        let pool = WorkPool::new(8);
+        let mut v: Vec<i64> = (0..50_000).rev().collect();
+        parallel_mergesort(&pool, &mut v);
+        assert!(is_sorted(&v));
+        assert_eq!(v[0], 0);
+        assert_eq!(v[49_999], 49_999);
+    }
+
+    #[test]
+    fn parallel_sort_duplicates() {
+        let pool = WorkPool::new(4);
+        let mut v: Vec<i64> = (0..10_000).map(|i| i % 5).collect();
+        parallel_mergesort(&pool, &mut v);
+        assert!(is_sorted(&v));
+        assert_eq!(v.iter().filter(|&&x| x == 3).count(), 2000);
+    }
+
+    #[test]
+    fn parallel_sort_single_thread_pool() {
+        let pool = WorkPool::new(1);
+        let mut v = rng_vec(5000, 77);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        parallel_mergesort(&pool, &mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sort_chunks_sorts_each_independently() {
+        let pool = WorkPool::new(4);
+        let mut v = rng_vec(1000, 42);
+        let expect: Vec<Vec<i64>> = v
+            .chunks(250)
+            .map(|c| {
+                let mut c = c.to_vec();
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        sort_chunks_serial(&pool, v.chunks_mut(250).collect());
+        for (got, want) in v.chunks(250).zip(&expect) {
+            assert_eq!(got, want.as_slice());
+        }
+    }
+
+    #[test]
+    fn split_borrows_covers_input() {
+        let v: Vec<i64> = (0..10).collect();
+        let runs = split_borrows(&v, 3);
+        assert_eq!(runs.len(), 3);
+        let flat: Vec<i64> = runs.iter().flat_map(|r| r.iter().copied()).collect();
+        assert_eq!(flat, v);
+    }
+}

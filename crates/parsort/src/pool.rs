@@ -1,0 +1,360 @@
+//! A fixed-size work pool with scoped execution.
+//!
+//! The paper's buffering scheme partitions hardware threads into dedicated
+//! pools (copy-in / copy-out / compute). This module provides the host-side
+//! equivalent: a [`WorkPool`] owns `n` OS threads for its lifetime and
+//! executes batches of borrowed closures to completion ([`WorkPool::scoped`]).
+//!
+//! The scoped API is built the way such primitives are built in production
+//! runtimes: tasks are type-erased through a raw pointer, and a completion
+//! latch (atomic counter + `parking_lot` condvar) guarantees every borrowed
+//! closure has finished before `scoped` returns, which is what makes the
+//! lifetime erasure sound. Worker panics are captured and propagated to the
+//! caller.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+type Task = Box<dyn FnOnce() + Send>;
+
+enum Message {
+    Run(Task),
+    Shutdown,
+}
+
+struct Latch {
+    remaining: AtomicUsize,
+    mutex: Mutex<()>,
+    condvar: Condvar,
+    panicked: AtomicUsize,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: AtomicUsize::new(count),
+            mutex: Mutex::new(()),
+            condvar: Condvar::new(),
+            panicked: AtomicUsize::new(0),
+        }
+    }
+
+    fn count_down(&self, panicked: bool) {
+        if panicked {
+            self.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        // Release ordering pairs with the Acquire in `wait` so task side
+        // effects are visible to the caller after `scoped` returns.
+        if self.remaining.fetch_sub(1, Ordering::Release) == 1 {
+            let _guard = self.mutex.lock();
+            self.condvar.notify_all();
+        }
+    }
+
+    fn wait(&self) -> usize {
+        let mut guard = self.mutex.lock();
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            self.condvar.wait(&mut guard);
+        }
+        self.panicked.load(Ordering::Relaxed)
+    }
+}
+
+/// A pool of `n` persistent worker threads.
+///
+/// ```
+/// use parsort::pool::WorkPool;
+/// let pool = WorkPool::new(4);
+/// let mut data = vec![0usize; 4];
+/// pool.scoped(data.iter_mut().enumerate().map(|(i, slot)| {
+///     move || *slot = i * i
+/// }));
+/// assert_eq!(data, [0, 1, 4, 9]);
+/// ```
+pub struct WorkPool {
+    sender: Sender<Message>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkPool {
+    /// Spawn a pool of `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = unbounded::<Message>();
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let rx = receiver.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("parsort-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(msg) = rx.recv() {
+                            match msg {
+                                Message::Run(task) => task(),
+                                Message::Shutdown => break,
+                            }
+                        }
+                    })
+                    .expect("failed to spawn worker thread"),
+            );
+        }
+        WorkPool { sender, handles, threads }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute every closure in `tasks` on the pool and block until all have
+    /// finished. Closures may borrow from the caller's stack: the latch
+    /// guarantees they are dead before this function returns.
+    ///
+    /// # Panics
+    /// Panics if any task panicked (after all tasks have finished).
+    pub fn scoped<'scope, I, F>(&self, tasks: I)
+    where
+        I: IntoIterator<Item = F>,
+        F: FnOnce() + Send + 'scope,
+    {
+        let tasks: Vec<F> = tasks.into_iter().collect();
+        if tasks.is_empty() {
+            return;
+        }
+        let latch = Arc::new(Latch::new(tasks.len()));
+        for task in tasks {
+            let latch = Arc::clone(&latch);
+            let wrapped = move || {
+                let result = catch_unwind(AssertUnwindSafe(task));
+                latch.count_down(result.is_err());
+            };
+            // SAFETY: `wrapped` borrows data with lifetime 'scope. We erase
+            // the lifetime to send it through the 'static channel. This is
+            // sound because `scoped` does not return until the latch has
+            // counted every task down, i.e. until every erased closure has
+            // been dropped; no borrow outlives the caller's frame. Panics
+            // inside the task are caught before the latch decrement, so a
+            // panicking task still counts down and cannot leak a borrow.
+            let erased: Task = unsafe {
+                std::mem::transmute::<
+                    Box<dyn FnOnce() + Send + 'scope>,
+                    Box<dyn FnOnce() + Send + 'static>,
+                >(Box::new(wrapped))
+            };
+            self.sender
+                .send(Message::Run(erased))
+                .expect("worker channel closed while pool alive");
+        }
+        let panicked = latch.wait();
+        if panicked > 0 {
+            panic!("{panicked} pool task(s) panicked");
+        }
+    }
+
+    /// Split `0..len` into at most `self.threads()` contiguous ranges of
+    /// near-equal size and run `f(range_index, start, end)` for each in
+    /// parallel.
+    pub fn parallel_ranges<F>(&self, len: usize, f: F)
+    where
+        F: Fn(usize, usize, usize) + Send + Sync,
+    {
+        if len == 0 {
+            return;
+        }
+        let parts = self.threads.min(len);
+        let f = &f;
+        self.scoped((0..parts).map(move |i| {
+            let (start, end) = split_range(len, parts, i);
+            move || f(i, start, end)
+        }));
+    }
+}
+
+impl Drop for WorkPool {
+    fn drop(&mut self) {
+        for _ in 0..self.handles.len() {
+            let _ = self.sender.send(Message::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The bounds of part `i` of `parts` near-equal contiguous parts of `0..len`.
+///
+/// The first `len % parts` parts get one extra element, so sizes differ by
+/// at most one.
+pub fn split_range(len: usize, parts: usize, i: usize) -> (usize, usize) {
+    assert!(parts > 0 && i < parts);
+    let base = len / parts;
+    let extra = len % parts;
+    let start = i * base + i.min(extra);
+    let size = base + usize::from(i < extra);
+    (start, start + size)
+}
+
+/// Split a mutable slice into `parts` near-equal contiguous chunks.
+pub fn split_mut<T>(data: &mut [T], parts: usize) -> Vec<&mut [T]> {
+    assert!(parts > 0);
+    let len = data.len();
+    let mut out = Vec::with_capacity(parts);
+    let mut rest = data;
+    for i in 0..parts {
+        let (start, end) = split_range(len, parts, i);
+        let (head, tail) = rest.split_at_mut(end - start);
+        out.push(head);
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_all_tasks() {
+        let pool = WorkPool::new(4);
+        let counter = AtomicU64::new(0);
+        pool.scoped((0..100).map(|_| || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }));
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn borrows_stack_data_mutably() {
+        let pool = WorkPool::new(3);
+        let mut data = vec![0u64; 10];
+        pool.scoped(
+            data.chunks_mut(4)
+                .enumerate()
+                .map(|(i, chunk)| move || chunk.iter_mut().for_each(|x| *x = i as u64)),
+        );
+        assert_eq!(data, [0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let pool = WorkPool::new(2);
+        pool.scoped(std::iter::empty::<fn()>());
+    }
+
+    #[test]
+    fn more_tasks_than_threads() {
+        let pool = WorkPool::new(2);
+        let counter = AtomicU64::new(0);
+        pool.scoped((0..64).map(|i| {
+            let counter = &counter;
+            move || {
+                counter.fetch_add(i, Ordering::Relaxed);
+            }
+        }));
+        assert_eq!(counter.load(Ordering::Relaxed), (0..64).sum::<u64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "task(s) panicked")]
+    fn propagates_panics() {
+        let pool = WorkPool::new(2);
+        pool.scoped((0..4).map(|i| move || {
+            if i == 2 {
+                panic!("boom");
+            }
+        }));
+    }
+
+    #[test]
+    fn pool_survives_task_panic() {
+        let pool = WorkPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped([|| panic!("first batch dies")].into_iter().map(|f| f as fn()));
+        }));
+        assert!(result.is_err());
+        // Pool still works afterwards.
+        let counter = AtomicU64::new(0);
+        pool.scoped((0..8).map(|_| || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }));
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn zero_thread_request_clamps_to_one() {
+        let pool = WorkPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let counter = AtomicU64::new(0);
+        pool.scoped((0..3).map(|_| || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }));
+        assert_eq!(counter.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn split_range_covers_exactly() {
+        for len in [0usize, 1, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 7, 16] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for i in 0..parts {
+                    let (s, e) = split_range(len, parts, i);
+                    assert_eq!(s, prev_end);
+                    assert!(e >= s);
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, len);
+                assert_eq!(prev_end, len);
+            }
+        }
+    }
+
+    #[test]
+    fn split_range_sizes_differ_by_at_most_one() {
+        let sizes: Vec<usize> = (0..7)
+            .map(|i| {
+                let (s, e) = split_range(100, 7, i);
+                e - s
+            })
+            .collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn split_mut_partitions_slice() {
+        let mut v: Vec<u32> = (0..10).collect();
+        let parts = split_mut(&mut v, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], &[0, 1, 2, 3]);
+        assert_eq!(parts[1], &[4, 5, 6]);
+        assert_eq!(parts[2], &[7, 8, 9]);
+    }
+
+    #[test]
+    fn parallel_ranges_visits_everything() {
+        let pool = WorkPool::new(4);
+        let flags: Vec<AtomicU64> = (0..97).map(|_| AtomicU64::new(0)).collect();
+        pool.parallel_ranges(97, |_i, s, e| {
+            for f in &flags[s..e] {
+                f.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_ranges_zero_len() {
+        let pool = WorkPool::new(4);
+        pool.parallel_ranges(0, |_, _, _| panic!("must not run"));
+    }
+}

@@ -1,0 +1,294 @@
+//! Serial sorting algorithms: insertion sort, heapsort, and introsort.
+//!
+//! MLM-sort's key design decision (paper §4) is to sort each thread's chunk
+//! with the best available *serial* algorithm rather than relying on
+//! multithreaded sort scalability. The paper used `std::sort` (a quicksort
+//! variant); this module provides the equivalent: median-of-three introsort
+//! with an insertion-sort base case and a heapsort depth-limit fallback,
+//! implemented from scratch.
+
+/// Below this length introsort switches to insertion sort.
+pub const INSERTION_THRESHOLD: usize = 24;
+
+/// Sort `data` in place with binary-search-free insertion sort.
+/// O(n²) worst case; the fastest choice for tiny slices.
+pub fn insertion_sort<T: Ord>(data: &mut [T]) {
+    for i in 1..data.len() {
+        let mut j = i;
+        while j > 0 && data[j - 1] > data[j] {
+            data.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+/// Sort `data` in place with bottom-up heapsort. O(n log n) worst case,
+/// used as introsort's fallback when quicksort recursion degenerates.
+pub fn heapsort<T: Ord>(data: &mut [T]) {
+    let n = data.len();
+    if n < 2 {
+        return;
+    }
+    // Heapify.
+    for start in (0..n / 2).rev() {
+        sift_down(data, start, n);
+    }
+    // Pop max to the end repeatedly.
+    for end in (1..n).rev() {
+        data.swap(0, end);
+        sift_down(data, 0, end);
+    }
+}
+
+fn sift_down<T: Ord>(heap: &mut [T], mut root: usize, end: usize) {
+    loop {
+        let left = 2 * root + 1;
+        if left >= end {
+            return;
+        }
+        let right = left + 1;
+        let mut largest = root;
+        if heap[left] > heap[largest] {
+            largest = left;
+        }
+        if right < end && heap[right] > heap[largest] {
+            largest = right;
+        }
+        if largest == root {
+            return;
+        }
+        heap.swap(root, largest);
+        root = largest;
+    }
+}
+
+/// Sort `data` in place with introsort (the `std::sort` stand-in).
+///
+/// Median-of-three quicksort; recursion deeper than `2·log2(n)` falls back
+/// to heapsort; slices shorter than [`INSERTION_THRESHOLD`] use insertion
+/// sort. Like `std::sort_unstable` this is not stable.
+pub fn introsort<T: Ord>(data: &mut [T]) {
+    let n = data.len();
+    if n < 2 {
+        return;
+    }
+    let depth_limit = 2 * (usize::BITS - n.leading_zeros()) as usize;
+    introsort_rec(data, depth_limit);
+}
+
+fn introsort_rec<T: Ord>(data: &mut [T], depth_limit: usize) {
+    let mut data = data;
+    let mut depth_limit = depth_limit;
+    // Tail-recursion elimination on the larger half keeps stack depth
+    // logarithmic even before the heapsort fallback triggers.
+    loop {
+        let n = data.len();
+        if n <= INSERTION_THRESHOLD {
+            insertion_sort(data);
+            return;
+        }
+        if depth_limit == 0 {
+            heapsort(data);
+            return;
+        }
+        depth_limit -= 1;
+        let pivot_idx = median_of_three(data);
+        let mid = partition(data, pivot_idx);
+        let (lo, hi) = data.split_at_mut(mid);
+        // hi[0] is the pivot in its final position.
+        let hi = &mut hi[1..];
+        if lo.len() < hi.len() {
+            introsort_rec(lo, depth_limit);
+            data = hi;
+        } else {
+            introsort_rec(hi, depth_limit);
+            data = lo;
+        }
+    }
+}
+
+/// Index of the median of `data[1]`, `data[mid]`, `data[len-2]`.
+///
+/// The end positions are excluded deliberately (as libstdc++'s
+/// `__move_median_to_first(first+1, mid, last-1)` does): partitioning
+/// rotated patterns such as reverse-sorted input repeatedly parks the
+/// displaced extremum at the boundary, and a median that samples the
+/// boundary then degenerates to peeling one element per level.
+fn median_of_three<T: Ord>(data: &[T]) -> usize {
+    debug_assert!(data.len() >= 4);
+    let (a, b, c) = (1, data.len() / 2, data.len() - 2);
+    let (va, vb, vc) = (&data[a], &data[b], &data[c]);
+    if va < vb {
+        if vb < vc {
+            b
+        } else if va < vc {
+            c
+        } else {
+            a
+        }
+    } else if va < vc {
+        a
+    } else if vb < vc {
+        c
+    } else {
+        b
+    }
+}
+
+/// Hoare/Sedgewick partition around `data[pivot_idx]`; returns the pivot's
+/// final index. All elements left of it are `<=` pivot, all right are `>=`
+/// pivot. The symmetric `>=`/`<=` scan conditions swap equal keys across
+/// the pivot, which keeps constant-key arrays balanced (no Lomuto-style
+/// O(n²) degeneration) and makes reverse-sorted input branch-predictable —
+/// the structural advantage the paper's reverse-input runs exploit.
+fn partition<T: Ord>(data: &mut [T], pivot_idx: usize) -> usize {
+    let n = data.len();
+    debug_assert!(n >= 2);
+    data.swap(0, pivot_idx);
+    let mut i = 0usize;
+    let mut j = n;
+    loop {
+        // Scan right for an element >= pivot.
+        loop {
+            i += 1;
+            if i >= n || data[i] >= data[0] {
+                break;
+            }
+        }
+        // Scan left for an element <= pivot; stops at 0 (the pivot) at worst.
+        loop {
+            j -= 1;
+            if data[j] <= data[0] {
+                break;
+            }
+        }
+        if i >= j {
+            break;
+        }
+        data.swap(i, j);
+    }
+    data.swap(0, j);
+    j
+}
+
+/// True if `data` is sorted non-decreasingly.
+pub fn is_sorted<T: Ord>(data: &[T]) -> bool {
+    data.windows(2).all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_sorts(mut v: Vec<i64>) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+
+        let mut a = v.clone();
+        insertion_sort(&mut a);
+        assert_eq!(a, expect, "insertion_sort");
+
+        let mut b = v.clone();
+        heapsort(&mut b);
+        assert_eq!(b, expect, "heapsort");
+
+        introsort(&mut v);
+        assert_eq!(v, expect, "introsort");
+    }
+
+    #[test]
+    fn sorts_empty_and_singleton() {
+        check_sorts(vec![]);
+        check_sorts(vec![42]);
+    }
+
+    #[test]
+    fn sorts_small_patterns() {
+        check_sorts(vec![2, 1]);
+        check_sorts(vec![1, 2, 3]);
+        check_sorts(vec![3, 2, 1]);
+        check_sorts(vec![1, 1, 1, 1]);
+        check_sorts(vec![5, 1, 4, 2, 3]);
+    }
+
+    #[test]
+    fn sorts_random_large() {
+        // Deterministic LCG so the test needs no rand dependency here.
+        let mut state = 0x243F6A8885A308D3u64;
+        let v: Vec<i64> = (0..10_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 16) as i64
+            })
+            .collect();
+        check_sorts(v);
+    }
+
+    #[test]
+    fn sorts_adversarial_patterns() {
+        let n = 4096i64;
+        check_sorts((0..n).collect()); // already sorted
+        check_sorts((0..n).rev().collect()); // reversed
+        check_sorts((0..n).map(|i| i % 7).collect()); // few distinct
+        check_sorts((0..n).map(|i| if i % 2 == 0 { i } else { n - i }).collect()); // organ pipe-ish
+        check_sorts(std::iter::repeat_n(9, 1000).collect()); // constant
+        // Sawtooth — classic quicksort killer for naive pivots.
+        check_sorts((0..n).map(|i| i % 64).collect());
+    }
+
+    #[test]
+    fn introsort_survives_quicksort_killer() {
+        // Median-of-three killer sequence degrades quicksort to O(n^2);
+        // the depth limit must engage heapsort rather than blowing the stack.
+        let n = 1 << 14;
+        let mut v: Vec<i64> = (0..n).collect();
+        // Interleave in a pattern hostile to median-of-3.
+        let killer: Vec<i64> = (0..n)
+            .map(|i| if i % 2 == 0 { i / 2 } else { n / 2 + i / 2 })
+            .collect();
+        let mut k = killer.clone();
+        introsort(&mut k);
+        v.sort_unstable();
+        let mut expect = killer;
+        expect.sort_unstable();
+        assert_eq!(k, expect);
+    }
+
+    #[test]
+    fn partition_places_pivot_correctly() {
+        let mut v = vec![9i64, 1, 8, 2, 7, 3, 6, 4, 5];
+        let p = partition(&mut v, 8); // pivot value 5
+        assert_eq!(v[p], 5);
+        assert!(v[..p].iter().all(|&x| x <= 5));
+        assert!(v[p + 1..].iter().all(|&x| x >= 5));
+
+        // Constant arrays stay balanced (the Lomuto failure mode).
+        let mut v = vec![7i64; 64];
+        let p = partition(&mut v, 32);
+        assert!(p > 8 && p < 56, "balanced split on equal keys, got {p}");
+    }
+
+    #[test]
+    fn median_of_three_picks_median_of_interior_samples() {
+        // Samples are data[1], data[mid], data[len-2].
+        assert_eq!(median_of_three(&[9, 1, 2, 3, 9]), 2); // median(1,2,3) = 2 at idx 2
+        assert_eq!(median_of_three(&[9, 3, 2, 1, 9]), 2);
+        assert_eq!(median_of_three(&[9, 2, 1, 3, 9]), 1);
+        assert_eq!(median_of_three(&[9, 1, 3, 2, 9]), 3);
+    }
+
+    #[test]
+    fn is_sorted_detects_order() {
+        assert!(is_sorted::<i64>(&[]));
+        assert!(is_sorted(&[1]));
+        assert!(is_sorted(&[1, 1, 2, 3]));
+        assert!(!is_sorted(&[2, 1]));
+    }
+
+    #[test]
+    fn sorts_strings_too() {
+        let mut v = vec!["pear", "apple", "orange", "banana", "apple"];
+        introsort(&mut v);
+        assert_eq!(v, ["apple", "apple", "banana", "orange", "pear"]);
+    }
+}

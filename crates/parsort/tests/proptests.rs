@@ -1,0 +1,211 @@
+//! Property-based tests for the sorting substrate.
+
+use parsort::funnel::funnelsort;
+use parsort::radix::{parallel_radix_sort, radix_sort};
+use parsort::merge::{co_rank, merge_into, parallel_merge_into};
+use parsort::multiway::{multiseq_select, multiway_merge_into, parallel_multiway_merge_into};
+use parsort::pool::{split_range, WorkPool};
+use parsort::serial::{heapsort, insertion_sort, introsort, is_sorted};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn introsort_equals_std(mut v in proptest::collection::vec(any::<i64>(), 0..3000)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        introsort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn heapsort_equals_std(mut v in proptest::collection::vec(any::<i32>(), 0..1500)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        heapsort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn insertion_sort_equals_std(mut v in proptest::collection::vec(any::<i16>(), 0..300)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        insertion_sort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn funnelsort_equals_std(mut v in proptest::collection::vec(any::<i64>(), 0..10_000)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        funnelsort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn radix_sort_equals_std(mut v in proptest::collection::vec(any::<i64>(), 0..5000)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        radix_sort(&mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn parallel_radix_equals_std(
+        mut v in proptest::collection::vec(any::<i64>(), 0..5000),
+        threads in 1usize..6,
+    ) {
+        let pool = WorkPool::new(threads);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        parallel_radix_sort(&pool, &mut v);
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn radix_sorts_u32_i32(
+        mut a in proptest::collection::vec(any::<u32>(), 0..2000),
+        mut b in proptest::collection::vec(any::<i32>(), 0..2000),
+    ) {
+        let mut ea = a.clone();
+        ea.sort_unstable();
+        radix_sort(&mut a);
+        prop_assert_eq!(a, ea);
+        let mut eb = b.clone();
+        eb.sort_unstable();
+        radix_sort(&mut b);
+        prop_assert_eq!(b, eb);
+    }
+
+    #[test]
+    fn merge_of_sorted_inputs_is_sorted(
+        mut a in proptest::collection::vec(any::<i64>(), 0..500),
+        mut b in proptest::collection::vec(any::<i64>(), 0..500),
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let mut out = vec![0i64; a.len() + b.len()];
+        merge_into(&a, &b, &mut out);
+        prop_assert!(is_sorted(&out));
+        // Multiset preservation.
+        let mut all: Vec<i64> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(out, all);
+    }
+
+    #[test]
+    fn co_rank_splits_are_consistent(
+        mut a in proptest::collection::vec(any::<i32>(), 0..300),
+        mut b in proptest::collection::vec(any::<i32>(), 0..300),
+        k_frac in 0.0f64..=1.0,
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let k = ((a.len() + b.len()) as f64 * k_frac) as usize;
+        let (i, j) = co_rank(k, &a, &b);
+        prop_assert_eq!(i + j, k);
+        let max_before = a[..i].iter().chain(b[..j].iter()).max();
+        let min_after = a[i..].iter().chain(b[j..].iter()).min();
+        if let (Some(mb), Some(ma)) = (max_before, min_after) {
+            prop_assert!(mb <= ma);
+        }
+    }
+
+    #[test]
+    fn parallel_merge_equals_serial(
+        mut a in proptest::collection::vec(any::<i64>(), 0..800),
+        mut b in proptest::collection::vec(any::<i64>(), 0..800),
+        threads in 1usize..6,
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let pool = WorkPool::new(threads);
+        let mut expect = vec![0i64; a.len() + b.len()];
+        merge_into(&a, &b, &mut expect);
+        let mut got = vec![0i64; a.len() + b.len()];
+        parallel_merge_into(&pool, &a, &b, &mut got);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn multiway_merge_equals_concat_sort(
+        runs_raw in proptest::collection::vec(
+            proptest::collection::vec(any::<i64>(), 0..200), 1..8),
+    ) {
+        let runs_owned: Vec<Vec<i64>> = runs_raw
+            .into_iter()
+            .map(|mut r| {
+                r.sort_unstable();
+                r
+            })
+            .collect();
+        let runs: Vec<&[i64]> = runs_owned.iter().map(|r| r.as_slice()).collect();
+        let mut expect: Vec<i64> = runs_owned.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        let mut out = vec![0i64; expect.len()];
+        multiway_merge_into(&runs, &mut out);
+        prop_assert_eq!(&out, &expect);
+
+        let pool = WorkPool::new(4);
+        let mut out_p = vec![0i64; expect.len()];
+        parallel_multiway_merge_into(&pool, &runs, &mut out_p);
+        prop_assert_eq!(out_p, expect);
+    }
+
+    #[test]
+    fn multiseq_select_partitions_correctly(
+        runs_raw in proptest::collection::vec(
+            proptest::collection::vec(-50i64..50, 0..150), 1..6),
+        r_frac in 0.0f64..=1.0,
+    ) {
+        let runs_owned: Vec<Vec<i64>> = runs_raw
+            .into_iter()
+            .map(|mut r| {
+                r.sort_unstable();
+                r
+            })
+            .collect();
+        let runs: Vec<&[i64]> = runs_owned.iter().map(|r| r.as_slice()).collect();
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+        let rank = (total as f64 * r_frac) as usize;
+        let split = multiseq_select(&runs, rank);
+        prop_assert_eq!(split.iter().sum::<usize>(), rank);
+        let max_before = runs
+            .iter()
+            .zip(&split)
+            .flat_map(|(s, &c)| s[..c].iter())
+            .max();
+        let min_after = runs
+            .iter()
+            .zip(&split)
+            .flat_map(|(s, &c)| s[c..].iter())
+            .min();
+        if let (Some(mb), Some(ma)) = (max_before, min_after) {
+            prop_assert!(mb <= ma);
+        }
+    }
+
+    #[test]
+    fn split_range_partitions(len in 0usize..10_000, parts in 1usize..64) {
+        let mut covered = 0usize;
+        let mut prev_end = 0usize;
+        for i in 0..parts {
+            let (s, e) = split_range(len, parts, i);
+            prop_assert_eq!(s, prev_end);
+            covered += e - s;
+            prev_end = e;
+        }
+        prop_assert_eq!(covered, len);
+    }
+
+    #[test]
+    fn parallel_mergesort_equals_std(
+        mut v in proptest::collection::vec(any::<i64>(), 0..5000),
+        threads in 1usize..8,
+    ) {
+        let pool = WorkPool::new(threads);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        parsort::parallel::parallel_mergesort(&pool, &mut v);
+        prop_assert_eq!(v, expect);
+    }
+}

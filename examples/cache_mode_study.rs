@@ -1,0 +1,82 @@
+//! Tour of the MCDRAM usage modes: capacity, allocation policy, and how
+//! the same chunked program behaves in flat, cache, hybrid, and implicit
+//! modes.
+//!
+//! Run with: `cargo run -p mlm-examples --bin cache_mode_study --release`
+
+use knl_sim::machine::{MachineConfig, MemMode};
+use knl_sim::{MemLevel, Simulator};
+use mlm_core::pipeline::{sim::build_program, Placement, PipelineSpec};
+use mlm_memkind::{Kind, MemKind};
+
+fn spec(placement: Placement, p_copy: usize) -> PipelineSpec {
+    PipelineSpec {
+        total_bytes: 8_000_000_000,
+        chunk_bytes: 500_000_000,
+        p_in: p_copy,
+        p_out: p_copy,
+        p_comp: 256 - 2 * p_copy,
+        compute_passes: 4,
+        compute_rate: 1.4e9,
+        copy_rate: 4.8e9,
+        placement,
+        lockstep: true,
+        data_addr: 0,
+    }
+}
+
+fn main() {
+    println!("== MCDRAM capacity by mode (memkind view) ==");
+    for (name, mode) in [
+        ("flat", MemMode::Flat),
+        ("cache", MemMode::Cache),
+        ("hybrid 50/50", MemMode::Hybrid { cache_fraction: 0.5 }),
+    ] {
+        let cfg = MachineConfig::knl_7250(mode);
+        let mk = MemKind::new(&cfg);
+        println!(
+            "  {name:<13} hbw_malloc available: {:>5.1} GiB, cache: {:>5.1} GiB",
+            mk.available(MemLevel::Mcdram) as f64 / (1u64 << 30) as f64,
+            cfg.effective_cache_capacity() as f64 / (1u64 << 30) as f64,
+        );
+        // HBW_PREFERRED falls back to DDR rather than failing.
+        let a = mk.malloc(Kind::HbwPreferred, 20 << 30).unwrap();
+        println!("    20 GiB HBW_PREFERRED allocation landed in {:?}", a.level());
+        mk.free(a);
+    }
+
+    println!();
+    println!("== One chunked workload (8 GB, 4 passes/chunk), four usage modes ==");
+    let runs = [
+        ("chunked flat (explicit copies)", MemMode::Flat, spec(Placement::Hbw, 8)),
+        ("chunked hybrid (smaller chunks)", MemMode::Hybrid { cache_fraction: 0.5 }, {
+            let mut s = spec(Placement::Hbw, 8);
+            s.chunk_bytes = 250_000_000; // hybrid halves the addressable space
+            s
+        }),
+        ("chunked DDR only (no MCDRAM)", MemMode::Flat, spec(Placement::Ddr, 8)),
+        ("implicit cache mode (no copies)", MemMode::Cache, {
+            let mut s = spec(Placement::Implicit, 8);
+            s.p_in = 0;
+            s.p_out = 0;
+            s.p_comp = 256;
+            s
+        }),
+    ];
+    for (name, mode, s) in runs {
+        let machine = MachineConfig::knl_7250(mode);
+        let prog = build_program(&s).unwrap();
+        let r = Simulator::new(machine).run(&prog).unwrap();
+        println!(
+            "  {name:<32} {:>6.2} virtual s   DDR {:>6.1} GB, MCDRAM {:>6.1} GB moved, cache hit rate {:>5.1}%",
+            r.makespan,
+            r.ddr_traffic() as f64 / 1e9,
+            r.mcdram_traffic() as f64 / 1e9,
+            r.cache.hit_rate() * 100.0,
+        );
+    }
+    println!();
+    println!("The chunked-flat run beats DDR-only by moving compute traffic onto the");
+    println!("400 GB/s MCDRAM; implicit mode keeps most of that benefit with no");
+    println!("explicit data movement — the paper's central observation.");
+}

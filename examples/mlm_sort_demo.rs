@@ -1,0 +1,47 @@
+//! Compare every Table-1 sort variant, both natively (real data, wall
+//! clock) and on the simulated KNL (virtual seconds at paper scale).
+//!
+//! Run with: `cargo run -p mlm-examples --bin mlm_sort_demo --release`
+
+use mlm_core::sort::host::run_host_sort;
+use mlm_core::sort::sim::build_sort_program;
+use mlm_core::workload::{generate_keys, InputOrder, SortWorkload};
+use mlm_core::{Calibration, SortAlgorithm};
+use parsort::pool::WorkPool;
+use parsort::serial::is_sorted;
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let pool = WorkPool::new(threads);
+    let n_host = 4_000_000;
+    let mega_host = n_host / 4;
+
+    println!("== Host scale: {n_host} random i64 keys, {threads} threads ==");
+    for alg in SortAlgorithm::TABLE1 {
+        let mut keys = generate_keys(n_host, InputOrder::Random, 7);
+        let stats = run_host_sort(&pool, alg, &mut keys, mega_host);
+        assert!(is_sorted(&keys), "{alg:?} must sort");
+        println!("  {:<13} {:>9.1} ms", alg.label(), stats.elapsed.as_secs_f64() * 1e3);
+    }
+
+    println!();
+    println!("== Simulated KNL: 2,000,000,000 int64 keys, 256 threads ==");
+    let cal = Calibration::default();
+    for order in [InputOrder::Random, InputOrder::Reverse] {
+        println!("  input order: {}", order.label());
+        let w = SortWorkload::int64(2_000_000_000, order);
+        for alg in SortAlgorithm::TABLE1 {
+            let mode = if alg.needs_cache_mode() {
+                knl_sim::MemMode::Cache
+            } else {
+                knl_sim::MemMode::Flat
+            };
+            let machine = knl_sim::MachineConfig::knl_7250(mode);
+            let mega =
+                if alg == SortAlgorithm::MlmImplicit { w.n } else { 1_000_000_000 };
+            let prog = build_sort_program(&machine, &cal, w, alg, mega, 256).unwrap();
+            let report = knl_sim::Simulator::new(machine).run(&prog).unwrap();
+            println!("    {:<13} {:>6.2} virtual s", alg.label(), report.makespan);
+        }
+    }
+}

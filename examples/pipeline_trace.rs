@@ -1,0 +1,51 @@
+//! Visualize the triple-buffered pipeline as a Gantt chart — the paper's
+//! Figure 2 ("chunking and buffering"), rendered from an actual simulated
+//! execution instead of drawn by hand.
+//!
+//! Run with: `cargo run -p mlm-examples --bin pipeline_trace --release`
+
+use knl_sim::machine::{MachineConfig, MemMode};
+use knl_sim::Simulator;
+use mlm_core::pipeline::{sim::build_program, Placement, PipelineSpec};
+
+fn main() {
+    // A small pipeline so each thread's row is legible: 2 copy-in, 2
+    // copy-out, 4 compute threads; 6 chunks.
+    let spec = PipelineSpec {
+        total_bytes: 12_000_000_000,
+        chunk_bytes: 2_000_000_000,
+        p_in: 2,
+        p_out: 2,
+        p_comp: 4,
+        compute_passes: 2,
+        compute_rate: 3.0e9,
+        copy_rate: 4.8e9,
+        placement: Placement::Hbw,
+        lockstep: true,
+        data_addr: 0,
+    };
+    let machine = MachineConfig::knl_7250(MemMode::Flat);
+    let prog = build_program(&spec).unwrap();
+    let (report, trace) = Simulator::new(machine).run_traced(&prog).unwrap();
+
+    println!("Triple-buffered pipeline, {} chunks, lockstep steps", spec.n_chunks());
+    println!("threads 0-1: copy-in | threads 2-3: copy-out | threads 4-7: compute");
+    println!("(compare with the paper's Figure 2)\n");
+    println!("{}", trace.gantt(0..spec.threads(), 72));
+    println!("DDR    |{}|", trace.bus_sparkline(true, 72));
+    println!("MCDRAM |{}|", trace.bus_sparkline(false, 72));
+    println!();
+    println!("makespan: {:.3} virtual s", report.makespan);
+    println!(
+        "DDR moved: {:.1} GB, MCDRAM moved: {:.1} GB",
+        report.ddr_traffic() as f64 / 1e9,
+        report.mcdram_traffic() as f64 / 1e9
+    );
+    for t in 0..spec.threads() {
+        println!("thread {t}: busy {:>5.1}%", trace.thread_busy_fraction(t) * 100.0);
+    }
+    println!();
+    println!("Note the fill/drain steps: copy-in rows start busy and idle at the");
+    println!("end; copy-out rows mirror them; compute rows stay dense in between —");
+    println!("exactly the overlap structure of the paper's chunking figures.");
+}

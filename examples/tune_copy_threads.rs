@@ -1,0 +1,35 @@
+//! Use the paper's §3.2 model — and the simulator as a cross-check — to
+//! choose the number of copy threads for a buffered chunking workload.
+//!
+//! Run with: `cargo run -p mlm-examples --bin tune_copy_threads --release -- [repeats]`
+
+use mlm_core::merge_bench::{empirical_optimal_copy_threads, MergeBenchParams};
+use mlm_core::model::ModelParams;
+use mlm_core::Calibration;
+
+fn main() {
+    let repeats: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let model = ModelParams::paper_table2();
+    let machine = knl_sim::MachineConfig::knl_7250(knl_sim::MemMode::Flat);
+    let cal = Calibration::default();
+
+    println!("workload: {} read+write passes per byte staged through MCDRAM", repeats);
+
+    let (p_model, t_model) = model.optimal_copy_threads(repeats);
+    println!(
+        "model (Eqs. 1-5):   use {p_model} copy-in + {p_model} copy-out threads \
+         (predicted {t_model:.3} s for {:.1} GB)",
+        model.b_copy / 1e9
+    );
+
+    let base = MergeBenchParams::paper(1, repeats);
+    let candidates = [1, 2, 4, 8, 16, 32];
+    let (p_sim, t_sim) =
+        empirical_optimal_copy_threads(&machine, &cal, &base, &candidates).unwrap();
+    println!("simulator sweep:    best power-of-two is {p_sim} ({t_sim:.3} virtual s)");
+
+    println!();
+    println!("rule of thumb from the paper: the more compute per byte, the fewer");
+    println!("copy threads you want — rerun with a different repeats argument to see");
+    println!("the optimum move.");
+}

@@ -1,0 +1,1 @@
+//! Integration test crate for the MLM-KNL reproduction (tests live in `tests/`).

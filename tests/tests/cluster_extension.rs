@@ -1,0 +1,104 @@
+//! Integration tests for the multi-node extension (paper §6 future work):
+//! real message-passing PSRS with MLM-sort locals, plus the scaling model.
+
+use mlm_cluster::host::cluster_sort;
+use mlm_cluster::sim::simulate_cluster_sort;
+use mlm_cluster::ClusterConfig;
+use mlm_core::workload::{generate_keys, InputOrder};
+use mlm_core::Calibration;
+use parsort::serial::is_sorted;
+use proptest::prelude::*;
+
+#[test]
+fn distributed_sort_matches_std_at_scale() {
+    let cfg = ClusterConfig::omnipath(6);
+    let data = generate_keys(240_000, InputOrder::Random, 77);
+    let mut expect = data.clone();
+    expect.sort_unstable();
+    let (got, stats) = cluster_sort(&cfg, &data, 3, 20_000);
+    assert_eq!(got, expect);
+    assert_eq!(stats.nodes, 6);
+    assert_eq!(stats.received_per_node.iter().sum::<usize>(), 240_000);
+}
+
+#[test]
+fn distributed_and_single_node_agree() {
+    let data = generate_keys(60_000, InputOrder::Reverse, 3);
+    let (single, _) = cluster_sort(&ClusterConfig::omnipath(1), &data, 4, 15_000);
+    let (multi, _) = cluster_sort(&ClusterConfig::omnipath(5), &data, 2, 6_000);
+    assert_eq!(single, multi);
+    assert!(is_sorted(&single));
+}
+
+#[test]
+fn sim_and_host_share_the_phase_structure() {
+    // The sim models the exact four PSRS phases the host executes; sanity:
+    // the simulated phase breakdown is positive wherever the host phase
+    // does work.
+    let r = simulate_cluster_sort(
+        &ClusterConfig::omnipath(4),
+        &Calibration::default(),
+        4_000_000_000,
+        InputOrder::Random,
+        1_000_000_000,
+        256,
+    )
+    .unwrap();
+    assert!(r.local_sort > 0.0);
+    assert!(r.exchange > 0.0);
+    assert!(r.final_merge > 0.0);
+    assert!((r.local_sort + r.exchange + r.final_merge) <= r.total + 1e-9);
+}
+
+#[test]
+fn weak_scaling_holds_total_roughly_constant() {
+    // Weak scaling: problem grows with nodes => per-node work constant,
+    // total time should stay within ~25% of the single-node time.
+    let cal = Calibration::default();
+    let base = simulate_cluster_sort(
+        &ClusterConfig::omnipath(1),
+        &cal,
+        BILLION,
+        InputOrder::Random,
+        BILLION,
+        256,
+    )
+    .unwrap();
+    for nodes in [2usize, 8, 32] {
+        let r = simulate_cluster_sort(
+            &ClusterConfig::omnipath(nodes),
+            &cal,
+            BILLION * nodes as u64,
+            InputOrder::Random,
+            BILLION,
+            256,
+        )
+        .unwrap();
+        let ratio = r.total / base.total;
+        assert!(
+            (0.9..1.4).contains(&ratio),
+            "weak scaling at {nodes} nodes: ratio {ratio:.2}"
+        );
+    }
+}
+
+const BILLION: u64 = 1_000_000_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn psrs_equals_std_sort_on_arbitrary_input(
+        data in proptest::collection::vec(any::<i64>(), 0..20_000),
+        nodes in 1usize..7,
+        threads in 1usize..4,
+    ) {
+        let cfg = ClusterConfig::omnipath(nodes);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let mega = (data.len() / 3).max(1);
+        let (got, stats) = cluster_sort(&cfg, &data, threads, mega);
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(stats.received_per_node.iter().sum::<usize>(), data.len());
+    }
+}

@@ -1,0 +1,155 @@
+//! End-to-end host correctness: the real algorithms on real data, across
+//! crates (pool + sorts + pipeline + memkind wired together).
+
+use knl_sim::machine::{MachineConfig, MemMode};
+use mlm_core::merge_bench::merge_kernel;
+use mlm_core::pipeline::{host::run_host_pipeline, Placement, PipelineSpec};
+use mlm_core::sort::host::{basic_chunked_sort, mlm_sort, run_host_sort};
+use mlm_core::workload::{generate_keys, InputOrder};
+use mlm_core::SortAlgorithm;
+use mlm_memkind::{Kind, MemKind};
+use parsort::pool::WorkPool;
+use parsort::serial::is_sorted;
+
+#[test]
+fn all_variants_sort_all_orders_at_scale() {
+    let pool = WorkPool::new(8);
+    let n = 300_000;
+    for order in InputOrder::ALL {
+        let base = generate_keys(n, order, 99);
+        let mut expect = base.clone();
+        expect.sort_unstable();
+        for alg in SortAlgorithm::TABLE1 {
+            let mut v = base.clone();
+            run_host_sort(&pool, alg, &mut v, 70_000);
+            assert_eq!(v, expect, "{alg:?} {order:?}");
+        }
+        let mut v = base.clone();
+        basic_chunked_sort(&pool, &mut v, 70_000);
+        assert_eq!(v, expect, "basic {order:?}");
+    }
+}
+
+#[test]
+fn pool_sizes_do_not_affect_results() {
+    let n = 100_000;
+    let base = generate_keys(n, InputOrder::Random, 5);
+    let mut expect = base.clone();
+    expect.sort_unstable();
+    for threads in [1usize, 2, 3, 7, 16] {
+        let pool = WorkPool::new(threads);
+        let mut v = base.clone();
+        mlm_sort(&pool, &mut v, 33_333, true);
+        assert_eq!(v, expect, "threads={threads}");
+    }
+}
+
+#[test]
+fn pipeline_with_merge_kernel_preserves_data() {
+    let pool = WorkPool::new(6);
+    let n = 120_000;
+    let data = generate_keys(n, InputOrder::Random, 1);
+    let spec = PipelineSpec {
+        total_bytes: (n * 8) as u64,
+        chunk_bytes: 8 * 10_000,
+        p_in: 2,
+        p_out: 2,
+        p_comp: 2,
+        compute_passes: 3,
+        compute_rate: 1e9,
+        copy_rate: 1e9,
+        placement: Placement::Hbw,
+        lockstep: true,
+        data_addr: 0,
+    };
+    let mut out = vec![0i64; n];
+    let stats = run_host_pipeline(&pool, &spec, &data, &mut out, |slice, _| {
+        merge_kernel(slice, 3)
+    });
+    assert_eq!(stats.chunks, 12);
+    // The kernel permutes within slices; the global multiset must survive.
+    let mut a = data.clone();
+    let mut b = out.clone();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn sorting_kernel_inside_pipeline_sorts_each_slice() {
+    let pool = WorkPool::new(4);
+    let n = 64_000;
+    let data = generate_keys(n, InputOrder::Random, 2);
+    let spec = PipelineSpec {
+        total_bytes: (n * 8) as u64,
+        chunk_bytes: 8 * 16_000,
+        p_in: 1,
+        p_out: 1,
+        p_comp: 2,
+        compute_passes: 1,
+        compute_rate: 1e9,
+        copy_rate: 1e9,
+        placement: Placement::Hbw,
+        lockstep: true,
+        data_addr: 0,
+    };
+    let mut out = vec![0i64; n];
+    run_host_pipeline(&pool, &spec, &data, &mut out, |slice, _| {
+        parsort::serial::introsort(slice)
+    });
+    // Each compute slice (chunk/p_comp) is sorted: 8 sorted runs.
+    for run in out.chunks(8_000) {
+        assert!(is_sorted(run));
+    }
+}
+
+#[test]
+fn memkind_capacity_mirrors_machine_modes() {
+    for mode in [MemMode::Flat, MemMode::Cache, MemMode::Hybrid { cache_fraction: 0.25 }] {
+        let cfg = MachineConfig::knl_7250(mode);
+        let mk = MemKind::new(&cfg);
+        assert_eq!(mk.available(knl_sim::MemLevel::Mcdram), cfg.addressable_mcdram());
+        // A working set larger than MCDRAM must be stageable chunk-wise:
+        // allocate chunk buffers strictly inside MCDRAM.
+        if cfg.addressable_mcdram() > 0 {
+            let chunk = cfg.addressable_mcdram() / 3;
+            let bufs: Vec<_> =
+                (0..3).map(|_| mk.malloc(Kind::Hbw, chunk).unwrap()).collect();
+            assert!(mk.malloc(Kind::Hbw, chunk).is_err(), "MCDRAM fully booked");
+            for b in bufs {
+                mk.free(b);
+            }
+        }
+    }
+}
+
+#[test]
+fn host_and_sim_agree_on_structure() {
+    // The host run and the sim program are built from the same parameters;
+    // check the chunk arithmetic agrees.
+    let spec = PipelineSpec {
+        total_bytes: 8 * 100_000,
+        chunk_bytes: 8 * 12_000,
+        p_in: 2,
+        p_out: 2,
+        p_comp: 4,
+        compute_passes: 2,
+        compute_rate: 1e9,
+        copy_rate: 1e9,
+        placement: Placement::Hbw,
+        lockstep: true,
+        data_addr: 0,
+    };
+    let pool = WorkPool::new(4);
+    let data = generate_keys(100_000, InputOrder::Random, 3);
+    let mut out = vec![0i64; 100_000];
+    let stats = run_host_pipeline(&pool, &spec, &data, &mut out, |_s, _c| {});
+    assert_eq!(stats.chunks, spec.n_chunks());
+
+    let prog = mlm_core::pipeline::sim::build_program(&spec).unwrap();
+    let machine = MachineConfig::tiny(MemMode::Flat);
+    let report = knl_sim::Simulator::new(machine).run(&prog).unwrap();
+    // Sim moves every byte in and out exactly once.
+    assert_eq!(report.traffic_on(knl_sim::MemLevel::Ddr).read, spec.total_bytes);
+    assert_eq!(report.traffic_on(knl_sim::MemLevel::Ddr).written, spec.total_bytes);
+}

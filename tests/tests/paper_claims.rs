@@ -1,0 +1,260 @@
+//! Integration tests asserting the paper's qualitative claims hold on the
+//! simulated machine — the "shape" checks EXPERIMENTS.md reports.
+
+use mlm_bench::experiments::{bender_check, fig6, fig7, simulate_sort, table1, table3};
+use mlm_bench::BILLION;
+use mlm_core::{Calibration, InputOrder, SortAlgorithm};
+
+fn cal() -> Calibration {
+    Calibration::default()
+}
+
+fn sim(n: u64, order: InputOrder, alg: SortAlgorithm) -> f64 {
+    simulate_sort(&cal(), n, order, alg).unwrap()
+}
+
+/// Abstract: "up to a 1.9X speedup for sort when the problem does not fit
+/// in MCDRAM over an OpenMP GNU sort that does not use MCDRAM"; conclusion:
+/// "approximately 1.6-1.9X (depending on input order)".
+#[test]
+fn headline_speedup_band() {
+    let mut best_speedup = 0.0f64;
+    for &n in &[2 * BILLION, 4 * BILLION, 6 * BILLION] {
+        for order in InputOrder::PAPER {
+            let flat = sim(n, order, SortAlgorithm::GnuFlat);
+            for alg in [SortAlgorithm::MlmSort, SortAlgorithm::MlmImplicit] {
+                let mega_ok = sim(n, order, alg);
+                let speedup = flat / mega_ok;
+                assert!(
+                    speedup > 1.15,
+                    "{n} {order:?} {alg:?}: MLM must clearly beat GNU-flat, got {speedup:.2}"
+                );
+                best_speedup = best_speedup.max(speedup);
+            }
+        }
+    }
+    assert!(
+        (1.5..2.2).contains(&best_speedup),
+        "peak speedup {best_speedup:.2} outside the paper's 1.6-1.9x neighbourhood"
+    );
+}
+
+/// §4.1: "algorithms designed for flat mode, used with the MCDRAM in cache
+/// mode, give significant performance gains over an unchunked
+/// implementation" — MLM-implicit beats GNU-cache everywhere.
+#[test]
+fn implicit_chunking_beats_unchunked_cache_mode() {
+    for &n in &[2 * BILLION, 4 * BILLION, 6 * BILLION] {
+        for order in InputOrder::PAPER {
+            let gnu_cache = sim(n, order, SortAlgorithm::GnuCache);
+            let implicit = sim(n, order, SortAlgorithm::MlmImplicit);
+            assert!(
+                implicit < gnu_cache,
+                "{n} {order:?}: implicit {implicit:.2} !< GNU-cache {gnu_cache:.2}"
+            );
+        }
+    }
+}
+
+/// §4.1: explicit flat-mode placement improves on cache mode for data sets
+/// exceeding MCDRAM — MLM-sort beats GNU-cache everywhere.
+#[test]
+fn explicit_flat_mode_beats_system_managed_cache() {
+    for &n in &[2 * BILLION, 4 * BILLION, 6 * BILLION] {
+        for order in InputOrder::PAPER {
+            let gnu_cache = sim(n, order, SortAlgorithm::GnuCache);
+            let mlm = sim(n, order, SortAlgorithm::MlmSort);
+            assert!(mlm < gnu_cache, "{n} {order:?}: {mlm:.2} !< {gnu_cache:.2}");
+        }
+    }
+}
+
+/// Hardware cache mode helps even unchunked code (Fig. 6: GNU-cache bars
+/// above 1.0).
+#[test]
+fn gnu_cache_beats_gnu_flat() {
+    for &n in &[2 * BILLION, 4 * BILLION, 6 * BILLION] {
+        for order in InputOrder::PAPER {
+            let flat = sim(n, order, SortAlgorithm::GnuFlat);
+            let cache = sim(n, order, SortAlgorithm::GnuCache);
+            assert!(cache < flat, "{n} {order:?}: {cache:.2} !< {flat:.2}");
+        }
+    }
+}
+
+/// MLM's restructuring alone (no MCDRAM at all) already beats GNU — the
+/// paper's MLM-ddr rows.
+#[test]
+fn mlm_structure_wins_without_mcdram() {
+    for &n in &[2 * BILLION, 4 * BILLION] {
+        for order in InputOrder::PAPER {
+            let gnu = sim(n, order, SortAlgorithm::GnuFlat);
+            let ddr = sim(n, order, SortAlgorithm::MlmDdr);
+            assert!(ddr < gnu, "{n} {order:?}: {ddr:.2} !< {gnu:.2}");
+        }
+    }
+}
+
+/// Reverse-sorted input is faster than random for every variant
+/// (Table 1's two halves).
+#[test]
+fn structured_input_is_faster() {
+    for alg in SortAlgorithm::TABLE1 {
+        let r = sim(2 * BILLION, InputOrder::Random, alg);
+        let v = sim(2 * BILLION, InputOrder::Reverse, alg);
+        assert!(v < r, "{alg:?}: reverse {v:.2} !< random {r:.2}");
+    }
+}
+
+/// Figure 7's two claims: MLM-sort prefers the largest feasible chunk and
+/// cannot exceed MCDRAM; MLM-implicit's best megachunk is the problem size.
+#[test]
+fn fig7_chunk_size_shape() {
+    let points = fig7(&cal());
+    let mlm: Vec<_> =
+        points.iter().filter(|p| p.algorithm == SortAlgorithm::MlmSort).collect();
+    // Feasible up to 2B elements (16 GB = MCDRAM), infeasible past it.
+    for p in &mlm {
+        if p.megachunk_elems <= 2 * BILLION {
+            assert!(p.seconds.is_some(), "mega {} should fit", p.megachunk_elems);
+        } else {
+            assert!(p.seconds.is_none(), "mega {} must exceed MCDRAM", p.megachunk_elems);
+        }
+    }
+    // Largest feasible chunk is (near-)optimal: no small chunk beats it by
+    // more than noise, and the smallest chunk is strictly worse.
+    let t_small = mlm.first().unwrap().seconds.unwrap();
+    let t_big = mlm.iter().rev().find_map(|p| p.seconds).unwrap();
+    assert!(t_big < t_small, "large chunks must win: {t_big:.2} !< {t_small:.2}");
+
+    let implicit: Vec<_> =
+        points.iter().filter(|p| p.algorithm == SortAlgorithm::MlmImplicit).collect();
+    let best_impl = implicit
+        .iter()
+        .min_by(|a, b| a.seconds.unwrap().total_cmp(&b.seconds.unwrap()))
+        .unwrap();
+    assert_eq!(
+        best_impl.megachunk_elems,
+        6 * BILLION,
+        "implicit keeps improving as megachunk size exceeds MCDRAM"
+    );
+}
+
+/// Table 3: both the model and the simulated empirical optimum decrease
+/// monotonically with repeats, and the asymptotes match the paper exactly.
+#[test]
+fn table3_shape() {
+    let rows = table3(&cal()).unwrap();
+    assert_eq!(rows.len(), 7);
+    for w in rows.windows(2) {
+        assert!(w[1].model <= w[0].model, "model column must be non-increasing");
+        assert!(w[1].empirical <= w[0].empirical, "empirical column must be non-increasing");
+    }
+    let first = rows.first().unwrap();
+    let last = rows.last().unwrap();
+    assert_eq!(first.model, 10, "low-repeat model optimum (paper: 10)");
+    assert!(first.empirical >= 16, "low-repeat empirical optimum is large (paper: 16)");
+    assert_eq!(last.model, 1, "high-repeat model optimum (paper: 1)");
+    assert_eq!(last.empirical, 1, "high-repeat empirical optimum (paper: 1)");
+    // Every row within one power-of-two step of the paper's empirical column.
+    for r in &rows {
+        let ratio = r.empirical as f64 / r.paper_empirical as f64;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "repeats {}: empirical {} vs paper {}",
+            r.repeats,
+            r.empirical,
+            r.paper_empirical
+        );
+    }
+}
+
+/// §2.3: corroborate Bender et al. — chunking reduces DDR traffic by
+/// roughly 2.5x, and the basic chunked algorithm gains over GNU-flat but
+/// not over cache mode (§4: "no advantage over GNU parallel sort run in
+/// hardware cache mode").
+#[test]
+fn bender_corroboration() {
+    let b = bender_check(&cal()).unwrap();
+    assert!(
+        (2.0..4.5).contains(&b.ddr_traffic_reduction),
+        "DDR traffic reduction {:.2} not in the ~2.5x neighbourhood",
+        b.ddr_traffic_reduction
+    );
+    assert!(
+        b.basic_speedup > 1.0,
+        "basic chunking must gain over GNU-flat, got {:.2}",
+        b.basic_speedup
+    );
+    let gnu_cache = sim(2 * BILLION, InputOrder::Random, SortAlgorithm::GnuCache);
+    let gnu_flat = sim(2 * BILLION, InputOrder::Random, SortAlgorithm::GnuFlat);
+    let basic = gnu_flat / b.basic_speedup;
+    assert!(
+        basic > gnu_cache * 0.9,
+        "basic chunked ({basic:.2}) should NOT clearly beat GNU-cache ({gnu_cache:.2})"
+    );
+}
+
+/// Every simulated Table-1 cell lands within 2x of the paper's measurement
+/// (absolute accuracy), and the full-table correlation is strong.
+#[test]
+fn table1_absolute_accuracy() {
+    let rows = table1(&cal()).unwrap();
+    assert_eq!(rows.len(), 30);
+    let mut log_err_sum = 0.0f64;
+    let mut worst: f64 = 1.0;
+    for r in &rows {
+        // Skip the paper's 6B-random MLM-ddr transcription artifact.
+        if r.elements == 6 * BILLION
+            && r.order == InputOrder::Random
+            && r.algorithm == SortAlgorithm::MlmDdr
+        {
+            continue;
+        }
+        let ratio = r.sim_seconds / r.paper_mean;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "{:?} {} {:?}: sim {:.2} vs paper {:.2}",
+            r.algorithm,
+            r.elements,
+            r.order,
+            r.sim_seconds,
+            r.paper_mean
+        );
+        log_err_sum += ratio.ln().abs();
+        worst = worst.max(ratio.max(1.0 / ratio));
+    }
+    let geo_mean_err = (log_err_sum / 29.0).exp();
+    assert!(
+        geo_mean_err < 1.25,
+        "geometric-mean |error| {geo_mean_err:.3} should be under 25%"
+    );
+}
+
+/// Figure 6 consistency: GNU-flat normalizes to exactly 1.0 and the sim
+/// speedup of the winning variant tracks the paper's within 35%.
+#[test]
+fn fig6_speedups_track_paper() {
+    let rows = table1(&cal()).unwrap();
+    let bars = fig6(&rows);
+    for b in &bars {
+        if b.algorithm == SortAlgorithm::GnuFlat {
+            assert!((b.sim_speedup - 1.0).abs() < 1e-12);
+            continue;
+        }
+        let ratio = b.sim_speedup / b.paper_speedup;
+        // The 6B MLM-ddr paper artifact aside, speedups track.
+        if b.elements == 6 * BILLION && b.algorithm == SortAlgorithm::MlmDdr {
+            continue;
+        }
+        assert!(
+            (0.6..1.7).contains(&ratio),
+            "{:?} {} {:?}: sim speedup {:.2} vs paper {:.2}",
+            b.algorithm,
+            b.elements,
+            b.order,
+            b.sim_speedup,
+            b.paper_speedup
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Cross-crate property tests: the full MLM-sort stack equals std sort on
+//! arbitrary inputs; pipelines preserve data; the model and simulator obey
+//! their invariants for arbitrary parameters.
+
+use mlm_core::merge_bench::merge_kernel;
+use mlm_core::model::ModelParams;
+use mlm_core::pipeline::{host::run_host_pipeline, Placement, PipelineSpec};
+use mlm_core::sort::host::mlm_sort;
+use parsort::pool::WorkPool;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mlm_sort_equals_std_sort(
+        mut data in proptest::collection::vec(any::<i64>(), 0..5000),
+        mega in 1usize..2000,
+        explicit in any::<bool>(),
+        threads in 1usize..6,
+    ) {
+        let pool = WorkPool::new(threads);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        mlm_sort(&pool, &mut data, mega, explicit);
+        prop_assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn merge_kernel_preserves_multiset(
+        data in proptest::collection::vec(any::<i32>(), 0..2000),
+        repeats in 0u32..6,
+    ) {
+        let mut v: Vec<i32> = data.clone();
+        merge_kernel(&mut v, repeats);
+        let mut a = data;
+        let mut b = v;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pipeline_identity_kernel_is_a_copy(
+        data in proptest::collection::vec(any::<i64>(), 1..4000),
+        chunk_elems in 1usize..1500,
+        p_in in 1usize..4,
+        p_out in 1usize..4,
+        p_comp in 1usize..4,
+    ) {
+        let pool = WorkPool::new(4);
+        let spec = PipelineSpec {
+            total_bytes: (data.len() * 8) as u64,
+            chunk_bytes: (chunk_elems * 8) as u64,
+            p_in,
+            p_out,
+            p_comp,
+            compute_passes: 1,
+            compute_rate: 1e9,
+            copy_rate: 1e9,
+            placement: Placement::Hbw,
+            lockstep: true,
+            data_addr: 0,
+        };
+        let mut out = vec![0i64; data.len()];
+        run_host_pipeline(&pool, &spec, &data, &mut out, |_s, _c| {});
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn model_times_are_positive_and_monotone_in_passes(
+        copy_threads in 1usize..100,
+        passes in 1u32..100,
+    ) {
+        let m = ModelParams::paper_table2();
+        if let Some(t1) = m.t_total(copy_threads, passes) {
+            prop_assert!(t1 > 0.0 && t1.is_finite());
+            if let Some(t2) = m.t_total(copy_threads, passes + 1) {
+                prop_assert!(t2 >= t1, "more passes cannot be faster");
+            }
+        }
+    }
+
+    #[test]
+    fn model_copy_time_monotone_in_threads(p in 1usize..126) {
+        let m = ModelParams::paper_table2();
+        let t1 = m.t_copy(p, p);
+        let t2 = m.t_copy(p + 1, p + 1);
+        prop_assert!(t2 <= t1 * (1.0 + 1e-12), "more copy threads cannot slow copying");
+    }
+
+    #[test]
+    fn optimal_copy_threads_monotone_in_passes(passes in 1u32..64) {
+        let m = ModelParams::paper_table2();
+        let (a, _) = m.optimal_copy_threads(passes);
+        let (b, _) = m.optimal_copy_threads(passes * 2);
+        prop_assert!(b <= a, "doubling compute cannot raise the copy-thread optimum");
+    }
+}

@@ -1,0 +1,138 @@
+//! Cross-crate simulator invariants: conservation, determinism, and mode
+//! constraints for full paper-scale experiments.
+
+use knl_sim::machine::{MachineConfig, MemMode};
+use knl_sim::{MemLevel, Simulator};
+use mlm_core::sort::sim::build_sort_program;
+use mlm_core::{Calibration, InputOrder, SortAlgorithm, SortWorkload};
+
+const N: u64 = 2_000_000_000;
+
+fn machine_for(alg: SortAlgorithm) -> MachineConfig {
+    MachineConfig::knl_7250(if alg.needs_cache_mode() { MemMode::Cache } else { MemMode::Flat })
+}
+
+#[test]
+fn sort_programs_move_plausible_traffic() {
+    let cal = Calibration::default();
+    let w = SortWorkload::int64(N, InputOrder::Random);
+    for alg in SortAlgorithm::TABLE1 {
+        let machine = machine_for(alg);
+        let prog = build_sort_program(&machine, &cal, w, alg, 1_000_000_000, 256).unwrap();
+        let r = Simulator::new(machine).run(&prog).unwrap();
+        let data_bytes = w.bytes();
+        // Every variant must at least read and write the key array once.
+        let total = r.ddr_traffic() + r.mcdram_traffic();
+        assert!(
+            total >= 2 * data_bytes,
+            "{alg:?}: total traffic {total} < two passes over the data"
+        );
+        // And nothing should move more than ~50 passes worth.
+        assert!(total < 50 * data_bytes, "{alg:?}: absurd traffic {total}");
+        assert!(r.makespan > 0.0 && r.makespan.is_finite());
+        // Utilization is a valid fraction on both buses.
+        for u in r.utilization {
+            assert!((0.0..=1.0 + 1e-9).contains(&u), "{alg:?}: utilization {u}");
+        }
+    }
+}
+
+#[test]
+fn mlm_sort_moves_less_ddr_traffic_than_gnu() {
+    // The mechanism behind the speedup: chunking moves compute traffic
+    // onto MCDRAM, relieving DDR (Bender et al.'s 2.5x claim).
+    let cal = Calibration::default();
+    let w = SortWorkload::int64(N, InputOrder::Random);
+    let gnu_machine = machine_for(SortAlgorithm::GnuFlat);
+    let gnu = Simulator::new(gnu_machine.clone())
+        .run(&build_sort_program(&gnu_machine, &cal, w, SortAlgorithm::GnuFlat, N, 256).unwrap())
+        .unwrap();
+    let mlm_machine = machine_for(SortAlgorithm::MlmSort);
+    let mlm = Simulator::new(mlm_machine.clone())
+        .run(
+            &build_sort_program(&mlm_machine, &cal, w, SortAlgorithm::MlmSort, 1_000_000_000, 256)
+                .unwrap(),
+        )
+        .unwrap();
+    assert!(
+        gnu.traffic_on(MemLevel::Ddr).total() > 2 * mlm.traffic_on(MemLevel::Ddr).total(),
+        "GNU DDR {} vs MLM DDR {}",
+        gnu.ddr_traffic(),
+        mlm.ddr_traffic()
+    );
+    // MLM makes it up in MCDRAM traffic.
+    assert!(mlm.mcdram_traffic() > gnu.mcdram_traffic());
+}
+
+#[test]
+fn paper_scale_runs_are_deterministic() {
+    let cal = Calibration::default();
+    let w = SortWorkload::int64(N, InputOrder::Reverse);
+    let machine = machine_for(SortAlgorithm::MlmImplicit);
+    let prog = build_sort_program(&machine, &cal, w, SortAlgorithm::MlmImplicit, N, 256).unwrap();
+    let sim = Simulator::new(machine);
+    let a = sim.run(&prog).unwrap();
+    let b = sim.run(&prog).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn thread_count_scaling_is_sane() {
+    // More threads never makes the simulated sort slower (work-conserving
+    // arbitration, no modeled oversubscription penalty beyond the rates).
+    let cal = Calibration::default();
+    let w = SortWorkload::int64(N, InputOrder::Random);
+    let machine = machine_for(SortAlgorithm::MlmSort);
+    let mut prev = f64::INFINITY;
+    for threads in [64usize, 128, 256] {
+        let prog =
+            build_sort_program(&machine, &cal, w, SortAlgorithm::MlmSort, 1_000_000_000, threads)
+                .unwrap();
+        let t = Simulator::new(machine.clone()).run(&prog).unwrap().makespan;
+        assert!(t <= prev * 1.001, "threads={threads}: {t} > {prev}");
+        prev = t;
+    }
+}
+
+#[test]
+fn hybrid_mode_supports_mlm_sort_with_smaller_chunks() {
+    let cal = Calibration::default();
+    let machine = MachineConfig::knl_7250(MemMode::Hybrid { cache_fraction: 0.5 });
+    let w = SortWorkload::int64(N, InputOrder::Random);
+    // 1B elements = 8 GB = exactly the hybrid flat share: fits.
+    let ok = build_sort_program(&machine, &cal, w, SortAlgorithm::MlmSort, 1_000_000_000, 256);
+    assert!(ok.is_ok());
+    // 1.5B elements = 12 GB > 8 GB flat share: rejected.
+    let too_big =
+        build_sort_program(&machine, &cal, w, SortAlgorithm::MlmSort, 1_500_000_000, 256);
+    assert!(too_big.is_err());
+    // §4.2: hybrid at the same (feasible) chunk size performs like flat.
+    let hybrid_t = Simulator::new(machine.clone()).run(&ok.unwrap()).unwrap().makespan;
+    let flat_machine = MachineConfig::knl_7250(MemMode::Flat);
+    let flat_prog =
+        build_sort_program(&flat_machine, &cal, w, SortAlgorithm::MlmSort, 1_000_000_000, 256)
+            .unwrap();
+    let flat_t = Simulator::new(flat_machine).run(&flat_prog).unwrap().makespan;
+    assert!(
+        (hybrid_t / flat_t - 1.0).abs() < 0.15,
+        "hybrid {hybrid_t:.2} vs flat {flat_t:.2} at equal chunk size"
+    );
+}
+
+#[test]
+fn stream_calibration_holds_under_modes() {
+    // The simulated machine's STREAM numbers must not drift when modes
+    // change (flat MCDRAM unavailable in cache mode, but DDR unchanged).
+    for mode in [MemMode::Flat, MemMode::Cache] {
+        let machine = MachineConfig::knl_7250(mode);
+        let r = mlm_stream::sim::sim_kernel(
+            &machine,
+            MemLevel::Ddr,
+            mlm_stream::StreamKernel::Triad,
+            10_000_000,
+            64,
+        )
+        .unwrap();
+        assert!((r.bandwidth - 90e9).abs() < 1e6);
+    }
+}
