@@ -37,7 +37,11 @@ impl Region {
             "slice [{offset}, {offset}+{size}) out of region of {} bytes",
             self.size
         );
-        Region { level: self.level, addr: self.addr + offset, size }
+        Region {
+            level: self.level,
+            addr: self.addr + offset,
+            size,
+        }
     }
 }
 
@@ -54,8 +58,17 @@ pub struct RegionAllocator {
 impl RegionAllocator {
     /// Allocator over `[0, capacity)` of `level`.
     pub fn new(level: MemLevel, capacity: u64) -> Self {
-        let free = if capacity > 0 { vec![(0, capacity)] } else { Vec::new() };
-        RegionAllocator { level, capacity, free, allocated: 0 }
+        let free = if capacity > 0 {
+            vec![(0, capacity)]
+        } else {
+            Vec::new()
+        };
+        RegionAllocator {
+            level,
+            capacity,
+            free,
+            allocated: 0,
+        }
     }
 
     /// The level this allocator manages.
@@ -81,7 +94,10 @@ impl RegionAllocator {
     /// Allocate `size` bytes, optionally aligned to `align` (a power of two
     /// or 1). First fit.
     pub fn alloc_aligned(&mut self, size: u64, align: u64) -> Result<Region, SimError> {
-        assert!(align.is_power_of_two() || align == 1, "alignment must be a power of two");
+        assert!(
+            align.is_power_of_two() || align == 1,
+            "alignment must be a power of two"
+        );
         if size == 0 {
             return Err(SimError::BadOp("zero-byte allocation".into()));
         }
@@ -101,7 +117,11 @@ impl RegionAllocator {
                     self.free.insert(at, (aligned + size, tail));
                 }
                 self.allocated += size;
-                return Ok(Region { level: self.level, addr: aligned, size });
+                return Ok(Region {
+                    level: self.level,
+                    addr: aligned,
+                    size,
+                });
             }
         }
         Err(SimError::OutOfMemory {
@@ -123,14 +143,23 @@ impl RegionAllocator {
     /// free list (double free).
     pub fn free(&mut self, region: Region) {
         assert_eq!(region.level, self.level, "region freed to wrong level");
-        assert!(region.end() <= self.capacity, "region outside address space");
+        assert!(
+            region.end() <= self.capacity,
+            "region outside address space"
+        );
         let pos = self.free.partition_point(|&(a, _)| a < region.addr);
         if pos > 0 {
             let (pa, ps) = self.free[pos - 1];
-            assert!(pa + ps <= region.addr, "double free / overlap with previous hole");
+            assert!(
+                pa + ps <= region.addr,
+                "double free / overlap with previous hole"
+            );
         }
         if pos < self.free.len() {
-            assert!(region.end() <= self.free[pos].0, "double free / overlap with next hole");
+            assert!(
+                region.end() <= self.free[pos].0,
+                "double free / overlap with next hole"
+            );
         }
         self.free.insert(pos, (region.addr, region.size));
         self.allocated -= region.size;
@@ -173,7 +202,14 @@ mod tests {
         let mut a = alloc();
         a.alloc(900).unwrap();
         let err = a.alloc(200).unwrap_err();
-        assert!(matches!(err, SimError::OutOfMemory { requested: 200, available: 100, .. }));
+        assert!(matches!(
+            err,
+            SimError::OutOfMemory {
+                requested: 200,
+                available: 100,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -242,12 +278,20 @@ mod tests {
     #[should_panic(expected = "wrong level")]
     fn wrong_level_free_panics() {
         let mut a = alloc();
-        a.free(Region { level: MemLevel::Mcdram, addr: 0, size: 10 });
+        a.free(Region {
+            level: MemLevel::Mcdram,
+            addr: 0,
+            size: 10,
+        });
     }
 
     #[test]
     fn slice_stays_in_bounds() {
-        let r = Region { level: MemLevel::Ddr, addr: 100, size: 50 };
+        let r = Region {
+            level: MemLevel::Ddr,
+            addr: 100,
+            size: 50,
+        };
         let s = r.slice(10, 20);
         assert_eq!(s.addr, 110);
         assert_eq!(s.size, 20);
@@ -257,7 +301,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of region")]
     fn slice_out_of_bounds_panics() {
-        let r = Region { level: MemLevel::Ddr, addr: 100, size: 50 };
+        let r = Region {
+            level: MemLevel::Ddr,
+            addr: 100,
+            size: 50,
+        };
         r.slice(40, 20);
     }
 

@@ -34,7 +34,10 @@ pub struct FlowSpec {
 impl FlowSpec {
     /// Flow consuming `coeff` bytes of a single resource per logical byte.
     pub fn single(resource: ResourceId, coeff: f64, cap: f64) -> Self {
-        FlowSpec { demand: vec![(resource, coeff)], cap }
+        FlowSpec {
+            demand: vec![(resource, coeff)],
+            cap,
+        }
     }
 }
 
@@ -57,13 +60,22 @@ impl FlowSpec {
 /// these are programming errors in the engine, not user errors.
 pub fn allocate_rates(capacities: &[f64], flows: &[FlowSpec]) -> Vec<f64> {
     for (r, &c) in capacities.iter().enumerate() {
-        assert!(c > 0.0 && c.is_finite(), "resource {r} has non-positive capacity {c}");
+        assert!(
+            c > 0.0 && c.is_finite(),
+            "resource {r} has non-positive capacity {c}"
+        );
     }
     for (i, f) in flows.iter().enumerate() {
         assert!(f.cap >= 0.0, "flow {i} has negative cap");
         for &(r, coeff) in &f.demand {
-            assert!(r < capacities.len(), "flow {i} references unknown resource {r}");
-            assert!(coeff > 0.0 && coeff.is_finite(), "flow {i} has bad coefficient {coeff}");
+            assert!(
+                r < capacities.len(),
+                "flow {i} references unknown resource {r}"
+            );
+            assert!(
+                coeff > 0.0 && coeff.is_finite(),
+                "flow {i} has bad coefficient {coeff}"
+            );
         }
     }
 
@@ -191,14 +203,20 @@ mod tests {
 
     #[test]
     fn single_capped_flow_gets_its_cap() {
-        let flows = vec![FlowSpec { demand: vec![(DDR, 1.0), (MCD, 1.0)], cap: 4.8e9 }];
+        let flows = vec![FlowSpec {
+            demand: vec![(DDR, 1.0), (MCD, 1.0)],
+            cap: 4.8e9,
+        }];
         let r = allocate_rates(&caps(), &flows);
         assert!((r[0] - 4.8e9).abs() < 1.0);
     }
 
     #[test]
     fn uncapped_flow_limited_by_bottleneck_resource() {
-        let flows = vec![FlowSpec { demand: vec![(DDR, 1.0), (MCD, 1.0)], cap: f64::INFINITY }];
+        let flows = vec![FlowSpec {
+            demand: vec![(DDR, 1.0), (MCD, 1.0)],
+            cap: f64::INFINITY,
+        }];
         let r = allocate_rates(&caps(), &flows);
         assert!((r[0] - 90e9).abs() < 1.0, "DDR is the bottleneck");
     }
@@ -210,7 +228,10 @@ mod tests {
         let s_copy = 4.8e9;
         for p in [1usize, 4, 8, 16, 18, 19, 32, 64] {
             let flows: Vec<FlowSpec> = (0..p)
-                .map(|_| FlowSpec { demand: vec![(DDR, 1.0), (MCD, 1.0)], cap: s_copy })
+                .map(|_| FlowSpec {
+                    demand: vec![(DDR, 1.0), (MCD, 1.0)],
+                    cap: s_copy,
+                })
                 .collect();
             let r = allocate_rates(&caps(), &flows);
             let agg = aggregate(&r);
@@ -236,10 +257,16 @@ mod tests {
         let p_comp = 64usize;
         let mut flows: Vec<FlowSpec> = Vec::new();
         for _ in 0..(2 * p_copy) {
-            flows.push(FlowSpec { demand: vec![(DDR, 1.0), (MCD, 1.0)], cap: s_copy });
+            flows.push(FlowSpec {
+                demand: vec![(DDR, 1.0), (MCD, 1.0)],
+                cap: s_copy,
+            });
         }
         for _ in 0..p_comp {
-            flows.push(FlowSpec { demand: vec![(MCD, 1.0)], cap: s_comp });
+            flows.push(FlowSpec {
+                demand: vec![(MCD, 1.0)],
+                cap: s_comp,
+            });
         }
         let r = allocate_rates(&caps(), &flows);
         let copy_agg: f64 = r[..2 * p_copy].iter().sum();
@@ -248,7 +275,10 @@ mod tests {
         // by resources; they take 76.8 of MCDRAM too.
         assert!((copy_agg - 76.8e9).abs() < 1e3);
         // 64 compute threads want 433.9 GB/s but only 400-76.8=323.2 remains.
-        assert!((comp_agg - (400e9 - 76.8e9)).abs() < 1e6, "comp_agg={comp_agg}");
+        assert!(
+            (comp_agg - (400e9 - 76.8e9)).abs() < 1e6,
+            "comp_agg={comp_agg}"
+        );
     }
 
     #[test]
@@ -275,7 +305,10 @@ mod tests {
 
     #[test]
     fn demandless_flow_gets_its_cap() {
-        let flows = vec![FlowSpec { demand: vec![], cap: 7.0 }];
+        let flows = vec![FlowSpec {
+            demand: vec![],
+            cap: 7.0,
+        }];
         let r = allocate_rates(&[10.0], &flows);
         assert_eq!(r[0], 7.0);
     }
@@ -299,8 +332,14 @@ mod tests {
         // freeze; A continues to 30 - 10 = 20.
         let flows = vec![
             FlowSpec::single(0, 1.0, f64::INFINITY),
-            FlowSpec { demand: vec![(0, 1.0), (1, 1.0)], cap: f64::INFINITY },
-            FlowSpec { demand: vec![(0, 1.0), (1, 1.0)], cap: f64::INFINITY },
+            FlowSpec {
+                demand: vec![(0, 1.0), (1, 1.0)],
+                cap: f64::INFINITY,
+            },
+            FlowSpec {
+                demand: vec![(0, 1.0), (1, 1.0)],
+                cap: f64::INFINITY,
+            },
         ];
         let r = allocate_rates(&[30.0, 10.0], &flows);
         assert!((r[1] - 5.0).abs() < 1e-9);

@@ -230,7 +230,10 @@ mod tests {
     fn write_miss_has_no_fill_read() {
         let mut c = cache_of(16);
         let t = c.access(0, 2 * SEG, true);
-        assert_eq!(t.miss_bytes, 0, "streaming store allocates without DDR read");
+        assert_eq!(
+            t.miss_bytes, 0,
+            "streaming store allocates without DDR read"
+        );
         assert_eq!(t.fill_bytes, 0);
         assert_eq!(t.hit_bytes, 2 * SEG);
         assert_eq!(t.miss_count, 2);

@@ -95,7 +95,10 @@ impl Simulator {
             None
         };
 
-        let capacities = [self.cfg.ddr_bandwidth, self.cfg.effective_mcdram_bandwidth()];
+        let capacities = [
+            self.cfg.ddr_bandwidth,
+            self.cfg.effective_mcdram_bandwidth(),
+        ];
 
         let n_ops = prog.ops().len();
         let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); prog.threads()];
@@ -132,7 +135,9 @@ impl Simulator {
                 let mut progressed = false;
                 for t in 0..queues.len() {
                     while !busy[t] {
-                        let Some(&front) = queues[t].front() else { break };
+                        let Some(&front) = queues[t].front() else {
+                            break;
+                        };
                         if !dep_ready[front] {
                             break;
                         }
@@ -189,8 +194,7 @@ impl Simulator {
             }
 
             if flows.is_empty() && delays.is_empty() {
-                let stuck: Vec<usize> =
-                    (0..n_ops).filter(|&i| !done[i]).take(8).collect();
+                let stuck: Vec<usize> = (0..n_ops).filter(|&i| !done[i]).take(8).collect();
                 return Err(SimError::Deadlock(stuck));
             }
 
@@ -397,7 +401,12 @@ impl Simulator {
         };
 
         let (logical, cap) = match kind {
-            OpKind::Copy { src, dst, bytes, rate_cap } => {
+            OpKind::Copy {
+                src,
+                dst,
+                bytes,
+                rate_cap,
+            } => {
                 charge(&Access::read(*src, *bytes), &mut cache, report)?;
                 charge(&Access::write(*dst, *bytes), &mut cache, report)?;
                 (*bytes as f64, *rate_cap)
@@ -450,9 +459,7 @@ fn bump(t: &mut LevelTraffic, bytes: u64, write: bool) {
 fn spec_len(kind: &OpKind) -> f64 {
     match kind {
         OpKind::Copy { bytes, .. } => *bytes as f64,
-        OpKind::Stream { accesses, .. } => {
-            accesses.iter().map(|a| a.bytes).sum::<u64>() as f64
-        }
+        OpKind::Stream { accesses, .. } => accesses.iter().map(|a| a.bytes).sum::<u64>() as f64,
         OpKind::Delay { .. } => 0.0,
     }
 }
@@ -471,7 +478,16 @@ mod tests {
     fn single_copy_capped_by_thread_rate() {
         let cfg = flat();
         let mut p = Program::new(1);
-        p.push(0, OpKind::copy(Place::Ddr, Place::Mcdram, 2_000_000_000, cfg.per_thread_copy_bw), &[]);
+        p.push(
+            0,
+            OpKind::copy(
+                Place::Ddr,
+                Place::Mcdram,
+                2_000_000_000,
+                cfg.per_thread_copy_bw,
+            ),
+            &[],
+        );
         let r = Simulator::new(cfg).run(&p).unwrap();
         assert!((r.makespan - 2.0).abs() < 1e-9, "2 GB at 1 GB/s");
         assert_eq!(r.traffic_on(MemLevel::Ddr).read, 2_000_000_000);
@@ -484,7 +500,16 @@ mod tests {
         let n = 32; // 32 threads * 1 GB/s = 32 GB/s demand > 10 GB/s DDR
         let mut p = Program::new(n);
         for t in 0..n {
-            p.push(t, OpKind::copy(Place::Ddr, Place::Mcdram, 1_000_000_000, cfg.per_thread_copy_bw), &[]);
+            p.push(
+                t,
+                OpKind::copy(
+                    Place::Ddr,
+                    Place::Mcdram,
+                    1_000_000_000,
+                    cfg.per_thread_copy_bw,
+                ),
+                &[],
+            );
         }
         let r = Simulator::new(cfg).run(&p).unwrap();
         // 32 GB moved at DDR-bound 10 GB/s.
@@ -496,8 +521,16 @@ mod tests {
     fn sequential_ops_on_one_thread_serialize() {
         let cfg = flat();
         let mut p = Program::new(1);
-        p.push(0, OpKind::copy(Place::Ddr, Place::Mcdram, 1_000_000_000, 1.0 * GB), &[]);
-        p.push(0, OpKind::copy(Place::Mcdram, Place::Ddr, 1_000_000_000, 1.0 * GB), &[]);
+        p.push(
+            0,
+            OpKind::copy(Place::Ddr, Place::Mcdram, 1_000_000_000, 1.0 * GB),
+            &[],
+        );
+        p.push(
+            0,
+            OpKind::copy(Place::Mcdram, Place::Ddr, 1_000_000_000, 1.0 * GB),
+            &[],
+        );
         let r = Simulator::new(cfg).run(&p).unwrap();
         assert!((r.makespan - 2.0).abs() < 1e-9);
     }
@@ -506,8 +539,16 @@ mod tests {
     fn independent_threads_overlap() {
         let cfg = flat();
         let mut p = Program::new(2);
-        p.push(0, OpKind::copy(Place::Ddr, Place::Mcdram, 1_000_000_000, 1.0 * GB), &[]);
-        p.push(1, OpKind::inplace_pass(Place::Mcdram, 1_000_000_000, 2.0 * GB), &[]);
+        p.push(
+            0,
+            OpKind::copy(Place::Ddr, Place::Mcdram, 1_000_000_000, 1.0 * GB),
+            &[],
+        );
+        p.push(
+            1,
+            OpKind::inplace_pass(Place::Mcdram, 1_000_000_000, 2.0 * GB),
+            &[],
+        );
         let r = Simulator::new(cfg).run(&p).unwrap();
         // Copy takes 1 s; compute takes 2 GB of traffic at 2 GB/s = 1 s;
         // neither saturates anything; fully overlapped.
@@ -531,7 +572,13 @@ mod tests {
         let mut p = Program::new(3);
         let mut phase1 = Vec::new();
         for t in 0..3 {
-            phase1.push(p.push(t, OpKind::Delay { seconds: (t + 1) as f64 * 0.5 }, &[]));
+            phase1.push(p.push(
+                t,
+                OpKind::Delay {
+                    seconds: (t + 1) as f64 * 0.5,
+                },
+                &[],
+            ));
         }
         let bar = p.barrier(0..3, &phase1);
         for t in 0..3 {
@@ -559,7 +606,11 @@ mod tests {
     fn mcdram_not_addressable_in_cache_mode() {
         let cfg = MachineConfig::tiny(MemMode::Cache);
         let mut p = Program::new(1);
-        p.push(0, OpKind::copy(Place::Ddr, Place::Mcdram, 1000, 1.0 * GB), &[]);
+        p.push(
+            0,
+            OpKind::copy(Place::Ddr, Place::Mcdram, 1000, 1.0 * GB),
+            &[],
+        );
         let err = Simulator::new(cfg).run(&p).unwrap_err();
         assert_eq!(err, SimError::LevelNotAddressable(MemLevel::Mcdram));
     }
@@ -572,12 +623,18 @@ mod tests {
         let mut p = Program::new(1);
         let a = p.push(
             0,
-            OpKind::Stream { accesses: vec![Access::read(Place::CachedDdr { addr: 0 }, bytes)], rate_cap: 100.0 * GB },
+            OpKind::Stream {
+                accesses: vec![Access::read(Place::CachedDdr { addr: 0 }, bytes)],
+                rate_cap: 100.0 * GB,
+            },
             &[],
         );
         p.push(
             0,
-            OpKind::Stream { accesses: vec![Access::read(Place::CachedDdr { addr: 0 }, bytes)], rate_cap: 100.0 * GB },
+            OpKind::Stream {
+                accesses: vec![Access::read(Place::CachedDdr { addr: 0 }, bytes)],
+                rate_cap: 100.0 * GB,
+            },
             &[a],
         );
         let r = Simulator::new(cfg.clone()).run(&p).unwrap();
@@ -585,7 +642,11 @@ mod tests {
         // Second pass: all hits, MCDRAM at 40 GB/s.
         let b = bytes as f64;
         let expect = b / (10.0 * GB) + b / (40.0 * GB);
-        assert!((r.makespan - expect).abs() / expect < 1e-6, "makespan={}", r.makespan);
+        assert!(
+            (r.makespan - expect).abs() / expect < 1e-6,
+            "makespan={}",
+            r.makespan
+        );
         assert_eq!(r.cache.miss_bytes, bytes);
         assert_eq!(r.cache.hit_bytes, bytes);
         // DDR traffic: only the cold pass.
@@ -599,7 +660,10 @@ mod tests {
         let mut p = Program::new(1);
         p.push(
             0,
-            OpKind::Stream { accesses: vec![Access::read(Place::CachedDdr { addr: 0 }, bytes)], rate_cap: 100.0 * GB },
+            OpKind::Stream {
+                accesses: vec![Access::read(Place::CachedDdr { addr: 0 }, bytes)],
+                rate_cap: 100.0 * GB,
+            },
             &[],
         );
         let r = Simulator::new(cfg).run(&p).unwrap();
@@ -616,13 +680,20 @@ mod tests {
         let mut p = Program::new(1);
         p.push(
             0,
-            OpKind::Stream { accesses: vec![Access::read(Place::CachedDdr { addr: 0 }, bytes)], rate_cap: 100.0 * GB },
+            OpKind::Stream {
+                accesses: vec![Access::read(Place::CachedDdr { addr: 0 }, bytes)],
+                rate_cap: 100.0 * GB,
+            },
             &[],
         );
         let r = Simulator::new(cfg).run(&p).unwrap();
         let transfer = bytes as f64 / (10.0 * GB);
         let expect = transfer + 8.0 * 1e-3;
-        assert!((r.makespan - expect).abs() < 1e-9, "makespan={}", r.makespan);
+        assert!(
+            (r.makespan - expect).abs() < 1e-9,
+            "makespan={}",
+            r.makespan
+        );
     }
 
     #[test]
@@ -635,10 +706,23 @@ mod tests {
         let comp_traffic = 2_000_000_000u64;
         let mut p = Program::new(p_copy + p_comp);
         for t in 0..p_copy {
-            p.push(t, OpKind::copy(Place::Ddr, Place::Mcdram, copy_bytes, cfg.per_thread_copy_bw), &[]);
+            p.push(
+                t,
+                OpKind::copy(
+                    Place::Ddr,
+                    Place::Mcdram,
+                    copy_bytes,
+                    cfg.per_thread_copy_bw,
+                ),
+                &[],
+            );
         }
         for t in 0..p_comp {
-            p.push(p_copy + t, OpKind::inplace_pass(Place::Mcdram, comp_traffic / 2, cfg.per_thread_compute_bw), &[]);
+            p.push(
+                p_copy + t,
+                OpKind::inplace_pass(Place::Mcdram, comp_traffic / 2, cfg.per_thread_compute_bw),
+                &[],
+            );
         }
         let r = Simulator::new(cfg).run(&p).unwrap();
         // Copies: 16 * 4.8 = 76.8 GB/s (< 90), each finishes 1 GB in 0.2083 s.
@@ -663,8 +747,16 @@ mod tests {
     fn served_bytes_match_traffic_counters() {
         let cfg = flat();
         let mut p = Program::new(2);
-        p.push(0, OpKind::copy(Place::Ddr, Place::Mcdram, 500_000_000, 1.0 * GB), &[]);
-        p.push(1, OpKind::inplace_pass(Place::Ddr, 250_000_000, 2.0 * GB), &[]);
+        p.push(
+            0,
+            OpKind::copy(Place::Ddr, Place::Mcdram, 500_000_000, 1.0 * GB),
+            &[],
+        );
+        p.push(
+            1,
+            OpKind::inplace_pass(Place::Ddr, 250_000_000, 2.0 * GB),
+            &[],
+        );
         let r = Simulator::new(cfg).run(&p).unwrap();
         let ddr_total = r.traffic_on(MemLevel::Ddr).total() as f64;
         let mcd_total = r.traffic_on(MemLevel::Mcdram).total() as f64;
@@ -688,13 +780,22 @@ mod tests {
 
     #[test]
     fn hybrid_mode_allows_both_flat_mcdram_and_cached_ddr() {
-        let mut cfg = MachineConfig::tiny(MemMode::Hybrid { cache_fraction: 0.5 });
+        let mut cfg = MachineConfig::tiny(MemMode::Hybrid {
+            cache_fraction: 0.5,
+        });
         cfg.cache_mode_efficiency = 1.0;
         let mut p = Program::new(2);
-        p.push(0, OpKind::copy(Place::Ddr, Place::Mcdram, 1 << 20, 1.0 * GB), &[]);
+        p.push(
+            0,
+            OpKind::copy(Place::Ddr, Place::Mcdram, 1 << 20, 1.0 * GB),
+            &[],
+        );
         p.push(
             1,
-            OpKind::Stream { accesses: vec![Access::read(Place::CachedDdr { addr: 1 << 24 }, 1 << 20)], rate_cap: 1.0 * GB },
+            OpKind::Stream {
+                accesses: vec![Access::read(Place::CachedDdr { addr: 1 << 24 }, 1 << 20)],
+                rate_cap: 1.0 * GB,
+            },
             &[],
         );
         let r = Simulator::new(cfg).run(&p).unwrap();
@@ -750,7 +851,12 @@ mod tests {
             p.push(
                 t,
                 OpKind::Stream {
-                    accesses: vec![Access::read(Place::CachedDdr { addr: (t as u64) << 30 }, 1 << 28)],
+                    accesses: vec![Access::read(
+                        Place::CachedDdr {
+                            addr: (t as u64) << 30,
+                        },
+                        1 << 28,
+                    )],
                     rate_cap: 6.78 * GB,
                 },
                 &[],

@@ -33,20 +33,33 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidConfig(msg) => write!(f, "invalid machine config: {msg}"),
             SimError::BadThread { thread, threads } => {
-                write!(f, "op assigned to thread {thread} but program has {threads} threads")
+                write!(
+                    f,
+                    "op assigned to thread {thread} but program has {threads} threads"
+                )
             }
             SimError::BadDependency { op, dep } => {
-                write!(f, "op {op} depends on op {dep}, which is not defined before it")
+                write!(
+                    f,
+                    "op {op} depends on op {dep}, which is not defined before it"
+                )
             }
             SimError::Deadlock(ops) => {
                 write!(f, "simulation deadlocked with unfinished ops {ops:?}")
             }
-            SimError::OutOfMemory { level, requested, available } => write!(
+            SimError::OutOfMemory {
+                level,
+                requested,
+                available,
+            } => write!(
                 f,
                 "out of memory on {level:?}: requested {requested} bytes, {available} available"
             ),
             SimError::LevelNotAddressable(level) => {
-                write!(f, "memory level {level:?} is not addressable in the current mode")
+                write!(
+                    f,
+                    "memory level {level:?} is not addressable in the current mode"
+                )
             }
             SimError::BadOp(msg) => write!(f, "malformed op: {msg}"),
         }
@@ -64,9 +77,16 @@ mod tests {
     fn display_formats_are_informative() {
         let e = SimError::InvalidConfig("ddr_bandwidth must be positive".into());
         assert!(e.to_string().contains("ddr_bandwidth"));
-        let e = SimError::BadThread { thread: 7, threads: 4 };
+        let e = SimError::BadThread {
+            thread: 7,
+            threads: 4,
+        };
         assert!(e.to_string().contains('7') && e.to_string().contains('4'));
-        let e = SimError::OutOfMemory { level: MemLevel::Mcdram, requested: 10, available: 5 };
+        let e = SimError::OutOfMemory {
+            level: MemLevel::Mcdram,
+            requested: 10,
+            available: 5,
+        };
         assert!(e.to_string().contains("Mcdram"));
         let e = SimError::Deadlock(vec![1, 2]);
         assert!(e.to_string().contains("[1, 2]"));

@@ -197,24 +197,34 @@ impl MachineConfig {
             if v > 0.0 && v.is_finite() {
                 Ok(())
             } else {
-                Err(SimError::InvalidConfig(format!("{name} must be positive and finite, got {v}")))
+                Err(SimError::InvalidConfig(format!(
+                    "{name} must be positive and finite, got {v}"
+                )))
             }
         }
         if self.cores == 0 || self.threads_per_core == 0 {
-            return Err(SimError::InvalidConfig("need at least one hardware thread".into()));
+            return Err(SimError::InvalidConfig(
+                "need at least one hardware thread".into(),
+            ));
         }
         positive("ddr_bandwidth", self.ddr_bandwidth)?;
         positive("mcdram_bandwidth", self.mcdram_bandwidth)?;
         positive("per_thread_copy_bw", self.per_thread_copy_bw)?;
         positive("per_thread_compute_bw", self.per_thread_compute_bw)?;
         if self.ddr_capacity == 0 {
-            return Err(SimError::InvalidConfig("ddr_capacity must be nonzero".into()));
+            return Err(SimError::InvalidConfig(
+                "ddr_capacity must be nonzero".into(),
+            ));
         }
         if self.mcdram_capacity == 0 {
-            return Err(SimError::InvalidConfig("mcdram_capacity must be nonzero".into()));
+            return Err(SimError::InvalidConfig(
+                "mcdram_capacity must be nonzero".into(),
+            ));
         }
         if self.cache_segment == 0 {
-            return Err(SimError::InvalidConfig("cache_segment must be nonzero".into()));
+            return Err(SimError::InvalidConfig(
+                "cache_segment must be nonzero".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.cache_tag_overhead) {
             return Err(SimError::InvalidConfig(format!(
@@ -229,7 +239,9 @@ impl MachineConfig {
             )));
         }
         if self.cache_miss_penalty < 0.0 || !self.cache_miss_penalty.is_finite() {
-            return Err(SimError::InvalidConfig("cache_miss_penalty must be >= 0".into()));
+            return Err(SimError::InvalidConfig(
+                "cache_miss_penalty must be >= 0".into(),
+            ));
         }
         if let MemMode::Hybrid { cache_fraction } = self.mode {
             if cache_fraction <= 0.0 || cache_fraction >= 1.0 {
@@ -292,7 +304,9 @@ mod tests {
 
     #[test]
     fn hybrid_splits_capacity() {
-        let cfg = MachineConfig::knl_7250(MemMode::Hybrid { cache_fraction: 0.5 });
+        let cfg = MachineConfig::knl_7250(MemMode::Hybrid {
+            cache_fraction: 0.5,
+        });
         assert_eq!(cfg.addressable_mcdram(), 8 * GIB);
         let eff = cfg.effective_cache_capacity();
         assert!(eff <= 8 * GIB && eff > 7 * GIB);
@@ -313,10 +327,14 @@ mod tests {
         cfg.cores = 0;
         assert!(cfg.validate().is_err());
 
-        let cfg = MachineConfig::tiny(MemMode::Hybrid { cache_fraction: 1.5 });
+        let cfg = MachineConfig::tiny(MemMode::Hybrid {
+            cache_fraction: 1.5,
+        });
         assert!(cfg.validate().is_err());
 
-        let cfg = MachineConfig::tiny(MemMode::Hybrid { cache_fraction: 0.0 });
+        let cfg = MachineConfig::tiny(MemMode::Hybrid {
+            cache_fraction: 0.0,
+        });
         assert!(cfg.validate().is_err());
 
         let mut cfg = MachineConfig::tiny(MemMode::Cache);
@@ -356,7 +374,9 @@ mod tests {
         assert!(MemMode::Flat.has_flat());
         assert!(MemMode::Cache.has_cache());
         assert!(!MemMode::Cache.has_flat());
-        let h = MemMode::Hybrid { cache_fraction: 0.25 };
+        let h = MemMode::Hybrid {
+            cache_fraction: 0.25,
+        };
         assert!(h.has_cache() && h.has_flat());
     }
 

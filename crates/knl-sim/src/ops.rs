@@ -52,12 +52,20 @@ pub struct Access {
 impl Access {
     /// Read `bytes` from `place`.
     pub fn read(place: Place, bytes: u64) -> Self {
-        Access { place, bytes, write: false }
+        Access {
+            place,
+            bytes,
+            write: false,
+        }
     }
 
     /// Write `bytes` to `place`.
     pub fn write(place: Place, bytes: u64) -> Self {
-        Access { place, bytes, write: true }
+        Access {
+            place,
+            bytes,
+            write: true,
+        }
     }
 }
 
@@ -97,7 +105,12 @@ pub enum OpKind {
 impl OpKind {
     /// Convenience constructor for a plain [`OpKind::Copy`].
     pub fn copy(src: Place, dst: Place, bytes: u64, rate_cap: f64) -> Self {
-        OpKind::Copy { src, dst, bytes, rate_cap }
+        OpKind::Copy {
+            src,
+            dst,
+            bytes,
+            rate_cap,
+        }
     }
 
     /// Convenience constructor for a [`OpKind::Stream`] that reads and
@@ -121,12 +134,16 @@ impl OpKind {
 
     fn validate(&self) -> Result<(), SimError> {
         match self {
-            OpKind::Copy { bytes, rate_cap, .. } => {
+            OpKind::Copy {
+                bytes, rate_cap, ..
+            } => {
                 if *bytes == 0 {
                     return Err(SimError::BadOp("copy of zero bytes".into()));
                 }
                 if !rate_cap.is_finite() || *rate_cap <= 0.0 {
-                    return Err(SimError::BadOp(format!("copy rate_cap {rate_cap} must be > 0")));
+                    return Err(SimError::BadOp(format!(
+                        "copy rate_cap {rate_cap} must be > 0"
+                    )));
                 }
             }
             OpKind::Stream { accesses, rate_cap } => {
@@ -134,7 +151,9 @@ impl OpKind {
                     return Err(SimError::BadOp("stream op with no bytes".into()));
                 }
                 if !rate_cap.is_finite() || *rate_cap <= 0.0 {
-                    return Err(SimError::BadOp(format!("stream rate_cap {rate_cap} must be > 0")));
+                    return Err(SimError::BadOp(format!(
+                        "stream rate_cap {rate_cap} must be > 0"
+                    )));
                 }
             }
             OpKind::Delay { seconds } => {
@@ -171,7 +190,10 @@ pub struct Program {
 impl Program {
     /// Create a program for `threads` simulated hardware threads.
     pub fn new(threads: usize) -> Self {
-        Program { threads, ops: Vec::new() }
+        Program {
+            threads,
+            ops: Vec::new(),
+        }
     }
 
     /// Number of simulated threads.
@@ -198,7 +220,12 @@ impl Program {
         label: Option<String>,
     ) -> OpId {
         let id = OpId(self.ops.len());
-        self.ops.push(Op { kind, thread: ThreadId(thread), deps: deps.to_vec(), label });
+        self.ops.push(Op {
+            kind,
+            thread: ThreadId(thread),
+            deps: deps.to_vec(),
+            label,
+        });
         id
     }
 
@@ -207,7 +234,11 @@ impl Program {
     /// depend on the returned ids serializes the two phases. As a
     /// convenience the returned vector can be used directly as the `deps`
     /// of every op in the next phase.
-    pub fn barrier(&mut self, threads: impl IntoIterator<Item = usize>, after: &[OpId]) -> Vec<OpId> {
+    pub fn barrier(
+        &mut self,
+        threads: impl IntoIterator<Item = usize>,
+        after: &[OpId],
+    ) -> Vec<OpId> {
         threads
             .into_iter()
             .map(|t| self.push(t, OpKind::Delay { seconds: 0.0 }, after))
@@ -219,7 +250,10 @@ impl Program {
     pub fn validate(&self) -> Result<(), SimError> {
         for (i, op) in self.ops.iter().enumerate() {
             if op.thread.0 >= self.threads {
-                return Err(SimError::BadThread { thread: op.thread.0, threads: self.threads });
+                return Err(SimError::BadThread {
+                    thread: op.thread.0,
+                    threads: self.threads,
+                });
             }
             for d in &op.deps {
                 if d.0 >= i {
@@ -256,14 +290,23 @@ mod tests {
     fn validate_rejects_bad_thread() {
         let mut p = Program::new(1);
         p.push(3, OpKind::Delay { seconds: 0.0 }, &[]);
-        assert!(matches!(p.validate(), Err(SimError::BadThread { thread: 3, threads: 1 })));
+        assert!(matches!(
+            p.validate(),
+            Err(SimError::BadThread {
+                thread: 3,
+                threads: 1
+            })
+        ));
     }
 
     #[test]
     fn validate_rejects_forward_dependency() {
         let mut p = Program::new(1);
         p.push(0, OpKind::Delay { seconds: 0.0 }, &[OpId(5)]);
-        assert!(matches!(p.validate(), Err(SimError::BadDependency { op: 0, dep: 5 })));
+        assert!(matches!(
+            p.validate(),
+            Err(SimError::BadDependency { op: 0, dep: 5 })
+        ));
     }
 
     #[test]
@@ -284,7 +327,14 @@ mod tests {
         assert!(p.validate().is_err());
 
         let mut p = Program::new(1);
-        p.push(0, OpKind::Stream { accesses: vec![], rate_cap: 1.0 }, &[]);
+        p.push(
+            0,
+            OpKind::Stream {
+                accesses: vec![],
+                rate_cap: 1.0,
+            },
+            &[],
+        );
         assert!(p.validate().is_err());
 
         let mut p = Program::new(1);
@@ -298,8 +348,14 @@ mod tests {
 
     #[test]
     fn logical_bytes_accounting() {
-        assert_eq!(OpKind::copy(Place::Ddr, Place::Mcdram, 100, 1.0).logical_bytes(), 200);
-        assert_eq!(OpKind::inplace_pass(Place::Mcdram, 50, 1.0).logical_bytes(), 100);
+        assert_eq!(
+            OpKind::copy(Place::Ddr, Place::Mcdram, 100, 1.0).logical_bytes(),
+            200
+        );
+        assert_eq!(
+            OpKind::inplace_pass(Place::Mcdram, 50, 1.0).logical_bytes(),
+            100
+        );
         assert_eq!(OpKind::Delay { seconds: 1.0 }.logical_bytes(), 0);
 
         let mut p = Program::new(1);

@@ -65,15 +65,24 @@ mod tests {
 
     #[test]
     fn traffic_totals() {
-        let t = LevelTraffic { read: 10, written: 5 };
+        let t = LevelTraffic {
+            read: 10,
+            written: 5,
+        };
         assert_eq!(t.total(), 15);
     }
 
     #[test]
     fn report_accessors() {
         let mut r = SimReport::default();
-        r.traffic[MemLevel::Ddr.index()] = LevelTraffic { read: 100, written: 50 };
-        r.traffic[MemLevel::Mcdram.index()] = LevelTraffic { read: 7, written: 3 };
+        r.traffic[MemLevel::Ddr.index()] = LevelTraffic {
+            read: 100,
+            written: 50,
+        };
+        r.traffic[MemLevel::Mcdram.index()] = LevelTraffic {
+            read: 7,
+            written: 3,
+        };
         assert_eq!(r.ddr_traffic(), 150);
         assert_eq!(r.mcdram_traffic(), 10);
         assert_eq!(r.traffic_on(MemLevel::Ddr).read, 100);

@@ -61,8 +61,7 @@ pub struct Trace {
 impl Trace {
     /// Records executed by one thread, in start order.
     pub fn thread_ops(&self, thread: usize) -> Vec<&OpRecord> {
-        let mut v: Vec<&OpRecord> =
-            self.ops.iter().filter(|r| r.thread == thread).collect();
+        let mut v: Vec<&OpRecord> = self.ops.iter().filter(|r| r.thread == thread).collect();
         v.sort_by(|a, b| a.start.total_cmp(&b.start));
         v
     }
@@ -110,7 +109,10 @@ impl Trace {
     /// Render a one-line utilization sparkline for a bus over the whole
     /// makespan, `width` characters wide, using eight shade levels.
     pub fn bus_sparkline(&self, ddr: bool, width: usize) -> String {
-        const LEVELS: [char; 9] = [' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+        const LEVELS: [char; 9] = [
+            ' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}',
+            '\u{2587}', '\u{2588}',
+        ];
         let width = width.max(1);
         if self.makespan <= 0.0 {
             return String::new();
@@ -157,7 +159,13 @@ mod tests {
     use super::*;
 
     fn rec(op: usize, thread: usize, start: f64, end: f64) -> OpRecord {
-        OpRecord { op, thread, start, end, label: None }
+        OpRecord {
+            op,
+            thread,
+            start,
+            end,
+            label: None,
+        }
     }
 
     fn sample() -> Trace {
@@ -168,8 +176,18 @@ mod tests {
                 rec(2, 1, 0.5, 1.5),
             ],
             bus: vec![
-                BusSegment { start: 0.0, end: 1.0, ddr: 1.0, mcdram: 0.25 },
-                BusSegment { start: 1.0, end: 2.0, ddr: 0.0, mcdram: 0.75 },
+                BusSegment {
+                    start: 0.0,
+                    end: 1.0,
+                    ddr: 1.0,
+                    mcdram: 0.25,
+                },
+                BusSegment {
+                    start: 1.0,
+                    end: 2.0,
+                    ddr: 0.0,
+                    mcdram: 0.75,
+                },
             ],
             makespan: 2.0,
             threads: 2,

@@ -23,9 +23,21 @@ fn three_stage_chain_serializes() {
     let cfg = tiny_flat();
     let bytes = 1_000_000_000u64;
     let mut p = Program::new(3);
-    let a = p.push(0, OpKind::copy(Place::Ddr, Place::Mcdram, bytes, 1.0 * GB), &[]);
-    let b = p.push(1, OpKind::inplace_pass(Place::Mcdram, bytes, 2.0 * GB), &[a]);
-    p.push(2, OpKind::copy(Place::Mcdram, Place::Ddr, bytes, 1.0 * GB), &[b]);
+    let a = p.push(
+        0,
+        OpKind::copy(Place::Ddr, Place::Mcdram, bytes, 1.0 * GB),
+        &[],
+    );
+    let b = p.push(
+        1,
+        OpKind::inplace_pass(Place::Mcdram, bytes, 2.0 * GB),
+        &[a],
+    );
+    p.push(
+        2,
+        OpKind::copy(Place::Mcdram, Place::Ddr, bytes, 1.0 * GB),
+        &[b],
+    );
     let r = Simulator::new(cfg).run(&p).unwrap();
     // 1.0 + 1.0 + 1.0 seconds.
     assert!((r.makespan - 3.0).abs() < 1e-9, "{}", r.makespan);
@@ -58,12 +70,18 @@ fn rates_rebalance_after_completions() {
     // then the long one gets the full 10 GB/s.
     p.push(
         0,
-        OpKind::Stream { accesses: vec![Access::read(Place::Ddr, 5_000_000_000)], rate_cap: 1e15 },
+        OpKind::Stream {
+            accesses: vec![Access::read(Place::Ddr, 5_000_000_000)],
+            rate_cap: 1e15,
+        },
         &[],
     );
     p.push(
         1,
-        OpKind::Stream { accesses: vec![Access::read(Place::Ddr, 15_000_000_000)], rate_cap: 1e15 },
+        OpKind::Stream {
+            accesses: vec![Access::read(Place::Ddr, 15_000_000_000)],
+            rate_cap: 1e15,
+        },
         &[],
     );
     let r = Simulator::new(cfg).run(&p).unwrap();
@@ -98,8 +116,16 @@ fn dirty_eviction_reaches_the_ddr_ledger() {
         &[w],
     );
     let r = Simulator::new(cfg).run(&p).unwrap();
-    assert_eq!(r.traffic_on(MemLevel::Ddr).written, cache_sz, "writeback of dirty data");
-    assert_eq!(r.traffic_on(MemLevel::Ddr).read, cache_sz, "miss fill of aliased range");
+    assert_eq!(
+        r.traffic_on(MemLevel::Ddr).written,
+        cache_sz,
+        "writeback of dirty data"
+    );
+    assert_eq!(
+        r.traffic_on(MemLevel::Ddr).read,
+        cache_sz,
+        "miss fill of aliased range"
+    );
     assert_eq!(r.cache.writeback_bytes, cache_sz);
 }
 
@@ -107,18 +133,26 @@ fn dirty_eviction_reaches_the_ddr_ledger() {
 /// the same (efficiency-degraded) MCDRAM bus.
 #[test]
 fn hybrid_shares_one_mcdram_bus() {
-    let mut cfg = MachineConfig::tiny(MemMode::Hybrid { cache_fraction: 0.5 });
+    let mut cfg = MachineConfig::tiny(MemMode::Hybrid {
+        cache_fraction: 0.5,
+    });
     cfg.cache_mode_efficiency = 0.5; // make the degradation visible: 20 GB/s
     let bytes = 2_000_000_000u64;
     let mut p = Program::new(2);
     p.push(
         0,
-        OpKind::Stream { accesses: vec![Access::read(Place::Mcdram, bytes)], rate_cap: 1e15 },
+        OpKind::Stream {
+            accesses: vec![Access::read(Place::Mcdram, bytes)],
+            rate_cap: 1e15,
+        },
         &[],
     );
     p.push(
         1,
-        OpKind::Stream { accesses: vec![Access::read(Place::Mcdram, bytes)], rate_cap: 1e15 },
+        OpKind::Stream {
+            accesses: vec![Access::read(Place::Mcdram, bytes)],
+            rate_cap: 1e15,
+        },
         &[],
     );
     let r = Simulator::new(cfg).run(&p).unwrap();
@@ -139,7 +173,9 @@ fn miss_penalties_overlap_across_threads() {
             t,
             OpKind::Stream {
                 accesses: vec![Access::read(
-                    Place::CachedDdr { addr: t as u64 * 4 * seg },
+                    Place::CachedDdr {
+                        addr: t as u64 * 4 * seg,
+                    },
                     4 * seg,
                 )],
                 rate_cap: 1e15,
@@ -156,7 +192,9 @@ fn miss_penalties_overlap_across_threads() {
 /// charges both ledgers consistently.
 #[test]
 fn mixed_place_stream_charges_both_ledgers() {
-    let cfg = MachineConfig::knl_7250(MemMode::Hybrid { cache_fraction: 0.5 });
+    let cfg = MachineConfig::knl_7250(MemMode::Hybrid {
+        cache_fraction: 0.5,
+    });
     let bytes = 1_000_000_000u64;
     let mut p = Program::new(1);
     p.push(
@@ -189,7 +227,11 @@ fn thread_scaling_below_saturation_is_linear() {
         let mut p = Program::new(threads);
         for t in 0..threads {
             let share = total / threads as u64;
-            p.push(t, OpKind::copy(Place::Ddr, Place::Mcdram, share, cfg.per_thread_copy_bw), &[]);
+            p.push(
+                t,
+                OpKind::copy(Place::Ddr, Place::Mcdram, share, cfg.per_thread_copy_bw),
+                &[],
+            );
         }
         Simulator::new(cfg.clone()).run(&p).unwrap()
     };

@@ -8,20 +8,14 @@ use knl_sim::Simulator;
 use proptest::prelude::*;
 
 fn arb_flow(resources: usize) -> impl Strategy<Value = FlowSpec> {
-    let demand = proptest::collection::vec(
-        (0..resources, 0.1f64..4.0),
-        0..=resources.min(3),
-    )
-    .prop_map(|mut pairs| {
-        // A resource may appear at most once per flow.
-        pairs.sort_by_key(|&(r, _)| r);
-        pairs.dedup_by_key(|&mut (r, _)| r);
-        pairs
-    });
-    let cap = prop_oneof![
-        (0.5f64..100.0).boxed(),
-        Just(f64::INFINITY).boxed(),
-    ];
+    let demand = proptest::collection::vec((0..resources, 0.1f64..4.0), 0..=resources.min(3))
+        .prop_map(|mut pairs| {
+            // A resource may appear at most once per flow.
+            pairs.sort_by_key(|&(r, _)| r);
+            pairs.dedup_by_key(|&mut (r, _)| r);
+            pairs
+        });
+    let cap = prop_oneof![(0.5f64..100.0).boxed(), Just(f64::INFINITY).boxed(),];
     (demand, cap).prop_map(|(demand, cap)| FlowSpec { demand, cap })
 }
 

@@ -1,14 +1,18 @@
-//! Ablation benchmarks over the *simulated* machine for the design choices
-//! DESIGN.md calls out: lockstep vs dataflow pipelines, serial vs parallel
-//! chunk sorts, explicit copies vs implicit caching, and hybrid-mode
-//! chunk-size limits.
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! lockstep vs dataflow pipelines (both on the simulated machine and on
+//! real host threads), serial vs parallel chunk sorts, explicit copies vs
+//! implicit caching, and hybrid-mode chunk-size limits.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use knl_sim::machine::{MachineConfig, MemMode};
 use knl_sim::Simulator;
-use mlm_core::pipeline::{sim::build_program, Placement, PipelineSpec};
+use mlm_core::merge_bench::merge_kernel;
+use mlm_core::pipeline::host::{run_host_pipeline, run_host_pipeline_dataflow, HostStagePools};
+use mlm_core::pipeline::{sim::build_program, PipelineSpec, Placement};
 use mlm_core::sort::sim::build_sort_program;
+use mlm_core::workload::generate_keys;
 use mlm_core::{Calibration, InputOrder, SortAlgorithm, SortWorkload};
+use parsort::pool::WorkPool;
 use std::hint::black_box;
 
 fn pipeline_spec(lockstep: bool) -> PipelineSpec {
@@ -27,6 +31,18 @@ fn pipeline_spec(lockstep: bool) -> PipelineSpec {
     }
 }
 
+/// A copy-bound variant of the same spec: one compute pass and few copy
+/// threads, so each lockstep step pays for its copies and the decoupling
+/// has latency to hide.
+fn copy_bound_spec(lockstep: bool) -> PipelineSpec {
+    PipelineSpec {
+        p_in: 2,
+        p_out: 2,
+        compute_passes: 1,
+        ..pipeline_spec(lockstep)
+    }
+}
+
 /// The paper leaves non-lockstep ("a slightly different approach might
 /// allow hiding the copy-in latency") as future work; measure both.
 fn bench_lockstep_vs_dataflow(c: &mut Criterion) {
@@ -36,13 +52,87 @@ fn bench_lockstep_vs_dataflow(c: &mut Criterion) {
     g.sample_size(10);
     for (name, lockstep) in [("lockstep", true), ("dataflow", false)] {
         let prog = build_program(&pipeline_spec(lockstep)).unwrap();
-        g.bench_function(name, |b| b.iter(|| black_box(sim.run(&prog).unwrap().makespan)));
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(sim.run(&prog).unwrap().makespan))
+        });
     }
-    // Also report the virtual-time outcomes once, as the actual ablation.
+    // Also report the virtual-time outcomes once, as the actual ablation —
+    // on the compute-bound paper spec and on a copy-bound variant, where
+    // decoupling the stages actually has copy latency to hide.
     for (name, lockstep) in [("lockstep", true), ("dataflow", false)] {
         let prog = build_program(&pipeline_spec(lockstep)).unwrap();
         let t = sim.run(&prog).unwrap().makespan;
         eprintln!("ablation_lockstep/{name}: {t:.3} virtual s");
+    }
+    for (name, lockstep) in [("lockstep", true), ("dataflow", false)] {
+        let prog = build_program(&copy_bound_spec(lockstep)).unwrap();
+        let t = sim.run(&prog).unwrap().makespan;
+        eprintln!("ablation_lockstep/copy_bound_{name}: {t:.3} virtual s");
+    }
+    g.finish();
+}
+
+/// The same lockstep-vs-dataflow ablation on *real* host threads: a
+/// copy-bound spec (cheap kernel, so the copy stages dominate) where the
+/// decoupled stage pools can hide copy latency that lockstep's per-step
+/// barrier exposes. Per-stage busy/wait times from `HostRunStats` are
+/// printed once after the timed runs.
+fn bench_host_lockstep_vs_dataflow(c: &mut Criterion) {
+    const N: usize = 1 << 21;
+    let (p_in, p_out, p_comp) = (2usize, 2usize, 4usize);
+    let spec = |lockstep: bool| PipelineSpec {
+        total_bytes: (N * 8) as u64,
+        chunk_bytes: (N * 8 / 8) as u64,
+        p_in,
+        p_out,
+        p_comp,
+        compute_passes: 1,
+        compute_rate: 1e9,
+        copy_rate: 1e9,
+        placement: Placement::Hbw,
+        lockstep,
+        data_addr: 0,
+    };
+    let data = generate_keys(N, InputOrder::Random, 11);
+    let shared = WorkPool::new(p_in + p_out + p_comp);
+    let pools = HostStagePools::new(p_in, p_comp, p_out);
+    // One pass of the merge kernel keeps compute light: copy-bound.
+    let kernel = |slice: &mut [i64], _: mlm_core::pipeline::host::KernelCtx| merge_kernel(slice, 1);
+
+    let mut g = c.benchmark_group("ablation_host_lockstep");
+    g.sample_size(10);
+    g.bench_function("lockstep", |b| {
+        let mut out = vec![0i64; N];
+        let s = spec(true);
+        b.iter(|| {
+            run_host_pipeline(&shared, &s, black_box(&data), black_box(&mut out), kernel);
+            black_box(out.len())
+        })
+    });
+    g.bench_function("dataflow", |b| {
+        let mut out = vec![0i64; N];
+        let s = spec(false);
+        b.iter(|| {
+            run_host_pipeline_dataflow(&pools, &s, black_box(&data), black_box(&mut out), kernel);
+            black_box(out.len())
+        })
+    });
+    // Report the per-stage accounting once, as the actual ablation.
+    let mut out = vec![0i64; N];
+    let lock = run_host_pipeline(&shared, &spec(true), &data, &mut out, kernel);
+    let flow = run_host_pipeline_dataflow(&pools, &spec(false), &data, &mut out, kernel);
+    for (name, stats) in [("lockstep", lock), ("dataflow", flow)] {
+        eprintln!(
+            "ablation_host_lockstep/{name}: {:.2} ms | occupancy in {:.2} comp {:.2} out {:.2} \
+             | wait in {:.1} ms comp {:.1} ms out {:.1} ms",
+            stats.elapsed.as_secs_f64() * 1e3,
+            stats.copy_in.occupancy(stats.elapsed),
+            stats.compute.occupancy(stats.elapsed),
+            stats.copy_out.occupancy(stats.elapsed),
+            stats.copy_in.wait.as_secs_f64() * 1e3,
+            stats.compute.wait.as_secs_f64() * 1e3,
+            stats.copy_out.wait.as_secs_f64() * 1e3,
+        );
     }
     g.finish();
 }
@@ -60,7 +150,9 @@ fn bench_serial_vs_parallel_chunks(c: &mut Criterion) {
         ("basic_parallel_chunks", SortAlgorithm::BasicChunked),
     ] {
         let prog = build_sort_program(&machine, &cal, w, alg, 1_000_000_000, 256).unwrap();
-        g.bench_function(name, |b| b.iter(|| black_box(sim.run(&prog).unwrap().makespan)));
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(sim.run(&prog).unwrap().makespan))
+        });
         let t = sim.run(&prog).unwrap().makespan;
         eprintln!("ablation_chunk_sort_style/{name}: {t:.3} virtual s");
     }
@@ -80,7 +172,9 @@ fn bench_explicit_vs_implicit(c: &mut Criterion) {
         let machine = MachineConfig::knl_7250(mode);
         let prog = build_sort_program(&machine, &cal, w, alg, 1_000_000_000, 256).unwrap();
         let sim = Simulator::new(machine);
-        g.bench_function(name, |b| b.iter(|| black_box(sim.run(&prog).unwrap().makespan)));
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(sim.run(&prog).unwrap().makespan))
+        });
         let t = sim.run(&prog).unwrap().makespan;
         eprintln!("ablation_explicit_vs_implicit/{name}: {t:.3} virtual s");
     }
@@ -90,6 +184,7 @@ fn bench_explicit_vs_implicit(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_lockstep_vs_dataflow,
+    bench_host_lockstep_vs_dataflow,
     bench_serial_vs_parallel_chunks,
     bench_explicit_vs_implicit
 );

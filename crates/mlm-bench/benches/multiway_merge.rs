@@ -27,15 +27,19 @@ fn bench_loser_tree_fanin(c: &mut Criterion) {
     g.sample_size(10);
     for k in [2usize, 8, 32, 256] {
         let runs_owned = sorted_runs(k);
-        g.bench_with_input(BenchmarkId::from_parameter(k), &runs_owned, |b, runs_owned| {
-            let runs: Vec<&[i64]> = runs_owned.iter().map(|r| r.as_slice()).collect();
-            let total: usize = runs.iter().map(|r| r.len()).sum();
-            let mut out = vec![0i64; total];
-            b.iter(|| {
-                multiway_merge_into(black_box(&runs), black_box(&mut out));
-                black_box(out.len())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(k),
+            &runs_owned,
+            |b, runs_owned| {
+                let runs: Vec<&[i64]> = runs_owned.iter().map(|r| r.as_slice()).collect();
+                let total: usize = runs.iter().map(|r| r.len()).sum();
+                let mut out = vec![0i64; total];
+                b.iter(|| {
+                    multiway_merge_into(black_box(&runs), black_box(&mut out));
+                    black_box(out.len())
+                })
+            },
+        );
     }
     g.finish();
 }

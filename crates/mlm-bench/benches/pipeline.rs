@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mlm_core::merge_bench::merge_kernel;
-use mlm_core::pipeline::{host::run_host_pipeline, Placement, PipelineSpec};
+use mlm_core::pipeline::host::{run_host_pipeline, run_host_pipeline_dataflow, HostStagePools};
+use mlm_core::pipeline::{PipelineSpec, Placement};
 use mlm_core::workload::generate_keys;
 use parsort::pool::WorkPool;
 use std::hint::black_box;
@@ -38,10 +39,32 @@ fn bench_pipeline_vs_direct(c: &mut Criterion) {
         let mut out = vec![0i64; N];
         let s = spec(1.max(threads / 4), 1.max(threads / 2), Placement::Hbw);
         b.iter(|| {
-            run_host_pipeline(&pool, &s, black_box(&data), black_box(&mut out), |slice, _| {
-                merge_kernel(slice, 1)
-            });
+            run_host_pipeline(
+                &pool,
+                &s,
+                black_box(&data),
+                black_box(&mut out),
+                |slice, _| merge_kernel(slice, 1),
+            );
             black_box(out.len())
+        })
+    });
+
+    g.bench_function("chunked_dataflow_stage_pools", |b| {
+        let mut out = vec![0i64; N];
+        let mut s = spec(1.max(threads / 4), 1.max(threads / 2), Placement::Hbw);
+        s.lockstep = false;
+        // Persistent stage pools, as a long-lived dataflow caller would use.
+        let pools = HostStagePools::for_spec(&s);
+        b.iter(|| {
+            let stats = run_host_pipeline_dataflow(
+                &pools,
+                &s,
+                black_box(&data),
+                black_box(&mut out),
+                |slice, _| merge_kernel(slice, 1),
+            );
+            black_box((out.len(), stats.compute.busy))
         })
     });
 
@@ -51,9 +74,13 @@ fn bench_pipeline_vs_direct(c: &mut Criterion) {
         s.p_in = 0;
         s.p_out = 0;
         b.iter(|| {
-            run_host_pipeline(&pool, &s, black_box(&data), black_box(&mut out), |slice, _| {
-                merge_kernel(slice, 1)
-            });
+            run_host_pipeline(
+                &pool,
+                &s,
+                black_box(&data),
+                black_box(&mut out),
+                |slice, _| merge_kernel(slice, 1),
+            );
             black_box(out.len())
         })
     });
@@ -75,9 +102,13 @@ fn bench_copy_thread_split(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(p_copy), &s, |b, s| {
             let mut out = vec![0i64; N];
             b.iter(|| {
-                run_host_pipeline(&pool, s, black_box(&data), black_box(&mut out), |slice, _| {
-                    merge_kernel(slice, 4)
-                });
+                run_host_pipeline(
+                    &pool,
+                    s,
+                    black_box(&data),
+                    black_box(&mut out),
+                    |slice, _| merge_kernel(slice, 4),
+                );
                 black_box(out.len())
             })
         });

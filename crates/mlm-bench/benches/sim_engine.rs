@@ -16,7 +16,10 @@ fn bench_water_filling(c: &mut Criterion) {
         let flows: Vec<FlowSpec> = (0..n)
             .map(|i| {
                 if i % 3 == 0 {
-                    FlowSpec { demand: vec![(0, 1.0), (1, 1.0)], cap: 4.8e9 }
+                    FlowSpec {
+                        demand: vec![(0, 1.0), (1, 1.0)],
+                        cap: 4.8e9,
+                    }
                 } else {
                     FlowSpec::single(1, 1.0, 6.78e9)
                 }
@@ -33,7 +36,11 @@ fn bench_table1_cell(c: &mut Criterion) {
     let cal = Calibration::default();
     let mut g = c.benchmark_group("sim_table1_cell");
     g.sample_size(10);
-    for alg in [SortAlgorithm::GnuFlat, SortAlgorithm::MlmSort, SortAlgorithm::MlmImplicit] {
+    for alg in [
+        SortAlgorithm::GnuFlat,
+        SortAlgorithm::MlmSort,
+        SortAlgorithm::MlmImplicit,
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(alg.label()), &alg, |b, &alg| {
             b.iter(|| {
                 black_box(simulate_sort(&cal, 2_000_000_000, InputOrder::Random, alg).unwrap())
@@ -57,5 +64,10 @@ fn bench_merge_bench_run(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_water_filling, bench_table1_cell, bench_merge_bench_run);
+criterion_group!(
+    benches,
+    bench_water_filling,
+    bench_table1_cell,
+    bench_merge_bench_run
+);
 criterion_main!(benches);

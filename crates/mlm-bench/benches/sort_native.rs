@@ -7,9 +7,9 @@ use mlm_core::sort::host::{mlm_sort, run_host_sort};
 use mlm_core::workload::{generate_keys, InputOrder};
 use mlm_core::SortAlgorithm;
 use parsort::funnel::funnelsort;
-use parsort::radix::radix_sort;
 use parsort::parallel::parallel_mergesort;
 use parsort::pool::WorkPool;
+use parsort::radix::radix_sort;
 use parsort::serial::introsort;
 use std::hint::black_box;
 
@@ -21,13 +21,17 @@ fn bench_serial_sort(c: &mut Criterion) {
     g.sample_size(10);
     for order in [InputOrder::Random, InputOrder::Reverse, InputOrder::Sorted] {
         let keys = generate_keys(N, order, 42);
-        g.bench_with_input(BenchmarkId::from_parameter(order.label()), &keys, |b, keys| {
-            b.iter(|| {
-                let mut v = keys.clone();
-                introsort(black_box(&mut v));
-                black_box(v.len())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(order.label()),
+            &keys,
+            |b, keys| {
+                b.iter(|| {
+                    let mut v = keys.clone();
+                    introsort(black_box(&mut v));
+                    black_box(v.len())
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -40,13 +44,17 @@ fn bench_parallel_sort(c: &mut Criterion) {
     g.sample_size(10);
     for order in [InputOrder::Random, InputOrder::Reverse] {
         let keys = generate_keys(N, order, 42);
-        g.bench_with_input(BenchmarkId::from_parameter(order.label()), &keys, |b, keys| {
-            b.iter(|| {
-                let mut v = keys.clone();
-                parallel_mergesort(&pool, black_box(&mut v));
-                black_box(v.len())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(order.label()),
+            &keys,
+            |b, keys| {
+                b.iter(|| {
+                    let mut v = keys.clone();
+                    parallel_mergesort(&pool, black_box(&mut v));
+                    black_box(v.len())
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -59,13 +67,17 @@ fn bench_sort_variants(c: &mut Criterion) {
     g.throughput(Throughput::Elements(N as u64));
     g.sample_size(10);
     for alg in SortAlgorithm::TABLE1 {
-        g.bench_with_input(BenchmarkId::from_parameter(alg.label()), &keys, |b, keys| {
-            b.iter(|| {
-                let mut v = keys.clone();
-                run_host_sort(&pool, alg, black_box(&mut v), N / 4);
-                black_box(v.len())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(alg.label()),
+            &keys,
+            |b, keys| {
+                b.iter(|| {
+                    let mut v = keys.clone();
+                    run_host_sort(&pool, alg, black_box(&mut v), N / 4);
+                    black_box(v.len())
+                })
+            },
+        );
     }
     g.finish();
 }

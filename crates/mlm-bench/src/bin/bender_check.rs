@@ -10,8 +10,16 @@ fn main() {
     let b = bender_check(&cal).expect("bender check failed");
     let headers = ["Claim", "Bender et al. predicted", "Simulated"];
     let body = vec![
-        vec!["Basic chunked sort speedup over GNU-flat".into(), "~1.30x".into(), ratio(b.basic_speedup)],
-        vec!["DDR traffic reduction (GNU-flat / MLM-sort)".into(), "~2.5x".into(), ratio(b.ddr_traffic_reduction)],
+        vec![
+            "Basic chunked sort speedup over GNU-flat".into(),
+            "~1.30x".into(),
+            ratio(b.basic_speedup),
+        ],
+        vec![
+            "DDR traffic reduction (GNU-flat / MLM-sort)".into(),
+            "~2.5x".into(),
+            ratio(b.ddr_traffic_reduction),
+        ],
     ];
     println!("Bender et al. corroboration (2B random int64)\n");
     println!("{}", render_table(&headers, &body));

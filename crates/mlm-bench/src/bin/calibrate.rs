@@ -7,12 +7,24 @@ use mlm_core::Calibration;
 
 fn main() {
     println!("Host characterisation (native)...");
-    let m = measure_host(4_000_000, std::thread::available_parallelism().map_or(4, |p| p.get()));
+    let m = measure_host(
+        4_000_000,
+        std::thread::available_parallelism().map_or(4, |p| p.get()),
+    );
     let headers = ["Quantity", "Value"];
     let body = vec![
-        vec!["introsort rate, random keys".into(), gbps(m.sort_rate_random)],
-        vec!["introsort rate, reverse keys".into(), gbps(m.sort_rate_reverse)],
-        vec!["reverse / random ratio".into(), format!("{:.2}", m.reverse_ratio)],
+        vec![
+            "introsort rate, random keys".into(),
+            gbps(m.sort_rate_random),
+        ],
+        vec![
+            "introsort rate, reverse keys".into(),
+            gbps(m.sort_rate_reverse),
+        ],
+        vec![
+            "reverse / random ratio".into(),
+            format!("{:.2}", m.reverse_ratio),
+        ],
         vec!["STREAM Triad".into(), gbps(m.triad_bandwidth)],
     ];
     println!("{}", render_table(&headers, &body));

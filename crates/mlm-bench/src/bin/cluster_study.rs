@@ -9,8 +9,7 @@ fn main() {
     let cal = Calibration::default();
     let n = 8_000_000_000u64;
     let counts = [1usize, 2, 4, 8, 16, 32, 64];
-    let reports =
-        strong_scaling(&cal, n, InputOrder::Random, &counts, 256).expect("scaling sweep");
+    let reports = strong_scaling(&cal, n, InputOrder::Random, &counts, 256).expect("scaling sweep");
     let single = reports[0];
 
     let headers = [

@@ -10,8 +10,14 @@ use mlm_core::Calibration;
 fn main() {
     let cal = Calibration::default();
     let points = design_space(&cal).expect("design space simulation failed");
-    let headers =
-        ["BW ratio (near/DDR)", "Capacity (GiB)", "Megachunk (elems)", "MLM-sort (s)", "GNU-flat (s)", "Speedup"];
+    let headers = [
+        "BW ratio (near/DDR)",
+        "Capacity (GiB)",
+        "Megachunk (elems)",
+        "MLM-sort (s)",
+        "GNU-flat (s)",
+        "Speedup",
+    ];
     let body: Vec<Vec<String>> = points
         .iter()
         .map(|p| {

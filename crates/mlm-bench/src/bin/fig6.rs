@@ -24,7 +24,10 @@ fn main() {
                 ]
             })
             .collect();
-        println!("Figure 6{panel} — speedup over GNU-flat ({} input)\n", order.label());
+        println!(
+            "Figure 6{panel} — speedup over GNU-flat ({} input)\n",
+            order.label()
+        );
         println!("{}", render_table(&headers, &body));
         if let Ok(path) = write_csv(&format!("fig6{panel}"), &headers, &body) {
             println!("wrote {path}\n");

@@ -18,7 +18,10 @@ fn main() {
             vec![
                 p.algorithm.label().to_string(),
                 p.megachunk_elems.to_string(),
-                p.seconds.map_or_else(|| "infeasible (exceeds MCDRAM)".into(), |s| format!("{s:.2}")),
+                p.seconds.map_or_else(
+                    || "infeasible (exceeds MCDRAM)".into(),
+                    |s| format!("{s:.2}"),
+                ),
             ]
         })
         .collect();

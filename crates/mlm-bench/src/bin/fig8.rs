@@ -17,7 +17,8 @@ fn main() {
             vec![
                 p.repeats.to_string(),
                 p.copy_threads.to_string(),
-                p.model_seconds.map_or_else(|| "-".into(), |t| format!("{t:.3}")),
+                p.model_seconds
+                    .map_or_else(|| "-".into(), |t| format!("{t:.3}")),
                 format!("{:.3}", p.sim_seconds),
             ]
         })

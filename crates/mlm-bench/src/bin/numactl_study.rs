@@ -20,10 +20,24 @@ fn sim(cal: &Calibration, n: u64, alg: SortAlgorithm, mega: u64) -> f64 {
 
 fn main() {
     let cal = Calibration::default();
-    let headers =
-        ["Elements", "Fits MCDRAM?", "GNU-flat (s)", "GNU-numactl (s)", "MLM-sort (s)", "numactl gain", "MLM gain"];
+    let headers = [
+        "Elements",
+        "Fits MCDRAM?",
+        "GNU-flat (s)",
+        "GNU-numactl (s)",
+        "MLM-sort (s)",
+        "numactl gain",
+        "MLM gain",
+    ];
     let mut body = Vec::new();
-    for &n in &[BILLION, 3 * BILLION / 2, 2 * BILLION, 3 * BILLION, 4 * BILLION, 6 * BILLION] {
+    for &n in &[
+        BILLION,
+        3 * BILLION / 2,
+        2 * BILLION,
+        3 * BILLION,
+        4 * BILLION,
+        6 * BILLION,
+    ] {
         let gnu = sim(&cal, n, SortAlgorithm::GnuFlat, n);
         let numactl = sim(&cal, n, SortAlgorithm::GnuNumactl, n);
         let mlm = sim(&cal, n, SortAlgorithm::MlmSort, paper_megachunk(n).min(n));

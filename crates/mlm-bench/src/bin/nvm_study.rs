@@ -18,7 +18,10 @@ fn main() {
     let mut body = Vec::new();
     for &passes in &[1u32, 4, 16, 64] {
         for &bw in &[5e9, 10e9, 40e9] {
-            let nvm = NvmConfig { bandwidth: bw, ..NvmConfig::default() };
+            let nvm = NvmConfig {
+                bandwidth: bw,
+                ..NvmConfig::default()
+            };
             let spec = DoubleChunkSpec::example(passes);
             match simulate_double_chunking(&knl, &nvm, &spec) {
                 Ok(r) => {

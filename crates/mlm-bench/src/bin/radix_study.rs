@@ -8,7 +8,12 @@ use mlm_core::Calibration;
 
 fn main() {
     let rows = radix_study(&Calibration::default()).expect("radix study failed");
-    let headers = ["Kernel", "DDR only (s)", "MCDRAM chunked (s)", "Chunking speedup"];
+    let headers = [
+        "Kernel",
+        "DDR only (s)",
+        "MCDRAM chunked (s)",
+        "Chunking speedup",
+    ];
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -56,7 +56,8 @@ fn main() {
             "{:<13} mega {:>10}: {}",
             p.algorithm.label(),
             p.megachunk_elems,
-            p.seconds.map_or_else(|| "infeasible".into(), |s| format!("{s:.2}s"))
+            p.seconds
+                .map_or_else(|| "infeasible".into(), |s| format!("{s:.2}s"))
         );
     }
 
@@ -121,6 +122,22 @@ fn main() {
             }
         }
         Err(e) => eprintln!("design space failed: {e}"),
+    }
+
+    banner("Host scheduling ablation — lockstep vs dataflow stage pools");
+    for r in mlm_bench::experiments::host_pipeline_ablation(1 << 20, 3) {
+        println!(
+            "{:<13} (repeats {:>2}): lockstep {:>7.2} ms | dataflow {:>7.2} ms ({:.2}x) \
+             | occ in/comp/out {:.2}/{:.2}/{:.2}",
+            r.workload,
+            r.merge_repeats,
+            r.lockstep_seconds * 1e3,
+            r.dataflow_seconds * 1e3,
+            r.dataflow_speedup,
+            r.copy_in_occupancy,
+            r.compute_occupancy,
+            r.copy_out_occupancy
+        );
     }
 
     banner("Multi-node strong scaling (§6)");

@@ -9,8 +9,15 @@ fn main() {
     let cal = Calibration::default();
     let rows = table1(&cal).expect("table1 simulation failed");
 
-    let headers =
-        ["Elements", "Input Order", "Algorithm", "Sim (s)", "Paper Mean (s)", "Paper SD (s)", "Sim/Paper"];
+    let headers = [
+        "Elements",
+        "Input Order",
+        "Algorithm",
+        "Sim (s)",
+        "Paper Mean (s)",
+        "Paper SD (s)",
+        "Sim/Paper",
+    ];
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

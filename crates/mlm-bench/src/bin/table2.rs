@@ -9,11 +9,36 @@ fn main() {
     let t2 = table2_sim().expect("table2 simulation failed");
     let headers = ["Parameter", "Simulated", "Paper", "Description"];
     let body = vec![
-        vec!["B_copy".into(), format!("{:.1} GB", t2.b_copy / 1e9), "14.9 GB".into(), "Data size".into()],
-        vec!["DDR_max".into(), gbps(t2.ddr_max), "90 GB/s".into(), "STREAM DDR bandwidth".into()],
-        vec!["MCDRAM_max".into(), gbps(t2.mcdram_max), "400 GB/s".into(), "STREAM MCDRAM bandwidth".into()],
-        vec!["S_copy".into(), gbps(t2.s_copy), "4.8 GB/s".into(), "Per-thread DDR<->MCDRAM copy rate".into()],
-        vec!["S_comp".into(), gbps(t2.s_comp), "6.78 GB/s".into(), "Per-thread compute rate (unsaturated)".into()],
+        vec![
+            "B_copy".into(),
+            format!("{:.1} GB", t2.b_copy / 1e9),
+            "14.9 GB".into(),
+            "Data size".into(),
+        ],
+        vec![
+            "DDR_max".into(),
+            gbps(t2.ddr_max),
+            "90 GB/s".into(),
+            "STREAM DDR bandwidth".into(),
+        ],
+        vec![
+            "MCDRAM_max".into(),
+            gbps(t2.mcdram_max),
+            "400 GB/s".into(),
+            "STREAM MCDRAM bandwidth".into(),
+        ],
+        vec![
+            "S_copy".into(),
+            gbps(t2.s_copy),
+            "4.8 GB/s".into(),
+            "Per-thread DDR<->MCDRAM copy rate".into(),
+        ],
+        vec![
+            "S_comp".into(),
+            gbps(t2.s_comp),
+            "6.78 GB/s".into(),
+            "Per-thread compute rate (unsaturated)".into(),
+        ],
     ];
     println!("Table 2 — model parameters (simulated machine vs paper)\n");
     println!("{}", render_table(&headers, &body));

@@ -9,8 +9,13 @@ use mlm_core::Calibration;
 fn main() {
     let cal = Calibration::default();
     let rows = table3(&cal).expect("table3 simulation failed");
-    let headers =
-        ["Repeats", "Model", "Empirical (pow2 sim)", "Paper model", "Paper empirical"];
+    let headers = [
+        "Repeats",
+        "Model",
+        "Empirical (pow2 sim)",
+        "Paper model",
+        "Paper empirical",
+    ];
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -133,6 +133,9 @@ mod tests {
         fitted.validate().unwrap();
         // The shipped defaults should already be close to the fit.
         let drift = fitted.s_sort_random / Calibration::default().s_sort_random;
-        assert!((0.7..1.4).contains(&drift), "default drifted {drift}x from fit");
+        assert!(
+            (0.7..1.4).contains(&drift),
+            "default drifted {drift}x from fit"
+        );
     }
 }

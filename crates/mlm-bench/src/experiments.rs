@@ -2,10 +2,18 @@
 
 use knl_sim::machine::{MachineConfig, MemMode};
 use knl_sim::{MemLevel, Simulator};
-use mlm_core::merge_bench::{empirical_optimal_copy_threads, simulate_merge_bench, MergeBenchParams};
+use mlm_core::merge_bench::{
+    empirical_optimal_copy_threads, merge_kernel, simulate_merge_bench, MergeBenchParams,
+};
 use mlm_core::model::ModelParams;
+use mlm_core::pipeline::host::{
+    run_host_pipeline, run_host_pipeline_dataflow, HostRunStats, HostStagePools,
+};
+use mlm_core::pipeline::{PipelineSpec, Placement};
 use mlm_core::sort::sim::build_sort_program;
+use mlm_core::workload::generate_keys;
 use mlm_core::{Calibration, InputOrder, SortAlgorithm, SortWorkload};
+use parsort::pool::WorkPool;
 
 use crate::paper::{self, paper_megachunk};
 use crate::{BILLION, PAPER_THREADS};
@@ -29,7 +37,11 @@ pub struct Table1Row {
 
 /// The machine mode each Table-1 variant runs under.
 pub fn machine_for(algorithm: SortAlgorithm) -> MachineConfig {
-    let mode = if algorithm.needs_cache_mode() { MemMode::Cache } else { MemMode::Flat };
+    let mode = if algorithm.needs_cache_mode() {
+        MemMode::Cache
+    } else {
+        MemMode::Flat
+    };
     MachineConfig::knl_7250(mode)
 }
 
@@ -61,7 +73,9 @@ pub fn simulate_sort(
         megachunk_for(algorithm, n),
         PAPER_THREADS,
     )?;
-    let report = Simulator::new(machine).run(&prog).map_err(|e| e.to_string())?;
+    let report = Simulator::new(machine)
+        .run(&prog)
+        .map_err(|e| e.to_string())?;
     Ok(report.makespan)
 }
 
@@ -164,7 +178,11 @@ pub fn fig7(cal: &Calibration) -> Vec<Fig7Point> {
                 .ok()
                 .and_then(|prog| Simulator::new(machine).run(&prog).ok())
                 .map(|r| r.makespan);
-            points.push(Fig7Point { algorithm: alg, megachunk_elems: mega, seconds });
+            points.push(Fig7Point {
+                algorithm: alg,
+                megachunk_elems: mega,
+                seconds,
+            });
         }
     }
     points
@@ -230,7 +248,13 @@ pub fn table3(cal: &Calibration) -> Result<Vec<Table3Row>, String> {
             let (m, _) = model.optimal_copy_threads(repeats);
             let base = MergeBenchParams::paper(1, repeats);
             let (e, _) = empirical_optimal_copy_threads(&machine, cal, &base, &candidates)?;
-            Ok(Table3Row { repeats, model: m, empirical: e, paper_model, paper_empirical })
+            Ok(Table3Row {
+                repeats,
+                model: m,
+                empirical: e,
+                paper_model,
+                paper_empirical,
+            })
         })
         .collect()
 }
@@ -282,18 +306,41 @@ pub fn bender_check(cal: &Calibration) -> Result<BenderCheck, String> {
     let w = SortWorkload::int64(n, InputOrder::Random);
 
     let flat_machine = MachineConfig::knl_7250(MemMode::Flat);
-    let gnu = build_sort_program(&flat_machine, cal, w, SortAlgorithm::GnuFlat, n, PAPER_THREADS)?;
-    let gnu_report =
-        Simulator::new(flat_machine.clone()).run(&gnu).map_err(|e| e.to_string())?;
+    let gnu = build_sort_program(
+        &flat_machine,
+        cal,
+        w,
+        SortAlgorithm::GnuFlat,
+        n,
+        PAPER_THREADS,
+    )?;
+    let gnu_report = Simulator::new(flat_machine.clone())
+        .run(&gnu)
+        .map_err(|e| e.to_string())?;
 
-    let basic =
-        build_sort_program(&flat_machine, cal, w, SortAlgorithm::BasicChunked, BILLION, PAPER_THREADS)?;
-    let basic_report =
-        Simulator::new(flat_machine.clone()).run(&basic).map_err(|e| e.to_string())?;
+    let basic = build_sort_program(
+        &flat_machine,
+        cal,
+        w,
+        SortAlgorithm::BasicChunked,
+        BILLION,
+        PAPER_THREADS,
+    )?;
+    let basic_report = Simulator::new(flat_machine.clone())
+        .run(&basic)
+        .map_err(|e| e.to_string())?;
 
-    let mlm =
-        build_sort_program(&flat_machine, cal, w, SortAlgorithm::MlmSort, BILLION, PAPER_THREADS)?;
-    let mlm_report = Simulator::new(flat_machine).run(&mlm).map_err(|e| e.to_string())?;
+    let mlm = build_sort_program(
+        &flat_machine,
+        cal,
+        w,
+        SortAlgorithm::MlmSort,
+        BILLION,
+        PAPER_THREADS,
+    )?;
+    let mlm_report = Simulator::new(flat_machine)
+        .run(&mlm)
+        .map_err(|e| e.to_string())?;
 
     Ok(BenderCheck {
         basic_speedup: gnu_report.makespan / basic_report.makespan,
@@ -346,7 +393,11 @@ pub fn model_validation(cal: &Calibration) -> Result<ModelValidation, String> {
         let model_best = row
             .iter()
             .filter(|p| p.model_seconds.is_some())
-            .min_by(|a, b| a.model_seconds.unwrap().total_cmp(&b.model_seconds.unwrap()))
+            .min_by(|a, b| {
+                a.model_seconds
+                    .unwrap()
+                    .total_cmp(&b.model_seconds.unwrap())
+            })
             .map(|p| p.copy_threads)
             .unwrap_or(1);
         rows += 1;
@@ -387,13 +438,27 @@ pub fn hybrid_study(cal: &Calibration) -> Result<Vec<HybridPoint>, String> {
     let mut out = Vec::new();
     let flat_machine = MachineConfig::knl_7250(MemMode::Flat);
     for &frac in &[0.0f64, 0.25, 0.5, 0.75] {
-        let mode = if frac == 0.0 { MemMode::Flat } else { MemMode::Hybrid { cache_fraction: frac } };
+        let mode = if frac == 0.0 {
+            MemMode::Flat
+        } else {
+            MemMode::Hybrid {
+                cache_fraction: frac,
+            }
+        };
         let machine = MachineConfig::knl_7250(mode);
         let max_megachunk = (machine.addressable_mcdram() / 8).min(n).max(1);
-        let prog =
-            build_sort_program(&machine, cal, w, SortAlgorithm::MlmSort, max_megachunk, PAPER_THREADS)?;
-        let seconds =
-            Simulator::new(machine).run(&prog).map_err(|e| e.to_string())?.makespan;
+        let prog = build_sort_program(
+            &machine,
+            cal,
+            w,
+            SortAlgorithm::MlmSort,
+            max_megachunk,
+            PAPER_THREADS,
+        )?;
+        let seconds = Simulator::new(machine)
+            .run(&prog)
+            .map_err(|e| e.to_string())?
+            .makespan;
         let flat_prog = build_sort_program(
             &flat_machine,
             cal,
@@ -406,7 +471,12 @@ pub fn hybrid_study(cal: &Calibration) -> Result<Vec<HybridPoint>, String> {
             .run(&flat_prog)
             .map_err(|e| e.to_string())?
             .makespan;
-        out.push(HybridPoint { cache_fraction: frac, max_megachunk, seconds, flat_same_chunk });
+        out.push(HybridPoint {
+            cache_fraction: frac,
+            max_megachunk,
+            seconds,
+            flat_same_chunk,
+        });
     }
     Ok(out)
 }
@@ -455,12 +525,17 @@ pub fn radix_study(cal: &Calibration) -> Result<Vec<RadixStudyRow>, String> {
             if in_mcdram {
                 // Copy in/out around the passes (out happens via the merge).
                 for t in 0..threads {
-                    let share = bytes / threads as u64
-                        + u64::from((t as u64) < bytes % threads as u64);
+                    let share =
+                        bytes / threads as u64 + u64::from((t as u64) < bytes % threads as u64);
                     if share > 0 {
                         phase.push(prog.push(
                             t,
-                            OpKind::copy(Place::Ddr, Place::Mcdram, share, machine.per_thread_copy_bw),
+                            OpKind::copy(
+                                Place::Ddr,
+                                Place::Mcdram,
+                                share,
+                                machine.per_thread_copy_bw,
+                            ),
                             &barrier,
                         ));
                     }
@@ -486,13 +561,15 @@ pub fn radix_study(cal: &Calibration) -> Result<Vec<RadixStudyRow>, String> {
             let rate = cal.multiway_rate(threads);
             let mut merge = Vec::new();
             for t in 0..threads {
-                let share =
-                    bytes / threads as u64 + u64::from((t as u64) < bytes % threads as u64);
+                let share = bytes / threads as u64 + u64::from((t as u64) < bytes % threads as u64);
                 if share > 0 {
                     merge.push(prog.push(
                         t,
                         OpKind::Stream {
-                            accesses: vec![Access::read(place, share), Access::write(Place::Ddr, share)],
+                            accesses: vec![
+                                Access::read(place, share),
+                                Access::write(Place::Ddr, share),
+                            ],
                             rate_cap: rate,
                         },
                         &barrier,
@@ -510,14 +587,20 @@ pub fn radix_study(cal: &Calibration) -> Result<Vec<RadixStudyRow>, String> {
                 fin.push(prog.push(
                     t,
                     OpKind::Stream {
-                        accesses: vec![Access::read(Place::Ddr, share), Access::write(Place::Ddr, share)],
+                        accesses: vec![
+                            Access::read(Place::Ddr, share),
+                            Access::write(Place::Ddr, share),
+                        ],
                         rate_cap: rate,
                     },
                     &barrier,
                 ));
             }
         }
-        Ok(Simulator::new(machine.clone()).run(&prog).map_err(|e| e.to_string())?.makespan)
+        Ok(Simulator::new(machine.clone())
+            .run(&prog)
+            .map_err(|e| e.to_string())?
+            .makespan)
     };
 
     let radix_ddr = radix_time(false)?;
@@ -581,13 +664,20 @@ pub fn design_space(cal: &Calibration) -> Result<Vec<DesignPoint>, String> {
             let max_elems = machine.addressable_mcdram() / elem;
             let megachunk = max_elems.min(n).max(1);
 
-            let gnu = build_sort_program(&machine, cal, w, SortAlgorithm::GnuFlat, n, PAPER_THREADS)?;
+            let gnu =
+                build_sort_program(&machine, cal, w, SortAlgorithm::GnuFlat, n, PAPER_THREADS)?;
             let gnu_seconds = Simulator::new(machine.clone())
                 .run(&gnu)
                 .map_err(|e| e.to_string())?
                 .makespan;
-            let mlm =
-                build_sort_program(&machine, cal, w, SortAlgorithm::MlmSort, megachunk, PAPER_THREADS)?;
+            let mlm = build_sort_program(
+                &machine,
+                cal,
+                w,
+                SortAlgorithm::MlmSort,
+                megachunk,
+                PAPER_THREADS,
+            )?;
             let mlm_seconds = Simulator::new(machine.clone())
                 .run(&mlm)
                 .map_err(|e| e.to_string())?
@@ -605,6 +695,104 @@ pub fn design_space(cal: &Calibration) -> Result<Vec<DesignPoint>, String> {
     Ok(points)
 }
 
+/// One row of the host-pipeline scheduling ablation: the same real
+/// (host-executed) workload under the lockstep and dataflow schedules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostAblationRow {
+    /// Workload label ("copy-bound", "balanced", "compute-bound").
+    pub workload: &'static str,
+    /// Merge-kernel repetitions (the compute-intensity knob).
+    pub merge_repeats: u32,
+    /// Best-of-`reps` lockstep wall-clock, seconds.
+    pub lockstep_seconds: f64,
+    /// Best-of-`reps` dataflow wall-clock, seconds.
+    pub dataflow_seconds: f64,
+    /// `lockstep_seconds / dataflow_seconds`.
+    pub dataflow_speedup: f64,
+    /// Copy-in stage occupancy of the best dataflow run.
+    pub copy_in_occupancy: f64,
+    /// Compute stage occupancy of the best dataflow run.
+    pub compute_occupancy: f64,
+    /// Copy-out stage occupancy of the best dataflow run.
+    pub copy_out_occupancy: f64,
+}
+
+/// Host-pipeline scheduling ablation: lockstep steps vs decoupled stage
+/// pools, on real threads and real buffers.
+///
+/// The paper's lockstep schedule pays `max(T_copy, T_comp)` per step; the
+/// dataflow schedule lets whichever stage is the bottleneck run
+/// back-to-back while the others wait on the buffer ring. The per-stage
+/// occupancies (busy / (threads x elapsed), from [`HostRunStats`])
+/// identify the bottleneck: under dataflow the bottleneck stage's
+/// occupancy approaches 1 while the others idle on the ring.
+///
+/// `n_elems` int64 keys are streamed through 8 chunks; `reps` runs per
+/// cell, best wall-clock kept (host timing, so noise is real — the
+/// simulator's virtual-time ablation in `benches/ablations.rs` is the
+/// noise-free counterpart).
+pub fn host_pipeline_ablation(n_elems: usize, reps: usize) -> Vec<HostAblationRow> {
+    let (p_in, p_out, p_comp) = (2usize, 2usize, 4usize);
+    let shared = WorkPool::new(p_in + p_out + p_comp);
+    let pools = HostStagePools::new(p_in, p_comp, p_out);
+    let data = generate_keys(n_elems, InputOrder::Random, 7);
+    let chunk_elems = (n_elems / 8).max(1);
+    let spec_for = |lockstep: bool| PipelineSpec {
+        total_bytes: (n_elems * 8) as u64,
+        chunk_bytes: (chunk_elems * 8) as u64,
+        p_in,
+        p_out,
+        p_comp,
+        compute_passes: 1,
+        compute_rate: 1e9,
+        copy_rate: 1e9,
+        placement: Placement::Hbw,
+        lockstep,
+        data_addr: 0,
+    };
+
+    let mut rows = Vec::new();
+    for (workload, merge_repeats) in [("copy-bound", 1u32), ("balanced", 4), ("compute-bound", 16)]
+    {
+        let kernel = |slice: &mut [i64], _ctx: mlm_core::pipeline::host::KernelCtx| {
+            merge_kernel(slice, merge_repeats)
+        };
+        let mut out = vec![0i64; n_elems];
+
+        let mut lockstep_best: Option<HostRunStats> = None;
+        let lock_spec = spec_for(true);
+        for _ in 0..reps.max(1) {
+            let stats = run_host_pipeline(&shared, &lock_spec, &data, &mut out, kernel);
+            if lockstep_best.is_none_or(|b| stats.elapsed < b.elapsed) {
+                lockstep_best = Some(stats);
+            }
+        }
+
+        let mut dataflow_best: Option<HostRunStats> = None;
+        let flow_spec = spec_for(false);
+        for _ in 0..reps.max(1) {
+            let stats = run_host_pipeline_dataflow(&pools, &flow_spec, &data, &mut out, kernel);
+            if dataflow_best.is_none_or(|b| stats.elapsed < b.elapsed) {
+                dataflow_best = Some(stats);
+            }
+        }
+
+        let lock = lockstep_best.expect("at least one lockstep run");
+        let flow = dataflow_best.expect("at least one dataflow run");
+        rows.push(HostAblationRow {
+            workload,
+            merge_repeats,
+            lockstep_seconds: lock.elapsed.as_secs_f64(),
+            dataflow_seconds: flow.elapsed.as_secs_f64(),
+            dataflow_speedup: lock.elapsed.as_secs_f64() / flow.elapsed.as_secs_f64(),
+            copy_in_occupancy: flow.copy_in.occupancy(flow.elapsed),
+            compute_occupancy: flow.compute.occupancy(flow.elapsed),
+            copy_out_occupancy: flow.copy_out.occupancy(flow.elapsed),
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -612,9 +800,18 @@ mod tests {
     #[test]
     fn megachunk_rules() {
         assert_eq!(megachunk_for(SortAlgorithm::MlmSort, 2 * BILLION), BILLION);
-        assert_eq!(megachunk_for(SortAlgorithm::MlmSort, 6 * BILLION), 3 * BILLION / 2);
-        assert_eq!(megachunk_for(SortAlgorithm::MlmImplicit, 6 * BILLION), 6 * BILLION);
-        assert_eq!(megachunk_for(SortAlgorithm::BasicChunked, 6 * BILLION), BILLION);
+        assert_eq!(
+            megachunk_for(SortAlgorithm::MlmSort, 6 * BILLION),
+            3 * BILLION / 2
+        );
+        assert_eq!(
+            megachunk_for(SortAlgorithm::MlmImplicit, 6 * BILLION),
+            6 * BILLION
+        );
+        assert_eq!(
+            megachunk_for(SortAlgorithm::BasicChunked, 6 * BILLION),
+            BILLION
+        );
     }
 
     #[test]
@@ -656,9 +853,17 @@ mod tests {
     fn model_tracks_simulator_closely() {
         let v = model_validation(&Calibration::default()).unwrap();
         assert_eq!(v.points, 42);
-        assert!(v.geo_mean_ratio < 1.25, "geo-mean ratio {}", v.geo_mean_ratio);
+        assert!(
+            v.geo_mean_ratio < 1.25,
+            "geo-mean ratio {}",
+            v.geo_mean_ratio
+        );
         assert!(v.worst_ratio < 2.5, "worst ratio {}", v.worst_ratio);
-        assert!(v.argmin_agreement >= 5.0 / 7.0, "argmin agreement {}", v.argmin_agreement);
+        assert!(
+            v.argmin_agreement >= 5.0 / 7.0,
+            "argmin agreement {}",
+            v.argmin_agreement
+        );
     }
 
     #[test]
@@ -683,7 +888,10 @@ mod tests {
         // no hybrid point beats flat at its maximal chunk.
         let flat_best = points[0].seconds;
         for p in &points[1..] {
-            assert!(p.seconds >= flat_best * 0.99, "{p:?} beats flat {flat_best}");
+            assert!(
+                p.seconds >= flat_best * 0.99,
+                "{p:?} beats flat {flat_best}"
+            );
         }
     }
 
@@ -713,7 +921,32 @@ mod tests {
             .iter()
             .find(|p| (p.bw_ratio - 4.44).abs() < 1e-9 && p.capacity_gib == 16)
             .unwrap();
-        assert!((1.2..1.7).contains(&knl.speedup), "KNL point speedup {}", knl.speedup);
+        assert!(
+            (1.2..1.7).contains(&knl.speedup),
+            "KNL point speedup {}",
+            knl.speedup
+        );
+    }
+
+    #[test]
+    fn host_ablation_runs_and_reports_occupancies() {
+        // Small problem: this checks plumbing, not performance.
+        let rows = host_pipeline_ablation(1 << 14, 1);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.lockstep_seconds > 0.0, "{r:?}");
+            assert!(r.dataflow_seconds > 0.0, "{r:?}");
+            assert!(r.dataflow_speedup > 0.0, "{r:?}");
+            for occ in [
+                r.copy_in_occupancy,
+                r.compute_occupancy,
+                r.copy_out_occupancy,
+            ] {
+                assert!((0.0..=1.0 + 1e-9).contains(&occ), "{r:?}");
+            }
+        }
+        // More merge repeats cannot make compute cheaper.
+        assert!(rows[2].merge_repeats > rows[0].merge_repeats);
     }
 
     #[test]
@@ -722,7 +955,10 @@ mod tests {
         // Use a single size to keep the test quick: synthesize rows.
         let rows: Vec<Table1Row> = table1(&cal).unwrap();
         let bars = fig6(&rows);
-        for b in bars.iter().filter(|b| b.algorithm == SortAlgorithm::GnuFlat) {
+        for b in bars
+            .iter()
+            .filter(|b| b.algorithm == SortAlgorithm::GnuFlat)
+        {
             assert!((b.sim_speedup - 1.0).abs() < 1e-12);
             assert!((b.paper_speedup - 1.0).abs() < 1e-12);
         }

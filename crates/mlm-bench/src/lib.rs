@@ -14,6 +14,7 @@
 //! | Figure 8a/8b | [`experiments::fig8`] | `fig8` |
 //! | Table 3 | [`experiments::table3`] | `table3` |
 //! | §2.3 / §4 Bender corroboration | [`experiments::bender_check`] | `bender_check` |
+//! | host lockstep-vs-dataflow ablation | [`experiments::host_pipeline_ablation`] | `host_ablation` |
 
 pub mod calibrate;
 pub mod experiments;

@@ -33,7 +33,13 @@ pub const TABLE1: [PaperTable1Row; 30] = {
         mean: f64,
         std_dev: f64,
     ) -> PaperTable1Row {
-        PaperTable1Row { elements, order, algorithm, mean, std_dev }
+        PaperTable1Row {
+            elements,
+            order,
+            algorithm,
+            mean,
+            std_dev,
+        }
     }
     [
         row(2_000_000_000, Random, GnuFlat, 11.92, 0.1662),

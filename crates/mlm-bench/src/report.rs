@@ -24,7 +24,12 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out.push('\n');
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
-            let _ = write!(out, "{:<w$}  ", cell, w = widths.get(i).copied().unwrap_or(0));
+            let _ = write!(
+                out,
+                "{:<w$}  ",
+                cell,
+                w = widths.get(i).copied().unwrap_or(0)
+            );
         }
         out.push('\n');
     }
@@ -46,7 +51,13 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io:
             cell.to_string()
         }
     };
-    body.push_str(&headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    body.push_str(
+        &headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     body.push('\n');
     for row in rows {
         body.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));

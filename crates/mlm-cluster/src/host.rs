@@ -99,7 +99,15 @@ pub fn cluster_sort<T: Ord + Copy + Send + Sync>(
             let senders = senders.clone();
             let inbox = inboxes[node].take().expect("inbox taken once");
             handles.push(scope.spawn(move || {
-                run_node(node, n, shard, inbox, &senders, threads_per_node, megachunk_elems)
+                run_node(
+                    node,
+                    n,
+                    shard,
+                    inbox,
+                    &senders,
+                    threads_per_node,
+                    megachunk_elems,
+                )
             }));
         }
         for h in handles {
@@ -109,8 +117,11 @@ pub fn cluster_sort<T: Ord + Copy + Send + Sync>(
 
     let received_per_node: Vec<usize> = results.iter().map(|r| r.len()).collect();
     let out: Vec<T> = results.into_iter().flatten().collect();
-    let stats =
-        ClusterSortStats { nodes: n, received_per_node, elapsed: start.elapsed() };
+    let stats = ClusterSortStats {
+        nodes: n,
+        received_per_node,
+        elapsed: start.elapsed(),
+    };
     (out, stats)
 }
 
@@ -124,6 +135,12 @@ fn run_node<T: Ord + Copy + Send + Sync>(
     megachunk_elems: usize,
 ) -> Vec<T> {
     let pool = WorkPool::new(threads_per_node);
+    // Messages can arrive ahead of the phase that consumes them: node 0
+    // broadcasts splitters to peers one at a time, so a peer that got its
+    // splitters early can deliver exchange partitions to a node still
+    // waiting on its own splitters. Such messages are deferred here and
+    // drained by the exchange loop instead of aborting the phase.
+    let mut deferred: std::collections::VecDeque<NodeMsg<T>> = std::collections::VecDeque::new();
 
     // Phase 1: local MLM-sort.
     let mut local = shard.to_vec();
@@ -142,7 +159,9 @@ fn run_node<T: Ord + Copy + Send + Sync>(
             }
         })
         .collect();
-    senders[0].send(NodeMsg::Samples(samples)).expect("node 0 alive");
+    senders[0]
+        .send(NodeMsg::Samples(samples))
+        .expect("node 0 alive");
 
     let splitters: Vec<T> = if node == 0 {
         // Gather n sample sets, sort, pick every n-th as a splitter.
@@ -154,20 +173,28 @@ fn run_node<T: Ord + Copy + Send + Sync>(
                     all.extend(s);
                     sets += 1;
                 }
-                _ => unreachable!("phase ordering: only samples arrive before splitters"),
+                NodeMsg::Splitters(_) => {
+                    unreachable!("splitters are broadcast by node 0, never sent to it")
+                }
+                other => deferred.push_back(other),
             }
         }
         all.sort_unstable();
-        let splitters: Vec<T> =
-            (1..n).filter_map(|k| all.get(k * all.len() / n).copied()).collect();
+        let splitters: Vec<T> = (1..n)
+            .filter_map(|k| all.get(k * all.len() / n).copied())
+            .collect();
         for s in senders.iter().skip(1) {
-            s.send(NodeMsg::Splitters(splitters.clone())).expect("mesh alive");
+            s.send(NodeMsg::Splitters(splitters.clone()))
+                .expect("mesh alive");
         }
         splitters
     } else {
-        match inbox.recv().expect("mesh alive") {
-            NodeMsg::Splitters(s) => s,
-            _ => unreachable!("non-root nodes receive splitters first"),
+        loop {
+            match inbox.recv().expect("mesh alive") {
+                NodeMsg::Splitters(s) => break s,
+                NodeMsg::Samples(_) => unreachable!("samples are addressed to node 0"),
+                other => deferred.push_back(other),
+            }
         }
     };
 
@@ -180,7 +207,9 @@ fn run_node<T: Ord + Copy + Send + Sync>(
         } else {
             local.len()
         };
-        sender.send(NodeMsg::Partition(local[cut..hi].to_vec())).expect("mesh alive");
+        sender
+            .send(NodeMsg::Partition(local[cut..hi].to_vec()))
+            .expect("mesh alive");
         sender.send(NodeMsg::Done).expect("mesh alive");
         cut = hi;
     }
@@ -190,7 +219,10 @@ fn run_node<T: Ord + Copy + Send + Sync>(
     let mut fragments: Vec<Vec<T>> = Vec::with_capacity(n);
     let mut done = 0usize;
     while done < n {
-        match inbox.recv().expect("mesh alive") {
+        let msg = deferred
+            .pop_front()
+            .unwrap_or_else(|| inbox.recv().expect("mesh alive"));
+        match msg {
             NodeMsg::Partition(p) => fragments.push(p),
             NodeMsg::Done => done += 1,
             NodeMsg::Samples(_) | NodeMsg::Splitters(_) => {

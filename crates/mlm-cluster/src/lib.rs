@@ -41,7 +41,11 @@ pub struct ClusterConfig {
 impl ClusterConfig {
     /// An Omni-Path-class cluster of `nodes` KNLs.
     pub fn omnipath(nodes: usize) -> Self {
-        ClusterConfig { nodes, link_bandwidth: 12.5e9, link_latency: 2e-6 }
+        ClusterConfig {
+            nodes,
+            link_bandwidth: 12.5e9,
+            link_latency: 2e-6,
+        }
     }
 
     /// Validate the configuration.
@@ -72,17 +76,33 @@ mod tests {
 
     #[test]
     fn validation_rejects_degenerate_configs() {
-        assert!(ClusterConfig { nodes: 0, link_bandwidth: 1.0, link_latency: 0.0 }
-            .validate()
-            .is_err());
-        assert!(ClusterConfig { nodes: 2, link_bandwidth: 0.0, link_latency: 0.0 }
-            .validate()
-            .is_err());
-        assert!(ClusterConfig { nodes: 2, link_bandwidth: 1.0, link_latency: -1.0 }
-            .validate()
-            .is_err());
-        assert!(ClusterConfig { nodes: 2, link_bandwidth: f64::NAN, link_latency: 0.0 }
-            .validate()
-            .is_err());
+        assert!(ClusterConfig {
+            nodes: 0,
+            link_bandwidth: 1.0,
+            link_latency: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(ClusterConfig {
+            nodes: 2,
+            link_bandwidth: 0.0,
+            link_latency: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(ClusterConfig {
+            nodes: 2,
+            link_bandwidth: 1.0,
+            link_latency: -1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ClusterConfig {
+            nodes: 2,
+            link_bandwidth: f64::NAN,
+            link_latency: 0.0
+        }
+        .validate()
+        .is_err());
     }
 }

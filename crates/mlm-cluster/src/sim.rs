@@ -60,14 +60,25 @@ pub fn simulate_cluster_sort(
     let shard = n.div_ceil(nodes);
     let machine = MachineConfig::knl_7250(MemMode::Flat);
     let elem = 8u64;
-    let mega = megachunk_elems.min(shard).min(machine.addressable_mcdram() / elem).max(1);
+    let mega = megachunk_elems
+        .min(shard)
+        .min(machine.addressable_mcdram() / elem)
+        .max(1);
 
     // Phase 1: local MLM-sort of the shard (identical on every node).
     let w = SortWorkload::int64(shard, order);
-    let prog =
-        build_sort_program(&machine, cal, w, SortAlgorithm::MlmSort, mega, threads_per_node)?;
-    let local_sort =
-        Simulator::new(machine.clone()).run(&prog).map_err(|e| e.to_string())?.makespan;
+    let prog = build_sort_program(
+        &machine,
+        cal,
+        w,
+        SortAlgorithm::MlmSort,
+        mega,
+        threads_per_node,
+    )?;
+    let local_sort = Simulator::new(machine.clone())
+        .run(&prog)
+        .map_err(|e| e.to_string())?
+        .makespan;
 
     // Phase 2 (sampling) is latency-bound and tiny: 2 link latencies.
     let sampling = 2.0 * cluster.link_latency;
@@ -91,8 +102,8 @@ pub fn simulate_cluster_sort(
         0.0 // single node already fully sorted in phase 1
     } else {
         let traffic = 2 * shard * elem;
-        let rate_bound = threads_per_node as f64
-            * cal.multiway_rate_ordered(cluster.nodes.max(2), order);
+        let rate_bound =
+            threads_per_node as f64 * cal.multiway_rate_ordered(cluster.nodes.max(2), order);
         traffic as f64 / rate_bound.min(machine.ddr_bandwidth)
     };
 
@@ -167,7 +178,11 @@ mod tests {
         // megachunk phases (superlinear local effects).
         for r in &reports {
             let eff = reports[0].total / r.total / r.nodes as f64;
-            assert!((0.5..1.1).contains(&eff), "nodes {}: efficiency {eff}", r.nodes);
+            assert!(
+                (0.5..1.1).contains(&eff),
+                "nodes {}: efficiency {eff}",
+                r.nodes
+            );
         }
     }
 
@@ -191,7 +206,11 @@ mod tests {
         // With gigabit-class links the crossover arrives within 64 nodes.
         let cal = Calibration::default();
         let slow = simulate_cluster_sort(
-            &ClusterConfig { nodes: 64, link_bandwidth: 1e9, link_latency: 2e-6 },
+            &ClusterConfig {
+                nodes: 64,
+                link_bandwidth: 1e9,
+                link_latency: 2e-6,
+            },
             &cal,
             N,
             InputOrder::Random,
@@ -204,14 +223,21 @@ mod tests {
             "slow network must dominate: {slow:?}"
         );
         let fast = report(64);
-        assert!(fast.local_sort > fast.exchange, "fast network must not: {fast:?}");
+        assert!(
+            fast.local_sort > fast.exchange,
+            "fast network must not: {fast:?}"
+        );
     }
 
     #[test]
     fn faster_links_shrink_exchange_only() {
         let cal = Calibration::default();
         let slow = simulate_cluster_sort(
-            &ClusterConfig { nodes: 8, link_bandwidth: 5e9, link_latency: 2e-6 },
+            &ClusterConfig {
+                nodes: 8,
+                link_bandwidth: 5e9,
+                link_latency: 2e-6,
+            },
             &cal,
             N,
             InputOrder::Random,
@@ -220,7 +246,11 @@ mod tests {
         )
         .unwrap();
         let fast = simulate_cluster_sort(
-            &ClusterConfig { nodes: 8, link_bandwidth: 50e9, link_latency: 2e-6 },
+            &ClusterConfig {
+                nodes: 8,
+                link_bandwidth: 50e9,
+                link_latency: 2e-6,
+            },
             &cal,
             N,
             InputOrder::Random,

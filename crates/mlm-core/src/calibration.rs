@@ -254,12 +254,30 @@ mod tests {
     #[test]
     fn validation_catches_bad_values() {
         let bad = [
-            Calibration { s_multiway: 0.0, ..Calibration::default() },
-            Calibration { gnu_efficiency: 1.5, ..Calibration::default() },
-            Calibration { phase_overhead: -1.0, ..Calibration::default() },
-            Calibration { cache_resident_elems: 0, ..Calibration::default() },
-            Calibration { incache_random: -1.0, ..Calibration::default() },
-            Calibration { s_merge_bench: f64::NAN, ..Calibration::default() },
+            Calibration {
+                s_multiway: 0.0,
+                ..Calibration::default()
+            },
+            Calibration {
+                gnu_efficiency: 1.5,
+                ..Calibration::default()
+            },
+            Calibration {
+                phase_overhead: -1.0,
+                ..Calibration::default()
+            },
+            Calibration {
+                cache_resident_elems: 0,
+                ..Calibration::default()
+            },
+            Calibration {
+                incache_random: -1.0,
+                ..Calibration::default()
+            },
+            Calibration {
+                s_merge_bench: f64::NAN,
+                ..Calibration::default()
+            },
         ];
         for c in bad {
             assert!(c.validate().is_err(), "{c:?}");

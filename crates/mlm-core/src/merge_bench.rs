@@ -15,7 +15,7 @@ use knl_sim::ops::Program;
 use serde::{Deserialize, Serialize};
 
 use crate::calibration::Calibration;
-use crate::pipeline::{sim, Placement, PipelineSpec};
+use crate::pipeline::{sim, PipelineSpec, Placement};
 
 /// Parameters of one merge-benchmark configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -55,7 +55,11 @@ impl MergeBenchParams {
     /// Lower the configuration to a pipeline spec for `machine`, taking
     /// the SMT-degraded per-thread kernel rate from `cal` (see
     /// [`Calibration::s_merge_bench`]).
-    pub fn to_spec(&self, machine: &MachineConfig, cal: &Calibration) -> Result<PipelineSpec, String> {
+    pub fn to_spec(
+        &self,
+        machine: &MachineConfig,
+        cal: &Calibration,
+    ) -> Result<PipelineSpec, String> {
         if self.compute_threads() == 0 {
             return Err(format!(
                 "{} copy threads x2 leave no compute threads of {}",
@@ -97,7 +101,9 @@ pub fn simulate_merge_bench(
     params: &MergeBenchParams,
 ) -> Result<f64, String> {
     let prog = merge_bench_program(machine, cal, params)?;
-    let report = knl_sim::Simulator::new(machine.clone()).run(&prog).map_err(|e| e.to_string())?;
+    let report = knl_sim::Simulator::new(machine.clone())
+        .run(&prog)
+        .map_err(|e| e.to_string())?;
     Ok(report.makespan)
 }
 
@@ -112,7 +118,10 @@ pub fn empirical_optimal_copy_threads(
 ) -> Result<(usize, f64), String> {
     let mut best: Option<(usize, f64)> = None;
     for &c in candidates {
-        let params = MergeBenchParams { copy_threads: c, ..*base };
+        let params = MergeBenchParams {
+            copy_threads: c,
+            ..*base
+        };
         if params.compute_threads() == 0 {
             continue;
         }
@@ -182,7 +191,10 @@ mod tests {
 
         let mut p = MergeBenchParams::paper(8, 1);
         p.chunk_bytes = 8 * knl_sim::GIB;
-        assert!(p.to_spec(&knl(), &cal()).is_err(), "3 x 8 GiB > 16 GiB MCDRAM");
+        assert!(
+            p.to_spec(&knl(), &cal()).is_err(),
+            "3 x 8 GiB > 16 GiB MCDRAM"
+        );
     }
 
     #[test]
@@ -214,10 +226,19 @@ mod tests {
         // Asymptotes match the paper's Table 3 empirical column.
         let b1 = MergeBenchParams { repeats: 1, ..base };
         let (best1, _) = empirical_optimal_copy_threads(&m, &c, &b1, &candidates).unwrap();
-        assert!(best1 >= 8, "heavy-copy regime wants many copy threads, got {best1}");
-        let b64 = MergeBenchParams { repeats: 64, ..base };
+        assert!(
+            best1 >= 8,
+            "heavy-copy regime wants many copy threads, got {best1}"
+        );
+        let b64 = MergeBenchParams {
+            repeats: 64,
+            ..base
+        };
         let (best64, _) = empirical_optimal_copy_threads(&m, &c, &b64, &candidates).unwrap();
-        assert!(best64 <= 2, "compute-heavy regime wants few copy threads, got {best64}");
+        assert!(
+            best64 <= 2,
+            "compute-heavy regime wants few copy threads, got {best64}"
+        );
     }
 
     #[test]

@@ -257,7 +257,15 @@ mod tests {
     #[test]
     fn model_reproduces_table3_shape() {
         let m = m();
-        let expect = [(1u32, 10usize), (2, 10), (4, 10), (8, 8), (16, 3), (32, 2), (64, 1)];
+        let expect = [
+            (1u32, 10usize),
+            (2, 10),
+            (4, 10),
+            (8, 8),
+            (16, 3),
+            (32, 2),
+            (64, 1),
+        ];
         for (repeats, want) in expect {
             let (got, _) = m.optimal_copy_threads(repeats);
             assert!(

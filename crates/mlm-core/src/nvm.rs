@@ -27,7 +27,7 @@ use knl_sim::ops::{Access, OpKind, Place, Program};
 use knl_sim::{MemLevel, Simulator};
 use serde::{Deserialize, Serialize};
 
-use crate::pipeline::{sim, Placement, PipelineSpec};
+use crate::pipeline::{sim, PipelineSpec, Placement};
 
 /// The NVM tier's parameters (3D-XPoint-class defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -42,7 +42,11 @@ pub struct NvmConfig {
 
 impl Default for NvmConfig {
     fn default() -> Self {
-        NvmConfig { bandwidth: 10e9, capacity: 1 << 40, per_thread_copy_bw: 1e9 }
+        NvmConfig {
+            bandwidth: 10e9,
+            capacity: 1 << 40,
+            per_thread_copy_bw: 1e9,
+        }
     }
 }
 
@@ -157,7 +161,9 @@ pub fn simulate_double_chunking(
     // Step 1: inner pipeline on the real KNL.
     let inner = inner_spec(spec, knl);
     let inner_prog = sim::build_program(&inner)?;
-    let inner_report = Simulator::new(knl.clone()).run(&inner_prog).map_err(|e| e.to_string())?;
+    let inner_report = Simulator::new(knl.clone())
+        .run(&inner_prog)
+        .map_err(|e| e.to_string())?;
     let inner_seconds = inner_report.makespan;
     // DDR traffic of one inner run, charged to the outer shared bus.
     let inner_ddr_traffic = inner_report.traffic_on(MemLevel::Ddr).total();
@@ -177,15 +183,21 @@ pub fn simulate_double_chunking(
     let mut copyin: Vec<Vec<knl_sim::OpId>> = vec![Vec::new(); n_outer];
     #[allow(clippy::needless_range_loop)] // c indexes both sizes and copyin
     for c in 0..n_outer {
-        let bytes = spec.outer_chunk.min(spec.total_bytes - c as u64 * spec.outer_chunk);
+        let bytes = spec
+            .outer_chunk
+            .min(spec.total_bytes - c as u64 * spec.outer_chunk);
         // Outer copy-in of chunk c (NVM -> DDR).
         for t in 0..p_out_copy {
-            let share = bytes / p_out_copy as u64
-                + u64::from((t as u64) < bytes % p_out_copy as u64);
+            let share =
+                bytes / p_out_copy as u64 + u64::from((t as u64) < bytes % p_out_copy as u64);
             if share == 0 {
                 continue;
             }
-            let deps = if c >= 3 { prev_step.clone() } else { Vec::new() };
+            let deps = if c >= 3 {
+                prev_step.clone()
+            } else {
+                Vec::new()
+            };
             copyin[c].push(prog.push(
                 t,
                 OpKind::Copy {
@@ -214,8 +226,8 @@ pub fn simulate_double_chunking(
         // Outer copy-out of chunk c (DDR -> NVM), after its compute.
         let comp_dep = vec![*comp_ops.last().unwrap()];
         for t in 0..p_out_copy {
-            let share = bytes / p_out_copy as u64
-                + u64::from((t as u64) < bytes % p_out_copy as u64);
+            let share =
+                bytes / p_out_copy as u64 + u64::from((t as u64) < bytes % p_out_copy as u64);
             if share == 0 {
                 continue;
             }
@@ -231,7 +243,9 @@ pub fn simulate_double_chunking(
             );
         }
     }
-    let outer_report = Simulator::new(om.clone()).run(&prog).map_err(|e| e.to_string())?;
+    let outer_report = Simulator::new(om.clone())
+        .run(&prog)
+        .map_err(|e| e.to_string())?;
     let double_chunked = outer_report.makespan;
 
     // Baseline A: single-level chunking NVM -> MCDRAM, inner-sized chunks.
@@ -244,15 +258,22 @@ pub fn simulate_double_chunking(
     single.total_bytes = spec.total_bytes;
     single.copy_rate = nvm.per_thread_copy_bw;
     let single_prog = sim::build_program(&single)?;
-    let single_level =
-        Simulator::new(single_machine).run(&single_prog).map_err(|e| e.to_string())?.makespan;
+    let single_level = Simulator::new(single_machine)
+        .run(&single_prog)
+        .map_err(|e| e.to_string())?
+        .makespan;
 
     // Baseline B: unchunked — the kernel streams straight from NVM.
     let traffic = 2 * spec.total_bytes * u64::from(spec.compute_passes);
-    let unchunked = traffic as f64
-        / (spec.total_threads as f64 * spec.compute_rate).min(nvm.bandwidth);
+    let unchunked =
+        traffic as f64 / (spec.total_threads as f64 * spec.compute_rate).min(nvm.bandwidth);
 
-    Ok(DoubleChunkReport { double_chunked, inner_seconds, single_level, unchunked })
+    Ok(DoubleChunkReport {
+        double_chunked,
+        inner_seconds,
+        single_level,
+        unchunked,
+    })
 }
 
 #[cfg(test)]
@@ -314,13 +335,19 @@ mod tests {
         let spec = DoubleChunkSpec::example(2);
         let slow = simulate_double_chunking(
             &knl(),
-            &NvmConfig { bandwidth: 5e9, ..NvmConfig::default() },
+            &NvmConfig {
+                bandwidth: 5e9,
+                ..NvmConfig::default()
+            },
             &spec,
         )
         .unwrap();
         let fast = simulate_double_chunking(
             &knl(),
-            &NvmConfig { bandwidth: 40e9, ..NvmConfig::default() },
+            &NvmConfig {
+                bandwidth: 40e9,
+                ..NvmConfig::default()
+            },
             &spec,
         )
         .unwrap();

@@ -5,10 +5,32 @@
 //! under full overlap. Host memory has a single level, so wall-clock here
 //! is not the experiment (that is the simulator's job) — correctness and
 //! native benchmarking are.
+//!
+//! Two schedules are implemented, selected by [`PipelineSpec::lockstep`]:
+//!
+//! * **Lockstep** (`lockstep: true`): each step runs copy-in of chunk `s`,
+//!   compute on chunk `s-1`, and copy-out of chunk `s-2` as one task batch
+//!   on a single shared [`WorkPool`], with a barrier between steps. This is
+//!   the paper's schedule, whose makespan the model's
+//!   `max(T_copy, T_comp)` term describes.
+//! * **Dataflow** (`lockstep: false`): three persistent stage pools
+//!   ([`HostStagePools`]) run decoupled coordinator threads connected by a
+//!   three-slot buffer ring. A stage advances as soon as *its* buffer
+//!   dependency is satisfied (`Empty → Filled → Computed → Empty`), so a
+//!   slow chunk in one stage no longer stalls unrelated work in the
+//!   others — mirroring the dependency structure of
+//!   [`super::sim::build_program`]'s non-lockstep op graph.
 
-use parsort::pool::{split_range, WorkPool};
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use super::{Placement, PipelineSpec};
+use parsort::pool::{split_range, StagePool, WorkPool};
+
+use super::{PipelineSpec, Placement};
 
 /// How a chunk kernel sees its slice of the current chunk.
 #[derive(Debug, Clone, Copy)]
@@ -21,15 +43,84 @@ pub struct KernelCtx {
     pub global_offset: usize,
 }
 
+/// Per-stage timing of one host pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageStats {
+    /// Worker threads dedicated to (or sharing) this stage.
+    pub threads: usize,
+    /// Cumulative task execution time, summed across workers.
+    pub busy: Duration,
+    /// Time the stage's coordinator spent blocked waiting for a buffer
+    /// dependency (dataflow runs only; zero under lockstep, where waiting
+    /// happens inside the shared pool's step barrier).
+    pub wait: Duration,
+}
+
+impl StageStats {
+    /// Fraction of `threads x elapsed` this stage spent executing tasks.
+    pub fn occupancy(&self, elapsed: Duration) -> f64 {
+        if self.threads == 0 || elapsed.is_zero() {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / (self.threads as f64 * elapsed.as_secs_f64())
+    }
+}
+
 /// Result of a host pipeline run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HostRunStats {
     /// Number of chunks processed.
     pub chunks: usize,
-    /// Number of lockstep steps executed.
+    /// Number of schedule steps (`chunks + 2` for explicit pipelines;
+    /// reported for dataflow runs too so the two modes compare directly,
+    /// even though dataflow has no step barriers).
     pub steps: usize,
     /// Wall-clock duration of the chunked phase.
-    pub elapsed: std::time::Duration,
+    pub elapsed: Duration,
+    /// Copy-in stage timing (zero `threads` under [`Placement::Implicit`]).
+    pub copy_in: StageStats,
+    /// Compute stage timing.
+    pub compute: StageStats,
+    /// Copy-out stage timing (zero `threads` under [`Placement::Implicit`]).
+    pub copy_out: StageStats,
+}
+
+/// The three dedicated stage pools of a dataflow host pipeline.
+///
+/// Creating the pools spawns `p_in + p_comp + p_out` OS threads, so
+/// benchmarks and long-lived callers should build one `HostStagePools` and
+/// reuse it across [`run_host_pipeline_dataflow`] calls; each run resets
+/// the busy counters itself.
+pub struct HostStagePools {
+    /// Pool executing copy-in tasks.
+    pub copy_in: StagePool,
+    /// Pool executing compute (kernel) tasks.
+    pub compute: StagePool,
+    /// Pool executing copy-out tasks.
+    pub copy_out: StagePool,
+}
+
+impl HostStagePools {
+    /// Spawn the three stage pools.
+    pub fn new(p_in: usize, p_comp: usize, p_out: usize) -> Self {
+        HostStagePools {
+            copy_in: StagePool::new(p_in),
+            compute: StagePool::new(p_comp),
+            copy_out: StagePool::new(p_out),
+        }
+    }
+
+    /// Spawn pools sized to `spec`'s `p_in`/`p_comp`/`p_out`.
+    pub fn for_spec(spec: &PipelineSpec) -> Self {
+        HostStagePools::new(spec.p_in.max(1), spec.p_comp.max(1), spec.p_out.max(1))
+    }
+
+    /// Zero all three busy counters.
+    pub fn reset(&self) {
+        self.copy_in.reset_busy();
+        self.compute.reset_busy();
+        self.copy_out.reset_busy();
+    }
 }
 
 /// Stream `data` through the chunked pipeline, applying `kernel` to each
@@ -41,12 +132,21 @@ pub struct HostRunStats {
 /// consecutive chunks overlap; with `spec.placement == Implicit` the kernel
 /// runs in place on `out` (which is first filled from `data`).
 ///
+/// `spec.lockstep` selects the schedule: `true` runs the paper's lockstep
+/// steps on the shared `pool`; `false` runs the dataflow schedule on three
+/// freshly spawned stage pools (`pool` is not used — callers that run
+/// dataflow repeatedly should call [`run_host_pipeline_dataflow`] with
+/// persistent [`HostStagePools`] instead). [`Placement::Implicit`] has no
+/// copy stages, so both settings execute identically there.
+///
 /// `spec` fields `compute_rate`/`copy_rate`/`data_addr` are ignored on the
 /// host; pool sizes and chunk geometry are honoured. Element counts are
 /// derived from `data.len()`, not `spec.total_bytes`.
 ///
 /// # Panics
-/// Panics if `out.len() != data.len()` or the spec fails validation.
+/// Panics if `out.len() != data.len()`, the spec fails validation, or
+/// `spec.chunk_bytes` is not a positive multiple of `size_of::<T>()`
+/// (see [`PipelineSpec::validate_elem_size`]).
 pub fn run_host_pipeline<T, F>(
     pool: &WorkPool,
     spec: &PipelineSpec,
@@ -59,54 +159,126 @@ where
     F: Fn(&mut [T], KernelCtx) + Send + Sync,
 {
     assert_eq!(out.len(), data.len(), "out must match data length");
-    let start = std::time::Instant::now();
+    let start = Instant::now();
     if data.is_empty() {
-        return HostRunStats { chunks: 0, steps: 0, elapsed: start.elapsed() };
-    }
-    spec.validate().expect("invalid pipeline spec");
-    let elem = std::mem::size_of::<T>().max(1);
-    let chunk_elems = (spec.chunk_bytes as usize / elem).max(1);
-    let n_chunks = data.len().div_ceil(chunk_elems).max(1);
-
-    if spec.placement == Placement::Implicit {
-        // Implicit mode: one memcpy of the whole input (the data already
-        // lives where it is computed on), then all threads process chunks
-        // in place.
-        out.copy_from_slice(data);
-        for c in 0..n_chunks {
-            let lo = c * chunk_elems;
-            let hi = ((c + 1) * chunk_elems).min(out.len());
-            let chunk = &mut out[lo..hi];
-            let parts = spec.p_comp.min(chunk.len()).max(1);
-            let mut slices = Vec::with_capacity(parts);
-            let mut rest = chunk;
-            for t in 0..parts {
-                let (s, e) = split_range(hi - lo, parts, t);
-                let (head, tail) = rest.split_at_mut(e - s);
-                slices.push((t, s, head));
-                rest = tail;
-            }
-            let kernel = &kernel;
-            pool.scoped(slices.into_iter().map(|(t, s, slice)| {
-                let ctx = KernelCtx { chunk: c, thread: t, global_offset: lo + s };
-                move || kernel(slice, ctx)
-            }));
-        }
         return HostRunStats {
-            chunks: n_chunks,
-            steps: n_chunks,
+            chunks: 0,
+            steps: 0,
             elapsed: start.elapsed(),
+            copy_in: StageStats::default(),
+            compute: StageStats::default(),
+            copy_out: StageStats::default(),
         };
     }
+    spec.validate().expect("invalid pipeline spec");
+    spec.validate_elem_size(std::mem::size_of::<T>())
+        .expect("invalid chunk geometry");
 
-    // Explicit pipeline: three rotating buffers.
+    if spec.placement == Placement::Implicit {
+        return run_implicit(pool, spec, data, out, &kernel, start);
+    }
+    if spec.lockstep {
+        return run_lockstep(pool, spec, data, out, &kernel, start);
+    }
+    let pools = HostStagePools::for_spec(spec);
+    run_host_pipeline_dataflow(&pools, spec, data, out, kernel)
+}
+
+/// Number of elements per chunk. Exact by construction:
+/// [`PipelineSpec::validate_elem_size`] has already rejected specs whose
+/// `chunk_bytes` is not a multiple of the element size, so host chunk
+/// boundaries coincide with the spec's (and the simulator's) byte
+/// boundaries.
+fn chunk_elems_for<T>(spec: &PipelineSpec) -> usize {
+    spec.chunk_bytes as usize / std::mem::size_of::<T>().max(1)
+}
+
+/// Implicit cache mode: one memcpy of the whole input (the data already
+/// lives where it is computed on), then all threads process chunks in
+/// place. There are no copy stages, so lockstep and dataflow coincide.
+fn run_implicit<T, F>(
+    pool: &WorkPool,
+    spec: &PipelineSpec,
+    data: &[T],
+    out: &mut [T],
+    kernel: &F,
+    start: Instant,
+) -> HostRunStats
+where
+    T: Copy + Send + Sync,
+    F: Fn(&mut [T], KernelCtx) + Send + Sync,
+{
+    let chunk_elems = chunk_elems_for::<T>(spec);
+    let n_chunks = data.len().div_ceil(chunk_elems).max(1);
+    let busy_comp = AtomicU64::new(0);
+
+    out.copy_from_slice(data);
+    for c in 0..n_chunks {
+        let lo = c * chunk_elems;
+        let hi = ((c + 1) * chunk_elems).min(out.len());
+        let chunk = &mut out[lo..hi];
+        let parts = spec.p_comp.min(chunk.len()).max(1);
+        let mut slices = Vec::with_capacity(parts);
+        let mut rest = chunk;
+        for t in 0..parts {
+            let (s, e) = split_range(hi - lo, parts, t);
+            let (head, tail) = rest.split_at_mut(e - s);
+            slices.push((t, s, head));
+            rest = tail;
+        }
+        let busy = &busy_comp;
+        pool.scoped(slices.into_iter().map(|(t, s, slice)| {
+            let ctx = KernelCtx {
+                chunk: c,
+                thread: t,
+                global_offset: lo + s,
+            };
+            move || {
+                let t0 = Instant::now();
+                kernel(slice, ctx);
+                busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+        }));
+    }
+    HostRunStats {
+        chunks: n_chunks,
+        steps: n_chunks,
+        elapsed: start.elapsed(),
+        copy_in: StageStats::default(),
+        compute: StageStats {
+            threads: spec.p_comp,
+            busy: Duration::from_nanos(busy_comp.load(Ordering::Relaxed)),
+            wait: Duration::ZERO,
+        },
+        copy_out: StageStats::default(),
+    }
+}
+
+/// The paper's lockstep schedule: per step, one task batch on the shared
+/// pool (copy-in chunk `s`, compute chunk `s-1`, copy-out chunk `s-2`),
+/// then the implicit barrier of `scoped` closes the step.
+fn run_lockstep<T, F>(
+    pool: &WorkPool,
+    spec: &PipelineSpec,
+    data: &[T],
+    out: &mut [T],
+    kernel: &F,
+    start: Instant,
+) -> HostRunStats
+where
+    T: Copy + Send + Sync,
+    F: Fn(&mut [T], KernelCtx) + Send + Sync,
+{
+    let chunk_elems = chunk_elems_for::<T>(spec);
+    let n_chunks = data.len().div_ceil(chunk_elems).max(1);
+    let busy_in = AtomicU64::new(0);
+    let busy_comp = AtomicU64::new(0);
+    let busy_out = AtomicU64::new(0);
+
+    // Three rotating buffers.
     let mut buffers: Vec<Vec<T>> = (0..3).map(|_| Vec::new()).collect();
     let steps = n_chunks + 2;
     for s in 0..steps {
-        // Each step builds a batch of tasks: copy-in chunk s, compute on
-        // chunk s-1, copy-out chunk s-2 — executed concurrently, then the
-        // implicit barrier of `scoped` closes the step (the paper's
-        // lockstep schedule).
         let (buf_a, buf_b, buf_c) = three_mut(&mut buffers, s % 3, (s + 2) % 3, (s + 1) % 3);
 
         // Stage geometry.
@@ -136,7 +308,12 @@ where
                 let (head, tail) = rest.split_at_mut(se - ss);
                 rest = tail;
                 let s_slice = &src[ss..se];
-                tasks.push(Box::new(move || head.copy_from_slice(s_slice)));
+                let busy = &busy_in;
+                tasks.push(Box::new(move || {
+                    let t0 = Instant::now();
+                    head.copy_from_slice(s_slice);
+                    busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }));
             }
         }
 
@@ -145,13 +322,21 @@ where
             let len = buf_b.len();
             let parts = spec.p_comp.min(len).max(1);
             let mut rest: &mut [T] = buf_b;
-            let kernel = &kernel;
             for t in 0..parts {
                 let (ss, se) = split_range(len, parts, t);
                 let (head, tail) = rest.split_at_mut(se - ss);
                 rest = tail;
-                let ctx = KernelCtx { chunk: c, thread: t, global_offset: lo + ss };
-                tasks.push(Box::new(move || kernel(head, ctx)));
+                let ctx = KernelCtx {
+                    chunk: c,
+                    thread: t,
+                    global_offset: lo + ss,
+                };
+                let busy = &busy_comp;
+                tasks.push(Box::new(move || {
+                    let t0 = Instant::now();
+                    kernel(head, ctx);
+                    busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }));
             }
         }
 
@@ -168,14 +353,343 @@ where
                 let (head, tail) = rest.split_at_mut(se - ss);
                 rest = tail;
                 let s_slice = &src[ss..se];
-                tasks.push(Box::new(move || head.copy_from_slice(s_slice)));
+                let busy = &busy_out;
+                tasks.push(Box::new(move || {
+                    let t0 = Instant::now();
+                    head.copy_from_slice(s_slice);
+                    busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }));
             }
         }
 
         pool.scoped(tasks);
     }
 
-    HostRunStats { chunks: n_chunks, steps, elapsed: start.elapsed() }
+    let stage = |threads: usize, busy: &AtomicU64| StageStats {
+        threads,
+        busy: Duration::from_nanos(busy.load(Ordering::Relaxed)),
+        wait: Duration::ZERO,
+    };
+    HostRunStats {
+        chunks: n_chunks,
+        steps,
+        elapsed: start.elapsed(),
+        copy_in: stage(spec.p_in, &busy_in),
+        compute: stage(spec.p_comp, &busy_comp),
+        copy_out: stage(spec.p_out, &busy_out),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow schedule
+// ---------------------------------------------------------------------------
+
+/// Lifecycle of one ring slot. A slot cycles
+/// `Empty(c) → Filled(c) → Computed(c) → Empty(c + 3)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Free for copy-in of chunk `chunk`.
+    Empty,
+    /// Holds the input of chunk `chunk`, ready for compute.
+    Filled,
+    /// Holds the output of chunk `chunk`, ready for copy-out.
+    Computed,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SlotState {
+    phase: Phase,
+    chunk: usize,
+}
+
+/// One slot of the three-buffer ring.
+///
+/// The `state` mutex + condvar implement the phase machine; `data` is
+/// accessed through `UnsafeCell` because the coordinator that observed the
+/// right phase holds *logical* exclusive ownership of the buffer until it
+/// publishes the next phase — holding the mutex across a multi-megabyte
+/// memcpy would serialize the stages the schedule exists to overlap.
+struct BufSlot<T> {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+    data: UnsafeCell<Vec<T>>,
+}
+
+// SAFETY: `data` is only touched by the coordinator whose awaited phase
+// grants it exclusive ownership (see the protocol in `await_phase` /
+// `publish`); the mutex release/acquire pair on `state` provides the
+// happens-before edge between the owner handing the buffer off and the
+// next owner reading it.
+unsafe impl<T: Send> Sync for BufSlot<T> {}
+
+impl<T> BufSlot<T> {
+    fn new(first_chunk: usize) -> Self {
+        BufSlot {
+            state: Mutex::new(SlotState {
+                phase: Phase::Empty,
+                chunk: first_chunk,
+            }),
+            cv: Condvar::new(),
+            data: UnsafeCell::new(Vec::new()),
+        }
+    }
+
+    /// Block until this slot reaches `(phase, chunk)`, returning the time
+    /// spent blocked. Panics if a peer stage has poisoned the run.
+    fn await_phase(&self, phase: Phase, chunk: usize, poisoned: &AtomicBool) -> Duration {
+        let t0 = Instant::now();
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if poisoned.load(Ordering::SeqCst) {
+                // panic_any keeps the payload a `&str`, which is how the
+                // result collection below recognizes secondary aborts.
+                std::panic::panic_any(POISON_MSG);
+            }
+            if st.phase == phase && st.chunk == chunk {
+                return t0.elapsed();
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Publish this slot's next `(phase, chunk)` and wake all waiters.
+    fn publish(&self, phase: Phase, chunk: usize) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *st = SlotState { phase, chunk };
+        self.cv.notify_all();
+    }
+}
+
+/// Panic message used when a stage aborts because a *peer* stage panicked;
+/// recognized so the original panic payload wins when both propagate.
+const POISON_MSG: &str = "host pipeline dataflow run aborted: a peer stage panicked";
+
+/// Mark the run poisoned and wake every coordinator. Taking each slot's
+/// lock before notifying guarantees no coordinator can re-check the flag
+/// and park between our store and our notify (no lost wakeups).
+fn poison<T>(slots: &[BufSlot<T>], poisoned: &AtomicBool) {
+    poisoned.store(true, Ordering::SeqCst);
+    for slot in slots {
+        let _guard = slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        slot.cv.notify_all();
+    }
+}
+
+/// Outcome of one coordinator: cumulative blocked time, or the panic
+/// payload that killed it.
+type StageResult = Result<Duration, Box<dyn Any + Send>>;
+
+/// Run one stage coordinator, converting a panic into a poisoned ring (so
+/// the peer stages wake up and abort instead of deadlocking on a phase
+/// that will never come) plus the captured payload.
+fn coordinate<T>(
+    slots: &[BufSlot<T>],
+    poisoned: &AtomicBool,
+    body: impl FnOnce() -> Duration,
+) -> StageResult {
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(waited) => Ok(waited),
+        Err(payload) => {
+            poison(slots, poisoned);
+            Err(payload)
+        }
+    }
+}
+
+/// Run the dataflow (non-lockstep) schedule on persistent stage pools.
+///
+/// Three coordinator threads — one per stage — walk the chunk sequence
+/// independently, synchronizing only through the three-slot buffer ring:
+/// chunk `c` lives in slot `c % 3`, and copy-out of chunk `c` recycles its
+/// slot for copy-in of chunk `c + 3`. Each coordinator fans its chunk's
+/// work out to its own [`StagePool`], so copy-in of chunk `c`, compute on
+/// `c - 1`, and copy-out of `c - 2` genuinely overlap without any step
+/// barrier between them.
+///
+/// Busy counters in `pools` are reset at the start of the run; the
+/// returned [`StageStats`] also report each coordinator's blocked time, so
+/// callers can see which stage was the bottleneck (the bottleneck stage
+/// waits least).
+///
+/// # Panics
+/// Panics on the same conditions as [`run_host_pipeline`], if
+/// `spec.placement == Implicit` (implicit mode has no copy stages — use
+/// [`run_host_pipeline`]), or if the kernel panics (the kernel's panic
+/// payload is rethrown once all stages have shut down).
+pub fn run_host_pipeline_dataflow<T, F>(
+    pools: &HostStagePools,
+    spec: &PipelineSpec,
+    data: &[T],
+    out: &mut [T],
+    kernel: F,
+) -> HostRunStats
+where
+    T: Copy + Send + Sync,
+    F: Fn(&mut [T], KernelCtx) + Send + Sync,
+{
+    assert_eq!(out.len(), data.len(), "out must match data length");
+    assert_ne!(
+        spec.placement,
+        Placement::Implicit,
+        "implicit placement has no copy stages; use run_host_pipeline"
+    );
+    let start = Instant::now();
+    if data.is_empty() {
+        return HostRunStats {
+            chunks: 0,
+            steps: 0,
+            elapsed: start.elapsed(),
+            copy_in: StageStats::default(),
+            compute: StageStats::default(),
+            copy_out: StageStats::default(),
+        };
+    }
+    spec.validate().expect("invalid pipeline spec");
+    spec.validate_elem_size(std::mem::size_of::<T>())
+        .expect("invalid chunk geometry");
+    pools.reset();
+
+    let chunk_elems = chunk_elems_for::<T>(spec);
+    let n_chunks = data.len().div_ceil(chunk_elems).max(1);
+    let slots: Vec<BufSlot<T>> = (0..3).map(BufSlot::new).collect();
+    let poisoned = AtomicBool::new(false);
+    let out_chunks: Vec<&mut [T]> = out.chunks_mut(chunk_elems).collect();
+    debug_assert_eq!(out_chunks.len(), n_chunks);
+    let slots = &slots;
+    let poisoned = &poisoned;
+    let kernel = &kernel;
+    let fill = data[0];
+
+    let copy_in_body = move || {
+        let mut waited = Duration::ZERO;
+        for c in 0..n_chunks {
+            let slot = &slots[c % 3];
+            waited += slot.await_phase(Phase::Empty, c, poisoned);
+            let lo = c * chunk_elems;
+            let hi = ((c + 1) * chunk_elems).min(data.len());
+            let src = &data[lo..hi];
+            // SAFETY: `Empty(c)` grants this coordinator exclusive
+            // ownership of the slot's buffer until it publishes `Filled`.
+            let buf = unsafe { &mut *slot.data.get() };
+            buf.clear();
+            buf.resize(src.len(), fill);
+            copy_parallel(&pools.copy_in, spec.p_in, src, buf);
+            slot.publish(Phase::Filled, c);
+        }
+        waited
+    };
+
+    let compute_body = move || {
+        let mut waited = Duration::ZERO;
+        for c in 0..n_chunks {
+            let slot = &slots[c % 3];
+            waited += slot.await_phase(Phase::Filled, c, poisoned);
+            // SAFETY: `Filled(c)` hands the buffer to the compute stage.
+            let buf = unsafe { &mut *slot.data.get() };
+            let lo = c * chunk_elems;
+            let len = buf.len();
+            let parts = spec.p_comp.min(len).max(1);
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(parts);
+            let mut rest: &mut [T] = buf;
+            for t in 0..parts {
+                let (ss, se) = split_range(len, parts, t);
+                let (head, tail) = rest.split_at_mut(se - ss);
+                rest = tail;
+                let ctx = KernelCtx {
+                    chunk: c,
+                    thread: t,
+                    global_offset: lo + ss,
+                };
+                tasks.push(Box::new(move || kernel(head, ctx)));
+            }
+            pools.compute.scoped(tasks);
+            slot.publish(Phase::Computed, c);
+        }
+        waited
+    };
+
+    let copy_out_body = move || {
+        let mut waited = Duration::ZERO;
+        for (c, dst) in out_chunks.into_iter().enumerate() {
+            let slot = &slots[c % 3];
+            waited += slot.await_phase(Phase::Computed, c, poisoned);
+            // SAFETY: `Computed(c)` hands the buffer to the copy-out
+            // stage; `dst` is this chunk's pre-split disjoint window of
+            // `out`, owned by this coordinator.
+            let buf = unsafe { &*slot.data.get() };
+            debug_assert_eq!(buf.len(), dst.len());
+            copy_parallel(&pools.copy_out, spec.p_out, buf, dst);
+            // Recycle the slot for copy-in of chunk c + 3.
+            slot.publish(Phase::Empty, c + 3);
+        }
+        waited
+    };
+
+    let (r_in, r_comp, r_out) = std::thread::scope(|sc| {
+        let h_in = sc.spawn(move || coordinate(slots, poisoned, copy_in_body));
+        let h_comp = sc.spawn(move || coordinate(slots, poisoned, compute_body));
+        let h_out = sc.spawn(move || coordinate(slots, poisoned, copy_out_body));
+        (
+            h_in.join().expect("coordinator wrapper does not panic"),
+            h_comp.join().expect("coordinator wrapper does not panic"),
+            h_out.join().expect("coordinator wrapper does not panic"),
+        )
+    });
+
+    let mut waits = [Duration::ZERO; 3];
+    let mut first_payload: Option<Box<dyn Any + Send>> = None;
+    let mut poison_payload: Option<Box<dyn Any + Send>> = None;
+    for (i, r) in [r_in, r_comp, r_out].into_iter().enumerate() {
+        match r {
+            Ok(w) => waits[i] = w,
+            Err(p) => {
+                // Prefer the original panic over secondary abort panics.
+                if p.downcast_ref::<&str>() == Some(&POISON_MSG) {
+                    poison_payload.get_or_insert(p);
+                } else {
+                    first_payload.get_or_insert(p);
+                }
+            }
+        }
+    }
+    if let Some(payload) = first_payload.or(poison_payload) {
+        resume_unwind(payload);
+    }
+
+    let stage = |pool: &StagePool, wait: Duration| StageStats {
+        threads: pool.threads(),
+        busy: pool.busy(),
+        wait,
+    };
+    HostRunStats {
+        chunks: n_chunks,
+        steps: n_chunks + 2,
+        elapsed: start.elapsed(),
+        copy_in: stage(&pools.copy_in, waits[0]),
+        compute: stage(&pools.compute, waits[1]),
+        copy_out: stage(&pools.copy_out, waits[2]),
+    }
+}
+
+/// Copy `src` into `dst` split across up to `parts_max` pool tasks.
+fn copy_parallel<T: Copy + Send + Sync>(
+    pool: &StagePool,
+    parts_max: usize,
+    src: &[T],
+    dst: &mut [T],
+) {
+    debug_assert_eq!(src.len(), dst.len());
+    let parts = parts_max.min(src.len()).max(1);
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(parts);
+    let mut rest = dst;
+    for t in 0..parts {
+        let (ss, se) = split_range(src.len(), parts, t);
+        let (head, tail) = rest.split_at_mut(se - ss);
+        rest = tail;
+        let s_slice = &src[ss..se];
+        tasks.push(Box::new(move || head.copy_from_slice(s_slice)));
+    }
+    pool.scoped(tasks);
 }
 
 /// Disjoint mutable references to three distinct buffer slots.
@@ -185,7 +699,10 @@ fn three_mut<T>(
     b: usize,
     c: usize,
 ) -> (&mut Vec<T>, &mut Vec<T>, &mut Vec<T>) {
-    assert!(a != b && b != c && a != c, "buffer indices must be distinct");
+    assert!(
+        a != b && b != c && a != c,
+        "buffer indices must be distinct"
+    );
     assert!(a < buffers.len() && b < buffers.len() && c < buffers.len());
     let ptr = buffers.as_mut_ptr();
     // SAFETY: the indices are pairwise distinct and in bounds, so the three
@@ -215,6 +732,16 @@ mod tests {
 
     fn negate_kernel(slice: &mut [i64], _ctx: KernelCtx) {
         slice.iter_mut().for_each(|x| *x = -*x);
+    }
+
+    /// A kernel whose output depends on the global element position, so
+    /// any chunk-geometry drift between modes corrupts the comparison.
+    fn offset_kernel(slice: &mut [i64], ctx: KernelCtx) {
+        for (i, v) in slice.iter_mut().enumerate() {
+            *v = v
+                .wrapping_mul(31)
+                .wrapping_add((ctx.global_offset + i) as i64);
+        }
     }
 
     #[test]
@@ -275,7 +802,6 @@ mod tests {
 
     #[test]
     fn kernel_ctx_reports_global_offsets() {
-        use std::sync::atomic::{AtomicU64, Ordering};
         let pool = WorkPool::new(3);
         let n = 300usize;
         let mut s = spec(8 * 64, Placement::Hbw);
@@ -303,6 +829,166 @@ mod tests {
         let mut out: Vec<i64> = vec![];
         let stats = run_host_pipeline(&pool, &s, &data, &mut out, negate_kernel);
         assert_eq!(stats.chunks, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_chunk_bytes_rejected() {
+        // 30 bytes per chunk over i64 data: boundaries fall mid-element.
+        let pool = WorkPool::new(2);
+        let mut s = spec(30, Placement::Hbw);
+        s.total_bytes = 8 * 16;
+        let data: Vec<i64> = (0..16).collect();
+        let mut out = vec![0i64; 16];
+        run_host_pipeline(&pool, &s, &data, &mut out, negate_kernel);
+    }
+
+    #[test]
+    fn dataflow_transforms_all_data() {
+        let pool = WorkPool::new(7);
+        let mut s = spec(8 * 100, Placement::Hbw);
+        s.total_bytes = 8 * 1000;
+        s.lockstep = false;
+        let data: Vec<i64> = (0..1000).collect();
+        let mut out = vec![0i64; 1000];
+        let stats = run_host_pipeline(&pool, &s, &data, &mut out, negate_kernel);
+        assert_eq!(stats.chunks, 10);
+        assert_eq!(stats.steps, 12, "steps reported for comparability");
+        let expect: Vec<i64> = (0..1000).map(|x| -x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn dataflow_handles_ragged_tail_and_single_chunk() {
+        let pools = HostStagePools::new(2, 3, 2);
+        for n in [1usize, 7, 64, 65, 1003] {
+            let mut s = spec(8 * 64, Placement::Hbw);
+            s.total_bytes = (8 * n) as u64;
+            s.lockstep = false;
+            let data: Vec<i64> = (0..n as i64).collect();
+            let mut out = vec![0i64; n];
+            let stats = run_host_pipeline_dataflow(&pools, &s, &data, &mut out, offset_kernel);
+            assert_eq!(stats.chunks, n.div_ceil(64), "n={n}");
+            let mut expect: Vec<i64> = data.clone();
+            for (i, v) in expect.iter_mut().enumerate() {
+                *v = v.wrapping_mul(31).wrapping_add(i as i64);
+            }
+            assert_eq!(out, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn dataflow_matches_lockstep_bit_for_bit() {
+        let pool = WorkPool::new(7);
+        let n = 4003usize;
+        let mut s = spec(8 * 256, Placement::Hbw);
+        s.total_bytes = (8 * n) as u64;
+        let data: Vec<i64> = (0..n as i64).map(|x| x.wrapping_mul(0x9E37)).collect();
+
+        let mut out_lock = vec![0i64; n];
+        run_host_pipeline(&pool, &s, &data, &mut out_lock, offset_kernel);
+
+        s.lockstep = false;
+        let mut out_flow = vec![0i64; n];
+        run_host_pipeline(&pool, &s, &data, &mut out_flow, offset_kernel);
+
+        assert_eq!(out_lock, out_flow);
+    }
+
+    #[test]
+    fn dataflow_pools_are_reusable() {
+        let pools = HostStagePools::new(1, 2, 1);
+        let n = 500usize;
+        let mut s = spec(8 * 64, Placement::Ddr);
+        s.total_bytes = (8 * n) as u64;
+        s.lockstep = false;
+        s.p_in = 1;
+        s.p_out = 1;
+        s.p_comp = 2;
+        let data: Vec<i64> = (0..n as i64).collect();
+        for _ in 0..3 {
+            let mut out = vec![0i64; n];
+            let stats = run_host_pipeline_dataflow(&pools, &s, &data, &mut out, negate_kernel);
+            assert!(out.iter().zip(&data).all(|(o, d)| *o == -d));
+            // Busy counters are reset per run, so they stay bounded by one
+            // run's work rather than accumulating forever.
+            assert!(stats.compute.busy <= stats.elapsed * 2 * 4);
+        }
+    }
+
+    #[test]
+    fn stage_stats_are_populated() {
+        let pool = WorkPool::new(7);
+        let n = 50_000usize;
+        let mut s = spec(8 * 4096, Placement::Hbw);
+        s.total_bytes = (8 * n) as u64;
+        let data: Vec<i64> = (0..n as i64).collect();
+
+        // Lockstep: busy time recorded per stage, waits are zero.
+        let mut out = vec![0i64; n];
+        let stats = run_host_pipeline(&pool, &s, &data, &mut out, negate_kernel);
+        assert_eq!(stats.copy_in.threads, 2);
+        assert_eq!(stats.compute.threads, 3);
+        assert_eq!(stats.copy_out.threads, 2);
+        assert!(stats.copy_in.busy > Duration::ZERO);
+        assert!(stats.compute.busy > Duration::ZERO);
+        assert!(stats.copy_out.busy > Duration::ZERO);
+        assert_eq!(stats.copy_in.wait, Duration::ZERO);
+        assert!(stats.compute.occupancy(stats.elapsed) <= 1.0 + 1e-9);
+
+        // Dataflow: same fields, waits measured by the coordinators.
+        s.lockstep = false;
+        let mut out = vec![0i64; n];
+        let stats = run_host_pipeline(&pool, &s, &data, &mut out, negate_kernel);
+        assert!(stats.copy_in.busy > Duration::ZERO);
+        assert!(stats.compute.busy > Duration::ZERO);
+        assert!(stats.copy_out.busy > Duration::ZERO);
+        // Copy-out of chunk 0 cannot start before chunk 0 is filled and
+        // computed, so its coordinator must have measurably waited.
+        assert!(stats.copy_out.wait > Duration::ZERO);
+    }
+
+    #[test]
+    fn implicit_ignores_lockstep_flag() {
+        let pool = WorkPool::new(4);
+        let data: Vec<i64> = (0..321).collect();
+        let mut si = spec(8 * 100, Placement::Implicit);
+        si.total_bytes = 8 * 321;
+        si.p_in = 0;
+        si.p_out = 0;
+        si.lockstep = false;
+        let mut out = vec![0i64; 321];
+        let stats = run_host_pipeline(&pool, &si, &data, &mut out, negate_kernel);
+        assert!(out.iter().zip(&data).all(|(o, d)| *o == -d));
+        assert_eq!(stats.copy_in.threads, 0, "implicit mode has no copy stages");
+        assert!(stats.compute.busy > Duration::ZERO);
+    }
+
+    #[test]
+    fn dataflow_kernel_panic_propagates_with_message() {
+        let pools = HostStagePools::new(1, 2, 1);
+        let mut s = spec(8 * 16, Placement::Hbw);
+        s.total_bytes = 8 * 100;
+        s.lockstep = false;
+        let data: Vec<i64> = (0..100).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut out = vec![0i64; 100];
+            run_host_pipeline_dataflow(&pools, &s, &data, &mut out, |slice, ctx| {
+                if ctx.chunk == 3 {
+                    panic!("kernel exploded on chunk {}", ctx.chunk);
+                }
+                negate_kernel(slice, ctx);
+            });
+        }));
+        let payload = result.expect_err("kernel panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("original payload survives");
+        assert_eq!(msg, "kernel exploded on chunk 3");
+        // The pools must remain usable after the failed run.
+        let mut out = vec![0i64; 100];
+        run_host_pipeline_dataflow(&pools, &s, &data, &mut out, negate_kernel);
+        assert!(out.iter().zip(&data).all(|(o, d)| *o == -d));
     }
 
     #[test]

@@ -70,9 +70,18 @@ impl PipelineSpec {
     }
 
     /// Size of chunk `c` in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.n_chunks()`. Out-of-range chunks used to
+    /// return 0, which silently produced empty work items when a caller's
+    /// chunk arithmetic drifted from the spec's; failing loudly here turns
+    /// those geometry mismatches into immediate, debuggable panics.
     pub fn chunk_size(&self, c: usize) -> u64 {
+        let n = self.n_chunks();
+        assert!(c < n, "chunk index {c} out of range (spec has {n} chunks)");
         let start = c as u64 * self.chunk_bytes;
-        self.chunk_bytes.min(self.total_bytes - start.min(self.total_bytes))
+        self.chunk_bytes.min(self.total_bytes - start)
     }
 
     /// Total simulated threads the schedule occupies.
@@ -102,6 +111,34 @@ impl PipelineSpec {
         }
         if self.compute_rate <= 0.0 || self.copy_rate <= 0.0 {
             return Err("rates must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Check that the byte geometry is expressible in elements of
+    /// `elem_bytes` each, as the host backend requires.
+    ///
+    /// The host pipeline carves `data: &[T]` into chunks of
+    /// `chunk_bytes / size_of::<T>()` elements. If `chunk_bytes` is not a
+    /// multiple of the element size, that division rounds down and the
+    /// host's chunk boundaries silently drift away from the spec's (and
+    /// the simulator's) byte boundaries — every chunk after the first
+    /// covers different data than the model says it does. Reject such
+    /// specs instead of mis-chunking.
+    pub fn validate_elem_size(&self, elem_bytes: usize) -> Result<(), String> {
+        let elem = elem_bytes.max(1) as u64;
+        if self.chunk_bytes < elem {
+            return Err(format!(
+                "chunk_bytes = {} is smaller than one {elem}-byte element",
+                self.chunk_bytes
+            ));
+        }
+        if !self.chunk_bytes.is_multiple_of(elem) {
+            return Err(format!(
+                "chunk_bytes = {} is not a multiple of the {elem}-byte element size; \
+                 host chunk boundaries would not match the spec's byte boundaries",
+                self.chunk_bytes
+            ));
         }
         Ok(())
     }
@@ -143,6 +180,31 @@ mod tests {
         s.total_bytes = 90;
         assert_eq!(s.n_chunks(), 3);
         assert_eq!(s.chunk_size(2), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk index 4 out of range")]
+    fn chunk_size_rejects_out_of_range_index() {
+        let s = spec();
+        // spec() has 4 chunks (0..=3); index 4 used to yield a silent 0.
+        s.chunk_size(4);
+    }
+
+    #[test]
+    fn elem_size_validation() {
+        let mut s = spec();
+        s.chunk_bytes = 32;
+        assert!(s.validate_elem_size(8).is_ok());
+        assert!(s.validate_elem_size(1).is_ok());
+        // 30 % 8 != 0: chunk boundaries would fall mid-element.
+        s.chunk_bytes = 30;
+        assert!(s.validate_elem_size(8).is_err());
+        // Chunk smaller than one element.
+        s.chunk_bytes = 4;
+        assert!(s.validate_elem_size(8).is_err());
+        // Zero-sized types are treated as 1-byte for geometry purposes.
+        s.chunk_bytes = 30;
+        assert!(s.validate_elem_size(0).is_ok());
     }
 
     #[test]

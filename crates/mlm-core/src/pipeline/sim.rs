@@ -2,7 +2,7 @@
 
 use knl_sim::ops::{Access, OpId, OpKind, Place, Program};
 
-use super::{Placement, PipelineSpec};
+use super::{PipelineSpec, Placement};
 
 /// Build the simulated program for `spec`.
 ///
@@ -83,8 +83,11 @@ pub fn build_program(spec: &PipelineSpec) -> Result<Program, String> {
                 if share == 0 {
                     continue;
                 }
-                let deps: Vec<OpId> =
-                    if spec.lockstep { step_barrier.clone() } else { copyin_ops[c].clone() };
+                let deps: Vec<OpId> = if spec.lockstep {
+                    step_barrier.clone()
+                } else {
+                    copyin_ops[c].clone()
+                };
                 let traffic = share * u64::from(spec.compute_passes);
                 let id = prog.push(
                     comp0 + t,
@@ -112,8 +115,11 @@ pub fn build_program(spec: &PipelineSpec) -> Result<Program, String> {
                 if share == 0 {
                     continue;
                 }
-                let deps: Vec<OpId> =
-                    if spec.lockstep { step_barrier.clone() } else { comp_ops[c].clone() };
+                let deps: Vec<OpId> = if spec.lockstep {
+                    step_barrier.clone()
+                } else {
+                    comp_ops[c].clone()
+                };
                 let addr = spec.data_addr + c as u64 * spec.chunk_bytes + offset;
                 offset += share;
                 let id = prog.push(
@@ -205,7 +211,10 @@ fn implicit_warm_op(
     let traffic = share * extra;
     let fits = spec.chunk_bytes <= 15 * (1 << 30);
     let accesses = if fits {
-        vec![Access::read(Place::Mcdram, traffic), Access::write(Place::Mcdram, traffic)]
+        vec![
+            Access::read(Place::Mcdram, traffic),
+            Access::write(Place::Mcdram, traffic),
+        ]
     } else {
         vec![
             Access::read(Place::Ddr, traffic),
@@ -213,7 +222,14 @@ fn implicit_warm_op(
             Access::write(Place::Mcdram, traffic),
         ]
     };
-    Some(prog.push(thread, OpKind::Stream { accesses, rate_cap: spec.compute_rate }, &[cold]))
+    Some(prog.push(
+        thread,
+        OpKind::Stream {
+            accesses,
+            rate_cap: spec.compute_rate,
+        },
+        &[cold],
+    ))
 }
 
 /// Bytes of an `bytes`-byte chunk handled by thread `t` of `pool` threads.
@@ -282,7 +298,11 @@ mod tests {
         let t_comp = 2.0 * (b / 2.0) / 2e9; // 2 threads, 2 passes of traffic
         let t_out = b / 1e9;
         let expect = t_in + t_comp + t_out;
-        assert!((r.makespan - expect).abs() / expect < 1e-6, "{} vs {expect}", r.makespan);
+        assert!(
+            (r.makespan - expect).abs() / expect < 1e-6,
+            "{} vs {expect}",
+            r.makespan
+        );
     }
 
     #[test]
@@ -296,7 +316,11 @@ mod tests {
         let r = Simulator::new(cfg).run(&prog).unwrap();
         let b = spec.total_bytes as f64;
         let serial = b / 1e9 + b / 2e9 + b / 1e9; // in + comp + out, never overlapped
-        assert!(r.makespan < 0.7 * serial, "{} vs serial {serial}", r.makespan);
+        assert!(
+            r.makespan < 0.7 * serial,
+            "{} vs serial {serial}",
+            r.makespan
+        );
     }
 
     #[test]
@@ -310,7 +334,10 @@ mod tests {
         let sim = Simulator::new(cfg);
         let t_lock = sim.run(&build_program(&lock).unwrap()).unwrap().makespan;
         let t_flow = sim.run(&build_program(&flow).unwrap()).unwrap().makespan;
-        assert!(t_flow <= t_lock * (1.0 + 1e-9), "dataflow {t_flow} > lockstep {t_lock}");
+        assert!(
+            t_flow <= t_lock * (1.0 + 1e-9),
+            "dataflow {t_flow} > lockstep {t_lock}"
+        );
     }
 
     #[test]

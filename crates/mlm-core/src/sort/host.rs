@@ -41,7 +41,11 @@ pub fn mlm_sort<T: Ord + Copy + Send + Sync>(
     let n = data.len();
     assert!(megachunk_elems > 0, "megachunk must be positive");
     if n < 2 {
-        return HostSortStats { megachunks: n.min(1), chunk_sorts: 0, elapsed: start.elapsed() };
+        return HostSortStats {
+            megachunks: n.min(1),
+            chunk_sorts: 0,
+            elapsed: start.elapsed(),
+        };
     }
     let k = n.div_ceil(megachunk_elems);
     let p = pool.threads();
@@ -83,7 +87,11 @@ pub fn mlm_sort<T: Ord + Copy + Send + Sync>(
         parallel_copy(pool, &scratch, data);
     }
 
-    HostSortStats { megachunks: k, chunk_sorts, elapsed: start.elapsed() }
+    HostSortStats {
+        megachunks: k,
+        chunk_sorts,
+        elapsed: start.elapsed(),
+    }
 }
 
 /// The "basic algorithm" of §4: megachunks sorted with the *parallel*
@@ -97,7 +105,11 @@ pub fn basic_chunked_sort<T: Ord + Copy + Send + Sync>(
     let n = data.len();
     assert!(megachunk_elems > 0, "megachunk must be positive");
     if n < 2 {
-        return HostSortStats { megachunks: n.min(1), chunk_sorts: 0, elapsed: start.elapsed() };
+        return HostSortStats {
+            megachunks: n.min(1),
+            chunk_sorts: 0,
+            elapsed: start.elapsed(),
+        };
     }
     let k = n.div_ceil(megachunk_elems);
     for m in 0..k {
@@ -113,7 +125,11 @@ pub fn basic_chunked_sort<T: Ord + Copy + Send + Sync>(
         parallel_multiway_merge_into(pool, &runs, &mut scratch);
         parallel_copy(pool, &scratch, data);
     }
-    HostSortStats { megachunks: k, chunk_sorts: 0, elapsed: start.elapsed() }
+    HostSortStats {
+        megachunks: k,
+        chunk_sorts: 0,
+        elapsed: start.elapsed(),
+    }
 }
 
 /// MLM-sort with double-buffered megachunks (the paper's §6 future work):
@@ -129,15 +145,18 @@ pub fn mlm_sort_buffered<T: Ord + Copy + Send + Sync>(
     let n = data.len();
     assert!(megachunk_elems > 0, "megachunk must be positive");
     if n < 2 {
-        return HostSortStats { megachunks: n.min(1), chunk_sorts: 0, elapsed: start.elapsed() };
+        return HostSortStats {
+            megachunks: n.min(1),
+            chunk_sorts: 0,
+            elapsed: start.elapsed(),
+        };
     }
     let k = n.div_ceil(megachunk_elems);
     let p = pool.threads();
     let mut chunk_sorts = 0usize;
 
-    let bounds = |m: usize| -> (usize, usize) {
-        (m * megachunk_elems, ((m + 1) * megachunk_elems).min(n))
-    };
+    let bounds =
+        |m: usize| -> (usize, usize) { (m * megachunk_elems, ((m + 1) * megachunk_elems).min(n)) };
 
     // Two staging buffers ("the two halves of MCDRAM").
     let mut bufs: [Vec<T>; 2] = [Vec::new(), Vec::new()];
@@ -158,7 +177,11 @@ pub fn mlm_sort_buffered<T: Ord + Copy + Send + Sync>(
         // of m can run in one scoped batch.
         let (cur, next) = {
             let (a, b) = bufs.split_at_mut(1);
-            if m % 2 == 0 { (&mut a[0], &mut b[0]) } else { (&mut b[0], &mut a[0]) }
+            if m % 2 == 0 {
+                (&mut a[0], &mut b[0])
+            } else {
+                (&mut b[0], &mut a[0])
+            }
         };
 
         // Prepare the prefetch destination.
@@ -208,7 +231,11 @@ pub fn mlm_sort_buffered<T: Ord + Copy + Send + Sync>(
         parallel_copy(pool, &scratch, data);
     }
 
-    HostSortStats { megachunks: k, chunk_sorts, elapsed: start.elapsed() }
+    HostSortStats {
+        megachunks: k,
+        chunk_sorts,
+        elapsed: start.elapsed(),
+    }
 }
 
 /// Dispatch a host-scale run of any Table-1 variant. The MCDRAM
@@ -225,7 +252,11 @@ pub fn run_host_sort<T: Ord + Copy + Send + Sync>(
         SortAlgorithm::GnuFlat | SortAlgorithm::GnuCache | SortAlgorithm::GnuNumactl => {
             let start = std::time::Instant::now();
             parallel_mergesort(pool, data);
-            HostSortStats { megachunks: 1, chunk_sorts: 0, elapsed: start.elapsed() }
+            HostSortStats {
+                megachunks: 1,
+                chunk_sorts: 0,
+                elapsed: start.elapsed(),
+            }
         }
         SortAlgorithm::MlmDdr | SortAlgorithm::MlmImplicit => {
             mlm_sort(pool, data, megachunk_elems, false)
@@ -292,7 +323,12 @@ mod tests {
         for alg in SortAlgorithm::TABLE1 {
             check_full_sort(alg, 10_000, 3_000, InputOrder::Random);
         }
-        check_full_sort(SortAlgorithm::BasicChunked, 10_000, 3_000, InputOrder::Random);
+        check_full_sort(
+            SortAlgorithm::BasicChunked,
+            10_000,
+            3_000,
+            InputOrder::Random,
+        );
     }
 
     #[test]
@@ -381,7 +417,11 @@ mod tests {
     #[test]
     fn buffered_variant_sorts_correctly() {
         let pool = WorkPool::new(4);
-        for (n, mega) in [(50_000usize, 12_000usize), (10_007, 2_000), (1_000, 1 << 20)] {
+        for (n, mega) in [
+            (50_000usize, 12_000usize),
+            (10_007, 2_000),
+            (1_000, 1 << 20),
+        ] {
             for order in [InputOrder::Random, InputOrder::Reverse] {
                 let mut v = generate_keys(n, order, 17);
                 let mut expect = v.clone();

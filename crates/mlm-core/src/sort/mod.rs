@@ -98,7 +98,13 @@ mod tests {
         let labels: Vec<&str> = SortAlgorithm::TABLE1.iter().map(|a| a.label()).collect();
         assert_eq!(
             labels,
-            ["GNU-flat", "GNU-cache", "MLM-ddr", "MLM-sort", "MLM-implicit"]
+            [
+                "GNU-flat",
+                "GNU-cache",
+                "MLM-ddr",
+                "MLM-sort",
+                "MLM-implicit"
+            ]
         );
     }
 

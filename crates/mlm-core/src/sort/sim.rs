@@ -49,7 +49,9 @@ impl DataPlace {
         match *self {
             DataPlace::Ddr => Place::Ddr,
             DataPlace::Mcdram => Place::Mcdram,
-            DataPlace::Cached(base) => Place::CachedDdr { addr: base + offset },
+            DataPlace::Cached(base) => Place::CachedDdr {
+                addr: base + offset,
+            },
         }
     }
 }
@@ -65,7 +67,13 @@ struct SortBuilder<'a> {
 
 impl<'a> SortBuilder<'a> {
     fn new(threads: usize, cal: &'a Calibration, machine: &'a MachineConfig) -> Self {
-        SortBuilder { prog: Program::new(threads), threads, cal, machine, barrier: Vec::new() }
+        SortBuilder {
+            prog: Program::new(threads),
+            threads,
+            cal,
+            machine,
+            barrier: Vec::new(),
+        }
     }
 
     /// Close a phase: every thread joins (paying the fork/join overhead),
@@ -73,7 +81,10 @@ impl<'a> SortBuilder<'a> {
     fn join_phase(&mut self, phase_ops: &[OpId]) {
         let overhead = self.cal.phase_overhead;
         self.barrier = (0..self.threads)
-            .map(|t| self.prog.push(t, OpKind::Delay { seconds: overhead }, phase_ops))
+            .map(|t| {
+                self.prog
+                    .push(t, OpKind::Delay { seconds: overhead }, phase_ops)
+            })
             .collect();
     }
 
@@ -221,7 +232,13 @@ impl<'a> SortBuilder<'a> {
             if incache_seconds > 0.0 {
                 // Program order on the thread serializes this after the
                 // thread's memory passes.
-                let id = self.prog.push(t, OpKind::Delay { seconds: incache_seconds }, &[]);
+                let id = self.prog.push(
+                    t,
+                    OpKind::Delay {
+                        seconds: incache_seconds,
+                    },
+                    &[],
+                );
                 ops.push(id);
             }
         }
@@ -363,7 +380,11 @@ pub fn build_sort_program(
             let block = w.n.div_ceil(p);
             let gnu = cal.gnu_efficiency;
             let (sort_place, src, dst) = if alg == SortAlgorithm::GnuCache {
-                (DataPlace::Cached(data), DataPlace::Cached(data), DataPlace::Cached(scratch))
+                (
+                    DataPlace::Cached(data),
+                    DataPlace::Cached(data),
+                    DataPlace::Cached(scratch),
+                )
             } else {
                 (DataPlace::Ddr, DataPlace::Ddr, DataPlace::Ddr)
             };
@@ -387,10 +408,26 @@ pub fn build_sort_program(
                 b.copy_phase(bytes, DataPlace::Ddr, DataPlace::Ddr);
                 let chunk = mega_size(w.n, mega_elems, m).div_ceil(p);
                 b.serial_sort_phase(chunk, elem, order, DataPlace::Ddr, 1.0);
-                b.multiway_merge_phase(bytes, threads, order, DataPlace::Ddr, DataPlace::Ddr, 1.0, true);
+                b.multiway_merge_phase(
+                    bytes,
+                    threads,
+                    order,
+                    DataPlace::Ddr,
+                    DataPlace::Ddr,
+                    1.0,
+                    true,
+                );
             }
             if k_megas > 1 {
-                b.multiway_merge_phase(n_bytes, k_megas, order, DataPlace::Ddr, DataPlace::Ddr, 1.0, true);
+                b.multiway_merge_phase(
+                    n_bytes,
+                    k_megas,
+                    order,
+                    DataPlace::Ddr,
+                    DataPlace::Ddr,
+                    1.0,
+                    true,
+                );
                 b.copy_phase(n_bytes, DataPlace::Ddr, DataPlace::Ddr);
             }
         }
@@ -477,7 +514,11 @@ pub fn build_sort_program(
             let incache = block as f64 * cal.incache_time(order) / gnu;
             let mut phase_ops = Vec::with_capacity(2 * threads);
             for t in 0..threads {
-                let place = if t < mcdram_threads { Place::Mcdram } else { Place::Ddr };
+                let place = if t < mcdram_threads {
+                    Place::Mcdram
+                } else {
+                    Place::Ddr
+                };
                 let traffic = block * elem * u64::from(passes);
                 let rate = if t < mcdram_threads {
                     cal.sort_rate(order) * cal.mcdram_boost * gnu
@@ -506,7 +547,11 @@ pub fn build_sort_program(
                 if len == 0 {
                     continue;
                 }
-                let read_place = if t < mcdram_threads { Place::Mcdram } else { Place::Ddr };
+                let read_place = if t < mcdram_threads {
+                    Place::Mcdram
+                } else {
+                    Place::Ddr
+                };
                 let id = b.prog.push(
                     t,
                     OpKind::Stream {
@@ -552,19 +597,23 @@ pub fn build_sort_program(
                 // Prefetch megachunk m; buffer (m % 2) is free once
                 // megachunk m-2 has merged out.
                 let pool = if m == 0 { threads } else { p_copy };
-                let deps: Vec<OpId> =
-                    if m >= 2 { merge_done[m - 2].clone() } else { Vec::new() };
+                let deps: Vec<OpId> = if m >= 2 {
+                    merge_done[m - 2].clone()
+                } else {
+                    Vec::new()
+                };
                 let mut offset = 0u64;
                 for t in 0..pool {
-                    let share =
-                        bytes / pool as u64 + u64::from((t as u64) < bytes % pool as u64);
+                    let share = bytes / pool as u64 + u64::from((t as u64) < bytes % pool as u64);
                     if share == 0 {
                         continue;
                     }
                     let id = b.prog.push(
                         t,
                         OpKind::Copy {
-                            src: Place::CachedDdr { addr: base + offset },
+                            src: Place::CachedDdr {
+                                addr: base + offset,
+                            },
                             dst: Place::Mcdram,
                             bytes: share,
                             rate_cap: machine.per_thread_copy_bw,
@@ -596,9 +645,11 @@ pub fn build_sort_program(
                     );
                     sort_done.push(mem);
                     if incache > 0.0 {
-                        sort_done.push(
-                            b.prog.push(comp0 + t, OpKind::Delay { seconds: incache }, &[]),
-                        );
+                        sort_done.push(b.prog.push(
+                            comp0 + t,
+                            OpKind::Delay { seconds: incache },
+                            &[],
+                        ));
                     }
                 }
 
@@ -616,7 +667,9 @@ pub fn build_sort_program(
                             accesses: vec![
                                 Access::read(Place::Mcdram, share),
                                 Access::write(
-                                    Place::CachedDdr { addr: base + t as u64 * share },
+                                    Place::CachedDdr {
+                                        addr: base + t as u64 * share,
+                                    },
                                     share,
                                 ),
                             ],
@@ -663,7 +716,15 @@ pub fn build_sort_program(
                 // The parallel sort's own multiway merge writes straight
                 // back out to DDR (it needs a distinct output buffer anyway,
                 // which is why the megachunk is capped at MCDRAM/2).
-                b.multiway_merge_phase(bytes, threads, order, DataPlace::Mcdram, DataPlace::Cached(base), gnu, false);
+                b.multiway_merge_phase(
+                    bytes,
+                    threads,
+                    order,
+                    DataPlace::Mcdram,
+                    DataPlace::Cached(base),
+                    gnu,
+                    false,
+                );
             }
             if k_megas > 1 {
                 b.multiway_merge_phase(
@@ -710,8 +771,9 @@ mod tests {
         let machine = MachineConfig::knl_7250(MemMode::Flat);
         let cal = Calibration::default();
         let w = SortWorkload::int64(BILLION, InputOrder::Random);
-        assert!(build_sort_program(&machine, &cal, w, SortAlgorithm::GnuCache, BILLION, 256)
-            .is_err());
+        assert!(
+            build_sort_program(&machine, &cal, w, SortAlgorithm::GnuCache, BILLION, 256).is_err()
+        );
         let cache = MachineConfig::knl_7250(MemMode::Cache);
         assert!(build_sort_program(&cache, &cal, w, SortAlgorithm::MlmSort, BILLION, 256).is_err());
     }
@@ -722,11 +784,14 @@ mod tests {
         let cal = Calibration::default();
         let w = SortWorkload::int64(4 * BILLION, InputOrder::Random);
         // 3e9 elements = 24 GB > 16 GiB MCDRAM.
-        assert!(build_sort_program(&machine, &cal, w, SortAlgorithm::MlmSort, 3 * BILLION, 256)
-            .is_err());
+        assert!(
+            build_sort_program(&machine, &cal, w, SortAlgorithm::MlmSort, 3 * BILLION, 256)
+                .is_err()
+        );
         // But fine for the DDR variant.
-        assert!(build_sort_program(&machine, &cal, w, SortAlgorithm::MlmDdr, 3 * BILLION, 256)
-            .is_ok());
+        assert!(
+            build_sort_program(&machine, &cal, w, SortAlgorithm::MlmDdr, 3 * BILLION, 256).is_ok()
+        );
     }
 
     #[test]
@@ -746,16 +811,58 @@ mod tests {
     #[test]
     fn table1_orderings_hold_for_2b_random() {
         let n = 2 * BILLION;
-        let gnu_flat = run(SortAlgorithm::GnuFlat, MemMode::Flat, n, InputOrder::Random, n);
-        let gnu_cache = run(SortAlgorithm::GnuCache, MemMode::Cache, n, InputOrder::Random, n);
-        let mlm_ddr = run(SortAlgorithm::MlmDdr, MemMode::Flat, n, InputOrder::Random, BILLION);
-        let mlm_sort = run(SortAlgorithm::MlmSort, MemMode::Flat, n, InputOrder::Random, BILLION);
-        let mlm_impl = run(SortAlgorithm::MlmImplicit, MemMode::Cache, n, InputOrder::Random, n);
+        let gnu_flat = run(
+            SortAlgorithm::GnuFlat,
+            MemMode::Flat,
+            n,
+            InputOrder::Random,
+            n,
+        );
+        let gnu_cache = run(
+            SortAlgorithm::GnuCache,
+            MemMode::Cache,
+            n,
+            InputOrder::Random,
+            n,
+        );
+        let mlm_ddr = run(
+            SortAlgorithm::MlmDdr,
+            MemMode::Flat,
+            n,
+            InputOrder::Random,
+            BILLION,
+        );
+        let mlm_sort = run(
+            SortAlgorithm::MlmSort,
+            MemMode::Flat,
+            n,
+            InputOrder::Random,
+            BILLION,
+        );
+        let mlm_impl = run(
+            SortAlgorithm::MlmImplicit,
+            MemMode::Cache,
+            n,
+            InputOrder::Random,
+            n,
+        );
 
-        assert!(gnu_cache < gnu_flat, "GNU-cache {gnu_cache} !< GNU-flat {gnu_flat}");
-        assert!(mlm_ddr < gnu_flat, "MLM-ddr {mlm_ddr} !< GNU-flat {gnu_flat}");
-        assert!(mlm_sort < mlm_ddr, "MLM-sort {mlm_sort} !< MLM-ddr {mlm_ddr}");
-        assert!(mlm_impl < gnu_cache, "MLM-implicit {mlm_impl} !< GNU-cache {gnu_cache}");
+        assert!(
+            gnu_cache < gnu_flat,
+            "GNU-cache {gnu_cache} !< GNU-flat {gnu_flat}"
+        );
+        assert!(
+            mlm_ddr < gnu_flat,
+            "MLM-ddr {mlm_ddr} !< GNU-flat {gnu_flat}"
+        );
+        assert!(
+            mlm_sort < mlm_ddr,
+            "MLM-sort {mlm_sort} !< MLM-ddr {mlm_ddr}"
+        );
+        assert!(
+            mlm_impl < gnu_cache,
+            "MLM-implicit {mlm_impl} !< GNU-cache {gnu_cache}"
+        );
 
         // Headline speedup band: 1.4x-2.1x over GNU-flat for the winners.
         for t in [mlm_sort, mlm_impl] {
@@ -780,8 +887,20 @@ mod tests {
 
     #[test]
     fn times_scale_roughly_linearly_with_n() {
-        let t2 = run(SortAlgorithm::MlmSort, MemMode::Flat, 2 * BILLION, InputOrder::Random, BILLION);
-        let t4 = run(SortAlgorithm::MlmSort, MemMode::Flat, 4 * BILLION, InputOrder::Random, BILLION);
+        let t2 = run(
+            SortAlgorithm::MlmSort,
+            MemMode::Flat,
+            2 * BILLION,
+            InputOrder::Random,
+            BILLION,
+        );
+        let t4 = run(
+            SortAlgorithm::MlmSort,
+            MemMode::Flat,
+            4 * BILLION,
+            InputOrder::Random,
+            BILLION,
+        );
         let ratio = t4 / t2;
         assert!((1.8..2.4).contains(&ratio), "4B/2B ratio {ratio}");
     }
@@ -792,9 +911,27 @@ mod tests {
         // paper found it gains over GNU-flat but not over hardware cache
         // mode. Check the first part and that MLM-sort still wins.
         let n = 2 * BILLION;
-        let gnu_flat = run(SortAlgorithm::GnuFlat, MemMode::Flat, n, InputOrder::Random, n);
-        let basic = run(SortAlgorithm::BasicChunked, MemMode::Flat, n, InputOrder::Random, BILLION);
-        let mlm_sort = run(SortAlgorithm::MlmSort, MemMode::Flat, n, InputOrder::Random, BILLION);
+        let gnu_flat = run(
+            SortAlgorithm::GnuFlat,
+            MemMode::Flat,
+            n,
+            InputOrder::Random,
+            n,
+        );
+        let basic = run(
+            SortAlgorithm::BasicChunked,
+            MemMode::Flat,
+            n,
+            InputOrder::Random,
+            BILLION,
+        );
+        let mlm_sort = run(
+            SortAlgorithm::MlmSort,
+            MemMode::Flat,
+            n,
+            InputOrder::Random,
+            BILLION,
+        );
         assert!(basic < gnu_flat, "basic {basic} !< GNU-flat {gnu_flat}");
         assert!(mlm_sort < basic, "MLM-sort {mlm_sort} !< basic {basic}");
     }
@@ -804,10 +941,10 @@ mod tests {
         let machine = MachineConfig::knl_7250(MemMode::Flat);
         let cal = Calibration::default();
         let w = SortWorkload::int64(BILLION, InputOrder::Random);
-        let a = build_sort_program(&machine, &cal, w, SortAlgorithm::MlmSort, BILLION / 2, 64)
-            .unwrap();
-        let b = build_sort_program(&machine, &cal, w, SortAlgorithm::MlmSort, BILLION / 2, 64)
-            .unwrap();
+        let a =
+            build_sort_program(&machine, &cal, w, SortAlgorithm::MlmSort, BILLION / 2, 64).unwrap();
+        let b =
+            build_sort_program(&machine, &cal, w, SortAlgorithm::MlmSort, BILLION / 2, 64).unwrap();
         assert_eq!(a.ops().len(), b.ops().len());
     }
 
@@ -822,21 +959,49 @@ mod tests {
     fn buffered_mlm_sort_hides_copy_latency() {
         let n = 2 * BILLION;
         let mega = BILLION / 2; // 4 megachunks: 3 of 4 copy-ins hidden
-        let plain = run(SortAlgorithm::MlmSort, MemMode::Flat, n, InputOrder::Reverse, mega);
-        let buffered =
-            run(SortAlgorithm::MlmSortBuffered, MemMode::Flat, n, InputOrder::Reverse, mega);
+        let plain = run(
+            SortAlgorithm::MlmSort,
+            MemMode::Flat,
+            n,
+            InputOrder::Reverse,
+            mega,
+        );
+        let buffered = run(
+            SortAlgorithm::MlmSortBuffered,
+            MemMode::Flat,
+            n,
+            InputOrder::Reverse,
+            mega,
+        );
         assert!(
             buffered < plain,
             "buffered {buffered:.3} should beat plain {plain:.3}"
         );
         // The gain is the hidden copy-in time: bounded by ~10%.
-        assert!(buffered > plain * 0.85, "gain implausibly large: {buffered} vs {plain}");
+        assert!(
+            buffered > plain * 0.85,
+            "gain implausibly large: {buffered} vs {plain}"
+        );
 
         // And on compute-heavy input the two variants stay within 1%.
-        let plain_r = run(SortAlgorithm::MlmSort, MemMode::Flat, n, InputOrder::Random, BILLION);
-        let buffered_r =
-            run(SortAlgorithm::MlmSortBuffered, MemMode::Flat, n, InputOrder::Random, BILLION);
-        assert!((buffered_r / plain_r - 1.0).abs() < 0.01, "{buffered_r} vs {plain_r}");
+        let plain_r = run(
+            SortAlgorithm::MlmSort,
+            MemMode::Flat,
+            n,
+            InputOrder::Random,
+            BILLION,
+        );
+        let buffered_r = run(
+            SortAlgorithm::MlmSortBuffered,
+            MemMode::Flat,
+            n,
+            InputOrder::Random,
+            BILLION,
+        );
+        assert!(
+            (buffered_r / plain_r - 1.0).abs() < 0.01,
+            "{buffered_r} vs {plain_r}"
+        );
     }
 
     #[test]
@@ -845,8 +1010,15 @@ mod tests {
         let cal = Calibration::default();
         let w = SortWorkload::int64(4 * BILLION, InputOrder::Random);
         // 1B elements = 8 GB = exactly half of 16 GiB: fits.
-        assert!(build_sort_program(&machine, &cal, w, SortAlgorithm::MlmSortBuffered, BILLION, 256)
-            .is_ok());
+        assert!(build_sort_program(
+            &machine,
+            &cal,
+            w,
+            SortAlgorithm::MlmSortBuffered,
+            BILLION,
+            256
+        )
+        .is_ok());
         // 1.5B elements = 12 GB > MCDRAM/2: rejected.
         assert!(build_sort_program(
             &machine,
@@ -865,10 +1037,20 @@ mod tests {
     #[test]
     fn numactl_cliff_at_mcdram_capacity() {
         // 1B elements = 8 GB: fits; numactl beats even MLM-sort (no copies).
-        let small_numactl =
-            run(SortAlgorithm::GnuNumactl, MemMode::Flat, BILLION, InputOrder::Random, BILLION);
-        let small_gnu =
-            run(SortAlgorithm::GnuFlat, MemMode::Flat, BILLION, InputOrder::Random, BILLION);
+        let small_numactl = run(
+            SortAlgorithm::GnuNumactl,
+            MemMode::Flat,
+            BILLION,
+            InputOrder::Random,
+            BILLION,
+        );
+        let small_gnu = run(
+            SortAlgorithm::GnuFlat,
+            MemMode::Flat,
+            BILLION,
+            InputOrder::Random,
+            BILLION,
+        );
         assert!(
             small_numactl < small_gnu,
             "in-capacity numactl {small_numactl} !< GNU-flat {small_gnu}"
@@ -883,8 +1065,13 @@ mod tests {
             InputOrder::Random,
             6 * BILLION,
         );
-        let big_gnu =
-            run(SortAlgorithm::GnuFlat, MemMode::Flat, 6 * BILLION, InputOrder::Random, 6 * BILLION);
+        let big_gnu = run(
+            SortAlgorithm::GnuFlat,
+            MemMode::Flat,
+            6 * BILLION,
+            InputOrder::Random,
+            6 * BILLION,
+        );
         let big_mlm = run(
             SortAlgorithm::MlmSort,
             MemMode::Flat,

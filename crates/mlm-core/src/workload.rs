@@ -45,7 +45,11 @@ pub struct SortWorkload {
 impl SortWorkload {
     /// The paper's element type is `int64`.
     pub fn int64(n: u64, order: InputOrder) -> Self {
-        SortWorkload { n, elem_bytes: 8, order }
+        SortWorkload {
+            n,
+            elem_bytes: 8,
+            order,
+        }
     }
 
     /// Total bytes of the key array.

@@ -3,33 +3,35 @@
 
 use knl_sim::machine::{MachineConfig, MemMode};
 use knl_sim::{MemLevel, Simulator};
-use mlm_core::pipeline::{sim::build_program, Placement, PipelineSpec};
+use mlm_core::pipeline::{sim::build_program, PipelineSpec, Placement};
 use mlm_core::{Calibration, InputOrder, MergeBenchParams, SortAlgorithm, SortWorkload};
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = PipelineSpec> {
     (
-        1u64..200,          // total in MiB
-        1u64..64,           // chunk in MiB
-        1usize..5,          // p_in
-        1usize..5,          // p_out
-        1usize..9,          // p_comp
-        1u32..9,            // passes
-        any::<bool>(),      // lockstep
+        1u64..200,     // total in MiB
+        1u64..64,      // chunk in MiB
+        1usize..5,     // p_in
+        1usize..5,     // p_out
+        1usize..9,     // p_comp
+        1u32..9,       // passes
+        any::<bool>(), // lockstep
     )
-        .prop_map(|(total, chunk, p_in, p_out, p_comp, passes, lockstep)| PipelineSpec {
-            total_bytes: total << 20,
-            chunk_bytes: chunk << 20,
-            p_in,
-            p_out,
-            p_comp,
-            compute_passes: passes,
-            compute_rate: 1.5e9,
-            copy_rate: 1.0e9,
-            placement: Placement::Hbw,
-            lockstep,
-            data_addr: 0,
-        })
+        .prop_map(
+            |(total, chunk, p_in, p_out, p_comp, passes, lockstep)| PipelineSpec {
+                total_bytes: total << 20,
+                chunk_bytes: chunk << 20,
+                p_in,
+                p_out,
+                p_comp,
+                compute_passes: passes,
+                compute_rate: 1.5e9,
+                copy_rate: 1.0e9,
+                placement: Placement::Hbw,
+                lockstep,
+                data_addr: 0,
+            },
+        )
 }
 
 proptest! {
@@ -127,11 +129,12 @@ fn serde_round_trips() {
     assert_eq!(params, back);
 
     let w = SortWorkload::int64(123, InputOrder::Reverse);
-    let back: SortWorkload =
-        serde_json::from_str(&serde_json::to_string(&w).unwrap()).unwrap();
+    let back: SortWorkload = serde_json::from_str(&serde_json::to_string(&w).unwrap()).unwrap();
     assert_eq!(w, back);
 
-    let machine = MachineConfig::knl_7250(MemMode::Hybrid { cache_fraction: 0.25 });
+    let machine = MachineConfig::knl_7250(MemMode::Hybrid {
+        cache_fraction: 0.25,
+    });
     let back: MachineConfig =
         serde_json::from_str(&serde_json::to_string(&machine).unwrap()).unwrap();
     assert_eq!(machine, back);

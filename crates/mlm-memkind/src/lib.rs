@@ -122,7 +122,11 @@ impl MemKind {
         let serial = g.next_serial;
         g.next_serial += 1;
         g.live += 1;
-        Ok(SimAllocation { region, kind, serial })
+        Ok(SimAllocation {
+            region,
+            kind,
+            serial,
+        })
     }
 
     /// Release an allocation back to its level.
@@ -183,7 +187,13 @@ mod tests {
         assert_eq!(a.level(), MemLevel::Mcdram);
         // 16 GiB total; 10 used; 8 more must fail strictly.
         let err = mk.malloc(Kind::Hbw, 8 * GIB).unwrap_err();
-        assert!(matches!(err, SimError::OutOfMemory { level: MemLevel::Mcdram, .. }));
+        assert!(matches!(
+            err,
+            SimError::OutOfMemory {
+                level: MemLevel::Mcdram,
+                ..
+            }
+        ));
         mk.free(a);
         assert!(mk.malloc(Kind::Hbw, 16 * GIB).is_ok());
     }
@@ -215,7 +225,9 @@ mod tests {
 
     #[test]
     fn hybrid_mode_exposes_partial_hbw() {
-        let mk = MemKind::new(&MachineConfig::knl_7250(MemMode::Hybrid { cache_fraction: 0.5 }));
+        let mk = MemKind::new(&MachineConfig::knl_7250(MemMode::Hybrid {
+            cache_fraction: 0.5,
+        }));
         assert!(mk.hbw_available());
         assert_eq!(mk.available(MemLevel::Mcdram), 8 * GIB);
         let a = mk.malloc(Kind::Hbw, 8 * GIB).unwrap();

@@ -42,12 +42,20 @@ pub fn run_kernel(pool: &WorkPool, kernel: StreamKernel, n: usize, iters: usize)
     std::hint::black_box((&a, &b, &c));
 
     let bytes = kernel.traffic_bytes(n);
-    StreamResult { kernel, bytes, seconds: best, bandwidth: bytes as f64 / best.max(1e-12) }
+    StreamResult {
+        kernel,
+        bytes,
+        seconds: best,
+        bandwidth: bytes as f64 / best.max(1e-12),
+    }
 }
 
 /// Run all four kernels (STREAM's canonical sweep).
 pub fn run_all(pool: &WorkPool, n: usize, iters: usize) -> Vec<StreamResult> {
-    StreamKernel::ALL.iter().map(|&k| run_kernel(pool, k, n, iters)).collect()
+    StreamKernel::ALL
+        .iter()
+        .map(|&k| run_kernel(pool, k, n, iters))
+        .collect()
 }
 
 fn stream_zip<F>(pool: &WorkPool, src: &[f64], dst: &mut [f64], f: F)

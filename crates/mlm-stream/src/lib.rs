@@ -30,8 +30,12 @@ pub enum StreamKernel {
 
 impl StreamKernel {
     /// All four kernels in STREAM's canonical order.
-    pub const ALL: [StreamKernel; 4] =
-        [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad];
+    pub const ALL: [StreamKernel; 4] = [
+        StreamKernel::Copy,
+        StreamKernel::Scale,
+        StreamKernel::Add,
+        StreamKernel::Triad,
+    ];
 
     /// Memory traffic in bytes for one iteration over `n` `f64` elements,
     /// using STREAM's own counting rules.

@@ -60,7 +60,10 @@ pub fn sim_kernel(
 
 /// Simulated Table 2: `(DDR_max, MCDRAM_max)` as STREAM Triad would
 /// measure them on the simulated node.
-pub fn sim_table2(machine: &MachineConfig, threads: usize) -> Result<(f64, f64), knl_sim::SimError> {
+pub fn sim_table2(
+    machine: &MachineConfig,
+    threads: usize,
+) -> Result<(f64, f64), knl_sim::SimError> {
     let n = 100_000_000;
     let ddr = sim_kernel(machine, MemLevel::Ddr, StreamKernel::Triad, n, threads)?;
     let mcd = if machine.addressable_mcdram() > 0 {

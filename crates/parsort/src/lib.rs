@@ -36,16 +36,16 @@
 
 pub mod funnel;
 pub mod merge;
-pub mod radix;
 pub mod multiway;
 pub mod parallel;
 pub mod pool;
+pub mod radix;
 pub mod serial;
 
 pub use funnel::funnelsort;
-pub use radix::{parallel_radix_sort, radix_sort};
 pub use merge::{merge_into, parallel_merge_into};
 pub use multiway::{multiway_merge_into, parallel_multiway_merge_into, LoserTree};
 pub use parallel::parallel_mergesort;
 pub use pool::WorkPool;
+pub use radix::{parallel_radix_sort, radix_sort};
 pub use serial::{introsort, is_sorted};

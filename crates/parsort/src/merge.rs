@@ -140,7 +140,10 @@ mod tests {
         let b = [Tagged(1, 1), Tagged(2, 1)];
         let mut out = [Tagged(0, 9); 4];
         merge_into(&a, &b, &mut out);
-        assert_eq!(out, [Tagged(1, 0), Tagged(1, 1), Tagged(2, 0), Tagged(2, 1)]);
+        assert_eq!(
+            out,
+            [Tagged(1, 0), Tagged(1, 1), Tagged(2, 0), Tagged(2, 1)]
+        );
     }
 
     #[test]
@@ -196,7 +199,15 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             (state >> 33) as i64
         };
-        for (na, nb) in [(0, 0), (1, 0), (0, 1), (100, 1), (1, 100), (1000, 1000), (997, 1003)] {
+        for (na, nb) in [
+            (0, 0),
+            (1, 0),
+            (0, 1),
+            (100, 1),
+            (1, 100),
+            (1000, 1000),
+            (997, 1003),
+        ] {
             let mut a: Vec<i64> = (0..na).map(|_| next()).collect();
             let mut b: Vec<i64> = (0..nb).map(|_| next()).collect();
             a.sort_unstable();

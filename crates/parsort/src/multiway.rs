@@ -73,7 +73,11 @@ impl<'a, T: Ord> LoserTree<'a, T> {
         }
         let left = self.build(2 * node);
         let right = self.build(2 * node + 1);
-        let (win, lose) = if self.beats(left, right) { (left, right) } else { (right, left) };
+        let (win, lose) = if self.beats(left, right) {
+            (left, right)
+        } else {
+            (right, left)
+        };
         self.tree[node] = lose;
         win
     }
@@ -171,12 +175,17 @@ pub fn multiseq_select<T: Ord + Copy>(seqs: &[&[T]], r: usize) -> Vec<usize> {
 
         // Global ranks of the pivot value.
         let less: usize = seqs.iter().map(|s| s.partition_point(|x| *x < pivot)).sum();
-        let less_eq: usize = seqs.iter().map(|s| s.partition_point(|x| *x <= pivot)).sum();
+        let less_eq: usize = seqs
+            .iter()
+            .map(|s| s.partition_point(|x| *x <= pivot))
+            .sum();
 
         if less <= r && r <= less_eq {
             // Take everything < pivot, then pad with ties up to r.
-            let mut split: Vec<usize> =
-                seqs.iter().map(|s| s.partition_point(|x| *x < pivot)).collect();
+            let mut split: Vec<usize> = seqs
+                .iter()
+                .map(|s| s.partition_point(|x| *x < pivot))
+                .collect();
             let mut need = r - less;
             for (i, s) in seqs.iter().enumerate() {
                 if need == 0 {
@@ -194,12 +203,16 @@ pub fn multiseq_select<T: Ord + Copy>(seqs: &[&[T]], r: usize) -> Vec<usize> {
             // boundary. This at least halves the widest range because
             // pp(seqs[widest], <= pivot) > mid.
             for i in 0..k {
-                lo[i] = lo[i].max(seqs[i].partition_point(|x| *x <= pivot)).min(hi[i]);
+                lo[i] = lo[i]
+                    .max(seqs[i].partition_point(|x| *x <= pivot))
+                    .min(hi[i]);
             }
         } else {
             // less > r: pivot too large.
             for i in 0..k {
-                hi[i] = hi[i].min(seqs[i].partition_point(|x| *x < pivot)).max(lo[i]);
+                hi[i] = hi[i]
+                    .min(seqs[i].partition_point(|x| *x < pivot))
+                    .max(lo[i]);
             }
         }
     }
@@ -269,7 +282,9 @@ mod tests {
         let mut state = seed | 1;
         let mut v: Vec<i64> = (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 24) % 1000) as i64
             })
             .collect();
@@ -319,9 +334,17 @@ mod tests {
 
     #[test]
     fn multiway_merge_various_shapes() {
-        for &(k, n) in &[(1usize, 10usize), (2, 100), (3, 33), (7, 50), (16, 8), (5, 0)] {
-            let runs_owned: Vec<Vec<i64>> =
-                (0..k).map(|i| rng_vec(n + i, (i as u64 + 1) * 7919)).collect();
+        for &(k, n) in &[
+            (1usize, 10usize),
+            (2, 100),
+            (3, 33),
+            (7, 50),
+            (16, 8),
+            (5, 0),
+        ] {
+            let runs_owned: Vec<Vec<i64>> = (0..k)
+                .map(|i| rng_vec(n + i, (i as u64 + 1) * 7919))
+                .collect();
             let runs: Vec<&[i64]> = runs_owned.iter().map(|r| r.as_slice()).collect();
             let expect = reference_merge(&runs);
             let mut out = vec![0i64; expect.len()];
@@ -382,8 +405,9 @@ mod tests {
     fn parallel_multiway_matches_serial() {
         let pool = WorkPool::new(4);
         for &(k, n) in &[(2usize, 1000usize), (4, 997), (8, 250), (3, 1)] {
-            let runs_owned: Vec<Vec<i64>> =
-                (0..k).map(|i| rng_vec(n, (i as u64 + 1) * 104729)).collect();
+            let runs_owned: Vec<Vec<i64>> = (0..k)
+                .map(|i| rng_vec(n, (i as u64 + 1) * 104729))
+                .collect();
             let runs: Vec<&[i64]> = runs_owned.iter().map(|r| r.as_slice()).collect();
             let expect = reference_merge(&runs);
             let mut out = vec![0i64; expect.len()];

@@ -12,14 +12,17 @@
 //! lifetime erasure sound. Worker panics are captured and propagated to the
 //! caller.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 
 type Task = Box<dyn FnOnce() + Send>;
+type PanicPayload = Box<dyn Any + Send>;
 
 enum Message {
     Run(Task),
@@ -31,6 +34,9 @@ struct Latch {
     mutex: Mutex<()>,
     condvar: Condvar,
     panicked: AtomicUsize,
+    /// First panic payload observed, kept so `scoped` can rethrow the
+    /// original panic (message included) instead of a generic one.
+    payload: Mutex<Option<PanicPayload>>,
 }
 
 impl Latch {
@@ -40,12 +46,17 @@ impl Latch {
             mutex: Mutex::new(()),
             condvar: Condvar::new(),
             panicked: AtomicUsize::new(0),
+            payload: Mutex::new(None),
         }
     }
 
-    fn count_down(&self, panicked: bool) {
-        if panicked {
+    fn count_down(&self, panic: Option<PanicPayload>) {
+        if let Some(p) = panic {
             self.panicked.fetch_add(1, Ordering::Relaxed);
+            let mut slot = self.payload.lock();
+            if slot.is_none() {
+                *slot = Some(p);
+            }
         }
         // Release ordering pairs with the Acquire in `wait` so task side
         // effects are visible to the caller after `scoped` returns.
@@ -55,12 +66,20 @@ impl Latch {
         }
     }
 
-    fn wait(&self) -> usize {
+    fn wait(&self) -> Option<PanicPayload> {
         let mut guard = self.mutex.lock();
         while self.remaining.load(Ordering::Acquire) != 0 {
             self.condvar.wait(&mut guard);
         }
-        self.panicked.load(Ordering::Relaxed)
+        if self.panicked.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        Some(
+            self.payload
+                .lock()
+                .take()
+                .unwrap_or_else(|| Box::new("pool task panicked")),
+        )
     }
 }
 
@@ -103,7 +122,11 @@ impl WorkPool {
                     .expect("failed to spawn worker thread"),
             );
         }
-        WorkPool { sender, handles, threads }
+        WorkPool {
+            sender,
+            handles,
+            threads,
+        }
     }
 
     /// Number of worker threads.
@@ -116,7 +139,9 @@ impl WorkPool {
     /// guarantees they are dead before this function returns.
     ///
     /// # Panics
-    /// Panics if any task panicked (after all tasks have finished).
+    /// If any task panicked, rethrows the first captured panic payload
+    /// (after all tasks have finished), so the original panic message
+    /// reaches the caller.
     pub fn scoped<'scope, I, F>(&self, tasks: I)
     where
         I: IntoIterator<Item = F>,
@@ -131,7 +156,7 @@ impl WorkPool {
             let latch = Arc::clone(&latch);
             let wrapped = move || {
                 let result = catch_unwind(AssertUnwindSafe(task));
-                latch.count_down(result.is_err());
+                latch.count_down(result.err());
             };
             // SAFETY: `wrapped` borrows data with lifetime 'scope. We erase
             // the lifetime to send it through the 'static channel. This is
@@ -150,9 +175,8 @@ impl WorkPool {
                 .send(Message::Run(erased))
                 .expect("worker channel closed while pool alive");
         }
-        let panicked = latch.wait();
-        if panicked > 0 {
-            panic!("{panicked} pool task(s) panicked");
+        if let Some(payload) = latch.wait() {
+            resume_unwind(payload);
         }
     }
 
@@ -183,6 +207,66 @@ impl Drop for WorkPool {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+    }
+}
+
+/// A dedicated pipeline-stage pool: a [`WorkPool`] that additionally
+/// accounts the cumulative execution time of its tasks.
+///
+/// The paper's framework dedicates disjoint thread pools to copy-in,
+/// compute, and copy-out. When those stages run decoupled (dataflow
+/// scheduling instead of lockstep steps), per-stage busy time is the
+/// quantity that tells you which stage is the bottleneck — so this pool
+/// wraps every task with a timer and accumulates the total.
+///
+/// Accounting notes: `busy` is summed across worker threads (so with `n`
+/// threads it can approach `n x` wall-clock), and a panicking task's time
+/// is not recorded (the panic propagates through [`StagePool::scoped`]).
+pub struct StagePool {
+    pool: WorkPool,
+    busy_nanos: AtomicU64,
+}
+
+impl StagePool {
+    /// Spawn a stage pool of `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        StagePool {
+            pool: WorkPool::new(threads),
+            busy_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Cumulative task execution time since creation or the last
+    /// [`StagePool::reset_busy`].
+    pub fn busy(&self) -> Duration {
+        Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Zero the busy counter (call between runs when reusing the pool).
+    pub fn reset_busy(&self) {
+        self.busy_nanos.store(0, Ordering::Relaxed);
+    }
+
+    /// [`WorkPool::scoped`], with each task's execution time added to the
+    /// stage's busy counter.
+    pub fn scoped<'scope, I, F>(&self, tasks: I)
+    where
+        I: IntoIterator<Item = F>,
+        F: FnOnce() + Send + 'scope,
+    {
+        let busy = &self.busy_nanos;
+        self.pool.scoped(tasks.into_iter().map(|task| {
+            move || {
+                let t0 = Instant::now();
+                task();
+                busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+        }));
     }
 }
 
@@ -224,8 +308,10 @@ mod tests {
     fn runs_all_tasks() {
         let pool = WorkPool::new(4);
         let counter = AtomicU64::new(0);
-        pool.scoped((0..100).map(|_| || {
-            counter.fetch_add(1, Ordering::Relaxed);
+        pool.scoped((0..100).map(|_| {
+            || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
         }));
         assert_eq!(counter.load(Ordering::Relaxed), 100);
     }
@@ -262,27 +348,93 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "task(s) panicked")]
+    #[should_panic(expected = "boom")]
     fn propagates_panics() {
         let pool = WorkPool::new(2);
-        pool.scoped((0..4).map(|i| move || {
-            if i == 2 {
-                panic!("boom");
+        pool.scoped((0..4).map(|i| {
+            move || {
+                if i == 2 {
+                    panic!("boom");
+                }
             }
         }));
+    }
+
+    #[test]
+    fn panic_payload_message_survives() {
+        let pool = WorkPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped([42u32].map(|code| move || panic!("task failed with code {code}")));
+        }));
+        let payload = result.expect_err("the task's panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("payload should be the original panic message");
+        assert_eq!(msg, "task failed with code 42");
+    }
+
+    #[test]
+    fn first_of_many_panics_is_rethrown() {
+        // All tasks panic; the rethrown payload must be one of the
+        // original messages, not a synthesized summary.
+        let pool = WorkPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped((0..4).map(|i| move || panic!("worker {i} exploded")));
+        }));
+        let payload = result.expect_err("panics must propagate");
+        let msg = payload.downcast_ref::<String>().expect("original payload");
+        assert!(msg.contains("exploded"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn stage_pool_accounts_busy_time() {
+        let pool = StagePool::new(2);
+        assert_eq!(pool.threads(), 2);
+        assert_eq!(pool.busy(), Duration::ZERO);
+        let counter = AtomicU64::new(0);
+        pool.scoped((0..8).map(|_| {
+            || {
+                std::thread::sleep(Duration::from_millis(2));
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+        // 8 tasks x 2ms each, summed across workers.
+        assert!(
+            pool.busy() >= Duration::from_millis(16),
+            "busy = {:?}",
+            pool.busy()
+        );
+        pool.reset_busy();
+        assert_eq!(pool.busy(), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "stage boom")]
+    fn stage_pool_propagates_panics() {
+        let pool = StagePool::new(2);
+        pool.scoped([|| panic!("stage boom")]);
     }
 
     #[test]
     fn pool_survives_task_panic() {
         let pool = WorkPool::new(2);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            pool.scoped([|| panic!("first batch dies")].into_iter().map(|f| f as fn()));
+            pool.scoped(
+                [|| panic!("first batch dies")]
+                    .into_iter()
+                    .map(|f| f as fn()),
+            );
         }));
         assert!(result.is_err());
         // Pool still works afterwards.
         let counter = AtomicU64::new(0);
-        pool.scoped((0..8).map(|_| || {
-            counter.fetch_add(1, Ordering::Relaxed);
+        pool.scoped((0..8).map(|_| {
+            || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
         }));
         assert_eq!(counter.load(Ordering::Relaxed), 8);
     }
@@ -292,8 +444,10 @@ mod tests {
         let pool = WorkPool::new(0);
         assert_eq!(pool.threads(), 1);
         let counter = AtomicU64::new(0);
-        pool.scoped((0..3).map(|_| || {
-            counter.fetch_add(1, Ordering::Relaxed);
+        pool.scoped((0..3).map(|_| {
+            || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
         }));
         assert_eq!(counter.load(Ordering::Relaxed), 3);
     }

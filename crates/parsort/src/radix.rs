@@ -202,6 +202,9 @@ mod tests {
         let mut s = v.clone();
         radix_sort(&mut s);
         assert!(is_sorted(&s));
-        assert_eq!(s.iter().filter(|&&x| x == 5).count(), v.iter().filter(|&&x| x == 5).count());
+        assert_eq!(
+            s.iter().filter(|&&x| x == 5).count(),
+            v.iter().filter(|&&x| x == 5).count()
+        );
     }
 }

@@ -217,7 +217,9 @@ mod tests {
         let mut state = 0x243F6A8885A308D3u64;
         let v: Vec<i64> = (0..10_000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 16) as i64
             })
             .collect();
@@ -232,7 +234,7 @@ mod tests {
         check_sorts((0..n).map(|i| i % 7).collect()); // few distinct
         check_sorts((0..n).map(|i| if i % 2 == 0 { i } else { n - i }).collect()); // organ pipe-ish
         check_sorts(std::iter::repeat_n(9, 1000).collect()); // constant
-        // Sawtooth — classic quicksort killer for naive pivots.
+                                                             // Sawtooth — classic quicksort killer for naive pivots.
         check_sorts((0..n).map(|i| i % 64).collect());
     }
 

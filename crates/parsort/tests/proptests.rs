@@ -1,10 +1,10 @@
 //! Property-based tests for the sorting substrate.
 
 use parsort::funnel::funnelsort;
-use parsort::radix::{parallel_radix_sort, radix_sort};
 use parsort::merge::{co_rank, merge_into, parallel_merge_into};
 use parsort::multiway::{multiseq_select, multiway_merge_into, parallel_multiway_merge_into};
 use parsort::pool::{split_range, WorkPool};
+use parsort::radix::{parallel_radix_sort, radix_sort};
 use parsort::serial::{heapsort, insertion_sort, introsort, is_sorted};
 use proptest::prelude::*;
 

@@ -6,7 +6,7 @@
 
 use knl_sim::machine::{MachineConfig, MemMode};
 use knl_sim::{MemLevel, Simulator};
-use mlm_core::pipeline::{sim::build_program, Placement, PipelineSpec};
+use mlm_core::pipeline::{sim::build_program, PipelineSpec, Placement};
 use mlm_memkind::{Kind, MemKind};
 
 fn spec(placement: Placement, p_copy: usize) -> PipelineSpec {
@@ -30,7 +30,12 @@ fn main() {
     for (name, mode) in [
         ("flat", MemMode::Flat),
         ("cache", MemMode::Cache),
-        ("hybrid 50/50", MemMode::Hybrid { cache_fraction: 0.5 }),
+        (
+            "hybrid 50/50",
+            MemMode::Hybrid {
+                cache_fraction: 0.5,
+            },
+        ),
     ] {
         let cfg = MachineConfig::knl_7250(mode);
         let mk = MemKind::new(&cfg);
@@ -41,20 +46,37 @@ fn main() {
         );
         // HBW_PREFERRED falls back to DDR rather than failing.
         let a = mk.malloc(Kind::HbwPreferred, 20 << 30).unwrap();
-        println!("    20 GiB HBW_PREFERRED allocation landed in {:?}", a.level());
+        println!(
+            "    20 GiB HBW_PREFERRED allocation landed in {:?}",
+            a.level()
+        );
         mk.free(a);
     }
 
     println!();
     println!("== One chunked workload (8 GB, 4 passes/chunk), four usage modes ==");
     let runs = [
-        ("chunked flat (explicit copies)", MemMode::Flat, spec(Placement::Hbw, 8)),
-        ("chunked hybrid (smaller chunks)", MemMode::Hybrid { cache_fraction: 0.5 }, {
-            let mut s = spec(Placement::Hbw, 8);
-            s.chunk_bytes = 250_000_000; // hybrid halves the addressable space
-            s
-        }),
-        ("chunked DDR only (no MCDRAM)", MemMode::Flat, spec(Placement::Ddr, 8)),
+        (
+            "chunked flat (explicit copies)",
+            MemMode::Flat,
+            spec(Placement::Hbw, 8),
+        ),
+        (
+            "chunked hybrid (smaller chunks)",
+            MemMode::Hybrid {
+                cache_fraction: 0.5,
+            },
+            {
+                let mut s = spec(Placement::Hbw, 8);
+                s.chunk_bytes = 250_000_000; // hybrid halves the addressable space
+                s
+            },
+        ),
+        (
+            "chunked DDR only (no MCDRAM)",
+            MemMode::Flat,
+            spec(Placement::Ddr, 8),
+        ),
         ("implicit cache mode (no copies)", MemMode::Cache, {
             let mut s = spec(Placement::Implicit, 8);
             s.p_in = 0;

@@ -21,7 +21,11 @@ fn main() {
         let mut keys = generate_keys(n_host, InputOrder::Random, 7);
         let stats = run_host_sort(&pool, alg, &mut keys, mega_host);
         assert!(is_sorted(&keys), "{alg:?} must sort");
-        println!("  {:<13} {:>9.1} ms", alg.label(), stats.elapsed.as_secs_f64() * 1e3);
+        println!(
+            "  {:<13} {:>9.1} ms",
+            alg.label(),
+            stats.elapsed.as_secs_f64() * 1e3
+        );
     }
 
     println!();
@@ -37,8 +41,11 @@ fn main() {
                 knl_sim::MemMode::Flat
             };
             let machine = knl_sim::MachineConfig::knl_7250(mode);
-            let mega =
-                if alg == SortAlgorithm::MlmImplicit { w.n } else { 1_000_000_000 };
+            let mega = if alg == SortAlgorithm::MlmImplicit {
+                w.n
+            } else {
+                1_000_000_000
+            };
             let prog = build_sort_program(&machine, &cal, w, alg, mega, 256).unwrap();
             let report = knl_sim::Simulator::new(machine).run(&prog).unwrap();
             println!("    {:<13} {:>6.2} virtual s", alg.label(), report.makespan);

@@ -6,7 +6,7 @@
 
 use knl_sim::machine::{MachineConfig, MemMode};
 use knl_sim::Simulator;
-use mlm_core::pipeline::{sim::build_program, Placement, PipelineSpec};
+use mlm_core::pipeline::{sim::build_program, PipelineSpec, Placement};
 
 fn main() {
     // A small pipeline so each thread's row is legible: 2 copy-in, 2
@@ -28,7 +28,10 @@ fn main() {
     let prog = build_program(&spec).unwrap();
     let (report, trace) = Simulator::new(machine).run_traced(&prog).unwrap();
 
-    println!("Triple-buffered pipeline, {} chunks, lockstep steps", spec.n_chunks());
+    println!(
+        "Triple-buffered pipeline, {} chunks, lockstep steps",
+        spec.n_chunks()
+    );
     println!("threads 0-1: copy-in | threads 2-3: copy-out | threads 4-7: compute");
     println!("(compare with the paper's Figure 2)\n");
     println!("{}", trace.gantt(0..spec.threads(), 72));
@@ -42,7 +45,10 @@ fn main() {
         report.mcdram_traffic() as f64 / 1e9
     );
     for t in 0..spec.threads() {
-        println!("thread {t}: busy {:>5.1}%", trace.thread_busy_fraction(t) * 100.0);
+        println!(
+            "thread {t}: busy {:>5.1}%",
+            trace.thread_busy_fraction(t) * 100.0
+        );
     }
     println!();
     println!("Note the fill/drain steps: copy-in rows start busy and idle at the");

@@ -27,9 +27,18 @@ fn main() {
     let machine = knl_sim::MachineConfig::knl_7250(knl_sim::MemMode::Flat);
     let cal = Calibration::default();
     let w = SortWorkload::int64(2_000_000_000, InputOrder::Random);
-    let prog = build_sort_program(&machine, &cal, w, SortAlgorithm::MlmSort, 1_000_000_000, 256)
-        .expect("valid experiment");
-    let report = knl_sim::Simulator::new(machine).run(&prog).expect("simulation runs");
+    let prog = build_sort_program(
+        &machine,
+        &cal,
+        w,
+        SortAlgorithm::MlmSort,
+        1_000_000_000,
+        256,
+    )
+    .expect("valid experiment");
+    let report = knl_sim::Simulator::new(machine)
+        .run(&prog)
+        .expect("simulation runs");
     println!(
         "sim:  MLM-sort of 2B int64 on a flat-mode KNL: {:.2} virtual seconds \
          (paper measured 8.09 s), DDR traffic {:.1} GB, MCDRAM traffic {:.1} GB",

@@ -8,12 +8,18 @@ use mlm_core::model::ModelParams;
 use mlm_core::Calibration;
 
 fn main() {
-    let repeats: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let repeats: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
     let model = ModelParams::paper_table2();
     let machine = knl_sim::MachineConfig::knl_7250(knl_sim::MemMode::Flat);
     let cal = Calibration::default();
 
-    println!("workload: {} read+write passes per byte staged through MCDRAM", repeats);
+    println!(
+        "workload: {} read+write passes per byte staged through MCDRAM",
+        repeats
+    );
 
     let (p_model, t_model) = model.optimal_copy_threads(repeats);
     println!(

@@ -3,7 +3,7 @@
 
 use knl_sim::machine::{MachineConfig, MemMode};
 use mlm_core::merge_bench::merge_kernel;
-use mlm_core::pipeline::{host::run_host_pipeline, Placement, PipelineSpec};
+use mlm_core::pipeline::{host::run_host_pipeline, PipelineSpec, Placement};
 use mlm_core::sort::host::{basic_chunked_sort, mlm_sort, run_host_sort};
 use mlm_core::workload::{generate_keys, InputOrder};
 use mlm_core::SortAlgorithm;
@@ -105,16 +105,26 @@ fn sorting_kernel_inside_pipeline_sorts_each_slice() {
 
 #[test]
 fn memkind_capacity_mirrors_machine_modes() {
-    for mode in [MemMode::Flat, MemMode::Cache, MemMode::Hybrid { cache_fraction: 0.25 }] {
+    for mode in [
+        MemMode::Flat,
+        MemMode::Cache,
+        MemMode::Hybrid {
+            cache_fraction: 0.25,
+        },
+    ] {
         let cfg = MachineConfig::knl_7250(mode);
         let mk = MemKind::new(&cfg);
-        assert_eq!(mk.available(knl_sim::MemLevel::Mcdram), cfg.addressable_mcdram());
+        assert_eq!(
+            mk.available(knl_sim::MemLevel::Mcdram),
+            cfg.addressable_mcdram()
+        );
         // A working set larger than MCDRAM must be stageable chunk-wise:
         // allocate chunk buffers strictly inside MCDRAM.
         if cfg.addressable_mcdram() > 0 {
             let chunk = cfg.addressable_mcdram() / 3;
-            let bufs: Vec<_> =
-                (0..3).map(|_| mk.malloc(Kind::Hbw, chunk).unwrap()).collect();
+            let bufs: Vec<_> = (0..3)
+                .map(|_| mk.malloc(Kind::Hbw, chunk).unwrap())
+                .collect();
             assert!(mk.malloc(Kind::Hbw, chunk).is_err(), "MCDRAM fully booked");
             for b in bufs {
                 mk.free(b);
@@ -150,6 +160,12 @@ fn host_and_sim_agree_on_structure() {
     let machine = MachineConfig::tiny(MemMode::Flat);
     let report = knl_sim::Simulator::new(machine).run(&prog).unwrap();
     // Sim moves every byte in and out exactly once.
-    assert_eq!(report.traffic_on(knl_sim::MemLevel::Ddr).read, spec.total_bytes);
-    assert_eq!(report.traffic_on(knl_sim::MemLevel::Ddr).written, spec.total_bytes);
+    assert_eq!(
+        report.traffic_on(knl_sim::MemLevel::Ddr).read,
+        spec.total_bytes
+    );
+    assert_eq!(
+        report.traffic_on(knl_sim::MemLevel::Ddr).written,
+        spec.total_bytes
+    );
 }

@@ -111,24 +111,35 @@ fn structured_input_is_faster() {
 #[test]
 fn fig7_chunk_size_shape() {
     let points = fig7(&cal());
-    let mlm: Vec<_> =
-        points.iter().filter(|p| p.algorithm == SortAlgorithm::MlmSort).collect();
+    let mlm: Vec<_> = points
+        .iter()
+        .filter(|p| p.algorithm == SortAlgorithm::MlmSort)
+        .collect();
     // Feasible up to 2B elements (16 GB = MCDRAM), infeasible past it.
     for p in &mlm {
         if p.megachunk_elems <= 2 * BILLION {
             assert!(p.seconds.is_some(), "mega {} should fit", p.megachunk_elems);
         } else {
-            assert!(p.seconds.is_none(), "mega {} must exceed MCDRAM", p.megachunk_elems);
+            assert!(
+                p.seconds.is_none(),
+                "mega {} must exceed MCDRAM",
+                p.megachunk_elems
+            );
         }
     }
     // Largest feasible chunk is (near-)optimal: no small chunk beats it by
     // more than noise, and the smallest chunk is strictly worse.
     let t_small = mlm.first().unwrap().seconds.unwrap();
     let t_big = mlm.iter().rev().find_map(|p| p.seconds).unwrap();
-    assert!(t_big < t_small, "large chunks must win: {t_big:.2} !< {t_small:.2}");
+    assert!(
+        t_big < t_small,
+        "large chunks must win: {t_big:.2} !< {t_small:.2}"
+    );
 
-    let implicit: Vec<_> =
-        points.iter().filter(|p| p.algorithm == SortAlgorithm::MlmImplicit).collect();
+    let implicit: Vec<_> = points
+        .iter()
+        .filter(|p| p.algorithm == SortAlgorithm::MlmImplicit)
+        .collect();
     let best_impl = implicit
         .iter()
         .min_by(|a, b| a.seconds.unwrap().total_cmp(&b.seconds.unwrap()))
@@ -147,15 +158,27 @@ fn table3_shape() {
     let rows = table3(&cal()).unwrap();
     assert_eq!(rows.len(), 7);
     for w in rows.windows(2) {
-        assert!(w[1].model <= w[0].model, "model column must be non-increasing");
-        assert!(w[1].empirical <= w[0].empirical, "empirical column must be non-increasing");
+        assert!(
+            w[1].model <= w[0].model,
+            "model column must be non-increasing"
+        );
+        assert!(
+            w[1].empirical <= w[0].empirical,
+            "empirical column must be non-increasing"
+        );
     }
     let first = rows.first().unwrap();
     let last = rows.last().unwrap();
     assert_eq!(first.model, 10, "low-repeat model optimum (paper: 10)");
-    assert!(first.empirical >= 16, "low-repeat empirical optimum is large (paper: 16)");
+    assert!(
+        first.empirical >= 16,
+        "low-repeat empirical optimum is large (paper: 16)"
+    );
     assert_eq!(last.model, 1, "high-repeat model optimum (paper: 1)");
-    assert_eq!(last.empirical, 1, "high-repeat empirical optimum (paper: 1)");
+    assert_eq!(
+        last.empirical, 1,
+        "high-repeat empirical optimum (paper: 1)"
+    );
     // Every row within one power-of-two step of the paper's empirical column.
     for r in &rows {
         let ratio = r.empirical as f64 / r.paper_empirical as f64;

@@ -4,10 +4,40 @@
 
 use mlm_core::merge_bench::merge_kernel;
 use mlm_core::model::ModelParams;
-use mlm_core::pipeline::{host::run_host_pipeline, Placement, PipelineSpec};
+use mlm_core::pipeline::host::{
+    run_host_pipeline, run_host_pipeline_dataflow, HostStagePools, KernelCtx,
+};
+use mlm_core::pipeline::{PipelineSpec, Placement};
 use mlm_core::sort::host::mlm_sort;
 use parsort::pool::WorkPool;
 use proptest::prelude::*;
+
+/// A kernel whose output depends on the global element position: any
+/// disagreement between the two schedules' chunk geometry or offsets shows
+/// up as a value mismatch, not just a permutation.
+fn mix_kernel(slice: &mut [i64], ctx: KernelCtx) {
+    for (i, v) in slice.iter_mut().enumerate() {
+        *v = v
+            .wrapping_mul(31)
+            .wrapping_add((ctx.global_offset + i) as i64);
+    }
+}
+
+fn host_spec(n_elems: usize, chunk_elems: usize, p: (usize, usize, usize)) -> PipelineSpec {
+    PipelineSpec {
+        total_bytes: (n_elems * 8) as u64,
+        chunk_bytes: (chunk_elems * 8) as u64,
+        p_in: p.0,
+        p_out: p.1,
+        p_comp: p.2,
+        compute_passes: 1,
+        compute_rate: 1e9,
+        copy_rate: 1e9,
+        placement: Placement::Hbw,
+        lockstep: true,
+        data_addr: 0,
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -95,5 +125,57 @@ proptest! {
         let (a, _) = m.optimal_copy_threads(passes);
         let (b, _) = m.optimal_copy_threads(passes * 2);
         prop_assert!(b <= a, "doubling compute cannot raise the copy-thread optimum");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dataflow_host_matches_lockstep_bit_for_bit(
+        data in proptest::collection::vec(any::<i64>(), 1..4000),
+        chunk_elems in 1usize..1500,
+        p_in in 1usize..4,
+        p_out in 1usize..4,
+        p_comp in 1usize..4,
+        threads in 1usize..6,
+    ) {
+        let pool = WorkPool::new(threads);
+        let spec = host_spec(data.len(), chunk_elems, (p_in, p_out, p_comp));
+
+        let mut out_lock = vec![0i64; data.len()];
+        run_host_pipeline(&pool, &spec, &data, &mut out_lock, mix_kernel);
+
+        let mut spec_flow = spec.clone();
+        spec_flow.lockstep = false;
+        let mut out_flow = vec![0i64; data.len()];
+        run_host_pipeline(&pool, &spec_flow, &data, &mut out_flow, mix_kernel);
+
+        prop_assert_eq!(out_lock, out_flow);
+    }
+
+    #[test]
+    fn dataflow_survives_tiny_chunks_and_oversubscribed_pools(
+        data in proptest::collection::vec(any::<i64>(), 1..500),
+        chunk_elems in 1usize..4,
+        p_in in 1usize..9,
+        p_out in 1usize..9,
+        p_comp in 1usize..9,
+    ) {
+        // Chunks of 1-3 elements cycle hundreds of times through the
+        // 3-slot ring while every stage pool is oversubscribed relative
+        // to the work — the regime where ring-protocol races would bite.
+        let pools = HostStagePools::new(p_in, p_comp, p_out);
+        let mut spec = host_spec(data.len(), chunk_elems, (p_in, p_out, p_comp));
+        spec.lockstep = false;
+        let mut out = vec![0i64; data.len()];
+        let stats = run_host_pipeline_dataflow(&pools, &spec, &data, &mut out, mix_kernel);
+        prop_assert_eq!(stats.chunks, data.len().div_ceil(chunk_elems));
+
+        let mut expect = data;
+        for (i, v) in expect.iter_mut().enumerate() {
+            *v = v.wrapping_mul(31).wrapping_add(i as i64);
+        }
+        prop_assert_eq!(out, expect);
     }
 }

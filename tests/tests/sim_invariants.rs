@@ -9,7 +9,11 @@ use mlm_core::{Calibration, InputOrder, SortAlgorithm, SortWorkload};
 const N: u64 = 2_000_000_000;
 
 fn machine_for(alg: SortAlgorithm) -> MachineConfig {
-    MachineConfig::knl_7250(if alg.needs_cache_mode() { MemMode::Cache } else { MemMode::Flat })
+    MachineConfig::knl_7250(if alg.needs_cache_mode() {
+        MemMode::Cache
+    } else {
+        MemMode::Flat
+    })
 }
 
 #[test]
@@ -50,8 +54,15 @@ fn mlm_sort_moves_less_ddr_traffic_than_gnu() {
     let mlm_machine = machine_for(SortAlgorithm::MlmSort);
     let mlm = Simulator::new(mlm_machine.clone())
         .run(
-            &build_sort_program(&mlm_machine, &cal, w, SortAlgorithm::MlmSort, 1_000_000_000, 256)
-                .unwrap(),
+            &build_sort_program(
+                &mlm_machine,
+                &cal,
+                w,
+                SortAlgorithm::MlmSort,
+                1_000_000_000,
+                256,
+            )
+            .unwrap(),
         )
         .unwrap();
     assert!(
@@ -85,9 +96,15 @@ fn thread_count_scaling_is_sane() {
     let machine = machine_for(SortAlgorithm::MlmSort);
     let mut prev = f64::INFINITY;
     for threads in [64usize, 128, 256] {
-        let prog =
-            build_sort_program(&machine, &cal, w, SortAlgorithm::MlmSort, 1_000_000_000, threads)
-                .unwrap();
+        let prog = build_sort_program(
+            &machine,
+            &cal,
+            w,
+            SortAlgorithm::MlmSort,
+            1_000_000_000,
+            threads,
+        )
+        .unwrap();
         let t = Simulator::new(machine.clone()).run(&prog).unwrap().makespan;
         assert!(t <= prev * 1.001, "threads={threads}: {t} > {prev}");
         prev = t;
@@ -97,22 +114,49 @@ fn thread_count_scaling_is_sane() {
 #[test]
 fn hybrid_mode_supports_mlm_sort_with_smaller_chunks() {
     let cal = Calibration::default();
-    let machine = MachineConfig::knl_7250(MemMode::Hybrid { cache_fraction: 0.5 });
+    let machine = MachineConfig::knl_7250(MemMode::Hybrid {
+        cache_fraction: 0.5,
+    });
     let w = SortWorkload::int64(N, InputOrder::Random);
     // 1B elements = 8 GB = exactly the hybrid flat share: fits.
-    let ok = build_sort_program(&machine, &cal, w, SortAlgorithm::MlmSort, 1_000_000_000, 256);
+    let ok = build_sort_program(
+        &machine,
+        &cal,
+        w,
+        SortAlgorithm::MlmSort,
+        1_000_000_000,
+        256,
+    );
     assert!(ok.is_ok());
     // 1.5B elements = 12 GB > 8 GB flat share: rejected.
-    let too_big =
-        build_sort_program(&machine, &cal, w, SortAlgorithm::MlmSort, 1_500_000_000, 256);
+    let too_big = build_sort_program(
+        &machine,
+        &cal,
+        w,
+        SortAlgorithm::MlmSort,
+        1_500_000_000,
+        256,
+    );
     assert!(too_big.is_err());
     // §4.2: hybrid at the same (feasible) chunk size performs like flat.
-    let hybrid_t = Simulator::new(machine.clone()).run(&ok.unwrap()).unwrap().makespan;
+    let hybrid_t = Simulator::new(machine.clone())
+        .run(&ok.unwrap())
+        .unwrap()
+        .makespan;
     let flat_machine = MachineConfig::knl_7250(MemMode::Flat);
-    let flat_prog =
-        build_sort_program(&flat_machine, &cal, w, SortAlgorithm::MlmSort, 1_000_000_000, 256)
-            .unwrap();
-    let flat_t = Simulator::new(flat_machine).run(&flat_prog).unwrap().makespan;
+    let flat_prog = build_sort_program(
+        &flat_machine,
+        &cal,
+        w,
+        SortAlgorithm::MlmSort,
+        1_000_000_000,
+        256,
+    )
+    .unwrap();
+    let flat_t = Simulator::new(flat_machine)
+        .run(&flat_prog)
+        .unwrap()
+        .makespan;
     assert!(
         (hybrid_t / flat_t - 1.0).abs() < 0.15,
         "hybrid {hybrid_t:.2} vs flat {flat_t:.2} at equal chunk size"

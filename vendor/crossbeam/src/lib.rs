@@ -1,0 +1,196 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors what it uses: `crossbeam::channel`'s unbounded
+//! multi-producer multi-consumer channel ([`channel::unbounded`],
+//! [`channel::Sender`], [`channel::Receiver`]). The implementation is a
+//! `Mutex<VecDeque>` + `Condvar`; adequate for the pool sizes and message
+//! rates in this workspace (task handoff, not high-frequency streaming).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent message back, like crossbeam's.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Sending half; clone freely for multiple producers.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `msg`, failing only if every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            if self.chan.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(msg));
+            }
+            let mut q = self.chan.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(msg);
+            drop(q);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: wake receivers so they can observe
+                // disconnection instead of parking forever.
+                let _guard = self.chan.queue.lock();
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    /// Receiving half; clone freely for multiple consumers.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue the next message, blocking while the channel is empty;
+        /// errors once it is empty *and* every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.chan.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(msg) = q.pop_front() {
+                    return Ok(msg);
+                }
+                if self.chan.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.chan.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Dequeue without blocking; `None` when currently empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.chan
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn mpmc_roundtrip() {
+            let (tx, rx) = unbounded::<u32>();
+            let rx2 = rx.clone();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            let a = rx.recv().unwrap();
+            let b = rx2.recv().unwrap();
+            assert_eq!(a + b, 3);
+        }
+
+        #[test]
+        fn recv_errors_after_senders_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_errors_after_receivers_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn blocking_recv_wakes_on_send() {
+            let (tx, rx) = unbounded::<u32>();
+            let h = std::thread::spawn(move || rx.recv().unwrap());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.send(99).unwrap();
+            assert_eq!(h.join().unwrap(), 99);
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors a small strategy-based random tester with proptest's spelling:
+//! `proptest! { fn prop(x in strategy) { ... } }`, `Strategy`/`prop_map`/
+//! `boxed`, `any::<T>()`, `Just`, `prop_oneof!`, `proptest::collection::vec`,
+//! and range strategies over integers and floats.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * no shrinking — a failing case panics with the generated inputs left to
+//!   the assertion message;
+//! * deterministic generation — the RNG is seeded from the test's module
+//!   path, name, and case index, so runs are reproducible and CI-stable;
+//! * `prop_assert*` maps to `assert*` (panics instead of returning `Err`).
+//!
+//! Integer strategies bias toward range endpoints with probability ~1/8 per
+//! endpoint to keep edge-case coverage despite the small default case count.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Deterministic splitmix64 generator; one instance per test case.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from the test's identity and case index so every run of the
+    /// suite explores the same sequence (reproducible CI).
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, then fold in the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    fn below(&mut self, n: u128) -> u128 {
+        debug_assert!(n > 0);
+        let wide = u128::from(self.next_u64()) << 64 | u128::from(self.next_u64());
+        wide % n
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of values of type `Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking; `generate`
+/// produces a final value directly.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Type-erased strategy; output of [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy that always yields a clone of its payload.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives; built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// `options` must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let ix = rng.below(self.options.len() as u128) as usize;
+        self.options[ix].generate(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy, à la proptest's
+/// `Arbitrary`. Obtain the strategy with [`any`].
+pub trait Arbitrary: Sized {
+    /// Generate a value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Whole-domain strategy for `T` (e.g. `any::<i64>()`, `any::<bool>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Occasionally emit the values most likely to break code.
+                match rng.next_u64() % 16 {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {self:?}");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Bias toward the endpoints: small case counts still see them.
+                match rng.next_u64() % 16 {
+                    0 | 1 => self.start,
+                    2 | 3 => self.end - 1,
+                    _ => (self.start as i128 + rng.below(span) as i128) as $t,
+                }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy {self:?}");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                match rng.next_u64() % 16 {
+                    0 | 1 => lo,
+                    2 | 3 => hi,
+                    _ => (lo as i128 + rng.below(span) as i128) as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy {self:?}");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; clamp it back out.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy {self:?}");
+        match rng.next_u64() % 16 {
+            0 | 1 => lo,
+            2 | 3 => hi,
+            _ => lo + rng.unit_f64() * (hi - lo),
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident : $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+pub mod collection {
+    //! Strategies for collections (`proptest::collection::vec`).
+
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range {r:?}");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range {r:?}");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with length drawn from `size` (range or exact).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u128 + 1;
+            let len = match rng.next_u64() % 16 {
+                // Endpoint bias: empty/minimal and maximal lengths are where
+                // collection code usually breaks.
+                0 | 1 => self.size.min,
+                2 => self.size.max,
+                _ => self.size.min + rng.below(span) as usize,
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration; only the case count is meaningful here.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Define deterministic property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn prop(x in 0u64..10, mut v in proptest::collection::vec(any::<i64>(), 0..100)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]; expands each property fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __test_name = concat!(module_path!(), "::", stringify!($name));
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::TestRng::for_case(__test_name, __case);
+                $(let $pat = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                // The body runs inside a closure so `prop_assume!` can
+                // reject the case via an early `Err` return.
+                let __outcome = (move || -> ::std::result::Result<(), ()> {
+                    $body;
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(()) => continue,
+                }
+            }
+        }
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+}
+
+/// Assert inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip the current case when its inputs don't meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(());
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type; alternatives
+/// are boxed, matching how this workspace calls it.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($option)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::for_case("ranges", 0);
+        for _ in 0..2000 {
+            let v = crate::Strategy::generate(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = crate::Strategy::generate(&(0.0f64..=1.0), &mut rng);
+            assert!((0.0..=1.0).contains(&f));
+            let n = crate::Strategy::generate(&(-50i64..50), &mut rng);
+            assert!((-50..50).contains(&n));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen = |case| {
+            let mut rng = crate::TestRng::for_case("det", case);
+            crate::Strategy::generate(&crate::collection::vec(any::<i64>(), 0..64), &mut rng)
+        };
+        assert_eq!(gen(7), gen(7));
+        // Different cases should (overwhelmingly) differ.
+        assert!((0..16).any(|c| gen(c) != gen(c + 16)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro plumbing itself: bindings, tuples, map, oneof, assume.
+        #[test]
+        fn macro_forms_work(
+            (a, b) in (0u32..10, 10u32..20),
+            flag in any::<bool>(),
+            mut v in crate::collection::vec(0i32..5, 0..=4),
+            c in prop_oneof![Just(1u8).boxed(), (2u8..4).boxed()],
+        ) {
+            prop_assume!(a != 9);
+            v.push(1);
+            prop_assert!(a < 10 && b >= 10, "a={a} b={b}");
+            prop_assert_ne!(v.len(), 0);
+            prop_assert_eq!([false, true][usize::from(flag)], flag);
+            prop_assert!((1..4).contains(&c));
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` by
+//! hand-parsing the item's token stream (no `syn`/`quote`, which are
+//! unavailable offline) and emitting impls of the vendored `serde` crate's
+//! `Serialize`/`Deserialize` traits.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! * structs with named fields (no generics);
+//! * enums whose variants are unit or struct-like (externally tagged,
+//!   matching serde's default JSON representation).
+//!
+//! Anything else (tuple structs, tuple variants, generics) panics at
+//! macro-expansion time with a clear message rather than miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed item: name plus struct fields or enum variants.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Option<Vec<String>>)>,
+    },
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`) tokens.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parse the named fields of a brace-delimited body into field names.
+fn parse_named_fields(body: &[TokenTree], context: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name in {context}, got {other}"),
+        };
+        i += 1;
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field {name} in {context}, got {other} (tuple fields are unsupported)"),
+        }
+        // Consume the type: everything to the next top-level comma, where
+        // "top-level" tracks `<`/`>` nesting (generic arguments contain
+        // commas that do not end the field).
+        let mut angle_depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Parse the derive input item.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive: generic type {name} is unsupported by the vendored derive");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<TokenTree>>()
+        }
+        other => panic!(
+            "serde derive: {name} must have a braced body (tuple/unit items unsupported), got {other:?}"
+        ),
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name: name.clone(),
+            fields: parse_named_fields(&body, &name),
+        },
+        "enum" => {
+            let mut variants = Vec::new();
+            let mut i = 0;
+            while i < body.len() {
+                i = skip_attrs_and_vis(&body, i);
+                if i >= body.len() {
+                    break;
+                }
+                let vname = match &body[i] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => panic!("serde derive: expected variant name in {name}, got {other}"),
+                };
+                i += 1;
+                let mut fields = None;
+                match body.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        fields = Some(parse_named_fields(&inner, &vname));
+                        i += 1;
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        panic!(
+                            "serde derive: tuple variant {name}::{vname} is unsupported by the vendored derive"
+                        );
+                    }
+                    _ => {}
+                }
+                if let Some(TokenTree::Punct(p)) = body.get(i) {
+                    if p.as_char() == '=' {
+                        panic!("serde derive: discriminants ({name}::{vname}) are unsupported");
+                    }
+                    if p.as_char() == ',' {
+                        i += 1;
+                    }
+                }
+                variants.push((vname, fields));
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Derive `Serialize` (vendored serde's Value-tree trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut entries = String::new();
+            for f in &fields {
+                entries.push_str(&format!(
+                    "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+                ));
+            }
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         ::serde::value::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}\n"
+            ));
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in &variants {
+                match fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::value::Value::Str(\"{vname}\".to_string()),"
+                    )),
+                    Some(fs) => {
+                        let pat = fs.join(", ");
+                        let mut entries = String::new();
+                        for f in fs {
+                            entries.push_str(&format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {pat} }} => ::serde::value::Value::Map(vec![(\
+                                 \"{vname}\".to_string(), \
+                                 ::serde::value::Value::Map(vec![{entries}])\
+                             )]),"
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}\n"
+            ));
+        }
+    }
+    out.parse()
+        .expect("serde derive: generated invalid Serialize impl")
+}
+
+/// Derive `Deserialize` (vendored serde's Value-tree trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\").ok_or_else(|| \
+                         ::serde::DeError(\"{name}: missing field `{f}`\".to_string()))?)?,"
+                ));
+            }
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::value::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::value::Value::Map(_) => Ok({name} {{ {inits} }}),\n\
+                             other => Err(::serde::DeError(format!(\
+                                 \"expected map for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            ));
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, fields) in &variants {
+                match fields {
+                    None => unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),")),
+                    Some(fs) => {
+                        let mut inits = String::new();
+                        for f in fs {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(inner.get(\"{f}\").ok_or_else(|| \
+                                     ::serde::DeError(\"{name}::{vname}: missing field `{f}`\".to_string()))?)?,"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname} {{ {inits} }}),"
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::value::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::value::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::DeError(format!(\
+                                     \"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::value::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => Err(::serde::DeError(format!(\
+                                         \"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::DeError(format!(\
+                                 \"bad value for enum {name}: {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            ));
+        }
+    }
+    out.parse()
+        .expect("serde derive: generated invalid Deserialize impl")
+}
