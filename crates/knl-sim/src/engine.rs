@@ -76,6 +76,44 @@ impl Simulator {
         Ok((report, trace.expect("trace requested")))
     }
 
+    /// Validate `prog` against this machine without executing anything.
+    ///
+    /// [`Self::run`] reports mode mismatches only when the offending op
+    /// *starts*, possibly deep into a long simulation; `preflight` checks
+    /// the whole program up front:
+    ///
+    /// * structural validity ([`Program::validate`]);
+    /// * every `Copy` endpoint is addressable in the machine's memory mode
+    ///   (the same rule `run` enforces per-op);
+    /// * the program does not ask for more threads than the machine has.
+    pub fn preflight(&self, prog: &Program) -> Result<(), SimError> {
+        prog.validate()?;
+        if prog.threads() > self.cfg.total_threads() {
+            return Err(SimError::InvalidConfig(format!(
+                "program uses {} threads but the machine has {}",
+                prog.threads(),
+                self.cfg.total_threads()
+            )));
+        }
+        if self.cfg.addressable_mcdram() == 0 {
+            for op in prog.ops() {
+                if let OpKind::Copy { src, dst, .. } = &op.kind {
+                    if *src == Place::Mcdram || *dst == Place::Mcdram {
+                        return Err(SimError::LevelNotAddressable(MemLevel::Mcdram));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Self::preflight`] then [`Self::run`]: execution starts only if the
+    /// whole program is valid for this machine.
+    pub fn run_checked(&self, prog: &Program) -> Result<SimReport, SimError> {
+        self.preflight(prog)?;
+        self.run(prog)
+    }
+
     fn run_inner(
         &self,
         prog: &Program,

@@ -8,7 +8,7 @@ use knl_sim::machine::{MachineConfig, MemMode};
 use knl_sim::Simulator;
 use mlm_core::merge_bench::merge_kernel;
 use mlm_core::pipeline::host::{run_host_pipeline, run_host_pipeline_dataflow, HostStagePools};
-use mlm_core::pipeline::{sim::build_program, PipelineSpec, Placement};
+use mlm_core::pipeline::{PipelineSpec, Placement};
 use mlm_core::sort::sim::build_sort_program;
 use mlm_core::workload::generate_keys;
 use mlm_core::{Calibration, InputOrder, SortAlgorithm, SortWorkload};
@@ -43,6 +43,15 @@ fn copy_bound_spec(lockstep: bool) -> PipelineSpec {
     }
 }
 
+/// Lint the spec against the bench machine and lower it — a bad sweep
+/// fails here with structured diagnostics, not deep inside the engine.
+fn checked(spec: &PipelineSpec, sim: &Simulator) -> knl_sim::Program {
+    let (prog, _report) =
+        mlm_verify::checked_program(&mlm_verify::VerifyTarget::new(spec, sim.config()))
+            .expect("bench spec rejected by mlm-verify");
+    prog
+}
+
 /// The paper leaves non-lockstep ("a slightly different approach might
 /// allow hiding the copy-in latency") as future work; measure both.
 fn bench_lockstep_vs_dataflow(c: &mut Criterion) {
@@ -51,7 +60,7 @@ fn bench_lockstep_vs_dataflow(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_lockstep");
     g.sample_size(10);
     for (name, lockstep) in [("lockstep", true), ("dataflow", false)] {
-        let prog = build_program(&pipeline_spec(lockstep)).unwrap();
+        let prog = checked(&pipeline_spec(lockstep), &sim);
         g.bench_function(name, |b| {
             b.iter(|| black_box(sim.run(&prog).unwrap().makespan))
         });
@@ -60,12 +69,12 @@ fn bench_lockstep_vs_dataflow(c: &mut Criterion) {
     // on the compute-bound paper spec and on a copy-bound variant, where
     // decoupling the stages actually has copy latency to hide.
     for (name, lockstep) in [("lockstep", true), ("dataflow", false)] {
-        let prog = build_program(&pipeline_spec(lockstep)).unwrap();
+        let prog = checked(&pipeline_spec(lockstep), &sim);
         let t = sim.run(&prog).unwrap().makespan;
         eprintln!("ablation_lockstep/{name}: {t:.3} virtual s");
     }
     for (name, lockstep) in [("lockstep", true), ("dataflow", false)] {
-        let prog = build_program(&copy_bound_spec(lockstep)).unwrap();
+        let prog = checked(&copy_bound_spec(lockstep), &sim);
         let t = sim.run(&prog).unwrap().makespan;
         eprintln!("ablation_lockstep/copy_bound_{name}: {t:.3} virtual s");
     }
@@ -93,6 +102,8 @@ fn bench_host_lockstep_vs_dataflow(c: &mut Criterion) {
         lockstep,
         data_addr: 0,
     };
+    // Both schedules run the same spec; gate it once before any work.
+    mlm_bench::verify::lint_host_spec(&spec(true));
     let data = generate_keys(N, InputOrder::Random, 11);
     let shared = WorkPool::new(p_in + p_out + p_comp);
     let pools = HostStagePools::new(p_in, p_comp, p_out);

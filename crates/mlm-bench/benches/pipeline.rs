@@ -38,6 +38,7 @@ fn bench_pipeline_vs_direct(c: &mut Criterion) {
     g.bench_function("chunked_triple_buffered", |b| {
         let mut out = vec![0i64; N];
         let s = spec(1.max(threads / 4), 1.max(threads / 2), Placement::Hbw);
+        mlm_bench::verify::lint_host_spec(&s);
         b.iter(|| {
             run_host_pipeline(
                 &pool,
@@ -54,6 +55,7 @@ fn bench_pipeline_vs_direct(c: &mut Criterion) {
         let mut out = vec![0i64; N];
         let mut s = spec(1.max(threads / 4), 1.max(threads / 2), Placement::Hbw);
         s.lockstep = false;
+        mlm_bench::verify::lint_host_spec(&s);
         // Persistent stage pools, as a long-lived dataflow caller would use.
         let pools = HostStagePools::for_spec(&s);
         b.iter(|| {
@@ -73,6 +75,7 @@ fn bench_pipeline_vs_direct(c: &mut Criterion) {
         let mut s = spec(0, threads, Placement::Implicit);
         s.p_in = 0;
         s.p_out = 0;
+        mlm_bench::verify::lint_host_spec(&s);
         b.iter(|| {
             run_host_pipeline(
                 &pool,
@@ -99,6 +102,7 @@ fn bench_copy_thread_split(c: &mut Criterion) {
             continue;
         }
         let s = spec(p_copy, threads - 2 * p_copy, Placement::Hbw);
+        mlm_bench::verify::lint_host_spec(&s);
         g.bench_with_input(BenchmarkId::from_parameter(p_copy), &s, |b, s| {
             let mut out = vec![0i64; N];
             b.iter(|| {

@@ -751,6 +751,9 @@ pub fn host_pipeline_ablation(n_elems: usize, reps: usize) -> Vec<HostAblationRo
         data_addr: 0,
     };
 
+    // Both schedules run the same spec; gate it once before any work.
+    crate::verify::lint_host_spec(&spec_for(true));
+
     let mut rows = Vec::new();
     for (workload, merge_repeats) in [("copy-bound", 1u32), ("balanced", 4), ("compute-bound", 16)]
     {

@@ -20,6 +20,7 @@ pub mod calibrate;
 pub mod experiments;
 pub mod paper;
 pub mod report;
+pub mod verify;
 
 /// Number of simulated hardware threads the paper's runs used.
 pub const PAPER_THREADS: usize = 256;

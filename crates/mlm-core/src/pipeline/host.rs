@@ -420,6 +420,29 @@ struct BufSlot<T> {
 // `publish`); the mutex release/acquire pair on `state` provides the
 // happens-before edge between the owner handing the buffer off and the
 // next owner reading it.
+//
+// Why `T: Send` is the right bound (and `T: Sync` is not needed): sharing
+// `&BufSlot<T>` across the three stage coordinators never produces
+// concurrent `&T` access — the phase machine is a baton pass, so at any
+// instant at most one thread holds any reference into the `Vec<T>`. What
+// the protocol *does* do is hand the whole buffer from one thread to the
+// next (copy-in fills it, compute mutates it, copy-out drains it), which
+// is exactly an ownership transfer between threads — the capability
+// `T: Send` licenses. Dropping to no bound would be unsound: e.g.
+// `BufSlot<Rc<u64>>` would let copy-in clone `Rc`s that compute then
+// drops on another thread, racing the non-atomic refcount. The protocol
+// itself is machine-checked in `mlm-verify` (`models::ring` for the phase
+// baton, `models::condvar` for the wakeup discipline); this impl is the
+// one line the checker cannot see, so the argument lives here.
+//
+// Compile-fail check (rustdoc does not run doctests on private items, so
+// this is documentation, not an executed test — the claim it records is
+// that the bound below rejects non-`Send` payloads):
+//
+// ```compile_fail
+// let slot = BufSlot::<std::rc::Rc<u64>>::new(0);
+// std::thread::scope(|s| { s.spawn(|| &slot); }); // Rc<u64>: !Send
+// ```
 unsafe impl<T: Send> Sync for BufSlot<T> {}
 
 impl<T> BufSlot<T> {
@@ -436,6 +459,14 @@ impl<T> BufSlot<T> {
 
     /// Block until this slot reaches `(phase, chunk)`, returning the time
     /// spent blocked. Panics if a peer stage has poisoned the run.
+    ///
+    /// Audit note (mlm-verify `models::condvar`): the predicate is
+    /// re-checked after *every* wakeup. Two distinct waiters can park on
+    /// this one condvar (copy-out awaiting `Computed(c)` and copy-in
+    /// awaiting `Empty(c + 3)` share slot `c % 3`), so a wakeup proves
+    /// nothing about *whose* predicate became true; claiming without the
+    /// re-check is the checker's `NoRecheck` ownership violation, and it
+    /// also absorbs spurious wakeups.
     fn await_phase(&self, phase: Phase, chunk: usize, poisoned: &AtomicBool) -> Duration {
         let t0 = Instant::now();
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -453,6 +484,13 @@ impl<T> BufSlot<T> {
     }
 
     /// Publish this slot's next `(phase, chunk)` and wake all waiters.
+    ///
+    /// Audit note (mlm-verify `models::condvar`): the store and the notify
+    /// both happen under the slot lock, so no waiter can check the old
+    /// state and park in between (`PoisonSkipLock`'s lost wakeup); and it
+    /// must be `notify_all`, because with two kinds of waiters per slot a
+    /// `notify_one` token can land on the waiter whose predicate is still
+    /// false (`NotifyOne`'s deadlock, reachable from 4 chunks on).
     fn publish(&self, phase: Phase, chunk: usize) {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         *st = SlotState { phase, chunk };
@@ -467,6 +505,11 @@ const POISON_MSG: &str = "host pipeline dataflow run aborted: a peer stage panic
 /// Mark the run poisoned and wake every coordinator. Taking each slot's
 /// lock before notifying guarantees no coordinator can re-check the flag
 /// and park between our store and our notify (no lost wakeups).
+///
+/// mlm-verify's `models::condvar` checks exactly this discipline: its
+/// `Correct` variant (which locks here) verifies deadlock-free with poison
+/// injected at every (stage, chunk), while `PoisonSkipLock` (notify
+/// without the lock) deadlocks a waiter parked in that window.
 fn poison<T>(slots: &[BufSlot<T>], poisoned: &AtomicBool) {
     poisoned.store(true, Ordering::SeqCst);
     for slot in slots {

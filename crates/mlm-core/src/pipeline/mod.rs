@@ -109,8 +109,14 @@ impl PipelineSpec {
         if self.compute_passes == 0 {
             return Err("compute_passes must be >= 1".into());
         }
-        if self.compute_rate <= 0.0 || self.copy_rate <= 0.0 {
-            return Err("rates must be positive".into());
+        // `<= 0.0` alone lets NaN through (every NaN comparison is false);
+        // a NaN rate would reach the op validator as a confusing BadOp.
+        if !(self.compute_rate > 0.0
+            && self.compute_rate.is_finite()
+            && self.copy_rate > 0.0
+            && self.copy_rate.is_finite())
+        {
+            return Err("rates must be positive and finite".into());
         }
         Ok(())
     }
@@ -242,6 +248,15 @@ mod tests {
 
         let mut s = spec();
         s.copy_rate = 0.0;
+        assert!(s.validate().is_err());
+
+        // NaN compares false with everything, so `<= 0.0` alone missed it.
+        let mut s = spec();
+        s.compute_rate = f64::NAN;
+        assert!(s.validate().is_err());
+
+        let mut s = spec();
+        s.copy_rate = f64::INFINITY;
         assert!(s.validate().is_err());
     }
 }

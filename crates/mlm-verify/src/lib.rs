@@ -1,0 +1,45 @@
+//! Static verification for the out-of-core pipeline workspace.
+//!
+//! The runtime crates (`mlm-core`, `mlm-cluster`, `knl-sim`) execute and
+//! simulate the paper's multi-level-memory pipelines; this crate checks
+//! them *before* anything runs, at two layers:
+//!
+//! 1. **Spec linting** ([`lint`], [`diag`]) — a registry of lints
+//!    validates a [`mlm_core::pipeline::PipelineSpec`] against the machine
+//!    it will run on: chunk geometry vs element size, buffer ring vs
+//!    MCDRAM capacity, placement vs memory mode, pool sizes vs hardware
+//!    threads, and rate sanity against the paper's §3.2 performance model.
+//!    Findings are structured [`diag::Diagnostic`]s (stable id, severity,
+//!    field-level context, suggested fix). [`engine::checked_program`]
+//!    turns error-level findings into hard rejections in front of the
+//!    simulator.
+//!
+//! 2. **Schedule model checking** ([`check`], [`models`]) — the host
+//!    pipeline's buffer-ring protocol and the cluster's PSRS message
+//!    protocol, expressed as explicit transition systems and explored
+//!    exhaustively (DFS, state hashing, partial-order reduction) for
+//!    deadlock-freedom, exclusive buffer ownership, poison drain, and
+//!    protocol-order invariants. Deliberately broken variants — the
+//!    seed's PSRS race, poison-without-locks, `notify_one`, missing
+//!    predicate re-checks — are kept as regression models that must keep
+//!    failing.
+//!
+//! What the checker proves is bounded: it verifies the *protocol* for
+//! concrete small geometries (3-slot ring, up to a handful of chunks and
+//! workers; 2–4 cluster nodes), not the Rust implementation itself, and
+//! state counts grow combinatorially with those parameters. The models
+//! are kept line-for-line close to `host.rs` so a protocol change there
+//! should be mirrored here — the [`suite`] ties the two together in CI
+//! via `cargo run -p mlm-verify -- check-all`.
+
+pub mod check;
+pub mod diag;
+pub mod engine;
+pub mod lint;
+pub mod models;
+pub mod suite;
+
+pub use check::{check, CheckOptions, CheckReport, Model, Violation};
+pub use diag::{Context, Diagnostic, LintReport, Severity};
+pub use engine::{checked_program, run_checked, VerifyError};
+pub use lint::{lint_target, Lint, LintRegistry, VerifyTarget, RING_SLOTS};

@@ -1,0 +1,964 @@
+//! The static spec linter: a [`Lint`] trait, a [`LintRegistry`], and the
+//! built-in lints.
+//!
+//! Lints validate a [`VerifyTarget`] — a [`PipelineSpec`] paired with the
+//! [`MachineConfig`] it is meant to run on, plus the host-side facts the
+//! spec alone does not carry (element size, buffer-ring depth, an optional
+//! [`ClusterConfig`]) — *before* anything executes. This is the static
+//! counterpart of the paper's analytic model (§3.2, Eqs. 1–5): the model
+//! predicts pipeline behaviour from the spec, and the lints reject or flag
+//! the configurations for which that prediction is a panic, a deadlock, or
+//! silently destroyed throughput.
+//!
+//! Every lint has a stable id (`V0xx`); error-level findings are what
+//! [`crate::engine::checked_program`] rejects. To add a lint, implement
+//! [`Lint`] and register it in [`LintRegistry::with_builtin_lints`] (and
+//! add a case to the CLI's known-bad battery so CI proves it fires).
+
+use knl_sim::machine::MachineConfig;
+use mlm_cluster::ClusterConfig;
+use mlm_core::{ModelParams, PipelineSpec, Placement};
+
+use crate::diag::{Diagnostic, LintReport, Severity};
+
+/// Number of buffer slots the host dataflow ring and the lockstep schedule
+/// actually use (`mlm-core/src/pipeline/host.rs` hard-codes three rotating
+/// buffers).
+pub const RING_SLOTS: usize = 3;
+
+/// Everything the linter sees about one planned run.
+#[derive(Debug, Clone)]
+pub struct VerifyTarget<'a> {
+    /// The pipeline spec to vet.
+    pub spec: &'a PipelineSpec,
+    /// The machine the spec will run (or be simulated) on.
+    pub machine: &'a MachineConfig,
+    /// Host element size in bytes (`size_of::<T>()` of the data the host
+    /// backend will stream). The simulator does not care, but the host
+    /// backend panics on mis-aligned chunk geometry.
+    pub elem_bytes: usize,
+    /// Buffer-ring depth of the executor. [`RING_SLOTS`] for both in-tree
+    /// schedulers.
+    pub buffer_slots: usize,
+    /// Cluster configuration when the run is distributed.
+    pub cluster: Option<&'a ClusterConfig>,
+}
+
+impl<'a> VerifyTarget<'a> {
+    /// A target with the in-tree executors' defaults: 8-byte elements
+    /// (`i64`/`u64` keys, as every workload in this repo uses) and the
+    /// three-slot ring.
+    pub fn new(spec: &'a PipelineSpec, machine: &'a MachineConfig) -> Self {
+        VerifyTarget {
+            spec,
+            machine,
+            elem_bytes: 8,
+            buffer_slots: RING_SLOTS,
+            cluster: None,
+        }
+    }
+
+    /// Attach a cluster config.
+    pub fn with_cluster(mut self, cluster: &'a ClusterConfig) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// The §3.2 model parameters implied by this machine + spec.
+    pub fn model_params(&self) -> ModelParams {
+        ModelParams {
+            b_copy: self.spec.total_bytes as f64,
+            ddr_max: self.machine.ddr_bandwidth,
+            mcdram_max: self.machine.effective_mcdram_bandwidth(),
+            s_copy: self.spec.copy_rate,
+            s_comp: self.spec.compute_rate,
+            total_threads: self.machine.total_threads(),
+        }
+    }
+}
+
+/// One spec check. Implementations are stateless and cheap: a lint must
+/// never execute the spec, only reason about it.
+pub trait Lint {
+    /// Stable id, e.g. `V002`. Never reuse ids.
+    fn id(&self) -> &'static str;
+    /// Kebab-case name, e.g. `mcdram-fit`.
+    fn name(&self) -> &'static str;
+    /// One-line description for `mlm-verify list`.
+    fn description(&self) -> &'static str;
+    /// Examine `target`, pushing findings into `out`.
+    fn check(&self, target: &VerifyTarget<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered collection of lints.
+pub struct LintRegistry {
+    lints: Vec<Box<dyn Lint>>,
+}
+
+impl LintRegistry {
+    /// An empty registry (for tools that assemble their own set).
+    pub fn new() -> Self {
+        LintRegistry { lints: Vec::new() }
+    }
+
+    /// The full built-in set, in id order.
+    pub fn with_builtin_lints() -> Self {
+        let mut r = LintRegistry::new();
+        r.register(Box::new(SpecValidity));
+        r.register(Box::new(ChunkGeometry));
+        r.register(Box::new(McdramFit));
+        r.register(Box::new(ModePlacement));
+        r.register(Box::new(BufferDeadlock));
+        r.register(Box::new(ThreadOversubscription));
+        r.register(Box::new(BandwidthSanity));
+        r.register(Box::new(ChunkCount));
+        r.register(Box::new(ClusterSanity));
+        r
+    }
+
+    /// Add a lint at the end of the run order.
+    pub fn register(&mut self, lint: Box<dyn Lint>) {
+        self.lints.push(lint);
+    }
+
+    /// The registered lints.
+    pub fn lints(&self) -> &[Box<dyn Lint>] {
+        &self.lints
+    }
+
+    /// Run every lint over `target`.
+    pub fn run(&self, target: &VerifyTarget<'_>) -> LintReport {
+        let mut report = LintReport::default();
+        for lint in &self.lints {
+            lint.check(target, &mut report.diagnostics);
+        }
+        report
+    }
+}
+
+impl Default for LintRegistry {
+    fn default() -> Self {
+        LintRegistry::with_builtin_lints()
+    }
+}
+
+/// Lint a target with the built-in registry.
+pub fn lint_target(target: &VerifyTarget<'_>) -> LintReport {
+    LintRegistry::with_builtin_lints().run(target)
+}
+
+// ---------------------------------------------------------------------------
+// Built-in lints
+// ---------------------------------------------------------------------------
+
+/// V000: the runtime's own validity checks, surfaced statically.
+///
+/// Everything `PipelineSpec::validate` / `MachineConfig::validate` would
+/// reject at run time (inside an `expect`, i.e. as a panic) is reported
+/// here as a structured error instead. This is what makes the linter a
+/// superset of the runtime's rejections.
+struct SpecValidity;
+
+impl Lint for SpecValidity {
+    fn id(&self) -> &'static str {
+        "V000"
+    }
+    fn name(&self) -> &'static str {
+        "spec-validity"
+    }
+    fn description(&self) -> &'static str {
+        "spec/machine fail their own runtime validation (would panic at run start)"
+    }
+    fn check(&self, t: &VerifyTarget<'_>, out: &mut Vec<Diagnostic>) {
+        if let Err(msg) = t.spec.validate() {
+            out.push(
+                Diagnostic::new(self.id(), self.name(), Severity::Error, msg)
+                    .with_context("spec.total_bytes", t.spec.total_bytes)
+                    .with_context("spec.chunk_bytes", t.spec.chunk_bytes)
+                    .with_context(
+                        "spec.pools",
+                        format!(
+                            "p_in={} p_out={} p_comp={}",
+                            t.spec.p_in, t.spec.p_out, t.spec.p_comp
+                        ),
+                    ),
+            );
+        }
+        if let Err(e) = t.machine.validate() {
+            out.push(Diagnostic::new(
+                self.id(),
+                self.name(),
+                Severity::Error,
+                format!("machine config invalid: {e}"),
+            ));
+        }
+    }
+}
+
+/// V001: chunk geometry vs host element size.
+struct ChunkGeometry;
+
+impl Lint for ChunkGeometry {
+    fn id(&self) -> &'static str {
+        "V001"
+    }
+    fn name(&self) -> &'static str {
+        "chunk-geometry"
+    }
+    fn description(&self) -> &'static str {
+        "chunk_bytes must be a positive multiple of the host element size"
+    }
+    fn check(&self, t: &VerifyTarget<'_>, out: &mut Vec<Diagnostic>) {
+        if t.spec.chunk_bytes == 0 {
+            return; // V000 already rejects; avoid a duplicate cascade.
+        }
+        if let Err(msg) = t.spec.validate_elem_size(t.elem_bytes) {
+            let elem = t.elem_bytes.max(1) as u64;
+            let rounded = (t.spec.chunk_bytes / elem).max(1) * elem;
+            out.push(
+                Diagnostic::new(self.id(), self.name(), Severity::Error, msg)
+                    .with_context("spec.chunk_bytes", t.spec.chunk_bytes)
+                    .with_context("target.elem_bytes", t.elem_bytes)
+                    .with_suggestion(format!(
+                        "round chunk_bytes to a multiple of the element size, e.g. {rounded}"
+                    )),
+            );
+        }
+    }
+}
+
+/// V002: the resident buffers must fit MCDRAM.
+///
+/// Peng et al.'s hybrid-memory study (PAPERS.md) shows misconfigured
+/// placement/geometry silently destroys throughput; here it is worse — a
+/// flat-mode allocation that exceeds MCDRAM fails outright on real
+/// memkind, and in cache mode a chunk larger than the cache thrashes
+/// every pass (the paper's Fig. 5 cliff).
+struct McdramFit;
+
+impl Lint for McdramFit {
+    fn id(&self) -> &'static str {
+        "V002"
+    }
+    fn name(&self) -> &'static str {
+        "mcdram-fit"
+    }
+    fn description(&self) -> &'static str {
+        "ring buffers (slots x chunk_bytes) must fit addressable MCDRAM; cache-mode chunks must fit the cache"
+    }
+    fn check(&self, t: &VerifyTarget<'_>, out: &mut Vec<Diagnostic>) {
+        match t.spec.placement {
+            Placement::Hbw => {
+                let addressable = t.machine.addressable_mcdram();
+                if addressable == 0 {
+                    return; // V003's finding; don't double-report.
+                }
+                let resident = t.spec.chunk_bytes.saturating_mul(t.buffer_slots as u64);
+                if resident > addressable {
+                    let max_chunk = addressable / t.buffer_slots.max(1) as u64;
+                    out.push(
+                        Diagnostic::new(
+                            self.id(),
+                            self.name(),
+                            Severity::Error,
+                            format!(
+                                "{} buffer slots of {} bytes need {resident} bytes of MCDRAM \
+                                 but only {addressable} are addressable",
+                                t.buffer_slots, t.spec.chunk_bytes
+                            ),
+                        )
+                        .with_context("spec.chunk_bytes", t.spec.chunk_bytes)
+                        .with_context("target.buffer_slots", t.buffer_slots)
+                        .with_context("machine.addressable_mcdram", addressable)
+                        .with_suggestion(format!("shrink chunk_bytes to at most {max_chunk}")),
+                    );
+                }
+            }
+            Placement::Implicit => {
+                let cache = t.machine.effective_cache_capacity();
+                if cache > 0 && t.spec.chunk_bytes > cache {
+                    out.push(
+                        Diagnostic::new(
+                            self.id(),
+                            self.name(),
+                            Severity::Warning,
+                            format!(
+                                "implicit-mode chunk of {} bytes exceeds the {cache}-byte \
+                                 MCDRAM cache; every compute pass re-streams from DDR \
+                                 (paper Fig. 5 cliff)",
+                                t.spec.chunk_bytes
+                            ),
+                        )
+                        .with_context("spec.chunk_bytes", t.spec.chunk_bytes)
+                        .with_context("machine.effective_cache_capacity", cache)
+                        .with_suggestion(format!("shrink chunk_bytes to at most {cache}")),
+                    );
+                }
+            }
+            Placement::Ddr => {}
+        }
+    }
+}
+
+/// V003: placement vs the machine's MCDRAM mode.
+struct ModePlacement;
+
+impl Lint for ModePlacement {
+    fn id(&self) -> &'static str {
+        "V003"
+    }
+    fn name(&self) -> &'static str {
+        "mode-placement"
+    }
+    fn description(&self) -> &'static str {
+        "buffer placement must be addressable/cacheable in the machine's MCDRAM mode"
+    }
+    fn check(&self, t: &VerifyTarget<'_>, out: &mut Vec<Diagnostic>) {
+        match t.spec.placement {
+            Placement::Hbw if t.machine.addressable_mcdram() == 0 => {
+                out.push(
+                    Diagnostic::new(
+                        self.id(),
+                        self.name(),
+                        Severity::Error,
+                        "spec places buffers in flat MCDRAM but the machine mode exposes \
+                         no addressable MCDRAM (the engine would fail with \
+                         LevelNotAddressable)"
+                            .into(),
+                    )
+                    .with_context("spec.placement", "Hbw")
+                    .with_context("machine.mode", format!("{:?}", t.machine.mode))
+                    .with_suggestion(
+                        "boot the machine in Flat/Hybrid mode, or use Placement::Implicit",
+                    ),
+                );
+            }
+            Placement::Implicit if !t.machine.mode.has_cache() => {
+                out.push(
+                    Diagnostic::new(
+                        self.id(),
+                        self.name(),
+                        Severity::Warning,
+                        "implicit cache-mode spec on a machine with no MCDRAM cache: \
+                         every access is plain DDR, so the experiment measures nothing \
+                         the spec intends"
+                            .into(),
+                    )
+                    .with_context("spec.placement", "Implicit")
+                    .with_context("machine.mode", format!("{:?}", t.machine.mode)),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// V004: stage count vs buffer-slot deadlock/serialization potential.
+///
+/// The lockstep schedule touches three distinct buffers per step (copy-in
+/// of chunk `s`, compute on `s-1`, copy-out of `s-2`); with fewer slots
+/// two stages would alias one buffer inside a single step — a data race on
+/// the host, wrong traffic in the simulator. The dataflow ring stays
+/// deadlock-free at any depth >= 1 (the phase-model checker proves this),
+/// but below three slots the three stages can never all be in flight, so
+/// the schedule silently degenerates toward serial execution.
+struct BufferDeadlock;
+
+impl Lint for BufferDeadlock {
+    fn id(&self) -> &'static str {
+        "V004"
+    }
+    fn name(&self) -> &'static str {
+        "buffer-deadlock"
+    }
+    fn description(&self) -> &'static str {
+        "buffer slots vs pipeline stages: lockstep needs 3 rotating buffers; fewer serializes dataflow"
+    }
+    fn check(&self, t: &VerifyTarget<'_>, out: &mut Vec<Diagnostic>) {
+        if t.spec.placement == Placement::Implicit {
+            return; // no copy stages, no ring
+        }
+        if t.buffer_slots == 0 {
+            out.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.name(),
+                    Severity::Error,
+                    "zero buffer slots: no stage can ever run".into(),
+                )
+                .with_context("target.buffer_slots", 0usize),
+            );
+            return;
+        }
+        if t.buffer_slots < RING_SLOTS {
+            let (severity, message) = if t.spec.lockstep {
+                (
+                    Severity::Error,
+                    format!(
+                        "lockstep steps touch {RING_SLOTS} distinct buffers (in s, comp s-1, \
+                         out s-2) but only {} slots exist: two stages would alias one \
+                         buffer within a step",
+                        t.buffer_slots
+                    ),
+                )
+            } else {
+                (
+                    Severity::Warning,
+                    format!(
+                        "dataflow ring with {} slot(s) cannot keep all {RING_SLOTS} stages \
+                         in flight; the pipeline degenerates toward serial execution",
+                        t.buffer_slots
+                    ),
+                )
+            };
+            out.push(
+                Diagnostic::new(self.id(), self.name(), severity, message)
+                    .with_context("target.buffer_slots", t.buffer_slots)
+                    .with_context("spec.lockstep", t.spec.lockstep)
+                    .with_suggestion(format!("use {RING_SLOTS} buffer slots")),
+            );
+        }
+    }
+}
+
+/// V005: thread budget vs the machine's hardware threads.
+struct ThreadOversubscription;
+
+impl Lint for ThreadOversubscription {
+    fn id(&self) -> &'static str {
+        "V005"
+    }
+    fn name(&self) -> &'static str {
+        "thread-oversubscription"
+    }
+    fn description(&self) -> &'static str {
+        "p_in + p_out + p_comp must not exceed the machine's hardware threads"
+    }
+    fn check(&self, t: &VerifyTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let want = t.spec.threads();
+        let have = t.machine.total_threads();
+        if want > have {
+            out.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.name(),
+                    Severity::Error,
+                    format!(
+                        "spec occupies {want} threads but the machine has {have}: \
+                         pools would time-share cores and the per-thread rate model \
+                         (S_copy/S_comp) no longer holds"
+                    ),
+                )
+                .with_context(
+                    "spec.pools",
+                    format!(
+                        "p_in={} p_out={} p_comp={}",
+                        t.spec.p_in, t.spec.p_out, t.spec.p_comp
+                    ),
+                )
+                .with_context("machine.total_threads", have)
+                .with_suggestion(format!("shrink the pools to at most {have} threads total")),
+            );
+        } else if want == have && have > 1 {
+            out.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.name(),
+                    Severity::Warning,
+                    format!(
+                        "spec occupies all {have} hardware threads; the paper left \
+                         16 of 272 for the OS (ran with 256)"
+                    ),
+                )
+                .with_context("spec.threads", want),
+            );
+        }
+    }
+}
+
+/// V006: bandwidth sanity against the §3.2 model (Eqs. 1–5).
+struct BandwidthSanity;
+
+impl Lint for BandwidthSanity {
+    fn id(&self) -> &'static str {
+        "V006"
+    }
+    fn name(&self) -> &'static str {
+        "bandwidth-sanity"
+    }
+    fn description(&self) -> &'static str {
+        "per-thread rates must be finite and consistent with the machine; flags DDR-saturated copy pools and MCDRAM-starved compute"
+    }
+    fn check(&self, t: &VerifyTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let spec = t.spec;
+        // Non-finite rates slip through PipelineSpec::validate's `<= 0.0`
+        // comparisons on some historic versions; reject them loudly here
+        // regardless.
+        for (field, v) in [
+            ("spec.compute_rate", spec.compute_rate),
+            ("spec.copy_rate", spec.copy_rate),
+        ] {
+            if !v.is_finite() {
+                out.push(
+                    Diagnostic::new(
+                        self.id(),
+                        self.name(),
+                        Severity::Error,
+                        format!("{field} is not finite ({v}); the bandwidth arbiter would stall"),
+                    )
+                    .with_context(field, v),
+                );
+            }
+        }
+        if spec.validate().is_err() || !spec.copy_rate.is_finite() || !spec.compute_rate.is_finite()
+        {
+            return; // the model below needs a well-formed spec
+        }
+        if spec.placement == Placement::Implicit {
+            return; // no copy pools to reason about
+        }
+
+        let m = t.model_params();
+        // Eq. 3: copy pool past DDR saturation — extra copy threads move
+        // no more bytes, they only steal compute threads.
+        let copy_demand = (spec.p_in + spec.p_out) as f64 * spec.copy_rate;
+        if copy_demand > m.ddr_max {
+            let sat = (m.ddr_max / spec.copy_rate).floor() as usize;
+            out.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.name(),
+                    Severity::Warning,
+                    format!(
+                        "copy pools demand {copy_demand:.3e} B/s of DDR but the machine \
+                         peaks at {:.3e} B/s (Eq. 3 saturated): threads beyond ~{sat} \
+                         copy threads are wasted",
+                        m.ddr_max
+                    ),
+                )
+                .with_context("spec.p_in + spec.p_out", spec.p_in + spec.p_out)
+                .with_context("machine.ddr_bandwidth", format!("{:.3e}", m.ddr_max))
+                .with_suggestion(format!(
+                    "total copy threads near {sat} saturate DDR; give the rest to p_comp"
+                )),
+            );
+        }
+        // Eq. 5: compute starvation — copy traffic alone saturates MCDRAM
+        // and the leftover share for compute is zero.
+        let c_comp = m.c_comp(spec.p_comp, spec.p_in, spec.p_out);
+        if c_comp <= 0.0 {
+            out.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.name(),
+                    Severity::Error,
+                    format!(
+                        "copy traffic alone saturates MCDRAM ({:.3e} B/s): Eq. 5 leaves \
+                         the compute pool a rate of 0 — the pipeline would never finish \
+                         a compute pass",
+                        m.mcdram_max
+                    ),
+                )
+                .with_context("spec.p_in + spec.p_out", spec.p_in + spec.p_out)
+                .with_context(
+                    "machine.effective_mcdram_bandwidth",
+                    format!("{:.3e}", m.mcdram_max),
+                )
+                .with_suggestion("reduce copy threads or copy_rate"),
+            );
+        }
+        // Per-thread rates faster than the machine's measured single-thread
+        // capability: the simulation answers a question about a machine
+        // that does not exist.
+        if spec.copy_rate > t.machine.per_thread_copy_bw * (1.0 + 1e-9) {
+            out.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.name(),
+                    Severity::Warning,
+                    format!(
+                        "spec.copy_rate {:.3e} exceeds the machine's measured per-thread \
+                         copy bandwidth {:.3e} (Table 2 S_copy)",
+                        spec.copy_rate, t.machine.per_thread_copy_bw
+                    ),
+                )
+                .with_context("spec.copy_rate", format!("{:.3e}", spec.copy_rate))
+                .with_context(
+                    "machine.per_thread_copy_bw",
+                    format!("{:.3e}", t.machine.per_thread_copy_bw),
+                ),
+            );
+        }
+        if spec.compute_rate > t.machine.per_thread_compute_bw * (1.0 + 1e-9) {
+            out.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.name(),
+                    Severity::Warning,
+                    format!(
+                        "spec.compute_rate {:.3e} exceeds the machine's measured per-thread \
+                         compute bandwidth {:.3e} (Table 2 S_comp)",
+                        spec.compute_rate, t.machine.per_thread_compute_bw
+                    ),
+                )
+                .with_context("spec.compute_rate", format!("{:.3e}", spec.compute_rate))
+                .with_context(
+                    "machine.per_thread_compute_bw",
+                    format!("{:.3e}", t.machine.per_thread_compute_bw),
+                ),
+            );
+        }
+    }
+}
+
+/// V007: chunk count vs pipeline fill.
+struct ChunkCount;
+
+impl Lint for ChunkCount {
+    fn id(&self) -> &'static str {
+        "V007"
+    }
+    fn name(&self) -> &'static str {
+        "chunk-count"
+    }
+    fn description(&self) -> &'static str {
+        "fewer than 3 chunks never fills the pipeline; overlap (and Eq. 1) does not apply"
+    }
+    fn check(&self, t: &VerifyTarget<'_>, out: &mut Vec<Diagnostic>) {
+        if t.spec.placement == Placement::Implicit
+            || t.spec.total_bytes == 0
+            || t.spec.chunk_bytes == 0
+        {
+            return;
+        }
+        let n = t.spec.n_chunks();
+        if n < RING_SLOTS {
+            out.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.name(),
+                    Severity::Info,
+                    format!(
+                        "only {n} chunk(s): the three stages never all overlap, so the \
+                         model's max(T_copy, T_comp) (Eq. 1) over-predicts throughput"
+                    ),
+                )
+                .with_context("spec.n_chunks", n)
+                .with_suggestion("shrink chunk_bytes if steady-state overlap matters"),
+            );
+        }
+    }
+}
+
+/// V008: cluster configuration sanity.
+struct ClusterSanity;
+
+impl Lint for ClusterSanity {
+    fn id(&self) -> &'static str {
+        "V008"
+    }
+    fn name(&self) -> &'static str {
+        "cluster-sanity"
+    }
+    fn description(&self) -> &'static str {
+        "cluster config must validate; flags links faster than node memory"
+    }
+    fn check(&self, t: &VerifyTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(c) = t.cluster else { return };
+        if let Err(msg) = c.validate() {
+            out.push(
+                Diagnostic::new(self.id(), self.name(), Severity::Error, msg)
+                    .with_context("cluster.nodes", c.nodes)
+                    .with_context("cluster.link_bandwidth", c.link_bandwidth)
+                    .with_context("cluster.link_latency", c.link_latency),
+            );
+            return;
+        }
+        if c.link_bandwidth > t.machine.ddr_bandwidth {
+            out.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.name(),
+                    Severity::Warning,
+                    format!(
+                        "link bandwidth {:.3e} B/s exceeds the node's DDR bandwidth \
+                         {:.3e} B/s: the exchange would be memory-bound, which no \
+                         KNL-era interconnect achieves",
+                        c.link_bandwidth, t.machine.ddr_bandwidth
+                    ),
+                )
+                .with_context(
+                    "cluster.link_bandwidth",
+                    format!("{:.3e}", c.link_bandwidth),
+                )
+                .with_context(
+                    "machine.ddr_bandwidth",
+                    format!("{:.3e}", t.machine.ddr_bandwidth),
+                ),
+            );
+        }
+        if c.nodes > 1 && c.link_latency > 1e-3 {
+            out.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.name(),
+                    Severity::Warning,
+                    format!(
+                        "link latency {}s is three orders of magnitude above \
+                         Omni-Path-class fabrics (~2us)",
+                        c.link_latency
+                    ),
+                )
+                .with_context("cluster.link_latency", c.link_latency),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knl_sim::machine::MemMode;
+
+    fn knl() -> MachineConfig {
+        MachineConfig::knl_7250(MemMode::Flat)
+    }
+
+    fn good_spec() -> PipelineSpec {
+        PipelineSpec {
+            total_bytes: 8 << 30,
+            chunk_bytes: 1 << 30,
+            p_in: 8,
+            p_out: 8,
+            p_comp: 64,
+            compute_passes: 4,
+            compute_rate: 6.78e9,
+            copy_rate: 4.8e9,
+            placement: Placement::Hbw,
+            lockstep: true,
+            data_addr: 0,
+        }
+    }
+
+    fn ids(report: &LintReport) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.id).collect()
+    }
+
+    #[test]
+    fn paper_like_spec_is_clean() {
+        let machine = knl();
+        let spec = good_spec();
+        let report = lint_target(&VerifyTarget::new(&spec, &machine));
+        assert!(report.is_clean(), "unexpected findings:\n{report}");
+    }
+
+    #[test]
+    fn v000_degenerate_spec() {
+        let machine = knl();
+        let mut spec = good_spec();
+        spec.p_comp = 0;
+        let report = lint_target(&VerifyTarget::new(&spec, &machine));
+        assert!(ids(&report).contains(&"V000"));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn v001_misaligned_chunk() {
+        let machine = knl();
+        let mut spec = good_spec();
+        spec.chunk_bytes = (1 << 30) + 3;
+        let report = lint_target(&VerifyTarget::new(&spec, &machine));
+        assert_eq!(report.error_ids(), vec!["V001"]);
+        let d = report.errors().next().unwrap();
+        assert!(d.suggestion.is_some());
+        assert!(!d.context.is_empty());
+    }
+
+    #[test]
+    fn v002_buffers_exceed_mcdram() {
+        let machine = knl();
+        let mut spec = good_spec();
+        spec.chunk_bytes = 8 << 30; // 3 slots x 8 GiB > 16 GiB
+        spec.total_bytes = 64 << 30;
+        let report = lint_target(&VerifyTarget::new(&spec, &machine));
+        assert!(report.error_ids().contains(&"V002"));
+    }
+
+    #[test]
+    fn v002_implicit_chunk_thrashes_cache_is_warning() {
+        let machine = MachineConfig::knl_7250(MemMode::Cache);
+        let mut spec = good_spec();
+        spec.placement = Placement::Implicit;
+        spec.p_in = 0;
+        spec.p_out = 0;
+        spec.chunk_bytes = 32 << 30;
+        spec.total_bytes = 64 << 30;
+        let report = lint_target(&VerifyTarget::new(&spec, &machine));
+        assert!(!report.has_errors());
+        assert!(ids(&report).contains(&"V002"));
+    }
+
+    #[test]
+    fn v003_hbw_in_cache_mode() {
+        let machine = MachineConfig::knl_7250(MemMode::Cache);
+        let spec = good_spec();
+        let report = lint_target(&VerifyTarget::new(&spec, &machine));
+        assert!(report.error_ids().contains(&"V003"));
+        // V002 must stay quiet: no addressable MCDRAM is V003's finding.
+        assert!(!ids(&report).contains(&"V002"));
+    }
+
+    #[test]
+    fn v004_lockstep_with_two_slots() {
+        let machine = knl();
+        let spec = good_spec();
+        let mut t = VerifyTarget::new(&spec, &machine);
+        t.buffer_slots = 2;
+        let report = lint_target(&t);
+        assert!(report.error_ids().contains(&"V004"));
+    }
+
+    #[test]
+    fn v004_dataflow_with_two_slots_is_warning() {
+        let machine = knl();
+        let mut spec = good_spec();
+        spec.lockstep = false;
+        let mut t = VerifyTarget::new(&spec, &machine);
+        t.buffer_slots = 2;
+        let report = lint_target(&t);
+        assert!(!report.has_errors());
+        assert!(ids(&report).contains(&"V004"));
+    }
+
+    #[test]
+    fn v005_oversubscription() {
+        let machine = knl();
+        let mut spec = good_spec();
+        spec.p_comp = 300; // 8 + 8 + 300 > 272
+        let report = lint_target(&VerifyTarget::new(&spec, &machine));
+        assert!(report.error_ids().contains(&"V005"));
+    }
+
+    #[test]
+    fn v005_full_occupancy_is_warning() {
+        let machine = knl();
+        let mut spec = good_spec();
+        spec.p_comp = 272 - 16;
+        let report = lint_target(&VerifyTarget::new(&spec, &machine));
+        assert!(!report.has_errors(), "{report}");
+        assert!(ids(&report).contains(&"V005"));
+    }
+
+    #[test]
+    fn v006_nan_rate_is_error() {
+        let machine = knl();
+        let mut spec = good_spec();
+        spec.copy_rate = f64::NAN;
+        let report = lint_target(&VerifyTarget::new(&spec, &machine));
+        assert!(report.error_ids().contains(&"V006"));
+    }
+
+    #[test]
+    fn v006_ddr_saturated_copy_pool_warns() {
+        let machine = knl();
+        let mut spec = good_spec();
+        spec.p_in = 32;
+        spec.p_out = 32; // 64 x 4.8 GB/s = 307 GB/s >> 90 GB/s
+        let report = lint_target(&VerifyTarget::new(&spec, &machine));
+        assert!(!report.has_errors(), "{report}");
+        assert!(ids(&report).contains(&"V006"));
+    }
+
+    #[test]
+    fn v007_single_chunk_info() {
+        let machine = knl();
+        let mut spec = good_spec();
+        spec.total_bytes = spec.chunk_bytes;
+        let report = lint_target(&VerifyTarget::new(&spec, &machine));
+        assert!(!report.has_errors());
+        assert!(ids(&report).contains(&"V007"));
+    }
+
+    #[test]
+    fn v008_cluster_checks() {
+        let machine = knl();
+        let spec = good_spec();
+        let bad = ClusterConfig {
+            nodes: 0,
+            link_bandwidth: 12.5e9,
+            link_latency: 2e-6,
+        };
+        let report = lint_target(&VerifyTarget::new(&spec, &machine).with_cluster(&bad));
+        assert!(report.error_ids().contains(&"V008"));
+
+        let fast = ClusterConfig {
+            nodes: 4,
+            link_bandwidth: 500e9,
+            link_latency: 2e-6,
+        };
+        let report = lint_target(&VerifyTarget::new(&spec, &machine).with_cluster(&fast));
+        assert!(!report.has_errors());
+        assert!(ids(&report).contains(&"V008"));
+    }
+
+    #[test]
+    fn registry_lists_builtin_lints() {
+        let r = LintRegistry::with_builtin_lints();
+        let ids: Vec<&str> = r.lints().iter().map(|l| l.id()).collect();
+        assert_eq!(
+            ids,
+            vec!["V000", "V001", "V002", "V003", "V004", "V005", "V006", "V007", "V008"]
+        );
+        // Ids are unique and every lint has a description.
+        for l in r.lints() {
+            assert!(!l.description().is_empty());
+            assert!(!l.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn at_least_five_distinct_error_classes() {
+        // The acceptance criterion: five distinct invalid-spec classes,
+        // each rejected with its own lint id.
+        let machine = knl();
+        let cache_machine = MachineConfig::knl_7250(MemMode::Cache);
+
+        let mut degenerate = good_spec();
+        degenerate.total_bytes = 0;
+        let mut misaligned = good_spec();
+        misaligned.chunk_bytes += 1;
+        let mut oversized = good_spec();
+        oversized.chunk_bytes = 8 << 30;
+        oversized.total_bytes = 64 << 30;
+        let mut oversubscribed = good_spec();
+        oversubscribed.p_comp = 1000;
+        let mut nan_rate = good_spec();
+        nan_rate.compute_rate = f64::INFINITY;
+
+        let cases: Vec<(&PipelineSpec, &MachineConfig, &str)> = vec![
+            (&degenerate, &machine, "V000"),
+            (&misaligned, &machine, "V001"),
+            (&oversized, &machine, "V002"),
+            (good_spec_static(), &cache_machine, "V003"),
+            (&oversubscribed, &machine, "V005"),
+            (&nan_rate, &machine, "V006"),
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for (spec, m, want) in cases {
+            let report = lint_target(&VerifyTarget::new(spec, m));
+            assert!(
+                report.error_ids().contains(&want),
+                "expected {want} for spec, got {:?}",
+                report.error_ids()
+            );
+            seen.insert(want);
+        }
+        assert!(seen.len() >= 5);
+    }
+
+    fn good_spec_static() -> &'static PipelineSpec {
+        use std::sync::OnceLock;
+        static SPEC: OnceLock<PipelineSpec> = OnceLock::new();
+        SPEC.get_or_init(good_spec)
+    }
+}

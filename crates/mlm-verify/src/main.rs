@@ -1,0 +1,128 @@
+//! The `mlm-verify` CLI.
+//!
+//! ```text
+//! mlm-verify check-all   # lints + model checks, nonzero exit on failure
+//! mlm-verify lint        # the lint battery only
+//! mlm-verify models      # the model-checking battery only
+//! mlm-verify list        # registered lints and checked models
+//! ```
+//!
+//! `check-all` is what CI runs: it executes the whole [`mlm_verify::suite`]
+//! and fails if the paper spec stops linting clean, a known-bad spec stops
+//! being rejected, a shipped protocol stops verifying, or a regression
+//! model stops failing.
+
+use std::process::ExitCode;
+
+use mlm_verify::suite::{run_lint_suite, run_model_suite};
+use mlm_verify::LintRegistry;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check-all") => {
+            let lints = lint_battery();
+            let models = model_battery();
+            if lints && models {
+                println!("\ncheck-all: PASS");
+                ExitCode::SUCCESS
+            } else {
+                println!("\ncheck-all: FAIL");
+                ExitCode::FAILURE
+            }
+        }
+        Some("lint") => exit_for(lint_battery()),
+        Some("models") => exit_for(model_battery()),
+        Some("list") => {
+            list();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: mlm-verify <check-all|lint|models|list>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn exit_for(ok: bool) -> ExitCode {
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn lint_battery() -> bool {
+    println!("== spec lints ==");
+    let mut ok = true;
+    for case in run_lint_suite() {
+        let verdict = if case.ok() { "ok" } else { "FAIL" };
+        let expect = match case.expect_error {
+            None => "expect clean".to_string(),
+            Some(id) => format!("expect {id}"),
+        };
+        println!("{verdict:>4}  {}  [{expect}]", case.name);
+        if !case.ok() {
+            ok = false;
+            println!("{}", case.report);
+        } else if case.expect_error.is_some() {
+            // Show the first diagnostic of rejected specs so the output
+            // documents what a rejection looks like.
+            if let Some(d) = case.report.errors().next() {
+                println!("      {}", d.to_string().replace('\n', "\n      "));
+            }
+        }
+    }
+    ok
+}
+
+fn model_battery() -> bool {
+    println!("\n== protocol models ==");
+    let mut ok = true;
+    for run in run_model_suite() {
+        let verdict = if run.ok() { "ok" } else { "FAIL" };
+        let expect = if run.expect_violation {
+            "must fail"
+        } else {
+            "must verify"
+        };
+        println!(
+            "{verdict:>4}  {}  [{expect}] — {} states, {} transitions",
+            run.name, run.states, run.transitions
+        );
+        match (&run.violation, run.expect_violation) {
+            (Some(v), true) => println!("      caught as designed: {v}"),
+            (Some(v), false) => {
+                ok = false;
+                println!("      UNEXPECTED VIOLATION: {v}");
+            }
+            (None, true) => {
+                ok = false;
+                println!("      regression model no longer fails — the checker lost the bug");
+            }
+            (None, false) => {}
+        }
+    }
+    ok
+}
+
+fn list() {
+    println!("lints:");
+    for lint in LintRegistry::with_builtin_lints().lints() {
+        println!(
+            "  {}  {:<24} {}",
+            lint.id(),
+            lint.name(),
+            lint.description()
+        );
+    }
+    println!("\nmodels (run them with `mlm-verify models`):");
+    for (name, expect_violation) in mlm_verify::suite::model_catalog() {
+        let kind = if expect_violation {
+            "regression (must fail)"
+        } else {
+            "shipped (must verify)"
+        };
+        println!("  {name:<60} {kind}");
+    }
+}

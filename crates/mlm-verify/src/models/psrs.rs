@@ -1,0 +1,461 @@
+//! Model of the `mlm-cluster` PSRS message protocol.
+//!
+//! Mirrors `mlm-cluster/src/host.rs`: every node samples and sends its
+//! sample to node 0; node 0 gathers, computes splitters, and broadcasts
+//! them; every node partitions and sends `Partition` + `Done` to each
+//! peer; every node then drains partitions until it has a `Done` from all
+//! peers.
+//!
+//! Channels are modeled as one FIFO per `(sender, receiver)` pair with a
+//! nondeterministic receive choice among non-empty queues — exactly the
+//! guarantee an mpsc inbox gives (per-sender order preserved, cross-sender
+//! order arbitrary).
+//!
+//! The protocol has a race the types don't show: node 0 broadcasts
+//! splitters one peer at a time, so a fast peer can finish partitioning
+//! and deliver `Partition`/`Done` to a slow peer *before* the slow peer
+//! has received its own splitters. [`PsrsVariant::Defer`] (the code since
+//! the dataflow-pipeline fix) pushes such early messages onto a deferred
+//! queue and replays them during the drain; it verifies.
+//! [`PsrsVariant::Strict`] (the seed's original code) treats them as
+//! `unreachable!` and panics — the checker reproduces that race as a
+//! failing invariant with a counterexample trace. Note the race needs at
+//! least three nodes: with two, the only splitter recipient is also the
+//! only exchanger, and per-channel FIFO alone rules the reorder out.
+
+use crate::check::Model;
+
+/// The four message kinds of the protocol, payload-free: the race is in
+/// the ordering, not the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Msg {
+    /// A node's sample, addressed to node 0.
+    Samples,
+    /// The global splitters, broadcast by node 0.
+    Splitters,
+    /// One partition of a peer's local data.
+    Partition,
+    /// The sending peer has finished its exchange.
+    Done,
+}
+
+/// Where one node is in the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum NodePc {
+    /// Sampling local data.
+    Sampling,
+    /// Node 0 only: collecting `Samples` (own sample counted).
+    Gather { got: u8 },
+    /// Node 0 only: sending `Splitters` to peer `next`.
+    Broadcast { next: u8 },
+    /// Waiting for `Splitters` from node 0. Early exchange messages are
+    /// deferred (or, in the strict variant, fatal).
+    WaitSplit { def_parts: u8, def_dones: u8 },
+    /// Sending `Partition` + `Done` to each peer; `sent` is a bitmask.
+    Exchange {
+        sent: u8,
+        def_parts: u8,
+        def_dones: u8,
+    },
+    /// Draining partitions until `Done` from every peer.
+    Drain { parts: u8, dones: u8 },
+    /// Sorted; out of the protocol.
+    NodeDone,
+}
+
+/// Global state: node program counters plus the channel contents.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PsrsState {
+    nodes: Vec<NodePc>,
+    /// `queues[s * n + r]` = in-flight messages from `s` to `r`, FIFO.
+    queues: Vec<Vec<Msg>>,
+    /// Set when the strict variant hits its `unreachable!`.
+    panicked: Option<&'static str>,
+}
+
+/// Transition labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PsrsAction {
+    /// Node 0 counted its own sample.
+    LocalSample,
+    /// Node sent its sample to node 0.
+    SendSamples(u8),
+    /// Node 0 sent splitters to the peer.
+    SendSplitters(u8),
+    /// `(from, to)`: sent `Partition` then `Done` on one channel.
+    SendPartition(u8, u8),
+    /// `(receiver, sender)`: receiver popped the head of the channel
+    /// from sender.
+    Recv(u8, u8),
+}
+
+/// Which early-message discipline to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PsrsVariant {
+    /// Early exchange messages go to a deferred queue, replayed in the
+    /// drain — the code as shipped. Verifies.
+    Defer,
+    /// Early exchange messages are `unreachable!` — the seed's original
+    /// code. The checker finds the race.
+    Strict,
+}
+
+/// Model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PsrsModel {
+    /// Cluster size (the paper's Omni-Path testbed uses up to 8).
+    pub nodes: u8,
+    /// Early-message discipline.
+    pub variant: PsrsVariant,
+}
+
+impl PsrsModel {
+    /// The shipped deferring protocol.
+    pub fn shipped(nodes: u8) -> Self {
+        PsrsModel {
+            nodes,
+            variant: PsrsVariant::Defer,
+        }
+    }
+
+    fn q(&self, s: u8, r: u8) -> usize {
+        s as usize * self.nodes as usize + r as usize
+    }
+
+    fn peers(&self) -> u8 {
+        self.nodes - 1
+    }
+
+    /// Handle receiver `i` popping `msg`; returns the updated pc, or a
+    /// panic message when the variant's receive loop would hit
+    /// `unreachable!`.
+    fn deliver(&self, pc: NodePc, msg: Msg) -> Result<NodePc, &'static str> {
+        match (pc, msg) {
+            // Node 0's gather loop.
+            (NodePc::Gather { got }, Msg::Samples) => Ok(NodePc::Gather { got: got + 1 }),
+            (NodePc::Gather { .. }, Msg::Splitters) => {
+                Err("splitters are broadcast by node 0, never sent to it")
+            }
+            // Unreachable in practice (peers exchange only after receiving
+            // splitters, which node 0 sends after the gather). The defer
+            // arm drops the message; were the assumption ever wrong, the
+            // missing Done would surface as a drain deadlock.
+            (NodePc::Gather { got }, Msg::Partition | Msg::Done) => match self.variant {
+                PsrsVariant::Defer => Ok(NodePc::Gather { got }),
+                PsrsVariant::Strict => Err("exchange message during sample gather"),
+            },
+            // Non-zero nodes waiting for splitters.
+            (
+                NodePc::WaitSplit {
+                    def_parts,
+                    def_dones,
+                },
+                Msg::Splitters,
+            ) => Ok(NodePc::Exchange {
+                sent: 0,
+                def_parts,
+                def_dones,
+            }),
+            (NodePc::WaitSplit { .. }, Msg::Samples) => Err("samples are addressed to node 0"),
+            (
+                NodePc::WaitSplit {
+                    def_parts,
+                    def_dones,
+                },
+                m,
+            ) => match self.variant {
+                PsrsVariant::Defer => Ok(match m {
+                    Msg::Partition => NodePc::WaitSplit {
+                        def_parts: def_parts + 1,
+                        def_dones,
+                    },
+                    _ => NodePc::WaitSplit {
+                        def_parts,
+                        def_dones: def_dones + 1,
+                    },
+                }),
+                PsrsVariant::Strict => Err("partition exchange message before splitters"),
+            },
+            // The drain.
+            (NodePc::Drain { parts, dones }, Msg::Partition) => Ok(NodePc::Drain {
+                parts: parts + 1,
+                dones,
+            }),
+            (NodePc::Drain { parts, dones }, Msg::Done) => Ok(NodePc::Drain {
+                parts,
+                dones: dones + 1,
+            }),
+            (NodePc::Drain { .. }, Msg::Samples | Msg::Splitters) => {
+                Err("sampling finished before the exchange")
+            }
+            // Sampling / Broadcast / Exchange / NodeDone never receive.
+            _ => unreachable!("receive action generated for a non-receiving pc"),
+        }
+    }
+}
+
+impl Model for PsrsModel {
+    type State = PsrsState;
+    type Action = PsrsAction;
+
+    fn name(&self) -> String {
+        format!("psrs({:?}, nodes={})", self.variant, self.nodes)
+    }
+
+    fn initial(&self) -> PsrsState {
+        PsrsState {
+            nodes: vec![NodePc::Sampling; self.nodes as usize],
+            queues: vec![Vec::new(); self.nodes as usize * self.nodes as usize],
+            panicked: None,
+        }
+    }
+
+    fn actions(&self, s: &PsrsState) -> Vec<(PsrsAction, PsrsState)> {
+        if s.panicked.is_some() {
+            return Vec::new(); // the invariant has already condemned this state
+        }
+        let n = self.nodes;
+        let mut out = Vec::new();
+        for i in 0..n {
+            let pc = s.nodes[i as usize];
+            match pc {
+                NodePc::Sampling => {
+                    let mut st = s.clone();
+                    if i == 0 {
+                        st.nodes[0] = NodePc::Gather { got: 1 };
+                        out.push((PsrsAction::LocalSample, st));
+                    } else {
+                        st.queues[self.q(i, 0)].push(Msg::Samples);
+                        st.nodes[i as usize] = NodePc::WaitSplit {
+                            def_parts: 0,
+                            def_dones: 0,
+                        };
+                        out.push((PsrsAction::SendSamples(i), st));
+                    }
+                }
+                NodePc::Broadcast { next } => {
+                    let mut st = s.clone();
+                    st.queues[self.q(0, next)].push(Msg::Splitters);
+                    st.nodes[0] = if next + 1 == n {
+                        NodePc::Exchange {
+                            sent: 0,
+                            def_parts: 0,
+                            def_dones: 0,
+                        }
+                    } else {
+                        NodePc::Broadcast { next: next + 1 }
+                    };
+                    out.push((PsrsAction::SendSplitters(next), st));
+                }
+                NodePc::Exchange {
+                    sent,
+                    def_parts,
+                    def_dones,
+                } => {
+                    for j in 0..n {
+                        if j == i || sent & (1 << j) != 0 {
+                            continue;
+                        }
+                        let mut st = s.clone();
+                        st.queues[self.q(i, j)].push(Msg::Partition);
+                        st.queues[self.q(i, j)].push(Msg::Done);
+                        let sent = sent | (1 << j);
+                        st.nodes[i as usize] = if sent.count_ones() as u8 == self.peers() {
+                            NodePc::Drain {
+                                parts: def_parts,
+                                dones: def_dones,
+                            }
+                        } else {
+                            NodePc::Exchange {
+                                sent,
+                                def_parts,
+                                def_dones,
+                            }
+                        };
+                        out.push((PsrsAction::SendPartition(i, j), st));
+                    }
+                }
+                NodePc::Gather { .. } | NodePc::WaitSplit { .. } | NodePc::Drain { .. } => {
+                    // Receive: nondeterministically pop the head of any
+                    // non-empty incoming channel (the mpsc merge).
+                    for j in 0..n {
+                        let qi = self.q(j, i);
+                        if s.queues[qi].is_empty() {
+                            continue;
+                        }
+                        let msg = s.queues[qi][0];
+                        let mut st = s.clone();
+                        st.queues[qi].remove(0);
+                        match self.deliver(pc, msg) {
+                            Ok(next) => st.nodes[i as usize] = next,
+                            Err(why) => st.panicked = Some(why),
+                        }
+                        // Post-receive phase advances that need no message.
+                        if let NodePc::Gather { got } = st.nodes[0] {
+                            if i == 0 && got == n {
+                                st.nodes[0] = NodePc::Broadcast { next: 1 };
+                            }
+                        }
+                        if let NodePc::Drain { dones, .. } = st.nodes[i as usize] {
+                            if dones == self.peers() {
+                                st.nodes[i as usize] = NodePc::NodeDone;
+                            }
+                        }
+                        out.push((PsrsAction::Recv(i, j), st));
+                    }
+                }
+                NodePc::NodeDone => {}
+            }
+        }
+        out
+    }
+
+    fn is_terminal(&self, s: &PsrsState) -> bool {
+        s.nodes.iter().all(|pc| *pc == NodePc::NodeDone)
+    }
+
+    fn invariant(&self, s: &PsrsState) -> Result<(), String> {
+        if let Some(why) = s.panicked {
+            return Err(format!("protocol hit unreachable!: {why}"));
+        }
+        // A finished node must have drained its channels: per-channel FIFO
+        // puts every peer's Partition before its Done, so nothing can
+        // remain once all Dones are counted.
+        for i in 0..self.nodes {
+            if s.nodes[i as usize] == NodePc::NodeDone {
+                for j in 0..self.nodes {
+                    if !s.queues[self.q(j, i)].is_empty() {
+                        return Err(format!(
+                            "node {i} finished with messages still queued from node {j}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn safe_action(
+        &self,
+        _state: &PsrsState,
+        actions: &[(PsrsAction, PsrsState)],
+    ) -> Option<usize> {
+        // A send only appends to one channel: it commutes with every other
+        // enabled action, cannot be disabled, and strictly increases the
+        // total number of messages ever sent.
+        actions.iter().position(|(a, _)| {
+            matches!(
+                a,
+                PsrsAction::LocalSample
+                    | PsrsAction::SendSamples(_)
+                    | PsrsAction::SendSplitters(_)
+                    | PsrsAction::SendPartition(..)
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{check, CheckOptions, Violation};
+
+    fn opts() -> CheckOptions {
+        CheckOptions::default()
+    }
+
+    #[test]
+    fn deferring_protocol_verifies() {
+        // The acceptance geometry: at least 3 nodes.
+        for n in 2..=3u8 {
+            let r = check(&PsrsModel::shipped(n), opts());
+            assert!(r.ok(), "nodes={n}: {r}\n{}", r.render_trace());
+            assert_eq!(r.terminal_states, 1, "nodes={n}");
+        }
+    }
+
+    #[test]
+    #[ignore = "4-node exhaustion takes ~40s in debug; run with --ignored"]
+    fn deferring_protocol_verifies_four_nodes() {
+        let r = check(&PsrsModel::shipped(4), opts());
+        assert!(r.ok(), "{r}\n{}", r.render_trace());
+        assert_eq!(r.terminal_states, 1);
+    }
+
+    #[test]
+    fn strict_variant_reproduces_the_seed_race() {
+        let m = PsrsModel {
+            nodes: 3,
+            variant: PsrsVariant::Strict,
+        };
+        let r = check(&m, opts());
+        match &r.violation {
+            Some(Violation::Invariant { message, .. }) => {
+                assert!(
+                    message.contains("before splitters"),
+                    "wrong violation: {message}"
+                );
+            }
+            other => panic!("strict PSRS must hit the race, got {other:?}"),
+        }
+        // The counterexample must show a partition send overtaking the
+        // splitter delivery.
+        let trace = r.render_trace();
+        assert!(trace.contains("SendPartition"), "trace:\n{trace}");
+    }
+
+    #[test]
+    fn strict_variant_needs_three_nodes() {
+        // With two nodes the only exchange peer of node 1 is node 0,
+        // which is never in WaitSplit, and channel FIFO protects node 1:
+        // the strict variant is actually safe at n=2 (which is why the
+        // seed's tests never caught it).
+        let m = PsrsModel {
+            nodes: 2,
+            variant: PsrsVariant::Strict,
+        };
+        let r = check(&m, opts());
+        assert!(r.ok(), "{r}\n{}", r.render_trace());
+    }
+
+    #[test]
+    fn race_survives_partial_order_reduction() {
+        let m = PsrsModel {
+            nodes: 3,
+            variant: PsrsVariant::Strict,
+        };
+        for por in [false, true] {
+            let r = check(
+                &m,
+                CheckOptions {
+                    partial_order_reduction: por,
+                    ..opts()
+                },
+            );
+            assert!(
+                matches!(r.violation, Some(Violation::Invariant { .. })),
+                "por={por}: {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn por_shrinks_the_defer_state_space() {
+        let m = PsrsModel::shipped(3);
+        let full = check(
+            &m,
+            CheckOptions {
+                partial_order_reduction: false,
+                ..opts()
+            },
+        );
+        let reduced = check(&m, opts());
+        assert!(full.ok() && reduced.ok());
+        assert!(
+            reduced.states < full.states,
+            "POR should prune send interleavings: {} vs {}",
+            reduced.states,
+            full.states
+        );
+    }
+}

@@ -1,0 +1,425 @@
+//! Phase-level model of the dataflow host pipeline's buffer ring.
+//!
+//! Mirrors `mlm-core/src/pipeline/host.rs`: three stage coordinators
+//! (copy-in, compute, copy-out) walk the chunk sequence, synchronizing
+//! only through a ring of `slots` buffers whose per-slot state machine is
+//! `Empty(c) → Filled(c) → Computed(c) → Empty(c + slots)`. Each
+//! coordinator fans a chunk's work out to `workers` pool workers and can
+//! only publish the next phase once every worker has finished (the
+//! `StagePool::scoped` barrier).
+//!
+//! Blocking is modeled by enabledness: a coordinator whose awaited
+//! `(phase, chunk)` has not been published simply has no enabled action,
+//! so a protocol that can strand a coordinator shows up as a checker
+//! deadlock. Poisoning is modeled after the real code: a panicking stage
+//! sets the poison flag, and every *waiting* coordinator may observe it
+//! and abort instead of acquiring its slot.
+//!
+//! Verified properties:
+//!
+//! * deadlock-freedom (every blocked coordinator is eventually unblocked);
+//! * exclusive buffer ownership (no two stages ever work on one slot);
+//! * the in-flight bound (copy-in never runs more than `slots` chunks
+//!   ahead of copy-out);
+//! * poison drain (with a panicking stage, every execution still
+//!   terminates with all coordinators done or aborted — nobody waits on a
+//!   phase that will never come).
+
+use crate::check::Model;
+
+/// The three pipeline stages, in ring order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Fills a slot (`Empty(c)` → works → publishes `Filled(c)`).
+    CopyIn,
+    /// Transforms a slot (`Filled(c)` → works → publishes `Computed(c)`).
+    Compute,
+    /// Drains a slot (`Computed(c)` → works → publishes `Empty(c+slots)`).
+    CopyOut,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 3] = [Stage::CopyIn, Stage::Compute, Stage::CopyOut];
+
+    fn index(self) -> usize {
+        match self {
+            Stage::CopyIn => 0,
+            Stage::Compute => 1,
+            Stage::CopyOut => 2,
+        }
+    }
+}
+
+/// Per-slot phase, as in the implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Free for copy-in of its `chunk`.
+    Empty,
+    /// Holds the input of `chunk`.
+    Filled,
+    /// Holds the output of `chunk`.
+    Computed,
+}
+
+/// What one coordinator is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Coord {
+    /// Waiting for its slot to reach the awaited phase for `chunk`.
+    Waiting,
+    /// Fanned out to the stage pool; `remaining` workers still running.
+    Working { remaining: u8 },
+    /// Finished every chunk.
+    Done,
+    /// Observed poison (or panicked) and unwound.
+    Aborted,
+}
+
+/// Global model state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RingState {
+    /// `(phase, chunk)` per slot.
+    slots: Vec<(Phase, u8)>,
+    /// Coordinator status per stage.
+    coords: [Coord; 3],
+    /// Next chunk each stage will process.
+    chunk: [u8; 3],
+    /// Set once any stage panics.
+    poisoned: bool,
+}
+
+/// Transition labels (the counterexample vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingAction {
+    /// Stage acquired its awaited `(phase, chunk)` and fanned out work.
+    Acquire(Stage, u8),
+    /// One pool worker of the stage finished.
+    WorkerFinish(Stage, u8),
+    /// Stage published the slot's next phase and advanced.
+    Publish(Stage, u8),
+    /// The stage's kernel/copy panicked, poisoning the ring.
+    Panic(Stage, u8),
+    /// A waiting stage observed poison and unwound.
+    AbortOnPoison(Stage),
+}
+
+/// Model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RingModel {
+    /// Buffer slots in the ring (the implementation uses 3).
+    pub slots: usize,
+    /// Chunks to stream.
+    pub chunks: u8,
+    /// Pool workers per stage (the `scoped` fan-out width).
+    pub workers: u8,
+    /// Inject a panic: this stage's work on this chunk may panic instead
+    /// of finishing, exercising the poisoning protocol.
+    pub panic_at: Option<(Stage, u8)>,
+}
+
+impl RingModel {
+    /// The ring as shipped: 3 slots, no injected panic.
+    pub fn shipped(chunks: u8, workers: u8) -> Self {
+        RingModel {
+            slots: 3,
+            chunks,
+            workers,
+            panic_at: None,
+        }
+    }
+
+    fn wanted(&self, stage: Stage) -> Phase {
+        match stage {
+            Stage::CopyIn => Phase::Empty,
+            Stage::Compute => Phase::Filled,
+            Stage::CopyOut => Phase::Computed,
+        }
+    }
+
+    fn published(&self, stage: Stage) -> Phase {
+        match stage {
+            Stage::CopyIn => Phase::Filled,
+            Stage::Compute => Phase::Computed,
+            Stage::CopyOut => Phase::Empty,
+        }
+    }
+}
+
+impl Model for RingModel {
+    type State = RingState;
+    type Action = RingAction;
+
+    fn name(&self) -> String {
+        format!(
+            "ring(slots={}, chunks={}, workers={}, panic={:?})",
+            self.slots, self.chunks, self.workers, self.panic_at
+        )
+    }
+
+    fn initial(&self) -> RingState {
+        RingState {
+            slots: (0..self.slots).map(|i| (Phase::Empty, i as u8)).collect(),
+            coords: [if self.chunks == 0 {
+                Coord::Done
+            } else {
+                Coord::Waiting
+            }; 3],
+            chunk: [0; 3],
+            poisoned: false,
+        }
+    }
+
+    fn actions(&self, s: &RingState) -> Vec<(RingAction, RingState)> {
+        let mut out = Vec::new();
+        for stage in Stage::ALL {
+            let i = stage.index();
+            let c = s.chunk[i];
+            match s.coords[i] {
+                Coord::Done | Coord::Aborted => {}
+                Coord::Waiting => {
+                    // The real coordinator re-checks the poison flag under
+                    // the slot lock before parking and after every wakeup.
+                    if s.poisoned {
+                        let mut n = s.clone();
+                        n.coords[i] = Coord::Aborted;
+                        out.push((RingAction::AbortOnPoison(stage), n));
+                        continue;
+                    }
+                    let k = c as usize % self.slots;
+                    if s.slots[k] == (self.wanted(stage), c) {
+                        let mut n = s.clone();
+                        n.coords[i] = Coord::Working {
+                            remaining: self.workers,
+                        };
+                        out.push((RingAction::Acquire(stage, c), n));
+                    }
+                }
+                Coord::Working { remaining } => {
+                    if self.panic_at == Some((stage, c)) && !s.poisoned {
+                        // The panic unwinds through `coordinate`, which
+                        // poisons the ring and wakes every waiter.
+                        let mut n = s.clone();
+                        n.poisoned = true;
+                        n.coords[i] = Coord::Aborted;
+                        out.push((RingAction::Panic(stage, c), n));
+                    }
+                    if remaining > 0 {
+                        let mut n = s.clone();
+                        n.coords[i] = Coord::Working {
+                            remaining: remaining - 1,
+                        };
+                        out.push((RingAction::WorkerFinish(stage, c), n));
+                    } else {
+                        let k = c as usize % self.slots;
+                        let mut n = s.clone();
+                        n.slots[k] = match stage {
+                            Stage::CopyOut => (Phase::Empty, c + self.slots as u8),
+                            _ => (self.published(stage), c),
+                        };
+                        let next = c + 1;
+                        n.chunk[i] = next;
+                        n.coords[i] = if next >= self.chunks {
+                            Coord::Done
+                        } else {
+                            Coord::Waiting
+                        };
+                        out.push((RingAction::Publish(stage, c), n));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn is_terminal(&self, s: &RingState) -> bool {
+        s.coords
+            .iter()
+            .all(|c| matches!(c, Coord::Done | Coord::Aborted))
+            // Without poison, aborting is not a legitimate end.
+            && (s.poisoned || s.coords.iter().all(|c| matches!(c, Coord::Done)))
+    }
+
+    fn invariant(&self, s: &RingState) -> Result<(), String> {
+        // Exclusive ownership: no two stages working on the same slot.
+        let mut owner: Vec<Option<Stage>> = vec![None; self.slots];
+        for stage in Stage::ALL {
+            let i = stage.index();
+            if matches!(s.coords[i], Coord::Working { .. }) {
+                let k = s.chunk[i] as usize % self.slots;
+                if let Some(prev) = owner[k] {
+                    return Err(format!(
+                        "slot {k} owned by both {prev:?} and {stage:?} — data race"
+                    ));
+                }
+                owner[k] = Some(stage);
+                // The owner's claim must still be visible in the slot.
+                if s.slots[k] != (self.wanted(stage), s.chunk[i]) {
+                    return Err(format!(
+                        "{stage:?} works on slot {k} but the slot reads {:?}",
+                        s.slots[k]
+                    ));
+                }
+            }
+        }
+        // In-flight bound: copy-in never runs more than `slots` chunks
+        // ahead of copy-out.
+        let ahead = s.chunk[Stage::CopyIn.index()] as i32 - s.chunk[Stage::CopyOut.index()] as i32;
+        if ahead > self.slots as i32 {
+            return Err(format!(
+                "copy-in is {ahead} chunks ahead of copy-out with only {} slots",
+                self.slots
+            ));
+        }
+        Ok(())
+    }
+
+    fn safe_action(
+        &self,
+        _state: &RingState,
+        actions: &[(RingAction, RingState)],
+    ) -> Option<usize> {
+        // A worker finishing only decrements its own stage's counter: it
+        // commutes with every other enabled action, cannot be disabled,
+        // and strictly decreases total remaining work — a safe action.
+        actions
+            .iter()
+            .position(|(a, _)| matches!(a, RingAction::WorkerFinish(..)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{check, CheckOptions, Violation};
+
+    fn opts() -> CheckOptions {
+        CheckOptions::default()
+    }
+
+    #[test]
+    fn shipped_ring_verifies_acceptance_geometry() {
+        // The acceptance criterion: >= 2 workers per stage, >= 4 chunks.
+        let r = check(&RingModel::shipped(4, 2), opts());
+        assert!(r.ok(), "{r}\n{}", r.render_trace());
+        assert_eq!(r.terminal_states, 1, "one all-Done end state");
+        assert!(
+            r.states > 100,
+            "nontrivial interleaving space: {}",
+            r.states
+        );
+    }
+
+    #[test]
+    fn shipped_ring_verifies_across_geometries() {
+        for chunks in 1..=6u8 {
+            for workers in 1..=3u8 {
+                let r = check(&RingModel::shipped(chunks, workers), opts());
+                assert!(r.ok(), "chunks={chunks} workers={workers}: {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_slots_still_deadlock_free_but_serialized() {
+        // 1 and 2 slots serialize the pipeline but never deadlock — this
+        // is why the V004 lint reports a warning, not an error, for
+        // shallow dataflow rings.
+        for slots in 1..=2usize {
+            let m = RingModel {
+                slots,
+                chunks: 4,
+                workers: 2,
+                panic_at: None,
+            };
+            let r = check(&m, opts());
+            assert!(r.ok(), "slots={slots}: {r}");
+        }
+    }
+
+    #[test]
+    fn poisoning_drains_all_coordinators() {
+        // Whatever stage panics at whatever chunk, every interleaving must
+        // end with all three coordinators done or aborted — no one left
+        // waiting on a phase that will never be published.
+        for stage in Stage::ALL {
+            for chunk in 0..4u8 {
+                let m = RingModel {
+                    slots: 3,
+                    chunks: 4,
+                    workers: 2,
+                    panic_at: Some((stage, chunk)),
+                };
+                let r = check(&m, opts());
+                assert!(
+                    r.ok(),
+                    "panic at {stage:?}/{chunk}: {r}\n{}",
+                    r.render_trace()
+                );
+                assert!(r.terminal_states > 1, "panic and clean paths both end");
+            }
+        }
+    }
+
+    #[test]
+    fn broken_publish_order_is_caught() {
+        // Regression shape: a ring whose copy-out recycles the slot for
+        // the *same* chunk (forgetting the +slots advance) strands
+        // copy-in, which waits for Empty(c+3) forever.
+        struct Broken(RingModel);
+        impl Model for Broken {
+            type State = RingState;
+            type Action = RingAction;
+            fn name(&self) -> String {
+                "ring-broken-recycle".into()
+            }
+            fn initial(&self) -> RingState {
+                self.0.initial()
+            }
+            fn actions(&self, s: &RingState) -> Vec<(RingAction, RingState)> {
+                let mut acts = self.0.actions(s);
+                for (a, n) in &mut acts {
+                    if let RingAction::Publish(Stage::CopyOut, c) = a {
+                        // Recycle for chunk c, not c + slots: stale chunk id.
+                        n.slots[*c as usize % self.0.slots] = (Phase::Empty, *c);
+                    }
+                }
+                acts
+            }
+            fn is_terminal(&self, s: &RingState) -> bool {
+                self.0.is_terminal(s)
+            }
+        }
+        let r = check(&Broken(RingModel::shipped(5, 1)), opts());
+        assert!(
+            matches!(r.violation, Some(Violation::Deadlock { .. })),
+            "stale recycle must deadlock: {r}"
+        );
+    }
+
+    #[test]
+    fn por_preserves_the_verdict() {
+        let m = RingModel::shipped(4, 3);
+        let full = check(
+            &m,
+            CheckOptions {
+                partial_order_reduction: false,
+                ..opts()
+            },
+        );
+        let reduced = check(&m, opts());
+        assert!(full.ok() && reduced.ok());
+        assert!(
+            reduced.states <= full.states,
+            "POR must not grow the space: {} vs {}",
+            reduced.states,
+            full.states
+        );
+    }
+
+    #[test]
+    fn zero_chunks_is_immediately_terminal() {
+        let r = check(&RingModel::shipped(0, 2), opts());
+        assert!(r.ok());
+        assert_eq!(r.states, 1);
+    }
+}

@@ -60,6 +60,12 @@ impl Latch {
         }
         // Release ordering pairs with the Acquire in `wait` so task side
         // effects are visible to the caller after `scoped` returns.
+        //
+        // Audit note: the notify is taken under `mutex` so it cannot slip
+        // into the window between `wait`'s predicate check and its park —
+        // the same lost-wakeup discipline mlm-verify's `models::condvar`
+        // checks for the pipeline ring (`PoisonSkipLock` is the variant
+        // that skips the lock and deadlocks).
         if self.remaining.fetch_sub(1, Ordering::Release) == 1 {
             let _guard = self.mutex.lock();
             self.condvar.notify_all();

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Fail if any `unsafe` in first-party code lacks a `// SAFETY:` comment.
+#
+# Every `unsafe` block or impl in crates/, examples/ and tests/ must be
+# annotated with a `// SAFETY:` comment on the same line or in the
+# contiguous comment block directly above it (multi-line justifications
+# are encouraged), stating the invariant that makes the operation sound.
+# Vendored stand-ins under vendor/ are exempt (they mirror upstream code).
+#
+# Run from anywhere: `scripts/check_unsafe.sh`. CI runs it in the verify job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+matches=$(grep -rn --include='*.rs' -E '\bunsafe\b' crates examples tests \
+  | grep -vE ':[0-9]+:\s*(//|\*)' \
+  | cut -d: -f1,2 || true)
+
+while IFS=: read -r file line; do
+  [ -n "$file" ] || continue
+  # Accept SAFETY: on the unsafe line itself, or anywhere in the
+  # contiguous run of comment lines directly above it.
+  if ! awk -v n="$line" '
+    NR <= n { buf[NR] = $0 }
+    END {
+      if (buf[n] ~ /SAFETY:/) { found = 1 }
+      for (i = n - 1; i >= 1; i--) {
+        if (buf[i] !~ /^[[:space:]]*(\/\/|\/\*|\*)/) break
+        if (buf[i] ~ /SAFETY:/) { found = 1; break }
+      }
+      exit !found
+    }' "$file"; then
+    echo "error: undocumented unsafe at ${file}:${line} — add a // SAFETY: comment" >&2
+    fail=1
+  fi
+done <<<"$matches"
+
+if [ "$fail" -ne 0 ]; then
+  echo >&2
+  echo "Document why each unsafe operation is sound (see host.rs for examples)." >&2
+  exit 1
+fi
+echo "check_unsafe: every unsafe site is SAFETY-annotated"
