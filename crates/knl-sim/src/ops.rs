@@ -245,6 +245,43 @@ impl Program {
             .collect()
     }
 
+    /// Splice `other` into this program with its threads shifted by
+    /// `thread_offset`, returning the new ids of `other`'s ops in push
+    /// order (`other`'s `OpId(i)` becomes `returned[i]`).
+    ///
+    /// This is how independent per-job programs compose into one
+    /// co-scheduled simulation: each job is built in isolation on threads
+    /// `0..k`, then spliced onto its own thread block of the combined
+    /// program, where the bandwidth arbiter makes the jobs' flows contend.
+    /// In-thread push order is preserved, so ops pushed on a target thread
+    /// *before* the splice (e.g. a [`OpKind::Delay`] modeling the job's
+    /// arrival time) gate every spliced op on that thread.
+    ///
+    /// Fails with [`SimError::BadThread`] when `other` does not fit the
+    /// thread range `thread_offset..self.threads()`.
+    pub fn splice(&mut self, other: &Program, thread_offset: usize) -> Result<Vec<OpId>, SimError> {
+        if thread_offset + other.threads > self.threads {
+            return Err(SimError::BadThread {
+                thread: thread_offset + other.threads.saturating_sub(1),
+                threads: self.threads,
+            });
+        }
+        let base = self.ops.len();
+        let mut ids = Vec::with_capacity(other.ops.len());
+        for (i, op) in other.ops.iter().enumerate() {
+            let deps: Vec<OpId> = op.deps.iter().map(|d| OpId(base + d.0)).collect();
+            let id = self.push_labeled(
+                op.thread.0 + thread_offset,
+                op.kind.clone(),
+                &deps,
+                op.label.clone(),
+            );
+            debug_assert_eq!(id.0, base + i);
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
     /// Validate thread indices, dependency ordering (deps must reference
     /// earlier ops), and op well-formedness.
     pub fn validate(&self) -> Result<(), SimError> {
@@ -371,6 +408,46 @@ mod tests {
         let bar = p.barrier(0..4, &[a]);
         assert_eq!(bar.len(), 4);
         p.validate().unwrap();
+    }
+
+    #[test]
+    fn splice_remaps_threads_and_deps() {
+        let mut job = Program::new(2);
+        let a = job.push(0, OpKind::copy(Place::Ddr, Place::Mcdram, 10, 1.0), &[]);
+        let _ = job.push(1, OpKind::inplace_pass(Place::Mcdram, 10, 1.0), &[a]);
+
+        let mut combined = Program::new(5);
+        // Arrival gate ahead of the job's ops on its thread block.
+        combined.push(3, OpKind::Delay { seconds: 2.0 }, &[]);
+        combined.push(4, OpKind::Delay { seconds: 2.0 }, &[]);
+        let ids = combined.splice(&job, 3).unwrap();
+        assert_eq!(ids.len(), 2);
+        let spliced_a = &combined.ops()[ids[0].0];
+        let spliced_b = &combined.ops()[ids[1].0];
+        assert_eq!(spliced_a.thread, ThreadId(3));
+        assert_eq!(spliced_b.thread, ThreadId(4));
+        assert_eq!(spliced_b.deps, vec![ids[0]]);
+        assert_eq!(spliced_a.kind, job.ops()[a.0].kind);
+        combined.validate().unwrap();
+    }
+
+    #[test]
+    fn splice_rejects_overflowing_thread_block() {
+        let job = Program::new(4);
+        let mut combined = Program::new(5);
+        assert!(matches!(
+            combined.splice(&job, 2),
+            Err(SimError::BadThread { .. })
+        ));
+        assert!(combined.splice(&job, 1).is_ok());
+    }
+
+    #[test]
+    fn splice_of_empty_program_is_a_noop() {
+        let mut combined = Program::new(2);
+        let ids = combined.splice(&Program::new(1), 1).unwrap();
+        assert!(ids.is_empty());
+        assert!(combined.ops().is_empty());
     }
 
     #[test]

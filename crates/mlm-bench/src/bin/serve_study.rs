@@ -1,0 +1,52 @@
+//! The multi-tenant serving study: sweep arrival rate × policy × MCDRAM
+//! budget over a seeded heavy-tailed job trace on the simulated KNL 7250,
+//! print the fleet statistics per cell, and write
+//! `results/serve_study.csv`.
+
+use mlm_bench::report::{render_table, secs, write_csv};
+use mlm_bench::serving::{serve_study, SERVE_JOBS, SERVE_SEED};
+
+fn main() {
+    let rows = serve_study().expect("serve study failed");
+    let headers = [
+        "arrival_rate",
+        "policy",
+        "budget_gib",
+        "jobs",
+        "rejected",
+        "makespan_s",
+        "mean_wait_s",
+        "mean_latency_s",
+        "p50_s",
+        "p95_s",
+        "p99_s",
+        "max_s",
+        "mcdram_hwm_gib",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let s = &r.stats;
+            vec![
+                format!("{:.2}", r.arrival_rate),
+                r.policy.label().to_string(),
+                r.budget_gib.to_string(),
+                s.jobs.to_string(),
+                s.rejected.to_string(),
+                secs(s.makespan),
+                secs(s.mean_queue_wait),
+                secs(s.mean_latency),
+                secs(s.p50_latency),
+                secs(s.p95_latency),
+                secs(s.p99_latency),
+                secs(s.max_latency),
+                format!("{:.2}", s.mcdram_high_water as f64 / (1u64 << 30) as f64),
+            ]
+        })
+        .collect();
+    println!("Serving study — {SERVE_JOBS} jobs per cell, seed {SERVE_SEED:#x}, KNL 7250 (flat)\n");
+    println!("{}", render_table(&headers, &body));
+    if let Ok(path) = write_csv("serve_study", &headers, &body) {
+        println!("wrote {path}");
+    }
+}

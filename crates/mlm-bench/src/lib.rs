@@ -15,11 +15,13 @@
 //! | Table 3 | [`experiments::table3`] | `table3` |
 //! | §2.3 / §4 Bender corroboration | [`experiments::bender_check`] | `bender_check` |
 //! | host lockstep-vs-dataflow ablation | [`experiments::host_pipeline_ablation`] | `host_ablation` |
+//! | multi-tenant serving study | [`serving::serve_study`] | `serve_study` |
 
 pub mod calibrate;
 pub mod experiments;
 pub mod paper;
 pub mod report;
+pub mod serving;
 pub mod verify;
 
 /// Number of simulated hardware threads the paper's runs used.

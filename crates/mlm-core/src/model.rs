@@ -33,6 +33,24 @@ pub struct ModelParams {
     pub total_threads: usize,
 }
 
+/// A concrete three-pool thread assignment derived from the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadSplit {
+    /// Copy-in pool size.
+    pub p_in: usize,
+    /// Copy-out pool size.
+    pub p_out: usize,
+    /// Compute pool size.
+    pub p_comp: usize,
+}
+
+impl ThreadSplit {
+    /// Total threads the split occupies.
+    pub fn total(&self) -> usize {
+        self.p_in + self.p_out + self.p_comp
+    }
+}
+
 impl ModelParams {
     /// The paper's Table 2 values.
     pub fn paper_table2() -> Self {
@@ -164,6 +182,37 @@ impl ModelParams {
             }
         }
         best
+    }
+
+    /// The same model under a different thread budget — how a scheduler
+    /// re-poses the single-job question when a job is granted only a slice
+    /// of the machine.
+    pub fn with_total_threads(mut self, threads: usize) -> Self {
+        self.total_threads = threads;
+        self
+    }
+
+    /// The Eqs. 1–5 optimum as a concrete pool assignment under the
+    /// current thread budget: symmetric copy pools from
+    /// [`Self::optimal_copy_threads`], every remaining thread computing.
+    ///
+    /// Returns `None` when the budget cannot host all three pools
+    /// (`total_threads < 3`). This is the per-job tuner a multi-tenant
+    /// scheduler calls each time the co-resident job set — and with it each
+    /// job's thread budget — changes.
+    pub fn optimal_split(&self, passes: u32) -> Option<ThreadSplit> {
+        if self.total_threads < 3 {
+            return None;
+        }
+        let (p, t) = self.optimal_copy_threads(passes);
+        if !t.is_finite() {
+            return None;
+        }
+        Some(ThreadSplit {
+            p_in: p,
+            p_out: p,
+            p_comp: self.total_threads - 2 * p,
+        })
     }
 
     /// Like [`Self::optimal_copy_threads`] but restricted to the candidate
@@ -314,6 +363,29 @@ mod tests {
         let balanced = m.t_total_asymmetric(8, 8, 4).unwrap();
         let lopsided = m.t_total_asymmetric(2, 14, 4).unwrap();
         assert!(lopsided > balanced);
+    }
+
+    #[test]
+    fn optimal_split_covers_the_budget() {
+        for budget in [3usize, 4, 8, 16, 64, 256] {
+            let m = m().with_total_threads(budget);
+            for passes in [1u32, 4, 16] {
+                let s = m.optimal_split(passes).unwrap();
+                assert_eq!(s.total(), budget, "budget {budget}, passes {passes}");
+                assert_eq!(s.p_in, s.p_out);
+                assert!(s.p_comp >= 1);
+                // The split is exactly the symmetric optimum's.
+                assert_eq!(s.p_in, m.optimal_copy_threads(passes).0);
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_split_needs_three_threads() {
+        assert!(m().with_total_threads(2).optimal_split(1).is_none());
+        assert!(m().with_total_threads(0).optimal_split(1).is_none());
+        let s = m().with_total_threads(3).optimal_split(64).unwrap();
+        assert_eq!((s.p_in, s.p_out, s.p_comp), (1, 1, 1));
     }
 
     #[test]

@@ -84,6 +84,20 @@ impl PipelineSpec {
         self.chunk_bytes.min(self.total_bytes - start)
     }
 
+    /// Bytes of chunk-buffer capacity the pipeline keeps resident: the
+    /// rotating ring of `slots` chunk buffers, or nothing for
+    /// [`Placement::Implicit`] (which owns no buffers at all).
+    ///
+    /// For [`Placement::Hbw`] this is the MCDRAM capacity an admission
+    /// controller must reserve before letting the job run; the same number
+    /// feeds the aggregate-oversubscription lint.
+    pub fn buffer_footprint(&self, slots: usize) -> u64 {
+        match self.placement {
+            Placement::Implicit => 0,
+            Placement::Hbw | Placement::Ddr => self.chunk_bytes.saturating_mul(slots as u64),
+        }
+    }
+
     /// Total simulated threads the schedule occupies.
     pub fn threads(&self) -> usize {
         match self.placement {
@@ -211,6 +225,16 @@ mod tests {
         // Zero-sized types are treated as 1-byte for geometry purposes.
         s.chunk_bytes = 30;
         assert!(s.validate_elem_size(0).is_ok());
+    }
+
+    #[test]
+    fn buffer_footprint_by_placement() {
+        let mut s = spec();
+        assert_eq!(s.buffer_footprint(3), 90);
+        s.placement = Placement::Ddr;
+        assert_eq!(s.buffer_footprint(3), 90);
+        s.placement = Placement::Implicit;
+        assert_eq!(s.buffer_footprint(3), 0);
     }
 
     #[test]

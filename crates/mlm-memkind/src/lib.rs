@@ -22,6 +22,8 @@
 //! mk.free(a);
 //! ```
 
+use std::collections::BTreeMap;
+
 use knl_sim::alloc::{Region, RegionAllocator};
 use knl_sim::machine::MachineConfig;
 use knl_sim::{MemLevel, SimError};
@@ -74,11 +76,65 @@ impl SimAllocation {
     }
 }
 
+/// A live capacity reservation. Created by [`MemKind::try_reserve`],
+/// returned with [`MemKind::release`].
+///
+/// A reservation is an accounting claim, not an address range: it shrinks
+/// what [`MemKind::reservable`] reports so an admission controller can
+/// promise capacity to a job *before* the job allocates its actual buffers
+/// (which still go through [`MemKind::malloc`]). This is the broker-side
+/// half of the `hbw_malloc` story: real memkind has no reserve call, so
+/// multi-tenant KNL schedulers layered exactly this bookkeeping on top.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Reservation {
+    level: MemLevel,
+    kind: Kind,
+    bytes: u64,
+    serial: u64,
+}
+
+impl Reservation {
+    /// The level whose capacity this reservation holds (for
+    /// [`Kind::HbwPreferred`] this may be [`MemLevel::Ddr`] — the
+    /// fallback).
+    pub fn level(&self) -> MemLevel {
+        self.level
+    }
+
+    /// The kind the reservation was requested with.
+    pub fn kind(&self) -> Kind {
+        self.kind
+    }
+
+    /// Reserved bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
 struct Inner {
     ddr: RegionAllocator,
     mcdram: RegionAllocator,
     next_serial: u64,
     live: usize,
+    /// Live reservations by serial: (level, bytes). A `BTreeMap` keeps the
+    /// iteration (and thus any diagnostic output) deterministic.
+    reservations: BTreeMap<u64, (MemLevel, u64)>,
+    reserved: [u64; 2],
+}
+
+impl Inner {
+    fn reserved(&self, level: MemLevel) -> u64 {
+        self.reserved[level.index()]
+    }
+
+    fn reservable(&self, level: MemLevel) -> u64 {
+        let avail = match level {
+            MemLevel::Ddr => self.ddr.available(),
+            MemLevel::Mcdram => self.mcdram.available(),
+        };
+        avail.saturating_sub(self.reserved(level))
+    }
 }
 
 /// The heap manager: one per simulated machine.
@@ -97,6 +153,8 @@ impl MemKind {
                 mcdram: RegionAllocator::new(MemLevel::Mcdram, cfg.addressable_mcdram()),
                 next_serial: 0,
                 live: 0,
+                reservations: BTreeMap::new(),
+                reserved: [0; 2],
             }),
         }
     }
@@ -157,6 +215,102 @@ impl MemKind {
     /// Number of live (unfreed) allocations.
     pub fn live_allocations(&self) -> usize {
         self.inner.lock().live
+    }
+
+    /// Reserve `bytes` of capacity under the given kind's placement policy
+    /// without allocating an address range.
+    ///
+    /// [`Kind::Hbw`] reserves strictly from MCDRAM and fails with
+    /// [`SimError::OutOfMemory`] when the unreserved MCDRAM capacity is
+    /// exhausted; [`Kind::HbwPreferred`] falls back to a DDR reservation in
+    /// that case (mirroring `HBW_PREFERRED` allocation fallback);
+    /// [`Kind::Default`] reserves from DDR. Reservations stack with live
+    /// allocations: both shrink [`Self::reservable`], but a reservation
+    /// does not block [`Self::malloc`] — the reserving job is expected to
+    /// allocate into its own claim.
+    pub fn try_reserve(&self, kind: Kind, bytes: u64) -> Result<Reservation, SimError> {
+        if bytes == 0 {
+            return Err(SimError::BadOp("reservation of zero bytes".into()));
+        }
+        let mut g = self.inner.lock();
+        let level = match kind {
+            Kind::Default => {
+                Self::claim(&g, MemLevel::Ddr, bytes)?;
+                MemLevel::Ddr
+            }
+            Kind::Hbw => {
+                Self::claim(&g, MemLevel::Mcdram, bytes)?;
+                MemLevel::Mcdram
+            }
+            Kind::HbwPreferred => match Self::claim(&g, MemLevel::Mcdram, bytes) {
+                Ok(()) => MemLevel::Mcdram,
+                Err(SimError::OutOfMemory { .. }) => {
+                    Self::claim(&g, MemLevel::Ddr, bytes)?;
+                    MemLevel::Ddr
+                }
+                Err(e) => return Err(e),
+            },
+        };
+        let serial = g.next_serial;
+        g.next_serial += 1;
+        g.reserved[level.index()] += bytes;
+        g.reservations.insert(serial, (level, bytes));
+        Ok(Reservation {
+            level,
+            kind,
+            bytes,
+            serial,
+        })
+    }
+
+    fn claim(g: &Inner, level: MemLevel, bytes: u64) -> Result<(), SimError> {
+        let free = g.reservable(level);
+        if bytes > free {
+            return Err(SimError::OutOfMemory {
+                level,
+                requested: bytes,
+                available: free,
+            });
+        }
+        Ok(())
+    }
+
+    /// Return a reservation's capacity to its level.
+    ///
+    /// Fails with [`SimError::BadOp`] when the reservation is not live —
+    /// i.e. on a double release (reservations are `Clone` for bookkeeping,
+    /// so the type system alone cannot rule that out, and silently
+    /// tolerating it would corrupt the broker's balance).
+    pub fn release(&self, r: &Reservation) -> Result<(), SimError> {
+        let mut g = self.inner.lock();
+        match g.reservations.remove(&r.serial) {
+            Some((level, bytes)) => {
+                debug_assert_eq!((level, bytes), (r.level, r.bytes));
+                g.reserved[level.index()] -= bytes;
+                Ok(())
+            }
+            None => Err(SimError::BadOp(format!(
+                "double release of reservation #{} ({} bytes of {:?})",
+                r.serial, r.bytes, r.level
+            ))),
+        }
+    }
+
+    /// Bytes currently held by live reservations in `level`.
+    pub fn reserved(&self, level: MemLevel) -> u64 {
+        self.inner.lock().reserved(level)
+    }
+
+    /// Bytes still reservable in `level`: the allocator's availability
+    /// minus live reservations.
+    pub fn reservable(&self, level: MemLevel) -> u64 {
+        self.inner.lock().reservable(level)
+    }
+
+    /// Number of live reservations (the broker's balance; zero after a
+    /// full drain).
+    pub fn live_reservations(&self) -> usize {
+        self.inner.lock().reservations.len()
     }
 }
 
@@ -280,5 +434,93 @@ mod tests {
     fn zero_size_rejected() {
         let mk = flat();
         assert!(mk.malloc(Kind::Default, 0).is_err());
+    }
+
+    #[test]
+    fn reserve_exhaustion_is_strict_for_hbw() {
+        let mk = flat();
+        let a = mk.try_reserve(Kind::Hbw, 10 * GIB).unwrap();
+        assert_eq!(a.level(), MemLevel::Mcdram);
+        assert_eq!(mk.reservable(MemLevel::Mcdram), 6 * GIB);
+        let err = mk.try_reserve(Kind::Hbw, 8 * GIB).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::OutOfMemory {
+                level: MemLevel::Mcdram,
+                requested,
+                available,
+            } if requested == 8 * GIB && available == 6 * GIB
+        ));
+        mk.release(&a).unwrap();
+        assert!(mk.try_reserve(Kind::Hbw, 16 * GIB).is_ok());
+    }
+
+    #[test]
+    fn reserve_preferred_falls_back_to_ddr() {
+        let mk = flat();
+        let big = mk.try_reserve(Kind::Hbw, 15 * GIB).unwrap();
+        let b = mk.try_reserve(Kind::HbwPreferred, 4 * GIB).unwrap();
+        assert_eq!(b.level(), MemLevel::Ddr, "fallback once MCDRAM is claimed");
+        assert_eq!(b.kind(), Kind::HbwPreferred);
+        assert_eq!(mk.reserved(MemLevel::Ddr), 4 * GIB);
+        mk.release(&big).unwrap();
+        mk.release(&b).unwrap();
+        let c = mk.try_reserve(Kind::HbwPreferred, 4 * GIB).unwrap();
+        assert_eq!(c.level(), MemLevel::Mcdram, "MCDRAM again after release");
+        mk.release(&c).unwrap();
+    }
+
+    #[test]
+    fn double_release_is_rejected() {
+        let mk = flat();
+        let r = mk.try_reserve(Kind::Hbw, GIB).unwrap();
+        mk.release(&r).unwrap();
+        let err = mk.release(&r).unwrap_err();
+        assert!(matches!(err, SimError::BadOp(msg) if msg.contains("double release")));
+        // The failed release must not disturb the balance.
+        assert_eq!(mk.reserved(MemLevel::Mcdram), 0);
+        assert_eq!(mk.live_reservations(), 0);
+    }
+
+    #[test]
+    fn reservations_stack_with_allocations() {
+        let mk = flat();
+        let alloc = mk.malloc(Kind::Hbw, 6 * GIB).unwrap();
+        // 10 GiB of unallocated MCDRAM remain; reservations claim from it.
+        let r = mk.try_reserve(Kind::Hbw, 8 * GIB).unwrap();
+        assert_eq!(mk.reservable(MemLevel::Mcdram), 2 * GIB);
+        assert!(mk.try_reserve(Kind::Hbw, 3 * GIB).is_err());
+        // A reservation is accounting only: the claiming job can still
+        // malloc its buffers into the claim.
+        let buf = mk.malloc(Kind::Hbw, 8 * GIB).unwrap();
+        assert_eq!(buf.level(), MemLevel::Mcdram);
+        mk.free(alloc);
+        mk.free(buf);
+        mk.release(&r).unwrap();
+        assert_eq!(mk.reservable(MemLevel::Mcdram), 16 * GIB);
+    }
+
+    #[test]
+    fn reserve_balance_returns_to_zero_after_drain() {
+        let mk = flat();
+        let rs: Vec<Reservation> = (0..8)
+            .map(|_| mk.try_reserve(Kind::HbwPreferred, 3 * GIB).unwrap())
+            .collect();
+        // 16 GiB MCDRAM holds five 3-GiB claims; the rest spill to DDR.
+        assert_eq!(mk.reserved(MemLevel::Mcdram), 15 * GIB);
+        assert_eq!(mk.reserved(MemLevel::Ddr), 9 * GIB);
+        assert_eq!(mk.live_reservations(), 8);
+        for r in &rs {
+            mk.release(r).unwrap();
+        }
+        assert_eq!(mk.live_reservations(), 0);
+        assert_eq!(mk.reserved(MemLevel::Mcdram), 0);
+        assert_eq!(mk.reserved(MemLevel::Ddr), 0);
+    }
+
+    #[test]
+    fn zero_byte_reservation_rejected() {
+        let mk = flat();
+        assert!(mk.try_reserve(Kind::Hbw, 0).is_err());
     }
 }

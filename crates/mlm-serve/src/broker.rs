@@ -1,0 +1,235 @@
+//! The MCDRAM capacity broker: admission control over [`mlm_memkind`]
+//! reservations.
+//!
+//! Before a pipeline job may run, its rotating ring of chunk buffers must
+//! have somewhere to live. The broker holds a [`MemKind`] heap whose MCDRAM
+//! capacity is the operator-configured *budget* (usually the machine's
+//! addressable MCDRAM, possibly less to keep headroom), and admits a job by
+//! taking a [`Reservation`] for the job's buffer footprint. Release happens
+//! at job completion, so `reserved ≤ budget` holds at every instant by
+//! construction.
+//!
+//! Spill policy mirrors memkind's two flavours: strict ([`Kind::Hbw`])
+//! makes a job *wait* for MCDRAM, preferred ([`Kind::HbwPreferred`]) lets
+//! it run immediately with DDR buffers — slower, but unblocked.
+
+use knl_sim::machine::MachineConfig;
+use knl_sim::{MemLevel, SimError};
+use mlm_core::{PipelineSpec, Placement};
+use mlm_memkind::{Kind, MemKind, Reservation};
+
+/// Buffer slots a pipeline keeps resident (triple buffering, paper Fig. 2).
+/// Must agree with the ring depth the pipeline backends implement.
+pub const RING_SLOTS: usize = 3;
+
+/// Result of one admission attempt.
+#[derive(Debug)]
+pub enum AdmitOutcome {
+    /// The job may start. The reservation is `None` for jobs with no buffer
+    /// footprint (cache-mode jobs own no buffers).
+    Admitted(Option<Reservation>),
+    /// Capacity is currently held by co-resident jobs; retry when one
+    /// completes.
+    Busy,
+}
+
+/// Admission controller over a budgeted [`MemKind`] heap.
+pub struct CapacityBroker {
+    mk: MemKind,
+    mcdram_budget: u64,
+    ddr_capacity: u64,
+    spill: bool,
+    hwm: u64,
+}
+
+impl CapacityBroker {
+    /// A broker for `machine` whose MCDRAM budget is `mcdram_budget` bytes
+    /// (clamped to nothing in cache mode, where no MCDRAM is addressable).
+    /// With `spill` set, jobs that want MCDRAM run from DDR instead of
+    /// waiting when the budget is exhausted (`HBW_PREFERRED` semantics).
+    pub fn new(machine: &MachineConfig, mcdram_budget: u64, spill: bool) -> Self {
+        let mut cfg = machine.clone();
+        cfg.mcdram_capacity = mcdram_budget.min(machine.addressable_mcdram());
+        CapacityBroker {
+            mk: MemKind::new(&cfg),
+            mcdram_budget: cfg.addressable_mcdram(),
+            ddr_capacity: cfg.ddr_capacity,
+            spill,
+            hwm: 0,
+        }
+    }
+
+    /// The [`Kind`] a spec's buffers are requested with under the broker's
+    /// spill policy.
+    fn kind_for(&self, spec: &PipelineSpec) -> Kind {
+        match spec.placement {
+            Placement::Hbw => {
+                if self.spill {
+                    Kind::HbwPreferred
+                } else {
+                    Kind::Hbw
+                }
+            }
+            Placement::Ddr => Kind::Default,
+            Placement::Implicit => Kind::Default, // unused: footprint is 0
+        }
+    }
+
+    /// `false` when the job's footprint exceeds every level its kind may
+    /// land in — such jobs are rejected at submission rather than queued
+    /// forever.
+    pub fn can_ever_fit(&self, spec: &PipelineSpec) -> bool {
+        let footprint = spec.buffer_footprint(RING_SLOTS);
+        if footprint == 0 {
+            return true;
+        }
+        match self.kind_for(spec) {
+            Kind::Hbw => footprint <= self.mcdram_budget,
+            Kind::HbwPreferred => footprint <= self.mcdram_budget.max(self.ddr_capacity),
+            Kind::Default => footprint <= self.ddr_capacity,
+        }
+    }
+
+    /// Try to admit `spec`: reserve its buffer footprint, or report `Busy`
+    /// when co-resident jobs currently hold the capacity.
+    ///
+    /// Errors are reserved for jobs that should have been filtered by
+    /// [`Self::can_ever_fit`] — asking for more than the budget is a caller
+    /// bug, not transient contention.
+    pub fn try_admit(&mut self, spec: &PipelineSpec) -> Result<AdmitOutcome, String> {
+        let footprint = spec.buffer_footprint(RING_SLOTS);
+        if footprint == 0 {
+            return Ok(AdmitOutcome::Admitted(None));
+        }
+        if !self.can_ever_fit(spec) {
+            return Err(format!(
+                "job footprint {footprint} B exceeds broker capacity \
+                 (budget {} B)",
+                self.mcdram_budget
+            ));
+        }
+        match self.mk.try_reserve(self.kind_for(spec), footprint) {
+            Ok(r) => {
+                self.hwm = self.hwm.max(self.mk.reserved(MemLevel::Mcdram));
+                Ok(AdmitOutcome::Admitted(Some(r)))
+            }
+            Err(SimError::OutOfMemory { .. }) => Ok(AdmitOutcome::Busy),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Return a reservation at job completion.
+    pub fn release(&mut self, r: &Reservation) -> Result<(), String> {
+        self.mk.release(r).map_err(|e| e.to_string())
+    }
+
+    /// Bytes of MCDRAM currently reserved.
+    pub fn reserved_mcdram(&self) -> u64 {
+        self.mk.reserved(MemLevel::Mcdram)
+    }
+
+    /// Highest MCDRAM reservation level ever observed.
+    pub fn high_water(&self) -> u64 {
+        self.hwm
+    }
+
+    /// The broker's MCDRAM budget in bytes.
+    pub fn budget(&self) -> u64 {
+        self.mcdram_budget
+    }
+
+    /// Number of live reservations (0 after a full drain).
+    pub fn balance(&self) -> usize {
+        self.mk.live_reservations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knl_sim::machine::MemMode;
+    use knl_sim::GIB;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::knl_7250(MemMode::Flat)
+    }
+
+    fn spec(chunk: u64, placement: Placement) -> PipelineSpec {
+        PipelineSpec {
+            total_bytes: 32 * GIB,
+            chunk_bytes: chunk,
+            p_in: 2,
+            p_out: 2,
+            p_comp: 4,
+            compute_passes: 2,
+            compute_rate: 6.78e9,
+            copy_rate: 4.8e9,
+            placement,
+            lockstep: false,
+            data_addr: 0,
+        }
+    }
+
+    #[test]
+    fn strict_broker_blocks_then_admits_after_release() {
+        let mut b = CapacityBroker::new(&machine(), 8 * GIB, false);
+        let s = spec(2 * GIB, Placement::Hbw); // 6 GiB ring
+        let r1 = match b.try_admit(&s).unwrap() {
+            AdmitOutcome::Admitted(Some(r)) => r,
+            other => panic!("expected admission, got {other:?}"),
+        };
+        assert_eq!(r1.level(), MemLevel::Mcdram);
+        assert_eq!(b.reserved_mcdram(), 6 * GIB);
+        // Second elephant cannot fit in the remaining 2 GiB.
+        assert!(matches!(b.try_admit(&s).unwrap(), AdmitOutcome::Busy));
+        b.release(&r1).unwrap();
+        assert!(matches!(
+            b.try_admit(&s).unwrap(),
+            AdmitOutcome::Admitted(Some(_))
+        ));
+        assert_eq!(b.high_water(), 6 * GIB);
+    }
+
+    #[test]
+    fn spill_broker_falls_back_to_ddr() {
+        let mut b = CapacityBroker::new(&machine(), 8 * GIB, true);
+        let s = spec(2 * GIB, Placement::Hbw);
+        let _r1 = match b.try_admit(&s).unwrap() {
+            AdmitOutcome::Admitted(Some(r)) => r,
+            other => panic!("expected admission, got {other:?}"),
+        };
+        let r2 = match b.try_admit(&s).unwrap() {
+            AdmitOutcome::Admitted(Some(r)) => r,
+            other => panic!("expected DDR spill, got {other:?}"),
+        };
+        assert_eq!(r2.level(), MemLevel::Ddr);
+    }
+
+    #[test]
+    fn impossible_jobs_are_detected_up_front() {
+        let b = CapacityBroker::new(&machine(), 4 * GIB, false);
+        // 6 GiB ring > 4 GiB budget: can never fit under strict policy.
+        assert!(!b.can_ever_fit(&spec(2 * GIB, Placement::Hbw)));
+        // But fits with spill (lands in DDR).
+        let b = CapacityBroker::new(&machine(), 4 * GIB, true);
+        assert!(b.can_ever_fit(&spec(2 * GIB, Placement::Hbw)));
+    }
+
+    #[test]
+    fn implicit_jobs_need_no_reservation() {
+        let mut b = CapacityBroker::new(&machine(), GIB, false);
+        let s = spec(2 * GIB, Placement::Implicit);
+        assert!(b.can_ever_fit(&s));
+        assert!(matches!(
+            b.try_admit(&s).unwrap(),
+            AdmitOutcome::Admitted(None)
+        ));
+        assert_eq!(b.balance(), 0);
+    }
+
+    #[test]
+    fn budget_is_clamped_to_addressable_mcdram() {
+        let b = CapacityBroker::new(&machine(), u64::MAX, false);
+        assert_eq!(b.budget(), machine().addressable_mcdram());
+    }
+}

@@ -1,0 +1,191 @@
+//! Job descriptions: what tenants submit and what the fleet records.
+
+use knl_sim::MemLevel;
+use mlm_core::{PipelineSpec, ThreadSplit};
+
+/// Tenant-assigned job identifier; unique within one trace.
+pub type JobId = u64;
+
+/// Latency expectation class a tenant attaches to a job. The weighted
+/// fair-share policy schedules *across* classes, so a queue of batch
+/// elephants cannot starve interactive work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeadlineClass {
+    /// Small, latency-sensitive jobs.
+    Interactive,
+    /// Ordinary throughput jobs.
+    Standard,
+    /// Large background jobs; tolerate delay.
+    Batch,
+}
+
+/// Number of [`DeadlineClass`] variants (size of per-class credit arrays).
+pub const N_CLASSES: usize = 3;
+
+impl DeadlineClass {
+    /// All classes, in priority order.
+    pub const ALL: [DeadlineClass; N_CLASSES] = [
+        DeadlineClass::Interactive,
+        DeadlineClass::Standard,
+        DeadlineClass::Batch,
+    ];
+
+    /// Fair-share weight: the class's share of admissions under contention.
+    pub fn weight(self) -> f64 {
+        match self {
+            DeadlineClass::Interactive => 4.0,
+            DeadlineClass::Standard => 2.0,
+            DeadlineClass::Batch => 1.0,
+        }
+    }
+
+    /// Index into per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            DeadlineClass::Interactive => 0,
+            DeadlineClass::Standard => 1,
+            DeadlineClass::Batch => 2,
+        }
+    }
+
+    /// Human-readable name for tables and CSV rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeadlineClass::Interactive => "interactive",
+            DeadlineClass::Standard => "standard",
+            DeadlineClass::Batch => "batch",
+        }
+    }
+}
+
+/// One job submission: a pipeline to run, when it arrives, and how urgent
+/// it is.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Tenant-assigned identifier.
+    pub id: JobId,
+    /// Arrival time in seconds from trace start.
+    pub arrival: f64,
+    /// Latency expectation class.
+    pub class: DeadlineClass,
+    /// The pipeline the job wants to run.
+    pub spec: PipelineSpec,
+}
+
+impl JobRequest {
+    /// Convenience constructor.
+    pub fn new(id: JobId, arrival: f64, class: DeadlineClass, spec: PipelineSpec) -> Self {
+        JobRequest {
+            id,
+            arrival,
+            class,
+            spec,
+        }
+    }
+}
+
+/// Per-job outcome emitted by the scheduler.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Tenant-assigned identifier.
+    pub id: JobId,
+    /// Latency expectation class.
+    pub class: DeadlineClass,
+    /// Arrival time (seconds).
+    pub arrival: f64,
+    /// Admission time — when the broker granted the buffer reservation and
+    /// the job started running.
+    pub start: f64,
+    /// Completion time.
+    pub finish: f64,
+    /// Memory level the broker placed the job's chunk buffers in. `Mcdram`
+    /// normally; `Ddr` when an `HBW_PREFERRED`-style broker spilled it.
+    pub buffer_level: MemLevel,
+    /// Thread split the Eqs. 1–5 tuner assigned at completion time (the
+    /// last co-residency change the job saw).
+    pub split: ThreadSplit,
+}
+
+impl JobRecord {
+    /// Seconds spent queued before admission.
+    pub fn queue_wait(&self) -> f64 {
+        self.start - self.arrival
+    }
+
+    /// End-to-end latency: arrival to completion.
+    pub fn latency(&self) -> f64 {
+        self.finish - self.arrival
+    }
+
+    /// Time spent actually running.
+    pub fn service(&self) -> f64 {
+        self.finish - self.start
+    }
+}
+
+/// A job the broker refused outright because it can never fit.
+#[derive(Debug, Clone)]
+pub struct Rejection {
+    /// Tenant-assigned identifier.
+    pub id: JobId,
+    /// Why admission was impossible.
+    pub reason: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlm_core::Placement;
+
+    fn spec() -> PipelineSpec {
+        PipelineSpec {
+            total_bytes: 1 << 30,
+            chunk_bytes: 1 << 27,
+            p_in: 2,
+            p_out: 2,
+            p_comp: 4,
+            compute_passes: 2,
+            compute_rate: 6.78e9,
+            copy_rate: 4.8e9,
+            placement: Placement::Hbw,
+            lockstep: false,
+            data_addr: 0,
+        }
+    }
+
+    #[test]
+    fn record_latency_accounting() {
+        let r = JobRecord {
+            id: 7,
+            class: DeadlineClass::Standard,
+            arrival: 1.0,
+            start: 3.0,
+            finish: 10.0,
+            buffer_level: MemLevel::Mcdram,
+            split: ThreadSplit {
+                p_in: 1,
+                p_out: 1,
+                p_comp: 2,
+            },
+        };
+        assert_eq!(r.queue_wait(), 2.0);
+        assert_eq!(r.latency(), 9.0);
+        assert_eq!(r.service(), 7.0);
+    }
+
+    #[test]
+    fn class_weights_rank_interactive_first() {
+        assert!(DeadlineClass::Interactive.weight() > DeadlineClass::Standard.weight());
+        assert!(DeadlineClass::Standard.weight() > DeadlineClass::Batch.weight());
+        for (i, c) in DeadlineClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn request_builds() {
+        let j = JobRequest::new(1, 0.5, DeadlineClass::Interactive, spec());
+        assert_eq!(j.id, 1);
+        assert!(j.spec.validate().is_ok());
+    }
+}

@@ -1,0 +1,44 @@
+//! # mlm-serve — multi-tenant job serving for MCDRAM-constrained nodes
+//!
+//! The paper sizes *one* chunked pipeline to *one* KNL node. A shared node
+//! poses the follow-on question: given a stream of pipeline jobs whose
+//! buffer rings all want the same 16 GB of MCDRAM, who runs when, and
+//! where do their buffers live? This crate answers it with three layers:
+//!
+//! * **Capacity broker** ([`broker`]) — admission control over
+//!   [`mlm_memkind`] reservations. A job runs only once its ring of chunk
+//!   buffers is reserved; strict mode queues (`HBW`), spill mode falls
+//!   back to DDR (`HBW_PREFERRED`), and `reserved ≤ budget` holds at every
+//!   instant by construction.
+//! * **Scheduler** ([`sched`]) — a deterministic virtual-time event loop.
+//!   Each running job's service time comes from the paper's §3.2 model
+//!   re-tuned for its current thread budget ([`policy::profile`]), and
+//!   co-resident jobs contend as flows in the same max–min-fair
+//!   water-filling the op-level simulator uses. Policies: FIFO, SJF
+//!   (model-predicted makespan), and weighted fair-share across deadline
+//!   classes.
+//! * **Backends** — [`simx`] replays a realized schedule op-by-op in
+//!   [`knl_sim`] (delay-gated, spliced programs; a single-job replay is
+//!   bit-identical to running the pipeline directly), and [`host`] runs
+//!   jobs concurrently for real on the dataflow pipeline's stage pools.
+//!
+//! Trace generation ([`trace`]) and fleet statistics ([`stats`]) round out
+//! the loop that `mlm-bench --bin serve_study` sweeps.
+
+pub mod broker;
+pub mod host;
+pub mod job;
+pub mod policy;
+pub mod sched;
+pub mod simx;
+pub mod stats;
+pub mod trace;
+
+pub use broker::{AdmitOutcome, CapacityBroker, RING_SLOTS};
+pub use host::{serve_host, HostJob, HostJobResult, HostServeConfig};
+pub use job::{DeadlineClass, JobId, JobRecord, JobRequest, Rejection};
+pub use policy::{bus_demand, predicted_makespan, profile, JobProfile, Policy};
+pub use sched::{serve, ServeConfig, ServeOutcome};
+pub use simx::{co_schedule_program, replay, ScheduledJob, SimJobStats};
+pub use stats::{percentile, FleetStats};
+pub use trace::{heavy_tailed_trace, TraceConfig};

@@ -1,0 +1,256 @@
+//! Scheduling policies and the §3.2-model job profiler they share.
+//!
+//! The scheduler needs two model-derived numbers per job:
+//!
+//! * a *predicted makespan* (dedicated-machine service time) for
+//!   shortest-job-first ordering and fair-share credit accounting, and
+//! * a *bus demand profile* — bytes of DDR and MCDRAM bus traffic per
+//!   dedicated-second — so co-resident jobs can be arbitrated by the same
+//!   max–min-fair water-filling the simulator applies to individual ops.
+
+use knl_sim::MachineConfig;
+use mlm_core::{ModelParams, PipelineSpec, Placement, ThreadSplit};
+
+/// Queue discipline for admitting ready jobs to the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// First-in first-out. Head-of-line blocking: when the oldest job's
+    /// buffer reservation does not fit, everything behind it waits.
+    Fifo,
+    /// Shortest predicted makespan first (§3.2 model estimate).
+    Sjf,
+    /// Weighted round-robin across deadline classes; a class whose head
+    /// does not fit is skipped, so elephants cannot block interactive work.
+    FairShare,
+}
+
+impl Policy {
+    /// All policies, for sweeps.
+    pub const ALL: [Policy; 3] = [Policy::Fifo, Policy::Sjf, Policy::FairShare];
+
+    /// Short name for tables and CSV rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::Fifo => "fifo",
+            Policy::Sjf => "sjf",
+            Policy::FairShare => "fair",
+        }
+    }
+}
+
+/// What one job looks like to the fleet scheduler: how long it runs with a
+/// dedicated thread budget, and how hard it leans on each memory bus while
+/// doing so.
+#[derive(Debug, Clone, Copy)]
+pub struct JobProfile {
+    /// Dedicated service time at the profiled thread budget (seconds).
+    pub t0: f64,
+    /// Bytes of DDR bus traffic per dedicated-second of progress.
+    pub ddr_coeff: f64,
+    /// Bytes of MCDRAM bus traffic per dedicated-second of progress.
+    pub mcd_coeff: f64,
+    /// Thread split the profile assumed.
+    pub split: ThreadSplit,
+}
+
+/// Model parameters for `spec` running on `machine` with `budget` threads,
+/// with the bus ceilings adjusted for where the buffers actually live.
+///
+/// When buffers fall back to DDR (or the job is cache-mode), compute and
+/// copy traffic share the DDR bus, so the model's "MCDRAM" ceiling becomes
+/// the DDR ceiling — the same substitution the paper's MLM-ddr variant
+/// makes.
+fn model_for(
+    spec: &PipelineSpec,
+    effective: Placement,
+    machine: &MachineConfig,
+    budget: usize,
+) -> ModelParams {
+    let (ddr_max, mcdram_max) = match effective {
+        Placement::Hbw => (machine.ddr_bandwidth, machine.effective_mcdram_bandwidth()),
+        Placement::Ddr | Placement::Implicit => (machine.ddr_bandwidth, machine.ddr_bandwidth),
+    };
+    ModelParams {
+        b_copy: spec.total_bytes as f64,
+        ddr_max,
+        mcdram_max,
+        s_copy: spec.copy_rate,
+        s_comp: spec.compute_rate,
+        total_threads: budget,
+    }
+}
+
+/// Total bus bytes a full run of `spec` moves, by level, assuming buffers
+/// live at `effective` placement.
+///
+/// * `Hbw`: the source read and result write ride DDR (2B); the buffer
+///   fills/drains and every compute pass ride MCDRAM (2B + 2B·passes).
+/// * `Ddr`: everything rides DDR (copies 4B, compute 2B·passes).
+/// * `Implicit`: the cold pass misses to DDR (2B); warm passes hit the
+///   MCDRAM cache (2B·passes).
+pub fn bus_demand(spec: &PipelineSpec, effective: Placement) -> (f64, f64) {
+    let b = spec.total_bytes as f64;
+    let passes = f64::from(spec.compute_passes);
+    match effective {
+        Placement::Hbw => (2.0 * b, 2.0 * b + 2.0 * b * passes),
+        Placement::Ddr => (4.0 * b + 2.0 * b * passes, 0.0),
+        Placement::Implicit => (2.0 * b, 2.0 * b * passes),
+    }
+}
+
+/// Profile `spec` under a thread `budget`, with buffers at `effective`
+/// placement (which differs from `spec.placement` when the broker spilled
+/// the job to DDR).
+///
+/// With `retune` set the Eqs. 1–5 optimiser picks the split for the budget;
+/// otherwise the spec's own pools are used as submitted. Errors if the
+/// resulting split cannot make progress (model predicts infinite time).
+pub fn profile(
+    spec: &PipelineSpec,
+    effective: Placement,
+    machine: &MachineConfig,
+    budget: usize,
+    retune: bool,
+) -> Result<JobProfile, String> {
+    let m = model_for(spec, effective, machine, budget);
+    let split = if retune {
+        m.optimal_split(spec.compute_passes).unwrap_or(ThreadSplit {
+            p_in: 1,
+            p_out: 1,
+            p_comp: 1,
+        })
+    } else {
+        ThreadSplit {
+            p_in: spec.p_in,
+            p_out: spec.p_out,
+            p_comp: spec.p_comp,
+        }
+    };
+    let t0 = match effective {
+        // No copy pools: the whole budget computes through the cache.
+        Placement::Implicit => m.t_comp(split.p_comp.max(1), 0, 0, spec.compute_passes),
+        _ => m.t_copy(split.p_in, split.p_out).max(m.t_comp(
+            split.p_comp,
+            split.p_in,
+            split.p_out,
+            spec.compute_passes,
+        )),
+    };
+    if !(t0.is_finite() && t0 > 0.0) {
+        return Err(format!(
+            "job cannot make progress: model predicts T = {t0} for split \
+             {}/{}/{} at budget {budget}",
+            split.p_in, split.p_out, split.p_comp
+        ));
+    }
+    let (ddr_bytes, mcd_bytes) = bus_demand(spec, effective);
+    Ok(JobProfile {
+        t0,
+        ddr_coeff: ddr_bytes / t0,
+        mcd_coeff: mcd_bytes / t0,
+        split,
+    })
+}
+
+/// Dedicated-machine makespan estimate for `spec` as submitted (its own
+/// pools, the full machine) — the number SJF sorts by and fair-share
+/// charges against class credit.
+///
+/// Returns `f64::INFINITY` for specs whose submitted pools cannot make
+/// progress; such jobs sort last and fail loudly at admission instead.
+pub fn predicted_makespan(spec: &PipelineSpec, machine: &MachineConfig) -> f64 {
+    match profile(
+        spec,
+        spec.placement,
+        machine,
+        machine.total_threads(),
+        false,
+    ) {
+        Ok(p) => p.t0,
+        Err(_) => f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knl_sim::{MachineConfig, MemMode, GIB};
+
+    fn machine() -> MachineConfig {
+        MachineConfig::knl_7250(MemMode::Flat)
+    }
+
+    fn spec(total: u64, passes: u32) -> PipelineSpec {
+        PipelineSpec {
+            total_bytes: total,
+            chunk_bytes: GIB,
+            p_in: 8,
+            p_out: 8,
+            p_comp: 64,
+            compute_passes: passes,
+            compute_rate: 6.78e9,
+            copy_rate: 4.8e9,
+            placement: Placement::Hbw,
+            lockstep: false,
+            data_addr: 0,
+        }
+    }
+
+    #[test]
+    fn bigger_jobs_predict_longer() {
+        let m = machine();
+        let small = predicted_makespan(&spec(4 * GIB, 2), &m);
+        let big = predicted_makespan(&spec(64 * GIB, 2), &m);
+        assert!(small.is_finite() && big.is_finite());
+        assert!(big > small * 8.0);
+    }
+
+    #[test]
+    fn ddr_spill_slows_a_job_down() {
+        let m = machine();
+        let s = spec(16 * GIB, 4);
+        let fast = profile(&s, Placement::Hbw, &m, 128, true).unwrap();
+        let slow = profile(&s, Placement::Ddr, &m, 128, true).unwrap();
+        assert!(
+            slow.t0 > fast.t0,
+            "DDR buffers must be slower: {} vs {}",
+            slow.t0,
+            fast.t0
+        );
+        // A DDR job puts no traffic on the MCDRAM bus.
+        assert_eq!(slow.mcd_coeff, 0.0);
+        assert!(fast.mcd_coeff > 0.0);
+    }
+
+    #[test]
+    fn retuned_split_fills_the_budget() {
+        let m = machine();
+        let s = spec(16 * GIB, 4);
+        for budget in [8usize, 32, 128] {
+            let p = profile(&s, Placement::Hbw, &m, budget, true).unwrap();
+            assert_eq!(p.split.total(), budget);
+        }
+    }
+
+    #[test]
+    fn demand_coefficients_integrate_to_total_traffic() {
+        let m = machine();
+        let s = spec(8 * GIB, 3);
+        let p = profile(&s, Placement::Hbw, &m, 64, true).unwrap();
+        let (ddr, mcd) = bus_demand(&s, Placement::Hbw);
+        assert!((p.ddr_coeff * p.t0 - ddr).abs() < 1.0);
+        assert!((p.mcd_coeff * p.t0 - mcd).abs() < 1.0);
+        // Hbw: DDR carries 2B, MCDRAM carries 2B(1 + passes).
+        let b = s.total_bytes as f64;
+        assert_eq!(ddr, 2.0 * b);
+        assert_eq!(mcd, 2.0 * b * 4.0);
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        assert_eq!(Policy::Fifo.label(), "fifo");
+        assert_eq!(Policy::Sjf.label(), "sjf");
+        assert_eq!(Policy::FairShare.label(), "fair");
+        assert_eq!(Policy::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! Fleet-level statistics over a batch of completed jobs.
+
+use crate::job::JobRecord;
+
+/// Nearest-rank percentile of an ascending-sorted slice. `q` in `[0, 1]`.
+/// Empty input yields 0 (callers report empty fleets explicitly).
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// Aggregate statistics for one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    /// Jobs completed.
+    pub jobs: usize,
+    /// Jobs rejected at submission (could never fit).
+    pub rejected: usize,
+    /// Time the last job finished (seconds from trace start).
+    pub makespan: f64,
+    /// Mean seconds queued before admission.
+    pub mean_queue_wait: f64,
+    /// Mean end-to-end latency.
+    pub mean_latency: f64,
+    /// Median end-to-end latency.
+    pub p50_latency: f64,
+    /// 95th-percentile latency.
+    pub p95_latency: f64,
+    /// 99th-percentile latency.
+    pub p99_latency: f64,
+    /// Worst latency.
+    pub max_latency: f64,
+    /// Highest MCDRAM reservation level the broker ever held (bytes).
+    pub mcdram_high_water: u64,
+}
+
+impl FleetStats {
+    /// Summarise `records` (any order), with the rejection count and the
+    /// broker's high-water mark.
+    pub fn from_records(records: &[JobRecord], rejected: usize, mcdram_high_water: u64) -> Self {
+        let n = records.len();
+        let mut latencies: Vec<f64> = records.iter().map(|r| r.latency()).collect();
+        latencies.sort_by(f64::total_cmp);
+        let sum = |xs: &[f64]| xs.iter().sum::<f64>();
+        let mean = |xs: &[f64]| {
+            if xs.is_empty() {
+                0.0
+            } else {
+                sum(xs) / xs.len() as f64
+            }
+        };
+        let waits: Vec<f64> = records.iter().map(|r| r.queue_wait()).collect();
+        FleetStats {
+            jobs: n,
+            rejected,
+            makespan: records.iter().map(|r| r.finish).fold(0.0, f64::max),
+            mean_queue_wait: mean(&waits),
+            mean_latency: mean(&latencies),
+            p50_latency: percentile(&latencies, 0.50),
+            p95_latency: percentile(&latencies, 0.95),
+            p99_latency: percentile(&latencies, 0.99),
+            max_latency: latencies.last().copied().unwrap_or(0.0),
+            mcdram_high_water,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::DeadlineClass;
+    use knl_sim::MemLevel;
+    use mlm_core::ThreadSplit;
+
+    fn rec(id: u64, arrival: f64, start: f64, finish: f64) -> JobRecord {
+        JobRecord {
+            id,
+            class: DeadlineClass::Standard,
+            arrival,
+            start,
+            finish,
+            buffer_level: MemLevel::Mcdram,
+            split: ThreadSplit {
+                p_in: 1,
+                p_out: 1,
+                p_comp: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 0.50), 50.0);
+        assert_eq!(percentile(&xs, 0.95), 95.0);
+        assert_eq!(percentile(&xs, 0.99), 99.0);
+        assert_eq!(percentile(&xs, 1.0), 100.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        // Small n: p99 of 3 values is the max.
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 0.99), 3.0);
+    }
+
+    #[test]
+    fn fleet_stats_aggregate() {
+        let recs = vec![
+            rec(1, 0.0, 0.0, 2.0),
+            rec(2, 1.0, 3.0, 5.0),
+            rec(3, 2.0, 2.0, 10.0),
+        ];
+        let s = FleetStats::from_records(&recs, 1, 42);
+        assert_eq!(s.jobs, 3);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.makespan, 10.0);
+        // Waits: 0, 2, 0. Latencies: 2, 4, 8.
+        assert!((s.mean_queue_wait - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_latency - 14.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.p50_latency, 4.0);
+        assert_eq!(s.max_latency, 8.0);
+        assert_eq!(s.mcdram_high_water, 42);
+    }
+
+    #[test]
+    fn empty_fleet_is_all_zeroes() {
+        let s = FleetStats::from_records(&[], 0, 0);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.mean_latency, 0.0);
+        assert_eq!(s.makespan, 0.0);
+    }
+}

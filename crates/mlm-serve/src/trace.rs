@@ -1,0 +1,194 @@
+//! Deterministic heavy-tailed job trace generation.
+//!
+//! Serving studies need an arrival process that looks like real shared-node
+//! usage: a stream of small latency-sensitive jobs, a steady band of
+//! medium work, and occasional enormous batch "elephants" — the classic
+//! heavy-tailed size mix that makes FIFO's head-of-line blocking visible.
+//! Arrivals are Poisson (exponential interarrivals), sizes are a
+//! class-stratified mixture whose batch tail is bounded Pareto, and
+//! everything is drawn from a seeded [`SplitMix64`] by inverse transform,
+//! so a `(seed, config)` pair always yields the identical trace.
+
+use knl_sim::machine::MachineConfig;
+use knl_sim::GIB;
+use mlm_core::workload::SplitMix64;
+use mlm_core::{ModelParams, PipelineSpec, Placement};
+
+use crate::job::{DeadlineClass, JobRequest};
+
+/// Parameters of a generated trace.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Mean arrivals per second (Poisson process).
+    pub arrival_rate: f64,
+    /// RNG seed; same seed, same trace.
+    pub seed: u64,
+    /// Machine the jobs are sized for (supplies per-thread rates).
+    pub machine: MachineConfig,
+    /// Fraction of jobs that are interactive (small).
+    pub interactive_frac: f64,
+    /// Fraction that are batch elephants (the Pareto tail); the remainder
+    /// is standard.
+    pub batch_frac: f64,
+    /// Pareto tail index for batch sizes; smaller = heavier tail.
+    pub alpha: f64,
+    /// Chunk size of interactive jobs (sets their buffer-ring footprint).
+    pub interactive_chunk: u64,
+    /// Chunk size of standard jobs.
+    pub standard_chunk: u64,
+    /// Chunk size of batch jobs.
+    pub batch_chunk: u64,
+}
+
+impl TraceConfig {
+    /// A reasonable default mix for `machine`: 78% interactive, 19%
+    /// standard, 3% batch with an α = 1.2 Pareto tail.
+    pub fn new(machine: MachineConfig, jobs: usize, arrival_rate: f64, seed: u64) -> Self {
+        TraceConfig {
+            jobs,
+            arrival_rate,
+            seed,
+            machine,
+            interactive_frac: 0.78,
+            batch_frac: 0.03,
+            alpha: 1.2,
+            interactive_chunk: GIB / 4,
+            standard_chunk: GIB / 2,
+            batch_chunk: 2 * GIB,
+        }
+    }
+}
+
+/// Uniform in `[0, 1)` from the top 53 bits of one RNG draw.
+fn u01(rng: &mut SplitMix64) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Bounded Pareto on `[lo, hi]` with tail index `alpha`, by inverse CDF.
+fn bounded_pareto(u: f64, lo: f64, hi: f64, alpha: f64) -> f64 {
+    let la = lo.powf(-alpha);
+    let ha = hi.powf(-alpha);
+    (la - u * (la - ha)).powf(-1.0 / alpha)
+}
+
+/// Per-class spec geometry: `(size bytes, chunk bytes, passes)`.
+fn class_shape(cfg: &TraceConfig, class: DeadlineClass, u: f64) -> (u64, u64, u32) {
+    let gib = GIB as f64;
+    match class {
+        // Small, shallow jobs with a fine-grained ring that slips through
+        // capacity gaps the big jobs leave.
+        DeadlineClass::Interactive => (((2.0 + 6.0 * u) * gib) as u64, cfg.interactive_chunk, 1),
+        DeadlineClass::Standard => (((8.0 + 24.0 * u) * gib) as u64, cfg.standard_chunk, 2),
+        // The heavy tail: 32 GiB to 256 GiB, Pareto-distributed, deep
+        // passes, and (by default) the coarsest chunks.
+        DeadlineClass::Batch => (
+            bounded_pareto(u, 32.0 * gib, 256.0 * gib, cfg.alpha) as u64,
+            cfg.batch_chunk,
+            4,
+        ),
+    }
+}
+
+/// Generate the trace. Job ids are `0..jobs` in arrival order.
+pub fn heavy_tailed_trace(cfg: &TraceConfig) -> Vec<JobRequest> {
+    assert!(cfg.arrival_rate > 0.0, "arrival rate must be positive");
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(cfg.jobs);
+    for id in 0..cfg.jobs as u64 {
+        // Exponential interarrival; 1 - u keeps the log argument positive.
+        t += -(1.0 - u01(&mut rng)).ln() / cfg.arrival_rate;
+        let uc = u01(&mut rng);
+        let class = if uc < cfg.interactive_frac {
+            DeadlineClass::Interactive
+        } else if uc < 1.0 - cfg.batch_frac {
+            DeadlineClass::Standard
+        } else {
+            DeadlineClass::Batch
+        };
+        let (size, chunk, passes) = class_shape(cfg, class, u01(&mut rng));
+        let total_bytes = (size & !7).max(8); // whole 8-byte elements
+        let m = ModelParams {
+            b_copy: total_bytes as f64,
+            ddr_max: cfg.machine.ddr_bandwidth,
+            mcdram_max: cfg.machine.effective_mcdram_bandwidth(),
+            s_copy: cfg.machine.per_thread_copy_bw,
+            s_comp: cfg.machine.per_thread_compute_bw,
+            total_threads: cfg.machine.total_threads(),
+        };
+        let split = m.optimal_split(passes).expect("machine has >= 3 threads");
+        let spec = PipelineSpec {
+            total_bytes,
+            chunk_bytes: chunk,
+            p_in: split.p_in,
+            p_out: split.p_out,
+            p_comp: split.p_comp,
+            compute_passes: passes,
+            compute_rate: cfg.machine.per_thread_compute_bw,
+            copy_rate: cfg.machine.per_thread_copy_bw,
+            placement: Placement::Hbw,
+            lockstep: false,
+            data_addr: 0,
+        };
+        out.push(JobRequest::new(id, t, class, spec));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knl_sim::machine::MemMode;
+
+    fn cfg(seed: u64) -> TraceConfig {
+        TraceConfig::new(MachineConfig::knl_7250(MemMode::Flat), 400, 2.0, seed)
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_seed_sensitive() {
+        let a = heavy_tailed_trace(&cfg(42));
+        let b = heavy_tailed_trace(&cfg(42));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival.to_bits(), y.arrival.to_bits());
+            assert_eq!(x.spec.total_bytes, y.spec.total_bytes);
+            assert_eq!(x.class, y.class);
+        }
+        let c = heavy_tailed_trace(&cfg(43));
+        assert!(a
+            .iter()
+            .zip(&c)
+            .any(|(x, y)| x.spec.total_bytes != y.spec.total_bytes));
+    }
+
+    #[test]
+    fn trace_has_the_advertised_shape() {
+        let jobs = heavy_tailed_trace(&cfg(7));
+        assert_eq!(jobs.len(), 400);
+        // Arrivals are sorted and strictly past zero.
+        for w in jobs.windows(2) {
+            assert!(w[1].arrival >= w[0].arrival);
+        }
+        assert!(jobs[0].arrival > 0.0);
+        // All three classes occur, interactive dominating.
+        let count = |c: DeadlineClass| jobs.iter().filter(|j| j.class == c).count();
+        let inter = count(DeadlineClass::Interactive);
+        let std_ = count(DeadlineClass::Standard);
+        let batch = count(DeadlineClass::Batch);
+        assert!(inter > std_ && std_ > batch && batch > 0);
+        // Heavy tail: the biggest job dwarfs the median.
+        let mut sizes: Vec<u64> = jobs.iter().map(|j| j.spec.total_bytes).collect();
+        sizes.sort_unstable();
+        assert!(sizes[sizes.len() - 1] > 4 * sizes[sizes.len() / 2]);
+        // Every spec is valid and every batch job is Pareto-bounded.
+        for j in &jobs {
+            j.spec.validate().unwrap();
+            if j.class == DeadlineClass::Batch {
+                assert!(j.spec.total_bytes >= 32 * GIB - 8);
+                assert!(j.spec.total_bytes <= 256 * GIB);
+            }
+        }
+    }
+}

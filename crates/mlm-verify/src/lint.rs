@@ -42,6 +42,9 @@ pub struct VerifyTarget<'a> {
     pub buffer_slots: usize,
     /// Cluster configuration when the run is distributed.
     pub cluster: Option<&'a ClusterConfig>,
+    /// Specs of jobs planned to run *concurrently* with `spec` on the same
+    /// node (a serving-mode co-resident set). Empty for single-job runs.
+    pub co_scheduled: &'a [PipelineSpec],
 }
 
 impl<'a> VerifyTarget<'a> {
@@ -55,12 +58,19 @@ impl<'a> VerifyTarget<'a> {
             elem_bytes: 8,
             buffer_slots: RING_SLOTS,
             cluster: None,
+            co_scheduled: &[],
         }
     }
 
     /// Attach a cluster config.
     pub fn with_cluster(mut self, cluster: &'a ClusterConfig) -> Self {
         self.cluster = Some(cluster);
+        self
+    }
+
+    /// Declare jobs co-scheduled with this spec (serving mode).
+    pub fn with_co_scheduled(mut self, others: &'a [PipelineSpec]) -> Self {
+        self.co_scheduled = others;
         self
     }
 
@@ -113,6 +123,7 @@ impl LintRegistry {
         r.register(Box::new(BandwidthSanity));
         r.register(Box::new(ChunkCount));
         r.register(Box::new(ClusterSanity));
+        r.register(Box::new(ConcurrentMcdramFit));
         r
     }
 
@@ -715,6 +726,74 @@ impl Lint for ClusterSanity {
     }
 }
 
+/// V009: aggregate MCDRAM footprint of a co-scheduled job set.
+///
+/// Each job individually may pass V002, yet a serving-mode co-resident set
+/// can still oversubscribe MCDRAM: every flat-placement job pins its own
+/// ring of `buffer_slots` chunk buffers, and real memkind fails the
+/// `hbw_malloc` of whichever tenant loses the race. A capacity broker
+/// (`mlm-serve`) enforces this dynamically; this lint catches it at plan
+/// time.
+struct ConcurrentMcdramFit;
+
+impl Lint for ConcurrentMcdramFit {
+    fn id(&self) -> &'static str {
+        "V009"
+    }
+    fn name(&self) -> &'static str {
+        "concurrent-mcdram-fit"
+    }
+    fn description(&self) -> &'static str {
+        "aggregate buffer rings of co-scheduled jobs must fit addressable MCDRAM"
+    }
+    fn check(&self, t: &VerifyTarget<'_>, out: &mut Vec<Diagnostic>) {
+        if t.co_scheduled.is_empty() {
+            return; // single-job runs are V002's territory
+        }
+        let addressable = t.machine.addressable_mcdram();
+        if addressable == 0 {
+            return; // V003's finding
+        }
+        // Only flat-MCDRAM placements pin MCDRAM; DDR and cache-mode jobs
+        // contribute nothing to the budget.
+        let footprint = |s: &PipelineSpec| match s.placement {
+            Placement::Hbw => s.buffer_footprint(t.buffer_slots),
+            Placement::Ddr | Placement::Implicit => 0,
+        };
+        let mine = footprint(t.spec);
+        let total: u64 = t
+            .co_scheduled
+            .iter()
+            .map(footprint)
+            .fold(mine, u64::saturating_add);
+        if total > addressable {
+            let jobs = 1 + t.co_scheduled.len();
+            let fair = addressable / jobs as u64;
+            let max_chunk = fair / t.buffer_slots.max(1) as u64;
+            out.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.name(),
+                    Severity::Error,
+                    format!(
+                        "{jobs} co-scheduled jobs pin {total} bytes of MCDRAM buffer rings \
+                         ({} slots each) but only {addressable} are addressable: some \
+                         tenant's hbw_malloc must fail",
+                        t.buffer_slots
+                    ),
+                )
+                .with_context("co_scheduled.jobs", jobs)
+                .with_context("aggregate.footprint", total)
+                .with_context("machine.addressable_mcdram", addressable)
+                .with_suggestion(format!(
+                    "admit fewer jobs at once (e.g. via the mlm-serve capacity broker), \
+                     or shrink each job's chunk_bytes to at most {max_chunk}"
+                )),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -902,12 +981,54 @@ mod tests {
     }
 
     #[test]
+    fn v009_concurrent_set_oversubscribes_mcdram() {
+        let machine = knl();
+        let spec = good_spec(); // 3 GiB ring: individually fine (16 GiB)
+                                // Five more identical tenants: 6 x 3 GiB = 18 GiB > 16 GiB.
+        let others = vec![good_spec(); 5];
+        let report = lint_target(&VerifyTarget::new(&spec, &machine).with_co_scheduled(&others));
+        assert!(report.error_ids().contains(&"V009"));
+        let d = report
+            .errors()
+            .find(|d| d.id == "V009")
+            .expect("V009 diagnostic");
+        assert!(d.suggestion.is_some());
+        // V002 stays quiet: each job alone fits.
+        assert!(!ids(&report).contains(&"V002"));
+    }
+
+    #[test]
+    fn v009_fitting_set_is_clean() {
+        let machine = knl();
+        let spec = good_spec();
+        let others = vec![good_spec(); 4]; // 5 x 3 GiB = 15 GiB <= 16 GiB
+        let report = lint_target(&VerifyTarget::new(&spec, &machine).with_co_scheduled(&others));
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn v009_only_counts_flat_placements() {
+        let machine = knl();
+        let spec = good_spec();
+        // Lots of co-scheduled jobs, but none pin MCDRAM.
+        let mut ddr = good_spec();
+        ddr.placement = Placement::Ddr;
+        let mut implicit = good_spec();
+        implicit.placement = Placement::Implicit;
+        implicit.p_in = 0;
+        implicit.p_out = 0;
+        let others = vec![ddr, implicit.clone(), implicit];
+        let report = lint_target(&VerifyTarget::new(&spec, &machine).with_co_scheduled(&others));
+        assert!(!ids(&report).contains(&"V009"), "{report}");
+    }
+
+    #[test]
     fn registry_lists_builtin_lints() {
         let r = LintRegistry::with_builtin_lints();
         let ids: Vec<&str> = r.lints().iter().map(|l| l.id()).collect();
         assert_eq!(
             ids,
-            vec!["V000", "V001", "V002", "V003", "V004", "V005", "V006", "V007", "V008"]
+            vec!["V000", "V001", "V002", "V003", "V004", "V005", "V006", "V007", "V008", "V009"]
         );
         // Ids are unique and every lint has a description.
         for l in r.lints() {

@@ -129,6 +129,17 @@ pub fn run_lint_suite() -> Vec<LintCase> {
         report: lint_target(&VerifyTarget::new(&s, &machine)),
     });
 
+    // Six paper specs at once want 6 × 3 GiB of buffer rings from a
+    // 16 GiB MCDRAM — an over-admitted co-schedule the serving broker
+    // must never produce.
+    let s = paper_spec();
+    let others: Vec<PipelineSpec> = (0..5).map(|_| paper_spec()).collect();
+    out.push(LintCase {
+        name: "concurrent job set oversubscribes MCDRAM",
+        expect_error: Some("V009"),
+        report: lint_target(&VerifyTarget::new(&s, &machine).with_co_scheduled(&others)),
+    });
+
     out
 }
 
