@@ -15,6 +15,11 @@
 //!   interconnect model, producing strong-scaling curves and the
 //!   network-vs-memory crossover.
 //!
+//! Neither backend spells out the local sort itself: both call into
+//! `mlm_core::sort`, whose host executor and sim lowering interpret the
+//! same `mlm_exec` sort plan — this crate only adds the exchange phases
+//! around it.
+//!
 //! PSRS maps naturally onto the paper's framing of MLM-sort as "primarily
 //! a *distributed* rather than a multithreaded algorithm" (§4): the serial
 //! chunk sorts inside each node and the node-local sorts inside the

@@ -9,6 +9,13 @@
 //! builder ([`merge_bench_program`]) reproduces Figure 8(b); the closed
 //! form in [`crate::model`] reproduces Figure 8(a); together they
 //! regenerate Table 3.
+//!
+//! This module owns no orchestration of its own: it supplies a
+//! [`PipelineSpec`] and a compute kernel, and both executions ride the
+//! unified `mlm_exec` chunk schedule — the host through
+//! [`crate::pipeline::host::run_host_pipeline`], the sim through
+//! [`sim::build_program`] — so the benchmark is automatically
+//! output-identical across backends.
 
 use knl_sim::machine::MachineConfig;
 use knl_sim::ops::Program;

@@ -1,89 +1,54 @@
-//! Executing a chunked pipeline with real threads and real buffers.
+//! Host backends: executing the chunk schedule with real threads and
+//! real buffers.
 //!
-//! This backend validates the *software* half of the paper: the triple
+//! This side validates the *software* half of the paper: the triple
 //! thread-pool, triple-buffer schedule must produce bit-correct results
 //! under full overlap. Host memory has a single level, so wall-clock here
 //! is not the experiment (that is the simulator's job) — correctness and
 //! native benchmarking are.
 //!
-//! Two schedules are implemented, selected by [`PipelineSpec::lockstep`]:
+//! The schedule itself — which chunk each stage touches when, and which
+//! buffer slot it occupies — is owned by [`mlm_exec::drive`]. This module
+//! only adapts the issued [`ChunkAction`]s to three execution strategies,
+//! selected by [`PipelineSpec::lockstep`] and [`Placement::Implicit`]:
 //!
-//! * **Lockstep** (`lockstep: true`): each step runs copy-in of chunk `s`,
-//!   compute on chunk `s-1`, and copy-out of chunk `s-2` as one task batch
-//!   on a single shared [`WorkPool`], with a barrier between steps. This is
+//! * **Lockstep** ([`HostLockstepBackend`], `lockstep: true`): actions
+//!   accumulate per step and run as one task batch on a single shared
+//!   [`WorkPool`] when the orchestrator closes the step barrier. This is
 //!   the paper's schedule, whose makespan the model's
 //!   `max(T_copy, T_comp)` term describes.
-//! * **Dataflow** (`lockstep: false`): three persistent stage pools
-//!   ([`HostStagePools`]) run decoupled coordinator threads connected by a
-//!   three-slot buffer ring. A stage advances as soon as *its* buffer
-//!   dependency is satisfied (`Empty → Filled → Computed → Empty`), so a
-//!   slow chunk in one stage no longer stalls unrelated work in the
-//!   others — mirroring the dependency structure of
-//!   [`super::sim::build_program`]'s non-lockstep op graph.
+//! * **Dataflow** ([`HostDataflowBackend`], `lockstep: false`): actions
+//!   are recorded per stage and replayed at `finish` by three persistent
+//!   stage pools ([`HostStagePools`]) running decoupled coordinator
+//!   threads connected by a three-slot buffer ring. A stage advances as
+//!   soon as *its* buffer dependency is satisfied
+//!   (`Empty → Filled → Computed → Empty`), so a slow chunk in one stage
+//!   no longer stalls unrelated work in the others — realising exactly
+//!   the dependency edges [`mlm_exec::drive`] issues (and
+//!   [`super::sim::SimBackend`] lowers) for non-lockstep runs.
+//! * **Implicit** ([`HostImplicitBackend`]): no copy stages; each compute
+//!   action runs in place as it is issued.
 
 use std::any::Any;
-use std::cell::UnsafeCell;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use parsort::pool::{split_range, StagePool, WorkPool};
+use mlm_exec::ring::{coordinate, is_poison_payload, BufSlot, Phase};
+use mlm_exec::{drive, Backend, Capabilities, ChunkAction, Stage, RING_SLOTS};
+use parsort::pool::{copy_split, split_range, StagePool, WorkPool};
 
 use super::{PipelineSpec, Placement};
 
-/// How a chunk kernel sees its slice of the current chunk.
-#[derive(Debug, Clone, Copy)]
-pub struct KernelCtx {
-    /// Chunk index within the run.
-    pub chunk: usize,
-    /// Compute-thread index within the pool.
-    pub thread: usize,
-    /// Global element offset of this slice within the whole data set.
-    pub global_offset: usize,
-}
+pub use mlm_exec::KernelCtx;
 
-/// Per-stage timing of one host pipeline run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct StageStats {
-    /// Worker threads dedicated to (or sharing) this stage.
-    pub threads: usize,
-    /// Cumulative task execution time, summed across workers.
-    pub busy: Duration,
-    /// Time the stage's coordinator spent blocked waiting for a buffer
-    /// dependency (dataflow runs only; zero under lockstep, where waiting
-    /// happens inside the shared pool's step barrier).
-    pub wait: Duration,
-}
+/// Per-stage timing of one host pipeline run (the execution layer's
+/// [`mlm_exec::StageReport`]).
+pub type StageStats = mlm_exec::StageReport;
 
-impl StageStats {
-    /// Fraction of `threads x elapsed` this stage spent executing tasks.
-    pub fn occupancy(&self, elapsed: Duration) -> f64 {
-        if self.threads == 0 || elapsed.is_zero() {
-            return 0.0;
-        }
-        self.busy.as_secs_f64() / (self.threads as f64 * elapsed.as_secs_f64())
-    }
-}
-
-/// Result of a host pipeline run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct HostRunStats {
-    /// Number of chunks processed.
-    pub chunks: usize,
-    /// Number of schedule steps (`chunks + 2` for explicit pipelines;
-    /// reported for dataflow runs too so the two modes compare directly,
-    /// even though dataflow has no step barriers).
-    pub steps: usize,
-    /// Wall-clock duration of the chunked phase.
-    pub elapsed: Duration,
-    /// Copy-in stage timing (zero `threads` under [`Placement::Implicit`]).
-    pub copy_in: StageStats,
-    /// Compute stage timing.
-    pub compute: StageStats,
-    /// Copy-out stage timing (zero `threads` under [`Placement::Implicit`]).
-    pub copy_out: StageStats,
-}
+/// Result of a host pipeline run (the execution layer's
+/// [`mlm_exec::RunReport`]).
+pub type HostRunStats = mlm_exec::RunReport;
 
 /// The three dedicated stage pools of a dataflow host pipeline.
 ///
@@ -162,12 +127,8 @@ where
     let start = Instant::now();
     if data.is_empty() {
         return HostRunStats {
-            chunks: 0,
-            steps: 0,
             elapsed: start.elapsed(),
-            copy_in: StageStats::default(),
-            compute: StageStats::default(),
-            copy_out: StageStats::default(),
+            ..HostRunStats::empty()
         };
     }
     spec.validate().expect("invalid pipeline spec");
@@ -193,6 +154,96 @@ fn chunk_elems_for<T>(spec: &PipelineSpec) -> usize {
     spec.chunk_bytes as usize / std::mem::size_of::<T>().max(1)
 }
 
+/// The spec the orchestrator is driven with: the caller's spec with
+/// `total_bytes` pinned to the slice actually being processed, so
+/// [`PipelineSpec::n_chunks`] agrees with the host-side element geometry.
+/// (Host runs size themselves from `data.len()`; `spec.total_bytes` is
+/// the *modeled* problem size and may legitimately differ.)
+fn host_spec<T>(spec: &PipelineSpec, len: usize) -> PipelineSpec {
+    PipelineSpec {
+        total_bytes: (len * std::mem::size_of::<T>()) as u64,
+        ..spec.clone()
+    }
+}
+
+/// Assemble a [`StageStats`] from a busy-nanosecond counter. Lockstep and
+/// implicit runs have no coordinator waits: blocking happens inside the
+/// shared pool's step barrier.
+fn stage_stats(threads: usize, busy: &AtomicU64) -> StageStats {
+    StageStats {
+        threads,
+        busy: Duration::from_nanos(busy.load(Ordering::Relaxed)),
+        wait: Duration::ZERO,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Implicit cache mode
+// ---------------------------------------------------------------------------
+
+/// Backend for implicit cache mode: the data already lives where it is
+/// computed on, so each issued compute action runs in place on `out`
+/// immediately; barriers are no-ops because execution is synchronous.
+struct HostImplicitBackend<'a, T, F> {
+    pool: &'a WorkPool,
+    out: &'a mut [T],
+    kernel: &'a F,
+    chunk_elems: usize,
+    busy_comp: AtomicU64,
+}
+
+impl<T, F> Backend for HostImplicitBackend<'_, T, F>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&mut [T], KernelCtx) + Send + Sync,
+{
+    // Host execution is synchronous: ordering is realised by running the
+    // actions in issue order, so tokens carry no information.
+    type Token = ();
+
+    fn capabilities(&self) -> Capabilities {
+        // Host memory has a single level, so every placement is *emulated*
+        // identically; capability checking against a machine's mode is the
+        // spec linter's job (mlm-verify V003/V010), not the host's.
+        Capabilities::all()
+    }
+
+    fn issue(&mut self, spec: &PipelineSpec, action: ChunkAction, _deps: &[()]) {
+        debug_assert_eq!(action.stage, Stage::Compute, "implicit mode has no copies");
+        let c = action.chunk;
+        let lo = c * self.chunk_elems;
+        let hi = ((c + 1) * self.chunk_elems).min(self.out.len());
+        let chunk = &mut self.out[lo..hi];
+        let parts = spec.p_comp.min(chunk.len()).max(1);
+        let mut slices = Vec::with_capacity(parts);
+        let mut rest = chunk;
+        for t in 0..parts {
+            let (s, e) = split_range(hi - lo, parts, t);
+            let (head, tail) = rest.split_at_mut(e - s);
+            slices.push((t, s, head));
+            rest = tail;
+        }
+        let busy = &self.busy_comp;
+        let kernel = self.kernel;
+        self.pool.scoped(slices.into_iter().map(|(t, s, slice)| {
+            let ctx = KernelCtx {
+                chunk: c,
+                thread: t,
+                global_offset: lo + s,
+            };
+            move || {
+                let t0 = Instant::now();
+                kernel(slice, ctx);
+                busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    fn step_barrier(&mut self, _spec: &PipelineSpec, _after: &[()]) {
+        // Chunks execute eagerly at issue; the per-chunk barrier is implied.
+    }
+}
+
 /// Implicit cache mode: one memcpy of the whole input (the data already
 /// lives where it is computed on), then all threads process chunks in
 /// place. There are no copy stages, so lockstep and dataflow coincide.
@@ -210,53 +261,152 @@ where
 {
     let chunk_elems = chunk_elems_for::<T>(spec);
     let n_chunks = data.len().div_ceil(chunk_elems).max(1);
-    let busy_comp = AtomicU64::new(0);
-
     out.copy_from_slice(data);
-    for c in 0..n_chunks {
-        let lo = c * chunk_elems;
-        let hi = ((c + 1) * chunk_elems).min(out.len());
-        let chunk = &mut out[lo..hi];
-        let parts = spec.p_comp.min(chunk.len()).max(1);
-        let mut slices = Vec::with_capacity(parts);
-        let mut rest = chunk;
-        for t in 0..parts {
-            let (s, e) = split_range(hi - lo, parts, t);
-            let (head, tail) = rest.split_at_mut(e - s);
-            slices.push((t, s, head));
-            rest = tail;
-        }
-        let busy = &busy_comp;
-        pool.scoped(slices.into_iter().map(|(t, s, slice)| {
-            let ctx = KernelCtx {
-                chunk: c,
-                thread: t,
-                global_offset: lo + s,
-            };
-            move || {
-                let t0 = Instant::now();
-                kernel(slice, ctx);
-                busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            }
-        }));
-    }
+
+    let espec = host_spec::<T>(spec, data.len());
+    let mut backend = HostImplicitBackend {
+        pool,
+        out,
+        kernel,
+        chunk_elems,
+        busy_comp: AtomicU64::new(0),
+    };
+    drive(&mut backend, &espec).expect("host implicit backend refused the schedule");
+
     HostRunStats {
         chunks: n_chunks,
         steps: n_chunks,
         elapsed: start.elapsed(),
         copy_in: StageStats::default(),
-        compute: StageStats {
-            threads: spec.p_comp,
-            busy: Duration::from_nanos(busy_comp.load(Ordering::Relaxed)),
-            wait: Duration::ZERO,
-        },
+        compute: stage_stats(spec.p_comp, &backend.busy_comp),
         copy_out: StageStats::default(),
     }
 }
 
+// ---------------------------------------------------------------------------
+// Lockstep schedule
+// ---------------------------------------------------------------------------
+
+/// Backend for the paper's lockstep schedule: issued actions accumulate
+/// into the current step's batch, and the orchestrator's step barrier runs
+/// the whole batch as one `scoped` call on the shared pool (copy-in chunk
+/// `s`, compute chunk `s-1`, copy-out chunk `s-2` genuinely overlap; the
+/// pool's own join is the step barrier).
+struct HostLockstepBackend<'a, T, F> {
+    pool: &'a WorkPool,
+    data: &'a [T],
+    out: &'a mut [T],
+    kernel: &'a F,
+    chunk_elems: usize,
+    /// The rotating chunk buffers, indexed by [`ChunkAction::slot`].
+    buffers: Vec<Vec<T>>,
+    /// Actions issued since the last step barrier.
+    pending: Vec<ChunkAction>,
+    busy_in: AtomicU64,
+    busy_comp: AtomicU64,
+    busy_out: AtomicU64,
+}
+
+impl<T, F> Backend for HostLockstepBackend<'_, T, F>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&mut [T], KernelCtx) + Send + Sync,
+{
+    // Dependencies are realised by the step batching itself: everything in
+    // a batch starts after the previous barrier (the pool join), which is
+    // exactly the lockstep dep structure the orchestrator issues.
+    type Token = ();
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::all()
+    }
+
+    fn issue(&mut self, _spec: &PipelineSpec, action: ChunkAction, _deps: &[()]) {
+        self.pending.push(action);
+    }
+
+    fn step_barrier(&mut self, spec: &PipelineSpec, _after: &[()]) {
+        let actions = std::mem::take(&mut self.pending);
+
+        // Prepare copy-in destinations before fanning the batch out.
+        for a in &actions {
+            if a.stage == Stage::CopyIn {
+                let lo = a.chunk * self.chunk_elems;
+                let hi = ((a.chunk + 1) * self.chunk_elems).min(self.data.len());
+                let buf = &mut self.buffers[a.slot];
+                buf.clear();
+                buf.resize(hi - lo, self.data[0]);
+            }
+        }
+
+        // The copy-out destination window of `out`, carved out up front so
+        // the task loop below borrows each region exactly once.
+        let mut out_dst: Option<&mut [T]> = None;
+        if let Some(a) = actions.iter().find(|a| a.stage == Stage::CopyOut) {
+            let lo = a.chunk * self.chunk_elems;
+            let hi = (lo + self.chunk_elems).min(self.out.len());
+            out_dst = Some(&mut self.out[lo..hi]);
+        }
+
+        // At most one action per ring slot per step, so handing each slot's
+        // buffer to its action keeps the borrows disjoint.
+        let [b0, b1, b2] = &mut self.buffers[..] else {
+            unreachable!("the ring has exactly RING_SLOTS buffers");
+        };
+        let mut slot_bufs = [Some(b0), Some(b1), Some(b2)];
+
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        for a in &actions {
+            let buf = slot_bufs[a.slot].take().expect("slot reused within a step");
+            match a.stage {
+                Stage::CopyIn => {
+                    let lo = a.chunk * self.chunk_elems;
+                    let hi = ((a.chunk + 1) * self.chunk_elems).min(self.data.len());
+                    push_timed_copy(
+                        &mut tasks,
+                        &self.busy_in,
+                        spec.p_in,
+                        &self.data[lo..hi],
+                        buf,
+                    );
+                }
+                Stage::Compute => {
+                    let lo = a.chunk * self.chunk_elems;
+                    let len = buf.len();
+                    let parts = spec.p_comp.min(len).max(1);
+                    let mut rest: &mut [T] = buf;
+                    for t in 0..parts {
+                        let (ss, se) = split_range(len, parts, t);
+                        let (head, tail) = rest.split_at_mut(se - ss);
+                        rest = tail;
+                        let ctx = KernelCtx {
+                            chunk: a.chunk,
+                            thread: t,
+                            global_offset: lo + ss,
+                        };
+                        let busy = &self.busy_comp;
+                        let kernel = self.kernel;
+                        tasks.push(Box::new(move || {
+                            let t0 = Instant::now();
+                            kernel(head, ctx);
+                            busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        }));
+                    }
+                }
+                Stage::CopyOut => {
+                    let dst = out_dst.take().expect("one copy-out per step");
+                    debug_assert_eq!(buf.len(), dst.len());
+                    push_timed_copy(&mut tasks, &self.busy_out, spec.p_out, buf, dst);
+                }
+            }
+        }
+
+        self.pool.scoped(tasks);
+    }
+}
+
 /// The paper's lockstep schedule: per step, one task batch on the shared
-/// pool (copy-in chunk `s`, compute chunk `s-1`, copy-out chunk `s-2`),
-/// then the implicit barrier of `scoped` closes the step.
+/// pool, closed by the implicit barrier of `scoped`.
 fn run_lockstep<T, F>(
     pool: &WorkPool,
     spec: &PipelineSpec,
@@ -271,283 +421,213 @@ where
 {
     let chunk_elems = chunk_elems_for::<T>(spec);
     let n_chunks = data.len().div_ceil(chunk_elems).max(1);
-    let busy_in = AtomicU64::new(0);
-    let busy_comp = AtomicU64::new(0);
-    let busy_out = AtomicU64::new(0);
 
-    // Three rotating buffers.
-    let mut buffers: Vec<Vec<T>> = (0..3).map(|_| Vec::new()).collect();
-    let steps = n_chunks + 2;
-    for s in 0..steps {
-        let (buf_a, buf_b, buf_c) = three_mut(&mut buffers, s % 3, (s + 2) % 3, (s + 1) % 3);
-
-        // Stage geometry.
-        let in_range = if s < n_chunks {
-            let lo = s * chunk_elems;
-            Some((lo, ((s + 1) * chunk_elems).min(data.len())))
-        } else {
-            None
-        };
-        let comp_chunk = (s >= 1 && s - 1 < n_chunks).then(|| s - 1);
-        let out_chunk = (s >= 2 && s - 2 < n_chunks).then(|| s - 2);
-
-        // Prepare copy-in destination.
-        if let Some((lo, hi)) = in_range {
-            buf_a.clear();
-            buf_a.resize(hi - lo, data[0]);
-        }
-
-        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
-
-        if let Some((lo, hi)) = in_range {
-            let src = &data[lo..hi];
-            let parts = spec.p_in.min(src.len()).max(1);
-            let mut rest: &mut [T] = buf_a;
-            for t in 0..parts {
-                let (ss, se) = split_range(src.len(), parts, t);
-                let (head, tail) = rest.split_at_mut(se - ss);
-                rest = tail;
-                let s_slice = &src[ss..se];
-                let busy = &busy_in;
-                tasks.push(Box::new(move || {
-                    let t0 = Instant::now();
-                    head.copy_from_slice(s_slice);
-                    busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                }));
-            }
-        }
-
-        if let Some(c) = comp_chunk {
-            let lo = c * chunk_elems;
-            let len = buf_b.len();
-            let parts = spec.p_comp.min(len).max(1);
-            let mut rest: &mut [T] = buf_b;
-            for t in 0..parts {
-                let (ss, se) = split_range(len, parts, t);
-                let (head, tail) = rest.split_at_mut(se - ss);
-                rest = tail;
-                let ctx = KernelCtx {
-                    chunk: c,
-                    thread: t,
-                    global_offset: lo + ss,
-                };
-                let busy = &busy_comp;
-                tasks.push(Box::new(move || {
-                    let t0 = Instant::now();
-                    kernel(head, ctx);
-                    busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                }));
-            }
-        }
-
-        if let Some(c) = out_chunk {
-            let lo = c * chunk_elems;
-            let hi = (lo + chunk_elems).min(out.len());
-            let dst = &mut out[lo..hi];
-            let src: &[T] = buf_c;
-            debug_assert_eq!(src.len(), dst.len());
-            let parts = spec.p_out.min(src.len()).max(1);
-            let mut rest = dst;
-            for t in 0..parts {
-                let (ss, se) = split_range(src.len(), parts, t);
-                let (head, tail) = rest.split_at_mut(se - ss);
-                rest = tail;
-                let s_slice = &src[ss..se];
-                let busy = &busy_out;
-                tasks.push(Box::new(move || {
-                    let t0 = Instant::now();
-                    head.copy_from_slice(s_slice);
-                    busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                }));
-            }
-        }
-
-        pool.scoped(tasks);
-    }
-
-    let stage = |threads: usize, busy: &AtomicU64| StageStats {
-        threads,
-        busy: Duration::from_nanos(busy.load(Ordering::Relaxed)),
-        wait: Duration::ZERO,
+    let espec = host_spec::<T>(spec, data.len());
+    let mut backend = HostLockstepBackend {
+        pool,
+        data,
+        out,
+        kernel,
+        chunk_elems,
+        buffers: (0..RING_SLOTS).map(|_| Vec::new()).collect(),
+        pending: Vec::new(),
+        busy_in: AtomicU64::new(0),
+        busy_comp: AtomicU64::new(0),
+        busy_out: AtomicU64::new(0),
     };
+    drive(&mut backend, &espec).expect("host lockstep backend refused the schedule");
+
     HostRunStats {
         chunks: n_chunks,
-        steps,
+        steps: n_chunks + 2,
         elapsed: start.elapsed(),
-        copy_in: stage(spec.p_in, &busy_in),
-        compute: stage(spec.p_comp, &busy_comp),
-        copy_out: stage(spec.p_out, &busy_out),
+        copy_in: stage_stats(spec.p_in, &backend.busy_in),
+        compute: stage_stats(spec.p_comp, &backend.busy_comp),
+        copy_out: stage_stats(spec.p_out, &backend.busy_out),
     }
 }
 
 // ---------------------------------------------------------------------------
 // Dataflow schedule
 // ---------------------------------------------------------------------------
+//
+// The three-slot phase machine (`BufSlot`, `Phase`) and the coordinator
+// panic harness (`coordinate`, poisoning) live in `mlm_exec::ring`; this
+// backend only supplies the stage bodies that interpret the schedule.
 
-/// Lifecycle of one ring slot. A slot cycles
-/// `Empty(c) → Filled(c) → Computed(c) → Empty(c + 3)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    /// Free for copy-in of chunk `chunk`.
-    Empty,
-    /// Holds the input of chunk `chunk`, ready for compute.
-    Filled,
-    /// Holds the output of chunk `chunk`, ready for copy-out.
-    Computed,
+/// Backend for the dataflow (non-lockstep) schedule: issued actions are
+/// recorded per stage, and `finish` replays the recorded schedule on
+/// three persistent stage pools with coordinator threads synchronizing
+/// only through the buffer ring — the execution-time realisation of the
+/// dataflow dependency edges the orchestrator issues (compute after its
+/// chunk's copy-in, copy-out after its compute, copy-in of chunk `c`
+/// after copy-out of `c - RING_SLOTS` recycles the slot).
+struct HostDataflowBackend<'a, T, F> {
+    pools: &'a HostStagePools,
+    data: &'a [T],
+    /// Taken (and fully written) by `finish`.
+    out: Option<&'a mut [T]>,
+    kernel: &'a F,
+    chunk_elems: usize,
+    /// Recorded actions per stage (copy-in, compute, copy-out), in issue
+    /// order.
+    schedule: [Vec<ChunkAction>; 3],
+    /// Per-coordinator blocked time, filled in by `finish`.
+    waits: [Duration; 3],
 }
 
-#[derive(Debug, Clone, Copy)]
-struct SlotState {
-    phase: Phase,
-    chunk: usize,
-}
+impl<T, F> Backend for HostDataflowBackend<'_, T, F>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&mut [T], KernelCtx) + Send + Sync,
+{
+    // Dependencies are realised structurally by the buffer ring at replay
+    // time, so tokens carry no information.
+    type Token = ();
 
-/// One slot of the three-buffer ring.
-///
-/// The `state` mutex + condvar implement the phase machine; `data` is
-/// accessed through `UnsafeCell` because the coordinator that observed the
-/// right phase holds *logical* exclusive ownership of the buffer until it
-/// publishes the next phase — holding the mutex across a multi-megabyte
-/// memcpy would serialize the stages the schedule exists to overlap.
-struct BufSlot<T> {
-    state: Mutex<SlotState>,
-    cv: Condvar,
-    data: UnsafeCell<Vec<T>>,
-}
-
-// SAFETY: `data` is only touched by the coordinator whose awaited phase
-// grants it exclusive ownership (see the protocol in `await_phase` /
-// `publish`); the mutex release/acquire pair on `state` provides the
-// happens-before edge between the owner handing the buffer off and the
-// next owner reading it.
-//
-// Why `T: Send` is the right bound (and `T: Sync` is not needed): sharing
-// `&BufSlot<T>` across the three stage coordinators never produces
-// concurrent `&T` access — the phase machine is a baton pass, so at any
-// instant at most one thread holds any reference into the `Vec<T>`. What
-// the protocol *does* do is hand the whole buffer from one thread to the
-// next (copy-in fills it, compute mutates it, copy-out drains it), which
-// is exactly an ownership transfer between threads — the capability
-// `T: Send` licenses. Dropping to no bound would be unsound: e.g.
-// `BufSlot<Rc<u64>>` would let copy-in clone `Rc`s that compute then
-// drops on another thread, racing the non-atomic refcount. The protocol
-// itself is machine-checked in `mlm-verify` (`models::ring` for the phase
-// baton, `models::condvar` for the wakeup discipline); this impl is the
-// one line the checker cannot see, so the argument lives here.
-//
-// Compile-fail check (rustdoc does not run doctests on private items, so
-// this is documentation, not an executed test — the claim it records is
-// that the bound below rejects non-`Send` payloads):
-//
-// ```compile_fail
-// let slot = BufSlot::<std::rc::Rc<u64>>::new(0);
-// std::thread::scope(|s| { s.spawn(|| &slot); }); // Rc<u64>: !Send
-// ```
-unsafe impl<T: Send> Sync for BufSlot<T> {}
-
-impl<T> BufSlot<T> {
-    fn new(first_chunk: usize) -> Self {
-        BufSlot {
-            state: Mutex::new(SlotState {
-                phase: Phase::Empty,
-                chunk: first_chunk,
-            }),
-            cv: Condvar::new(),
-            data: UnsafeCell::new(Vec::new()),
-        }
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::all()
     }
 
-    /// Block until this slot reaches `(phase, chunk)`, returning the time
-    /// spent blocked. Panics if a peer stage has poisoned the run.
-    ///
-    /// Audit note (mlm-verify `models::condvar`): the predicate is
-    /// re-checked after *every* wakeup. Two distinct waiters can park on
-    /// this one condvar (copy-out awaiting `Computed(c)` and copy-in
-    /// awaiting `Empty(c + 3)` share slot `c % 3`), so a wakeup proves
-    /// nothing about *whose* predicate became true; claiming without the
-    /// re-check is the checker's `NoRecheck` ownership violation, and it
-    /// also absorbs spurious wakeups.
-    fn await_phase(&self, phase: Phase, chunk: usize, poisoned: &AtomicBool) -> Duration {
-        let t0 = Instant::now();
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        loop {
-            if poisoned.load(Ordering::SeqCst) {
-                // panic_any keeps the payload a `&str`, which is how the
-                // result collection below recognizes secondary aborts.
-                std::panic::panic_any(POISON_MSG);
+    fn issue(&mut self, _spec: &PipelineSpec, action: ChunkAction, _deps: &[()]) {
+        let stage = match action.stage {
+            Stage::CopyIn => 0,
+            Stage::Compute => 1,
+            Stage::CopyOut => 2,
+        };
+        self.schedule[stage].push(action);
+    }
+
+    fn step_barrier(&mut self, _spec: &PipelineSpec, _after: &[()]) {
+        unreachable!("the orchestrator issues no step barriers without lockstep");
+    }
+
+    /// Replay the recorded schedule: three coordinator threads — one per
+    /// stage — walk their recorded action sequences independently,
+    /// synchronizing only through the three-slot buffer ring. Each
+    /// coordinator fans its chunk's work out to its own [`StagePool`], so
+    /// copy-in of chunk `c`, compute on `c - 1`, and copy-out of `c - 2`
+    /// genuinely overlap without any step barrier between them.
+    fn finish(&mut self, spec: &PipelineSpec) -> Result<(), String> {
+        let out = self.out.take().expect("finish runs once");
+        let data = self.data;
+        let kernel = self.kernel;
+        let pools = self.pools;
+        let chunk_elems = self.chunk_elems;
+        let [in_actions, comp_actions, out_actions] = &self.schedule;
+
+        let slots: Vec<BufSlot<T>> = (0..RING_SLOTS).map(BufSlot::new).collect();
+        let poisoned = AtomicBool::new(false);
+        let out_chunks: Vec<&mut [T]> = out.chunks_mut(chunk_elems).collect();
+        debug_assert_eq!(out_chunks.len(), out_actions.len());
+        let slots = &slots;
+        let poisoned = &poisoned;
+        let fill = data[0];
+
+        let copy_in_body = move || {
+            let mut waited = Duration::ZERO;
+            for a in in_actions {
+                let slot = &slots[a.slot];
+                waited += slot.await_phase(Phase::Empty, a.chunk, poisoned);
+                let lo = a.chunk * chunk_elems;
+                let hi = ((a.chunk + 1) * chunk_elems).min(data.len());
+                let src = &data[lo..hi];
+                // SAFETY: `Empty(c)` grants this coordinator exclusive
+                // ownership of the slot's buffer until it publishes `Filled`.
+                let buf = unsafe { slot.data_mut() };
+                buf.clear();
+                buf.resize(src.len(), fill);
+                copy_split(&pools.copy_in, spec.p_in, src, buf);
+                slot.publish(Phase::Filled, a.chunk);
             }
-            if st.phase == phase && st.chunk == chunk {
-                return t0.elapsed();
+            waited
+        };
+
+        let compute_body = move || {
+            let mut waited = Duration::ZERO;
+            for a in comp_actions {
+                let slot = &slots[a.slot];
+                waited += slot.await_phase(Phase::Filled, a.chunk, poisoned);
+                // SAFETY: `Filled(c)` hands the buffer to the compute stage.
+                let buf = unsafe { slot.data_mut() };
+                let lo = a.chunk * chunk_elems;
+                let len = buf.len();
+                let parts = spec.p_comp.min(len).max(1);
+                let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(parts);
+                let mut rest: &mut [T] = buf;
+                for t in 0..parts {
+                    let (ss, se) = split_range(len, parts, t);
+                    let (head, tail) = rest.split_at_mut(se - ss);
+                    rest = tail;
+                    let ctx = KernelCtx {
+                        chunk: a.chunk,
+                        thread: t,
+                        global_offset: lo + ss,
+                    };
+                    tasks.push(Box::new(move || kernel(head, ctx)));
+                }
+                pools.compute.scoped(tasks);
+                slot.publish(Phase::Computed, a.chunk);
             }
-            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            waited
+        };
+
+        let copy_out_body = move || {
+            let mut waited = Duration::ZERO;
+            for (a, dst) in out_actions.iter().zip(out_chunks) {
+                let slot = &slots[a.slot];
+                waited += slot.await_phase(Phase::Computed, a.chunk, poisoned);
+                // SAFETY: `Computed(c)` hands the buffer to the copy-out
+                // stage; `dst` is this chunk's pre-split disjoint window of
+                // `out`, owned by this coordinator.
+                let buf = unsafe { slot.data_ref() };
+                debug_assert_eq!(buf.len(), dst.len());
+                copy_split(&pools.copy_out, spec.p_out, buf, dst);
+                // Recycle the slot for copy-in of chunk c + RING_SLOTS.
+                slot.publish(Phase::Empty, a.chunk + RING_SLOTS);
+            }
+            waited
+        };
+
+        let (r_in, r_comp, r_out) = std::thread::scope(|sc| {
+            let h_in = sc.spawn(move || coordinate(slots, poisoned, copy_in_body));
+            let h_comp = sc.spawn(move || coordinate(slots, poisoned, compute_body));
+            let h_out = sc.spawn(move || coordinate(slots, poisoned, copy_out_body));
+            (
+                h_in.join().expect("coordinator wrapper does not panic"),
+                h_comp.join().expect("coordinator wrapper does not panic"),
+                h_out.join().expect("coordinator wrapper does not panic"),
+            )
+        });
+
+        let mut first_payload: Option<Box<dyn Any + Send>> = None;
+        let mut poison_payload: Option<Box<dyn Any + Send>> = None;
+        for (i, r) in [r_in, r_comp, r_out].into_iter().enumerate() {
+            match r {
+                Ok(w) => self.waits[i] = w,
+                Err(p) => {
+                    // Prefer the original panic over secondary abort panics.
+                    if is_poison_payload(&*p) {
+                        poison_payload.get_or_insert(p);
+                    } else {
+                        first_payload.get_or_insert(p);
+                    }
+                }
+            }
         }
-    }
-
-    /// Publish this slot's next `(phase, chunk)` and wake all waiters.
-    ///
-    /// Audit note (mlm-verify `models::condvar`): the store and the notify
-    /// both happen under the slot lock, so no waiter can check the old
-    /// state and park in between (`PoisonSkipLock`'s lost wakeup); and it
-    /// must be `notify_all`, because with two kinds of waiters per slot a
-    /// `notify_one` token can land on the waiter whose predicate is still
-    /// false (`NotifyOne`'s deadlock, reachable from 4 chunks on).
-    fn publish(&self, phase: Phase, chunk: usize) {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        *st = SlotState { phase, chunk };
-        self.cv.notify_all();
-    }
-}
-
-/// Panic message used when a stage aborts because a *peer* stage panicked;
-/// recognized so the original panic payload wins when both propagate.
-const POISON_MSG: &str = "host pipeline dataflow run aborted: a peer stage panicked";
-
-/// Mark the run poisoned and wake every coordinator. Taking each slot's
-/// lock before notifying guarantees no coordinator can re-check the flag
-/// and park between our store and our notify (no lost wakeups).
-///
-/// mlm-verify's `models::condvar` checks exactly this discipline: its
-/// `Correct` variant (which locks here) verifies deadlock-free with poison
-/// injected at every (stage, chunk), while `PoisonSkipLock` (notify
-/// without the lock) deadlocks a waiter parked in that window.
-fn poison<T>(slots: &[BufSlot<T>], poisoned: &AtomicBool) {
-    poisoned.store(true, Ordering::SeqCst);
-    for slot in slots {
-        let _guard = slot.state.lock().unwrap_or_else(|e| e.into_inner());
-        slot.cv.notify_all();
-    }
-}
-
-/// Outcome of one coordinator: cumulative blocked time, or the panic
-/// payload that killed it.
-type StageResult = Result<Duration, Box<dyn Any + Send>>;
-
-/// Run one stage coordinator, converting a panic into a poisoned ring (so
-/// the peer stages wake up and abort instead of deadlocking on a phase
-/// that will never come) plus the captured payload.
-fn coordinate<T>(
-    slots: &[BufSlot<T>],
-    poisoned: &AtomicBool,
-    body: impl FnOnce() -> Duration,
-) -> StageResult {
-    match catch_unwind(AssertUnwindSafe(body)) {
-        Ok(waited) => Ok(waited),
-        Err(payload) => {
-            poison(slots, poisoned);
-            Err(payload)
+        if let Some(payload) = first_payload.or(poison_payload) {
+            resume_unwind(payload);
         }
+        Ok(())
     }
 }
 
 /// Run the dataflow (non-lockstep) schedule on persistent stage pools.
 ///
-/// Three coordinator threads — one per stage — walk the chunk sequence
-/// independently, synchronizing only through the three-slot buffer ring:
-/// chunk `c` lives in slot `c % 3`, and copy-out of chunk `c` recycles its
-/// slot for copy-in of chunk `c + 3`. Each coordinator fans its chunk's
-/// work out to its own [`StagePool`], so copy-in of chunk `c`, compute on
-/// `c - 1`, and copy-out of `c - 2` genuinely overlap without any step
-/// barrier between them.
+/// The orchestrator's dataflow dependency edges — chunk `c` lives in slot
+/// `c % 3`, and copy-out of chunk `c` recycles its slot for copy-in of
+/// chunk `c + 3` — are realised by three coordinator threads walking the
+/// recorded schedule (see [`HostDataflowBackend`]).
 ///
 /// Busy counters in `pools` are reset at the start of the run; the
 /// returned [`StageStats`] also report each coordinator's blocked time, so
@@ -579,12 +659,8 @@ where
     let start = Instant::now();
     if data.is_empty() {
         return HostRunStats {
-            chunks: 0,
-            steps: 0,
             elapsed: start.elapsed(),
-            copy_in: StageStats::default(),
-            compute: StageStats::default(),
-            copy_out: StageStats::default(),
+            ..HostRunStats::empty()
         };
     }
     spec.validate().expect("invalid pipeline spec");
@@ -594,110 +670,19 @@ where
 
     let chunk_elems = chunk_elems_for::<T>(spec);
     let n_chunks = data.len().div_ceil(chunk_elems).max(1);
-    let slots: Vec<BufSlot<T>> = (0..3).map(BufSlot::new).collect();
-    let poisoned = AtomicBool::new(false);
-    let out_chunks: Vec<&mut [T]> = out.chunks_mut(chunk_elems).collect();
-    debug_assert_eq!(out_chunks.len(), n_chunks);
-    let slots = &slots;
-    let poisoned = &poisoned;
-    let kernel = &kernel;
-    let fill = data[0];
 
-    let copy_in_body = move || {
-        let mut waited = Duration::ZERO;
-        for c in 0..n_chunks {
-            let slot = &slots[c % 3];
-            waited += slot.await_phase(Phase::Empty, c, poisoned);
-            let lo = c * chunk_elems;
-            let hi = ((c + 1) * chunk_elems).min(data.len());
-            let src = &data[lo..hi];
-            // SAFETY: `Empty(c)` grants this coordinator exclusive
-            // ownership of the slot's buffer until it publishes `Filled`.
-            let buf = unsafe { &mut *slot.data.get() };
-            buf.clear();
-            buf.resize(src.len(), fill);
-            copy_parallel(&pools.copy_in, spec.p_in, src, buf);
-            slot.publish(Phase::Filled, c);
-        }
-        waited
+    let mut espec = host_spec::<T>(spec, data.len());
+    espec.lockstep = false;
+    let mut backend = HostDataflowBackend {
+        pools,
+        data,
+        out: Some(out),
+        kernel: &kernel,
+        chunk_elems,
+        schedule: [Vec::new(), Vec::new(), Vec::new()],
+        waits: [Duration::ZERO; 3],
     };
-
-    let compute_body = move || {
-        let mut waited = Duration::ZERO;
-        for c in 0..n_chunks {
-            let slot = &slots[c % 3];
-            waited += slot.await_phase(Phase::Filled, c, poisoned);
-            // SAFETY: `Filled(c)` hands the buffer to the compute stage.
-            let buf = unsafe { &mut *slot.data.get() };
-            let lo = c * chunk_elems;
-            let len = buf.len();
-            let parts = spec.p_comp.min(len).max(1);
-            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(parts);
-            let mut rest: &mut [T] = buf;
-            for t in 0..parts {
-                let (ss, se) = split_range(len, parts, t);
-                let (head, tail) = rest.split_at_mut(se - ss);
-                rest = tail;
-                let ctx = KernelCtx {
-                    chunk: c,
-                    thread: t,
-                    global_offset: lo + ss,
-                };
-                tasks.push(Box::new(move || kernel(head, ctx)));
-            }
-            pools.compute.scoped(tasks);
-            slot.publish(Phase::Computed, c);
-        }
-        waited
-    };
-
-    let copy_out_body = move || {
-        let mut waited = Duration::ZERO;
-        for (c, dst) in out_chunks.into_iter().enumerate() {
-            let slot = &slots[c % 3];
-            waited += slot.await_phase(Phase::Computed, c, poisoned);
-            // SAFETY: `Computed(c)` hands the buffer to the copy-out
-            // stage; `dst` is this chunk's pre-split disjoint window of
-            // `out`, owned by this coordinator.
-            let buf = unsafe { &*slot.data.get() };
-            debug_assert_eq!(buf.len(), dst.len());
-            copy_parallel(&pools.copy_out, spec.p_out, buf, dst);
-            // Recycle the slot for copy-in of chunk c + 3.
-            slot.publish(Phase::Empty, c + 3);
-        }
-        waited
-    };
-
-    let (r_in, r_comp, r_out) = std::thread::scope(|sc| {
-        let h_in = sc.spawn(move || coordinate(slots, poisoned, copy_in_body));
-        let h_comp = sc.spawn(move || coordinate(slots, poisoned, compute_body));
-        let h_out = sc.spawn(move || coordinate(slots, poisoned, copy_out_body));
-        (
-            h_in.join().expect("coordinator wrapper does not panic"),
-            h_comp.join().expect("coordinator wrapper does not panic"),
-            h_out.join().expect("coordinator wrapper does not panic"),
-        )
-    });
-
-    let mut waits = [Duration::ZERO; 3];
-    let mut first_payload: Option<Box<dyn Any + Send>> = None;
-    let mut poison_payload: Option<Box<dyn Any + Send>> = None;
-    for (i, r) in [r_in, r_comp, r_out].into_iter().enumerate() {
-        match r {
-            Ok(w) => waits[i] = w,
-            Err(p) => {
-                // Prefer the original panic over secondary abort panics.
-                if p.downcast_ref::<&str>() == Some(&POISON_MSG) {
-                    poison_payload.get_or_insert(p);
-                } else {
-                    first_payload.get_or_insert(p);
-                }
-            }
-        }
-    }
-    if let Some(payload) = first_payload.or(poison_payload) {
-        resume_unwind(payload);
-    }
+    drive(&mut backend, &espec).expect("host dataflow backend refused the schedule");
 
     let stage = |pool: &StagePool, wait: Duration| StageStats {
         threads: pool.threads(),
@@ -708,53 +693,43 @@ where
         chunks: n_chunks,
         steps: n_chunks + 2,
         elapsed: start.elapsed(),
-        copy_in: stage(&pools.copy_in, waits[0]),
-        compute: stage(&pools.compute, waits[1]),
-        copy_out: stage(&pools.copy_out, waits[2]),
+        copy_in: stage(&pools.copy_in, backend.waits[0]),
+        compute: stage(&pools.compute, backend.waits[1]),
+        copy_out: stage(&pools.copy_out, backend.waits[2]),
     }
 }
 
-/// Copy `src` into `dst` split across up to `parts_max` pool tasks.
-fn copy_parallel<T: Copy + Send + Sync>(
-    pool: &StagePool,
+/// Push `src → dst` copy tasks (split across up to `parts_max` workers)
+/// onto a lockstep step batch, crediting wall time to `busy`. The shared
+/// `WorkPool` is untimed, so the tasks time themselves — unlike the
+/// dataflow path, whose `StagePool`s account busy time in the pool.
+fn push_timed_copy<'t, T: Copy + Send + Sync>(
+    tasks: &mut Vec<Box<dyn FnOnce() + Send + 't>>,
+    busy: &'t AtomicU64,
     parts_max: usize,
-    src: &[T],
-    dst: &mut [T],
+    src: &'t [T],
+    dst: &'t mut [T],
 ) {
     debug_assert_eq!(src.len(), dst.len());
     let parts = parts_max.min(src.len()).max(1);
-    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(parts);
     let mut rest = dst;
     for t in 0..parts {
         let (ss, se) = split_range(src.len(), parts, t);
         let (head, tail) = rest.split_at_mut(se - ss);
         rest = tail;
         let s_slice = &src[ss..se];
-        tasks.push(Box::new(move || head.copy_from_slice(s_slice)));
+        tasks.push(Box::new(move || {
+            let t0 = Instant::now();
+            head.copy_from_slice(s_slice);
+            busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }));
     }
-    pool.scoped(tasks);
-}
-
-/// Disjoint mutable references to three distinct buffer slots.
-fn three_mut<T>(
-    buffers: &mut [Vec<T>],
-    a: usize,
-    b: usize,
-    c: usize,
-) -> (&mut Vec<T>, &mut Vec<T>, &mut Vec<T>) {
-    assert!(
-        a != b && b != c && a != c,
-        "buffer indices must be distinct"
-    );
-    assert!(a < buffers.len() && b < buffers.len() && c < buffers.len());
-    let ptr = buffers.as_mut_ptr();
-    // SAFETY: the indices are pairwise distinct and in bounds, so the three
-    // references alias disjoint elements.
-    unsafe { (&mut *ptr.add(a), &mut *ptr.add(b), &mut *ptr.add(c)) }
 }
 
 #[cfg(test)]
 mod tests {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
     use super::*;
 
     fn spec(chunk_bytes: u64, placement: Placement) -> PipelineSpec {
@@ -820,6 +795,20 @@ mod tests {
         let data: Vec<i64> = (0..50).collect();
         let mut out = vec![0i64; 50];
         run_host_pipeline(&pool, &s, &data, &mut out, negate_kernel);
+        assert!(out.iter().zip(&data).all(|(o, d)| *o == -d));
+    }
+
+    #[test]
+    fn host_sizes_come_from_the_slice_not_the_spec() {
+        // The modeled problem size (total_bytes) legitimately disagrees
+        // with the slice being processed: geometry must follow the slice.
+        let pool = WorkPool::new(4);
+        let mut s = spec(8 * 64, Placement::Hbw);
+        s.total_bytes = 1 << 40; // model a 1 TiB run...
+        let data: Vec<i64> = (0..500).collect(); // ...validate on 4 KiB
+        let mut out = vec![0i64; 500];
+        let stats = run_host_pipeline(&pool, &s, &data, &mut out, negate_kernel);
+        assert_eq!(stats.chunks, 500usize.div_ceil(64));
         assert!(out.iter().zip(&data).all(|(o, d)| *o == -d));
     }
 
@@ -1032,22 +1021,5 @@ mod tests {
         let mut out = vec![0i64; 100];
         run_host_pipeline_dataflow(&pools, &s, &data, &mut out, negate_kernel);
         assert!(out.iter().zip(&data).all(|(o, d)| *o == -d));
-    }
-
-    #[test]
-    fn three_mut_returns_disjoint_refs() {
-        let mut v = vec![vec![1], vec![2], vec![3]];
-        let (a, b, c) = three_mut(&mut v, 0, 2, 1);
-        a.push(10);
-        b.push(30);
-        c.push(20);
-        assert_eq!(v, vec![vec![1, 10], vec![2, 20], vec![3, 30]]);
-    }
-
-    #[test]
-    #[should_panic(expected = "distinct")]
-    fn three_mut_rejects_duplicates() {
-        let mut v = vec![vec![1], vec![2], vec![3]];
-        let _ = three_mut(&mut v, 0, 0, 1);
     }
 }

@@ -1,175 +1,163 @@
 //! Lowering a [`PipelineSpec`] to a [`knl_sim`] op graph.
+//!
+//! This file is the *simulator adapter* of the execution layer: the
+//! schedule itself — which chunk each stage touches at each step, the
+//! three-slot buffer-ring discipline, lockstep barriers vs dataflow
+//! edges — lives in [`mlm_exec::drive`]. [`SimBackend`] only expands each
+//! issued [`ChunkAction`] into per-thread ops: copies at `S_copy`,
+//! compute streams at `S_comp`, and (for implicit cache mode) cold
+//! passes through the address-exact cache model plus analytic warm
+//! re-touches.
+//!
+//! Thread layout: copy-in threads first, then copy-out, then compute
+//! (irrelevant to timing, but stable for traces). With `spec.lockstep`
+//! the schedule matches the paper's Fig. 2 exactly: step `s` performs
+//! copy-in of chunk `s`, compute on `s-1`, copy-out of `s-2`, and a
+//! barrier closes the step. Without lockstep, only dataflow and
+//! buffer-recycling dependencies order the ops (three buffers: copy-in
+//! of chunk `c` waits for copy-out of chunk `c-3`).
 
 use knl_sim::ops::{Access, OpId, OpKind, Place, Program};
+use mlm_exec::{drive, Backend, Capabilities, ChunkAction, Stage};
 
 use super::{PipelineSpec, Placement};
 
-/// Build the simulated program for `spec`.
+/// The op-level simulator as an execution backend.
 ///
-/// Thread layout: copy-in threads first, then copy-out, then compute
-/// (irrelevant to timing, but stable for traces). With `spec.lockstep` the
-/// schedule matches the paper's Fig. 2 exactly: step `s` performs copy-in
-/// of chunk `s`, compute on `s-1`, copy-out of `s-2`, and a barrier closes
-/// the step. Without lockstep, only dataflow and buffer-recycling
-/// dependencies order the ops (three buffers: copy-in of chunk `c` waits
-/// for copy-out of chunk `c-3`).
-pub fn build_program(spec: &PipelineSpec) -> Result<Program, String> {
-    spec.validate()?;
-    let n = spec.n_chunks();
-    let threads = spec.threads();
-    let mut prog = Program::new(threads);
-
-    if spec.placement == Placement::Implicit {
-        build_implicit(spec, &mut prog, n);
-        return Ok(prog);
-    }
-
-    let (in0, out0, comp0) = (0usize, spec.p_in, spec.p_in + spec.p_out);
-    let buf_place = match spec.placement {
-        Placement::Hbw => Place::Mcdram,
-        Placement::Ddr => Place::Ddr,
-        Placement::Implicit => unreachable!(),
-    };
-
-    // Per-chunk op id lists for dependency wiring.
-    let mut copyin_ops: Vec<Vec<OpId>> = vec![Vec::new(); n];
-    let mut comp_ops: Vec<Vec<OpId>> = vec![Vec::new(); n];
-    let mut copyout_ops: Vec<Vec<OpId>> = vec![Vec::new(); n];
-    let mut step_barrier: Vec<OpId> = Vec::new();
-
-    // Steps 0..n+2: step s copies in chunk s, computes s-1, copies out s-2.
-    for s in 0..n + 2 {
-        let mut step_ops: Vec<OpId> = Vec::new();
-
-        // Copy-in of chunk `s`: each thread moves a disjoint slice.
-        if s < n {
-            let bytes = spec.chunk_size(s);
-            let mut offset = 0u64;
-            for t in 0..spec.p_in {
-                let share = thread_share(bytes, spec.p_in, t);
-                if share == 0 {
-                    continue;
-                }
-                let deps: Vec<OpId> = if spec.lockstep {
-                    step_barrier.clone()
-                } else if s >= 3 {
-                    copyout_ops[s - 3].clone()
-                } else {
-                    Vec::new()
-                };
-                let addr = spec.data_addr + s as u64 * spec.chunk_bytes + offset;
-                offset += share;
-                let id = prog.push(
-                    in0 + t,
-                    OpKind::Copy {
-                        src: Place::CachedDdr { addr },
-                        dst: buf_place,
-                        bytes: share,
-                        rate_cap: spec.copy_rate,
-                    },
-                    &deps,
-                );
-                copyin_ops[s].push(id);
-                step_ops.push(id);
-            }
-        }
-
-        // Compute on chunk `s-1`.
-        if s >= 1 && s - 1 < n {
-            let c = s - 1;
-            let bytes = spec.chunk_size(c);
-            for t in 0..spec.p_comp {
-                let share = thread_share(bytes, spec.p_comp, t);
-                if share == 0 {
-                    continue;
-                }
-                let deps: Vec<OpId> = if spec.lockstep {
-                    step_barrier.clone()
-                } else {
-                    copyin_ops[c].clone()
-                };
-                let traffic = share * u64::from(spec.compute_passes);
-                let id = prog.push(
-                    comp0 + t,
-                    OpKind::Stream {
-                        accesses: vec![
-                            Access::read(buf_place, traffic),
-                            Access::write(buf_place, traffic),
-                        ],
-                        rate_cap: spec.compute_rate,
-                    },
-                    &deps,
-                );
-                comp_ops[c].push(id);
-                step_ops.push(id);
-            }
-        }
-
-        // Copy-out of chunk `s-2`: disjoint slices again.
-        if s >= 2 && s - 2 < n {
-            let c = s - 2;
-            let bytes = spec.chunk_size(c);
-            let mut offset = 0u64;
-            for t in 0..spec.p_out {
-                let share = thread_share(bytes, spec.p_out, t);
-                if share == 0 {
-                    continue;
-                }
-                let deps: Vec<OpId> = if spec.lockstep {
-                    step_barrier.clone()
-                } else {
-                    comp_ops[c].clone()
-                };
-                let addr = spec.data_addr + c as u64 * spec.chunk_bytes + offset;
-                offset += share;
-                let id = prog.push(
-                    out0 + t,
-                    OpKind::Copy {
-                        src: buf_place,
-                        dst: Place::CachedDdr { addr },
-                        bytes: share,
-                        rate_cap: spec.copy_rate,
-                    },
-                    &deps,
-                );
-                copyout_ops[c].push(id);
-                step_ops.push(id);
-            }
-        }
-
-        if spec.lockstep {
-            step_barrier = prog.barrier(0..threads, &step_ops);
-        }
-    }
-
-    Ok(prog)
+/// Tokens are the op-id lists of issued actions, so the orchestrator's
+/// dependency tokens translate directly into op-graph edges.
+pub struct SimBackend {
+    prog: Program,
+    threads: usize,
 }
 
-/// Implicit cache mode (paper Fig. 5): no copies; all threads compute on
-/// each chunk in turn, pulling data through the MCDRAM cache.
-///
-/// The first pass over a chunk goes through the address-exact cache model
-/// (cold misses); the remaining `compute_passes - 1` passes re-touch the
-/// same range, which stays resident iff the chunk fits the cache — modeled
-/// as pure MCDRAM traffic when it fits, or a DDR re-stream (plus fill
-/// traffic) when it does not. Re-issuing the range through the cache model
-/// once per pass would be exact too, but at high repeat counts it inflates
-/// the op count by orders of magnitude for identical results.
-fn build_implicit(spec: &PipelineSpec, prog: &mut Program, n: usize) {
-    let mut barrier: Vec<OpId> = Vec::new();
-    for c in 0..n {
-        let bytes = spec.chunk_size(c);
-        let mut step_ops = Vec::new();
+impl SimBackend {
+    /// Create a backend sized for `spec`'s thread count.
+    pub fn new(spec: &PipelineSpec) -> Result<Self, String> {
+        spec.validate()?;
+        let threads = spec.threads();
+        Ok(SimBackend {
+            prog: Program::new(threads),
+            threads,
+        })
+    }
+
+    /// Consume the backend, returning the lowered program.
+    pub fn into_program(self) -> Program {
+        self.prog
+    }
+
+    fn issue_copy_in(&mut self, spec: &PipelineSpec, chunk: usize, deps: &[OpId]) -> Vec<OpId> {
+        let buf_place = buf_place(spec);
+        let bytes = spec.chunk_size(chunk);
+        let in0 = 0usize;
+        let mut ops = Vec::new();
+        let mut offset = 0u64;
+        for t in 0..spec.p_in {
+            let share = thread_share(bytes, spec.p_in, t);
+            if share == 0 {
+                continue;
+            }
+            let addr = spec.data_addr + chunk as u64 * spec.chunk_bytes + offset;
+            offset += share;
+            let id = self.prog.push(
+                in0 + t,
+                OpKind::Copy {
+                    src: Place::CachedDdr { addr },
+                    dst: buf_place,
+                    bytes: share,
+                    rate_cap: spec.copy_rate,
+                },
+                deps,
+            );
+            ops.push(id);
+        }
+        ops
+    }
+
+    fn issue_compute(&mut self, spec: &PipelineSpec, chunk: usize, deps: &[OpId]) -> Vec<OpId> {
+        let buf_place = buf_place(spec);
+        let bytes = spec.chunk_size(chunk);
+        let comp0 = spec.p_in + spec.p_out;
+        let mut ops = Vec::new();
+        for t in 0..spec.p_comp {
+            let share = thread_share(bytes, spec.p_comp, t);
+            if share == 0 {
+                continue;
+            }
+            let traffic = share * u64::from(spec.compute_passes);
+            let id = self.prog.push(
+                comp0 + t,
+                OpKind::Stream {
+                    accesses: vec![
+                        Access::read(buf_place, traffic),
+                        Access::write(buf_place, traffic),
+                    ],
+                    rate_cap: spec.compute_rate,
+                },
+                deps,
+            );
+            ops.push(id);
+        }
+        ops
+    }
+
+    fn issue_copy_out(&mut self, spec: &PipelineSpec, chunk: usize, deps: &[OpId]) -> Vec<OpId> {
+        let buf_place = buf_place(spec);
+        let bytes = spec.chunk_size(chunk);
+        let out0 = spec.p_in;
+        let mut ops = Vec::new();
+        let mut offset = 0u64;
+        for t in 0..spec.p_out {
+            let share = thread_share(bytes, spec.p_out, t);
+            if share == 0 {
+                continue;
+            }
+            let addr = spec.data_addr + chunk as u64 * spec.chunk_bytes + offset;
+            offset += share;
+            let id = self.prog.push(
+                out0 + t,
+                OpKind::Copy {
+                    src: buf_place,
+                    dst: Place::CachedDdr { addr },
+                    bytes: share,
+                    rate_cap: spec.copy_rate,
+                },
+                deps,
+            );
+            ops.push(id);
+        }
+        ops
+    }
+
+    /// Implicit cache mode (paper Fig. 5): no copies; all threads compute
+    /// on the chunk in place, pulling data through the MCDRAM cache. The
+    /// first pass over a chunk goes through the address-exact cache model
+    /// (cold misses); the remaining `compute_passes - 1` passes re-touch
+    /// the same range, which stays resident iff the chunk fits the cache —
+    /// modeled as pure MCDRAM traffic when it fits, or a DDR re-stream
+    /// (plus fill traffic) when it does not. Re-issuing the range through
+    /// the cache model once per pass would be exact too, but at high
+    /// repeat counts it inflates the op count by orders of magnitude for
+    /// identical results.
+    fn issue_implicit_compute(
+        &mut self,
+        spec: &PipelineSpec,
+        chunk: usize,
+        deps: &[OpId],
+    ) -> Vec<OpId> {
+        let bytes = spec.chunk_size(chunk);
+        let mut ops = Vec::new();
         let mut offset = 0u64;
         for t in 0..spec.p_comp {
             let share = thread_share(bytes, spec.p_comp, t);
             if share == 0 {
                 continue;
             }
-            let addr = spec.data_addr + c as u64 * spec.chunk_bytes + offset;
+            let addr = spec.data_addr + chunk as u64 * spec.chunk_bytes + offset;
             offset += share;
             // Pass 0: cold, through the real cache.
-            let cold = prog.push(
+            let cold = self.prog.push(
                 t,
                 OpKind::Stream {
                     accesses: vec![
@@ -178,58 +166,105 @@ fn build_implicit(spec: &PipelineSpec, prog: &mut Program, n: usize) {
                     ],
                     rate_cap: spec.compute_rate,
                 },
-                &barrier,
+                deps,
             );
-            step_ops.push(cold);
-            if let Some(warm) = implicit_warm_op(prog, t, spec, share, cold) {
-                step_ops.push(warm);
+            ops.push(cold);
+            if let Some(warm) = self.implicit_warm_op(t, spec, share, cold) {
+                ops.push(warm);
             }
         }
-        barrier = prog.barrier(0..spec.p_comp, &step_ops);
+        ops
+    }
+
+    /// Emit the `compute_passes - 1` re-touch passes of the implicit
+    /// kernel.
+    ///
+    /// A re-touched chunk stays resident iff it fits the cache; the
+    /// builder has no machine config, so pass 0 uses the engine's
+    /// address-exact cache and later passes are approximated by chunk size
+    /// against the KNL's 16 GiB cache. Experiments sweeping exotic cache
+    /// sizes lower their implicit schedules through the sort builders,
+    /// which model residency against the actual machine.
+    fn implicit_warm_op(
+        &mut self,
+        thread: usize,
+        spec: &PipelineSpec,
+        share: u64,
+        cold: OpId,
+    ) -> Option<OpId> {
+        let extra = u64::from(spec.compute_passes.saturating_sub(1));
+        if extra == 0 {
+            return None;
+        }
+        let traffic = share * extra;
+        let fits = spec.chunk_bytes <= 15 * (1 << 30);
+        let accesses = if fits {
+            vec![
+                Access::read(Place::Mcdram, traffic),
+                Access::write(Place::Mcdram, traffic),
+            ]
+        } else {
+            vec![
+                Access::read(Place::Ddr, traffic),
+                Access::write(Place::Ddr, traffic),
+                Access::write(Place::Mcdram, traffic),
+            ]
+        };
+        Some(self.prog.push(
+            thread,
+            OpKind::Stream {
+                accesses,
+                rate_cap: spec.compute_rate,
+            },
+            &[cold],
+        ))
     }
 }
 
-/// Emit the `compute_passes - 1` re-touch passes of the implicit kernel.
-///
-/// A re-touched chunk stays resident iff it fits the cache; the builder
-/// has no machine config, so pass 0 uses the engine's address-exact cache
-/// and later passes are approximated by chunk size against the KNL's
-/// 16 GiB cache. Experiments sweeping exotic cache sizes lower their
-/// implicit schedules through the sort builders, which model residency
-/// against the actual machine.
-fn implicit_warm_op(
-    prog: &mut Program,
-    thread: usize,
-    spec: &PipelineSpec,
-    share: u64,
-    cold: OpId,
-) -> Option<OpId> {
-    let extra = u64::from(spec.compute_passes.saturating_sub(1));
-    if extra == 0 {
-        return None;
+impl Backend for SimBackend {
+    type Token = Vec<OpId>;
+
+    fn capabilities(&self) -> Capabilities {
+        // The simulator lowers every placement; whether a given *machine*
+        // can execute it (e.g. Hbw buffers on a cache-mode KNL) is the
+        // op validator's and mlm-verify's concern (lints V003/V010).
+        Capabilities::all()
     }
-    let traffic = share * extra;
-    let fits = spec.chunk_bytes <= 15 * (1 << 30);
-    let accesses = if fits {
-        vec![
-            Access::read(Place::Mcdram, traffic),
-            Access::write(Place::Mcdram, traffic),
-        ]
-    } else {
-        vec![
-            Access::read(Place::Ddr, traffic),
-            Access::write(Place::Ddr, traffic),
-            Access::write(Place::Mcdram, traffic),
-        ]
-    };
-    Some(prog.push(
-        thread,
-        OpKind::Stream {
-            accesses,
-            rate_cap: spec.compute_rate,
-        },
-        &[cold],
-    ))
+
+    fn issue(&mut self, spec: &PipelineSpec, action: ChunkAction, deps: &[Vec<OpId>]) -> Vec<OpId> {
+        let deps: Vec<OpId> = deps.iter().flatten().copied().collect();
+        match (spec.placement, action.stage) {
+            (Placement::Implicit, Stage::Compute) => {
+                self.issue_implicit_compute(spec, action.chunk, &deps)
+            }
+            (Placement::Implicit, _) => unreachable!("implicit schedules have no copy stages"),
+            (_, Stage::CopyIn) => self.issue_copy_in(spec, action.chunk, &deps),
+            (_, Stage::Compute) => self.issue_compute(spec, action.chunk, &deps),
+            (_, Stage::CopyOut) => self.issue_copy_out(spec, action.chunk, &deps),
+        }
+    }
+
+    fn step_barrier(&mut self, _spec: &PipelineSpec, after: &[Vec<OpId>]) -> Vec<OpId> {
+        let after: Vec<OpId> = after.iter().flatten().copied().collect();
+        self.prog.barrier(0..self.threads, &after)
+    }
+}
+
+/// Where explicit chunk buffers live in the simulated machine.
+fn buf_place(spec: &PipelineSpec) -> Place {
+    match spec.placement {
+        Placement::Hbw => Place::Mcdram,
+        Placement::Ddr => Place::Ddr,
+        Placement::Implicit => unreachable!("implicit placement owns no buffers"),
+    }
+}
+
+/// Build the simulated program for `spec` by driving a [`SimBackend`]
+/// through the shared orchestrator.
+pub fn build_program(spec: &PipelineSpec) -> Result<Program, String> {
+    let mut backend = SimBackend::new(spec)?;
+    drive(&mut backend, spec)?;
+    Ok(backend.into_program())
 }
 
 /// Bytes of an `bytes`-byte chunk handled by thread `t` of `pool` threads.
@@ -410,5 +445,20 @@ mod tests {
         assert!(t4 < t1, "more copy threads help: {t4} !< {t1}");
         // Past DDR saturation (10 threads x 1 GB/s > 10 GB/s), no gain.
         assert!(t16 >= t8 * 0.95, "saturated: {t16} vs {t8}");
+    }
+
+    #[test]
+    fn recorded_trace_matches_op_graph_structure() {
+        // RecordingBackend<SimBackend> lowers the identical program while
+        // producing a schedule trace: the recorder is a pure observer.
+        use mlm_exec::RecordingBackend;
+        let spec = base_spec();
+        let direct = build_program(&spec).unwrap();
+        let mut rec = RecordingBackend::new(SimBackend::new(&spec).unwrap());
+        drive(&mut rec, &spec).unwrap();
+        let (backend, events) = rec.into_parts();
+        let traced = backend.into_program();
+        assert_eq!(traced.ops().len(), direct.ops().len());
+        assert!(!events.is_empty());
     }
 }

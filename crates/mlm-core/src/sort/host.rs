@@ -1,14 +1,18 @@
 //! Real, correctness-checked implementations of the sort variants.
 //!
-//! Host memory has one level, so the explicit "copy to MCDRAM" steps
-//! degenerate to buffer copies — but every algorithmic step (megachunk
-//! split, per-thread serial sorts, multiway merges, final merge) runs for
-//! real, which is what validates the sim builders' schedules and feeds the
-//! native Criterion benchmarks.
+//! The phase sequence of every variant comes from the shared
+//! [`mlm_exec::plan_sort`] (the same plan the sim lowering interprets);
+//! [`run_sort_plan`] executes it on real threads and buffers. Host memory
+//! has one level, so the explicit "copy to MCDRAM" steps degenerate to
+//! buffer copies — but every algorithmic step (megachunk split, per-thread
+//! serial sorts, multiway merges, final merge) runs for real, which is
+//! what validates the sim lowering's schedules and feeds the native
+//! Criterion benchmarks.
 
+use mlm_exec::{plan_sort, ChunkSortStyle, SortPhase, SortPlan, SortStructure};
 use parsort::multiway::parallel_multiway_merge_into;
 use parsort::parallel::{parallel_mergesort, sort_chunks_serial, split_borrows};
-use parsort::pool::{split_range, WorkPool};
+use parsort::pool::{parallel_copy, split_mut, split_range, WorkPool};
 
 use super::SortAlgorithm;
 
@@ -23,6 +27,121 @@ pub struct HostSortStats {
     pub elapsed: std::time::Duration,
 }
 
+/// Execute a [`SortPlan`] on the host.
+///
+/// The plan says *what* happens (stage megachunk `m`, sort its chunks,
+/// merge the runs out, final k-way merge); this interpreter decides *how*
+/// on one-level host memory: the working buffer and the merge scratch are
+/// the same `data`-sized allocation, staged copies are real `memcpy`s over
+/// the pool, and [`SortStructure::Whole`] plans collapse into the
+/// library's parallel mergesort (one call realises `ThreadSort` +
+/// `ThreadMerge` + `FinalCopyBack`, with its own internal scratch).
+pub fn run_sort_plan<T: Ord + Copy + Send + Sync>(
+    pool: &WorkPool,
+    plan: &SortPlan,
+    data: &mut [T],
+) -> HostSortStats {
+    let start = std::time::Instant::now();
+    let n = data.len();
+    assert_eq!(n as u64, plan.n_elems, "plan must be for this data length");
+    if n < 2 {
+        return HostSortStats {
+            megachunks: n.min(1),
+            chunk_sorts: 0,
+            elapsed: start.elapsed(),
+        };
+    }
+    if plan.overlapped {
+        return run_buffered_plan(pool, plan, data, start);
+    }
+    if plan.structure == SortStructure::Whole {
+        parallel_mergesort(pool, data);
+        return HostSortStats {
+            megachunks: plan.megachunks,
+            chunk_sorts: 0,
+            elapsed: start.elapsed(),
+        };
+    }
+
+    let p = pool.threads();
+    let mega_elems = plan.mega_elems as usize;
+    let bounds = |m: usize| -> (usize, usize) { (m * mega_elems, ((m + 1) * mega_elems).min(n)) };
+    let mut chunk_sorts = 0usize;
+    let mut scratch = data.to_vec();
+
+    for phase in &plan.phases {
+        match *phase {
+            // "Copy-in": stage the megachunk in the working buffer
+            // (MCDRAM -> the scratch allocation on the host).
+            SortPhase::StageIn { mega, .. } => {
+                let (lo, hi) = bounds(mega);
+                parallel_copy(pool, &data[lo..hi], &mut scratch[lo..hi]);
+            }
+            // Sort the megachunk's chunks where the plan staged them:
+            // the working buffer for staged plans, in place otherwise.
+            SortPhase::ChunkSort { mega, elems } => {
+                let (lo, hi) = bounds(mega);
+                let block = if plan.structure == SortStructure::InPlace {
+                    &mut data[lo..hi]
+                } else {
+                    &mut scratch[lo..hi]
+                };
+                match plan.chunk_style {
+                    ChunkSortStyle::Serial => {
+                        let parts = p.min(elems as usize);
+                        chunk_sorts += parts;
+                        sort_chunks_serial(pool, split_mut(block, parts));
+                    }
+                    ChunkSortStyle::Gnu => parallel_mergesort(pool, block),
+                }
+            }
+            // Multiway-merge the sorted runs out of the working buffer
+            // (staged: back to `data`; in-place: out to scratch).
+            SortPhase::MergeRuns { mega, elems } => {
+                let (lo, hi) = bounds(mega);
+                let parts = match plan.chunk_style {
+                    ChunkSortStyle::Serial => p.min(elems as usize),
+                    // The GNU-style chunk sort left one fully sorted run,
+                    // so the merge-out degenerates to moving it.
+                    ChunkSortStyle::Gnu => 1,
+                };
+                if plan.structure == SortStructure::InPlace {
+                    let runs = split_borrows(&data[lo..hi], parts);
+                    parallel_multiway_merge_into(pool, &runs, &mut scratch[lo..hi]);
+                } else {
+                    let runs = split_borrows(&scratch[lo..hi], parts);
+                    parallel_multiway_merge_into(pool, &runs, &mut data[lo..hi]);
+                }
+            }
+            // In-place plans merged out to scratch; bring the megachunk home.
+            SortPhase::CopyBack { mega, .. } => {
+                let (lo, hi) = bounds(mega);
+                parallel_copy(pool, &scratch[lo..hi], &mut data[lo..hi]);
+            }
+            // Final multiway merge of the sorted megachunk runs.
+            SortPhase::FinalMerge { k, .. } => {
+                let runs: Vec<&[T]> = (0..k)
+                    .map(|m| {
+                        let (lo, hi) = bounds(m);
+                        &data[lo..hi]
+                    })
+                    .collect();
+                parallel_multiway_merge_into(pool, &runs, &mut scratch);
+            }
+            SortPhase::FinalCopyBack { .. } => parallel_copy(pool, &scratch, data),
+            SortPhase::ThreadSort { .. } | SortPhase::ThreadMerge { .. } => {
+                unreachable!("Whole plans collapse into parallel_mergesort above")
+            }
+        }
+    }
+
+    HostSortStats {
+        megachunks: plan.megachunks,
+        chunk_sorts,
+        elapsed: start.elapsed(),
+    }
+}
+
 /// Sort `data` with the MLM-sort structure (paper §4): split into
 /// megachunks of at most `megachunk_elems`; within each, one serial sort
 /// per pool thread followed by a parallel multiway merge; finally a
@@ -30,7 +149,7 @@ pub struct HostSortStats {
 ///
 /// `explicit_copy = true` mirrors MLM-sort (the megachunk is staged through
 /// a separate buffer, as flat-mode MCDRAM requires); `false` mirrors
-/// MLM-implicit / MLM-ddr (sort in place, merge through scratch).
+/// MLM-implicit (sort in place, merge through scratch).
 pub fn mlm_sort<T: Ord + Copy + Send + Sync>(
     pool: &WorkPool,
     data: &mut [T],
@@ -47,51 +166,18 @@ pub fn mlm_sort<T: Ord + Copy + Send + Sync>(
             elapsed: start.elapsed(),
         };
     }
-    let k = n.div_ceil(megachunk_elems);
-    let p = pool.threads();
-    let mut scratch = data.to_vec();
-    let mut chunk_sorts = 0usize;
-
-    for m in 0..k {
-        let lo = m * megachunk_elems;
-        let hi = ((m + 1) * megachunk_elems).min(n);
-        let mega = hi - lo;
-        let parts = p.min(mega);
-        chunk_sorts += parts;
-        if explicit_copy {
-            // "Copy-in": stage the megachunk in the buffer, sort there,
-            // merge back out to the original array (MCDRAM -> DDR).
-            parallel_copy(pool, &data[lo..hi], &mut scratch[lo..hi]);
-            sort_chunks_serial(pool, chunks_of(&mut scratch[lo..hi], parts));
-            let runs = split_borrows(&scratch[lo..hi], parts);
-            parallel_multiway_merge_into(pool, &runs, &mut data[lo..hi]);
-        } else {
-            // Implicit: sort in place, merge through scratch, copy back.
-            sort_chunks_serial(pool, chunks_of(&mut data[lo..hi], parts));
-            let runs = split_borrows(&data[lo..hi], parts);
-            parallel_multiway_merge_into(pool, &runs, &mut scratch[lo..hi]);
-            parallel_copy(pool, &scratch[lo..hi], &mut data[lo..hi]);
-        }
-    }
-
-    if k > 1 {
-        // Final multiway merge of the sorted megachunk runs.
-        let runs: Vec<&[T]> = (0..k)
-            .map(|m| {
-                let lo = m * megachunk_elems;
-                let hi = ((m + 1) * megachunk_elems).min(n);
-                &data[lo..hi]
-            })
-            .collect();
-        parallel_multiway_merge_into(pool, &runs, &mut scratch);
-        parallel_copy(pool, &scratch, data);
-    }
-
-    HostSortStats {
-        megachunks: k,
-        chunk_sorts,
-        elapsed: start.elapsed(),
-    }
+    let structure = if explicit_copy {
+        SortStructure::Staged
+    } else {
+        SortStructure::InPlace
+    };
+    let plan = plan_sort(
+        structure,
+        ChunkSortStyle::Serial,
+        n as u64,
+        megachunk_elems as u64,
+    );
+    run_sort_plan(pool, &plan, data)
 }
 
 /// The "basic algorithm" of §4: megachunks sorted with the *parallel*
@@ -111,25 +197,13 @@ pub fn basic_chunked_sort<T: Ord + Copy + Send + Sync>(
             elapsed: start.elapsed(),
         };
     }
-    let k = n.div_ceil(megachunk_elems);
-    for m in 0..k {
-        let lo = m * megachunk_elems;
-        let hi = ((m + 1) * megachunk_elems).min(n);
-        parallel_mergesort(pool, &mut data[lo..hi]);
-    }
-    if k > 1 {
-        let mut scratch = data.to_vec();
-        let runs: Vec<&[T]> = (0..k)
-            .map(|m| &data[m * megachunk_elems..((m + 1) * megachunk_elems).min(n)])
-            .collect();
-        parallel_multiway_merge_into(pool, &runs, &mut scratch);
-        parallel_copy(pool, &scratch, data);
-    }
-    HostSortStats {
-        megachunks: k,
-        chunk_sorts: 0,
-        elapsed: start.elapsed(),
-    }
+    let plan = plan_sort(
+        SortStructure::Staged,
+        ChunkSortStyle::Gnu,
+        n as u64,
+        megachunk_elems as u64,
+    );
+    run_sort_plan(pool, &plan, data)
 }
 
 /// MLM-sort with double-buffered megachunks (the paper's §6 future work):
@@ -151,12 +225,32 @@ pub fn mlm_sort_buffered<T: Ord + Copy + Send + Sync>(
             elapsed: start.elapsed(),
         };
     }
-    let k = n.div_ceil(megachunk_elems);
+    let plan = plan_sort(
+        SortStructure::Buffered,
+        ChunkSortStyle::Serial,
+        n as u64,
+        megachunk_elems as u64,
+    );
+    run_sort_plan(pool, &plan, data)
+}
+
+/// The overlapped ([`SortStructure::Buffered`]) interpretation: the same
+/// staged phase sequence, but StageIn of megachunk `m + 1` runs in the
+/// *same* scoped batch as ChunkSort of megachunk `m` (the prime copy of
+/// megachunk 0 stands alone, so every thread helps with it).
+fn run_buffered_plan<T: Ord + Copy + Send + Sync>(
+    pool: &WorkPool,
+    plan: &SortPlan,
+    data: &mut [T],
+    start: std::time::Instant,
+) -> HostSortStats {
+    let n = data.len();
+    let k = plan.megachunks;
     let p = pool.threads();
+    let mega_elems = plan.mega_elems as usize;
     let mut chunk_sorts = 0usize;
 
-    let bounds =
-        |m: usize| -> (usize, usize) { (m * megachunk_elems, ((m + 1) * megachunk_elems).min(n)) };
+    let bounds = |m: usize| -> (usize, usize) { (m * mega_elems, ((m + 1) * mega_elems).min(n)) };
 
     // Two staging buffers ("the two halves of MCDRAM").
     let mut bufs: [Vec<T>; 2] = [Vec::new(), Vec::new()];
@@ -197,7 +291,7 @@ pub fn mlm_sort_buffered<T: Ord + Copy + Send + Sync>(
         {
             // One batch: sort tasks on `cur` + copy tasks into `next`.
             let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
-            for chunk in chunks_of(cur, parts) {
+            for chunk in split_mut(cur, parts) {
                 tasks.push(Box::new(move || parsort::serial::introsort(chunk)));
             }
             if let Some(src) = prefetch_src {
@@ -238,68 +332,41 @@ pub fn mlm_sort_buffered<T: Ord + Copy + Send + Sync>(
     }
 }
 
-/// Dispatch a host-scale run of any Table-1 variant. The MCDRAM
-/// *placement* differences vanish on the host (one memory level); the
-/// *algorithmic* differences — GNU vs MLM structure, explicit staging vs
-/// in-place — are preserved.
+/// Dispatch a host-scale run of any Table-1 variant via its shared plan.
+/// The MCDRAM *placement* differences vanish on the host (one memory
+/// level); the *algorithmic* differences — GNU vs MLM structure, explicit
+/// staging vs in-place, double buffering — are preserved.
 pub fn run_host_sort<T: Ord + Copy + Send + Sync>(
     pool: &WorkPool,
     alg: SortAlgorithm,
     data: &mut [T],
     megachunk_elems: usize,
 ) -> HostSortStats {
-    match alg {
-        SortAlgorithm::GnuFlat | SortAlgorithm::GnuCache | SortAlgorithm::GnuNumactl => {
-            let start = std::time::Instant::now();
-            parallel_mergesort(pool, data);
-            HostSortStats {
-                megachunks: 1,
-                chunk_sorts: 0,
-                elapsed: start.elapsed(),
-            }
-        }
-        SortAlgorithm::MlmDdr | SortAlgorithm::MlmImplicit => {
-            mlm_sort(pool, data, megachunk_elems, false)
-        }
-        SortAlgorithm::MlmSort => mlm_sort(pool, data, megachunk_elems, true),
-        SortAlgorithm::BasicChunked => basic_chunked_sort(pool, data, megachunk_elems),
-        SortAlgorithm::MlmSortBuffered => mlm_sort_buffered(pool, data, megachunk_elems),
+    let start = std::time::Instant::now();
+    let structure = alg.structure();
+    if structure != SortStructure::Whole {
+        assert!(megachunk_elems > 0, "megachunk must be positive");
     }
-}
-
-/// Split a slice into `parts` near-equal mutable chunks.
-fn chunks_of<T>(data: &mut [T], parts: usize) -> Vec<&mut [T]> {
-    let len = data.len();
-    let mut out = Vec::with_capacity(parts);
-    let mut rest = data;
-    for i in 0..parts {
-        let (s, e) = split_range(len, parts, i);
-        let (head, tail) = rest.split_at_mut(e - s);
-        out.push(head);
-        rest = tail;
+    let n = data.len();
+    if n < 2 {
+        return HostSortStats {
+            megachunks: if structure == SortStructure::Whole {
+                1
+            } else {
+                n.min(1)
+            },
+            chunk_sorts: 0,
+            elapsed: start.elapsed(),
+        };
     }
-    out
-}
-
-/// Copy `src` to `dst` using every pool thread (the host stand-in for the
-/// copy-in / copy-out pools).
-pub fn parallel_copy<T: Copy + Send + Sync>(pool: &WorkPool, src: &[T], dst: &mut [T]) {
-    assert_eq!(src.len(), dst.len());
-    if src.is_empty() {
-        return;
-    }
-    let parts = pool.threads().min(src.len());
-    let len = src.len();
-    let mut rest = dst;
-    let mut tasks = Vec::with_capacity(parts);
-    for t in 0..parts {
-        let (s, e) = split_range(len, parts, t);
-        let (head, tail) = rest.split_at_mut(e - s);
-        rest = tail;
-        let sr = &src[s..e];
-        tasks.push(move || head.copy_from_slice(sr));
-    }
-    pool.scoped(tasks);
+    // Whole-array variants ignore the megachunk knob.
+    let mega = if structure == SortStructure::Whole {
+        n
+    } else {
+        megachunk_elems
+    };
+    let plan = plan_sort(structure, alg.chunk_style(), n as u64, mega as u64);
+    run_sort_plan(pool, &plan, data)
 }
 
 #[cfg(test)]
@@ -445,11 +512,22 @@ mod tests {
     }
 
     #[test]
-    fn parallel_copy_is_exact() {
+    fn plan_interpreter_handles_every_structure_directly() {
         let pool = WorkPool::new(4);
-        let src: Vec<i64> = (0..12_345).collect();
-        let mut dst = vec![0i64; 12_345];
-        parallel_copy(&pool, &src, &mut dst);
-        assert_eq!(src, dst);
+        for (structure, style) in [
+            (SortStructure::Whole, ChunkSortStyle::Gnu),
+            (SortStructure::Staged, ChunkSortStyle::Serial),
+            (SortStructure::Staged, ChunkSortStyle::Gnu),
+            (SortStructure::InPlace, ChunkSortStyle::Serial),
+            (SortStructure::Buffered, ChunkSortStyle::Serial),
+        ] {
+            let mut v = generate_keys(10_007, InputOrder::Random, 31);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            let plan = plan_sort(structure, style, v.len() as u64, 3_000);
+            let stats = run_sort_plan(&pool, &plan, &mut v);
+            assert_eq!(v, expect, "{structure:?}/{style:?}");
+            assert_eq!(stats.megachunks, plan.megachunks);
+        }
     }
 }

@@ -17,6 +17,7 @@
 pub mod host;
 pub mod sim;
 
+use mlm_exec::{ChunkSortStyle, SortStructure};
 use serde::{Deserialize, Serialize};
 
 /// The algorithm variants of the paper's evaluation.
@@ -87,6 +88,44 @@ impl SortAlgorithm {
                 | SortAlgorithm::GnuNumactl
         )
     }
+
+    /// The megachunk-level shape of this variant, as planned by
+    /// [`mlm_exec::plan_sort`]. Both executors — the host implementations
+    /// in [`host`] and the op-graph lowering in [`sim`] — interpret the
+    /// same plan; where the bytes live during each phase is the per-variant
+    /// lowering's concern.
+    pub fn structure(&self) -> SortStructure {
+        match self {
+            // The GNU baselines and numactl-preferred placement are
+            // unchunked whole-array sorts.
+            SortAlgorithm::GnuFlat | SortAlgorithm::GnuCache | SortAlgorithm::GnuNumactl => {
+                SortStructure::Whole
+            }
+            // MLM-sort stages each megachunk into a working buffer
+            // (MCDRAM — or DDR for the MLM-ddr control, same structure).
+            SortAlgorithm::MlmSort | SortAlgorithm::MlmDdr | SortAlgorithm::BasicChunked => {
+                SortStructure::Staged
+            }
+            // MLM-implicit sorts megachunks where they lie (the cache
+            // stages them implicitly).
+            SortAlgorithm::MlmImplicit => SortStructure::InPlace,
+            SortAlgorithm::MlmSortBuffered => SortStructure::Buffered,
+        }
+    }
+
+    /// How this variant realises the chunk-sort phase of its plan.
+    pub fn chunk_style(&self) -> ChunkSortStyle {
+        match self {
+            SortAlgorithm::GnuFlat
+            | SortAlgorithm::GnuCache
+            | SortAlgorithm::GnuNumactl
+            | SortAlgorithm::BasicChunked => ChunkSortStyle::Gnu,
+            SortAlgorithm::MlmSort | SortAlgorithm::MlmDdr | SortAlgorithm::MlmImplicit => {
+                ChunkSortStyle::Serial
+            }
+            SortAlgorithm::MlmSortBuffered => ChunkSortStyle::Serial,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -122,5 +161,27 @@ mod tests {
         assert_eq!(SortAlgorithm::MlmSortBuffered.label(), "MLM-sort-buffered");
         assert!(!SortAlgorithm::GnuFlat.needs_flat_mcdram());
         assert!(!SortAlgorithm::MlmDdr.needs_flat_mcdram());
+    }
+
+    #[test]
+    fn plan_shapes_follow_the_paper() {
+        assert_eq!(SortAlgorithm::GnuFlat.structure(), SortStructure::Whole);
+        assert_eq!(SortAlgorithm::GnuNumactl.structure(), SortStructure::Whole);
+        assert_eq!(SortAlgorithm::MlmSort.structure(), SortStructure::Staged);
+        assert_eq!(SortAlgorithm::MlmDdr.structure(), SortStructure::Staged);
+        assert_eq!(
+            SortAlgorithm::MlmImplicit.structure(),
+            SortStructure::InPlace
+        );
+        assert_eq!(
+            SortAlgorithm::MlmSortBuffered.structure(),
+            SortStructure::Buffered
+        );
+        assert_eq!(SortAlgorithm::MlmSort.chunk_style(), ChunkSortStyle::Serial);
+        assert_eq!(SortAlgorithm::GnuCache.chunk_style(), ChunkSortStyle::Gnu);
+        assert_eq!(
+            SortAlgorithm::BasicChunked.chunk_style(),
+            ChunkSortStyle::Gnu
+        );
     }
 }

@@ -1,8 +1,12 @@
 //! Lowering the sort variants to simulated op graphs.
 //!
-//! Every variant is expressed as a sequence of *phases* (serial chunk
-//! sorts, multiway merges, bulk copies) separated by fork/join barriers,
-//! mirroring the host implementations in [`super::host`] step for step.
+//! The phase *sequence* of every variant — stage a megachunk, sort its
+//! chunks, merge the runs out, final k-way merge — is planned once by
+//! [`mlm_exec::plan_sort`] and shared with the host executor
+//! ([`super::host::run_sort_plan`]). This module owns only the per-variant
+//! *lowering* of each [`SortPhase`]: where the bytes live
+//! ([`DataPlace`]), which calibrated rate applies, and (for the buffered
+//! variant) which cross-megachunk dependencies overlap the phases.
 //! Compute rates come from [`Calibration`]; bandwidth contention, DDR
 //! saturation, and MCDRAM-cache behaviour then emerge from the
 //! [`knl_sim`] engine.
@@ -23,6 +27,7 @@
 
 use knl_sim::machine::MachineConfig;
 use knl_sim::ops::{Access, OpId, OpKind, Place, Program};
+use mlm_exec::{plan_sort, SortPhase, SortPlan};
 
 use super::SortAlgorithm;
 use crate::calibration::Calibration;
@@ -316,7 +321,438 @@ impl<'a> SortBuilder<'a> {
     }
 }
 
+/// Per-run constants the phase lowering needs alongside the builder:
+/// which variant is being lowered and the byte-address layout.
+struct Lowering {
+    alg: SortAlgorithm,
+    elem: u64,
+    n_bytes: u64,
+    data: u64,
+    scratch: u64,
+    order: InputOrder,
+    mega_bytes: u64,
+}
+
+impl Lowering {
+    /// DDR base address of megachunk `m` in the key array.
+    fn mega_base(&self, m: usize) -> u64 {
+        self.data + m as u64 * self.mega_bytes
+    }
+
+    /// DDR base address of megachunk `m`'s window of the scratch array.
+    fn scratch_base(&self, m: usize) -> u64 {
+        self.scratch + m as u64 * self.mega_bytes
+    }
+}
+
+/// Lower one plan phase to ops: the phase *kind* comes from the shared
+/// [`SortPlan`]; where its bytes live and which calibrated rate applies is
+/// decided here per variant.
+fn lower_phase(b: &mut SortBuilder, lx: &Lowering, phase: &SortPhase) {
+    let p = b.threads as u64;
+    let gnu = b.cal.gnu_efficiency;
+    match *phase {
+        // Whole-array plans (the GNU baselines): per-thread block sorts...
+        SortPhase::ThreadSort { elems } => {
+            let block = elems.div_ceil(p);
+            match lx.alg {
+                SortAlgorithm::GnuFlat => {
+                    b.serial_sort_phase(block, lx.elem, lx.order, DataPlace::Ddr, gnu)
+                }
+                SortAlgorithm::GnuCache => {
+                    b.serial_sort_phase(block, lx.elem, lx.order, DataPlace::Cached(lx.data), gnu)
+                }
+                SortAlgorithm::GnuNumactl => numactl_sort_phase(b, lx, block),
+                _ => unreachable!("ThreadSort only appears in Whole plans"),
+            }
+        }
+        // ...then one thread-count-way merge into scratch.
+        SortPhase::ThreadMerge { elems: _ } => match lx.alg {
+            SortAlgorithm::GnuFlat => b.multiway_merge_phase(
+                lx.n_bytes,
+                b.threads,
+                lx.order,
+                DataPlace::Ddr,
+                DataPlace::Ddr,
+                gnu,
+                false,
+            ),
+            SortAlgorithm::GnuCache => b.multiway_merge_phase(
+                lx.n_bytes,
+                b.threads,
+                lx.order,
+                DataPlace::Cached(lx.data),
+                DataPlace::Cached(lx.scratch),
+                gnu,
+                false,
+            ),
+            SortAlgorithm::GnuNumactl => numactl_merge_phase(b, lx),
+            _ => unreachable!("ThreadMerge only appears in Whole plans"),
+        },
+        // Stage megachunk `m` into the working buffer (the MLM structure's
+        // copy-in: MCDRAM in flat mode, or the DDR buffer for MLM-ddr).
+        SortPhase::StageIn { mega, elems } => {
+            let bytes = elems * lx.elem;
+            match lx.alg {
+                SortAlgorithm::MlmDdr => b.copy_phase(bytes, DataPlace::Ddr, DataPlace::Ddr),
+                SortAlgorithm::MlmSort | SortAlgorithm::BasicChunked => b.copy_phase(
+                    bytes,
+                    DataPlace::Cached(lx.mega_base(mega)),
+                    DataPlace::Mcdram,
+                ),
+                _ => unreachable!("StageIn appears in Staged plans only"),
+            }
+        }
+        // Sort megachunk `m`'s chunks in the working buffer.
+        SortPhase::ChunkSort { mega, elems } => {
+            let chunk = elems.div_ceil(p);
+            match lx.alg {
+                SortAlgorithm::MlmDdr => {
+                    b.serial_sort_phase(chunk, lx.elem, lx.order, DataPlace::Ddr, 1.0)
+                }
+                SortAlgorithm::MlmSort => {
+                    b.serial_sort_phase(chunk, lx.elem, lx.order, DataPlace::Mcdram, 1.0)
+                }
+                SortAlgorithm::MlmImplicit => b.serial_sort_phase(
+                    chunk,
+                    lx.elem,
+                    lx.order,
+                    DataPlace::Cached(lx.mega_base(mega)),
+                    1.0,
+                ),
+                // Bender et al.'s scheme sorts the megachunk with the
+                // *parallel* mergesort: the same block sorts, but at GNU
+                // efficiency (its merge is the MergeRuns phase below).
+                SortAlgorithm::BasicChunked => {
+                    b.serial_sort_phase(chunk, lx.elem, lx.order, DataPlace::Mcdram, gnu)
+                }
+                _ => unreachable!("ChunkSort lowered per-variant"),
+            }
+        }
+        // Multiway-merge megachunk `m`'s sorted runs out of the buffer.
+        SortPhase::MergeRuns { mega, elems } => {
+            let bytes = elems * lx.elem;
+            match lx.alg {
+                SortAlgorithm::MlmDdr => b.multiway_merge_phase(
+                    bytes,
+                    b.threads,
+                    lx.order,
+                    DataPlace::Ddr,
+                    DataPlace::Ddr,
+                    1.0,
+                    true,
+                ),
+                SortAlgorithm::MlmSort => b.multiway_merge_phase(
+                    bytes,
+                    b.threads,
+                    lx.order,
+                    DataPlace::Mcdram,
+                    DataPlace::Cached(lx.mega_base(mega)),
+                    1.0,
+                    true,
+                ),
+                SortAlgorithm::MlmImplicit => b.multiway_merge_phase(
+                    bytes,
+                    b.threads,
+                    lx.order,
+                    DataPlace::Cached(lx.mega_base(mega)),
+                    DataPlace::Cached(lx.scratch_base(mega)),
+                    1.0,
+                    true,
+                ),
+                // The parallel sort's own multiway merge writes straight
+                // back out to DDR (it needs a distinct output buffer anyway,
+                // which is why the megachunk is capped at MCDRAM/2).
+                SortAlgorithm::BasicChunked => b.multiway_merge_phase(
+                    bytes,
+                    b.threads,
+                    lx.order,
+                    DataPlace::Mcdram,
+                    DataPlace::Cached(lx.mega_base(mega)),
+                    gnu,
+                    false,
+                ),
+                _ => unreachable!("MergeRuns lowered per-variant"),
+            }
+        }
+        // Copy megachunk `m` back from scratch (in-place plans only).
+        SortPhase::CopyBack { mega, elems } => {
+            let bytes = elems * lx.elem;
+            debug_assert_eq!(lx.alg, SortAlgorithm::MlmImplicit);
+            b.copy_phase(
+                bytes,
+                DataPlace::Cached(lx.scratch_base(mega)),
+                DataPlace::Cached(lx.mega_base(mega)),
+            );
+        }
+        // Final k-way merge across sorted megachunks into scratch.
+        SortPhase::FinalMerge { elems: _, k } => match lx.alg {
+            SortAlgorithm::MlmDdr => b.multiway_merge_phase(
+                lx.n_bytes,
+                k,
+                lx.order,
+                DataPlace::Ddr,
+                DataPlace::Ddr,
+                1.0,
+                true,
+            ),
+            SortAlgorithm::BasicChunked => b.multiway_merge_phase(
+                lx.n_bytes,
+                k,
+                lx.order,
+                DataPlace::Cached(lx.data),
+                DataPlace::Cached(lx.scratch),
+                1.0,
+                false,
+            ),
+            SortAlgorithm::MlmSort
+            | SortAlgorithm::MlmImplicit
+            | SortAlgorithm::MlmSortBuffered => b.multiway_merge_phase(
+                lx.n_bytes,
+                k,
+                lx.order,
+                DataPlace::Cached(lx.data),
+                DataPlace::Cached(lx.scratch),
+                1.0,
+                true,
+            ),
+            _ => unreachable!("Whole plans have no FinalMerge"),
+        },
+        // Copy the whole array back from scratch into the caller's array,
+        // as the out-of-place merges require.
+        SortPhase::FinalCopyBack { elems: _ } => {
+            let (src, dst) = match lx.alg {
+                SortAlgorithm::GnuFlat | SortAlgorithm::GnuNumactl | SortAlgorithm::MlmDdr => {
+                    (DataPlace::Ddr, DataPlace::Ddr)
+                }
+                _ => (DataPlace::Cached(lx.scratch), DataPlace::Cached(lx.data)),
+            };
+            b.copy_phase(lx.n_bytes, src, dst);
+        }
+    }
+}
+
+/// §2.4 (Li et al.): flat mode with `numactl --preferred` — the first
+/// `addressable_mcdram` bytes of the array live in MCDRAM, the spill in
+/// DDR; the unchunked GNU sort runs over the mix. Per-thread blocks are
+/// contiguous, so a `fit` fraction of the threads work MCDRAM-resident
+/// blocks and the rest DDR blocks.
+fn numactl_sort_phase(b: &mut SortBuilder, lx: &Lowering, block: u64) {
+    let gnu = b.cal.gnu_efficiency;
+    let threads = b.threads;
+    let mcdram_threads = numactl_mcdram_threads(b, lx);
+    let passes = b.cal.sort_passes(block as usize);
+    let incache = block as f64 * b.cal.incache_time(lx.order) / gnu;
+    let mut phase_ops = Vec::with_capacity(2 * threads);
+    for t in 0..threads {
+        let place = if t < mcdram_threads {
+            Place::Mcdram
+        } else {
+            Place::Ddr
+        };
+        let traffic = block * lx.elem * u64::from(passes);
+        let rate = if t < mcdram_threads {
+            b.cal.sort_rate(lx.order) * b.cal.mcdram_boost * gnu
+        } else {
+            b.cal.sort_rate(lx.order) * gnu
+        };
+        let id = b.prog.push(
+            t,
+            OpKind::Stream {
+                accesses: vec![Access::read(place, traffic), Access::write(place, traffic)],
+                rate_cap: rate,
+            },
+            &[],
+        );
+        phase_ops.push(id);
+        phase_ops.push(b.prog.push(t, OpKind::Delay { seconds: incache }, &[]));
+    }
+    b.join_phase(&phase_ops);
+}
+
+/// GNU-numactl's unchunked multiway merge: reads the mixed-placement
+/// array, writes the scratch (DDR — the spill means scratch cannot be
+/// MCDRAM-resident). The read side is modeled by the same fit fraction.
+fn numactl_merge_phase(b: &mut SortBuilder, lx: &Lowering) {
+    let gnu = b.cal.gnu_efficiency;
+    let threads = b.threads;
+    let mcdram_threads = numactl_mcdram_threads(b, lx);
+    let rate = b.cal.multiway_rate(threads) * gnu;
+    let mut merge_ops = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let (_, len) = b.share(lx.n_bytes, t);
+        if len == 0 {
+            continue;
+        }
+        let read_place = if t < mcdram_threads {
+            Place::Mcdram
+        } else {
+            Place::Ddr
+        };
+        let id = b.prog.push(
+            t,
+            OpKind::Stream {
+                accesses: vec![
+                    Access::read(read_place, len),
+                    Access::write(Place::Ddr, len),
+                ],
+                rate_cap: rate,
+            },
+            &b.barrier.clone(),
+        );
+        merge_ops.push(id);
+    }
+    b.join_phase(&merge_ops);
+}
+
+/// How many threads' contiguous blocks are MCDRAM-resident under
+/// numactl-preferred placement.
+fn numactl_mcdram_threads(b: &SortBuilder, lx: &Lowering) -> usize {
+    let fit = (b.machine.addressable_mcdram() as f64 / lx.n_bytes as f64).min(1.0);
+    (b.threads as f64 * fit).round() as usize
+}
+
+/// Lower an overlapped ([`SortStructure::Buffered`]) plan: the §6
+/// future-work variant, where a small dedicated copy pool prefetches
+/// megachunk `m+1` while the compute pool sorts and merges megachunk `m`.
+/// The phase sequence is the shared plan's; only the dependency edges
+/// differ — instead of barriers between phases, StageIn of megachunk `m`
+/// waits on MergeRuns of `m-2` (double buffering), ChunkSort on StageIn
+/// of its own megachunk, MergeRuns on ChunkSort.
+///
+/// [`SortStructure::Buffered`]: mlm_exec::SortStructure::Buffered
+fn lower_buffered(b: &mut SortBuilder, lx: &Lowering, plan: &SortPlan) {
+    // A small dedicated pool prefetches megachunk m+1 while the rest
+    // compute on m (the §5 lesson: copy threads are compute threads
+    // forgone, so keep the pool small). The *prime* copy of megachunk 0
+    // has nothing to overlap with, so, as the paper's §3.2 notes about
+    // unoccupied pools, every thread helps with it.
+    let threads = b.threads;
+    let p_copy = BUFFERED_COPY_THREADS.min(threads.saturating_sub(1)).max(1);
+    let p_comp = threads - p_copy;
+    let comp0 = p_copy;
+    let k_megas = plan.megachunks;
+    let order = lx.order;
+    let mut copyin_done: Vec<Vec<OpId>> = vec![Vec::new(); k_megas];
+    let mut merge_done: Vec<Vec<OpId>> = vec![Vec::new(); k_megas];
+    let mut sort_done: Vec<OpId> = Vec::new();
+
+    for phase in &plan.phases {
+        match *phase {
+            // Prefetch megachunk m; buffer (m % 2) is free once megachunk
+            // m-2 has merged out.
+            SortPhase::StageIn { mega: m, elems } => {
+                let bytes = elems * lx.elem;
+                let base = lx.mega_base(m);
+                let pool = if m == 0 { threads } else { p_copy };
+                let deps: Vec<OpId> = if m >= 2 {
+                    merge_done[m - 2].clone()
+                } else {
+                    Vec::new()
+                };
+                let mut offset = 0u64;
+                for t in 0..pool {
+                    let share = bytes / pool as u64 + u64::from((t as u64) < bytes % pool as u64);
+                    if share == 0 {
+                        continue;
+                    }
+                    let id = b.prog.push(
+                        t,
+                        OpKind::Copy {
+                            src: Place::CachedDdr {
+                                addr: base + offset,
+                            },
+                            dst: Place::Mcdram,
+                            bytes: share,
+                            rate_cap: b.machine.per_thread_copy_bw,
+                        },
+                        &deps,
+                    );
+                    offset += share;
+                    copyin_done[m].push(id);
+                }
+            }
+
+            // Serial chunk sorts on the compute pool (in MCDRAM).
+            SortPhase::ChunkSort { mega: m, elems } => {
+                let chunk = elems.div_ceil(p_comp as u64);
+                let block_bytes = chunk * lx.elem;
+                let passes = b.cal.sort_passes(chunk as usize);
+                let incache = chunk as f64 * b.cal.incache_time(order);
+                sort_done = Vec::with_capacity(2 * p_comp);
+                for t in 0..p_comp {
+                    let traffic = block_bytes * u64::from(passes);
+                    let mem = b.prog.push(
+                        comp0 + t,
+                        OpKind::Stream {
+                            accesses: vec![
+                                Access::read(Place::Mcdram, traffic),
+                                Access::write(Place::Mcdram, traffic),
+                            ],
+                            rate_cap: b.cal.sort_rate(order) * b.cal.mcdram_boost,
+                        },
+                        &copyin_done[m],
+                    );
+                    sort_done.push(mem);
+                    if incache > 0.0 {
+                        sort_done.push(b.prog.push(
+                            comp0 + t,
+                            OpKind::Delay { seconds: incache },
+                            &[],
+                        ));
+                    }
+                }
+            }
+
+            // Multiway merge out to DDR on the compute pool.
+            SortPhase::MergeRuns { mega: m, elems } => {
+                let bytes = elems * lx.elem;
+                let base = lx.mega_base(m);
+                let rate = b.cal.multiway_rate_ordered(p_comp, order);
+                for t in 0..p_comp {
+                    let share =
+                        bytes / p_comp as u64 + u64::from((t as u64) < bytes % p_comp as u64);
+                    if share == 0 {
+                        continue;
+                    }
+                    let id = b.prog.push(
+                        comp0 + t,
+                        OpKind::Stream {
+                            accesses: vec![
+                                Access::read(Place::Mcdram, share),
+                                Access::write(
+                                    Place::CachedDdr {
+                                        addr: base + t as u64 * share,
+                                    },
+                                    share,
+                                ),
+                            ],
+                            rate_cap: rate,
+                        },
+                        &sort_done,
+                    );
+                    merge_done[m].push(id);
+                }
+            }
+
+            // Final multiway merge + copyback, joined on the last
+            // megachunk; from here the lockstep lowering applies.
+            SortPhase::FinalMerge { .. } => {
+                b.barrier = merge_done.concat();
+                lower_phase(b, lx, phase);
+            }
+            SortPhase::FinalCopyBack { .. } => lower_phase(b, lx, phase),
+
+            _ => unreachable!("Buffered plans are staged"),
+        }
+    }
+}
+
 /// Build the simulated program for one Table-1 sort run.
+///
+/// The phase sequence comes from [`mlm_exec::plan_sort`] (shared with the
+/// host executor); this function validates the (machine, variant,
+/// megachunk) combination and lowers each phase per variant.
 ///
 /// Address layout: the key array occupies DDR `[0, n_bytes)`; the merge
 /// scratch occupies `[n_bytes, 2 n_bytes)`. `threads` is the paper's 256.
@@ -352,13 +788,9 @@ pub fn build_sort_program(
 
     let elem = u64::from(w.elem_bytes);
     let n_bytes = w.bytes();
-    let data = 0u64;
-    let scratch = n_bytes;
-    let order = w.order;
 
     let mega_elems = megachunk_elems.min(w.n);
     let mega_bytes = mega_elems * elem;
-    let k_megas = w.n.div_ceil(mega_elems) as usize;
 
     // GNU-numactl is unchunked: its data spills past MCDRAM by design, so
     // the megachunk feasibility check does not apply to it.
@@ -371,383 +803,36 @@ pub fn build_sort_program(
             machine.addressable_mcdram()
         ));
     }
-
-    let mut b = SortBuilder::new(threads, cal, machine);
-    let p = threads as u64;
-
-    match alg {
-        SortAlgorithm::GnuFlat | SortAlgorithm::GnuCache => {
-            let block = w.n.div_ceil(p);
-            let gnu = cal.gnu_efficiency;
-            let (sort_place, src, dst) = if alg == SortAlgorithm::GnuCache {
-                (
-                    DataPlace::Cached(data),
-                    DataPlace::Cached(data),
-                    DataPlace::Cached(scratch),
-                )
-            } else {
-                (DataPlace::Ddr, DataPlace::Ddr, DataPlace::Ddr)
-            };
-            b.serial_sort_phase(block, elem, order, sort_place, gnu);
-            b.multiway_merge_phase(n_bytes, threads, order, src, dst, gnu, false);
-            // Copy back from scratch into the caller's array, as the
-            // out-of-place GNU merge does.
-            let (cb_src, cb_dst) = if alg == SortAlgorithm::GnuCache {
-                (DataPlace::Cached(scratch), DataPlace::Cached(data))
-            } else {
-                (DataPlace::Ddr, DataPlace::Ddr)
-            };
-            b.copy_phase(n_bytes, cb_src, cb_dst);
-        }
-
-        SortAlgorithm::MlmDdr => {
-            for m in 0..k_megas {
-                let bytes = mega_size(w.n, mega_elems, m) * elem;
-                // Stage into the DDR buffer (the MLM structure's copy-in,
-                // pointed at DDR), sort serial chunks, merge back out.
-                b.copy_phase(bytes, DataPlace::Ddr, DataPlace::Ddr);
-                let chunk = mega_size(w.n, mega_elems, m).div_ceil(p);
-                b.serial_sort_phase(chunk, elem, order, DataPlace::Ddr, 1.0);
-                b.multiway_merge_phase(
-                    bytes,
-                    threads,
-                    order,
-                    DataPlace::Ddr,
-                    DataPlace::Ddr,
-                    1.0,
-                    true,
-                );
-            }
-            if k_megas > 1 {
-                b.multiway_merge_phase(
-                    n_bytes,
-                    k_megas,
-                    order,
-                    DataPlace::Ddr,
-                    DataPlace::Ddr,
-                    1.0,
-                    true,
-                );
-                b.copy_phase(n_bytes, DataPlace::Ddr, DataPlace::Ddr);
-            }
-        }
-
-        SortAlgorithm::MlmSort => {
-            for m in 0..k_megas {
-                let elems = mega_size(w.n, mega_elems, m);
-                let bytes = elems * elem;
-                let base = data + m as u64 * mega_bytes;
-                b.copy_phase(bytes, DataPlace::Cached(base), DataPlace::Mcdram);
-                let chunk = elems.div_ceil(p);
-                b.serial_sort_phase(chunk, elem, order, DataPlace::Mcdram, 1.0);
-                b.multiway_merge_phase(
-                    bytes,
-                    threads,
-                    order,
-                    DataPlace::Mcdram,
-                    DataPlace::Cached(base),
-                    1.0,
-                    true,
-                );
-            }
-            if k_megas > 1 {
-                b.multiway_merge_phase(
-                    n_bytes,
-                    k_megas,
-                    order,
-                    DataPlace::Cached(data),
-                    DataPlace::Cached(scratch),
-                    1.0,
-                    true,
-                );
-                b.copy_phase(n_bytes, DataPlace::Cached(scratch), DataPlace::Cached(data));
-            }
-        }
-
-        SortAlgorithm::MlmImplicit => {
-            for m in 0..k_megas {
-                let elems = mega_size(w.n, mega_elems, m);
-                let bytes = elems * elem;
-                let base = data + m as u64 * mega_bytes;
-                let chunk = elems.div_ceil(p);
-                b.serial_sort_phase(chunk, elem, order, DataPlace::Cached(base), 1.0);
-                b.multiway_merge_phase(
-                    bytes,
-                    threads,
-                    order,
-                    DataPlace::Cached(base),
-                    DataPlace::Cached(scratch + m as u64 * mega_bytes),
-                    1.0,
-                    true,
-                );
-                b.copy_phase(
-                    bytes,
-                    DataPlace::Cached(scratch + m as u64 * mega_bytes),
-                    DataPlace::Cached(base),
-                );
-            }
-            if k_megas > 1 {
-                b.multiway_merge_phase(
-                    n_bytes,
-                    k_megas,
-                    order,
-                    DataPlace::Cached(data),
-                    DataPlace::Cached(scratch),
-                    1.0,
-                    true,
-                );
-                b.copy_phase(n_bytes, DataPlace::Cached(scratch), DataPlace::Cached(data));
-            }
-        }
-
-        SortAlgorithm::GnuNumactl => {
-            // §2.4 (Li et al.): flat mode with `numactl --preferred` — the
-            // first `addressable_mcdram` bytes of the array live in MCDRAM,
-            // the spill in DDR; the unchunked GNU sort runs over the mix.
-            // Per-thread blocks are contiguous, so a `fit` fraction of the
-            // threads work MCDRAM-resident blocks and the rest DDR blocks.
-            let gnu = cal.gnu_efficiency;
-            let block = w.n.div_ceil(p);
-            let fit = (machine.addressable_mcdram() as f64 / n_bytes as f64).min(1.0);
-            let mcdram_threads = (threads as f64 * fit).round() as usize;
-            let passes = cal.sort_passes(block as usize);
-            let incache = block as f64 * cal.incache_time(order) / gnu;
-            let mut phase_ops = Vec::with_capacity(2 * threads);
-            for t in 0..threads {
-                let place = if t < mcdram_threads {
-                    Place::Mcdram
-                } else {
-                    Place::Ddr
-                };
-                let traffic = block * elem * u64::from(passes);
-                let rate = if t < mcdram_threads {
-                    cal.sort_rate(order) * cal.mcdram_boost * gnu
-                } else {
-                    cal.sort_rate(order) * gnu
-                };
-                let id = b.prog.push(
-                    t,
-                    OpKind::Stream {
-                        accesses: vec![Access::read(place, traffic), Access::write(place, traffic)],
-                        rate_cap: rate,
-                    },
-                    &[],
-                );
-                phase_ops.push(id);
-                phase_ops.push(b.prog.push(t, OpKind::Delay { seconds: incache }, &[]));
-            }
-            b.join_phase(&phase_ops);
-            // Unchunked multiway merge: reads the mixed-placement array,
-            // writes the scratch (DDR — the spill means scratch cannot be
-            // MCDRAM-resident). Model the read side by the same fraction.
-            let rate = cal.multiway_rate(threads) * gnu;
-            let mut merge_ops = Vec::with_capacity(threads);
-            for t in 0..threads {
-                let (_, len) = b.share(n_bytes, t);
-                if len == 0 {
-                    continue;
-                }
-                let read_place = if t < mcdram_threads {
-                    Place::Mcdram
-                } else {
-                    Place::Ddr
-                };
-                let id = b.prog.push(
-                    t,
-                    OpKind::Stream {
-                        accesses: vec![
-                            Access::read(read_place, len),
-                            Access::write(Place::Ddr, len),
-                        ],
-                        rate_cap: rate,
-                    },
-                    &b.barrier.clone(),
-                );
-                merge_ops.push(id);
-            }
-            b.join_phase(&merge_ops);
-            b.copy_phase(n_bytes, DataPlace::Ddr, DataPlace::Ddr);
-        }
-
-        SortAlgorithm::MlmSortBuffered => {
-            // §6 future work: double-buffer megachunks so a small dedicated
-            // copy pool prefetches megachunk m+1 while the compute pool
-            // sorts and merges megachunk m. Two megachunks are resident,
-            // so each may only use half the scratchpad.
-            if 2 * mega_bytes > machine.addressable_mcdram() {
-                return Err("buffered MLM-sort needs megachunk <= MCDRAM/2".into());
-            }
-            // A small dedicated pool prefetches megachunk m+1 while the
-            // rest compute on m (the §5 lesson: copy threads are compute
-            // threads forgone, so keep the pool small). The *prime* copy
-            // of megachunk 0 has nothing to overlap with, so, as the
-            // paper's §3.2 notes about unoccupied pools, every thread
-            // helps with it.
-            let p_copy = BUFFERED_COPY_THREADS.min(threads.saturating_sub(1)).max(1);
-            let p_comp = threads - p_copy;
-            let comp0 = p_copy;
-            let mut copyin_done: Vec<Vec<OpId>> = vec![Vec::new(); k_megas];
-            let mut merge_done: Vec<Vec<OpId>> = vec![Vec::new(); k_megas];
-
-            for m in 0..k_megas {
-                let elems = mega_size(w.n, mega_elems, m);
-                let bytes = elems * elem;
-                let base = data + m as u64 * mega_bytes;
-
-                // Prefetch megachunk m; buffer (m % 2) is free once
-                // megachunk m-2 has merged out.
-                let pool = if m == 0 { threads } else { p_copy };
-                let deps: Vec<OpId> = if m >= 2 {
-                    merge_done[m - 2].clone()
-                } else {
-                    Vec::new()
-                };
-                let mut offset = 0u64;
-                for t in 0..pool {
-                    let share = bytes / pool as u64 + u64::from((t as u64) < bytes % pool as u64);
-                    if share == 0 {
-                        continue;
-                    }
-                    let id = b.prog.push(
-                        t,
-                        OpKind::Copy {
-                            src: Place::CachedDdr {
-                                addr: base + offset,
-                            },
-                            dst: Place::Mcdram,
-                            bytes: share,
-                            rate_cap: machine.per_thread_copy_bw,
-                        },
-                        &deps,
-                    );
-                    offset += share;
-                    copyin_done[m].push(id);
-                }
-
-                // Serial chunk sorts on the compute pool (in MCDRAM).
-                let chunk = elems.div_ceil(p_comp as u64);
-                let block_bytes = chunk * elem;
-                let passes = cal.sort_passes(chunk as usize);
-                let incache = chunk as f64 * cal.incache_time(order);
-                let mut sort_done = Vec::with_capacity(2 * p_comp);
-                for t in 0..p_comp {
-                    let traffic = block_bytes * u64::from(passes);
-                    let mem = b.prog.push(
-                        comp0 + t,
-                        OpKind::Stream {
-                            accesses: vec![
-                                Access::read(Place::Mcdram, traffic),
-                                Access::write(Place::Mcdram, traffic),
-                            ],
-                            rate_cap: cal.sort_rate(order) * cal.mcdram_boost,
-                        },
-                        &copyin_done[m],
-                    );
-                    sort_done.push(mem);
-                    if incache > 0.0 {
-                        sort_done.push(b.prog.push(
-                            comp0 + t,
-                            OpKind::Delay { seconds: incache },
-                            &[],
-                        ));
-                    }
-                }
-
-                // Multiway merge out to DDR on the compute pool.
-                let rate = cal.multiway_rate_ordered(p_comp, order);
-                for t in 0..p_comp {
-                    let share =
-                        bytes / p_comp as u64 + u64::from((t as u64) < bytes % p_comp as u64);
-                    if share == 0 {
-                        continue;
-                    }
-                    let id = b.prog.push(
-                        comp0 + t,
-                        OpKind::Stream {
-                            accesses: vec![
-                                Access::read(Place::Mcdram, share),
-                                Access::write(
-                                    Place::CachedDdr {
-                                        addr: base + t as u64 * share,
-                                    },
-                                    share,
-                                ),
-                            ],
-                            rate_cap: rate,
-                        },
-                        &sort_done,
-                    );
-                    merge_done[m].push(id);
-                }
-            }
-
-            // Final multiway merge + copyback, joined on the last megachunk.
-            if k_megas > 1 {
-                b.barrier = merge_done.concat();
-                b.multiway_merge_phase(
-                    n_bytes,
-                    k_megas,
-                    order,
-                    DataPlace::Cached(data),
-                    DataPlace::Cached(scratch),
-                    1.0,
-                    true,
-                );
-                b.copy_phase(n_bytes, DataPlace::Cached(scratch), DataPlace::Cached(data));
-            }
-        }
-
-        SortAlgorithm::BasicChunked => {
-            // Bender et al.'s simplified scheme: the megachunk is sorted
-            // with the *parallel* mergesort while resident in MCDRAM.
-            // The in-MCDRAM merge needs its own temp, so the megachunk may
-            // only occupy half the scratchpad.
-            if 2 * mega_bytes > machine.addressable_mcdram() {
-                return Err("basic-chunked needs megachunk <= MCDRAM/2".into());
-            }
-            let gnu = cal.gnu_efficiency;
-            for m in 0..k_megas {
-                let elems = mega_size(w.n, mega_elems, m);
-                let bytes = elems * elem;
-                let base = data + m as u64 * mega_bytes;
-                b.copy_phase(bytes, DataPlace::Cached(base), DataPlace::Mcdram);
-                let block = elems.div_ceil(p);
-                b.serial_sort_phase(block, elem, order, DataPlace::Mcdram, gnu);
-                // The parallel sort's own multiway merge writes straight
-                // back out to DDR (it needs a distinct output buffer anyway,
-                // which is why the megachunk is capped at MCDRAM/2).
-                b.multiway_merge_phase(
-                    bytes,
-                    threads,
-                    order,
-                    DataPlace::Mcdram,
-                    DataPlace::Cached(base),
-                    gnu,
-                    false,
-                );
-            }
-            if k_megas > 1 {
-                b.multiway_merge_phase(
-                    n_bytes,
-                    k_megas,
-                    order,
-                    DataPlace::Cached(data),
-                    DataPlace::Cached(scratch),
-                    1.0,
-                    false,
-                );
-                b.copy_phase(n_bytes, DataPlace::Cached(scratch), DataPlace::Cached(data));
-            }
-        }
+    // Double-buffered variants keep two megachunks resident (the §6
+    // prefetch buffer, or basic-chunked's in-MCDRAM merge temp), so each
+    // may only use half the scratchpad.
+    if alg == SortAlgorithm::MlmSortBuffered && 2 * mega_bytes > machine.addressable_mcdram() {
+        return Err("buffered MLM-sort needs megachunk <= MCDRAM/2".into());
+    }
+    if alg == SortAlgorithm::BasicChunked && 2 * mega_bytes > machine.addressable_mcdram() {
+        return Err("basic-chunked needs megachunk <= MCDRAM/2".into());
     }
 
-    Ok(b.prog)
-}
+    let plan = plan_sort(alg.structure(), alg.chunk_style(), w.n, megachunk_elems);
+    let lx = Lowering {
+        alg,
+        elem,
+        n_bytes,
+        data: 0,
+        scratch: n_bytes,
+        order: w.order,
+        mega_bytes,
+    };
 
-/// Elements in megachunk `m`.
-fn mega_size(n: u64, mega_elems: u64, m: usize) -> u64 {
-    let lo = m as u64 * mega_elems;
-    mega_elems.min(n - lo.min(n))
+    let mut b = SortBuilder::new(threads, cal, machine);
+    if plan.overlapped {
+        lower_buffered(&mut b, &lx, &plan);
+    } else {
+        for phase in &plan.phases {
+            lower_phase(&mut b, &lx, phase);
+        }
+    }
+    Ok(b.prog)
 }
 
 #[cfg(test)]
@@ -755,6 +840,7 @@ mod tests {
     use super::*;
     use knl_sim::machine::MemMode;
     use knl_sim::Simulator;
+    use mlm_exec::mega_size;
 
     const BILLION: u64 = 1_000_000_000;
 

@@ -1,0 +1,262 @@
+//! The single chunk-schedule orchestrator.
+//!
+//! This is the one place in the workspace that knows the paper's §3
+//! schedule: which chunk each stage touches at each step, which buffer
+//! slot it occupies, and which dependencies order the work. Backends
+//! (host thread pools, the op-level simulator, recorders) only interpret
+//! the primitive actions.
+
+use crate::backend::{Backend, ChunkAction, Stage};
+use crate::placement::Placement;
+use crate::spec::PipelineSpec;
+
+/// Number of rotating chunk buffers. Three lets step `s` overlap copy-in
+/// of chunk `s`, compute on `s-1`, and copy-out of `s-2` (paper Fig. 2);
+/// chunk `c` always occupies slot `c % RING_SLOTS`.
+pub const RING_SLOTS: usize = 3;
+
+/// Walk the chunk schedule of `spec` over `backend`.
+///
+/// * **Explicit placements** ([`Placement::Hbw`]/[`Placement::Ddr`]): steps
+///   `0..n+2`, where step `s` issues copy-in of chunk `s`, compute on
+///   `s-1`, and copy-out of `s-2`. With `spec.lockstep` every action in a
+///   step depends on the previous step's barrier and a new barrier closes
+///   the step; without it, only dataflow edges order the work — compute
+///   waits on its chunk's copy-in, copy-out on its compute, and copy-in of
+///   chunk `c` waits for copy-out of chunk `c - RING_SLOTS` (buffer
+///   recycling).
+/// * **[`Placement::Implicit`]**: no copies — every chunk is one compute
+///   action followed by a barrier (all threads advance chunk by chunk
+///   through the cache).
+///
+/// Returns an error without issuing any work if the spec fails
+/// validation or asks for a placement outside the backend's
+/// [`Capabilities`](crate::placement::Capabilities).
+pub fn drive<B: Backend>(backend: &mut B, spec: &PipelineSpec) -> Result<(), String> {
+    spec.validate()?;
+    if !backend.capabilities().supports(spec.placement) {
+        return Err(format!(
+            "backend cannot execute {:?} placement (capabilities {:?})",
+            spec.placement,
+            backend.capabilities()
+        ));
+    }
+    let n = spec.n_chunks();
+
+    if spec.placement == Placement::Implicit {
+        let mut barrier: Option<B::Token> = None;
+        for c in 0..n {
+            let deps: Vec<B::Token> = barrier.into_iter().collect();
+            let action = ChunkAction {
+                stage: Stage::Compute,
+                chunk: c,
+                slot: c % RING_SLOTS,
+            };
+            let t = backend.issue(spec, action, &deps);
+            barrier = Some(backend.step_barrier(spec, &[t]));
+        }
+        return backend.finish(spec);
+    }
+
+    let mut copyin: Vec<Option<B::Token>> = vec![None; n];
+    let mut compute: Vec<Option<B::Token>> = vec![None; n];
+    let mut copyout: Vec<Option<B::Token>> = vec![None; n];
+    let mut step_barrier: Option<B::Token> = None;
+    let barrier_deps = |b: &Option<B::Token>| -> Vec<B::Token> { b.iter().cloned().collect() };
+
+    for s in 0..n + 2 {
+        let mut step_tokens: Vec<B::Token> = Vec::new();
+
+        // Copy-in of chunk `s`.
+        if s < n {
+            let deps: Vec<B::Token> = if spec.lockstep {
+                barrier_deps(&step_barrier)
+            } else if s >= RING_SLOTS {
+                // Buffer recycling: slot s % RING_SLOTS is free once chunk
+                // s - RING_SLOTS has been drained.
+                vec![copyout[s - RING_SLOTS].clone().expect("copy-out issued")]
+            } else {
+                Vec::new()
+            };
+            let action = ChunkAction {
+                stage: Stage::CopyIn,
+                chunk: s,
+                slot: s % RING_SLOTS,
+            };
+            let t = backend.issue(spec, action, &deps);
+            copyin[s] = Some(t.clone());
+            step_tokens.push(t);
+        }
+
+        // Compute on chunk `s-1`.
+        if s >= 1 && s - 1 < n {
+            let c = s - 1;
+            let deps: Vec<B::Token> = if spec.lockstep {
+                barrier_deps(&step_barrier)
+            } else {
+                vec![copyin[c].clone().expect("copy-in issued")]
+            };
+            let action = ChunkAction {
+                stage: Stage::Compute,
+                chunk: c,
+                slot: c % RING_SLOTS,
+            };
+            let t = backend.issue(spec, action, &deps);
+            compute[c] = Some(t.clone());
+            step_tokens.push(t);
+        }
+
+        // Copy-out of chunk `s-2`.
+        if s >= 2 && s - 2 < n {
+            let c = s - 2;
+            let deps: Vec<B::Token> = if spec.lockstep {
+                barrier_deps(&step_barrier)
+            } else {
+                vec![compute[c].clone().expect("compute issued")]
+            };
+            let action = ChunkAction {
+                stage: Stage::CopyOut,
+                chunk: c,
+                slot: c % RING_SLOTS,
+            };
+            let t = backend.issue(spec, action, &deps);
+            copyout[c] = Some(t.clone());
+            step_tokens.push(t);
+        }
+
+        if spec.lockstep {
+            step_barrier = Some(backend.step_barrier(spec, &step_tokens));
+        }
+    }
+
+    backend.finish(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::Capabilities;
+
+    /// A backend that records issue order and checks dependency sanity.
+    struct Probe {
+        caps: Capabilities,
+        issued: Vec<ChunkAction>,
+        barriers: usize,
+        finished: bool,
+    }
+
+    impl Probe {
+        fn new(caps: Capabilities) -> Self {
+            Probe {
+                caps,
+                issued: Vec::new(),
+                barriers: 0,
+                finished: false,
+            }
+        }
+    }
+
+    impl Backend for Probe {
+        type Token = usize;
+
+        fn capabilities(&self) -> Capabilities {
+            self.caps
+        }
+
+        fn issue(&mut self, _spec: &PipelineSpec, action: ChunkAction, deps: &[usize]) -> usize {
+            for &d in deps {
+                assert!(d < self.issued.len() + self.barriers, "dep from the future");
+            }
+            self.issued.push(action);
+            self.issued.len() + self.barriers - 1
+        }
+
+        fn step_barrier(&mut self, _spec: &PipelineSpec, _after: &[usize]) -> usize {
+            self.barriers += 1;
+            self.issued.len() + self.barriers - 1
+        }
+
+        fn finish(&mut self, _spec: &PipelineSpec) -> Result<(), String> {
+            self.finished = true;
+            Ok(())
+        }
+    }
+
+    fn spec(n_chunks: u64, lockstep: bool, placement: Placement) -> PipelineSpec {
+        PipelineSpec {
+            total_bytes: n_chunks * 64,
+            chunk_bytes: 64,
+            p_in: 2,
+            p_out: 2,
+            p_comp: 4,
+            compute_passes: 1,
+            compute_rate: 1e9,
+            copy_rate: 1e9,
+            placement,
+            lockstep,
+            data_addr: 0,
+        }
+    }
+
+    #[test]
+    fn explicit_schedule_covers_every_chunk_once_per_stage() {
+        for lockstep in [true, false] {
+            let s = spec(5, lockstep, Placement::Hbw);
+            let mut b = Probe::new(Capabilities::all());
+            drive(&mut b, &s).unwrap();
+            assert!(b.finished);
+            for stage in [Stage::CopyIn, Stage::Compute, Stage::CopyOut] {
+                let chunks: Vec<usize> = b
+                    .issued
+                    .iter()
+                    .filter(|a| a.stage == stage)
+                    .map(|a| a.chunk)
+                    .collect();
+                assert_eq!(
+                    chunks,
+                    vec![0, 1, 2, 3, 4],
+                    "{stage:?} under lockstep={lockstep}"
+                );
+            }
+            // Lockstep closes all n + 2 steps with barriers.
+            assert_eq!(b.barriers, if lockstep { 7 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn slots_follow_the_three_slot_ring() {
+        let s = spec(7, false, Placement::Hbw);
+        let mut b = Probe::new(Capabilities::all());
+        drive(&mut b, &s).unwrap();
+        assert!(b.issued.iter().all(|a| a.slot == a.chunk % RING_SLOTS));
+    }
+
+    #[test]
+    fn implicit_schedule_is_compute_only() {
+        let s = spec(4, true, Placement::Implicit);
+        let mut b = Probe::new(Capabilities::all());
+        drive(&mut b, &s).unwrap();
+        assert!(b.issued.iter().all(|a| a.stage == Stage::Compute));
+        assert_eq!(b.issued.len(), 4);
+        assert_eq!(b.barriers, 4);
+    }
+
+    #[test]
+    fn capability_mismatch_is_refused_before_any_work() {
+        let s = spec(4, true, Placement::Hbw);
+        let mut b = Probe::new(Capabilities::cache_mode());
+        let err = drive(&mut b, &s).unwrap_err();
+        assert!(err.contains("Hbw"), "{err}");
+        assert!(b.issued.is_empty());
+        assert!(!b.finished);
+    }
+
+    #[test]
+    fn invalid_spec_is_refused() {
+        let mut s = spec(4, true, Placement::Hbw);
+        s.p_comp = 0;
+        let mut b = Probe::new(Capabilities::all());
+        assert!(drive(&mut b, &s).is_err());
+        assert!(b.issued.is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! # mlm-exec — the backend execution layer
+//!
+//! The paper's central discipline (§3) is *one* schedule — step `s` copies
+//! in chunk `s`, computes on chunk `s-1`, copies out chunk `s-2` over a
+//! three-slot buffer ring — executed against different memory systems.
+//! Before this crate existed the repo encoded that schedule twice per
+//! subsystem: once in each `host.rs` (real threads, real buffers) and once
+//! in each `sim.rs` (a [`knl-sim`] op graph), and the two copies drifted
+//! (the dataflow fix of PR 2 landed in the host path only).
+//!
+//! `mlm-exec` holds the orchestration *once*:
+//!
+//! * [`PipelineSpec`] + [`Placement`] — the shared vocabulary of a chunked
+//!   execution (moved here from `mlm-core::pipeline`, which re-exports
+//!   them);
+//! * [`Backend`] — the primitive surface a memory system must offer:
+//!   issue one chunk-stage action, close a lockstep step, tell the time;
+//! * [`drive`] — the single orchestrator that walks the chunk schedule
+//!   (lockstep, dataflow, and implicit cache mode) and calls the backend;
+//! * [`RunReport`]/[`StageReport`] — the unified stats every backend
+//!   returns;
+//! * [`RecordingBackend`] — a composable wrapper that turns any backend
+//!   into an event-trace producer, making host ≡ sim equivalence a
+//!   property test instead of folklore;
+//! * [`SortPlan`] — the megachunk-level phase sequence of the §4 sort
+//!   algorithms, interpreted by the sort host executor and sim lowering.
+//!
+//! Concrete backends live next to the machinery they adapt: the host
+//! adapters over `parsort::pool` in `mlm-core::pipeline::host`, the
+//! simulator adapter over `knl-sim` in `mlm-core::pipeline::sim`. This
+//! crate deliberately depends on nothing but `serde`, so every layer of
+//! the workspace (including `knl-sim` and `mlm-memkind`) can share its
+//! vocabulary without dependency cycles.
+//!
+//! [`knl-sim`]: https://example.org/mlm-knl
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod drive;
+pub mod placement;
+pub mod recording;
+pub mod report;
+pub mod ring;
+pub mod sortplan;
+pub mod spec;
+
+pub use backend::{Backend, ChunkAction, KernelCtx, Stage};
+pub use drive::{drive, RING_SLOTS};
+pub use placement::{Capabilities, MemTier, Placement};
+pub use recording::{Event, NullBackend, RecordingBackend};
+pub use report::{RunReport, StageReport};
+pub use sortplan::{mega_size, plan_sort, ChunkSortStyle, SortPhase, SortPlan, SortStructure};
+pub use spec::PipelineSpec;

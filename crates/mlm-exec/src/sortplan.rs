@@ -1,0 +1,281 @@
+//! The megachunk-level phase plan of the §4 sort algorithms.
+//!
+//! Every Table-1 sort variant is a sequence of *phases* — stage a
+//! megachunk in, sort its chunks, merge the sorted runs out, and finally
+//! merge across megachunks — differing only in where the bytes live and
+//! which phases a variant needs. That sequence used to be spelled twice
+//! (once in `mlm-core::sort::host`, once in `sort::sim`); it is now
+//! planned here once, and the two executors interpret the same
+//! [`SortPlan`]: the host runs each phase on real threads and buffers,
+//! the sim lowers each phase to `knl-sim` ops with per-tier rates.
+
+use serde::{Deserialize, Serialize};
+
+/// The megachunk-level shape of a sort variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SortStructure {
+    /// One unchunked whole-array sort (the GNU baselines): per-thread
+    /// block sorts, one thread-count-way merge, copy back.
+    Whole,
+    /// Staged megachunks (MLM-sort, MLM-ddr, basic-chunked): each
+    /// megachunk is copied into the working buffer, chunk-sorted there,
+    /// and merged back out; a final k-way merge stitches the megachunks.
+    Staged,
+    /// In-place megachunks (MLM-implicit): no staging copy — chunks are
+    /// sorted where they are, merged to scratch, and copied back.
+    InPlace,
+    /// Double-buffered megachunks (buffered MLM-sort, §6 future work):
+    /// the staged sequence with `overlapped` dependencies, so a small
+    /// copy pool prefetches megachunk `m+1` while `m` computes.
+    Buffered,
+}
+
+/// How a megachunk's chunk-sort phase is realised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChunkSortStyle {
+    /// MLM style: one serial introsort per worker thread; the run merge
+    /// is a loser-tree multiway merge that benefits from ordered input.
+    Serial,
+    /// GNU style: the library's parallel mergesort over the whole block,
+    /// modeled with the calibrated GNU efficiency penalty and no
+    /// ordered-input merge boost.
+    Gnu,
+}
+
+/// One phase of a sort plan. Element counts are concrete; per-thread
+/// splits, byte addresses, and rates are the executors' concern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SortPhase {
+    /// Per-thread block sorts over the whole array ([`SortStructure::Whole`]).
+    ThreadSort {
+        /// Elements in the whole array.
+        elems: u64,
+    },
+    /// Thread-count-way merge of the per-thread runs into scratch.
+    ThreadMerge {
+        /// Elements merged.
+        elems: u64,
+    },
+    /// Stage megachunk `mega` into the working buffer.
+    StageIn {
+        /// Megachunk index.
+        mega: usize,
+        /// Elements in this megachunk (the last may be ragged).
+        elems: u64,
+    },
+    /// Sort megachunk `mega`'s chunks in the working buffer (or in place
+    /// for [`SortStructure::InPlace`]).
+    ChunkSort {
+        /// Megachunk index.
+        mega: usize,
+        /// Elements in this megachunk.
+        elems: u64,
+    },
+    /// Multiway-merge megachunk `mega`'s sorted runs out of the working
+    /// buffer (to the data array, or to scratch for
+    /// [`SortStructure::InPlace`]).
+    MergeRuns {
+        /// Megachunk index.
+        mega: usize,
+        /// Elements in this megachunk.
+        elems: u64,
+    },
+    /// Copy megachunk `mega` back from scratch
+    /// ([`SortStructure::InPlace`] only).
+    CopyBack {
+        /// Megachunk index.
+        mega: usize,
+        /// Elements in this megachunk.
+        elems: u64,
+    },
+    /// Final k-way merge across sorted megachunks into scratch.
+    FinalMerge {
+        /// Elements in the whole array.
+        elems: u64,
+        /// Number of sorted megachunk runs.
+        k: usize,
+    },
+    /// Copy the whole array back from scratch.
+    FinalCopyBack {
+        /// Elements in the whole array.
+        elems: u64,
+    },
+}
+
+/// The full phase sequence of one sort run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SortPlan {
+    /// The megachunk-level shape.
+    pub structure: SortStructure,
+    /// How chunk sorts are realised (and whether GNU penalties apply).
+    pub chunk_style: ChunkSortStyle,
+    /// Total elements.
+    pub n_elems: u64,
+    /// Elements per megachunk, clamped to `n_elems`.
+    pub mega_elems: u64,
+    /// Number of megachunks.
+    pub megachunks: usize,
+    /// `true` for [`SortStructure::Buffered`]: executors connect the
+    /// phases of consecutive megachunks by dataflow dependencies (double
+    /// buffering) instead of barriers.
+    pub overlapped: bool,
+    /// The phases, in execution (and issue) order.
+    pub phases: Vec<SortPhase>,
+}
+
+/// Elements in megachunk `m` of an `n`-element array cut into
+/// `mega_elems`-element megachunks (the last may be ragged).
+pub fn mega_size(n: u64, mega_elems: u64, m: usize) -> u64 {
+    let lo = m as u64 * mega_elems;
+    mega_elems.min(n - lo.min(n))
+}
+
+/// Plan the phase sequence for one sort run.
+///
+/// `n_elems` and `mega_elems` must be positive; `mega_elems` is clamped
+/// to `n_elems` (a megachunk larger than the data is the
+/// megachunk-equals-problem-size configuration of Table 1).
+pub fn plan_sort(
+    structure: SortStructure,
+    chunk_style: ChunkSortStyle,
+    n_elems: u64,
+    mega_elems: u64,
+) -> SortPlan {
+    assert!(n_elems > 0, "empty workload");
+    assert!(mega_elems > 0, "megachunk must be positive");
+    let mega_elems = mega_elems.min(n_elems);
+    let megachunks = n_elems.div_ceil(mega_elems) as usize;
+    let mut phases = Vec::new();
+
+    match structure {
+        SortStructure::Whole => {
+            phases.push(SortPhase::ThreadSort { elems: n_elems });
+            phases.push(SortPhase::ThreadMerge { elems: n_elems });
+            phases.push(SortPhase::FinalCopyBack { elems: n_elems });
+        }
+        SortStructure::Staged | SortStructure::Buffered => {
+            for m in 0..megachunks {
+                let elems = mega_size(n_elems, mega_elems, m);
+                phases.push(SortPhase::StageIn { mega: m, elems });
+                phases.push(SortPhase::ChunkSort { mega: m, elems });
+                phases.push(SortPhase::MergeRuns { mega: m, elems });
+            }
+            if megachunks > 1 {
+                phases.push(SortPhase::FinalMerge {
+                    elems: n_elems,
+                    k: megachunks,
+                });
+                phases.push(SortPhase::FinalCopyBack { elems: n_elems });
+            }
+        }
+        SortStructure::InPlace => {
+            for m in 0..megachunks {
+                let elems = mega_size(n_elems, mega_elems, m);
+                phases.push(SortPhase::ChunkSort { mega: m, elems });
+                phases.push(SortPhase::MergeRuns { mega: m, elems });
+                phases.push(SortPhase::CopyBack { mega: m, elems });
+            }
+            if megachunks > 1 {
+                phases.push(SortPhase::FinalMerge {
+                    elems: n_elems,
+                    k: megachunks,
+                });
+                phases.push(SortPhase::FinalCopyBack { elems: n_elems });
+            }
+        }
+    }
+
+    SortPlan {
+        structure,
+        chunk_style,
+        n_elems,
+        mega_elems,
+        megachunks,
+        overlapped: structure == SortStructure::Buffered,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mega_size_handles_ragged_tail() {
+        assert_eq!(mega_size(10, 4, 0), 4);
+        assert_eq!(mega_size(10, 4, 1), 4);
+        assert_eq!(mega_size(10, 4, 2), 2);
+        assert_eq!(mega_size(10, 4, 3), 0);
+        assert_eq!(mega_size(4, 8, 0), 4);
+    }
+
+    #[test]
+    fn staged_plan_covers_every_megachunk_then_merges() {
+        let p = plan_sort(SortStructure::Staged, ChunkSortStyle::Serial, 10, 4);
+        assert_eq!(p.megachunks, 3);
+        assert!(!p.overlapped);
+        let megas: Vec<usize> = p
+            .phases
+            .iter()
+            .filter_map(|ph| match ph {
+                SortPhase::ChunkSort { mega, .. } => Some(*mega),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(megas, vec![0, 1, 2]);
+        assert!(matches!(
+            p.phases[p.phases.len() - 2],
+            SortPhase::FinalMerge { k: 3, elems: 10 }
+        ));
+        assert!(matches!(
+            p.phases.last(),
+            Some(SortPhase::FinalCopyBack { elems: 10 })
+        ));
+    }
+
+    #[test]
+    fn single_megachunk_needs_no_final_merge() {
+        let p = plan_sort(SortStructure::Staged, ChunkSortStyle::Serial, 10, 100);
+        assert_eq!(p.megachunks, 1);
+        assert_eq!(p.mega_elems, 10, "megachunk clamps to the data size");
+        assert!(!p
+            .phases
+            .iter()
+            .any(|ph| matches!(ph, SortPhase::FinalMerge { .. })));
+    }
+
+    #[test]
+    fn in_place_plan_copies_back_per_megachunk() {
+        let p = plan_sort(SortStructure::InPlace, ChunkSortStyle::Serial, 8, 4);
+        let kinds: Vec<&'static str> = p
+            .phases
+            .iter()
+            .map(|ph| match ph {
+                SortPhase::ChunkSort { .. } => "sort",
+                SortPhase::MergeRuns { .. } => "merge",
+                SortPhase::CopyBack { .. } => "copy",
+                SortPhase::FinalMerge { .. } => "final",
+                SortPhase::FinalCopyBack { .. } => "back",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["sort", "merge", "copy", "sort", "merge", "copy", "final", "back"]
+        );
+    }
+
+    #[test]
+    fn whole_plan_is_three_phases() {
+        let p = plan_sort(SortStructure::Whole, ChunkSortStyle::Gnu, 100, 7);
+        assert_eq!(p.phases.len(), 3);
+    }
+
+    #[test]
+    fn buffered_plan_is_staged_and_overlapped() {
+        let p = plan_sort(SortStructure::Buffered, ChunkSortStyle::Serial, 10, 4);
+        let q = plan_sort(SortStructure::Staged, ChunkSortStyle::Serial, 10, 4);
+        assert!(p.overlapped);
+        assert_eq!(p.phases, q.phases);
+    }
+}

@@ -19,8 +19,9 @@ use mlm_core::{PipelineSpec, Placement};
 use mlm_memkind::{Kind, MemKind, Reservation};
 
 /// Buffer slots a pipeline keeps resident (triple buffering, paper Fig. 2).
-/// Must agree with the ring depth the pipeline backends implement.
-pub const RING_SLOTS: usize = 3;
+/// This is the ring depth [`mlm_exec::drive`] schedules, so the broker's
+/// footprint accounting agrees with every backend by construction.
+pub use mlm_exec::RING_SLOTS;
 
 /// Result of one admission attempt.
 #[derive(Debug)]

@@ -135,6 +135,22 @@ mod tests {
     }
 
     #[test]
+    fn capability_starved_backend_is_rejected() {
+        // The machine is fine; the *backend* chosen to execute the spec
+        // cannot place flat-MCDRAM buffers. checked_program must refuse
+        // before lowering, exactly as mlm_exec::drive would at run time.
+        let s = spec();
+        let m = MachineConfig::tiny(MemMode::Flat);
+        let target = VerifyTarget::new(&s, &m).with_backend(mlm_exec::Capabilities::cache_mode());
+        match checked_program(&target) {
+            Err(VerifyError::Rejected(report)) => {
+                assert!(report.error_ids().contains(&"V010"), "{report}");
+            }
+            other => panic!("capability mismatch must be rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejected_error_renders_diagnostics() {
         let mut s = spec();
         s.p_in = 0;

@@ -18,13 +18,14 @@
 use knl_sim::machine::MachineConfig;
 use mlm_cluster::ClusterConfig;
 use mlm_core::{ModelParams, PipelineSpec, Placement};
+use mlm_exec::Capabilities;
 
 use crate::diag::{Diagnostic, LintReport, Severity};
 
-/// Number of buffer slots the host dataflow ring and the lockstep schedule
-/// actually use (`mlm-core/src/pipeline/host.rs` hard-codes three rotating
-/// buffers).
-pub const RING_SLOTS: usize = 3;
+/// Number of buffer slots the chunk schedule rotates over — re-exported
+/// from the execution layer ([`mlm_exec::drive`] owns the constant every
+/// backend executes).
+pub use mlm_exec::RING_SLOTS;
 
 /// Everything the linter sees about one planned run.
 #[derive(Debug, Clone)]
@@ -45,6 +46,12 @@ pub struct VerifyTarget<'a> {
     /// Specs of jobs planned to run *concurrently* with `spec` on the same
     /// node (a serving-mode co-resident set). Empty for single-job runs.
     pub co_scheduled: &'a [PipelineSpec],
+    /// Placement capabilities of the backend selected to execute the spec.
+    /// Defaults to [`Capabilities::all`] (the host adapters and the full
+    /// simulator emulate every placement); narrow it with
+    /// [`VerifyTarget::with_backend`] when targeting a mode-restricted
+    /// backend so V010 can reject unexecutable placements statically.
+    pub backend: Capabilities,
 }
 
 impl<'a> VerifyTarget<'a> {
@@ -59,7 +66,15 @@ impl<'a> VerifyTarget<'a> {
             buffer_slots: RING_SLOTS,
             cluster: None,
             co_scheduled: &[],
+            backend: Capabilities::all(),
         }
+    }
+
+    /// Declare the capability set of the backend that will execute this
+    /// spec (e.g. [`Capabilities::cache_mode`] for a cache-mode adapter).
+    pub fn with_backend(mut self, backend: Capabilities) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Attach a cluster config.
@@ -124,6 +139,7 @@ impl LintRegistry {
         r.register(Box::new(ChunkCount));
         r.register(Box::new(ClusterSanity));
         r.register(Box::new(ConcurrentMcdramFit));
+        r.register(Box::new(BackendCapability));
         r
     }
 
@@ -794,6 +810,69 @@ impl Lint for ConcurrentMcdramFit {
     }
 }
 
+/// V010: spec placement vs the selected backend's capability set.
+///
+/// V003 asks whether the *machine* can satisfy the placement; this lint
+/// asks whether the *backend adapter* chosen to execute the spec can.
+/// `mlm_exec::drive` refuses such a spec at run time; V010 raises the
+/// same mismatch statically, so a plan (e.g. a serving schedule pinned to
+/// a cache-mode replay backend) fails before anything executes.
+/// Flat-MCDRAM placement on a cache-mode backend is the canonical hard
+/// diagnostic.
+struct BackendCapability;
+
+impl Lint for BackendCapability {
+    fn id(&self) -> &'static str {
+        "V010"
+    }
+    fn name(&self) -> &'static str {
+        "backend-capability"
+    }
+    fn description(&self) -> &'static str {
+        "spec placement must be executable on the selected backend's capability set"
+    }
+    fn check(&self, t: &VerifyTarget<'_>, out: &mut Vec<Diagnostic>) {
+        if t.backend.supports(t.spec.placement) {
+            return;
+        }
+        let (missing, suggestion) = match t.spec.placement {
+            Placement::Hbw => (
+                "flat-addressable MCDRAM",
+                "select a flat-mode backend, or use Placement::Implicit on this one",
+            ),
+            Placement::Ddr => (
+                "DDR-resident chunk buffers",
+                "select a backend that can place buffers in DDR",
+            ),
+            Placement::Implicit => (
+                "an MCDRAM cache in front of DDR",
+                "select a cache-mode backend, or place buffers explicitly",
+            ),
+        };
+        out.push(
+            Diagnostic::new(
+                self.id(),
+                self.name(),
+                Severity::Error,
+                format!(
+                    "spec placement {:?} needs {missing}, which the selected backend \
+                     does not offer (drive() would refuse the spec at run time)",
+                    t.spec.placement
+                ),
+            )
+            .with_context("spec.placement", format!("{:?}", t.spec.placement))
+            .with_context(
+                "backend.capabilities",
+                format!(
+                    "flat_mcdram={} ddr_buffers={} mcdram_cache={}",
+                    t.backend.flat_mcdram, t.backend.ddr_buffers, t.backend.mcdram_cache
+                ),
+            )
+            .with_suggestion(suggestion),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1023,12 +1102,50 @@ mod tests {
     }
 
     #[test]
+    fn v010_hbw_on_cache_mode_backend() {
+        // Flat machine, so V003 stays quiet: the *backend*, not the
+        // machine, is what cannot execute the placement.
+        let machine = knl();
+        let spec = good_spec();
+        let report = lint_target(
+            &VerifyTarget::new(&spec, &machine).with_backend(Capabilities::cache_mode()),
+        );
+        assert!(report.error_ids().contains(&"V010"));
+        assert!(!ids(&report).contains(&"V003"));
+    }
+
+    #[test]
+    fn v010_implicit_on_flat_mode_backend() {
+        let machine = MachineConfig::knl_7250(MemMode::Cache);
+        let mut spec = good_spec();
+        spec.placement = Placement::Implicit;
+        spec.p_in = 0;
+        spec.p_out = 0;
+        let report = lint_target(
+            &VerifyTarget::new(&spec, &machine).with_backend(Capabilities::flat_mode()),
+        );
+        assert!(report.error_ids().contains(&"V010"));
+    }
+
+    #[test]
+    fn v010_quiet_on_fully_capable_backend() {
+        let machine = knl();
+        let spec = good_spec();
+        let report =
+            lint_target(&VerifyTarget::new(&spec, &machine).with_backend(Capabilities::all()));
+        assert!(!ids(&report).contains(&"V010"), "{report}");
+    }
+
+    #[test]
     fn registry_lists_builtin_lints() {
         let r = LintRegistry::with_builtin_lints();
         let ids: Vec<&str> = r.lints().iter().map(|l| l.id()).collect();
         assert_eq!(
             ids,
-            vec!["V000", "V001", "V002", "V003", "V004", "V005", "V006", "V007", "V008", "V009"]
+            vec![
+                "V000", "V001", "V002", "V003", "V004", "V005", "V006", "V007", "V008", "V009",
+                "V010"
+            ]
         );
         // Ids are unique and every lint has a description.
         for l in r.lints() {

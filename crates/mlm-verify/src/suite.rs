@@ -140,6 +140,18 @@ pub fn run_lint_suite() -> Vec<LintCase> {
         report: lint_target(&VerifyTarget::new(&s, &machine).with_co_scheduled(&others)),
     });
 
+    // The paper spec is fine on the flat *machine*, but the selected
+    // *backend* only offers cache-mode capabilities: the execution layer
+    // would refuse it, so the linter must too.
+    let s = paper_spec();
+    out.push(LintCase {
+        name: "Hbw placement on a cache-mode backend",
+        expect_error: Some("V010"),
+        report: lint_target(
+            &VerifyTarget::new(&s, &machine).with_backend(mlm_exec::Capabilities::cache_mode()),
+        ),
+    });
+
     out
 }
 

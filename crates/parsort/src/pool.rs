@@ -276,6 +276,48 @@ impl StagePool {
     }
 }
 
+/// Copy `src` into `dst` split across up to `parts_max` pool tasks.
+pub fn copy_split<T: Copy + Send + Sync>(
+    pool: &StagePool,
+    parts_max: usize,
+    src: &[T],
+    dst: &mut [T],
+) {
+    debug_assert_eq!(src.len(), dst.len());
+    let parts = parts_max.min(src.len()).max(1);
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(parts);
+    let mut rest = dst;
+    for t in 0..parts {
+        let (ss, se) = split_range(src.len(), parts, t);
+        let (head, tail) = rest.split_at_mut(se - ss);
+        rest = tail;
+        let s_slice = &src[ss..se];
+        tasks.push(Box::new(move || head.copy_from_slice(s_slice)));
+    }
+    pool.scoped(tasks);
+}
+
+/// Copy `src` to `dst` using every pool thread (the host stand-in for the
+/// copy-in / copy-out pools).
+pub fn parallel_copy<T: Copy + Send + Sync>(pool: &WorkPool, src: &[T], dst: &mut [T]) {
+    assert_eq!(src.len(), dst.len());
+    if src.is_empty() {
+        return;
+    }
+    let parts = pool.threads().min(src.len());
+    let len = src.len();
+    let mut rest = dst;
+    let mut tasks = Vec::with_capacity(parts);
+    for t in 0..parts {
+        let (s, e) = split_range(len, parts, t);
+        let (head, tail) = rest.split_at_mut(e - s);
+        rest = tail;
+        let sr = &src[s..e];
+        tasks.push(move || head.copy_from_slice(sr));
+    }
+    pool.scoped(tasks);
+}
+
 /// The bounds of part `i` of `parts` near-equal contiguous parts of `0..len`.
 ///
 /// The first `len % parts` parts get one extra element, so sizes differ by
@@ -516,5 +558,26 @@ mod tests {
     fn parallel_ranges_zero_len() {
         let pool = WorkPool::new(4);
         pool.parallel_ranges(0, |_, _, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn parallel_copy_is_exact() {
+        let pool = WorkPool::new(4);
+        let src: Vec<u64> = (0..10_001).collect();
+        let mut dst = vec![0u64; 10_001];
+        parallel_copy(&pool, &src, &mut dst);
+        assert_eq!(src, dst);
+        parallel_copy::<u64>(&pool, &[], &mut []);
+    }
+
+    #[test]
+    fn copy_split_is_exact_for_any_parts() {
+        let pool = StagePool::new(3);
+        let src: Vec<u64> = (0..997).collect();
+        for parts in [1usize, 2, 5, 2000] {
+            let mut dst = vec![0u64; src.len()];
+            copy_split(&pool, parts, &src, &mut dst);
+            assert_eq!(src, dst);
+        }
     }
 }

@@ -12,7 +12,8 @@
 
 use knl_sim::machine::{MachineConfig, MemMode};
 use knl_sim::GIB;
-use mlm_core::{ModelParams, PipelineSpec, Placement};
+use mlm_core::ModelParams;
+use mlm_exec::{PipelineSpec, Placement};
 use mlm_serve::{serve, DeadlineClass, JobRequest, Policy, ServeConfig};
 
 /// A chunked MLM-sort job: two compute passes over an MCDRAM buffer ring,

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Fail if a new parallel host/sim orchestration pair appears outside the
+# mlm-exec adapter discipline.
+#
+# The execution layer (crates/mlm-exec) owns the chunk schedule; host and
+# sim code are thin backend adapters driven by `mlm_exec::drive` (or, for
+# sorting, interpreters of one `mlm_exec::SortPlan`). Before the layer
+# existed, each subsystem grew a hand-rolled host implementation and a
+# parallel sim lowering, and the two drifted. This check keeps that split
+# from coming back:
+#
+#  * every directory holding both a `host*.rs` and a `sim*.rs` is a
+#    "dual-impl pair";
+#  * a pair is acceptable only if BOTH files reference `mlm_exec` (they
+#    are adapters over the shared orchestrator), or the pair is on the
+#    explicit allowlist below;
+#  * the allowlist names the pairs that predate the layer or ride it
+#    transitively — do not extend it for new code; write a Backend
+#    adapter instead.
+#
+# Run from anywhere: `scripts/check_no_dual_impl.sh`. CI runs it in the
+# clippy job, next to the lint pass that keeps the adapters warning-free.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Pairs allowed to omit direct mlm_exec references, with the reason:
+#   mlm-stream  — legacy streaming benchmark, pre-dates the layer (its
+#                 host/sim split is frozen; port tracked in ROADMAP.md)
+#   mlm-serve   — rides the layer transitively: host jobs call
+#                 mlm_core::pipeline::host, replay calls sim::build_program
+#   mlm-cluster — rides the layer transitively: both sides call
+#                 mlm_core::sort, which interprets one mlm_exec SortPlan
+allow_dirs=(
+  "crates/mlm-stream/src"
+  "crates/mlm-serve/src"
+  "crates/mlm-cluster/src"
+)
+
+is_allowed() {
+  local dir="$1"
+  for a in "${allow_dirs[@]}"; do
+    [ "$dir" = "$a" ] && return 0
+  done
+  return 1
+}
+
+fail=0
+# knl-sim is the simulator itself, not a lowering of host code; its file
+# names (sim_*.rs etc.) are not dual-impl pairs.
+dirs=$(find crates examples tests -name '*.rs' -not -path 'crates/knl-sim/*' \
+  | xargs -r -n1 dirname | sort -u)
+
+for dir in $dirs; do
+  hosts=$(find "$dir" -maxdepth 1 -name 'host*.rs' | sort)
+  sims=$(find "$dir" -maxdepth 1 \( -name 'sim*.rs' \) | sort)
+  [ -n "$hosts" ] && [ -n "$sims" ] || continue
+
+  if is_allowed "$dir"; then
+    continue
+  fi
+
+  for f in $hosts $sims; do
+    if ! grep -q 'mlm_exec' "$f"; then
+      echo "error: ${f} is half of a host/sim pair in ${dir} but never references mlm_exec" >&2
+      echo "       write it as a Backend adapter over mlm_exec::drive (see crates/mlm-core/src/pipeline/)" >&2
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo >&2
+  echo "New host/sim pairs must adapt the shared execution layer, not re-implement the schedule." >&2
+  echo "If the pair genuinely rides the layer transitively, say how in the allowlist in this script." >&2
+  exit 1
+fi
+echo "check_no_dual_impl: every host/sim pair rides the mlm-exec execution layer"

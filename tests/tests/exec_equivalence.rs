@@ -1,0 +1,241 @@
+//! Cross-backend execution equivalence for the unified `mlm-exec` layer.
+//!
+//! Property under test: the orchestrator in [`mlm_exec::drive`] owns the
+//! chunk schedule, and every backend — host thread pools, the op-level
+//! simulator, the recorder — merely interprets it. Concretely:
+//!
+//! 1. Lockstep and dataflow host runs of the same spec produce
+//!    bit-identical output (the schedule changes overlap, never results).
+//! 2. A [`RecordingBackend`] trace of the drive walk is identical whether
+//!    it wraps the null backend or the sim lowering of the same
+//!    [`PipelineSpec`] — i.e. the sim executes exactly the schedule the
+//!    host adapters interpret.
+//! 3. Under lockstep, chunks complete (copy-out) in order 0, 1, 2, …
+
+use proptest::prelude::*;
+
+use mlm_core::pipeline::host::run_host_pipeline;
+use mlm_core::pipeline::sim::SimBackend;
+use mlm_exec::{
+    drive, Event, NullBackend, PipelineSpec, Placement, RecordingBackend, Stage, RING_SLOTS,
+};
+use parsort::pool::WorkPool;
+
+const ELEM: usize = std::mem::size_of::<i64>();
+
+/// A host-executable spec over `total_elems` i64 elements. Rates and
+/// `data_addr` are sim-only fields; the host ignores them.
+fn spec_for(
+    total_elems: usize,
+    chunk_elems: usize,
+    p_in: usize,
+    p_out: usize,
+    p_comp: usize,
+    lockstep: bool,
+) -> PipelineSpec {
+    PipelineSpec {
+        total_bytes: (total_elems * ELEM) as u64,
+        chunk_bytes: (chunk_elems * ELEM) as u64,
+        p_in,
+        p_out,
+        p_comp,
+        compute_passes: 1,
+        compute_rate: 2e9,
+        copy_rate: 1e9,
+        placement: Placement::Hbw,
+        lockstep,
+        data_addr: 0,
+    }
+}
+
+/// The kernel used everywhere below: a pure function of element value and
+/// *global* position, so the correct output is independent of how the
+/// pipeline slices chunks across threads.
+fn kernel(slice: &mut [i64], ctx: mlm_core::pipeline::host::KernelCtx) {
+    for (i, v) in slice.iter_mut().enumerate() {
+        *v = v
+            .wrapping_mul(31)
+            .wrapping_add((ctx.global_offset + i) as i64);
+    }
+}
+
+/// What the pipeline must compute, derived element-by-element.
+fn reference(data: &[i64]) -> Vec<i64> {
+    data.iter()
+        .enumerate()
+        .map(|(i, v)| v.wrapping_mul(31).wrapping_add(i as i64))
+        .collect()
+}
+
+/// Chunk indices of the trace's actions for one stage, in issue order.
+fn stage_order(events: &[Event], stage: Stage) -> Vec<usize> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Action { action, .. } if action.stage == stage => Some(action.chunk),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The drive walk of `spec`, recorded over the null backend.
+fn null_trace(spec: &PipelineSpec) -> Vec<Event> {
+    let mut rec = RecordingBackend::new(NullBackend::new());
+    drive(&mut rec, spec).expect("null backend executes every placement");
+    let (_, events) = rec.into_parts();
+    events
+}
+
+/// The drive walk of `spec`, recorded while the sim lowering runs
+/// underneath — the exact schedule `build_program` lowers to ops.
+fn sim_trace(spec: &PipelineSpec) -> Vec<Event> {
+    let mut rec = RecordingBackend::new(SimBackend::new(spec).expect("sim accepts the spec"));
+    drive(&mut rec, spec).expect("sim backend executes the spec");
+    let (_, events) = rec.into_parts();
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (1) Lockstep and dataflow host runs are bit-identical, and both
+    /// match the positional reference.
+    #[test]
+    fn lockstep_and_dataflow_host_runs_are_bit_identical(
+        chunk_elems in 1usize..48,
+        n_full in 1usize..6,
+        tail in 0usize..48,
+        p_in in 1usize..3,
+        p_out in 1usize..3,
+        p_comp in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let tail = tail % chunk_elems.max(1);
+        let total = n_full * chunk_elems + tail;
+        let data: Vec<i64> = (0..total)
+            .map(|i| (seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) as i64)
+            .collect();
+        let pool = WorkPool::new(p_in.max(p_out).max(p_comp));
+
+        let lock = spec_for(total, chunk_elems, p_in, p_out, p_comp, true);
+        let flow = PipelineSpec { lockstep: false, ..lock.clone() };
+
+        let mut out_lock = vec![0i64; total];
+        let mut out_flow = vec![0i64; total];
+        let s_lock = run_host_pipeline(&pool, &lock, &data, &mut out_lock, kernel);
+        let s_flow = run_host_pipeline(&pool, &flow, &data, &mut out_flow, kernel);
+
+        prop_assert_eq!(&out_lock, &out_flow, "schedules must not change results");
+        prop_assert_eq!(&out_lock, &reference(&data));
+        prop_assert_eq!(s_lock.chunks, s_flow.chunks);
+        prop_assert_eq!(s_lock.chunks, total.div_ceil(chunk_elems));
+    }
+
+    /// (2) The recorded schedule is backend-independent: the trace the sim
+    /// lowering is driven with equals the null-backend trace, for both
+    /// lockstep and dataflow variants of the same spec.
+    #[test]
+    fn trace_matches_sim_lowering_of_the_same_spec(
+        chunk_elems in 1usize..48,
+        n_full in 1usize..6,
+        tail in 0usize..48,
+        p_in in 1usize..3,
+        p_out in 1usize..3,
+        p_comp in 1usize..4,
+        lockstep in any::<bool>(),
+    ) {
+        let tail = tail % chunk_elems.max(1);
+        let total = n_full * chunk_elems + tail;
+        let spec = spec_for(total, chunk_elems, p_in, p_out, p_comp, lockstep);
+
+        let null = null_trace(&spec);
+        let sim = sim_trace(&spec);
+        prop_assert_eq!(&null, &sim, "sim must be lowered from the identical schedule");
+
+        // Per-chunk action accounting: each chunk is copied in, computed
+        // on, and copied out exactly once, in that per-chunk order.
+        let n = spec.n_chunks();
+        for stage in [Stage::CopyIn, Stage::Compute, Stage::CopyOut] {
+            let mut chunks = stage_order(&null, stage);
+            chunks.sort_unstable();
+            prop_assert_eq!(chunks, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    /// (3) Under lockstep, chunk completion order is 0, 1, 2, … — the
+    /// copy-out sequence the paper's step schedule guarantees — and every
+    /// step closes with a barrier the next step's actions depend on.
+    #[test]
+    fn lockstep_completes_chunks_in_order(
+        chunk_elems in 1usize..48,
+        n_full in 1usize..6,
+        p_in in 1usize..3,
+        p_out in 1usize..3,
+        p_comp in 1usize..4,
+    ) {
+        let total = n_full * chunk_elems;
+        let spec = spec_for(total, chunk_elems, p_in, p_out, p_comp, true);
+        let events = null_trace(&spec);
+
+        let outs = stage_order(&events, Stage::CopyOut);
+        prop_assert_eq!(outs, (0..spec.n_chunks()).collect::<Vec<_>>());
+
+        // Every action after the first barrier names that step's barrier
+        // as a dependency: the lockstep trace is a strict step sequence.
+        let mut last_barrier: Option<usize> = None;
+        for (idx, event) in events.iter().enumerate() {
+            match event {
+                Event::Action { deps, .. } => match last_barrier {
+                    Some(b) => prop_assert_eq!(deps.as_slice(), &[b]),
+                    None => prop_assert!(deps.is_empty()),
+                },
+                Event::Barrier { .. } => last_barrier = Some(idx),
+                Event::Finish => {}
+            }
+        }
+    }
+
+    /// Dataflow deps are pure chunk edges: compute waits on its copy-in,
+    /// copy-out on its compute, and copy-in of chunk `c` recycles the ring
+    /// slot freed by copy-out of chunk `c - RING_SLOTS`.
+    #[test]
+    fn dataflow_trace_orders_by_chunk_edges_only(
+        chunk_elems in 1usize..48,
+        n_full in 4usize..8,
+        p_comp in 1usize..4,
+    ) {
+        let total = n_full * chunk_elems;
+        let spec = spec_for(total, chunk_elems, 1, 1, p_comp, false);
+        let events = null_trace(&spec);
+
+        prop_assert!(
+            !events.iter().any(|e| matches!(e, Event::Barrier { .. })),
+            "dataflow schedules have no step barriers"
+        );
+
+        // Map (stage, chunk) -> event index to resolve dependency targets.
+        let at = |stage: Stage, chunk: usize| -> usize {
+            events
+                .iter()
+                .position(|e| matches!(
+                    e,
+                    Event::Action { action, .. }
+                        if action.stage == stage && action.chunk == chunk
+                ))
+                .expect("every chunk action is recorded")
+        };
+        for (idx, event) in events.iter().enumerate() {
+            if let Event::Action { action, deps } = event {
+                let expect: Vec<usize> = match action.stage {
+                    Stage::CopyIn if action.chunk >= RING_SLOTS => {
+                        vec![at(Stage::CopyOut, action.chunk - RING_SLOTS)]
+                    }
+                    Stage::CopyIn => Vec::new(),
+                    Stage::Compute => vec![at(Stage::CopyIn, action.chunk)],
+                    Stage::CopyOut => vec![at(Stage::Compute, action.chunk)],
+                };
+                prop_assert_eq!(deps, &expect, "event {} has wrong deps", idx);
+            }
+        }
+    }
+}
