@@ -54,6 +54,10 @@ impl FlowSpec {
 /// Flows with an empty demand vector are limited only by their cap. A flow
 /// with cap `0` gets rate `0` (it will never complete; callers avoid this).
 ///
+/// This is a convenience wrapper over [`Arbiter`], which hot loops (the
+/// engine's rate epochs) use directly to avoid re-allocating scratch state
+/// on every invocation.
+///
 /// # Panics
 /// Panics if a flow references a resource index out of range or has a
 /// non-positive demand coefficient, or if a capacity is non-positive —
@@ -79,105 +83,152 @@ pub fn allocate_rates(capacities: &[f64], flows: &[FlowSpec]) -> Vec<f64> {
         }
     }
 
-    let n = flows.len();
-    let mut rate = vec![0.0f64; n];
-    if n == 0 {
-        return rate;
+    let mut out = Vec::new();
+    Arbiter::new().allocate(capacities, flows.iter(), &mut out);
+    out
+}
+
+/// Reusable max–min-fair ("water-filling") rate allocator.
+///
+/// Functionally identical to [`allocate_rates`] but designed for callers
+/// that re-arbitrate on every rate epoch: scratch vectors are kept between
+/// calls (no per-call heap allocation once warm) and flow specs are
+/// *borrowed* through a re-iterable iterator, so callers holding flows in
+/// an arena never clone a [`FlowSpec`] to arbitrate over them.
+#[derive(Debug, Default)]
+pub struct Arbiter {
+    frozen: Vec<bool>,
+    agg: Vec<f64>,
+    remaining: Vec<f64>,
+}
+
+impl Arbiter {
+    /// A fresh arbiter with empty scratch state.
+    pub fn new() -> Self {
+        Arbiter::default()
     }
 
-    let mut frozen = vec![false; n];
-    let mut remaining: Vec<f64> = capacities.to_vec();
-    // Current common fill level for all unfrozen flows.
-    let mut level = 0.0f64;
-
-    loop {
-        // Aggregate demand coefficient of unfrozen flows on each resource.
-        let mut agg = vec![0.0f64; capacities.len()];
-        let mut unfrozen_count = 0usize;
-        for (i, f) in flows.iter().enumerate() {
-            if frozen[i] {
-                continue;
-            }
-            unfrozen_count += 1;
-            for &(r, coeff) in &f.demand {
-                agg[r] += coeff;
-            }
-        }
-        if unfrozen_count == 0 {
-            break;
+    /// Compute the max–min-fair allocation for the flows yielded by
+    /// `flows` (the iterator is re-walked once per filling round, hence
+    /// `Clone`), writing one rate per flow into `out` (cleared first).
+    ///
+    /// Inputs are validated with debug assertions only; the public
+    /// [`allocate_rates`] wrapper performs the hard-panicking validation
+    /// documented there.
+    pub fn allocate<'a, I>(&mut self, capacities: &[f64], flows: I, out: &mut Vec<f64>)
+    where
+        I: Iterator<Item = &'a FlowSpec> + Clone,
+    {
+        out.clear();
+        out.extend(flows.clone().map(|_| 0.0f64));
+        let n = out.len();
+        if n == 0 {
+            return;
         }
 
-        // How much further can the common level rise before a resource
-        // saturates?
-        let mut dl_resource = f64::INFINITY;
-        for (r, &a) in agg.iter().enumerate() {
-            if a > 0.0 {
-                dl_resource = dl_resource.min(remaining[r] / a);
-            }
-        }
-        // ... or before some unfrozen flow hits its cap?
-        let mut dl_cap = f64::INFINITY;
-        for (i, f) in flows.iter().enumerate() {
-            if !frozen[i] {
-                dl_cap = dl_cap.min(f.cap - level);
-            }
-        }
+        self.frozen.clear();
+        self.frozen.resize(n, false);
+        self.remaining.clear();
+        self.remaining.extend_from_slice(capacities);
+        let frozen = &mut self.frozen;
+        let remaining = &mut self.remaining;
+        // Current common fill level for all unfrozen flows.
+        let mut level = 0.0f64;
 
-        let dl = dl_resource.min(dl_cap);
-        if !dl.is_finite() {
-            // Unfrozen flows exist with no resource usage and infinite caps;
-            // they are unconstrained. Give them an arbitrary huge rate.
-            for (i, f) in flows.iter().enumerate() {
-                if !frozen[i] {
-                    rate[i] = f.cap.min(f64::MAX);
-                    frozen[i] = true;
+        loop {
+            // Aggregate demand coefficient of unfrozen flows on each
+            // resource.
+            self.agg.clear();
+            self.agg.resize(capacities.len(), 0.0);
+            let agg = &mut self.agg;
+            let mut unfrozen_count = 0usize;
+            for (i, f) in flows.clone().enumerate() {
+                if frozen[i] {
+                    continue;
+                }
+                unfrozen_count += 1;
+                for &(r, coeff) in &f.demand {
+                    debug_assert!(r < capacities.len(), "flow {i} uses unknown resource {r}");
+                    debug_assert!(coeff > 0.0 && coeff.is_finite());
+                    agg[r] += coeff;
                 }
             }
-            break;
-        }
-
-        level += dl.max(0.0);
-
-        // Charge the capacity consumed by this rise.
-        for (r, &a) in agg.iter().enumerate() {
-            remaining[r] -= a * dl;
-        }
-
-        // Freeze flows that hit their cap at the new level.
-        let mut any_frozen = false;
-        for (i, f) in flows.iter().enumerate() {
-            if !frozen[i] && level >= f.cap - 1e-12 * f.cap.max(1.0) {
-                rate[i] = f.cap;
-                frozen[i] = true;
-                any_frozen = true;
+            if unfrozen_count == 0 {
+                break;
             }
-        }
-        // Freeze flows on any saturated resource.
-        for (r, rem) in remaining.iter().enumerate() {
-            if agg[r] > 0.0 && *rem <= 1e-9 * capacities[r] {
-                for (i, f) in flows.iter().enumerate() {
-                    if !frozen[i] && f.demand.iter().any(|&(fr, _)| fr == r) {
-                        rate[i] = level;
+
+            // How much further can the common level rise before a resource
+            // saturates?
+            let mut dl_resource = f64::INFINITY;
+            for (r, &a) in agg.iter().enumerate() {
+                if a > 0.0 {
+                    dl_resource = dl_resource.min(remaining[r] / a);
+                }
+            }
+            // ... or before some unfrozen flow hits its cap?
+            let mut dl_cap = f64::INFINITY;
+            for (i, f) in flows.clone().enumerate() {
+                if !frozen[i] {
+                    dl_cap = dl_cap.min(f.cap - level);
+                }
+            }
+
+            let dl = dl_resource.min(dl_cap);
+            if !dl.is_finite() {
+                // Unfrozen flows exist with no resource usage and infinite
+                // caps; they are unconstrained. Give them an arbitrary huge
+                // rate.
+                for (i, f) in flows.clone().enumerate() {
+                    if !frozen[i] {
+                        out[i] = f.cap.min(f64::MAX);
                         frozen[i] = true;
-                        any_frozen = true;
+                    }
+                }
+                break;
+            }
+
+            level += dl.max(0.0);
+
+            // Charge the capacity consumed by this rise.
+            for (r, &a) in agg.iter().enumerate() {
+                remaining[r] -= a * dl;
+            }
+
+            // Freeze flows that hit their cap at the new level.
+            let mut any_frozen = false;
+            for (i, f) in flows.clone().enumerate() {
+                if !frozen[i] && level >= f.cap - 1e-12 * f.cap.max(1.0) {
+                    out[i] = f.cap;
+                    frozen[i] = true;
+                    any_frozen = true;
+                }
+            }
+            // Freeze flows on any saturated resource.
+            for (r, rem) in remaining.iter().enumerate() {
+                if agg[r] > 0.0 && *rem <= 1e-9 * capacities[r] {
+                    for (i, f) in flows.clone().enumerate() {
+                        if !frozen[i] && f.demand.iter().any(|&(fr, _)| fr == r) {
+                            out[i] = level;
+                            frozen[i] = true;
+                            any_frozen = true;
+                        }
                     }
                 }
             }
-        }
-        if !any_frozen {
-            // Defensive: should be impossible since dl froze something, but
-            // guarantee termination against floating-point corner cases.
-            for (i, _) in flows.iter().enumerate() {
-                if !frozen[i] {
-                    rate[i] = level;
-                    frozen[i] = true;
+            if !any_frozen {
+                // Defensive: should be impossible since dl froze something,
+                // but guarantee termination against floating-point corner
+                // cases.
+                for i in 0..n {
+                    if !frozen[i] {
+                        out[i] = level;
+                        frozen[i] = true;
+                    }
                 }
+                break;
             }
-            break;
         }
     }
-
-    rate
 }
 
 /// Convenience: aggregate throughput `sum(rate[i])` of an allocation.
@@ -345,6 +396,30 @@ mod tests {
         assert!((r[1] - 5.0).abs() < 1e-9);
         assert!((r[2] - 5.0).abs() < 1e-9);
         assert!((r[0] - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arbiter_reuse_matches_fresh_allocation() {
+        // One arbiter instance reused across differently-sized flow sets
+        // must produce exactly what a fresh allocate_rates call produces.
+        let mut arb = Arbiter::new();
+        let mut out = Vec::new();
+        let sets: Vec<Vec<FlowSpec>> = vec![
+            (0..7)
+                .map(|i| FlowSpec {
+                    demand: vec![(DDR, 1.0), (MCD, 1.0)],
+                    cap: 4.8e9 + i as f64,
+                })
+                .collect(),
+            vec![FlowSpec::single(MCD, 2.0, f64::INFINITY)],
+            vec![],
+            (0..40).map(|_| FlowSpec::single(DDR, 1.0, 4.8e9)).collect(),
+        ];
+        for flows in &sets {
+            arb.allocate(&caps(), flows.iter(), &mut out);
+            let fresh = allocate_rates(&caps(), flows);
+            assert_eq!(out, fresh);
+        }
     }
 
     #[test]

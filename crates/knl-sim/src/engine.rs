@@ -6,23 +6,55 @@
 //! from one flow completion (or delay expiry) to the next; cache-mode
 //! accesses are resolved through the direct-mapped cache model at op start.
 //!
+//! ## Engine architecture
+//!
+//! The engine is an indexed-event-queue DES core (see DESIGN.md §20):
+//!
+//! * **Event heap** — a binary min-heap keyed by `(time, seq)` (total order
+//!   on `f64` via `total_cmp`, monotone sequence number as a stable
+//!   tie-break) holds delay expiries and *predicted* flow-drain times.
+//! * **Lazy invalidation** — drain predictions carry the flow's slab
+//!   generation and a per-flow prediction counter; when a rate epoch
+//!   changes a flow's rate, the counter is bumped and a new prediction
+//!   pushed, while the stale heap entry is simply skipped when popped.
+//! * **Ready worklist** — startable ops are discovered incrementally: op
+//!   completion enqueues exactly the threads whose front op may have
+//!   become startable, replacing the all-threads fixed-point rescan. The
+//!   worklist is drained in ascending thread order with a wrap-around
+//!   cursor, reproducing the reference loop's start order bit-for-bit
+//!   (start order matters in cache mode: ops mutate the direct-mapped
+//!   cache model when they start).
+//! * **Rate epochs** — the max–min-fair water-filling runs only when the
+//!   *set* of active flows changes; all same-timestamp completions and
+//!   starts coalesce into one re-arbitration. Flow progress integrates
+//!   lazily: `remaining` is materialized only when the flow's own rate
+//!   changes or it completes.
+//! * **Slab storage** — active flows live in a generation-tagged
+//!   [`crate::slab::Slab`]; no per-flow allocation once the slab is warm.
+//!
+//! The pre-rearchitecture loop is preserved verbatim behind the
+//! `reference-engine` feature ([`Simulator::run_reference`]) and the two
+//! are differential-tested on random programs.
+//!
 //! Determinism: given the same config and program the result is bit-for-bit
 //! identical — there is no randomness and no dependence on host timing.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
-use crate::bandwidth::{allocate_rates, FlowSpec};
+use crate::bandwidth::{Arbiter, FlowSpec};
 use crate::cache::DirectMappedCache;
-use crate::error::SimError;
+use crate::error::{SimError, StuckOp};
 use crate::machine::{MachineConfig, MemLevel};
 use crate::ops::{Access, OpKind, Place, Program};
 use crate::report::{LevelTraffic, SimReport};
-use crate::trace::{OpRecord, Trace};
+use crate::slab::{Key, Slab};
+use crate::trace::{BusSegment, OpRecord, Trace};
 
-const DDR: usize = 0;
-const MCD: usize = 1;
+pub(crate) const DDR: usize = 0;
+pub(crate) const MCD: usize = 1;
 /// Completion tolerance in bytes; sub-nanosecond at GB/s rates.
-const EPS_BYTES: f64 = 1e-3;
+pub(crate) const EPS_BYTES: f64 = 1e-3;
 
 /// Executes programs on a simulated machine.
 #[derive(Debug, Clone)]
@@ -30,19 +62,83 @@ pub struct Simulator {
     cfg: MachineConfig,
 }
 
-struct ActiveFlow {
+/// Internal engine counters, exposed for benchmarks and regression tests.
+///
+/// Returned by [`Simulator::run_stats`]. The counters describe *how* the
+/// engine executed a program, not what the program did; they are not part
+/// of the simulation result and two engines may legitimately disagree on
+/// them while agreeing on the [`SimReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Timeline events processed (flow drains + delay expiries).
+    pub events: u64,
+    /// Zero-delay ops completed inline during ready-queue draining.
+    pub instant_ops: u64,
+    /// Rate epochs: re-arbitrations triggered by a change of the active
+    /// flow set. Same-timestamp cascades coalesce into one epoch.
+    pub rate_recomputes: u64,
+    /// Epochs that needed the full water-filling (demand exceeded some
+    /// capacity); the rest took the everyone-at-cap fast path.
+    pub full_recomputes: u64,
+    /// Lazily-invalidated heap entries skipped on pop.
+    pub stale_events: u64,
+    /// High-water mark of the event heap.
+    pub heap_peak: usize,
+}
+
+/// An active flow in the slab: a started `Copy`/`Stream` op draining its
+/// logical bytes at the current epoch's rate.
+struct FlowSlot {
     op: usize,
+    /// Logical bytes left as of `last_sync` (lazily integrated).
     remaining: f64,
-    spec: FlowSpec,
+    /// Rate assigned by the current epoch (0 until the first epoch).
+    rate: f64,
+    /// Virtual time at which `remaining` was last materialized.
+    last_sync: f64,
+    /// Prediction generation; drain events for older generations are stale.
+    pred: u32,
+    /// Position in the dense `active` key list (for O(1) swap-removal).
+    active_pos: usize,
     /// Extra serial latency charged after the flow drains (miss penalty).
     penalty_after: f64,
     started_at: f64,
+    spec: FlowSpec,
 }
 
-struct ActiveDelay {
-    op: usize,
-    deadline: f64,
-    started_at: f64,
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    /// Predicted drain of the flow at `key`; valid only while the slab
+    /// entry is alive *and* its prediction generation still equals `pred`.
+    Drain { key: Key, pred: u32 },
+    /// A delay (or post-drain miss-penalty tail) expires. Never stale.
+    Expiry { op: usize, started_at: f64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
 }
 
 impl Simulator {
@@ -72,8 +168,16 @@ impl Simulator {
     /// Like [`Self::run`], additionally recording a per-op execution
     /// [`Trace`] (start/end times, thread, label).
     pub fn run_traced(&self, prog: &Program) -> Result<(SimReport, Trace), SimError> {
-        let (report, trace) = self.run_inner(prog, Some(Trace::default()))?;
+        let (report, trace, _) = self.run_inner(prog, Some(Trace::default()))?;
         Ok((report, trace.expect("trace requested")))
+    }
+
+    /// Like [`Self::run`], additionally returning the engine's internal
+    /// [`EngineStats`] counters (events processed, rate epochs, stale heap
+    /// entries, ...).
+    pub fn run_stats(&self, prog: &Program) -> Result<(SimReport, EngineStats), SimError> {
+        let (report, _, stats) = self.run_inner(prog, None)?;
+        Ok((report, stats))
     }
 
     /// Validate `prog` against this machine without executing anything.
@@ -117,243 +221,19 @@ impl Simulator {
     fn run_inner(
         &self,
         prog: &Program,
-        mut trace: Option<Trace>,
-    ) -> Result<(SimReport, Option<Trace>), SimError> {
+        trace: Option<Trace>,
+    ) -> Result<(SimReport, Option<Trace>, EngineStats), SimError> {
         prog.validate()?;
-        if let Some(tr) = trace.as_mut() {
-            tr.threads = prog.threads();
-        }
-
-        let mut cache = if self.cfg.mode.has_cache() {
-            Some(DirectMappedCache::new(
-                self.cfg.effective_cache_capacity(),
-                self.cfg.cache_segment,
-            ))
-        } else {
-            None
-        };
-
-        let capacities = [
-            self.cfg.ddr_bandwidth,
-            self.cfg.effective_mcdram_bandwidth(),
-        ];
-
-        let n_ops = prog.ops().len();
-        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); prog.threads()];
-        let mut remaining_deps = vec![0usize; n_ops];
-        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_ops];
-        let mut done = vec![false; n_ops];
-        for (i, op) in prog.ops().iter().enumerate() {
-            queues[op.thread.0].push_back(i);
-            remaining_deps[i] = op.deps.len();
-            for d in &op.deps {
-                dependents[d.0].push(i);
-            }
-        }
-
-        let mut report = SimReport::default();
-        let mut flows: Vec<ActiveFlow> = Vec::new();
-        let mut delays: Vec<ActiveDelay> = Vec::new();
-        let mut now = 0.0f64;
-        let mut completed = 0usize;
-        // Ops whose dependencies are all satisfied; a thread's front op
-        // starts when it is in this state.
-        let mut dep_ready = vec![false; n_ops];
-        for i in 0..n_ops {
-            dep_ready[i] = remaining_deps[i] == 0;
-        }
-
-        let mut busy = vec![false; prog.threads()];
-
-        // Main event loop: (1) start every startable op — zero-delay ops
-        // complete instantly and may cascade, so iterate to a fixed point;
-        // (2) arbitrate bandwidth; (3) advance to the next completion.
-        loop {
-            loop {
-                let mut progressed = false;
-                for t in 0..queues.len() {
-                    while !busy[t] {
-                        let Some(&front) = queues[t].front() else {
-                            break;
-                        };
-                        if !dep_ready[front] {
-                            break;
-                        }
-                        queues[t].pop_front();
-                        progressed = true;
-                        let op = &prog.ops()[front];
-                        match &op.kind {
-                            OpKind::Delay { seconds } if *seconds <= 0.0 => {
-                                // Instant completion; keep popping this thread.
-                                Self::complete_op(
-                                    front,
-                                    now,
-                                    now,
-                                    &mut done,
-                                    &mut completed,
-                                    &mut remaining_deps,
-                                    &dependents,
-                                    &mut dep_ready,
-                                    &mut report,
-                                );
-                                record(&mut trace, prog, front, now, now);
-                            }
-                            OpKind::Delay { seconds } => {
-                                delays.push(ActiveDelay {
-                                    op: front,
-                                    deadline: now + seconds,
-                                    started_at: now,
-                                });
-                                busy[t] = true;
-                            }
-                            kind => {
-                                let (spec, penalty) =
-                                    self.resolve(kind, cache.as_mut(), &mut report)?;
-                                let remaining = spec_len(kind);
-                                flows.push(ActiveFlow {
-                                    op: front,
-                                    remaining,
-                                    spec,
-                                    penalty_after: penalty,
-                                    started_at: now,
-                                });
-                                busy[t] = true;
-                            }
-                        }
-                    }
-                }
-                if !progressed {
-                    break;
-                }
-            }
-
-            if completed == n_ops {
-                break;
-            }
-
-            if flows.is_empty() && delays.is_empty() {
-                let stuck: Vec<usize> = (0..n_ops).filter(|&i| !done[i]).take(8).collect();
-                return Err(SimError::Deadlock(stuck));
-            }
-
-            // Rate allocation for the current flow set.
-            let specs: Vec<FlowSpec> = flows.iter().map(|f| f.spec.clone()).collect();
-            let rates = allocate_rates(&capacities, &specs);
-
-            // Time to the next event: the earliest flow drain (miss
-            // penalties are charged afterwards as serial delays) or the
-            // earliest delay expiry.
-            let mut dt = f64::INFINITY;
-            for (f, &r) in flows.iter().zip(&rates) {
-                debug_assert!(r > 0.0, "validated ops always get positive rates");
-                dt = dt.min(f.remaining / r);
-            }
-            for d in &delays {
-                dt = dt.min(d.deadline - now);
-            }
-            debug_assert!(dt.is_finite() && dt >= 0.0, "dt must be finite, got {dt}");
-            let dt = dt.max(0.0);
-
-            // Record the exact (piecewise-constant) bus utilization of this
-            // inter-event span.
-            if dt > 0.0 {
-                if let Some(tr) = trace.as_mut() {
-                    let mut used = [0.0f64; 2];
-                    for (f, &r) in flows.iter().zip(&rates) {
-                        for &(res, coeff) in &f.spec.demand {
-                            used[res] += r * coeff;
-                        }
-                    }
-                    tr.bus.push(crate::trace::BusSegment {
-                        start: now,
-                        end: now + dt,
-                        ddr: (used[DDR] / capacities[DDR]).min(1.0),
-                        mcdram: (used[MCD] / capacities[MCD]).min(1.0),
-                    });
-                }
-            }
-
-            // Integrate progress and resource usage.
-            for (f, &r) in flows.iter_mut().zip(&rates) {
-                f.remaining -= r * dt;
-                for &(res, coeff) in &f.spec.demand {
-                    report.served_bytes[res] += r * coeff * dt;
-                }
-            }
-            now += dt;
-
-            // Complete drained flows. A flow with a pending miss penalty
-            // converts into a delay.
-            let mut i = 0;
-            while i < flows.len() {
-                if flows[i].remaining <= EPS_BYTES {
-                    let f = flows.swap_remove(i);
-                    if f.penalty_after > 0.0 {
-                        // Thread stays busy through the serial penalty tail.
-                        delays.push(ActiveDelay {
-                            op: f.op,
-                            deadline: now + f.penalty_after,
-                            started_at: f.started_at,
-                        });
-                    } else {
-                        busy[prog.ops()[f.op].thread.0] = false;
-                        Self::complete_op(
-                            f.op,
-                            f.started_at,
-                            now,
-                            &mut done,
-                            &mut completed,
-                            &mut remaining_deps,
-                            &dependents,
-                            &mut dep_ready,
-                            &mut report,
-                        );
-                        record(&mut trace, prog, f.op, f.started_at, now);
-                    }
-                } else {
-                    i += 1;
-                }
-            }
-            // Complete expired delays.
-            let mut i = 0;
-            while i < delays.len() {
-                if delays[i].deadline <= now * (1.0 + 1e-12) + 1e-15 {
-                    let d = delays.swap_remove(i);
-                    busy[prog.ops()[d.op].thread.0] = false;
-                    Self::complete_op(
-                        d.op,
-                        d.started_at,
-                        now,
-                        &mut done,
-                        &mut completed,
-                        &mut remaining_deps,
-                        &dependents,
-                        &mut dep_ready,
-                        &mut report,
-                    );
-                    record(&mut trace, prog, d.op, d.started_at, now);
-                } else {
-                    i += 1;
-                }
-            }
-        }
-
-        report.makespan = now;
-        if now > 0.0 {
-            report.utilization[DDR] = report.served_bytes[DDR] / (capacities[DDR] * now);
-            report.utilization[MCD] = report.served_bytes[MCD] / (capacities[MCD] * now);
-        }
-        if let Some(c) = &cache {
-            report.cache = c.stats();
-        }
-        if let Some(tr) = trace.as_mut() {
-            tr.makespan = report.makespan;
-        }
-        Ok((report, trace))
+        let engine = Engine::new(self, prog, trace);
+        engine.run()
     }
 
+    /// Shared op-completion bookkeeping for the naive reference loop; the
+    /// optimized engine uses [`Engine::complete`], which also feeds the
+    /// ready worklist.
+    #[cfg(feature = "reference-engine")]
     #[allow(clippy::too_many_arguments)]
-    fn complete_op(
+    pub(crate) fn complete_op(
         op: usize,
         started_at: f64,
         now: f64,
@@ -380,7 +260,7 @@ impl Simulator {
     /// Resolve an op's accesses into a flow spec (demand coefficients per
     /// logical byte + rate cap), charging traffic counters and computing the
     /// serial miss-latency penalty.
-    fn resolve(
+    pub(crate) fn resolve(
         &self,
         kind: &OpKind,
         mut cache: Option<&mut DirectMappedCache>,
@@ -471,8 +351,446 @@ impl Simulator {
     }
 }
 
+/// One in-flight simulation: all engine state for a single `run`.
+struct Engine<'p> {
+    sim: &'p Simulator,
+    prog: &'p Program,
+    capacities: [f64; 2],
+    cache: Option<DirectMappedCache>,
+
+    // Program scheduling state.
+    queues: Vec<VecDeque<usize>>,
+    remaining_deps: Vec<usize>,
+    dependents: Vec<Vec<usize>>,
+    done: Vec<bool>,
+    dep_ready: Vec<bool>,
+    busy: Vec<bool>,
+    completed: usize,
+    /// Threads whose front op may have become startable.
+    runnable: BTreeSet<usize>,
+
+    // Event core.
+    now: f64,
+    flows: Slab<FlowSlot>,
+    /// Dense list of live flow keys, for O(active) epoch application.
+    active: Vec<Key>,
+    /// Expiry events in flight (delays are never cancelled, so a counter
+    /// suffices to distinguish "idle" from "waiting on a delay").
+    pending_delays: usize,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    /// Set when the active flow set changed since the last re-arbitration.
+    rates_dirty: bool,
+    arbiter: Arbiter,
+    rates_scratch: Vec<f64>,
+
+    report: SimReport,
+    trace: Option<Trace>,
+    stats: EngineStats,
+}
+
+impl<'p> Engine<'p> {
+    fn new(sim: &'p Simulator, prog: &'p Program, mut trace: Option<Trace>) -> Self {
+        let n_ops = prog.ops().len();
+        if let Some(tr) = trace.as_mut() {
+            tr.threads = prog.threads();
+            tr.reserve_for(n_ops);
+        }
+        let cache = if sim.cfg.mode.has_cache() {
+            Some(DirectMappedCache::new(
+                sim.cfg.effective_cache_capacity(),
+                sim.cfg.cache_segment,
+            ))
+        } else {
+            None
+        };
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); prog.threads()];
+        let mut remaining_deps = vec![0usize; n_ops];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_ops];
+        for (i, op) in prog.ops().iter().enumerate() {
+            queues[op.thread.0].push_back(i);
+            remaining_deps[i] = op.deps.len();
+            for d in &op.deps {
+                dependents[d.0].push(i);
+            }
+        }
+        let dep_ready: Vec<bool> = remaining_deps.iter().map(|&d| d == 0).collect();
+        Engine {
+            sim,
+            prog,
+            capacities: [sim.cfg.ddr_bandwidth, sim.cfg.effective_mcdram_bandwidth()],
+            cache,
+            queues,
+            remaining_deps,
+            dependents,
+            done: vec![false; n_ops],
+            dep_ready,
+            busy: vec![false; prog.threads()],
+            completed: 0,
+            runnable: (0..prog.threads()).collect(),
+            now: 0.0,
+            flows: Slab::with_capacity(prog.threads().min(1024)),
+            active: Vec::with_capacity(prog.threads().min(1024)),
+            pending_delays: 0,
+            heap: BinaryHeap::with_capacity(prog.threads().min(1024) + 16),
+            seq: 0,
+            rates_dirty: false,
+            arbiter: Arbiter::new(),
+            rates_scratch: Vec::new(),
+            report: SimReport::default(),
+            trace,
+            stats: EngineStats::default(),
+        }
+    }
+
+    fn run(mut self) -> Result<(SimReport, Option<Trace>, EngineStats), SimError> {
+        let n_ops = self.prog.ops().len();
+        loop {
+            self.drain_ready()?;
+            if self.completed == n_ops {
+                break;
+            }
+            if self.active.is_empty() && self.pending_delays == 0 {
+                return Err(SimError::Deadlock(stuck_ops(self.prog, &self.done)));
+            }
+            self.recompute_if_dirty();
+
+            // Pop the next valid event, skipping lazily-invalidated drains.
+            let ev = loop {
+                let Reverse(ev) = self
+                    .heap
+                    .pop()
+                    .expect("active flows and pending delays always have events");
+                if self.is_valid(&ev) {
+                    break ev;
+                }
+                self.stats.stale_events += 1;
+            };
+
+            if ev.time > self.now {
+                self.record_span(ev.time);
+                self.now = ev.time;
+            }
+            self.stats.events += 1;
+            self.process(ev);
+
+            // Coalesce every event at (numerically) the same timestamp so
+            // same-time completions trigger a single rate epoch. The
+            // tolerance matches the reference loop's delay-expiry rule.
+            let horizon = self.now * (1.0 + 1e-12) + 1e-15;
+            while let Some(&Reverse(top)) = self.heap.peek() {
+                if top.time > horizon {
+                    break;
+                }
+                let Reverse(ev) = self.heap.pop().expect("peeked");
+                if self.is_valid(&ev) {
+                    self.stats.events += 1;
+                    self.process(ev);
+                } else {
+                    self.stats.stale_events += 1;
+                }
+            }
+        }
+
+        let mut report = self.report;
+        report.makespan = self.now;
+        if self.now > 0.0 {
+            report.utilization[DDR] = report.served_bytes[DDR] / (self.capacities[DDR] * self.now);
+            report.utilization[MCD] = report.served_bytes[MCD] / (self.capacities[MCD] * self.now);
+        }
+        if let Some(c) = &self.cache {
+            report.cache = c.stats();
+        }
+        let mut trace = self.trace;
+        if let Some(tr) = trace.as_mut() {
+            tr.makespan = report.makespan;
+        }
+        Ok((report, trace, self.stats))
+    }
+
+    /// Start every startable op at the current time.
+    ///
+    /// Equivalent to the reference loop's fixed-point rescan, but driven by
+    /// the `runnable` worklist: threads are visited in ascending order with
+    /// a wrap-around cursor, so a thread unblocked by a *later* thread's
+    /// instant op is processed on the next "pass" — exactly the reference
+    /// ordering, which matters for cache-mode access order.
+    fn drain_ready(&mut self) -> Result<(), SimError> {
+        let prog = self.prog;
+        let sim = self.sim;
+        let mut cur = 0usize;
+        while let Some(t) = self
+            .runnable
+            .range(cur..)
+            .next()
+            .or_else(|| self.runnable.iter().next())
+            .copied()
+        {
+            self.runnable.remove(&t);
+            cur = t + 1;
+            while !self.busy[t] {
+                let Some(&front) = self.queues[t].front() else {
+                    break;
+                };
+                if !self.dep_ready[front] {
+                    break;
+                }
+                self.queues[t].pop_front();
+                let op = &prog.ops()[front];
+                match &op.kind {
+                    OpKind::Delay { seconds } if *seconds <= 0.0 => {
+                        // Instant completion; keep popping this thread. Any
+                        // dependents it unblocks join the worklist.
+                        self.stats.instant_ops += 1;
+                        self.complete(front, self.now);
+                    }
+                    OpKind::Delay { seconds } => {
+                        let deadline = self.now + seconds;
+                        self.push_event(
+                            deadline,
+                            EventKind::Expiry {
+                                op: front,
+                                started_at: self.now,
+                            },
+                        );
+                        self.pending_delays += 1;
+                        self.busy[t] = true;
+                    }
+                    kind => {
+                        let (spec, penalty) =
+                            sim.resolve(kind, self.cache.as_mut(), &mut self.report)?;
+                        let slot = FlowSlot {
+                            op: front,
+                            remaining: spec_len(kind),
+                            rate: 0.0,
+                            last_sync: self.now,
+                            pred: 0,
+                            active_pos: self.active.len(),
+                            penalty_after: penalty,
+                            started_at: self.now,
+                            spec,
+                        };
+                        let key = self.flows.insert(slot);
+                        self.active.push(key);
+                        self.rates_dirty = true;
+                        self.busy[t] = true;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-run bandwidth arbitration if the active flow set changed.
+    ///
+    /// Fast path: when the summed cap-weighted demand fits every resource,
+    /// water-filling provably assigns each flow exactly its cap, so only
+    /// flows *not already at cap* are touched (no heap churn for the rest).
+    /// Slow path: full water-filling via the reusable [`Arbiter`], borrowing
+    /// specs from the slab — no `FlowSpec` clones.
+    fn recompute_if_dirty(&mut self) {
+        if !self.rates_dirty {
+            return;
+        }
+        self.rates_dirty = false;
+        if self.active.is_empty() {
+            return;
+        }
+        self.stats.rate_recomputes += 1;
+
+        let mut cap_demand = [0.0f64; 2];
+        for &key in &self.active {
+            let f = self.flows.get(key).expect("active keys are live");
+            for &(res, coeff) in &f.spec.demand {
+                cap_demand[res] += f.spec.cap * coeff;
+            }
+        }
+
+        if cap_demand[DDR] <= self.capacities[DDR] && cap_demand[MCD] <= self.capacities[MCD] {
+            for i in 0..self.active.len() {
+                let key = self.active[i];
+                let cap = self.flows.get(key).expect("live").spec.cap;
+                if self.flows.get(key).expect("live").rate != cap {
+                    self.retime(key, cap);
+                }
+            }
+        } else {
+            self.stats.full_recomputes += 1;
+            let flows = &self.flows;
+            self.arbiter.allocate(
+                &self.capacities,
+                self.active
+                    .iter()
+                    .map(|&k| &flows.get(k).expect("live").spec),
+                &mut self.rates_scratch,
+            );
+            for i in 0..self.active.len() {
+                let key = self.active[i];
+                let r = self.rates_scratch[i];
+                if self.flows.get(key).expect("live").rate != r {
+                    self.retime(key, r);
+                }
+            }
+        }
+    }
+
+    /// Give a flow a new rate: integrate progress under the old rate, then
+    /// invalidate its outstanding drain prediction and push a new one.
+    fn retime(&mut self, key: Key, rate: f64) {
+        debug_assert!(rate > 0.0, "validated ops always get positive rates");
+        self.materialize(key);
+        let f = self.flows.get_mut(key).expect("live");
+        f.rate = rate;
+        f.pred = f.pred.wrapping_add(1);
+        let pred = f.pred;
+        let dt = (f.remaining / rate).max(0.0);
+        let time = self.now + dt;
+        self.push_event(time, EventKind::Drain { key, pred });
+    }
+
+    /// Charge a flow's progress (and served-byte counters) for the span
+    /// since its last sync. Rates are piecewise-constant, so this is exact.
+    fn materialize(&mut self, key: Key) {
+        let f = self.flows.get_mut(key).expect("live");
+        let dt = self.now - f.last_sync;
+        if dt > 0.0 && f.rate > 0.0 {
+            f.remaining -= f.rate * dt;
+            for &(res, coeff) in &f.spec.demand {
+                self.report.served_bytes[res] += f.rate * coeff * dt;
+            }
+        }
+        f.last_sync = self.now;
+    }
+
+    fn is_valid(&self, ev: &Event) -> bool {
+        match ev.kind {
+            EventKind::Expiry { .. } => true,
+            EventKind::Drain { key, pred } => self.flows.get(key).is_some_and(|f| f.pred == pred),
+        }
+    }
+
+    fn process(&mut self, ev: Event) {
+        match ev.kind {
+            EventKind::Expiry { op, started_at } => {
+                self.pending_delays -= 1;
+                let t = self.prog.ops()[op].thread.0;
+                self.busy[t] = false;
+                self.runnable.insert(t);
+                self.complete(op, started_at);
+            }
+            EventKind::Drain { key, .. } => {
+                self.materialize(key);
+                let f = self.flows.get(key).expect("valid drain implies live");
+                if f.remaining > EPS_BYTES {
+                    // The event was coalesced slightly ahead of this flow's
+                    // true drain; reschedule at the residual (matches the
+                    // reference loop, which only completes flows within
+                    // EPS_BYTES of done).
+                    let dt = f.remaining / f.rate;
+                    let f = self.flows.get_mut(key).expect("live");
+                    f.pred = f.pred.wrapping_add(1);
+                    let pred = f.pred;
+                    let time = self.now + dt;
+                    self.push_event(time, EventKind::Drain { key, pred });
+                    return;
+                }
+                let f = self.flows.remove(key).expect("live");
+                let pos = f.active_pos;
+                self.active.swap_remove(pos);
+                if let Some(&moved) = self.active.get(pos) {
+                    self.flows.get_mut(moved).expect("live").active_pos = pos;
+                }
+                self.rates_dirty = true;
+                if f.penalty_after > 0.0 {
+                    // Thread stays busy through the serial penalty tail.
+                    self.push_event(
+                        self.now + f.penalty_after,
+                        EventKind::Expiry {
+                            op: f.op,
+                            started_at: f.started_at,
+                        },
+                    );
+                    self.pending_delays += 1;
+                } else {
+                    let t = self.prog.ops()[f.op].thread.0;
+                    self.busy[t] = false;
+                    self.runnable.insert(t);
+                    self.complete(f.op, f.started_at);
+                }
+            }
+        }
+    }
+
+    /// Mark an op done: bump counters, record the trace, release dependents
+    /// and enqueue their threads on the ready worklist.
+    fn complete(&mut self, op: usize, started_at: f64) {
+        debug_assert!(!self.done[op]);
+        self.done[op] = true;
+        self.completed += 1;
+        self.report.ops_executed += 1;
+        self.report.thread_busy += self.now - started_at;
+        record(&mut self.trace, self.prog, op, started_at, self.now);
+        for i in 0..self.dependents[op].len() {
+            let d = self.dependents[op][i];
+            self.remaining_deps[d] -= 1;
+            if self.remaining_deps[d] == 0 {
+                self.dep_ready[d] = true;
+                self.runnable.insert(self.prog.ops()[d].thread.0);
+            }
+        }
+    }
+
+    /// Record the bus-utilization segment for the span `[now, end)` under
+    /// the current (piecewise-constant) rates. Only runs when tracing.
+    fn record_span(&mut self, end: f64) {
+        if self.trace.is_none() {
+            return;
+        }
+        let mut used = [0.0f64; 2];
+        for &key in &self.active {
+            let f = self.flows.get(key).expect("live");
+            for &(res, coeff) in &f.spec.demand {
+                used[res] += f.rate * coeff;
+            }
+        }
+        let seg = BusSegment {
+            start: self.now,
+            end,
+            ddr: (used[DDR] / self.capacities[DDR]).min(1.0),
+            mcdram: (used[MCD] / self.capacities[MCD]).min(1.0),
+        };
+        self.trace.as_mut().expect("checked above").record_bus(seg);
+    }
+
+    fn push_event(&mut self, time: f64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event { time, seq, kind }));
+        if self.heap.len() > self.stats.heap_peak {
+            self.stats.heap_peak = self.heap.len();
+        }
+    }
+}
+
+/// Diagnostics for a deadlock: the first few unfinished ops with their
+/// thread and unmet dependencies.
+pub(crate) fn stuck_ops(prog: &Program, done: &[bool]) -> Vec<StuckOp> {
+    prog.ops()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| !done[i])
+        .take(8)
+        .map(|(i, op)| StuckOp {
+            op: i,
+            thread: op.thread.0,
+            label: op.label.clone(),
+            unmet_deps: op.deps.iter().map(|d| d.0).filter(|&d| !done[d]).collect(),
+        })
+        .collect()
+}
+
 /// Append a trace record if tracing is enabled.
-fn record(trace: &mut Option<Trace>, prog: &Program, op: usize, start: f64, end: f64) {
+pub(crate) fn record(trace: &mut Option<Trace>, prog: &Program, op: usize, start: f64, end: f64) {
     if let Some(tr) = trace.as_mut() {
         tr.ops.push(OpRecord {
             op,
@@ -485,7 +803,7 @@ fn record(trace: &mut Option<Trace>, prog: &Program, op: usize, start: f64, end:
 }
 
 #[inline]
-fn bump(t: &mut LevelTraffic, bytes: u64, write: bool) {
+pub(crate) fn bump(t: &mut LevelTraffic, bytes: u64, write: bool) {
     if write {
         t.written += bytes;
     } else {
@@ -494,7 +812,7 @@ fn bump(t: &mut LevelTraffic, bytes: u64, write: bool) {
 }
 
 /// Flow length in logical bytes for the rate cap to act on.
-fn spec_len(kind: &OpKind) -> f64 {
+pub(crate) fn spec_len(kind: &OpKind) -> f64 {
     match kind {
         OpKind::Copy { bytes, .. } => *bytes as f64,
         OpKind::Stream { accesses, .. } => accesses.iter().map(|a| a.bytes).sum::<u64>() as f64,
@@ -904,5 +1222,124 @@ mod tests {
         let a = sim.run(&p).unwrap();
         let b = sim.run(&p).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stuck_ops_name_thread_and_unmet_deps() {
+        // Validated programs cannot actually deadlock (deps are backward
+        // references, so the smallest unfinished op id is always startable);
+        // the Deadlock path is defensive. Exercise the diagnostic builder
+        // directly on a partially-done program.
+        let mut p = Program::new(2);
+        let gate = p.push(0, OpKind::Delay { seconds: 1.0 }, &[]);
+        let first = p.push_labeled(
+            1,
+            OpKind::Delay { seconds: 1.0 },
+            &[gate],
+            Some("front".into()),
+        );
+        let _second = p.push(1, OpKind::Delay { seconds: 1.0 }, &[first]);
+        let mut done = vec![false; p.ops().len()];
+        done[0] = true; // the gate completed; the rest is "stuck"
+        let stuck = stuck_ops(&p, &done);
+        assert_eq!(stuck.len(), 2);
+        assert_eq!(stuck[0].op, 1);
+        assert_eq!(stuck[0].thread, 1);
+        assert_eq!(stuck[0].label.as_deref(), Some("front"));
+        assert!(
+            stuck[0].unmet_deps.is_empty(),
+            "its only dep (gate) is done"
+        );
+        assert_eq!(stuck[1].unmet_deps, vec![1]);
+        let msg = SimError::Deadlock(stuck).to_string();
+        assert!(msg.contains("op 1") && msg.contains("thread 1"), "{msg}");
+        assert!(msg.contains("waiting on [1]"), "{msg}");
+    }
+
+    #[test]
+    fn same_timestamp_cascade_triggers_one_rate_epoch() {
+        // A delay expiry releases a zero-delay barrier cascade that starts
+        // four copies at the same instant: the engine must coalesce all of
+        // it into exactly one re-arbitration (the rate-epoch invariant).
+        let cfg = flat();
+        let mut p = Program::new(4);
+        let gate = p.push(0, OpKind::Delay { seconds: 1.0 }, &[]);
+        let bar = p.barrier(0..4, &[gate]);
+        for t in 0..4 {
+            p.push(
+                t,
+                OpKind::copy(Place::Ddr, Place::Mcdram, 1_000_000_000, 1.0 * GB),
+                &bar,
+            );
+        }
+        let (r, stats) = Simulator::new(cfg).run_stats(&p).unwrap();
+        assert!((r.makespan - 2.0).abs() < 1e-9, "makespan={}", r.makespan);
+        assert_eq!(
+            stats.rate_recomputes, 1,
+            "one epoch for the whole cascade: {stats:?}"
+        );
+        // 4 GB/s total demand < 10 GB/s DDR: the everyone-at-cap fast path.
+        assert_eq!(stats.full_recomputes, 0);
+        assert!(stats.instant_ops >= 4, "barrier ops complete inline");
+    }
+
+    #[test]
+    fn run_stats_matches_run() {
+        let cfg = flat();
+        let mut p = Program::new(8);
+        let mut prev = Vec::new();
+        for round in 0..5 {
+            let mut ids = Vec::new();
+            for t in 0..8 {
+                ids.push(p.push(
+                    t,
+                    OpKind::copy(
+                        Place::Ddr,
+                        Place::Mcdram,
+                        100_000_000 * (1 + (t as u64 + round) % 3),
+                        1.0 * GB,
+                    ),
+                    &prev,
+                ));
+            }
+            prev = p.barrier(0..8, &ids);
+        }
+        let sim = Simulator::new(cfg);
+        let plain = sim.run(&p).unwrap();
+        let (stats_report, stats) = sim.run_stats(&p).unwrap();
+        assert_eq!(plain, stats_report);
+        assert!(stats.events > 0);
+        assert!(stats.rate_recomputes >= 5, "at least one epoch per round");
+        assert!(stats.heap_peak >= 8);
+    }
+
+    #[test]
+    fn staggered_completions_invalidate_predictions_lazily() {
+        // 8 copies of different sizes on a saturated bus: every completion
+        // changes the survivors' rates, so their old drain predictions go
+        // stale in the heap rather than being rescheduled eagerly.
+        let cfg = flat();
+        let mut p = Program::new(8);
+        for t in 0..8 {
+            p.push(
+                t,
+                OpKind::copy(
+                    Place::Ddr,
+                    Place::Mcdram,
+                    500_000_000 * (t as u64 + 1),
+                    4.0 * GB, // 8*4 = 32 GB/s demand > 10 GB/s: saturated
+                ),
+                &[],
+            );
+        }
+        let (_, stats) = Simulator::new(cfg).run_stats(&p).unwrap();
+        assert!(
+            stats.stale_events > 0,
+            "rate changes must strand old predictions"
+        );
+        assert!(
+            stats.full_recomputes >= 1,
+            "saturated bus needs water-filling"
+        );
     }
 }

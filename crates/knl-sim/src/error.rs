@@ -2,6 +2,37 @@
 
 use std::fmt;
 
+/// One unfinished op in a [`SimError::Deadlock`] report: where it was
+/// scheduled and what it is still waiting for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StuckOp {
+    /// Op id within the program.
+    pub op: usize,
+    /// The thread the op was scheduled on.
+    pub thread: usize,
+    /// The op's label, when the program gave it one.
+    pub label: Option<String>,
+    /// Dependencies that never completed. Empty when the op's dependencies
+    /// are all satisfied but it is queued behind another stuck op on its
+    /// thread.
+    pub unmet_deps: Vec<usize>,
+}
+
+impl fmt::Display for StuckOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op {}", self.op)?;
+        if let Some(label) = &self.label {
+            write!(f, " ({label:?})")?;
+        }
+        write!(f, " on thread {}", self.thread)?;
+        if self.unmet_deps.is_empty() {
+            write!(f, " queued behind a stuck op")
+        } else {
+            write!(f, " waiting on {:?}", self.unmet_deps)
+        }
+    }
+}
+
 /// Errors produced while validating a machine configuration, building a
 /// program, or executing a simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -13,8 +44,9 @@ pub enum SimError {
     /// An op lists a dependency that does not exist (forward reference).
     BadDependency { op: usize, dep: usize },
     /// The program deadlocked: ops remain but none can become ready.
-    /// Carries the ids of the stuck ops (truncated to a handful).
-    Deadlock(Vec<usize>),
+    /// Carries per-op diagnostics for the stuck ops (truncated to a
+    /// handful), each naming its thread and unmet dependencies.
+    Deadlock(Vec<StuckOp>),
     /// An allocation request exceeded the capacity of a memory level.
     OutOfMemory {
         level: crate::machine::MemLevel,
@@ -45,7 +77,14 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::Deadlock(ops) => {
-                write!(f, "simulation deadlocked with unfinished ops {ops:?}")
+                write!(f, "simulation deadlocked with unfinished ops: ")?;
+                for (i, s) in ops.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                Ok(())
             }
             SimError::OutOfMemory {
                 level,
@@ -88,8 +127,29 @@ mod tests {
             available: 5,
         };
         assert!(e.to_string().contains("Mcdram"));
-        let e = SimError::Deadlock(vec![1, 2]);
-        assert!(e.to_string().contains("[1, 2]"));
+        let e = SimError::Deadlock(vec![
+            StuckOp {
+                op: 1,
+                thread: 3,
+                label: Some("merge".into()),
+                unmet_deps: vec![0],
+            },
+            StuckOp {
+                op: 2,
+                thread: 4,
+                label: None,
+                unmet_deps: vec![],
+            },
+        ]);
+        let msg = e.to_string();
+        assert!(msg.contains("op 1"), "{msg}");
+        assert!(msg.contains("\"merge\""), "{msg}");
+        assert!(msg.contains("thread 3"), "{msg}");
+        assert!(msg.contains("waiting on [0]"), "{msg}");
+        assert!(
+            msg.contains("op 2") && msg.contains("queued behind"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -53,11 +53,14 @@ pub mod engine;
 pub mod error;
 pub mod machine;
 pub mod ops;
+#[cfg(feature = "reference-engine")]
+mod reference;
 pub mod report;
+pub mod slab;
 pub mod trace;
 
-pub use engine::Simulator;
-pub use error::SimError;
+pub use engine::{EngineStats, Simulator};
+pub use error::{SimError, StuckOp};
 pub use machine::{MachineConfig, MemLevel, MemMode};
 pub use ops::{Access, OpId, OpKind, Place, Program, ThreadId};
 pub use report::SimReport;

@@ -1,0 +1,177 @@
+//! Generation-tagged slab arena for engine-internal objects.
+//!
+//! The event engine keeps its active flows in a [`Slab`]: insertion reuses
+//! freed slots (no per-flow heap allocation once the slab is warm) and every
+//! slot carries a *generation* counter that is bumped on removal. A
+//! [`Key`] therefore acts as a weak handle — stale references held by
+//! lazily-invalidated event-queue entries resolve to `None` instead of
+//! aliasing whatever object took over the slot.
+
+/// Weak handle to a slab slot: the slot index plus the generation the slot
+/// had when the value was inserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key {
+    slot: u32,
+    gen: u32,
+}
+
+impl Key {
+    /// The raw slot index; stable for the lifetime of the entry.
+    pub fn slot(&self) -> usize {
+        self.slot as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    gen: u32,
+    val: Option<T>,
+}
+
+/// A slab of `T` with generation-tagged keys. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty slab with room for `cap` entries before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab {
+            entries: Vec::with_capacity(cap),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `val`, reusing a freed slot when one exists.
+    pub fn insert(&mut self, val: T) -> Key {
+        self.len += 1;
+        if let Some(slot) = self.free.pop() {
+            let e = &mut self.entries[slot as usize];
+            debug_assert!(e.val.is_none());
+            e.val = Some(val);
+            Key { slot, gen: e.gen }
+        } else {
+            let slot = u32::try_from(self.entries.len()).expect("slab overflow");
+            self.entries.push(Entry {
+                gen: 0,
+                val: Some(val),
+            });
+            Key { slot, gen: 0 }
+        }
+    }
+
+    /// The value behind `key`, or `None` when it was removed (or the slot
+    /// was since reused by a newer generation).
+    pub fn get(&self, key: Key) -> Option<&T> {
+        let e = self.entries.get(key.slot as usize)?;
+        if e.gen != key.gen {
+            return None;
+        }
+        e.val.as_ref()
+    }
+
+    /// Mutable access; same staleness semantics as [`Self::get`].
+    pub fn get_mut(&mut self, key: Key) -> Option<&mut T> {
+        let e = self.entries.get_mut(key.slot as usize)?;
+        if e.gen != key.gen {
+            return None;
+        }
+        e.val.as_mut()
+    }
+
+    /// Remove and return the value behind `key`; stale keys return `None`.
+    /// The slot's generation is bumped so outstanding copies of `key` go
+    /// stale immediately.
+    pub fn remove(&mut self, key: Key) -> Option<T> {
+        let e = self.entries.get_mut(key.slot as usize)?;
+        if e.gen != key.gen {
+            return None;
+        }
+        let val = e.val.take()?;
+        e.gen = e.gen.wrapping_add(1);
+        self.free.push(key.slot);
+        self.len -= 1;
+        Some(val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.get(b), Some(&"b"));
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn stale_keys_never_alias_reused_slots() {
+        let mut s = Slab::with_capacity(4);
+        let a = s.insert(1u32);
+        s.remove(a);
+        let b = s.insert(2u32);
+        // `b` reuses `a`'s slot but with a bumped generation.
+        assert_eq!(b.slot(), a.slot());
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.get_mut(a), None);
+        assert_eq!(s.remove(a), None);
+        assert_eq!(s.get(b), Some(&2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn double_remove_is_a_noop() {
+        let mut s = Slab::new();
+        let a = s.insert(7i64);
+        assert_eq!(s.remove(a), Some(7));
+        assert_eq!(s.remove(a), None);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut s = Slab::new();
+        let keys: Vec<Key> = (0..8).map(|i| s.insert(i)).collect();
+        for k in &keys {
+            s.remove(*k);
+        }
+        for i in 0..8 {
+            s.insert(100 + i);
+        }
+        // All eight inserts reused freed slots: no growth past 8 entries.
+        assert_eq!(s.entries.len(), 8);
+        assert_eq!(s.len(), 8);
+    }
+}

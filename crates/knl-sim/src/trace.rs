@@ -59,6 +59,32 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Pre-size the record vectors for a program of `n_ops` ops: one op
+    /// record per op, and (as a heuristic upper bound before merging) one
+    /// bus segment per op. Large sweeps previously paid one reallocation
+    /// chain per trace; this makes recording append-only in the common
+    /// case.
+    pub fn reserve_for(&mut self, n_ops: usize) {
+        self.ops.reserve(n_ops);
+        self.bus.reserve(n_ops);
+    }
+
+    /// Append a bus-utilization segment, merging it into the previous
+    /// segment when the two are contiguous and have identical DDR and
+    /// MCDRAM utilization. Rate epochs frequently span many same-rate
+    /// inter-event gaps (delay expiries that change no flow), so merging
+    /// keeps traces of large sweeps proportional to the number of *rate
+    /// changes* rather than the number of events.
+    pub fn record_bus(&mut self, seg: BusSegment) {
+        if let Some(last) = self.bus.last_mut() {
+            if last.end == seg.start && last.ddr == seg.ddr && last.mcdram == seg.mcdram {
+                last.end = seg.end;
+                return;
+            }
+        }
+        self.bus.push(seg);
+    }
+
     /// Records executed by one thread, in start order.
     pub fn thread_ops(&self, thread: usize) -> Vec<&OpRecord> {
         let mut v: Vec<&OpRecord> = self.ops.iter().filter(|r| r.thread == thread).collect();
@@ -251,6 +277,36 @@ mod tests {
         // Out-of-range windows integrate to zero coverage.
         assert_eq!(t.bus_utilization(5.0, 6.0, true), 0.0);
         assert_eq!(t.bus_utilization(1.0, 1.0, true), 0.0);
+    }
+
+    #[test]
+    fn record_bus_merges_identical_adjacent_segments() {
+        let mut t = Trace::default();
+        let seg = |start: f64, end: f64, ddr: f64, mcdram: f64| BusSegment {
+            start,
+            end,
+            ddr,
+            mcdram,
+        };
+        t.record_bus(seg(0.0, 1.0, 0.5, 0.25));
+        t.record_bus(seg(1.0, 2.0, 0.5, 0.25)); // identical + contiguous: merged
+        assert_eq!(t.bus.len(), 1);
+        assert_eq!(t.bus[0].end, 2.0);
+        t.record_bus(seg(2.0, 3.0, 0.5, 0.75)); // different mcdram: kept
+        t.record_bus(seg(4.0, 5.0, 0.5, 0.75)); // gap (idle span): kept
+        assert_eq!(t.bus.len(), 3);
+        // Integrals are unaffected by merging.
+        assert!((t.bus_utilization(0.0, 2.0, true) - 0.5).abs() < 1e-12);
+        assert!((t.bus_utilization(0.0, 2.0, false) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reserve_for_is_harmless() {
+        let mut t = Trace::default();
+        t.reserve_for(1000);
+        assert!(t.ops.capacity() >= 1000);
+        assert!(t.bus.capacity() >= 1000);
+        assert_eq!(t.ops.len(), 0);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use knl_sim::bandwidth::{allocate_rates, FlowSpec};
 use knl_sim::machine::{MachineConfig, MemMode};
 use knl_sim::Simulator;
 use mlm_bench::experiments::simulate_sort;
+use mlm_bench::sim_bench::{build_program, Family};
 use mlm_core::merge_bench::{merge_bench_program, MergeBenchParams};
 use mlm_core::{Calibration, InputOrder, SortAlgorithm};
 use std::hint::black_box;
@@ -64,10 +65,29 @@ fn bench_merge_bench_run(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_engine_throughput(c: &mut Criterion) {
+    let sim = Simulator::new(MachineConfig::knl_7250(MemMode::Flat));
+    let mut g = c.benchmark_group("sim_engine_throughput");
+    g.sample_size(10);
+    for (family, threads, ops) in [
+        (Family::Fanout, 64, 100),
+        (Family::Pipeline, 48, 60),
+        (Family::BarrierStorm, 64, 100),
+    ] {
+        let prog = build_program(family, threads, ops);
+        let label = format!("{}-{}x{}", family.name(), threads, ops);
+        g.bench_function(&label, |b| {
+            b.iter(|| black_box(sim.run(black_box(&prog)).unwrap().makespan))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_water_filling,
     bench_table1_cell,
-    bench_merge_bench_run
+    bench_merge_bench_run,
+    bench_engine_throughput
 );
 criterion_main!(benches);

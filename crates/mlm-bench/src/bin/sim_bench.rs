@@ -1,0 +1,94 @@
+//! Event-engine throughput benchmark driver.
+//!
+//! Default mode runs the full scale grid (both engines) and writes
+//! `BENCH_sim_engine.json` to the current directory — run it from the
+//! repo root in release mode:
+//!
+//! ```text
+//! cargo run --release -p mlm-bench --bin sim_bench
+//! ```
+//!
+//! `--check` additionally compares the fresh numbers against the
+//! committed `BENCH_sim_engine.json` and prints a GitHub-style
+//! `::warning::` line for any scale whose optimized events/sec dropped by
+//! more than 20%. It always exits 0: perf drift on shared CI runners is
+//! a signal, not a gate.
+
+use std::collections::HashMap;
+use std::fs;
+use std::process::ExitCode;
+
+use mlm_bench::sim_bench::{run_all, BenchReport};
+
+const OUT: &str = "BENCH_sim_engine.json";
+/// Warn when a scale's optimized events/sec falls below this fraction of
+/// the committed baseline.
+const REGRESSION_FLOOR: f64 = 0.80;
+
+fn main() -> ExitCode {
+    let check = std::env::args().any(|a| a == "--check");
+
+    let baseline: Option<BenchReport> = if check {
+        match fs::read_to_string(OUT) {
+            Ok(text) => match serde_json::from_str(&text) {
+                Ok(report) => Some(report),
+                Err(e) => {
+                    println!("::warning::{OUT} is unreadable ({e}); skipping comparison");
+                    None
+                }
+            },
+            Err(_) => {
+                println!("::warning::no committed {OUT}; skipping comparison");
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    let report = run_all();
+
+    println!(
+        "{:<22} {:>9} {:>14} {:>14} {:>9}",
+        "scale", "events", "opt ev/s", "ref ev/s", "speedup"
+    );
+    for m in &report.scales {
+        println!(
+            "{:<22} {:>9} {:>14.0} {:>14.0} {:>8.2}x",
+            m.name, m.events, m.optimized_events_per_sec, m.reference_events_per_sec, m.speedup
+        );
+    }
+    println!(
+        "largest-scale speedup: {:.2}x (acceptance floor: 5x)",
+        report.largest_scale_speedup
+    );
+
+    if let Some(base) = baseline {
+        let old: HashMap<&str, f64> = base
+            .scales
+            .iter()
+            .map(|m| (m.name.as_str(), m.optimized_events_per_sec))
+            .collect();
+        for m in &report.scales {
+            if let Some(&prev) = old.get(m.name.as_str()) {
+                if prev > 0.0 && m.optimized_events_per_sec < REGRESSION_FLOOR * prev {
+                    println!(
+                        "::warning::sim_engine throughput regression at {}: \
+                         {:.0} events/sec vs baseline {:.0} ({:+.1}%)",
+                        m.name,
+                        m.optimized_events_per_sec,
+                        prev,
+                        100.0 * (m.optimized_events_per_sec / prev - 1.0)
+                    );
+                }
+            }
+        }
+        // Check mode never rewrites the committed baseline.
+        return ExitCode::SUCCESS;
+    }
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    fs::write(OUT, json + "\n").expect("write BENCH_sim_engine.json");
+    println!("wrote {OUT}");
+    ExitCode::SUCCESS
+}

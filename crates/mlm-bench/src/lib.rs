@@ -22,6 +22,7 @@ pub mod experiments;
 pub mod paper;
 pub mod report;
 pub mod serving;
+pub mod sim_bench;
 pub mod verify;
 
 /// Number of simulated hardware threads the paper's runs used.

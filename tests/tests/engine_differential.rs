@@ -1,0 +1,197 @@
+//! Differential property tests: the optimized event-queue engine must be
+//! observationally identical to the preserved naive reference loop
+//! (`reference-engine` feature) on arbitrary mixed programs — completion
+//! times, served bytes, and bus-utilization integrals within 1e-9
+//! relative, and cache statistics bit-for-bit (cache-mode results depend
+//! on op *start order*, so exact equality here proves the ready worklist
+//! replays the naive scan order).
+
+use knl_sim::machine::{MachineConfig, MemMode};
+use knl_sim::ops::{Access, OpKind, Place, Program};
+use knl_sim::{Simulator, Trace, GB};
+use proptest::prelude::*;
+
+/// One op's worth of generator decisions. Everything is quantized so
+/// failures reproduce exactly and caps stay ≥ 5e8 B/s (far above the
+/// naive loop's EPS_BYTES completion window).
+#[derive(Debug, Clone, Copy)]
+struct OpSeed {
+    thread: usize,
+    kind: u8,
+    size: u8,
+    cap: u8,
+    link: u8,
+    barrier: u8,
+}
+
+fn op_seed() -> impl Strategy<Value = OpSeed> {
+    (0..8usize, 0..5u8, 0..32u8, 0..4u8, 0..8u8, 0..16u8).prop_map(
+        |(thread, kind, size, cap, link, barrier)| OpSeed {
+            thread,
+            kind,
+            size,
+            cap,
+            link,
+            barrier,
+        },
+    )
+}
+
+/// Deterministically expand seeds into a validated program: mixed
+/// copies, cached-DDR streams, delays (including zero-delay instants),
+/// sparse backward dependencies, and occasional all-thread barriers.
+///
+/// `mode` picks the scratch target: flat/hybrid machines address MCDRAM
+/// directly, while in cache mode all of MCDRAM is cache, so scratch
+/// traffic goes through `CachedDdr` ranges instead.
+fn build(threads: usize, seeds: &[OpSeed], mode: MemMode) -> Program {
+    let mut p = Program::new(threads);
+    let mut all = Vec::new();
+    for s in seeds {
+        let t = s.thread % threads;
+        let bytes = 16_000_000 * (1 + s.size as u64);
+        let cap = [0.5, 1.0, 2.4, 4.8][s.cap as usize % 4] * GB;
+        let scratch = if mode.has_flat() {
+            Place::Mcdram
+        } else {
+            Place::CachedDdr {
+                addr: 32_000_000_000 + s.cap as u64 * 1_000_000_000,
+            }
+        };
+        let kind = match s.kind % 5 {
+            0 => OpKind::copy(Place::Ddr, scratch, bytes, cap),
+            1 => OpKind::copy(scratch, Place::Ddr, bytes, cap),
+            2 => OpKind::Stream {
+                accesses: vec![
+                    Access::read(
+                        Place::CachedDdr {
+                            addr: s.size as u64 * 64_000_000,
+                        },
+                        bytes,
+                    ),
+                    Access::write(scratch, bytes),
+                ],
+                rate_cap: cap,
+            },
+            3 => OpKind::Delay {
+                seconds: 1e-4 * (s.size % 8) as f64,
+            },
+            _ => OpKind::inplace_pass(scratch, bytes, cap),
+        };
+        let deps = if s.link > 4 && !all.is_empty() {
+            vec![all[(s.link as usize * 7919) % all.len()]]
+        } else {
+            Vec::new()
+        };
+        let id = p.push(t, kind, &deps);
+        all.push(id);
+        if s.barrier == 0 {
+            all.extend(p.barrier(0..threads, &[id]));
+        }
+    }
+    p
+}
+
+/// Piecewise-constant integrals of the two bus-utilization timelines.
+/// The optimized engine merges adjacent identical segments and the naive
+/// loop does not, so raw segment lists differ by construction — the
+/// integral is the representation-independent comparison.
+fn bus_integrals(t: &Trace) -> (f64, f64) {
+    t.bus.iter().fold((0.0, 0.0), |(d, m), s| {
+        let dt = s.end - s.start;
+        (d + s.ddr * dt, m + s.mcdram * dt)
+    })
+}
+
+fn assert_engines_agree(prog: &Program, mode: MemMode) {
+    let sim = Simulator::new(MachineConfig::knl_7250(mode));
+    let (fast, fast_tr) = sim.run_traced(prog).expect("optimized engine");
+    let (slow, slow_tr) = sim.run_traced_reference(prog).expect("reference engine");
+
+    let tol = 1e-9 * slow.makespan.abs().max(1.0);
+    prop_assert!(
+        (fast.makespan - slow.makespan).abs() <= tol,
+        "makespan: fast={} slow={}",
+        fast.makespan,
+        slow.makespan
+    );
+    prop_assert_eq!(fast.ops_executed, slow.ops_executed);
+    prop_assert_eq!(fast.cache, slow.cache, "cache stats must match exactly");
+
+    for lvl in 0..2 {
+        let s = slow.served_bytes[lvl];
+        prop_assert!(
+            (fast.served_bytes[lvl] - s).abs() <= 1e-9 * s.abs().max(1.0),
+            "served_bytes[{}]: fast={} slow={}",
+            lvl,
+            fast.served_bytes[lvl],
+            s
+        );
+    }
+
+    // Per-op completion records, matched by op id.
+    let mut fast_ops = fast_tr.ops.clone();
+    let mut slow_ops = slow_tr.ops.clone();
+    fast_ops.sort_by_key(|r| r.op);
+    slow_ops.sort_by_key(|r| r.op);
+    prop_assert_eq!(fast_ops.len(), slow_ops.len());
+    for (f, s) in fast_ops.iter().zip(&slow_ops) {
+        prop_assert_eq!(f.op, s.op);
+        prop_assert_eq!(f.thread, s.thread);
+        prop_assert!(
+            (f.start - s.start).abs() <= tol && (f.end - s.end).abs() <= tol,
+            "op {}: fast=[{}, {}] slow=[{}, {}]",
+            f.op,
+            f.start,
+            f.end,
+            s.start,
+            s.end
+        );
+    }
+
+    let (fd, fm) = bus_integrals(&fast_tr);
+    let (sd, sm) = bus_integrals(&slow_tr);
+    prop_assert!(
+        (fd - sd).abs() <= 1e-9 * sd.abs().max(1.0),
+        "ddr bus integral: fast={fd} slow={sd}"
+    );
+    prop_assert!(
+        (fm - sm).abs() <= 1e-9 * sm.abs().max(1.0),
+        "mcdram bus integral: fast={fm} slow={sm}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimized_engine_equals_reference_flat(
+        threads in 1usize..7,
+        seeds in proptest::collection::vec(op_seed(), 1..40),
+    ) {
+        let prog = build(threads, &seeds, MemMode::Flat);
+        prog.validate().expect("generated programs are valid");
+        assert_engines_agree(&prog, MemMode::Flat);
+    }
+
+    #[test]
+    fn optimized_engine_equals_reference_cache(
+        threads in 1usize..7,
+        seeds in proptest::collection::vec(op_seed(), 1..40),
+    ) {
+        let prog = build(threads, &seeds, MemMode::Cache);
+        prog.validate().expect("generated programs are valid");
+        assert_engines_agree(&prog, MemMode::Cache);
+    }
+
+    #[test]
+    fn optimized_engine_equals_reference_hybrid(
+        threads in 1usize..7,
+        seeds in proptest::collection::vec(op_seed(), 1..24),
+    ) {
+        let mode = MemMode::Hybrid { cache_fraction: 0.5 };
+        let prog = build(threads, &seeds, mode);
+        prog.validate().expect("generated programs are valid");
+        assert_engines_agree(&prog, mode);
+    }
+}
