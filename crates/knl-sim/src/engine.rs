@@ -40,7 +40,7 @@
 //! identical — there is no randomness and no dependence on host timing.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use crate::bandwidth::{Arbiter, FlowSpec};
 use crate::cache::DirectMappedCache;
@@ -351,6 +351,90 @@ impl Simulator {
     }
 }
 
+/// A shared dependency countdown for all ops whose dep lists are
+/// identical — one barrier wave, one counter (see `Engine::new`).
+///
+/// The first member is inline so the overwhelmingly common singleton
+/// group (chains, pipelines: unique dep lists) costs no allocation —
+/// `Vec::new()` never touches the heap.
+struct JoinGroup {
+    /// Uncompleted deps; members wake when this reaches zero.
+    remaining: usize,
+    /// The first op gated on this dep list.
+    first: u32,
+    /// Any further ops sharing the identical dep list (barrier waves).
+    rest: Vec<u32>,
+}
+
+/// Word-bitset worklist of thread indices.
+///
+/// Barrier-storm programs are ~100% instant ops: every zero-delay
+/// completion costs one worklist insert and one pop, and the `BTreeSet`
+/// this replaces paid pointer-chasing node traversals for each — the
+/// whole of the 0.87× regression at `barrier-storm-64x100`. Here insert
+/// is one OR and pop is a `trailing_zeros` scan over a handful of words,
+/// while reproducing the exact BTreeSet drain order: first set bit at or
+/// after the cursor, wrapping to the global minimum.
+struct ThreadSet {
+    words: Vec<u64>,
+}
+
+impl ThreadSet {
+    /// The full set `{0, .., n-1}`.
+    fn full(n: usize) -> Self {
+        let nw = n.div_ceil(64);
+        let mut words = vec![!0u64; nw];
+        let used = n - (nw.saturating_sub(1)) * 64;
+        if used < 64 {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << used) - 1;
+            }
+        }
+        ThreadSet { words }
+    }
+
+    #[inline]
+    fn insert(&mut self, t: usize) {
+        self.words[t >> 6] |= 1u64 << (t & 63);
+    }
+
+    /// Remove and return the first element `>= cur`, wrapping to the
+    /// smallest element if none — the ascending-with-wraparound order the
+    /// reference loop's fixed-point rescan realizes.
+    #[inline]
+    fn pop_wrapping(&mut self, cur: usize) -> Option<usize> {
+        let nw = self.words.len();
+        let w0 = cur >> 6;
+        if w0 < nw {
+            let masked = self.words[w0] & (!0u64 << (cur & 63));
+            if masked != 0 {
+                return Some(self.take(w0, masked));
+            }
+            for w in w0 + 1..nw {
+                if self.words[w] != 0 {
+                    let m = self.words[w];
+                    return Some(self.take(w, m));
+                }
+            }
+        }
+        for w in 0..nw.min(w0 + 1) {
+            if self.words[w] != 0 {
+                let m = self.words[w];
+                return Some(self.take(w, m));
+            }
+        }
+        None
+    }
+
+    /// Clear and return the lowest bit of `mask` within word `w`.
+    #[inline]
+    fn take(&mut self, w: usize, mask: u64) -> usize {
+        let b = mask.trailing_zeros() as usize;
+        self.words[w] &= !(1u64 << b);
+        (w << 6) | b
+    }
+}
+
 /// One in-flight simulation: all engine state for a single `run`.
 struct Engine<'p> {
     sim: &'p Simulator,
@@ -360,14 +444,19 @@ struct Engine<'p> {
 
     // Program scheduling state.
     queues: Vec<VecDeque<usize>>,
-    remaining_deps: Vec<usize>,
-    dependents: Vec<Vec<usize>>,
+    /// Per op, the join groups it feeds (one entry per dep-list occurrence).
+    dependents: Vec<Vec<u32>>,
+    /// Shared countdowns, one per distinct dep list (see `Engine::new`).
+    groups: Vec<JoinGroup>,
+    /// Dense op → thread map; `Op` structs carry their dep vectors, so
+    /// waking dependents through them costs a cache miss per edge.
+    thread_of: Vec<u32>,
     done: Vec<bool>,
     dep_ready: Vec<bool>,
     busy: Vec<bool>,
     completed: usize,
     /// Threads whose front op may have become startable.
-    runnable: BTreeSet<usize>,
+    runnable: ThreadSet,
 
     // Event core.
     now: f64,
@@ -405,29 +494,69 @@ impl<'p> Engine<'p> {
             None
         };
         let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); prog.threads()];
-        let mut remaining_deps = vec![0usize; n_ops];
-        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_ops];
-        for (i, op) in prog.ops().iter().enumerate() {
-            queues[op.thread.0].push_back(i);
-            remaining_deps[i] = op.deps.len();
-            for d in &op.deps {
-                dependents[d.0].push(i);
+        // Join-group dependency tracking: ops sharing an identical dep
+        // list (every member of a barrier wave) share ONE countdown, so a
+        // B-wide barrier costs B decrements + B wakes instead of B×B edge
+        // updates. The group counter reaches zero at exactly the event the
+        // last per-op counter would have, so wake times — and therefore
+        // drain order — are bit-identical to per-op accounting.
+        let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n_ops];
+        let mut groups: Vec<JoinGroup> = Vec::new();
+        let mut dep_ready: Vec<bool> = vec![false; n_ops];
+        {
+            let mut by_deps: HashMap<&[crate::ops::OpId], u32> = HashMap::new();
+            for (i, op) in prog.ops().iter().enumerate() {
+                queues[op.thread.0].push_back(i);
+                match op.deps.as_slice() {
+                    [] => dep_ready[i] = true,
+                    // Single-dep ops (chains, pipelines) get their own
+                    // group without paying for hashing; sharing would only
+                    // save a counter, and the lookup costs more than it.
+                    [d] => {
+                        let id = groups.len() as u32;
+                        groups.push(JoinGroup {
+                            remaining: 1,
+                            first: i as u32,
+                            rest: Vec::new(),
+                        });
+                        dependents[d.0].push(id);
+                    }
+                    deps => {
+                        let mut created = false;
+                        let g = *by_deps.entry(deps).or_insert_with(|| {
+                            created = true;
+                            let id = groups.len() as u32;
+                            groups.push(JoinGroup {
+                                remaining: deps.len(),
+                                first: i as u32,
+                                rest: Vec::new(),
+                            });
+                            for d in deps {
+                                dependents[d.0].push(id);
+                            }
+                            id
+                        });
+                        if !created {
+                            groups[g as usize].rest.push(i as u32);
+                        }
+                    }
+                }
             }
         }
-        let dep_ready: Vec<bool> = remaining_deps.iter().map(|&d| d == 0).collect();
         Engine {
             sim,
             prog,
             capacities: [sim.cfg.ddr_bandwidth, sim.cfg.effective_mcdram_bandwidth()],
             cache,
             queues,
-            remaining_deps,
             dependents,
+            groups,
+            thread_of: prog.ops().iter().map(|op| op.thread.0 as u32).collect(),
             done: vec![false; n_ops],
             dep_ready,
             busy: vec![false; prog.threads()],
             completed: 0,
-            runnable: (0..prog.threads()).collect(),
+            runnable: ThreadSet::full(prog.threads()),
             now: 0.0,
             flows: Slab::with_capacity(prog.threads().min(1024)),
             active: Vec::with_capacity(prog.threads().min(1024)),
@@ -519,14 +648,7 @@ impl<'p> Engine<'p> {
         let prog = self.prog;
         let sim = self.sim;
         let mut cur = 0usize;
-        while let Some(t) = self
-            .runnable
-            .range(cur..)
-            .next()
-            .or_else(|| self.runnable.iter().next())
-            .copied()
-        {
-            self.runnable.remove(&t);
+        while let Some(t) = self.runnable.pop_wrapping(cur) {
             cur = t + 1;
             while !self.busy[t] {
                 let Some(&front) = self.queues[t].front() else {
@@ -730,14 +852,29 @@ impl<'p> Engine<'p> {
         self.report.ops_executed += 1;
         self.report.thread_busy += self.now - started_at;
         record(&mut self.trace, self.prog, op, started_at, self.now);
-        for i in 0..self.dependents[op].len() {
-            let d = self.dependents[op][i];
-            self.remaining_deps[d] -= 1;
-            if self.remaining_deps[d] == 0 {
-                self.dep_ready[d] = true;
-                self.runnable.insert(self.prog.ops()[d].thread.0);
+        // Barrier-heavy programs have far more edges than ops, so this loop
+        // dominates. Take the list out to iterate borrow-free (an op
+        // completes exactly once); one decrement per join group, and when
+        // a group drains every member of the wave wakes at once.
+        let dependents = std::mem::take(&mut self.dependents[op]);
+        for &g in &dependents {
+            let grp = &mut self.groups[g as usize];
+            grp.remaining -= 1;
+            if grp.remaining == 0 {
+                let first = grp.first as usize;
+                // A group drains exactly once; take the wave out to walk
+                // it without re-borrowing.
+                let rest = std::mem::take(&mut grp.rest);
+                self.dep_ready[first] = true;
+                self.runnable.insert(self.thread_of[first] as usize);
+                for &m in &rest {
+                    self.dep_ready[m as usize] = true;
+                    self.runnable.insert(self.thread_of[m as usize] as usize);
+                }
+                self.groups[g as usize].rest = rest;
             }
         }
+        self.dependents[op] = dependents;
     }
 
     /// Record the bus-utilization segment for the span `[now, end)` under

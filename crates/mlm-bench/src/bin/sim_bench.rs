@@ -8,11 +8,16 @@
 //! cargo run --release -p mlm-bench --bin sim_bench
 //! ```
 //!
-//! `--check` additionally compares the fresh numbers against the
-//! committed `BENCH_sim_engine.json` and prints a GitHub-style
-//! `::warning::` line for any scale whose optimized events/sec dropped by
-//! more than 20%. It always exits 0: perf drift on shared CI runners is
-//! a signal, not a gate.
+//! `--check` compares the fresh numbers against the committed
+//! `BENCH_sim_engine.json` at two severities:
+//!
+//! * **hard failure** (nonzero exit, `::error::`) when any *family*'s
+//!   optimized-vs-reference speedup falls below 1.0× — the optimized
+//!   engine must never be slower than the naive loop it replaced (this
+//!   locks in the barrier-storm fix);
+//! * **warning** (`::warning::`, exit 0) when a scale's optimized
+//!   events/sec drifts more than 20% below the committed baseline — perf
+//!   drift on shared CI runners is a signal, not a gate.
 
 use std::collections::HashMap;
 use std::fs;
@@ -62,6 +67,31 @@ fn main() -> ExitCode {
         "largest-scale speedup: {:.2}x (acceptance floor: 5x)",
         report.largest_scale_speedup
     );
+
+    if check {
+        // Per-family floor: every scale of every family must hold >= 1.0x
+        // over the reference engine, on the fresh measurement.
+        let mut family_min: HashMap<String, f64> = HashMap::new();
+        for m in &report.scales {
+            let e = family_min.entry(m.family.clone()).or_insert(f64::INFINITY);
+            *e = e.min(m.speedup);
+        }
+        let mut families: Vec<_> = family_min.into_iter().collect();
+        families.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut failed = false;
+        for (fam, min) in families {
+            if min < 1.0 {
+                failed = true;
+                println!(
+                    "::error::family {fam}: optimized engine is SLOWER than the \
+                     reference ({min:.2}x < 1.0x)"
+                );
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+    }
 
     if let Some(base) = baseline {
         let old: HashMap<&str, f64> = base

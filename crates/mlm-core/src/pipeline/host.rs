@@ -233,6 +233,7 @@ where
             };
             move || {
                 let t0 = Instant::now();
+                super::fault::maybe_panic_compute(ctx.chunk);
                 kernel(slice, ctx);
                 busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
@@ -388,6 +389,7 @@ where
                         let kernel = self.kernel;
                         tasks.push(Box::new(move || {
                             let t0 = Instant::now();
+                            super::fault::maybe_panic_compute(ctx.chunk);
                             kernel(head, ctx);
                             busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         }));
@@ -564,7 +566,10 @@ where
                         thread: t,
                         global_offset: lo + ss,
                     };
-                    tasks.push(Box::new(move || kernel(head, ctx)));
+                    tasks.push(Box::new(move || {
+                        super::fault::maybe_panic_compute(ctx.chunk);
+                        kernel(head, ctx)
+                    }));
                 }
                 pools.compute.scoped(tasks);
                 slot.publish(Phase::Computed, a.chunk);

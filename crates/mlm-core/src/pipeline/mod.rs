@@ -19,6 +19,7 @@
 //! layer shares one vocabulary) and are re-exported here for existing
 //! callers.
 
+pub mod fault;
 pub mod host;
 pub mod sim;
 

@@ -7,6 +7,7 @@
 //! the primitive actions.
 
 use crate::backend::{Backend, ChunkAction, Stage};
+use crate::error::DriveError;
 use crate::placement::Placement;
 use crate::spec::PipelineSpec;
 
@@ -30,16 +31,18 @@ pub const RING_SLOTS: usize = 3;
 ///   through the cache).
 ///
 /// Returns an error without issuing any work if the spec fails
-/// validation or asks for a placement outside the backend's
-/// [`Capabilities`](crate::placement::Capabilities).
-pub fn drive<B: Backend>(backend: &mut B, spec: &PipelineSpec) -> Result<(), String> {
-    spec.validate()?;
+/// validation ([`DriveError::Spec`]) or asks for a placement outside the
+/// backend's [`Capabilities`](crate::placement::Capabilities)
+/// ([`DriveError::Capability`]); mid-walk dependency bookkeeping failures
+/// surface as [`DriveError::Protocol`] and a failing backend `finish` as
+/// [`DriveError::Backend`].
+pub fn drive<B: Backend>(backend: &mut B, spec: &PipelineSpec) -> Result<(), DriveError> {
+    spec.validate().map_err(DriveError::Spec)?;
     if !backend.capabilities().supports(spec.placement) {
-        return Err(format!(
-            "backend cannot execute {:?} placement (capabilities {:?})",
-            spec.placement,
-            backend.capabilities()
-        ));
+        return Err(DriveError::Capability {
+            placement: spec.placement,
+            capabilities: backend.capabilities(),
+        });
     }
     let n = spec.n_chunks();
 
@@ -55,7 +58,7 @@ pub fn drive<B: Backend>(backend: &mut B, spec: &PipelineSpec) -> Result<(), Str
             let t = backend.issue(spec, action, &deps);
             barrier = Some(backend.step_barrier(spec, &[t]));
         }
-        return backend.finish(spec);
+        return backend.finish(spec).map_err(DriveError::Backend);
     }
 
     let mut copyin: Vec<Option<B::Token>> = vec![None; n];
@@ -74,7 +77,16 @@ pub fn drive<B: Backend>(backend: &mut B, spec: &PipelineSpec) -> Result<(), Str
             } else if s >= RING_SLOTS {
                 // Buffer recycling: slot s % RING_SLOTS is free once chunk
                 // s - RING_SLOTS has been drained.
-                vec![copyout[s - RING_SLOTS].clone().expect("copy-out issued")]
+                vec![copyout[s - RING_SLOTS]
+                    .clone()
+                    .ok_or_else(|| DriveError::Protocol {
+                        op: Stage::CopyIn,
+                        chunk: s,
+                        detail: format!(
+                            "copy-out of chunk {} never produced a recycling token",
+                            s - RING_SLOTS
+                        ),
+                    })?]
             } else {
                 Vec::new()
             };
@@ -94,7 +106,11 @@ pub fn drive<B: Backend>(backend: &mut B, spec: &PipelineSpec) -> Result<(), Str
             let deps: Vec<B::Token> = if spec.lockstep {
                 barrier_deps(&step_barrier)
             } else {
-                vec![copyin[c].clone().expect("copy-in issued")]
+                vec![copyin[c].clone().ok_or_else(|| DriveError::Protocol {
+                    op: Stage::Compute,
+                    chunk: c,
+                    detail: "copy-in of this chunk never produced a token".into(),
+                })?]
             };
             let action = ChunkAction {
                 stage: Stage::Compute,
@@ -112,7 +128,11 @@ pub fn drive<B: Backend>(backend: &mut B, spec: &PipelineSpec) -> Result<(), Str
             let deps: Vec<B::Token> = if spec.lockstep {
                 barrier_deps(&step_barrier)
             } else {
-                vec![compute[c].clone().expect("compute issued")]
+                vec![compute[c].clone().ok_or_else(|| DriveError::Protocol {
+                    op: Stage::CopyOut,
+                    chunk: c,
+                    detail: "compute on this chunk never produced a token".into(),
+                })?]
             };
             let action = ChunkAction {
                 stage: Stage::CopyOut,
@@ -129,7 +149,7 @@ pub fn drive<B: Backend>(backend: &mut B, spec: &PipelineSpec) -> Result<(), Str
         }
     }
 
-    backend.finish(spec)
+    backend.finish(spec).map_err(DriveError::Backend)
 }
 
 #[cfg(test)]
@@ -246,7 +266,10 @@ mod tests {
         let s = spec(4, true, Placement::Hbw);
         let mut b = Probe::new(Capabilities::cache_mode());
         let err = drive(&mut b, &s).unwrap_err();
-        assert!(err.contains("Hbw"), "{err}");
+        assert!(
+            matches!(err, DriveError::Capability { placement, .. } if placement == Placement::Hbw),
+            "{err}"
+        );
         assert!(b.issued.is_empty());
         assert!(!b.finished);
     }

@@ -1,0 +1,112 @@
+//! Structured errors for the orchestrator.
+//!
+//! [`drive`](crate::drive) used to signal every failure as a bare `String`
+//! and to `panic!` (via `.expect`) when its own bookkeeping looked
+//! inconsistent mid-walk. Panics are the wrong surface for a fuzzing
+//! backend: a seed that provokes a protocol violation should come back as
+//! a value the harness can attach to the seed and shrink, not abort the
+//! process. [`DriveError`] is that value.
+//!
+//! What stays a panic (deliberately): violations of *spec-validated*
+//! invariants inside backends — e.g. the lockstep host's "at most one
+//! action per ring slot per step", which `drive` guarantees for every spec
+//! that passes [`PipelineSpec::validate`](crate::PipelineSpec::validate).
+//! Those cannot be provoked by a misbehaving backend, only by a bug in the
+//! orchestrator itself, and a loud abort is the honest report.
+
+use std::fmt;
+
+use crate::backend::Stage;
+use crate::placement::{Capabilities, Placement};
+
+/// A failure while driving the chunk schedule over a backend.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriveError {
+    /// The spec failed [`validate`](crate::PipelineSpec::validate); no work
+    /// was issued.
+    Spec(String),
+    /// The backend cannot execute the spec's placement; no work was issued.
+    Capability {
+        /// The placement the spec asked for.
+        placement: Placement,
+        /// What the backend offers.
+        capabilities: Capabilities,
+    },
+    /// The orchestrator's dependency bookkeeping was violated mid-walk: an
+    /// action needed a token that was never produced. With a conforming
+    /// backend this is unreachable; a fuzzing or otherwise misbehaving
+    /// backend surfaces here instead of panicking.
+    Protocol {
+        /// The stage whose dependency was missing.
+        op: Stage,
+        /// The chunk the missing token belongs to.
+        chunk: usize,
+        /// What was expected and was not there.
+        detail: String,
+    },
+    /// The backend's own `finish` failed (e.g. a simulated deadlock, a
+    /// poisoned buffer ring, or a fuzzing backend reporting a finding).
+    Backend(String),
+}
+
+impl fmt::Display for DriveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriveError::Spec(msg) => write!(f, "invalid spec: {msg}"),
+            DriveError::Capability {
+                placement,
+                capabilities,
+            } => write!(
+                f,
+                "backend cannot execute {placement:?} placement (capabilities {capabilities:?})"
+            ),
+            DriveError::Protocol { op, chunk, detail } => write!(
+                f,
+                "schedule protocol violation at {op:?} of chunk {chunk}: {detail}"
+            ),
+            DriveError::Backend(msg) => write!(f, "backend failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DriveError {}
+
+// The pre-DriveError signature was `Result<(), String>`; adapters that
+// still speak String errors (`build_program`, `?` in Result<_, String>
+// functions) convert losslessly through Display.
+impl From<DriveError> for String {
+    fn from(e: DriveError) -> String {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = DriveError::Protocol {
+            op: Stage::CopyIn,
+            chunk: 7,
+            detail: "copy-out of chunk 4 never produced a token".into(),
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("CopyIn") && s.contains("chunk 7") && s.contains("chunk 4"),
+            "{s}"
+        );
+        let as_string: String = e.into();
+        assert!(as_string.contains("protocol violation"));
+    }
+
+    #[test]
+    fn capability_error_names_both_sides() {
+        let e = DriveError::Capability {
+            placement: Placement::Hbw,
+            capabilities: Capabilities::cache_mode(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("Hbw"), "{s}");
+    }
+}

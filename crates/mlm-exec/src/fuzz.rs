@@ -1,0 +1,1056 @@
+//! Schedule fuzzing: drive the orchestrator with seed-controlled
+//! adversarial execution orders and check the outcome against ground
+//! truth.
+//!
+//! `mlm-verify`'s model checker proves hand-built *models* of the ring and
+//! condvar protocols; this module closes the model-vs-code gap from the
+//! other side by executing the *actual* schedule [`crate::drive`] issues —
+//! every dependency token, barrier, and ring-slot assignment — under
+//! adversarial interleavings (see DESIGN.md S21):
+//!
+//! * [`FuzzBackend`] implements [`Backend`], records the full dependency
+//!   graph the orchestrator issues, and at `finish` executes it with a
+//!   deterministic PRNG choosing which ready node runs next — reordering
+//!   ready dependency tokens, delaying and batching completions, and
+//!   perturbing `step_barrier` interleavings. Seed in, trace out: the
+//!   same seed always replays the same schedule.
+//! * A chunk-granular **ring model** (one value per chunk, a
+//!   [`RING_SLOTS`]-slot phase machine) checks every action: copy-in
+//!   requires a free slot, compute a loaded one, copy-out a computed one,
+//!   and final outputs must be bit-identical to the lockstep/NullBackend
+//!   ground truth (the natural-order walk of the very same graph, which
+//!   [`ground_truth`] computes in closed form).
+//! * [`FaultPlan`] injects backend misbehaviour — a kernel panic
+//!   poisoning its slot mid-ring, a completion reported twice, a
+//!   completion never reported — and the checker must either drain
+//!   cleanly (poison) or call the violation ([`Violation`]).
+//! * [`Construction`] selects deliberately-broken executor disciplines
+//!   mirroring mlm-verify's four must-fail regression models; the fuzzer
+//!   must find each one's bug ([`Violation`]) within a committed seed.
+//! * On a failure, [`shrink`] minimizes the decision trace to a short
+//!   replayable `seed + decision list` regression ([`Finding`]).
+//!
+//! Nothing here runs real threads: the adversarial executor explores the
+//! *schedule space* the dependency tokens permit, so a clean fuzz run
+//! means the orchestrator's declared dependencies are sufficient — any
+//! backend that honours them is race-free at the schedule level.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::backend::{Backend, ChunkAction, Stage};
+use crate::drive::{drive, RING_SLOTS};
+use crate::error::DriveError;
+use crate::placement::{Capabilities, Placement};
+use crate::spec::PipelineSpec;
+
+// ---------------------------------------------------------------------------
+// Deterministic PRNG
+// ---------------------------------------------------------------------------
+
+/// SplitMix64: tiny, fast, deterministic. Good enough to pick schedule
+/// orders; never used for anything cryptographic.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        scramble(self.0)
+    }
+}
+
+/// The SplitMix64 output scrambler, reused as the fuzz kernel's mixing
+/// function (one "compute pass" over a chunk value).
+fn scramble(x: u64) -> u64 {
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The modeled input value of chunk `c` (deterministic, schedule-free).
+fn chunk_input(c: usize) -> u64 {
+    scramble(0xC0FF_EE00 ^ c as u64)
+}
+
+/// The modeled kernel: `compute_passes` scramble rounds over the value.
+fn apply_kernel(v: u64, passes: u32) -> u64 {
+    (0..passes).fold(v, |acc, _| scramble(acc))
+}
+
+/// Ground truth for chunk `c` of `spec`: what any correct execution of
+/// the schedule must deliver. Identical to walking the graph in natural
+/// (issue) order — the lockstep/NullBackend reference — because the
+/// kernel model is positional and pure.
+pub fn ground_truth(spec: &PipelineSpec, c: usize) -> u64 {
+    apply_kernel(chunk_input(c), spec.compute_passes)
+}
+
+// ---------------------------------------------------------------------------
+// Decision tape
+// ---------------------------------------------------------------------------
+
+/// Where schedule decisions come from: a seed (recording mode) or a
+/// previously recorded decision list (replay / shrinking mode).
+#[derive(Debug, Clone)]
+pub enum TapeSource {
+    /// Decisions drawn from [`SplitMix64`] seeded with the value.
+    Seed(u64),
+    /// Decisions replayed from the list; past its end the executor picks
+    /// index 0 (natural order), so a trace shrinks by truncation.
+    Replay(Vec<u32>),
+}
+
+/// Seed-or-replay decision stream. Only *free* choices (ready sets larger
+/// than one) consume and record a decision, which keeps traces short and
+/// stable under shrinking.
+#[derive(Debug, Clone)]
+struct DecisionTape {
+    source: TapeSource,
+    rng: SplitMix64,
+    pos: usize,
+    recorded: Vec<u32>,
+}
+
+impl DecisionTape {
+    fn new(source: TapeSource) -> Self {
+        let rng = match &source {
+            TapeSource::Seed(s) => SplitMix64::new(*s),
+            TapeSource::Replay(_) => SplitMix64::new(0),
+        };
+        DecisionTape {
+            source,
+            rng,
+            pos: 0,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Pick an index in `0..n`. `n == 1` is forced and recorded nowhere.
+    fn next(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        if n == 1 {
+            return 0;
+        }
+        let pick = match &self.source {
+            TapeSource::Seed(_) => (self.rng.next_u64() % n as u64) as u32,
+            TapeSource::Replay(tape) => {
+                let v = tape.get(self.pos).copied().unwrap_or(0);
+                self.pos += 1;
+                v % n as u32
+            }
+        };
+        self.recorded.push(pick);
+        pick as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault taxonomy and buggy constructions
+// ---------------------------------------------------------------------------
+
+/// Backend misbehaviour to inject into one run. Faults address actions by
+/// `(stage, chunk)` so they survive shrinking (node ids shift, schedule
+/// positions do not).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The kernel panics while computing this chunk, poisoning its ring
+    /// slot. A correct executor must cancel exactly the transitive
+    /// dependents and drain everything else ([`Outcome::Poisoned`]).
+    pub kernel_panic: Option<usize>,
+    /// The backend reports this action's completion twice; the checker
+    /// must flag [`Violation::DoubleCompletion`].
+    pub double_complete: Option<(Stage, usize)>,
+    /// The backend never reports this action's completion; the checker
+    /// must flag the resulting [`Violation::Deadlock`].
+    pub lost_complete: Option<(Stage, usize)>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub const NONE: FaultPlan = FaultPlan {
+        kernel_panic: None,
+        double_complete: None,
+        lost_complete: None,
+    };
+}
+
+/// Which dependency-tracking discipline the executor uses. `Correct` is
+/// the shipped semantics; the others are deliberately broken analogues of
+/// mlm-verify's four must-fail regression models, re-expressed at the
+/// `drive()` schedule level, and exist so committed regression seeds can
+/// prove the fuzzer still catches each bug class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Construction {
+    /// Honour every dependency edge; poison cancels dependents.
+    Correct,
+    /// Ignore the copy-out → copy-in buffer-recycling edges — the
+    /// schedule-level analogue of the pre-PR-2 PSRS race (running on a
+    /// peer's data before the protocol said it was ready). The fuzzer
+    /// finds a slot overwritten while still occupied.
+    DropRecycleDep,
+    /// After a kernel panic, keep scheduling the panicked chunk's
+    /// dependents as if the compute had completed — the `PoisonSkipLock`
+    /// condvar regression. The fuzzer finds work touching a poisoned slot.
+    PoisonSkipLock,
+    /// A completion wakes only its *first* dependent; later waiters lose
+    /// the wakeup — the `NotifyOne` condvar regression. The fuzzer finds
+    /// the resulting deadlock.
+    NotifyOne,
+    /// A node becomes runnable on its *first* dependency's completion
+    /// without rechecking the rest — the `NoRecheck` condvar regression.
+    /// The fuzzer finds premature execution breaking the ring.
+    NoRecheck,
+}
+
+impl Construction {
+    /// Stable name for traces and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Construction::Correct => "correct",
+            Construction::DropRecycleDep => "drop-recycle-dep",
+            Construction::PoisonSkipLock => "poison-skip-lock",
+            Construction::NotifyOne => "notify-one",
+            Construction::NoRecheck => "no-recheck",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Violations and outcomes
+// ---------------------------------------------------------------------------
+
+/// An invariant the adversarial execution broke.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// An action ran against a ring slot in the wrong phase (overwrite of
+    /// a live slot, compute on an unloaded slot, copy-out of stale data).
+    SlotClash {
+        /// The offending action.
+        action: ChunkAction,
+        /// Human-readable slot state at the time.
+        state: String,
+    },
+    /// An action ran against a slot poisoned by a kernel panic.
+    PoisonTouched {
+        /// The offending action.
+        action: ChunkAction,
+    },
+    /// A completion was reported for an already-completed node.
+    DoubleCompletion {
+        /// Graph node id.
+        node: usize,
+    },
+    /// No node is ready but uncancelled work remains.
+    Deadlock {
+        /// Number of stuck nodes.
+        pending: usize,
+        /// The first stuck action, if any (barriers are anonymous).
+        first: Option<ChunkAction>,
+    },
+    /// A chunk's final output differs from ground truth.
+    WrongOutput {
+        /// Chunk index.
+        chunk: usize,
+        /// What the execution produced (`None`: never written).
+        got: Option<u64>,
+        /// The ground-truth value.
+        want: u64,
+    },
+}
+
+impl Violation {
+    /// Coarse class used by the shrinker to decide "still the same bug".
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::SlotClash { .. } => "slot-clash",
+            Violation::PoisonTouched { .. } => "poison-touched",
+            Violation::DoubleCompletion { .. } => "double-completion",
+            Violation::Deadlock { .. } => "deadlock",
+            Violation::WrongOutput { .. } => "wrong-output",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::SlotClash { action, state } => write!(
+                f,
+                "{:?} of chunk {} hit slot {} in state {state}",
+                action.stage, action.chunk, action.slot
+            ),
+            Violation::PoisonTouched { action } => write!(
+                f,
+                "{:?} of chunk {} touched a poisoned slot {}",
+                action.stage, action.chunk, action.slot
+            ),
+            Violation::DoubleCompletion { node } => {
+                write!(f, "node {node} completed twice")
+            }
+            Violation::Deadlock { pending, first } => match first {
+                Some(a) => write!(
+                    f,
+                    "deadlock: {pending} nodes stuck, first is {:?} of chunk {}",
+                    a.stage, a.chunk
+                ),
+                None => write!(f, "deadlock: {pending} nodes stuck"),
+            },
+            Violation::WrongOutput { chunk, got, want } => write!(
+                f,
+                "chunk {chunk} output {got:?} != ground truth {want:#018x}"
+            ),
+        }
+    }
+}
+
+/// How one fuzzed execution ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Every node completed and every chunk's output is bit-identical to
+    /// ground truth.
+    Ok,
+    /// An injected kernel panic drained cleanly: its transitive
+    /// dependents (and only those) were cancelled, everything else
+    /// completed, and every completed copy-out wrote the right bits.
+    Poisoned {
+        /// The chunk whose kernel panicked.
+        chunk: usize,
+        /// Nodes cancelled by the poison.
+        cancelled: usize,
+    },
+    /// An invariant broke.
+    Violation(Violation),
+}
+
+impl Outcome {
+    /// The violation, if this outcome is one.
+    pub fn violation(&self) -> Option<&Violation> {
+        match self {
+            Outcome::Violation(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fuzzing backend
+// ---------------------------------------------------------------------------
+
+/// One case the fuzzer exercises: a spec plus the executor discipline and
+/// fault plan to run it under.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Display name (goes into findings).
+    pub name: String,
+    /// The schedule to fuzz.
+    pub spec: PipelineSpec,
+    /// Executor discipline ([`Construction::Correct`] for real fuzzing;
+    /// a buggy variant for regression seeds).
+    pub construction: Construction,
+    /// Injected backend misbehaviour.
+    pub faults: FaultPlan,
+}
+
+impl FuzzCase {
+    /// A correct, fault-free case over `spec`.
+    pub fn clean(name: impl Into<String>, spec: PipelineSpec) -> Self {
+        FuzzCase {
+            name: name.into(),
+            spec,
+            construction: Construction::Correct,
+            faults: FaultPlan::NONE,
+        }
+    }
+}
+
+/// One node of the recorded schedule graph.
+#[derive(Debug, Clone)]
+enum Node {
+    Action(ChunkAction),
+    Barrier,
+}
+
+impl Node {
+    fn action(&self) -> Option<ChunkAction> {
+        match self {
+            Node::Action(a) => Some(*a),
+            Node::Barrier => None,
+        }
+    }
+}
+
+/// The fuzzing [`Backend`]: records the dependency graph the orchestrator
+/// issues, then executes it adversarially at `finish`.
+///
+/// `drive(&mut FuzzBackend::new(..), &spec)` returns
+/// `Err(DriveError::Backend(..))` exactly when the adversarial execution
+/// found a violation; [`FuzzBackend::into_run`] yields the structured
+/// outcome and the recorded decision trace either way.
+pub struct FuzzBackend {
+    case: FuzzCase,
+    tape: DecisionTape,
+    nodes: Vec<Node>,
+    deps: Vec<Vec<usize>>,
+    outcome: Option<Outcome>,
+}
+
+impl FuzzBackend {
+    /// A backend for `case`, drawing schedule decisions from `source`.
+    pub fn new(case: FuzzCase, source: TapeSource) -> Self {
+        FuzzBackend {
+            case,
+            tape: DecisionTape::new(source),
+            nodes: Vec::new(),
+            deps: Vec::new(),
+            outcome: None,
+        }
+    }
+
+    /// The outcome and recorded decision trace of the finished run.
+    ///
+    /// # Panics
+    /// Panics if the backend was never driven to `finish`.
+    pub fn into_run(self) -> FuzzRun {
+        FuzzRun {
+            outcome: self.outcome.expect("drive() reached finish"),
+            decisions: self.tape.recorded,
+        }
+    }
+}
+
+/// The result of one fuzzed execution: the outcome plus the decision
+/// trace that reproduces it via [`TapeSource::Replay`].
+#[derive(Debug, Clone)]
+pub struct FuzzRun {
+    /// How the execution ended.
+    pub outcome: Outcome,
+    /// Every free schedule decision taken, in order.
+    pub decisions: Vec<u32>,
+}
+
+impl Backend for FuzzBackend {
+    type Token = usize;
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::all()
+    }
+
+    fn issue(&mut self, _spec: &PipelineSpec, action: ChunkAction, deps: &[usize]) -> usize {
+        self.nodes.push(Node::Action(action));
+        self.deps.push(deps.to_vec());
+        self.nodes.len() - 1
+    }
+
+    fn step_barrier(&mut self, _spec: &PipelineSpec, after: &[usize]) -> usize {
+        self.nodes.push(Node::Barrier);
+        self.deps.push(after.to_vec());
+        self.nodes.len() - 1
+    }
+
+    fn finish(&mut self, spec: &PipelineSpec) -> Result<(), String> {
+        let outcome = Executor::new(&self.nodes, &self.deps, spec, &self.case).run(&mut self.tape);
+        let result = match &outcome {
+            Outcome::Violation(v) => Err(format!("fuzz violation ({}): {v}", v.kind())),
+            _ => Ok(()),
+        };
+        self.outcome = Some(outcome);
+        result
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The adversarial executor
+// ---------------------------------------------------------------------------
+
+/// Phase state of one modeled ring slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Slot {
+    Free,
+    Loaded(usize, u64),
+    Computed(usize, u64),
+    Poisoned(usize),
+}
+
+impl Slot {
+    fn describe(self) -> String {
+        match self {
+            Slot::Free => "Free".into(),
+            Slot::Loaded(c, _) => format!("Loaded(chunk {c})"),
+            Slot::Computed(c, _) => format!("Computed(chunk {c})"),
+            Slot::Poisoned(c) => format!("Poisoned(chunk {c})"),
+        }
+    }
+}
+
+struct Executor<'a> {
+    nodes: &'a [Node],
+    deps: &'a [Vec<usize>],
+    spec: &'a PipelineSpec,
+    case: &'a FuzzCase,
+    dependents: Vec<Vec<usize>>,
+    remaining: Vec<usize>,
+    completed: Vec<bool>,
+    executed: Vec<bool>,
+    cancelled: Vec<bool>,
+    notified: Vec<bool>,
+    ready: BTreeSet<usize>,
+    slots: Vec<Slot>,
+    output: Vec<Option<u64>>,
+    poisoned_chunk: Option<usize>,
+}
+
+impl<'a> Executor<'a> {
+    fn new(
+        nodes: &'a [Node],
+        deps: &'a [Vec<usize>],
+        spec: &'a PipelineSpec,
+        case: &'a FuzzCase,
+    ) -> Self {
+        let n = nodes.len();
+        // Build the effective edge set. DropRecycleDep erases exactly the
+        // buffer-recycling edges (copy-in depending on a copy-out).
+        let keep_edge = |node: usize, dep: usize| -> bool {
+            if case.construction != Construction::DropRecycleDep {
+                return true;
+            }
+            !matches!(
+                (&nodes[node], &nodes[dep]),
+                (Node::Action(a), Node::Action(d))
+                    if a.stage == Stage::CopyIn && d.stage == Stage::CopyOut
+            )
+        };
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut remaining = vec![0usize; n];
+        for (i, dl) in deps.iter().enumerate() {
+            for &d in dl {
+                if keep_edge(i, d) {
+                    dependents[d].push(i);
+                    remaining[i] += 1;
+                }
+            }
+        }
+        let ready: BTreeSet<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+        Executor {
+            nodes,
+            deps,
+            spec,
+            case,
+            dependents,
+            remaining,
+            completed: vec![false; n],
+            executed: vec![false; n],
+            cancelled: vec![false; n],
+            notified: vec![false; n],
+            ready,
+            slots: vec![Slot::Free; RING_SLOTS],
+            output: vec![None; spec.n_chunks()],
+            poisoned_chunk: None,
+        }
+    }
+
+    fn run(mut self, tape: &mut DecisionTape) -> Outcome {
+        loop {
+            if self.ready.is_empty() {
+                let pending: Vec<usize> = (0..self.nodes.len())
+                    .filter(|&i| !self.executed[i] && !self.cancelled[i])
+                    .collect();
+                if pending.is_empty() {
+                    return self.finish();
+                }
+                return Outcome::Violation(Violation::Deadlock {
+                    pending: pending.len(),
+                    first: pending.iter().find_map(|&i| self.nodes[i].action()),
+                });
+            }
+
+            // The adversarial choice: which ready node runs next.
+            let pick = tape.next(self.ready.len());
+            let node = *self.ready.iter().nth(pick).expect("pick < len");
+            self.ready.remove(&node);
+            self.executed[node] = true;
+
+            let mut panicked = false;
+            if let Node::Action(a) = &self.nodes[node] {
+                match self.apply(*a) {
+                    Ok(p) => panicked = p,
+                    Err(v) => return Outcome::Violation(v),
+                }
+            }
+
+            if panicked {
+                match self.case.construction {
+                    // PoisonSkipLock pretends the panicked compute
+                    // completed normally; everything else cancels the
+                    // transitive dependents (the poison-drain contract).
+                    Construction::PoisonSkipLock => {
+                        if let Err(v) = self.complete(node) {
+                            return Outcome::Violation(v);
+                        }
+                    }
+                    _ => self.cancel_dependents(node),
+                }
+                continue;
+            }
+
+            let fault_here = |f: Option<(Stage, usize)>| {
+                matches!(
+                    (f, &self.nodes[node]),
+                    (Some((stage, chunk)), Node::Action(a))
+                        if a.stage == stage && a.chunk == chunk
+                )
+            };
+
+            if fault_here(self.case.faults.lost_complete) {
+                // The completion is never reported: dependents starve.
+                continue;
+            }
+            if let Err(v) = self.complete(node) {
+                return Outcome::Violation(v);
+            }
+            if fault_here(self.case.faults.double_complete) {
+                if let Err(v) = self.complete(node) {
+                    return Outcome::Violation(v);
+                }
+            }
+        }
+    }
+
+    /// Apply one action to the ring/output model. `Ok(true)` means the
+    /// kernel panicked (fault injection); `Err` is a violation.
+    fn apply(&mut self, a: ChunkAction) -> Result<bool, Violation> {
+        if self.spec.placement == Placement::Implicit {
+            // No ring in implicit mode: compute touches the data in place.
+            debug_assert_eq!(a.stage, Stage::Compute);
+            if self.case.faults.kernel_panic == Some(a.chunk) {
+                self.poisoned_chunk = Some(a.chunk);
+                return Ok(true);
+            }
+            self.output[a.chunk] = Some(ground_truth(self.spec, a.chunk));
+            return Ok(false);
+        }
+        let slot = &mut self.slots[a.slot];
+        match (a.stage, *slot) {
+            (_, Slot::Poisoned(_)) => return Err(Violation::PoisonTouched { action: a }),
+            (Stage::CopyIn, Slot::Free) => {
+                *slot = Slot::Loaded(a.chunk, chunk_input(a.chunk));
+            }
+            (Stage::Compute, Slot::Loaded(c, v)) if c == a.chunk => {
+                if self.case.faults.kernel_panic == Some(a.chunk) {
+                    *slot = Slot::Poisoned(a.chunk);
+                    self.poisoned_chunk = Some(a.chunk);
+                    return Ok(true);
+                }
+                *slot = Slot::Computed(c, apply_kernel(v, self.spec.compute_passes));
+            }
+            (Stage::CopyOut, Slot::Computed(c, v)) if c == a.chunk => {
+                self.output[a.chunk] = Some(v);
+                *slot = Slot::Free;
+            }
+            (_, state) => {
+                return Err(Violation::SlotClash {
+                    action: a,
+                    state: state.describe(),
+                })
+            }
+        }
+        Ok(false)
+    }
+
+    /// Report `node` complete, waking dependents per the construction.
+    fn complete(&mut self, node: usize) -> Result<(), Violation> {
+        if self.completed[node] {
+            return Err(Violation::DoubleCompletion { node });
+        }
+        self.completed[node] = true;
+        for (k, &d) in self.dependents[node].iter().enumerate() {
+            if self.cancelled[d] || self.executed[d] {
+                continue;
+            }
+            // NotifyOne: only the first dependent hears the completion.
+            if self.case.construction == Construction::NotifyOne && k > 0 {
+                continue;
+            }
+            self.remaining[d] -= 1;
+            let wake = match self.case.construction {
+                // NoRecheck: the first notification makes the node
+                // runnable, remaining dependencies unchecked.
+                Construction::NoRecheck => !self.notified[d],
+                _ => self.remaining[d] == 0,
+            };
+            self.notified[d] = true;
+            if wake {
+                self.ready.insert(d);
+            }
+        }
+        Ok(())
+    }
+
+    /// Cancel everything transitively depending on `node` (the clean
+    /// poison-drain semantics).
+    fn cancel_dependents(&mut self, node: usize) {
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            for &d in &self.dependents[n] {
+                if !self.cancelled[d] && !self.executed[d] {
+                    self.cancelled[d] = true;
+                    self.ready.remove(&d);
+                    stack.push(d);
+                }
+            }
+        }
+    }
+
+    /// End-of-run verdict once no work is left.
+    fn finish(self) -> Outcome {
+        if let Some(chunk) = self.poisoned_chunk {
+            // Clean poison-drain: completed copy-outs still wrote the
+            // right bits, and nothing cancelled ever ran.
+            for (c, got) in self.output.iter().enumerate() {
+                if let Some(v) = got {
+                    if *v != ground_truth(self.spec, c) {
+                        return Outcome::Violation(Violation::WrongOutput {
+                            chunk: c,
+                            got: Some(*v),
+                            want: ground_truth(self.spec, c),
+                        });
+                    }
+                }
+            }
+            let cancelled = self.cancelled.iter().filter(|&&c| c).count();
+            return Outcome::Poisoned { chunk, cancelled };
+        }
+        for (c, got) in self.output.iter().enumerate() {
+            let want = ground_truth(self.spec, c);
+            if *got != Some(want) {
+                return Outcome::Violation(Violation::WrongOutput {
+                    chunk: c,
+                    got: *got,
+                    want,
+                });
+            }
+        }
+        debug_assert!(self
+            .deps
+            .iter()
+            .all(|d| d.iter().all(|&x| x < self.nodes.len())));
+        Outcome::Ok
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Harness: seeded runs, corpus sweeps, shrinking
+// ---------------------------------------------------------------------------
+
+/// Run `case` once with decisions from `source`.
+pub fn run_case(case: &FuzzCase, source: TapeSource) -> FuzzRun {
+    let mut backend = FuzzBackend::new(case.clone(), source);
+    match drive(&mut backend, &case.spec) {
+        Ok(()) | Err(DriveError::Backend(_)) => backend.into_run(),
+        Err(e) => panic!("fuzz case '{}' has an undriveable spec: {e}", case.name),
+    }
+}
+
+/// Run `case` once with the seeded adversarial schedule.
+pub fn fuzz_seed(case: &FuzzCase, seed: u64) -> FuzzRun {
+    run_case(case, TapeSource::Seed(seed))
+}
+
+/// Replay a recorded (possibly shrunk) decision trace.
+pub fn replay(case: &FuzzCase, trace: &[u32]) -> FuzzRun {
+    run_case(case, TapeSource::Replay(trace.to_vec()))
+}
+
+/// A reproducible fuzz failure: the seed that found it, the shrunk
+/// decision trace that replays it, and the violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The fuzz case the failure occurred in.
+    pub case_name: String,
+    /// Seed whose schedule first exposed the violation.
+    pub seed: u64,
+    /// Minimized decision list; replay with [`TapeSource::Replay`].
+    pub shrunk: Vec<u32>,
+    /// The (re-confirmed, post-shrink) violation.
+    pub violation: Violation,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fuzz finding in {}: seed={}", self.case_name, self.seed)?;
+        writeln!(f, "  violation: {}", self.violation)?;
+        write!(
+            f,
+            "  shrunk trace ({} decisions): {:?}",
+            self.shrunk.len(),
+            self.shrunk
+        )
+    }
+}
+
+/// Minimize a failing decision trace: find a shorter/lower trace whose
+/// replay still produces a violation of the same kind. Deterministic and
+/// greedy — truncation passes (replay past the trace end picks natural
+/// order) followed by pointwise lowering toward 0, iterated to a fixed
+/// point.
+pub fn shrink(case: &FuzzCase, initial: &[u32], kind: &'static str) -> Vec<u32> {
+    let fails = |t: &[u32]| {
+        replay(case, t)
+            .outcome
+            .violation()
+            .is_some_and(|v| v.kind() == kind)
+    };
+    let trim = |t: &mut Vec<u32>| {
+        while t.last() == Some(&0) {
+            t.pop();
+        }
+    };
+    let mut best = initial.to_vec();
+    trim(&mut best);
+    loop {
+        let before = best.clone();
+        // Truncation: cut ever-smaller tails while the bug survives.
+        let mut cut = best.len().max(1);
+        while cut > 0 {
+            while best.len() >= cut {
+                let candidate = &best[..best.len() - cut];
+                if fails(candidate) {
+                    best.truncate(best.len() - cut);
+                } else {
+                    break;
+                }
+            }
+            cut /= 2;
+        }
+        // Pointwise lowering: try 0, then halves, for each decision.
+        for i in 0..best.len() {
+            for v in [0, best[i] / 2] {
+                if v < best[i] {
+                    let mut t = best.clone();
+                    t[i] = v;
+                    if fails(&t) {
+                        best = t;
+                    }
+                }
+            }
+        }
+        trim(&mut best);
+        if best == before {
+            break;
+        }
+    }
+    best
+}
+
+/// Fuzz one case over `seeds` consecutive seeds starting at `base`;
+/// violations come back shrunk.
+pub fn fuzz_case(case: &FuzzCase, base: u64, seeds: u64) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for seed in base..base + seeds {
+        let run = fuzz_seed(case, seed);
+        if let Outcome::Violation(v) = run.outcome {
+            let shrunk = shrink(case, &run.decisions, v.kind());
+            let confirmed = replay(case, &shrunk)
+                .outcome
+                .violation()
+                .cloned()
+                .unwrap_or(v);
+            findings.push(Finding {
+                case_name: case.name.clone(),
+                seed,
+                shrunk,
+                violation: confirmed,
+            });
+        }
+    }
+    findings
+}
+
+/// The default corpus: every placement/schedule mode the orchestrator
+/// emits, at several chunk counts including single-chunk and ragged
+/// tails. All cases are [`Construction::Correct`] and fault-free; any
+/// finding is a real orchestrator bug.
+pub fn default_corpus() -> Vec<FuzzCase> {
+    let mut cases = Vec::new();
+    let geometries: &[(u64, &str)] = &[
+        (64, "1"),
+        (128, "2"),
+        (256, "4"),
+        (240, "4-ragged"),
+        (448, "7"),
+    ];
+    let modes: &[(Placement, bool, &str)] = &[
+        (Placement::Hbw, true, "hbw-lockstep"),
+        (Placement::Hbw, false, "hbw-dataflow"),
+        (Placement::Ddr, true, "ddr-lockstep"),
+        (Placement::Ddr, false, "ddr-dataflow"),
+        (Placement::Implicit, true, "implicit"),
+    ];
+    for &(placement, lockstep, mode) in modes {
+        for &(total, geom) in geometries {
+            cases.push(FuzzCase::clean(
+                format!("{mode}-{geom}"),
+                corpus_spec(total, placement, lockstep),
+            ));
+        }
+    }
+    cases
+}
+
+/// A small, fast spec for fuzzing: 64-byte chunks, minimal pools. The
+/// fuzzer explores schedule structure, so byte-level scale adds nothing.
+pub fn corpus_spec(total_bytes: u64, placement: Placement, lockstep: bool) -> PipelineSpec {
+    PipelineSpec {
+        total_bytes,
+        chunk_bytes: 64,
+        p_in: 1,
+        p_out: 1,
+        p_comp: 2,
+        compute_passes: 2,
+        compute_rate: 1e9,
+        copy_rate: 1e9,
+        placement,
+        lockstep,
+        data_addr: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataflow_case() -> FuzzCase {
+        FuzzCase::clean("hbw-dataflow-7", corpus_spec(448, Placement::Hbw, false))
+    }
+
+    fn lockstep_case() -> FuzzCase {
+        FuzzCase::clean("hbw-lockstep-4", corpus_spec(256, Placement::Hbw, true))
+    }
+
+    #[test]
+    fn natural_order_matches_ground_truth() {
+        for case in default_corpus() {
+            let run = replay(&case, &[]);
+            assert_eq!(run.outcome, Outcome::Ok, "{}", case.name);
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_deterministic() {
+        let case = dataflow_case();
+        let a = fuzz_seed(&case, 7);
+        let b = fuzz_seed(&case, 7);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.decisions, b.decisions);
+    }
+
+    #[test]
+    fn recorded_decisions_replay_identically() {
+        let case = dataflow_case();
+        for seed in 0..20 {
+            let run = fuzz_seed(&case, seed);
+            let again = replay(&case, &run.decisions);
+            assert_eq!(run.outcome, again.outcome, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn correct_construction_survives_many_seeds() {
+        for case in [dataflow_case(), lockstep_case()] {
+            for seed in 0..200 {
+                let run = fuzz_seed(&case, seed);
+                assert_eq!(run.outcome, Outcome::Ok, "{} seed {seed}", case.name);
+            }
+        }
+    }
+
+    #[test]
+    fn drive_surfaces_violations_as_backend_errors() {
+        let mut case = dataflow_case();
+        case.construction = Construction::DropRecycleDep;
+        // Some seed in a small budget must expose the dropped edge.
+        let found = (0..200).find_map(|seed| {
+            let mut b = FuzzBackend::new(case.clone(), TapeSource::Seed(seed));
+            match drive(&mut b, &case.spec) {
+                Err(DriveError::Backend(msg)) => Some(msg),
+                _ => None,
+            }
+        });
+        let msg = found.expect("dropped recycling edge must be caught");
+        assert!(msg.contains("fuzz violation"), "{msg}");
+    }
+
+    #[test]
+    fn kernel_panic_drains_cleanly() {
+        let mut case = dataflow_case();
+        case.faults.kernel_panic = Some(2);
+        for seed in 0..100 {
+            let run = fuzz_seed(&case, seed);
+            match run.outcome {
+                Outcome::Poisoned {
+                    chunk: 2,
+                    cancelled,
+                } => {
+                    assert!(cancelled > 0, "poison cancels downstream work");
+                }
+                other => panic!("seed {seed}: expected clean poison-drain, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn double_completion_is_detected() {
+        let mut case = lockstep_case();
+        case.faults.double_complete = Some((Stage::Compute, 1));
+        let run = fuzz_seed(&case, 0);
+        assert_eq!(
+            run.outcome.violation().map(Violation::kind),
+            Some("double-completion")
+        );
+    }
+
+    #[test]
+    fn lost_completion_deadlocks() {
+        let mut case = dataflow_case();
+        case.faults.lost_complete = Some((Stage::CopyIn, 0));
+        let run = fuzz_seed(&case, 0);
+        assert_eq!(
+            run.outcome.violation().map(Violation::kind),
+            Some("deadlock")
+        );
+    }
+
+    #[test]
+    fn shrinker_minimizes_and_preserves_the_bug() {
+        let mut case = dataflow_case();
+        case.construction = Construction::DropRecycleDep;
+        let finding = (0..500)
+            .flat_map(|seed| fuzz_case(&case, seed, 1))
+            .next()
+            .expect("bug must be found");
+        assert!(
+            finding.shrunk.len() <= 20,
+            "shrunk trace too long: {:?}",
+            finding.shrunk
+        );
+        let rerun = replay(&case, &finding.shrunk);
+        assert_eq!(
+            rerun.outcome.violation().map(Violation::kind),
+            Some(finding.violation.kind())
+        );
+    }
+
+    #[test]
+    fn ground_truth_is_schedule_free() {
+        let spec = corpus_spec(256, Placement::Hbw, false);
+        assert_eq!(ground_truth(&spec, 2), ground_truth(&spec, 2));
+        assert_ne!(ground_truth(&spec, 0), ground_truth(&spec, 1));
+    }
+}

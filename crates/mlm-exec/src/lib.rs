@@ -38,6 +38,8 @@
 
 pub mod backend;
 pub mod drive;
+pub mod error;
+pub mod fuzz;
 pub mod placement;
 pub mod recording;
 pub mod report;
@@ -47,6 +49,7 @@ pub mod spec;
 
 pub use backend::{Backend, ChunkAction, KernelCtx, Stage};
 pub use drive::{drive, RING_SLOTS};
+pub use error::DriveError;
 pub use placement::{Capabilities, MemTier, Placement};
 pub use recording::{Event, NullBackend, RecordingBackend};
 pub use report::{RunReport, StageReport};

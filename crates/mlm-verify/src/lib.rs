@@ -24,6 +24,12 @@
 //!    predicate re-checks — are kept as regression models that must keep
 //!    failing.
 //!
+//! 3. **Schedule fuzzing** ([`fuzzsuite`], over [`mlm_exec::fuzz`]) — the
+//!    complement of the models: seed-controlled adversarial execution of
+//!    the *actual* schedule `drive()` issues, sweeping every placement
+//!    and schedule mode plus committed must-fail regression seeds that
+//!    mirror the model battery at the `drive()` level (`mlm-verify fuzz`).
+//!
 //! What the checker proves is bounded: it verifies the *protocol* for
 //! concrete small geometries (3-slot ring, up to a handful of chunks and
 //! workers; 2–4 cluster nodes), not the Rust implementation itself, and
@@ -35,6 +41,7 @@
 pub mod check;
 pub mod diag;
 pub mod engine;
+pub mod fuzzsuite;
 pub mod lint;
 pub mod models;
 pub mod suite;

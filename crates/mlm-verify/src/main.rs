@@ -1,19 +1,23 @@
 //! The `mlm-verify` CLI.
 //!
 //! ```text
-//! mlm-verify check-all   # lints + model checks, nonzero exit on failure
-//! mlm-verify lint        # the lint battery only
-//! mlm-verify models      # the model-checking battery only
-//! mlm-verify list        # registered lints and checked models
+//! mlm-verify check-all          # lints + model checks, nonzero exit on failure
+//! mlm-verify lint               # the lint battery only
+//! mlm-verify models             # the model-checking battery only
+//! mlm-verify fuzz [--seeds N]   # adversarial-schedule fuzzing + regression seeds
+//! mlm-verify list               # registered lints and checked models
 //! ```
 //!
 //! `check-all` is what CI runs: it executes the whole [`mlm_verify::suite`]
 //! and fails if the paper spec stops linting clean, a known-bad spec stops
 //! being rejected, a shipped protocol stops verifying, or a regression
-//! model stops failing.
+//! model stops failing. The `fuzz` battery (CI's `fuzz` job) sweeps the
+//! default corpus with N adversarial schedules per case (default 1000) and
+//! replays the committed must-fail regression seeds.
 
 use std::process::ExitCode;
 
+use mlm_verify::fuzzsuite::{fuzz_catalog, run_fuzz_corpus, run_fuzz_regressions};
 use mlm_verify::suite::{run_lint_suite, run_model_suite};
 use mlm_verify::LintRegistry;
 
@@ -33,12 +37,25 @@ fn main() -> ExitCode {
         }
         Some("lint") => exit_for(lint_battery()),
         Some("models") => exit_for(model_battery()),
+        Some("fuzz") => {
+            let mut seeds: u64 = 1000;
+            if let Some(pos) = args.iter().position(|a| a == "--seeds") {
+                match args.get(pos + 1).and_then(|v| v.parse().ok()) {
+                    Some(n) => seeds = n,
+                    None => {
+                        eprintln!("--seeds takes a count");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            exit_for(fuzz_battery(seeds))
+        }
         Some("list") => {
             list();
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: mlm-verify <check-all|lint|models|list>");
+            eprintln!("usage: mlm-verify <check-all|lint|models|fuzz|list>");
             ExitCode::from(2)
         }
     }
@@ -103,6 +120,45 @@ fn model_battery() -> bool {
             (None, false) => {}
         }
     }
+    ok
+}
+
+fn fuzz_battery(seeds: u64) -> bool {
+    let mut ok = true;
+
+    println!("== fuzz regression seeds ==");
+    for run in run_fuzz_regressions() {
+        let verdict = if run.ok() { "ok" } else { "FAIL" };
+        println!(
+            "{verdict:>4}  {}  [must fail, trace of {} decisions]",
+            run.name, run.trace_len
+        );
+        if let Some(v) = &run.buggy_violation {
+            println!("      caught as designed: {v}");
+        }
+        if !run.caught {
+            ok = false;
+            println!("      regression seed no longer fails — the fuzzer lost the bug");
+        }
+        if !run.clean_on_correct {
+            ok = false;
+            println!("      trace violates even the CORRECT construction — orchestrator bug");
+        }
+    }
+
+    println!("\n== adversarial-schedule corpus ({seeds} seeds/case) ==");
+    let cases = fuzz_catalog();
+    let findings = run_fuzz_corpus(seeds);
+    if findings.is_empty() {
+        println!("  ok  {} cases clean", cases.len());
+    } else {
+        ok = false;
+        for f in &findings {
+            println!("{f}");
+        }
+    }
+
+    println!("\nfuzz: {}", if ok { "PASS" } else { "FAIL" });
     ok
 }
 

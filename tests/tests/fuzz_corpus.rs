@@ -1,0 +1,103 @@
+//! The seeded schedule-fuzzing corpus.
+//!
+//! Sweeps `mlm_exec::fuzz`'s default corpus — every placement and
+//! schedule mode `drive()` emits, at several chunk geometries — with
+//! adversarial seed-controlled schedules, and replays the committed
+//! must-fail regression seeds from `mlm_verify::fuzzsuite`. The default
+//! run covers well over 1000 distinct schedules; CI's `fuzz` job runs the
+//! same corpus wider (1000 seeds per case) via `mlm-verify fuzz`.
+
+use mlm_exec::fuzz::{default_corpus, fuzz_seed, replay, Construction, Outcome, TapeSource};
+use mlm_verify::fuzzsuite::{regression_seeds, run_fuzz_regressions};
+
+/// 100 seeds x 25 corpus cases = 2500 adversarial schedules. Any finding
+/// on the correct construction is a real orchestrator bug.
+#[test]
+fn corpus_sweep_finds_nothing_on_the_correct_construction() {
+    let corpus = default_corpus();
+    let mut schedules = 0u64;
+    for case in &corpus {
+        for seed in 0..100 {
+            let run = fuzz_seed(case, seed);
+            assert_eq!(run.outcome, Outcome::Ok, "{} seed {seed}", case.name);
+            schedules += 1;
+        }
+    }
+    assert!(
+        schedules >= 1000,
+        "default run must cover >= 1000 schedules"
+    );
+}
+
+/// Every committed regression seed still reproduces its violation on the
+/// buggy construction, with a shrunk trace of at most 20 decisions, and
+/// the identical trace runs clean on the shipped construction.
+#[test]
+fn committed_regression_seeds_reproduce_and_pass_on_main() {
+    let runs = run_fuzz_regressions();
+    assert_eq!(runs.len(), 4, "one regression per model-checker bug class");
+    for run in runs {
+        assert!(run.caught, "{}: violation no longer reproduces", run.name);
+        assert!(
+            run.clean_on_correct,
+            "{}: trace violates the CORRECT construction",
+            run.name
+        );
+        assert!(run.trace_len <= 20, "{}: trace too long", run.name);
+    }
+}
+
+/// The regression traces are genuinely minimal-ish: replaying each
+/// buggy construction with an *empty* tape (pure natural order) must NOT
+/// reproduce the bug for the regressions that carry a nonempty trace —
+/// i.e. the recorded decisions are load-bearing.
+#[test]
+fn nonempty_regression_traces_are_load_bearing() {
+    for reg in regression_seeds() {
+        if reg.shrunk.is_empty() {
+            continue;
+        }
+        let natural = replay(&reg.case, &[]);
+        let replayed = replay(&reg.case, &reg.shrunk);
+        assert!(
+            replayed.outcome.violation().is_some(),
+            "{}: committed trace lost the bug",
+            reg.name
+        );
+        // Natural order may or may not fail for some constructions; what
+        // matters is that the committed trace is not vacuously equal to it.
+        if natural.outcome.violation().is_none() {
+            assert_ne!(natural.outcome, replayed.outcome, "{}", reg.name);
+        }
+    }
+}
+
+/// Determinism across the crate boundary: seed in, identical trace out.
+#[test]
+fn seeds_are_reproducible_across_processes() {
+    let corpus = default_corpus();
+    let case = corpus
+        .iter()
+        .find(|c| c.name == "hbw-dataflow-7")
+        .expect("corpus contains hbw-dataflow-7");
+    let a = fuzz_seed(case, 12345);
+    let b = fuzz_seed(case, 12345);
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.outcome, Outcome::Ok);
+    // And the recorded trace replays to the same outcome.
+    let c = replay(case, &a.decisions);
+    assert_eq!(c.outcome, a.outcome);
+}
+
+/// The corpus construction helpers stay honest: all default cases are
+/// correct-construction and fault-free (anything else belongs in the
+/// regression battery, not the clean sweep).
+#[test]
+fn default_corpus_is_clean_by_construction() {
+    for case in default_corpus() {
+        assert_eq!(case.construction, Construction::Correct, "{}", case.name);
+        assert_eq!(case.faults.kernel_panic, None, "{}", case.name);
+    }
+    // TapeSource is part of the committed-regression vocabulary.
+    let _ = TapeSource::Replay(vec![0]);
+}
