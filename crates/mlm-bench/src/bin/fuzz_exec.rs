@@ -75,9 +75,17 @@ fn main() -> ExitCode {
         }
     }
 
-    let corpus: Vec<FuzzCase> = default_corpus()
+    let matching: Vec<FuzzCase> = default_corpus()
         .into_iter()
         .filter(|c| filter.as_deref().is_none_or(|f| c.name.contains(f)))
+        .collect();
+    let before = matching.len();
+    let corpus: Vec<FuzzCase> = matching
+        .into_iter()
+        // A fault must address an action the schedule actually issues
+        // (drive rejects it as DriveError::Spec otherwise), so a panic on
+        // chunk K only applies to cases with more than K chunks.
+        .filter(|c| panic_chunk.is_none_or(|k| c.spec.n_chunks() > k))
         .map(|mut c| {
             c.construction = construction;
             c.faults.kernel_panic = panic_chunk;
@@ -87,6 +95,13 @@ fn main() -> ExitCode {
     if corpus.is_empty() {
         eprintln!("no corpus case matches the filter");
         return ExitCode::from(2);
+    }
+    if corpus.len() < before && panic_chunk.is_some() {
+        println!(
+            "skipping {} cases with too few chunks for --panic-chunk {}",
+            before - corpus.len(),
+            panic_chunk.unwrap_or_default()
+        );
     }
 
     let must_fail = construction != Construction::Correct;
@@ -104,7 +119,13 @@ fn main() -> ExitCode {
             // One finding per case is the point; stop at the first.
             let mut found = None;
             for seed in base..base + seeds {
-                let fs = fuzz_case(case, seed, 1);
+                let fs = match fuzz_case(case, seed, 1) {
+                    Ok(fs) => fs,
+                    Err(e) => {
+                        eprintln!("{}: case is not driveable: {e}", case.name);
+                        return ExitCode::from(2);
+                    }
+                };
                 if let Some(f) = fs.into_iter().next() {
                     found = Some(f);
                     break;
@@ -125,7 +146,13 @@ fn main() -> ExitCode {
                 }
             }
         } else {
-            let findings = fuzz_case(case, base, seeds);
+            let findings = match fuzz_case(case, base, seeds) {
+                Ok(fs) => fs,
+                Err(e) => {
+                    eprintln!("{}: case is not driveable: {e}", case.name);
+                    return ExitCode::from(2);
+                }
+            };
             if findings.is_empty() {
                 println!("  ok  {} ({seeds} seeds)", case.name);
             } else {

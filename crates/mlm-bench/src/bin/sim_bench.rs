@@ -14,7 +14,9 @@
 //! * **hard failure** (nonzero exit, `::error::`) when any *family*'s
 //!   optimized-vs-reference speedup falls below 1.0× — the optimized
 //!   engine must never be slower than the naive loop it replaced (this
-//!   locks in the barrier-storm fix);
+//!   locks in the barrier-storm fix) — or when the static schedule
+//!   verifier fails to prove the largest committed spec safe in under
+//!   100 ms (the `drive()` preflight budget);
 //! * **warning** (`::warning::`, exit 0) when a scale's optimized
 //!   events/sec drifts more than 20% below the committed baseline — perf
 //!   drift on shared CI runners is a signal, not a gate.
@@ -67,8 +69,37 @@ fn main() -> ExitCode {
         "largest-scale speedup: {:.2}x (acceptance floor: 5x)",
         report.largest_scale_speedup
     );
+    let gv = &report.graph_verify;
+    println!(
+        "graph-verify: {} ({} chunks, {} nodes, {} edges) proved {} in {:.2} ms (budget: 100 ms)",
+        gv.spec,
+        gv.chunks,
+        gv.nodes,
+        gv.edges,
+        if gv.safe { "safe" } else { "UNSAFE" },
+        gv.best_millis
+    );
 
     if check {
+        // The static verifier is a drive() preflight: it must prove the
+        // largest committed spec safe, and fast enough to sit in front of
+        // every run.
+        if !gv.safe {
+            println!(
+                "::error::static verifier refuted the committed spec {} — \
+                 the schedule or the analyzer regressed",
+                gv.spec
+            );
+            return ExitCode::FAILURE;
+        }
+        if gv.best_millis > 100.0 {
+            println!(
+                "::error::static verification of {} took {:.2} ms (> 100 ms \
+                 preflight budget)",
+                gv.spec, gv.best_millis
+            );
+            return ExitCode::FAILURE;
+        }
         // Per-family floor: every scale of every family must hold >= 1.0x
         // over the reference engine, on the fresh measurement.
         let mut family_min: HashMap<String, f64> = HashMap::new();

@@ -160,6 +160,25 @@ pub struct Measurement {
     pub heap_peak: usize,
 }
 
+/// Latency of the static schedule verifier (`mlm_exec::graph`) on the
+/// largest committed experiment spec — the preflight gate in front of
+/// `drive()` must stay well under its 100 ms budget.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphVerifyMeasurement {
+    /// Name of the spec measured (from the committed catalog).
+    pub spec: String,
+    /// Chunks in the pipeline.
+    pub chunks: usize,
+    /// Nodes in the emitted dependency graph.
+    pub nodes: usize,
+    /// Edges in the emitted dependency graph.
+    pub edges: usize,
+    /// Best-of-N wall milliseconds for record + full analysis.
+    pub best_millis: f64,
+    /// The verifier must also *prove* the spec safe, not just terminate.
+    pub safe: bool,
+}
+
 /// The whole benchmark report, serialized to `BENCH_sim_engine.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -169,6 +188,9 @@ pub struct BenchReport {
     /// Speedup at the largest (last) scale — the tracked acceptance
     /// number (must stay ≥ 5×).
     pub largest_scale_speedup: f64,
+    /// Static-verifier latency on the largest committed spec (tracked
+    /// acceptance: < 100 ms and `safe`).
+    pub graph_verify: GraphVerifyMeasurement,
 }
 
 /// The benchmark grid: (family, threads, ops_per_thread), smallest to
@@ -250,6 +272,32 @@ pub fn measure(family: Family, threads: usize, ops_per_thread: usize) -> Measure
     }
 }
 
+/// Time the static schedule verifier end-to-end (record the graph +
+/// full G001–G006 analysis) on the largest committed experiment spec,
+/// best of 5, against the paper machine's MCDRAM budget.
+pub fn measure_graph_verify() -> GraphVerifyMeasurement {
+    let (name, spec) = mlm_verify::graph::largest_committed_spec();
+    let machine = knl();
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let r = mlm_verify::graph::graph_report_for(&spec, &machine)
+            .expect("committed spec must be driveable");
+        best = best.min(t0.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    let report = report.expect("five iterations ran");
+    GraphVerifyMeasurement {
+        spec: name.to_string(),
+        chunks: spec.n_chunks(),
+        nodes: report.nodes,
+        edges: report.edges,
+        best_millis: best * 1e3,
+        safe: report.is_safe(),
+    }
+}
+
 /// Run the full default grid and assemble the report.
 pub fn run_all() -> BenchReport {
     let mut scales = Vec::new();
@@ -262,6 +310,7 @@ pub fn run_all() -> BenchReport {
         unit: "events/sec".to_string(),
         scales,
         largest_scale_speedup,
+        graph_verify: measure_graph_verify(),
     }
 }
 
@@ -301,10 +350,35 @@ mod tests {
             unit: "events/sec".into(),
             scales: vec![],
             largest_scale_speedup: 7.25,
+            graph_verify: GraphVerifyMeasurement {
+                spec: "serve-batch-elephant".into(),
+                chunks: 128,
+                nodes: 514,
+                edges: 767,
+                best_millis: 1.5,
+                safe: true,
+            },
         };
         let json = serde_json::to_string(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.bench, "sim_engine");
         assert_eq!(back.largest_scale_speedup, 7.25);
+        assert_eq!(back.graph_verify.chunks, 128);
+        assert!(back.graph_verify.safe);
+    }
+
+    #[test]
+    fn graph_verify_is_fast_and_proves_the_largest_spec() {
+        let m = measure_graph_verify();
+        assert!(m.safe, "{}: largest committed spec must prove safe", m.spec);
+        assert!(m.nodes > 0 && m.edges > 0);
+        // The hard acceptance gate is < 100 ms in the release-mode
+        // sim_bench binary; leave debug-mode `cargo test` headroom.
+        assert!(
+            m.best_millis < 2_000.0,
+            "{}: static verification took {:.1} ms",
+            m.spec,
+            m.best_millis
+        );
     }
 }

@@ -18,7 +18,7 @@
 //! of chunk `c` waits for copy-out of chunk `c-3`).
 
 use knl_sim::ops::{Access, OpId, OpKind, Place, Program};
-use mlm_exec::{drive, Backend, Capabilities, ChunkAction, Stage};
+use mlm_exec::{drive_verified, Backend, Capabilities, ChunkAction, Stage};
 
 use super::{PipelineSpec, Placement};
 
@@ -261,9 +261,16 @@ fn buf_place(spec: &PipelineSpec) -> Place {
 
 /// Build the simulated program for `spec` by driving a [`SimBackend`]
 /// through the shared orchestrator.
+///
+/// The orchestrator runs behind the static schedule verifier
+/// ([`mlm_exec::graph`]): the emitted dependency graph is proven race-
+/// and deadlock-free before any ops are pushed. The MCDRAM capacity
+/// bound is machine-dependent and is checked by the callers that know
+/// the machine ([`knl_sim::Simulator::preflight_spec`], the mlm-verify
+/// engine); here only the machine-independent properties gate.
 pub fn build_program(spec: &PipelineSpec) -> Result<Program, String> {
     let mut backend = SimBackend::new(spec)?;
-    drive(&mut backend, spec)?;
+    drive_verified(&mut backend, spec, None).map_err(String::from)?;
     Ok(backend.into_program())
 }
 
@@ -455,7 +462,7 @@ mod tests {
         let spec = base_spec();
         let direct = build_program(&spec).unwrap();
         let mut rec = RecordingBackend::new(SimBackend::new(&spec).unwrap());
-        drive(&mut rec, &spec).unwrap();
+        mlm_exec::drive(&mut rec, &spec).unwrap();
         let (backend, events) = rec.into_parts();
         let traced = backend.into_program();
         assert_eq!(traced.ops().len(), direct.ops().len());

@@ -8,6 +8,7 @@
 
 use crate::backend::{Backend, ChunkAction, Stage};
 use crate::error::DriveError;
+use crate::graph::{verify_spec, GraphReport};
 use crate::placement::Placement;
 use crate::spec::PipelineSpec;
 
@@ -152,6 +153,32 @@ pub fn drive<B: Backend>(backend: &mut B, spec: &PipelineSpec) -> Result<(), Dri
     backend.finish(spec).map_err(DriveError::Backend)
 }
 
+/// [`drive`] with the static schedule verifier as a preflight gate.
+///
+/// Records the dependency graph the schedule would emit, proves it race-
+/// and deadlock-free over every linearization (and within the MCDRAM
+/// budget when `hbw_budget` is given), and only then drives `backend`.
+/// A fatal finding comes back as [`DriveError::Verification`] carrying
+/// the rendered report with its counterexample trace; on success the
+/// [`GraphReport`] (with the proven peak-occupancy bound) is returned
+/// alongside the completed run.
+///
+/// The preflight analyses the same graph the backend is about to
+/// receive, so a clean verdict covers the actual execution, not a model
+/// of it.
+pub fn drive_verified<B: Backend>(
+    backend: &mut B,
+    spec: &PipelineSpec,
+    hbw_budget: Option<u64>,
+) -> Result<GraphReport, DriveError> {
+    let report = verify_spec(spec, hbw_budget)?;
+    if !report.is_safe() {
+        return Err(DriveError::Verification(report.to_string()));
+    }
+    drive(backend, spec)?;
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +295,25 @@ mod tests {
         let err = drive(&mut b, &s).unwrap_err();
         assert!(
             matches!(err, DriveError::Capability { placement, .. } if placement == Placement::Hbw),
+            "{err}"
+        );
+        assert!(b.issued.is_empty());
+        assert!(!b.finished);
+    }
+
+    #[test]
+    fn drive_verified_gates_before_any_work() {
+        let s = spec(5, false, Placement::Hbw);
+        let mut b = Probe::new(Capabilities::all());
+        let report = drive_verified(&mut b, &s, Some(1 << 20)).unwrap();
+        assert!(b.finished);
+        assert_eq!(report.peak_live_chunks, RING_SLOTS);
+        // A budget below the proven peak (3 x 64 bytes) refuses the run
+        // before the backend sees anything.
+        let mut b = Probe::new(Capabilities::all());
+        let err = drive_verified(&mut b, &s, Some(100)).unwrap_err();
+        assert!(
+            matches!(&err, DriveError::Verification(msg) if msg.contains("G003")),
             "{err}"
         );
         assert!(b.issued.is_empty());

@@ -47,6 +47,10 @@ pub enum DriveError {
     /// The backend's own `finish` failed (e.g. a simulated deadlock, a
     /// poisoned buffer ring, or a fuzzing backend reporting a finding).
     Backend(String),
+    /// The static schedule verifier ([`crate::graph`]) refused the
+    /// emitted graph before any work ran: a race, deadlock, or capacity
+    /// finding with its counterexample trace, rendered.
+    Verification(String),
 }
 
 impl fmt::Display for DriveError {
@@ -65,6 +69,9 @@ impl fmt::Display for DriveError {
                 "schedule protocol violation at {op:?} of chunk {chunk}: {detail}"
             ),
             DriveError::Backend(msg) => write!(f, "backend failed: {msg}"),
+            DriveError::Verification(msg) => {
+                write!(f, "schedule rejected by static verification: {msg}")
+            }
         }
     }
 }
@@ -108,5 +115,47 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("Hbw"), "{s}");
+    }
+
+    /// Every variant must render its payload and survive the
+    /// `From<DriveError> for String` round-trip unchanged — the adapter
+    /// path callers still speaking `Result<_, String>` depend on.
+    #[test]
+    fn every_variant_displays_and_round_trips() {
+        let variants = [
+            DriveError::Spec("chunk_bytes must be positive".into()),
+            DriveError::Capability {
+                placement: Placement::Implicit,
+                capabilities: Capabilities::cache_mode(),
+            },
+            DriveError::Protocol {
+                op: Stage::CopyOut,
+                chunk: 3,
+                detail: "compute never produced a token".into(),
+            },
+            DriveError::Backend("pool refused the task".into()),
+            DriveError::Verification("[G001] ring slot 0 race".into()),
+        ];
+        let prefixes = [
+            "invalid spec:",
+            "backend cannot execute",
+            "schedule protocol violation at",
+            "backend failed:",
+            "schedule rejected by static verification:",
+        ];
+        let payloads = [
+            "chunk_bytes",
+            "Implicit",
+            "compute never produced",
+            "pool refused",
+            "G001",
+        ];
+        for ((e, prefix), payload) in variants.iter().zip(prefixes).zip(payloads) {
+            let s = e.to_string();
+            assert!(s.starts_with(prefix), "{s:?} should start with {prefix:?}");
+            assert!(s.contains(payload), "{s:?} should carry {payload:?}");
+            let as_string: String = e.clone().into();
+            assert_eq!(as_string, s, "From<DriveError> for String goes via Display");
+        }
     }
 }

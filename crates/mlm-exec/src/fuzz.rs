@@ -9,23 +9,29 @@
 //! adversarial interleavings (see DESIGN.md S21):
 //!
 //! * [`FuzzBackend`] implements [`Backend`], records the full dependency
-//!   graph the orchestrator issues, and at `finish` executes it with a
-//!   deterministic PRNG choosing which ready node runs next — reordering
-//!   ready dependency tokens, delaying and batching completions, and
-//!   perturbing `step_barrier` interleavings. Seed in, trace out: the
-//!   same seed always replays the same schedule.
-//! * A chunk-granular **ring model** (one value per chunk, a
-//!   [`RING_SLOTS`]-slot phase machine) checks every action: copy-in
-//!   requires a free slot, compute a loaded one, copy-out a computed one,
-//!   and final outputs must be bit-identical to the lockstep/NullBackend
-//!   ground truth (the natural-order walk of the very same graph, which
-//!   [`ground_truth`] computes in closed form).
+//!   graph the orchestrator issues (as a [`DepGraph`], the representation
+//!   shared with the static analyzer in [`crate::graph`]), and at `finish`
+//!   executes it with a deterministic PRNG choosing which ready node runs
+//!   next — reordering ready dependency tokens, delaying and batching
+//!   completions, and perturbing `step_barrier` interleavings. Seed in,
+//!   trace out: the same seed always replays the same schedule.
+//! * The chunk-granular ring model is [`SlotModel`] (one value per chunk,
+//!   a [`RING_SLOTS`]-slot phase machine), also shared with the analyzer:
+//!   copy-in requires a free slot, compute a loaded one, copy-out a
+//!   computed one, and final outputs must be bit-identical to the
+//!   lockstep/NullBackend ground truth (the natural-order walk of the
+//!   very same graph, which [`ground_truth`] computes in closed form).
 //! * [`FaultPlan`] injects backend misbehaviour — a kernel panic
 //!   poisoning its slot mid-ring, a completion reported twice, a
 //!   completion never reported — and the checker must either drain
-//!   cleanly (poison) or call the violation ([`Violation`]).
+//!   cleanly (poison) or call the violation ([`Violation`]). Fault
+//!   entries are validated against the recorded graph: addressing a
+//!   `(stage, chunk)` the schedule never issues is a
+//!   [`DriveError::Spec`], not a silent no-op.
 //! * [`Construction`] selects deliberately-broken executor disciplines
-//!   mirroring mlm-verify's four must-fail regression models; the fuzzer
+//!   mirroring mlm-verify's four must-fail regression models; each is a
+//!   [`Discipline`] weakening of the dependency edges, which is also how
+//!   [`crate::graph::analyze`] flags the same bugs statically. The fuzzer
 //!   must find each one's bug ([`Violation`]) within a committed seed.
 //! * On a failure, [`shrink`] minimizes the decision trace to a short
 //!   replayable `seed + decision list` regression ([`Finding`]).
@@ -41,6 +47,7 @@ use std::fmt;
 use crate::backend::{Backend, ChunkAction, Stage};
 use crate::drive::{drive, RING_SLOTS};
 use crate::error::DriveError;
+use crate::graph::{record_graph, DepGraph, Discipline, GraphNode, SlotError, SlotModel};
 use crate::placement::{Capabilities, Placement};
 use crate::spec::PipelineSpec;
 
@@ -158,7 +165,8 @@ impl DecisionTape {
 
 /// Backend misbehaviour to inject into one run. Faults address actions by
 /// `(stage, chunk)` so they survive shrinking (node ids shift, schedule
-/// positions do not).
+/// positions do not); [`validate_faults`] rejects entries the schedule
+/// never issues.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     /// The kernel panics while computing this chunk, poisoning its ring
@@ -182,11 +190,41 @@ impl FaultPlan {
     };
 }
 
+/// Check every fault entry against the recorded schedule graph: a fault
+/// addressing a `(stage, chunk)` the schedule never issues would silently
+/// never fire, so the run would "pass" without testing anything. The
+/// harness surfaces this as [`DriveError::Spec`].
+pub fn validate_faults(graph: &DepGraph, faults: &FaultPlan) -> Result<(), String> {
+    let check = |what: &str, stage: Stage, chunk: usize| -> Result<(), String> {
+        if graph.find_action(stage, chunk).is_none() {
+            return Err(format!(
+                "{what} fault addresses {stage:?} of chunk {chunk}, \
+                 which the schedule never issues"
+            ));
+        }
+        Ok(())
+    };
+    if let Some(k) = faults.kernel_panic {
+        check("kernel_panic", Stage::Compute, k)?;
+    }
+    if let Some((stage, chunk)) = faults.double_complete {
+        check("double_complete", stage, chunk)?;
+    }
+    if let Some((stage, chunk)) = faults.lost_complete {
+        check("lost_complete", stage, chunk)?;
+    }
+    Ok(())
+}
+
 /// Which dependency-tracking discipline the executor uses. `Correct` is
 /// the shipped semantics; the others are deliberately broken analogues of
 /// mlm-verify's four must-fail regression models, re-expressed at the
 /// `drive()` schedule level, and exist so committed regression seeds can
 /// prove the fuzzer still catches each bug class.
+///
+/// Each maps to a [`Discipline`] edge weakening via
+/// [`Construction::discipline`], which is how the static analyzer flags
+/// the same bugs without running a single schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Construction {
     /// Honour every dependency edge; poison cancels dependents.
@@ -219,6 +257,31 @@ impl Construction {
             Construction::PoisonSkipLock => "poison-skip-lock",
             Construction::NotifyOne => "notify-one",
             Construction::NoRecheck => "no-recheck",
+        }
+    }
+
+    /// The edge-weakening this construction applies to the recorded
+    /// dependency graph — the shared vocabulary between the adversarial
+    /// executor here and the static analyzer in [`crate::graph`].
+    pub fn discipline(self) -> Discipline {
+        match self {
+            Construction::Correct => Discipline::CORRECT,
+            Construction::DropRecycleDep => Discipline {
+                drop_recycle: true,
+                ..Discipline::CORRECT
+            },
+            Construction::PoisonSkipLock => Discipline {
+                poison_skip: true,
+                ..Discipline::CORRECT
+            },
+            Construction::NotifyOne => Discipline {
+                notify_one: true,
+                ..Discipline::CORRECT
+            },
+            Construction::NoRecheck => Discipline {
+                no_recheck: true,
+                ..Discipline::CORRECT
+            },
         }
     }
 }
@@ -275,6 +338,13 @@ impl Violation {
             Violation::DoubleCompletion { .. } => "double-completion",
             Violation::Deadlock { .. } => "deadlock",
             Violation::WrongOutput { .. } => "wrong-output",
+        }
+    }
+
+    fn from_slot_error(e: SlotError) -> Violation {
+        match e {
+            SlotError::Clash { action, state } => Violation::SlotClash { action, state },
+            SlotError::Poisoned { action } => Violation::PoisonTouched { action },
         }
     }
 }
@@ -371,24 +441,9 @@ impl FuzzCase {
     }
 }
 
-/// One node of the recorded schedule graph.
-#[derive(Debug, Clone)]
-enum Node {
-    Action(ChunkAction),
-    Barrier,
-}
-
-impl Node {
-    fn action(&self) -> Option<ChunkAction> {
-        match self {
-            Node::Action(a) => Some(*a),
-            Node::Barrier => None,
-        }
-    }
-}
-
 /// The fuzzing [`Backend`]: records the dependency graph the orchestrator
-/// issues, then executes it adversarially at `finish`.
+/// issues (as the shared [`DepGraph`]), then executes it adversarially at
+/// `finish`.
 ///
 /// `drive(&mut FuzzBackend::new(..), &spec)` returns
 /// `Err(DriveError::Backend(..))` exactly when the adversarial execution
@@ -397,8 +452,7 @@ impl Node {
 pub struct FuzzBackend {
     case: FuzzCase,
     tape: DecisionTape,
-    nodes: Vec<Node>,
-    deps: Vec<Vec<usize>>,
+    graph: DepGraph,
     outcome: Option<Outcome>,
 }
 
@@ -408,8 +462,7 @@ impl FuzzBackend {
         FuzzBackend {
             case,
             tape: DecisionTape::new(source),
-            nodes: Vec::new(),
-            deps: Vec::new(),
+            graph: DepGraph::new(),
             outcome: None,
         }
     }
@@ -444,19 +497,15 @@ impl Backend for FuzzBackend {
     }
 
     fn issue(&mut self, _spec: &PipelineSpec, action: ChunkAction, deps: &[usize]) -> usize {
-        self.nodes.push(Node::Action(action));
-        self.deps.push(deps.to_vec());
-        self.nodes.len() - 1
+        self.graph.push(GraphNode::Action(action), deps.to_vec())
     }
 
     fn step_barrier(&mut self, _spec: &PipelineSpec, after: &[usize]) -> usize {
-        self.nodes.push(Node::Barrier);
-        self.deps.push(after.to_vec());
-        self.nodes.len() - 1
+        self.graph.push(GraphNode::Barrier, after.to_vec())
     }
 
     fn finish(&mut self, spec: &PipelineSpec) -> Result<(), String> {
-        let outcome = Executor::new(&self.nodes, &self.deps, spec, &self.case).run(&mut self.tape);
+        let outcome = Executor::new(&self.graph, spec, &self.case).run(&mut self.tape);
         let result = match &outcome {
             Outcome::Violation(v) => Err(format!("fuzz violation ({}): {v}", v.kind())),
             _ => Ok(()),
@@ -470,31 +519,11 @@ impl Backend for FuzzBackend {
 // The adversarial executor
 // ---------------------------------------------------------------------------
 
-/// Phase state of one modeled ring slot.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Slot {
-    Free,
-    Loaded(usize, u64),
-    Computed(usize, u64),
-    Poisoned(usize),
-}
-
-impl Slot {
-    fn describe(self) -> String {
-        match self {
-            Slot::Free => "Free".into(),
-            Slot::Loaded(c, _) => format!("Loaded(chunk {c})"),
-            Slot::Computed(c, _) => format!("Computed(chunk {c})"),
-            Slot::Poisoned(c) => format!("Poisoned(chunk {c})"),
-        }
-    }
-}
-
 struct Executor<'a> {
-    nodes: &'a [Node],
-    deps: &'a [Vec<usize>],
+    graph: &'a DepGraph,
     spec: &'a PipelineSpec,
     case: &'a FuzzCase,
+    disc: Discipline,
     dependents: Vec<Vec<usize>>,
     remaining: Vec<usize>,
     completed: Vec<bool>,
@@ -502,47 +531,33 @@ struct Executor<'a> {
     cancelled: Vec<bool>,
     notified: Vec<bool>,
     ready: BTreeSet<usize>,
-    slots: Vec<Slot>,
+    ring: SlotModel,
     output: Vec<Option<u64>>,
     poisoned_chunk: Option<usize>,
 }
 
 impl<'a> Executor<'a> {
-    fn new(
-        nodes: &'a [Node],
-        deps: &'a [Vec<usize>],
-        spec: &'a PipelineSpec,
-        case: &'a FuzzCase,
-    ) -> Self {
-        let n = nodes.len();
-        // Build the effective edge set. DropRecycleDep erases exactly the
-        // buffer-recycling edges (copy-in depending on a copy-out).
-        let keep_edge = |node: usize, dep: usize| -> bool {
-            if case.construction != Construction::DropRecycleDep {
-                return true;
-            }
-            !matches!(
-                (&nodes[node], &nodes[dep]),
-                (Node::Action(a), Node::Action(d))
-                    if a.stage == Stage::CopyIn && d.stage == Stage::CopyOut
-            )
-        };
+    fn new(graph: &'a DepGraph, spec: &'a PipelineSpec, case: &'a FuzzCase) -> Self {
+        let n = graph.len();
+        let disc = case.construction.discipline();
+        // Build the effective edge set: the discipline's drop_recycle
+        // weakening erases exactly the buffer-recycling edges.
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut remaining = vec![0usize; n];
-        for (i, dl) in deps.iter().enumerate() {
-            for &d in dl {
-                if keep_edge(i, d) {
+        for (i, rem) in remaining.iter_mut().enumerate() {
+            for &d in graph.deps(i) {
+                if !(disc.drop_recycle && graph.is_recycle_edge(i, d)) {
                     dependents[d].push(i);
-                    remaining[i] += 1;
+                    *rem += 1;
                 }
             }
         }
         let ready: BTreeSet<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
         Executor {
-            nodes,
-            deps,
+            graph,
             spec,
             case,
+            disc,
             dependents,
             remaining,
             completed: vec![false; n],
@@ -550,7 +565,7 @@ impl<'a> Executor<'a> {
             cancelled: vec![false; n],
             notified: vec![false; n],
             ready,
-            slots: vec![Slot::Free; RING_SLOTS],
+            ring: SlotModel::new(RING_SLOTS),
             output: vec![None; spec.n_chunks()],
             poisoned_chunk: None,
         }
@@ -559,7 +574,7 @@ impl<'a> Executor<'a> {
     fn run(mut self, tape: &mut DecisionTape) -> Outcome {
         loop {
             if self.ready.is_empty() {
-                let pending: Vec<usize> = (0..self.nodes.len())
+                let pending: Vec<usize> = (0..self.graph.len())
                     .filter(|&i| !self.executed[i] && !self.cancelled[i])
                     .collect();
                 if pending.is_empty() {
@@ -567,7 +582,7 @@ impl<'a> Executor<'a> {
                 }
                 return Outcome::Violation(Violation::Deadlock {
                     pending: pending.len(),
-                    first: pending.iter().find_map(|&i| self.nodes[i].action()),
+                    first: pending.iter().find_map(|&i| self.graph.action(i)),
                 });
             }
 
@@ -578,32 +593,31 @@ impl<'a> Executor<'a> {
             self.executed[node] = true;
 
             let mut panicked = false;
-            if let Node::Action(a) = &self.nodes[node] {
-                match self.apply(*a) {
+            if let Some(a) = self.graph.action(node) {
+                match self.apply(a) {
                     Ok(p) => panicked = p,
                     Err(v) => return Outcome::Violation(v),
                 }
             }
 
             if panicked {
-                match self.case.construction {
-                    // PoisonSkipLock pretends the panicked compute
-                    // completed normally; everything else cancels the
-                    // transitive dependents (the poison-drain contract).
-                    Construction::PoisonSkipLock => {
-                        if let Err(v) = self.complete(node) {
-                            return Outcome::Violation(v);
-                        }
+                // The poison_skip discipline pretends the panicked compute
+                // completed normally; everything else cancels the
+                // transitive dependents (the poison-drain contract).
+                if self.disc.poison_skip {
+                    if let Err(v) = self.complete(node) {
+                        return Outcome::Violation(v);
                     }
-                    _ => self.cancel_dependents(node),
+                } else {
+                    self.cancel_dependents(node);
                 }
                 continue;
             }
 
             let fault_here = |f: Option<(Stage, usize)>| {
                 matches!(
-                    (f, &self.nodes[node]),
-                    (Some((stage, chunk)), Node::Action(a))
+                    (f, self.graph.action(node)),
+                    (Some((stage, chunk)), Some(a))
                         if a.stage == stage && a.chunk == chunk
                 )
             };
@@ -636,35 +650,27 @@ impl<'a> Executor<'a> {
             self.output[a.chunk] = Some(ground_truth(self.spec, a.chunk));
             return Ok(false);
         }
-        let slot = &mut self.slots[a.slot];
-        match (a.stage, *slot) {
-            (_, Slot::Poisoned(_)) => return Err(Violation::PoisonTouched { action: a }),
-            (Stage::CopyIn, Slot::Free) => {
-                *slot = Slot::Loaded(a.chunk, chunk_input(a.chunk));
-            }
-            (Stage::Compute, Slot::Loaded(c, v)) if c == a.chunk => {
-                if self.case.faults.kernel_panic == Some(a.chunk) {
-                    *slot = Slot::Poisoned(a.chunk);
-                    self.poisoned_chunk = Some(a.chunk);
-                    return Ok(true);
-                }
-                *slot = Slot::Computed(c, apply_kernel(v, self.spec.compute_passes));
-            }
-            (Stage::CopyOut, Slot::Computed(c, v)) if c == a.chunk => {
+        let panic_here =
+            a.stage == Stage::Compute && self.case.faults.kernel_panic == Some(a.chunk);
+        let result = match a.stage {
+            Stage::CopyIn => self.ring.load(a, chunk_input(a.chunk)).map(|()| false),
+            Stage::Compute if panic_here => self.ring.poison(a).map(|()| {
+                self.poisoned_chunk = Some(a.chunk);
+                true
+            }),
+            Stage::Compute => self
+                .ring
+                .compute(a, |v| apply_kernel(v, self.spec.compute_passes))
+                .map(|()| false),
+            Stage::CopyOut => self.ring.drain(a).map(|v| {
                 self.output[a.chunk] = Some(v);
-                *slot = Slot::Free;
-            }
-            (_, state) => {
-                return Err(Violation::SlotClash {
-                    action: a,
-                    state: state.describe(),
-                })
-            }
-        }
-        Ok(false)
+                false
+            }),
+        };
+        result.map_err(Violation::from_slot_error)
     }
 
-    /// Report `node` complete, waking dependents per the construction.
+    /// Report `node` complete, waking dependents per the discipline.
     fn complete(&mut self, node: usize) -> Result<(), Violation> {
         if self.completed[node] {
             return Err(Violation::DoubleCompletion { node });
@@ -674,16 +680,17 @@ impl<'a> Executor<'a> {
             if self.cancelled[d] || self.executed[d] {
                 continue;
             }
-            // NotifyOne: only the first dependent hears the completion.
-            if self.case.construction == Construction::NotifyOne && k > 0 {
+            // notify_one: only the first dependent hears the completion.
+            if self.disc.notify_one && k > 0 {
                 continue;
             }
             self.remaining[d] -= 1;
-            let wake = match self.case.construction {
-                // NoRecheck: the first notification makes the node
-                // runnable, remaining dependencies unchecked.
-                Construction::NoRecheck => !self.notified[d],
-                _ => self.remaining[d] == 0,
+            // no_recheck: the first notification makes the node runnable,
+            // remaining dependencies unchecked.
+            let wake = if self.disc.no_recheck {
+                !self.notified[d]
+            } else {
+                self.remaining[d] == 0
             };
             self.notified[d] = true;
             if wake {
@@ -737,10 +744,6 @@ impl<'a> Executor<'a> {
                 });
             }
         }
-        debug_assert!(self
-            .deps
-            .iter()
-            .all(|d| d.iter().all(|&x| x < self.nodes.len())));
         Outcome::Ok
     }
 }
@@ -750,21 +753,30 @@ impl<'a> Executor<'a> {
 // ---------------------------------------------------------------------------
 
 /// Run `case` once with decisions from `source`.
-pub fn run_case(case: &FuzzCase, source: TapeSource) -> FuzzRun {
+///
+/// Errors are real harness misuse: an undriveable spec or a [`FaultPlan`]
+/// addressing an action the schedule never issues (both
+/// [`DriveError::Spec`]). Violations the adversarial execution finds are
+/// *not* errors here — they come back in [`FuzzRun::outcome`].
+pub fn run_case(case: &FuzzCase, source: TapeSource) -> Result<FuzzRun, DriveError> {
+    if case.faults != FaultPlan::NONE {
+        let graph = record_graph(&case.spec)?;
+        validate_faults(&graph, &case.faults).map_err(DriveError::Spec)?;
+    }
     let mut backend = FuzzBackend::new(case.clone(), source);
     match drive(&mut backend, &case.spec) {
-        Ok(()) | Err(DriveError::Backend(_)) => backend.into_run(),
-        Err(e) => panic!("fuzz case '{}' has an undriveable spec: {e}", case.name),
+        Ok(()) | Err(DriveError::Backend(_)) => Ok(backend.into_run()),
+        Err(e) => Err(e),
     }
 }
 
 /// Run `case` once with the seeded adversarial schedule.
-pub fn fuzz_seed(case: &FuzzCase, seed: u64) -> FuzzRun {
+pub fn fuzz_seed(case: &FuzzCase, seed: u64) -> Result<FuzzRun, DriveError> {
     run_case(case, TapeSource::Seed(seed))
 }
 
 /// Replay a recorded (possibly shrunk) decision trace.
-pub fn replay(case: &FuzzCase, trace: &[u32]) -> FuzzRun {
+pub fn replay(case: &FuzzCase, trace: &[u32]) -> Result<FuzzRun, DriveError> {
     run_case(case, TapeSource::Replay(trace.to_vec()))
 }
 
@@ -802,10 +814,7 @@ impl fmt::Display for Finding {
 /// point.
 pub fn shrink(case: &FuzzCase, initial: &[u32], kind: &'static str) -> Vec<u32> {
     let fails = |t: &[u32]| {
-        replay(case, t)
-            .outcome
-            .violation()
-            .is_some_and(|v| v.kind() == kind)
+        replay(case, t).is_ok_and(|run| run.outcome.violation().is_some_and(|v| v.kind() == kind))
     };
     let trim = |t: &mut Vec<u32>| {
         while t.last() == Some(&0) {
@@ -850,14 +859,15 @@ pub fn shrink(case: &FuzzCase, initial: &[u32], kind: &'static str) -> Vec<u32> 
 }
 
 /// Fuzz one case over `seeds` consecutive seeds starting at `base`;
-/// violations come back shrunk.
-pub fn fuzz_case(case: &FuzzCase, base: u64, seeds: u64) -> Vec<Finding> {
+/// violations come back shrunk. `Err` means the case itself is broken
+/// (undriveable spec or a fault plan addressing nonexistent work).
+pub fn fuzz_case(case: &FuzzCase, base: u64, seeds: u64) -> Result<Vec<Finding>, DriveError> {
     let mut findings = Vec::new();
     for seed in base..base + seeds {
-        let run = fuzz_seed(case, seed);
+        let run = fuzz_seed(case, seed)?;
         if let Outcome::Violation(v) = run.outcome {
             let shrunk = shrink(case, &run.decisions, v.kind());
-            let confirmed = replay(case, &shrunk)
+            let confirmed = replay(case, &shrunk)?
                 .outcome
                 .violation()
                 .cloned()
@@ -870,7 +880,7 @@ pub fn fuzz_case(case: &FuzzCase, base: u64, seeds: u64) -> Vec<Finding> {
             });
         }
     }
-    findings
+    Ok(findings)
 }
 
 /// The default corpus: every placement/schedule mode the orchestrator
@@ -937,7 +947,7 @@ mod tests {
     #[test]
     fn natural_order_matches_ground_truth() {
         for case in default_corpus() {
-            let run = replay(&case, &[]);
+            let run = replay(&case, &[]).unwrap();
             assert_eq!(run.outcome, Outcome::Ok, "{}", case.name);
         }
     }
@@ -945,8 +955,8 @@ mod tests {
     #[test]
     fn seeded_runs_are_deterministic() {
         let case = dataflow_case();
-        let a = fuzz_seed(&case, 7);
-        let b = fuzz_seed(&case, 7);
+        let a = fuzz_seed(&case, 7).unwrap();
+        let b = fuzz_seed(&case, 7).unwrap();
         assert_eq!(a.outcome, b.outcome);
         assert_eq!(a.decisions, b.decisions);
     }
@@ -955,8 +965,8 @@ mod tests {
     fn recorded_decisions_replay_identically() {
         let case = dataflow_case();
         for seed in 0..20 {
-            let run = fuzz_seed(&case, seed);
-            let again = replay(&case, &run.decisions);
+            let run = fuzz_seed(&case, seed).unwrap();
+            let again = replay(&case, &run.decisions).unwrap();
             assert_eq!(run.outcome, again.outcome, "seed {seed}");
         }
     }
@@ -965,7 +975,7 @@ mod tests {
     fn correct_construction_survives_many_seeds() {
         for case in [dataflow_case(), lockstep_case()] {
             for seed in 0..200 {
-                let run = fuzz_seed(&case, seed);
+                let run = fuzz_seed(&case, seed).unwrap();
                 assert_eq!(run.outcome, Outcome::Ok, "{} seed {seed}", case.name);
             }
         }
@@ -992,7 +1002,7 @@ mod tests {
         let mut case = dataflow_case();
         case.faults.kernel_panic = Some(2);
         for seed in 0..100 {
-            let run = fuzz_seed(&case, seed);
+            let run = fuzz_seed(&case, seed).unwrap();
             match run.outcome {
                 Outcome::Poisoned {
                     chunk: 2,
@@ -1009,7 +1019,7 @@ mod tests {
     fn double_completion_is_detected() {
         let mut case = lockstep_case();
         case.faults.double_complete = Some((Stage::Compute, 1));
-        let run = fuzz_seed(&case, 0);
+        let run = fuzz_seed(&case, 0).unwrap();
         assert_eq!(
             run.outcome.violation().map(Violation::kind),
             Some("double-completion")
@@ -1020,7 +1030,7 @@ mod tests {
     fn lost_completion_deadlocks() {
         let mut case = dataflow_case();
         case.faults.lost_complete = Some((Stage::CopyIn, 0));
-        let run = fuzz_seed(&case, 0);
+        let run = fuzz_seed(&case, 0).unwrap();
         assert_eq!(
             run.outcome.violation().map(Violation::kind),
             Some("deadlock")
@@ -1028,11 +1038,33 @@ mod tests {
     }
 
     #[test]
+    fn fault_plan_must_address_a_real_action() {
+        // Chunk 99 does not exist in a 7-chunk schedule: previously a
+        // silent no-op (the run "passed" without testing anything), now a
+        // spec error.
+        let mut case = dataflow_case();
+        case.faults.kernel_panic = Some(99);
+        let err = fuzz_seed(&case, 0).unwrap_err();
+        assert!(
+            matches!(&err, DriveError::Spec(msg) if msg.contains("chunk 99")),
+            "{err}"
+        );
+        // Same for completion faults.
+        let mut case = lockstep_case();
+        case.faults.lost_complete = Some((Stage::CopyOut, 77));
+        assert!(matches!(fuzz_seed(&case, 0), Err(DriveError::Spec(_))));
+        // Implicit schedules issue no copies at all.
+        let mut case = FuzzCase::clean("implicit-2", corpus_spec(128, Placement::Implicit, true));
+        case.faults.double_complete = Some((Stage::CopyIn, 0));
+        assert!(matches!(fuzz_seed(&case, 0), Err(DriveError::Spec(_))));
+    }
+
+    #[test]
     fn shrinker_minimizes_and_preserves_the_bug() {
         let mut case = dataflow_case();
         case.construction = Construction::DropRecycleDep;
         let finding = (0..500)
-            .flat_map(|seed| fuzz_case(&case, seed, 1))
+            .flat_map(|seed| fuzz_case(&case, seed, 1).unwrap())
             .next()
             .expect("bug must be found");
         assert!(
@@ -1040,7 +1072,7 @@ mod tests {
             "shrunk trace too long: {:?}",
             finding.shrunk
         );
-        let rerun = replay(&case, &finding.shrunk);
+        let rerun = replay(&case, &finding.shrunk).unwrap();
         assert_eq!(
             rerun.outcome.violation().map(Violation::kind),
             Some(finding.violation.kind())

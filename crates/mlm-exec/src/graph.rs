@@ -1,0 +1,1340 @@
+//! The shared dependency-graph model and the static schedule verifier.
+//!
+//! [`crate::drive`] emits one dependency DAG per spec: chunk-stage actions
+//! and barriers, ordered by tokens. Two consumers share the model defined
+//! here (DESIGN.md S22):
+//!
+//! * the **fuzzer** ([`crate::fuzz`]) records the DAG through
+//!   [`GraphRecorder`]-equivalent bookkeeping and *samples* adversarial
+//!   linearizations of it;
+//! * the **static analyzer** ([`analyze`]) proves properties over *every*
+//!   linearization without enumerating them, via reachability on the
+//!   transitive closure:
+//!
+//!   | check | code | property |
+//!   |-------|------|----------|
+//!   | [`GraphCheck::Race`]        | G001 | same-slot actions are dependency-ordered (incl. poison-drain) |
+//!   | [`GraphCheck::Deadlock`]    | G002 | no cycles, no starved waiters |
+//!   | [`GraphCheck::Capacity`]    | G003 | peak HBW-resident bytes fit the MCDRAM budget |
+//!   | [`GraphCheck::RingWidth`]   | G004 | no antichain of live chunks exceeds the buffer ring |
+//!   | [`GraphCheck::DeadToken`]   | G005 | every completion is consumed (advisory) |
+//!   | [`GraphCheck::Unreachable`] | G006 | no dangling/self dependencies, no unrunnable ops |
+//!
+//! The capacity and ring-width bounds come from a weighted-antichain
+//! (Dilworth / minimum chain cover) analysis of the chunk liveness order:
+//! chunk `c` precedes chunk `d` when `c`'s copy-out happens-before `d`'s
+//! copy-in, so the maximum antichain is exactly the largest set of chunks
+//! the dependency edges allow to be resident at once. The bound is tight
+//! for the graphs `drive()` emits and conservative in general (it ignores
+//! slot identities, so it never under-reports occupancy).
+//!
+//! [`Discipline`] re-expresses the fuzzer's buggy [`Construction`]s
+//! (dropped recycle edges, notify-one wakeups, missing predicate rechecks,
+//! poison without cancellation) as *effective-edge weakenings*, which is
+//! how the analyzer flags each of the four seeded bugs statically — no
+//! fuzz seeds involved.
+//!
+//! [`Construction`]: crate::fuzz::Construction
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::backend::{Backend, ChunkAction, Stage};
+use crate::drive::{drive, RING_SLOTS};
+use crate::error::DriveError;
+use crate::placement::{Capabilities, Placement};
+use crate::spec::PipelineSpec;
+
+// ---------------------------------------------------------------------------
+// The recorded graph
+// ---------------------------------------------------------------------------
+
+/// One node of a recorded schedule graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphNode {
+    /// A chunk-stage action ([`Backend::issue`]).
+    Action(ChunkAction),
+    /// A lockstep step barrier ([`Backend::step_barrier`]).
+    Barrier,
+}
+
+impl GraphNode {
+    /// The action, if this node is one.
+    pub fn action(&self) -> Option<ChunkAction> {
+        match self {
+            GraphNode::Action(a) => Some(*a),
+            GraphNode::Barrier => None,
+        }
+    }
+}
+
+/// The dependency DAG `drive()` emits: nodes in issue order, each with the
+/// indices of the nodes whose completion it waits for.
+///
+/// The graphs `drive()` records are acyclic with every dependency pointing
+/// at an earlier node; hand-built graphs may violate both, which is
+/// exactly what [`analyze`] diagnoses (G002/G006).
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    nodes: Vec<GraphNode>,
+    deps: Vec<Vec<usize>>,
+}
+
+impl DepGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        DepGraph::default()
+    }
+
+    /// Append a node with its dependency list; returns the node's index.
+    pub fn push(&mut self, node: GraphNode, deps: Vec<usize>) -> usize {
+        self.nodes.push(node);
+        self.deps.push(deps);
+        self.nodes.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.deps.iter().map(Vec::len).sum()
+    }
+
+    /// The node at `i`.
+    pub fn node(&self, i: usize) -> &GraphNode {
+        &self.nodes[i]
+    }
+
+    /// The dependency list of node `i`.
+    pub fn deps(&self, i: usize) -> &[usize] {
+        &self.deps[i]
+    }
+
+    /// The action at node `i`, if it is one.
+    pub fn action(&self, i: usize) -> Option<ChunkAction> {
+        self.nodes[i].action()
+    }
+
+    /// The node index of the action `(stage, chunk)`, if the schedule
+    /// issues it.
+    pub fn find_action(&self, stage: Stage, chunk: usize) -> Option<usize> {
+        self.nodes
+            .iter()
+            .position(|n| matches!(n, GraphNode::Action(a) if a.stage == stage && a.chunk == chunk))
+    }
+
+    /// Dependents (reverse edges) of every node, in node order. Edges to
+    /// out-of-range or self targets are skipped.
+    pub fn dependents(&self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut out = vec![Vec::new(); n];
+        for (i, dl) in self.deps.iter().enumerate() {
+            for &d in dl {
+                if d < n && d != i {
+                    out[d].push(i);
+                }
+            }
+        }
+        out
+    }
+
+    /// True when the edge `dep -> node` is a buffer-recycling edge (a
+    /// copy-in waiting for the copy-out that frees its slot). The
+    /// [`Discipline::drop_recycle`] weakening erases exactly these.
+    pub fn is_recycle_edge(&self, node: usize, dep: usize) -> bool {
+        matches!(
+            (&self.nodes[node], &self.nodes[dep]),
+            (GraphNode::Action(a), GraphNode::Action(d))
+                if a.stage == Stage::CopyIn && d.stage == Stage::CopyOut
+        )
+    }
+
+    /// Human-readable one-line description of node `i`, for traces.
+    pub fn describe(&self, i: usize) -> String {
+        match self.nodes.get(i) {
+            Some(GraphNode::Action(a)) => format!(
+                "{:?} of chunk {} (slot {}, node {i})",
+                a.stage, a.chunk, a.slot
+            ),
+            Some(GraphNode::Barrier) => format!("step barrier (node {i})"),
+            None => format!("node {i} (out of range)"),
+        }
+    }
+}
+
+/// A [`Backend`] that records the dependency graph and performs no work.
+///
+/// Tokens are node indices, so the recorded [`DepGraph`] is exactly the
+/// DAG any other backend would receive.
+#[derive(Debug, Default)]
+pub struct GraphRecorder {
+    graph: DepGraph,
+}
+
+impl GraphRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        GraphRecorder::default()
+    }
+
+    /// The recorded graph.
+    pub fn into_graph(self) -> DepGraph {
+        self.graph
+    }
+}
+
+impl Backend for GraphRecorder {
+    type Token = usize;
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::all()
+    }
+
+    fn issue(&mut self, _spec: &PipelineSpec, action: ChunkAction, deps: &[usize]) -> usize {
+        self.graph.push(GraphNode::Action(action), deps.to_vec())
+    }
+
+    fn step_barrier(&mut self, _spec: &PipelineSpec, after: &[usize]) -> usize {
+        self.graph.push(GraphNode::Barrier, after.to_vec())
+    }
+
+    fn finish(&mut self, _spec: &PipelineSpec) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Record the dependency graph `drive()` emits for `spec` without
+/// executing anything. Fails only when the spec itself cannot be driven
+/// ([`DriveError::Spec`]).
+pub fn record_graph(spec: &PipelineSpec) -> Result<DepGraph, DriveError> {
+    let mut recorder = GraphRecorder::new();
+    drive(&mut recorder, spec)?;
+    Ok(recorder.into_graph())
+}
+
+// ---------------------------------------------------------------------------
+// The slot phase model (shared with the fuzzer's executor)
+// ---------------------------------------------------------------------------
+
+/// Phase state of one modeled ring slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotState {
+    /// No chunk resident.
+    Free,
+    /// Chunk loaded with its input value, not yet computed.
+    Loaded(usize, u64),
+    /// Chunk computed, ready to drain.
+    Computed(usize, u64),
+    /// A kernel panicked mid-compute; nothing may touch the slot.
+    Poisoned(usize),
+}
+
+impl SlotState {
+    /// Human-readable state name, for violation messages.
+    pub fn describe(self) -> String {
+        match self {
+            SlotState::Free => "Free".into(),
+            SlotState::Loaded(c, _) => format!("Loaded(chunk {c})"),
+            SlotState::Computed(c, _) => format!("Computed(chunk {c})"),
+            SlotState::Poisoned(c) => format!("Poisoned(chunk {c})"),
+        }
+    }
+}
+
+/// A phase-machine transition the ring refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlotError {
+    /// The action hit its slot in the wrong phase (overwrite of a live
+    /// slot, compute on an unloaded slot, copy-out of stale data).
+    Clash {
+        /// The offending action.
+        action: ChunkAction,
+        /// The slot state at the time, rendered.
+        state: String,
+    },
+    /// The action touched a slot poisoned by a kernel panic.
+    Poisoned {
+        /// The offending action.
+        action: ChunkAction,
+    },
+}
+
+/// The chunk-granular buffer-ring phase machine: copy-in requires a free
+/// slot, compute a loaded one, copy-out a computed one; a poisoned slot
+/// refuses everything. One value per chunk tracks data integrity.
+///
+/// This is the single ring model both the fuzzer's adversarial executor
+/// and the analyzer's poison reasoning are defined against.
+#[derive(Debug, Clone)]
+pub struct SlotModel {
+    slots: Vec<SlotState>,
+}
+
+impl SlotModel {
+    /// A ring of `slots` free slots.
+    pub fn new(slots: usize) -> Self {
+        SlotModel {
+            slots: vec![SlotState::Free; slots],
+        }
+    }
+
+    /// The state of slot `s`.
+    pub fn state(&self, s: usize) -> SlotState {
+        self.slots[s]
+    }
+
+    fn entry(&mut self, a: ChunkAction) -> Result<&mut SlotState, SlotError> {
+        let slot = &mut self.slots[a.slot];
+        if matches!(*slot, SlotState::Poisoned(_)) {
+            return Err(SlotError::Poisoned { action: a });
+        }
+        Ok(slot)
+    }
+
+    /// Copy-in: load `value` into the (free) slot of `a`.
+    pub fn load(&mut self, a: ChunkAction, value: u64) -> Result<(), SlotError> {
+        let slot = self.entry(a)?;
+        match *slot {
+            SlotState::Free => {
+                *slot = SlotState::Loaded(a.chunk, value);
+                Ok(())
+            }
+            state => Err(SlotError::Clash {
+                action: a,
+                state: state.describe(),
+            }),
+        }
+    }
+
+    /// Compute: transform the loaded value of `a`'s chunk with `kernel`.
+    pub fn compute(
+        &mut self,
+        a: ChunkAction,
+        kernel: impl FnOnce(u64) -> u64,
+    ) -> Result<(), SlotError> {
+        let slot = self.entry(a)?;
+        match *slot {
+            SlotState::Loaded(c, v) if c == a.chunk => {
+                *slot = SlotState::Computed(c, kernel(v));
+                Ok(())
+            }
+            state => Err(SlotError::Clash {
+                action: a,
+                state: state.describe(),
+            }),
+        }
+    }
+
+    /// A kernel panic where the compute of `a` would run: poison the slot.
+    pub fn poison(&mut self, a: ChunkAction) -> Result<(), SlotError> {
+        let slot = self.entry(a)?;
+        match *slot {
+            SlotState::Loaded(c, _) if c == a.chunk => {
+                *slot = SlotState::Poisoned(c);
+                Ok(())
+            }
+            state => Err(SlotError::Clash {
+                action: a,
+                state: state.describe(),
+            }),
+        }
+    }
+
+    /// Copy-out: drain the computed value of `a`'s chunk, freeing the slot.
+    pub fn drain(&mut self, a: ChunkAction) -> Result<u64, SlotError> {
+        let slot = self.entry(a)?;
+        match *slot {
+            SlotState::Computed(c, v) if c == a.chunk => {
+                *slot = SlotState::Free;
+                Ok(v)
+            }
+            state => Err(SlotError::Clash {
+                action: a,
+                state: state.describe(),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disciplines and analysis configuration
+// ---------------------------------------------------------------------------
+
+/// How an executor honours the recorded dependency edges. The default
+/// ([`Discipline::CORRECT`]) honours all of them; each flag is the
+/// effective-edge weakening of one of the fuzzer's buggy
+/// [`Construction`](crate::fuzz::Construction)s, so the analyzer can prove
+/// the same bug classes statically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Discipline {
+    /// Ignore copy-out → copy-in buffer-recycling edges.
+    pub drop_recycle: bool,
+    /// A completion wakes only the statically-first dependent; an edge to
+    /// any later dependent delivers no notification (the waiter starves).
+    pub notify_one: bool,
+    /// A node becomes runnable on its *first* dependency's completion; an
+    /// edge `d -> i` is only guaranteed when `d` happens-before every
+    /// other dependency of `i` (so no earlier notifier can exist).
+    pub no_recheck: bool,
+    /// After a kernel panic, dependents are scheduled as if the compute
+    /// completed normally (no cancellation).
+    pub poison_skip: bool,
+}
+
+impl Discipline {
+    /// Honour every edge; poison cancels dependents.
+    pub const CORRECT: Discipline = Discipline {
+        drop_recycle: false,
+        notify_one: false,
+        no_recheck: false,
+        poison_skip: false,
+    };
+}
+
+/// What [`analyze`] checks a graph against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalysisConfig {
+    /// Buffer-ring depth the slot assignment rotates over.
+    pub ring_slots: usize,
+    /// Addressable MCDRAM bytes for HBW-placed buffers; `None` skips the
+    /// G003 capacity check.
+    pub hbw_budget: Option<u64>,
+    /// The executor discipline to analyse under.
+    pub discipline: Discipline,
+    /// Model a kernel panic while computing this chunk (the static form
+    /// of the fuzzer's `kernel_panic` fault): prove that nothing outside
+    /// the guaranteed-cancelled dependents touches the poisoned slot.
+    pub kernel_panic: Option<usize>,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            ring_slots: RING_SLOTS,
+            hbw_budget: None,
+            discipline: Discipline::CORRECT,
+            kernel_panic: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Findings and report
+// ---------------------------------------------------------------------------
+
+/// The property a [`GraphFinding`] violates. Codes G001–G006 are stable
+/// and live alongside `mlm-verify`'s V-series lint ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphCheck {
+    /// G001 — two actions touch the same ring slot with no dependency
+    /// path ordering them (happens-before race), or uncancelled work
+    /// touches a poisoned slot.
+    Race,
+    /// G002 — a dependency cycle, or a waiter whose notification can
+    /// never be delivered (starvation): some work can never run.
+    Deadlock,
+    /// G003 — the peak antichain of live HBW chunks exceeds the MCDRAM
+    /// budget.
+    Capacity,
+    /// G004 — an antichain of in-flight chunks exceeds the buffer ring.
+    RingWidth,
+    /// G005 — a completion no later node consumes (advisory).
+    DeadToken,
+    /// G006 — a dangling or self dependency; the op (and everything
+    /// downstream of it) can never become runnable.
+    Unreachable,
+}
+
+impl GraphCheck {
+    /// Every check the analyzer runs, in code order (for catalogs).
+    pub const ALL: [GraphCheck; 6] = [
+        GraphCheck::Race,
+        GraphCheck::Deadlock,
+        GraphCheck::Capacity,
+        GraphCheck::RingWidth,
+        GraphCheck::DeadToken,
+        GraphCheck::Unreachable,
+    ];
+
+    /// The stable diagnostic code.
+    pub fn code(self) -> &'static str {
+        match self {
+            GraphCheck::Race => "G001",
+            GraphCheck::Deadlock => "G002",
+            GraphCheck::Capacity => "G003",
+            GraphCheck::RingWidth => "G004",
+            GraphCheck::DeadToken => "G005",
+            GraphCheck::Unreachable => "G006",
+        }
+    }
+
+    /// The check's kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphCheck::Race => "graph-race",
+            GraphCheck::Deadlock => "graph-deadlock",
+            GraphCheck::Capacity => "graph-mcdram-occupancy",
+            GraphCheck::RingWidth => "graph-ring-width",
+            GraphCheck::DeadToken => "graph-dead-token",
+            GraphCheck::Unreachable => "graph-unreachable",
+        }
+    }
+
+    /// True when a finding of this check makes the schedule unsafe to
+    /// run. [`GraphCheck::DeadToken`] is advisory (wasted work, not a
+    /// safety violation); everything else is fatal.
+    pub fn is_fatal(self) -> bool {
+        !matches!(self, GraphCheck::DeadToken)
+    }
+}
+
+impl fmt::Display for GraphCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// One property violation, with a counterexample trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphFinding {
+    /// Which property broke.
+    pub check: GraphCheck,
+    /// One-line description.
+    pub message: String,
+    /// Counterexample trace: the nodes/chunks that witness the violation,
+    /// one human-readable line each.
+    pub trace: Vec<String>,
+}
+
+/// Everything [`analyze`] proved (or refuted) about one graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphReport {
+    /// Nodes analysed.
+    pub nodes: usize,
+    /// Dependency edges analysed.
+    pub edges: usize,
+    /// Size of the maximum antichain of concurrently-live chunks — the
+    /// worst-case number of resident buffers any legal linearization can
+    /// reach.
+    pub peak_live_chunks: usize,
+    /// `peak_live_chunks × chunk_bytes` for HBW placement, `0` otherwise.
+    pub peak_hbw_bytes: u64,
+    /// Property violations found; empty means every check passed.
+    pub findings: Vec<GraphFinding>,
+}
+
+impl GraphReport {
+    /// True when no fatal finding was reported (advisory G005 findings
+    /// do not make a schedule unsafe).
+    pub fn is_safe(&self) -> bool {
+        !self.findings.iter().any(|f| f.check.is_fatal())
+    }
+
+    /// The distinct check codes that fired, in code order.
+    pub fn codes(&self) -> Vec<&'static str> {
+        let mut codes: Vec<&'static str> = self.findings.iter().map(|f| f.check.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        codes
+    }
+}
+
+impl fmt::Display for GraphReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule graph: {} nodes, {} edges, peak {} live chunks ({} HBW bytes)",
+            self.nodes, self.edges, self.peak_live_chunks, self.peak_hbw_bytes
+        )?;
+        for finding in &self.findings {
+            write!(f, "\n[{}] {}", finding.check.code(), finding.message)?;
+            for line in &finding.trace {
+                write!(f, "\n    {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bitset transitive closure
+// ---------------------------------------------------------------------------
+
+/// Fixed-width bitset over node indices.
+#[derive(Clone)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(bits: usize) -> Self {
+        BitSet {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    fn union_with(&mut self, other: &BitSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+}
+
+/// Ancestor sets (`anc[i]` = nodes that happen-before `i`) over the edge
+/// lists `deps`, processed in `topo` order.
+fn closure(n: usize, deps: &[Vec<usize>], topo: &[usize]) -> Vec<BitSet> {
+    let mut anc = vec![BitSet::new(n); n];
+    for &i in topo {
+        // Move the set out to appease the borrow checker, then put it back.
+        let mut mine = std::mem::replace(&mut anc[i], BitSet::new(0));
+        for &d in &deps[i] {
+            mine.set(d);
+            mine.union_with(&anc[d]);
+        }
+        anc[i] = mine;
+    }
+    anc
+}
+
+/// Kahn topological order over `deps`; `None` when a cycle exists.
+fn topo_order(n: usize, deps: &[Vec<usize>]) -> Option<Vec<usize>> {
+    let mut dependents = vec![Vec::new(); n];
+    let mut remaining = vec![0usize; n];
+    for (i, dl) in deps.iter().enumerate() {
+        for &d in dl {
+            dependents[d].push(i);
+            remaining[i] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop() {
+        order.push(i);
+        for &d in &dependents[i] {
+            remaining[d] -= 1;
+            if remaining[d] == 0 {
+                queue.push(d);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// A directed cycle over `deps`, as a node sequence (first == last), for
+/// the G002 counterexample trace. Only called when one exists.
+fn find_cycle(n: usize, deps: &[Vec<usize>]) -> Vec<usize> {
+    // Iterative DFS with white/gray/black coloring.
+    let mut color = vec![0u8; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = 1;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < deps[node].len() {
+                let d = deps[node][*next];
+                *next += 1;
+                match color[d] {
+                    0 => {
+                        color[d] = 1;
+                        parent[d] = Some(node);
+                        stack.push((d, 0));
+                    }
+                    1 => {
+                        // Back edge node -> d: walk parents from node to d.
+                        let mut cycle = vec![d];
+                        let mut cur = node;
+                        while cur != d {
+                            cycle.push(cur);
+                            cur = parent[cur].expect("on the gray path");
+                        }
+                        cycle.push(d);
+                        cycle.reverse();
+                        return cycle;
+                    }
+                    _ => {}
+                }
+            } else {
+                color[node] = 2;
+                stack.pop();
+            }
+        }
+    }
+    unreachable!("find_cycle called on an acyclic graph")
+}
+
+// ---------------------------------------------------------------------------
+// Antichain analysis (Dilworth via bipartite matching + König witness)
+// ---------------------------------------------------------------------------
+
+fn kuhn_augment(
+    u: usize,
+    adj: &[Vec<usize>],
+    seen: &mut [bool],
+    match_l: &mut [Option<usize>],
+    match_r: &mut [Option<usize>],
+) -> bool {
+    for &v in &adj[u] {
+        if seen[v] {
+            continue;
+        }
+        seen[v] = true;
+        let free = match match_r[v] {
+            None => true,
+            Some(u2) => kuhn_augment(u2, adj, seen, match_l, match_r),
+        };
+        if free {
+            match_r[v] = Some(u);
+            match_l[u] = Some(v);
+            return true;
+        }
+    }
+    false
+}
+
+/// Maximum antichain of the strict partial order `adj` (edges `c -> d`
+/// meaning `c` precedes `d`) over `n` elements, by Dilworth's theorem:
+/// max antichain = n − max bipartite matching of the precedence relation,
+/// with the witness antichain extracted from the König vertex cover.
+fn max_antichain(n: usize, adj: &[Vec<usize>]) -> Vec<usize> {
+    let mut match_l: Vec<Option<usize>> = vec![None; n];
+    let mut match_r: Vec<Option<usize>> = vec![None; n];
+    let mut matched = 0usize;
+    for u in 0..n {
+        let mut seen = vec![false; n];
+        if kuhn_augment(u, adj, &mut seen, &mut match_l, &mut match_r) {
+            matched += 1;
+        }
+    }
+    // König: Z = unmatched left vertices plus everything reachable by
+    // alternating (non-matching left→right, matching right→left) paths.
+    // The antichain is {c : c_L ∈ Z and c_R ∉ Z} — both copies of c
+    // avoid the minimum vertex cover.
+    let mut vis_l = vec![false; n];
+    let mut vis_r = vec![false; n];
+    let mut queue: Vec<usize> = (0..n).filter(|&u| match_l[u].is_none()).collect();
+    for &u in &queue {
+        vis_l[u] = true;
+    }
+    while let Some(u) = queue.pop() {
+        for &v in &adj[u] {
+            if match_l[u] == Some(v) || vis_r[v] {
+                continue;
+            }
+            vis_r[v] = true;
+            if let Some(u2) = match_r[v] {
+                if !vis_l[u2] {
+                    vis_l[u2] = true;
+                    queue.push(u2);
+                }
+            }
+        }
+    }
+    let antichain: Vec<usize> = (0..n).filter(|&c| vis_l[c] && !vis_r[c]).collect();
+    debug_assert_eq!(antichain.len(), n - matched, "Dilworth/König mismatch");
+    antichain
+}
+
+// ---------------------------------------------------------------------------
+// The analyzer
+// ---------------------------------------------------------------------------
+
+/// Prove (or refute) race-, deadlock-, and capacity-safety of `graph` over
+/// every linearization, under the configured executor discipline.
+///
+/// The proofs are exhaustive for the schedule level the graph models: a
+/// clean report means *no* interleaving a dependency-honouring executor
+/// can produce violates the checked property — the static counterpart of
+/// one fuzz seed per linearization.
+pub fn analyze(graph: &DepGraph, spec: &PipelineSpec, cfg: &AnalysisConfig) -> GraphReport {
+    let n = graph.len();
+    let mut findings = Vec::new();
+
+    // G006 — structural validity: dangling and self dependencies, plus
+    // everything downstream of one (it can never become runnable).
+    let mut invalid = vec![false; n];
+    for (i, inv) in invalid.iter_mut().enumerate() {
+        for &d in graph.deps(i) {
+            if d >= n || d == i {
+                *inv = true;
+                findings.push(GraphFinding {
+                    check: GraphCheck::Unreachable,
+                    message: if d == i {
+                        format!("{} depends on itself", graph.describe(i))
+                    } else {
+                        format!(
+                            "{} depends on nonexistent node {d} (graph has {n} nodes)",
+                            graph.describe(i)
+                        )
+                    },
+                    trace: vec![format!("{} can never become runnable", graph.describe(i))],
+                });
+            }
+        }
+    }
+
+    // Work on the valid edge set from here on.
+    let valid_deps: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            graph
+                .deps(i)
+                .iter()
+                .copied()
+                .filter(|&d| d < n && d != i)
+                .collect()
+        })
+        .collect();
+
+    // G002 — cycle detection. A cyclic graph has no linearizations at
+    // all; report the cycle and stop (closure analyses assume a DAG).
+    let Some(topo) = topo_order(n, &valid_deps) else {
+        let cycle = find_cycle(n, &valid_deps);
+        let trace: Vec<String> = cycle.iter().map(|&i| graph.describe(i)).collect();
+        findings.push(GraphFinding {
+            check: GraphCheck::Deadlock,
+            message: format!(
+                "dependency cycle of {} nodes: no execution order exists",
+                cycle.len() - 1
+            ),
+            trace,
+        });
+        return GraphReport {
+            nodes: n,
+            edges: graph.edge_count(),
+            peak_live_chunks: 0,
+            peak_hbw_bytes: 0,
+            findings,
+        };
+    };
+
+    let disc = cfg.discipline;
+
+    // Effective edges, step 1: drop_recycle erases the recycling edges.
+    let kept: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            valid_deps[i]
+                .iter()
+                .copied()
+                .filter(|&d| !(disc.drop_recycle && graph.is_recycle_edge(i, d)))
+                .collect()
+        })
+        .collect();
+    let anc_kept = closure(n, &kept, &topo);
+
+    // Effective edges, step 2: no_recheck keeps an edge `d -> i` only when
+    // the executor's run-on-first-notification shortcut cannot fire before
+    // `d` completes — i.e. `d` happens-before every other dependency of
+    // `i`, so whichever notification arrives first, `d` is already done.
+    let eff: Vec<Vec<usize>> = if disc.no_recheck {
+        (0..n)
+            .map(|i| {
+                let dl = &kept[i];
+                dl.iter()
+                    .copied()
+                    .filter(|&d| dl.iter().all(|&o| o == d || anc_kept[o].get(d)))
+                    .collect()
+            })
+            .collect()
+    } else {
+        kept.clone()
+    };
+    let anc = if disc.no_recheck {
+        closure(n, &eff, &topo)
+    } else {
+        anc_kept
+    };
+    let ordered = |a: usize, b: usize| anc[b].get(a) || anc[a].get(b);
+
+    // G002 — notify-one starvation: a waiter that is not the statically
+    // first dependent of one of its dependencies never hears that
+    // completion; anything downstream of a starved node starves too.
+    if disc.notify_one {
+        let dependents = {
+            let mut out = vec![Vec::new(); n];
+            for (i, dl) in kept.iter().enumerate() {
+                for &d in dl {
+                    out[d].push(i);
+                }
+            }
+            out
+        };
+        let mut starved_by: Vec<Option<usize>> = vec![None; n];
+        for (i, dl) in kept.iter().enumerate() {
+            for &d in dl {
+                if dependents[d].first() != Some(&i) {
+                    starved_by[i] = Some(d);
+                }
+            }
+        }
+        let mut stuck = vec![false; n];
+        for &i in &topo {
+            stuck[i] = starved_by[i].is_some() || kept[i].iter().any(|&d| stuck[d]);
+        }
+        let stuck_count = stuck.iter().filter(|&&s| s).count();
+        if stuck_count > 0 {
+            let first = (0..n)
+                .find(|&i| starved_by[i].is_some())
+                .expect("stuck implies a directly starved node");
+            let d = starved_by[first].expect("directly starved");
+            let favoured = dependents[d][0];
+            findings.push(GraphFinding {
+                check: GraphCheck::Deadlock,
+                message: format!(
+                    "notify-one wakeups starve {stuck_count} nodes: lost notifications deadlock the schedule"
+                ),
+                trace: vec![
+                    format!("{} waits on {}", graph.describe(first), graph.describe(d)),
+                    format!(
+                        "completion of {} wakes only {} (notify-one)",
+                        graph.describe(d),
+                        graph.describe(favoured)
+                    ),
+                    format!("{stuck_count} of {n} nodes can never run"),
+                ],
+            });
+        }
+    }
+
+    let actions: Vec<(usize, ChunkAction)> = (0..n)
+        .filter_map(|i| graph.action(i).map(|a| (i, a)))
+        .collect();
+    let explicit = spec.placement != Placement::Implicit;
+
+    // G001 — happens-before races: any two actions on the same ring slot
+    // must be connected by a dependency path, else some linearization runs
+    // them concurrently (the slot phase machine is then violated).
+    if explicit {
+        let mut by_slot: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &(i, a) in &actions {
+            by_slot.entry(a.slot).or_default().push(i);
+        }
+        for (slot, members) in &by_slot {
+            let mut unordered: Vec<(usize, usize)> = Vec::new();
+            for (k, &i) in members.iter().enumerate() {
+                for &j in &members[k + 1..] {
+                    if !ordered(i, j) {
+                        unordered.push((i, j));
+                    }
+                }
+            }
+            if let Some(&(i, j)) = unordered.first() {
+                findings.push(GraphFinding {
+                    check: GraphCheck::Race,
+                    message: format!(
+                        "ring slot {slot}: {} action pair(s) with no dependency path between them",
+                        unordered.len()
+                    ),
+                    trace: vec![
+                        format!(
+                            "{} and {} both touch slot {slot}",
+                            graph.describe(i),
+                            graph.describe(j)
+                        ),
+                        "no dependency path orders them under the analysed discipline".into(),
+                    ],
+                });
+            }
+        }
+    }
+
+    // G001 (poison) — with a modeled kernel panic, everything that is not
+    // a guaranteed-cancelled dependent of the panicked compute and runs
+    // concurrently with or after it must not touch the poisoned slot.
+    if explicit {
+        if let Some(k) = cfg.kernel_panic {
+            if let Some(p) = graph.find_action(Stage::Compute, k) {
+                let slot = k % cfg.ring_slots;
+                for &(i, a) in &actions {
+                    if i == p || a.slot != slot {
+                        continue;
+                    }
+                    let cancelled = !disc.poison_skip && anc[i].get(p);
+                    let before_panic = anc[p].get(i);
+                    if !cancelled && !before_panic {
+                        findings.push(GraphFinding {
+                            check: GraphCheck::Race,
+                            message: format!(
+                                "poison leak: {} can touch the slot poisoned by the kernel panic on chunk {k}",
+                                graph.describe(i)
+                            ),
+                            trace: vec![
+                                format!(
+                                    "kernel panic poisons slot {slot} at {}",
+                                    graph.describe(p)
+                                ),
+                                format!(
+                                    "{} is not a guaranteed-cancelled dependent and is not ordered before the panic",
+                                    graph.describe(i)
+                                ),
+                            ],
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // G003/G004 — chunk liveness antichain. Chunk `c` is live from its
+    // first resident action (copy-in; the compute itself in implicit
+    // mode) until its last (copy-out). `c` strictly precedes `d` when
+    // `c`'s end happens-before `d`'s start, so by Dilworth the maximum
+    // antichain of the precedence order is exactly the worst-case number
+    // of simultaneously-live chunks any linearization can reach.
+    let n_chunks = spec.n_chunks();
+    let live_span = |c: usize| -> (Option<usize>, Option<usize>) {
+        if explicit {
+            (
+                graph.find_action(Stage::CopyIn, c),
+                graph.find_action(Stage::CopyOut, c),
+            )
+        } else {
+            let comp = graph.find_action(Stage::Compute, c);
+            (comp, comp)
+        }
+    };
+    let spans: Vec<(Option<usize>, Option<usize>)> = (0..n_chunks).map(live_span).collect();
+    let mut precedes: Vec<Vec<usize>> = vec![Vec::new(); n_chunks];
+    for (c, &(_, end_c)) in spans.iter().enumerate() {
+        for (d, &(start_d, _)) in spans.iter().enumerate() {
+            if let (Some(out_c), Some(in_d)) = (end_c, start_d) {
+                if c != d && anc[in_d].get(out_c) {
+                    precedes[c].push(d);
+                }
+            }
+        }
+    }
+    let antichain = max_antichain(n_chunks, &precedes);
+    let peak_live_chunks = antichain.len();
+    let peak_hbw_bytes = if explicit && spec.placement == Placement::Hbw {
+        peak_live_chunks as u64 * spec.chunk_bytes
+    } else {
+        0
+    };
+    let witness_chunks = || -> Vec<String> {
+        let mut lines: Vec<String> = antichain
+            .iter()
+            .take(8)
+            .map(|&c| format!("chunk {c} live (slot {})", c % cfg.ring_slots))
+            .collect();
+        if antichain.len() > 8 {
+            lines.push(format!("... and {} more", antichain.len() - 8));
+        }
+        lines
+    };
+    if explicit && peak_live_chunks > cfg.ring_slots {
+        findings.push(GraphFinding {
+            check: GraphCheck::RingWidth,
+            message: format!(
+                "{peak_live_chunks} chunks can be in flight concurrently but the ring has {} slots",
+                cfg.ring_slots
+            ),
+            trace: witness_chunks(),
+        });
+    }
+    if let Some(budget) = cfg.hbw_budget {
+        if peak_hbw_bytes > budget {
+            let mut trace = vec![format!(
+                "peak = {peak_live_chunks} live chunks x {} bytes/chunk = {peak_hbw_bytes} bytes",
+                spec.chunk_bytes
+            )];
+            trace.extend(witness_chunks());
+            findings.push(GraphFinding {
+                check: GraphCheck::Capacity,
+                message: format!(
+                    "peak HBW occupancy {peak_hbw_bytes} bytes exceeds the MCDRAM budget of {budget} bytes"
+                ),
+                trace,
+            });
+        }
+    }
+
+    // G005 — dead tokens: a completion nobody consumes. Copy-outs retire
+    // their chunk (their completion *is* the pipeline's output) and the
+    // final node ends the schedule; anything else without a dependent is
+    // issued work whose finish the graph never observes.
+    let dependents = graph.dependents();
+    for i in 0..n {
+        if invalid[i] || !dependents[i].is_empty() || i == n - 1 {
+            continue;
+        }
+        if matches!(graph.action(i), Some(a) if a.stage == Stage::CopyOut) {
+            continue;
+        }
+        findings.push(GraphFinding {
+            check: GraphCheck::DeadToken,
+            message: format!("completion of {} is never consumed", graph.describe(i)),
+            trace: vec!["no later node depends on it; its chunk can never be drained".into()],
+        });
+    }
+
+    findings.sort_by_key(|f| f.check.code());
+    GraphReport {
+        nodes: n,
+        edges: graph.edge_count(),
+        peak_live_chunks,
+        peak_hbw_bytes,
+        findings,
+    }
+}
+
+/// Record the graph `drive()` emits for `spec` and [`analyze`] it under
+/// the shipped (correct) discipline. `hbw_budget` is the addressable
+/// MCDRAM for the G003 capacity bound (`None` skips it).
+///
+/// Returns the report — check [`GraphReport::is_safe`] for the verdict;
+/// `Err` only when the spec cannot be driven at all.
+pub fn verify_spec(
+    spec: &PipelineSpec,
+    hbw_budget: Option<u64>,
+) -> Result<GraphReport, DriveError> {
+    let graph = record_graph(spec)?;
+    let cfg = AnalysisConfig {
+        hbw_budget,
+        ..AnalysisConfig::default()
+    };
+    Ok(analyze(&graph, spec, &cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(n_chunks: u64, lockstep: bool, placement: Placement) -> PipelineSpec {
+        PipelineSpec {
+            total_bytes: n_chunks * 64,
+            chunk_bytes: 64,
+            p_in: 1,
+            p_out: 1,
+            p_comp: 2,
+            compute_passes: 1,
+            compute_rate: 1e9,
+            copy_rate: 1e9,
+            placement,
+            lockstep,
+            data_addr: 0,
+        }
+    }
+
+    #[test]
+    fn emitted_graphs_verify_clean() {
+        for lockstep in [true, false] {
+            for placement in [Placement::Hbw, Placement::Ddr] {
+                let s = spec(7, lockstep, placement);
+                let r = verify_spec(&s, Some(1 << 30)).unwrap();
+                assert!(r.is_safe(), "{lockstep}/{placement:?}: {r}");
+                assert!(r.findings.is_empty(), "{r}");
+                assert_eq!(r.peak_live_chunks, 3, "{r}");
+            }
+        }
+        let s = spec(4, true, Placement::Implicit);
+        let r = verify_spec(&s, None).unwrap();
+        assert!(r.findings.is_empty(), "{r}");
+        assert_eq!(r.peak_live_chunks, 1);
+        assert_eq!(r.peak_hbw_bytes, 0);
+    }
+
+    #[test]
+    fn single_chunk_peaks_at_one() {
+        let r = verify_spec(&spec(1, false, Placement::Hbw), None).unwrap();
+        assert!(r.findings.is_empty(), "{r}");
+        assert_eq!(r.peak_live_chunks, 1);
+        assert_eq!(r.peak_hbw_bytes, 64);
+    }
+
+    #[test]
+    fn dropped_recycle_edges_race_and_overflow_the_ring() {
+        let g = record_graph(&spec(4, false, Placement::Hbw)).unwrap();
+        let cfg = AnalysisConfig {
+            discipline: Discipline {
+                drop_recycle: true,
+                ..Discipline::CORRECT
+            },
+            ..AnalysisConfig::default()
+        };
+        let r = analyze(&g, &spec(4, false, Placement::Hbw), &cfg);
+        let codes = r.codes();
+        assert!(codes.contains(&"G001"), "{r}");
+        assert!(codes.contains(&"G004"), "{r}");
+        assert!(r.findings.iter().all(|f| !f.trace.is_empty()), "{r}");
+    }
+
+    #[test]
+    fn notify_one_starves_lockstep_waiters() {
+        let s = spec(4, true, Placement::Hbw);
+        let g = record_graph(&s).unwrap();
+        let cfg = AnalysisConfig {
+            discipline: Discipline {
+                notify_one: true,
+                ..Discipline::CORRECT
+            },
+            ..AnalysisConfig::default()
+        };
+        let r = analyze(&g, &s, &cfg);
+        assert_eq!(r.codes(), vec!["G002"], "{r}");
+        // Dataflow chains have single dependents everywhere: immune.
+        let s = spec(4, false, Placement::Hbw);
+        let g = record_graph(&s).unwrap();
+        let r = analyze(&g, &s, &cfg);
+        assert!(r.is_safe(), "{r}");
+    }
+
+    #[test]
+    fn no_recheck_races_the_lockstep_ring() {
+        let s = spec(4, true, Placement::Hbw);
+        let g = record_graph(&s).unwrap();
+        let cfg = AnalysisConfig {
+            discipline: Discipline {
+                no_recheck: true,
+                ..Discipline::CORRECT
+            },
+            ..AnalysisConfig::default()
+        };
+        let r = analyze(&g, &s, &cfg);
+        assert!(r.codes().contains(&"G001"), "{r}");
+    }
+
+    #[test]
+    fn poison_skip_leaks_the_poisoned_slot() {
+        let s = spec(4, false, Placement::Hbw);
+        let g = record_graph(&s).unwrap();
+        let cfg = AnalysisConfig {
+            discipline: Discipline {
+                poison_skip: true,
+                ..Discipline::CORRECT
+            },
+            kernel_panic: Some(1),
+            ..AnalysisConfig::default()
+        };
+        let r = analyze(&g, &s, &cfg);
+        assert!(r.codes().contains(&"G001"), "{r}");
+        // The correct discipline cancels the dependents: no leak.
+        let cfg = AnalysisConfig {
+            kernel_panic: Some(1),
+            ..AnalysisConfig::default()
+        };
+        let r = analyze(&g, &s, &cfg);
+        assert!(r.is_safe(), "{r}");
+    }
+
+    #[test]
+    fn hand_built_cycle_is_a_deadlock() {
+        let mut g = DepGraph::new();
+        let a = ChunkAction {
+            stage: Stage::Compute,
+            chunk: 0,
+            slot: 0,
+        };
+        g.push(GraphNode::Action(a), vec![1]);
+        g.push(GraphNode::Barrier, vec![0]);
+        let r = analyze(
+            &g,
+            &spec(1, true, Placement::Hbw),
+            &AnalysisConfig::default(),
+        );
+        assert_eq!(r.codes(), vec!["G002"], "{r}");
+        assert!(r.findings[0].trace.len() >= 2, "{r}");
+    }
+
+    #[test]
+    fn dangling_and_self_deps_are_unreachable() {
+        let mut g = DepGraph::new();
+        let a = ChunkAction {
+            stage: Stage::Compute,
+            chunk: 0,
+            slot: 0,
+        };
+        g.push(GraphNode::Action(a), vec![7]);
+        g.push(GraphNode::Barrier, vec![1]);
+        let r = analyze(
+            &g,
+            &spec(1, true, Placement::Hbw),
+            &AnalysisConfig::default(),
+        );
+        assert!(r.codes().contains(&"G006"), "{r}");
+    }
+
+    #[test]
+    fn dead_token_is_advisory() {
+        let mut g = DepGraph::new();
+        let act = |stage, chunk: usize| ChunkAction {
+            stage,
+            chunk,
+            slot: chunk % RING_SLOTS,
+        };
+        // Compute of chunk 0 is issued but nobody consumes its completion
+        // and no copy-out drains it.
+        g.push(GraphNode::Action(act(Stage::CopyIn, 0)), vec![]);
+        g.push(GraphNode::Action(act(Stage::Compute, 0)), vec![0]);
+        g.push(GraphNode::Barrier, vec![0]);
+        let r = analyze(
+            &g,
+            &spec(1, true, Placement::Hbw),
+            &AnalysisConfig::default(),
+        );
+        assert!(r.codes().contains(&"G005"), "{r}");
+        assert!(r.is_safe(), "advisory findings keep the schedule safe: {r}");
+    }
+
+    #[test]
+    fn capacity_bound_fires_on_a_tiny_budget() {
+        let s = spec(7, false, Placement::Hbw);
+        let r = verify_spec(&s, Some(128)).unwrap();
+        // Peak is 3 chunks x 64 bytes = 192 > 128.
+        assert_eq!(r.codes(), vec!["G003"], "{r}");
+        assert_eq!(r.peak_hbw_bytes, 192);
+    }
+
+    #[test]
+    fn slot_model_enforces_the_phase_machine() {
+        let mut ring = SlotModel::new(RING_SLOTS);
+        let act = |stage, chunk: usize| ChunkAction {
+            stage,
+            chunk,
+            slot: chunk % RING_SLOTS,
+        };
+        ring.load(act(Stage::CopyIn, 0), 11).unwrap();
+        // Compute on the wrong chunk clashes.
+        assert!(matches!(
+            ring.compute(act(Stage::Compute, 3), |v| v),
+            Err(SlotError::Clash { .. })
+        ));
+        ring.compute(act(Stage::Compute, 0), |v| v + 1).unwrap();
+        assert_eq!(ring.drain(act(Stage::CopyOut, 0)).unwrap(), 12);
+        // Poison refuses everything afterwards.
+        ring.load(act(Stage::CopyIn, 0), 5).unwrap();
+        ring.poison(act(Stage::Compute, 0)).unwrap();
+        assert!(matches!(
+            ring.load(act(Stage::CopyIn, 3), 9),
+            Err(SlotError::Poisoned { .. })
+        ));
+    }
+
+    #[test]
+    fn recorder_matches_drive_shape() {
+        let s = spec(5, true, Placement::Hbw);
+        let g = record_graph(&s).unwrap();
+        // 3 stages x 5 chunks + 7 barriers.
+        assert_eq!(g.len(), 22);
+        assert!(g.find_action(Stage::CopyOut, 4).is_some());
+        assert!(g.find_action(Stage::CopyOut, 5).is_none());
+        assert!(g.describe(g.len() - 1).contains("barrier"));
+    }
+}

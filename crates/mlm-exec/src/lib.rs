@@ -17,6 +17,10 @@
 //!   issue one chunk-stage action, close a lockstep step, tell the time;
 //! * [`drive`] — the single orchestrator that walks the chunk schedule
 //!   (lockstep, dataflow, and implicit cache mode) and calls the backend;
+//! * [`graph`] — the recorded dependency DAG ([`graph::DepGraph`]) shared
+//!   by the fuzzer and the static schedule verifier ([`graph::analyze`],
+//!   diagnostics G001–G006), plus [`drive_verified`], the preflight-gated
+//!   orchestrator entry point;
 //! * [`RunReport`]/[`StageReport`] — the unified stats every backend
 //!   returns;
 //! * [`RecordingBackend`] — a composable wrapper that turns any backend
@@ -40,6 +44,7 @@ pub mod backend;
 pub mod drive;
 pub mod error;
 pub mod fuzz;
+pub mod graph;
 pub mod placement;
 pub mod recording;
 pub mod report;
@@ -48,7 +53,7 @@ pub mod sortplan;
 pub mod spec;
 
 pub use backend::{Backend, ChunkAction, KernelCtx, Stage};
-pub use drive::{drive, RING_SLOTS};
+pub use drive::{drive, drive_verified, RING_SLOTS};
 pub use error::DriveError;
 pub use placement::{Capabilities, MemTier, Placement};
 pub use recording::{Event, NullBackend, RecordingBackend};

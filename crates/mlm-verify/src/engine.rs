@@ -53,11 +53,24 @@ impl From<SimError> for VerifyError {
     }
 }
 
-/// Lint the target and, when clean of errors, lower it to a simulator
-/// [`Program`]. Returns the full report alongside the program so callers
-/// can still surface warnings.
+/// Lint the target, statically verify the schedule it would emit, and —
+/// when clean of errors — lower it to a simulator [`Program`]. Returns
+/// the full report (V-series lints plus G-series graph diagnostics) so
+/// callers can still surface warnings.
 pub fn checked_program(target: &VerifyTarget<'_>) -> Result<(Program, LintReport), VerifyError> {
-    let report = lint_target(target);
+    let mut report = lint_target(target);
+    if report.has_errors() {
+        return Err(VerifyError::Rejected(report));
+    }
+    // Field-level lints passed; now prove the emitted schedule itself
+    // (race/deadlock/occupancy, G001–G006) against this machine's
+    // addressable MCDRAM. A spec the recorder cannot even drive is a
+    // linter gap, same as a lowering failure.
+    let graph_report = crate::graph::graph_report_for(target.spec, target.machine)
+        .map_err(VerifyError::Lowering)?;
+    report
+        .diagnostics
+        .extend(crate::graph::report_diagnostics(&graph_report));
     if report.has_errors() {
         return Err(VerifyError::Rejected(report));
     }

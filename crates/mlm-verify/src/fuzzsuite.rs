@@ -154,14 +154,16 @@ pub fn run_fuzz_regressions() -> Vec<FuzzRegressionRun> {
     regression_seeds()
         .into_iter()
         .map(|reg| {
-            let buggy = replay(&reg.case, &reg.shrunk);
+            let buggy = replay(&reg.case, &reg.shrunk)
+                .expect("committed regression case must be driveable");
             let caught = buggy
                 .outcome
                 .violation()
                 .is_some_and(|v| v.kind() == reg.expect_kind);
             let mut correct_case = reg.case.clone();
             correct_case.construction = Construction::Correct;
-            let clean = replay(&correct_case, &reg.shrunk);
+            let clean = replay(&correct_case, &reg.shrunk)
+                .expect("committed regression case must be driveable");
             // With the poison fault still injected, "clean" means the
             // correct construction drains the poison instead of touching
             // the slot.
@@ -182,7 +184,7 @@ pub fn run_fuzz_regressions() -> Vec<FuzzRegressionRun> {
 pub fn run_fuzz_corpus(seeds: u64) -> Vec<Finding> {
     default_corpus()
         .iter()
-        .flat_map(|case| fuzz_case(case, 0, seeds))
+        .flat_map(|case| fuzz_case(case, 0, seeds).expect("corpus cases are driveable"))
         .collect()
 }
 

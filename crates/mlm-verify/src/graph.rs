@@ -1,0 +1,346 @@
+//! The static schedule-verification battery: G-series diagnostics over
+//! the dependency graphs `drive()` emits.
+//!
+//! The analysis itself lives in [`mlm_exec::graph`] (shared with the
+//! fuzzer so both consume one graph model); this module wraps its
+//! findings as [`Diagnostic`]s alongside the V-series lints, defines the
+//! committed experiment-spec catalog every CI run re-proves, and packages
+//! the whole thing as a suite (`mlm-verify graph`):
+//!
+//! * every case of the fuzz corpus (all placements and schedule modes,
+//!   five geometries) must prove race-free, deadlock-free, and within the
+//!   slot/MCDRAM bounds **statically** — over every linearization, not a
+//!   seed sample;
+//! * every committed experiment spec (the paper pipelines, the host
+//!   ablation shape, the largest serve-trace batch) must prove the same
+//!   against the paper machine's addressable MCDRAM;
+//! * the four buggy [`Construction`]s the fuzzer finds dynamically must
+//!   each be flagged by a G-diagnostic with a counterexample trace, *no
+//!   fuzz seeds involved* — the analyzer subsumes the sampled findings.
+
+use knl_sim::machine::MachineConfig;
+use mlm_core::pipeline::{PipelineSpec, Placement};
+use mlm_exec::fuzz::{corpus_spec, default_corpus, Construction};
+use mlm_exec::graph::{
+    analyze, record_graph, AnalysisConfig, GraphCheck, GraphFinding, GraphReport,
+};
+
+use crate::diag::{Diagnostic, Severity};
+use crate::suite::{paper_machine, paper_spec};
+
+/// Severity of a finding of `check`: everything is a hard error except
+/// the advisory dead-token check.
+pub fn check_severity(check: GraphCheck) -> Severity {
+    if check.is_fatal() {
+        Severity::Error
+    } else {
+        Severity::Warning
+    }
+}
+
+/// Wrap one analyzer finding as a V-series-shaped [`Diagnostic`]: the
+/// G-code as the id, the counterexample trace as span-like context lines.
+pub fn finding_diagnostic(finding: &GraphFinding) -> Diagnostic {
+    let check = finding.check;
+    let mut d = Diagnostic::new(
+        check.code(),
+        check.name(),
+        check_severity(check),
+        finding.message.clone(),
+    );
+    for (i, line) in finding.trace.iter().enumerate() {
+        d = d.with_context(&format!("trace[{i}]"), line);
+    }
+    let suggestion = match check {
+        GraphCheck::Race => {
+            "add a dependency edge ordering the conflicting actions \
+             (the buffer-recycling edge copy-out[c] -> copy-in[c+3] orders ring reuse)"
+        }
+        GraphCheck::Deadlock => {
+            "break the dependency cycle, or deliver completions to every waiter \
+             (notify_all, not notify_one)"
+        }
+        GraphCheck::Capacity => {
+            "shrink chunk_bytes, reduce concurrently-live chunks, or place buffers in Ddr"
+        }
+        GraphCheck::RingWidth => {
+            "restore the buffer-recycling edges so at most RING_SLOTS chunks are in flight"
+        }
+        GraphCheck::DeadToken => "make a later node depend on this completion, or stop issuing it",
+        GraphCheck::Unreachable => "fix the dependency indices the schedule emits for this node",
+    };
+    d.with_suggestion(suggestion)
+}
+
+/// All findings of a report as diagnostics, in report order.
+pub fn report_diagnostics(report: &GraphReport) -> Vec<Diagnostic> {
+    report.findings.iter().map(finding_diagnostic).collect()
+}
+
+/// Record and statically verify the schedule `spec` emits, bounding HBW
+/// occupancy against `machine`'s addressable MCDRAM. `Err` only when the
+/// spec cannot be driven at all.
+pub fn graph_report_for(
+    spec: &PipelineSpec,
+    machine: &MachineConfig,
+) -> Result<GraphReport, String> {
+    let budget = (spec.placement == Placement::Hbw).then(|| machine.addressable_mcdram());
+    mlm_exec::graph::verify_spec(spec, budget).map_err(String::from)
+}
+
+/// The committed experiment specs CI re-proves on every run: the paper's
+/// §3 pipeline in all three usage modes, the host-ablation shape, and
+/// the largest serve-trace batch class (256 GiB through 2 GiB chunks —
+/// the "data doesn't fit in MCDRAM" regime the paper is about).
+pub fn committed_specs() -> Vec<(&'static str, PipelineSpec)> {
+    let ablation = |lockstep: bool| PipelineSpec {
+        total_bytes: 64 << 20,
+        chunk_bytes: 8 << 20,
+        p_in: 2,
+        p_out: 2,
+        p_comp: 4,
+        compute_passes: 1,
+        compute_rate: 1e9,
+        copy_rate: 1e9,
+        placement: Placement::Hbw,
+        lockstep,
+        data_addr: 0,
+    };
+    let mut dataflow = paper_spec();
+    dataflow.lockstep = false;
+    let mut implicit = paper_spec();
+    implicit.placement = Placement::Implicit;
+    let mut serve_elephant = paper_spec();
+    serve_elephant.total_bytes = 256 << 30;
+    serve_elephant.chunk_bytes = 2 << 30;
+    vec![
+        ("paper-lockstep", paper_spec()),
+        ("paper-dataflow", dataflow),
+        ("paper-implicit", implicit),
+        ("host-ablation-lockstep", ablation(true)),
+        ("host-ablation-dataflow", ablation(false)),
+        ("serve-batch-elephant", serve_elephant),
+    ]
+}
+
+/// The largest committed spec by emitted graph size — the analyzer's
+/// <100 ms budget (sim_bench's `graph_verify` measurement) is taken on
+/// this one.
+pub fn largest_committed_spec() -> (&'static str, PipelineSpec) {
+    committed_specs()
+        .into_iter()
+        .max_by_key(|(_, s)| s.n_chunks())
+        .expect("catalog is non-empty")
+}
+
+/// One case of the graph-verification suite.
+#[derive(Debug, Clone)]
+pub struct GraphCase {
+    /// Display name.
+    pub name: String,
+    /// G-codes that must fire (each with a non-empty counterexample
+    /// trace); empty means the schedule must prove safe.
+    pub expect: Vec<&'static str>,
+    /// What the analyzer said (`Err`: the spec could not be driven).
+    pub report: Result<GraphReport, String>,
+}
+
+impl GraphCase {
+    /// The distinct G-codes that fired.
+    pub fn fired(&self) -> Vec<&'static str> {
+        self.report.as_ref().map(|r| r.codes()).unwrap_or_default()
+    }
+
+    /// Did the analyzer meet the expectation? Clean cases must prove
+    /// safe; must-fail cases must fire every expected code, each finding
+    /// carrying a counterexample trace.
+    pub fn ok(&self) -> bool {
+        let Ok(report) = &self.report else {
+            return false;
+        };
+        if self.expect.is_empty() {
+            return report.is_safe();
+        }
+        let fired = self.fired();
+        self.expect.iter().all(|code| fired.contains(code))
+            && report.findings.iter().all(|f| !f.trace.is_empty())
+    }
+}
+
+/// Build and run the full graph-verification suite:
+///
+/// 1. all 25 fuzz-corpus cases, proven safe against the paper machine;
+/// 2. every committed experiment spec, proven safe;
+/// 3. the four buggy constructions analysed under their discipline
+///    weakening — each must be flagged statically with a trace.
+pub fn run_graph_suite() -> Vec<GraphCase> {
+    let machine = paper_machine();
+    let mut cases = Vec::new();
+
+    for fc in default_corpus() {
+        cases.push(GraphCase {
+            name: format!("corpus/{}", fc.name),
+            expect: Vec::new(),
+            report: graph_report_for(&fc.spec, &machine),
+        });
+    }
+
+    for (name, spec) in committed_specs() {
+        cases.push(GraphCase {
+            name: format!("spec/{name}"),
+            expect: Vec::new(),
+            report: graph_report_for(&spec, &machine),
+        });
+    }
+
+    // The four must-fail constructions, mirrored from the fuzz
+    // regression battery ([`crate::fuzzsuite::regression_seeds`]) — but
+    // proven statically: the discipline weakening is applied to the
+    // recorded graph and the analyzer must produce the finding with no
+    // schedule sampling at all.
+    struct MustFail {
+        name: &'static str,
+        lockstep: bool,
+        construction: Construction,
+        kernel_panic: Option<usize>,
+        expect: &'static [&'static str],
+    }
+    let must_fail = [
+        MustFail {
+            name: "drop-recycle-dep",
+            lockstep: false,
+            construction: Construction::DropRecycleDep,
+            kernel_panic: None,
+            expect: &["G001", "G004"],
+        },
+        MustFail {
+            name: "poison-skip-lock",
+            lockstep: false,
+            construction: Construction::PoisonSkipLock,
+            kernel_panic: Some(1),
+            expect: &["G001"],
+        },
+        MustFail {
+            name: "notify-one",
+            lockstep: true,
+            construction: Construction::NotifyOne,
+            kernel_panic: None,
+            expect: &["G002"],
+        },
+        MustFail {
+            name: "no-recheck",
+            lockstep: true,
+            construction: Construction::NoRecheck,
+            kernel_panic: None,
+            expect: &["G001"],
+        },
+    ];
+    for mf in must_fail {
+        let spec = corpus_spec(256, Placement::Hbw, mf.lockstep);
+        let report = record_graph(&spec).map(|g| {
+            let cfg = AnalysisConfig {
+                discipline: mf.construction.discipline(),
+                kernel_panic: mf.kernel_panic,
+                ..AnalysisConfig::default()
+            };
+            analyze(&g, &spec, &cfg)
+        });
+        cases.push(GraphCase {
+            name: format!("construction/{}", mf.name),
+            expect: mf.expect.to_vec(),
+            report: report.map_err(String::from),
+        });
+    }
+
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_suite_passes() {
+        for case in run_graph_suite() {
+            assert!(
+                case.ok(),
+                "{}: expected {:?}, fired {:?} ({})",
+                case.name,
+                case.expect,
+                case.fired(),
+                case.report
+                    .as_ref()
+                    .map(|r| r.to_string())
+                    .unwrap_or_else(|e| e.clone())
+            );
+        }
+    }
+
+    #[test]
+    fn suite_covers_corpus_catalog_and_constructions() {
+        let cases = run_graph_suite();
+        let corpus = cases
+            .iter()
+            .filter(|c| c.name.starts_with("corpus/"))
+            .count();
+        let specs = cases.iter().filter(|c| c.name.starts_with("spec/")).count();
+        let constructions = cases
+            .iter()
+            .filter(|c| c.name.starts_with("construction/"))
+            .count();
+        assert_eq!(
+            corpus, 25,
+            "hbw/ddr x lockstep/dataflow + implicit, 5 geometries"
+        );
+        assert_eq!(specs, committed_specs().len());
+        assert_eq!(constructions, 4);
+    }
+
+    #[test]
+    fn must_fail_findings_carry_counterexample_traces() {
+        for case in run_graph_suite() {
+            if case.expect.is_empty() {
+                continue;
+            }
+            let report = case.report.as_ref().expect("must-fail cases drive fine");
+            assert!(!report.is_safe(), "{}", case.name);
+            for f in &report.findings {
+                assert!(!f.trace.is_empty(), "{}: {}", case.name, f.message);
+            }
+        }
+    }
+
+    #[test]
+    fn diagnostics_mirror_the_v_series_shape() {
+        let spec = corpus_spec(256, Placement::Hbw, false);
+        let g = record_graph(&spec).unwrap();
+        let cfg = AnalysisConfig {
+            discipline: Construction::DropRecycleDep.discipline(),
+            ..AnalysisConfig::default()
+        };
+        let report = analyze(&g, &spec, &cfg);
+        let diags = report_diagnostics(&report);
+        assert!(!diags.is_empty());
+        for d in &diags {
+            assert!(d.id.starts_with('G'), "{}", d.id);
+            assert!(!d.context.is_empty(), "trace must become context");
+            assert!(d.suggestion.is_some());
+            let rendered = d.to_string();
+            assert!(rendered.contains("error["), "{rendered}");
+            assert!(rendered.contains("trace[0]"), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn elephant_spec_fits_the_paper_machine_exactly_because_of_the_ring() {
+        // 256 GiB of data through 16 GiB of MCDRAM: only the 3-slot ring
+        // (6 GiB resident) makes this provable — the point of the paper.
+        let (name, spec) = largest_committed_spec();
+        assert_eq!(name, "serve-batch-elephant");
+        assert_eq!(spec.n_chunks(), 128);
+        let report = graph_report_for(&spec, &paper_machine()).unwrap();
+        assert!(report.is_safe(), "{report}");
+        assert_eq!(report.peak_live_chunks, 3);
+        assert_eq!(report.peak_hbw_bytes, 6 << 30);
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! The runtime crates (`mlm-core`, `mlm-cluster`, `knl-sim`) execute and
 //! simulate the paper's multi-level-memory pipelines; this crate checks
-//! them *before* anything runs, at two layers:
+//! them *before* anything runs, at four layers:
 //!
 //! 1. **Spec linting** ([`lint`], [`diag`]) — a registry of lints
 //!    validates a [`mlm_core::pipeline::PipelineSpec`] against the machine
@@ -24,8 +24,17 @@
 //!    predicate re-checks — are kept as regression models that must keep
 //!    failing.
 //!
-//! 3. **Schedule fuzzing** ([`fuzzsuite`], over [`mlm_exec::fuzz`]) — the
-//!    complement of the models: seed-controlled adversarial execution of
+//! 3. **Static graph verification** ([`graph`], over
+//!    [`mlm_exec::graph`]) — the analyzer consumes the exact dependency
+//!    DAG `drive()` emits and *proves*, over every linearization at once,
+//!    that the schedule is race-free (G001), deadlock-free (G002), and
+//!    within MCDRAM/ring occupancy bounds (G003/G004), plus dead-token
+//!    and unreachable-node hygiene (G005/G006). Findings are the same
+//!    structured [`diag::Diagnostic`]s as the lints, carrying
+//!    counterexample traces (`mlm-verify graph`).
+//!
+//! 4. **Schedule fuzzing** ([`fuzzsuite`], over [`mlm_exec::fuzz`]) — the
+//!    complement of the proofs: seed-controlled adversarial execution of
 //!    the *actual* schedule `drive()` issues, sweeping every placement
 //!    and schedule mode plus committed must-fail regression seeds that
 //!    mirror the model battery at the `drive()` level (`mlm-verify fuzz`).
@@ -42,6 +51,7 @@ pub mod check;
 pub mod diag;
 pub mod engine;
 pub mod fuzzsuite;
+pub mod graph;
 pub mod lint;
 pub mod models;
 pub mod suite;

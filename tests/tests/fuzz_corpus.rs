@@ -7,8 +7,13 @@
 //! run covers well over 1000 distinct schedules; CI's `fuzz` job runs the
 //! same corpus wider (1000 seeds per case) via `mlm-verify fuzz`.
 
-use mlm_exec::fuzz::{default_corpus, fuzz_seed, replay, Construction, Outcome, TapeSource};
+use mlm_exec::fuzz::{
+    default_corpus, fuzz_seed, replay, shrink, Construction, FaultPlan, FuzzCase, Outcome,
+    TapeSource,
+};
+use mlm_exec::Placement;
 use mlm_verify::fuzzsuite::{regression_seeds, run_fuzz_regressions};
+use proptest::prelude::*;
 
 /// 100 seeds x 25 corpus cases = 2500 adversarial schedules. Any finding
 /// on the correct construction is a real orchestrator bug.
@@ -18,7 +23,7 @@ fn corpus_sweep_finds_nothing_on_the_correct_construction() {
     let mut schedules = 0u64;
     for case in &corpus {
         for seed in 0..100 {
-            let run = fuzz_seed(case, seed);
+            let run = fuzz_seed(case, seed).expect("corpus cases are driveable");
             assert_eq!(run.outcome, Outcome::Ok, "{} seed {seed}", case.name);
             schedules += 1;
         }
@@ -57,8 +62,8 @@ fn nonempty_regression_traces_are_load_bearing() {
         if reg.shrunk.is_empty() {
             continue;
         }
-        let natural = replay(&reg.case, &[]);
-        let replayed = replay(&reg.case, &reg.shrunk);
+        let natural = replay(&reg.case, &[]).expect("regression cases are driveable");
+        let replayed = replay(&reg.case, &reg.shrunk).expect("regression cases are driveable");
         assert!(
             replayed.outcome.violation().is_some(),
             "{}: committed trace lost the bug",
@@ -80,12 +85,12 @@ fn seeds_are_reproducible_across_processes() {
         .iter()
         .find(|c| c.name == "hbw-dataflow-7")
         .expect("corpus contains hbw-dataflow-7");
-    let a = fuzz_seed(case, 12345);
-    let b = fuzz_seed(case, 12345);
+    let a = fuzz_seed(case, 12345).expect("corpus cases are driveable");
+    let b = fuzz_seed(case, 12345).expect("corpus cases are driveable");
     assert_eq!(a.decisions, b.decisions);
     assert_eq!(a.outcome, Outcome::Ok);
     // And the recorded trace replays to the same outcome.
-    let c = replay(case, &a.decisions);
+    let c = replay(case, &a.decisions).expect("corpus cases are driveable");
     assert_eq!(c.outcome, a.outcome);
 }
 
@@ -100,4 +105,36 @@ fn default_corpus_is_clean_by_construction() {
     }
     // TapeSource is part of the committed-regression vocabulary.
     let _ = TapeSource::Replay(vec![0]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The shrinker's truncation + lowering loop reaches a fixed point:
+    /// shrinking an already-shrunk trace changes nothing, and the result
+    /// still reproduces the violation class it was shrunk for. Random
+    /// tapes on a known-buggy construction give a steady supply of real
+    /// violations to shrink.
+    #[test]
+    fn shrinker_reaches_a_fixed_point_on_random_tapes(
+        tape in proptest::collection::vec(0u32..8, 0..40)
+    ) {
+        let case = FuzzCase {
+            name: "prop-drop-recycle".into(),
+            spec: mlm_exec::fuzz::corpus_spec(256, Placement::Hbw, false),
+            construction: Construction::DropRecycleDep,
+            faults: FaultPlan::NONE,
+        };
+        let run = replay(&case, &tape).expect("corpus spec is driveable");
+        if let Some(v) = run.outcome.violation() {
+            let kind = v.kind();
+            let once = shrink(&case, &run.decisions, kind);
+            let twice = shrink(&case, &once, kind);
+            prop_assert_eq!(&once, &twice, "second shrink must be a no-op");
+            prop_assert!(once.len() <= run.decisions.len());
+            let rerun = replay(&case, &once).expect("corpus spec is driveable");
+            let still = rerun.outcome.violation().map(|v| v.kind());
+            prop_assert_eq!(still, Some(kind), "shrunk trace must keep the violation class");
+        }
+    }
 }

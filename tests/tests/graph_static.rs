@@ -1,0 +1,169 @@
+//! Cross-crate assertions for the static schedule verifier.
+//!
+//! The analyzer (`mlm_exec::graph`) proves properties over *every*
+//! linearization of the dependency graph `drive()` emits; these tests tie
+//! it to the rest of the workspace: the fuzz corpus must prove safe, the
+//! four committed buggy constructions must be refuted with counterexample
+//! traces (no fuzz seeds involved), the simulator preflight must accept
+//! the paper spec, and the whole thing must be fast enough to sit in
+//! front of every run.
+
+use std::time::Instant;
+
+use knl_sim::machine::{MachineConfig, MemMode};
+use knl_sim::Simulator;
+use mlm_exec::fuzz::{default_corpus, fuzz_seed, Construction, FuzzCase, Outcome};
+use mlm_exec::graph::{analyze, record_graph, AnalysisConfig, DepGraph, GraphNode};
+use mlm_verify::graph::{graph_report_for, largest_committed_spec, run_graph_suite};
+use mlm_verify::suite::{paper_machine, paper_spec};
+
+/// Every fuzz-corpus case proves race-free, deadlock-free, and within the
+/// ring/MCDRAM bounds statically — the proof covers all linearizations,
+/// where the 100-seed sweep samples a few thousand.
+#[test]
+fn fuzz_corpus_is_statically_safe() {
+    let machine = paper_machine();
+    for case in default_corpus() {
+        let report = graph_report_for(&case.spec, &machine).expect("corpus specs are driveable");
+        assert!(report.is_safe(), "{}:\n{report}", case.name);
+        assert!(
+            report.peak_live_chunks <= mlm_exec::RING_SLOTS,
+            "{}: peak {} chunks",
+            case.name,
+            report.peak_live_chunks
+        );
+    }
+}
+
+/// The full suite (corpus + committed specs + must-fail constructions)
+/// holds, and each must-fail case is caught with a counterexample trace.
+#[test]
+fn graph_suite_expectations_hold() {
+    let cases = run_graph_suite();
+    assert!(cases.len() > 30);
+    for case in &cases {
+        assert!(
+            case.ok(),
+            "{}: expected {:?}, fired {:?}",
+            case.name,
+            case.expect,
+            case.fired()
+        );
+    }
+    let must_fail = cases.iter().filter(|c| !c.expect.is_empty()).count();
+    assert_eq!(must_fail, 4, "one static refutation per buggy construction");
+}
+
+/// The static verdicts agree with the dynamic ones: for each buggy
+/// construction the fuzzer catches at runtime, the analyzer refutes the
+/// same (spec, construction) pair statically — and names the property
+/// class the fuzzer's violation belongs to.
+#[test]
+fn static_findings_subsume_the_fuzzed_violations() {
+    // (construction, violation kind the fuzzer reports, G-code family).
+    let pairs = [
+        (Construction::DropRecycleDep, "slot-clash", "G001"),
+        (Construction::NoRecheck, "slot-clash", "G001"),
+        (Construction::NotifyOne, "deadlock", "G002"),
+    ];
+    for (construction, kind, code) in pairs {
+        let lockstep = matches!(
+            construction,
+            Construction::NotifyOne | Construction::NoRecheck
+        );
+        let spec = mlm_exec::fuzz::corpus_spec(256, mlm_exec::Placement::Hbw, lockstep);
+        // Dynamic: some seed in a small window reproduces the violation.
+        let case = FuzzCase {
+            name: format!("subsume-{}", construction.name()),
+            spec: spec.clone(),
+            construction,
+            faults: mlm_exec::fuzz::FaultPlan::NONE,
+        };
+        let caught = (0..200).any(|seed| {
+            fuzz_seed(&case, seed)
+                .expect("corpus specs are driveable")
+                .outcome
+                .violation()
+                .is_some_and(|v| v.kind() == kind)
+        });
+        assert!(caught, "{}: fuzzer lost the bug", construction.name());
+        // Static: the analyzer refutes the same pair with no seeds.
+        let graph = record_graph(&spec).expect("corpus specs are driveable");
+        let cfg = AnalysisConfig {
+            discipline: construction.discipline(),
+            ..AnalysisConfig::default()
+        };
+        let report = analyze(&graph, &spec, &cfg);
+        assert!(
+            report.codes().contains(&code),
+            "{}: static analyzer missed {code}:\n{report}",
+            construction.name()
+        );
+    }
+}
+
+/// The simulator's preflight accepts the paper spec and reports the
+/// §3 ring bound: exactly 3 chunks (slots) live at peak, regardless of
+/// how many chunks stream through.
+#[test]
+fn simulator_preflight_proves_the_paper_spec() {
+    let sim = Simulator::try_new(paper_machine()).expect("paper machine is valid");
+    let report = sim
+        .preflight_spec(&paper_spec())
+        .expect("paper spec must verify");
+    assert_eq!(report.peak_live_chunks, 3);
+    assert_eq!(
+        report.peak_hbw_bytes,
+        3 * paper_spec().chunk_bytes,
+        "peak occupancy is ring slots x chunk size"
+    );
+
+    // And the same machine refuses a spec whose ring cannot fit: tiny
+    // machine (64 MiB MCDRAM), 32 MiB chunks -> 96 MiB ring.
+    let tiny = Simulator::try_new(MachineConfig::tiny(MemMode::Flat)).expect("tiny is valid");
+    let mut fat = paper_spec();
+    fat.total_bytes = 128 << 20;
+    fat.chunk_bytes = 32 << 20;
+    let err = tiny
+        .preflight_spec(&fat)
+        .expect_err("96 MiB ring in 64 MiB MCDRAM");
+    assert!(err.to_string().contains("G003"), "{err}");
+}
+
+/// A hand-built cyclic graph is refuted as a deadlock with a readable
+/// cycle trace — the analyzer does not require `drive()`-shaped input.
+#[test]
+fn hand_built_cycle_is_refuted() {
+    let mut g = DepGraph::new();
+    let a = g.push(GraphNode::Barrier, vec![2]);
+    let b = g.push(GraphNode::Barrier, vec![a]);
+    let _c = g.push(GraphNode::Barrier, vec![b]);
+    let spec = paper_spec();
+    let report = analyze(&g, &spec, &AnalysisConfig::default());
+    assert_eq!(report.codes(), vec!["G002"]);
+    let finding = &report.findings[0];
+    assert!(!finding.trace.is_empty(), "cycle trace must name the nodes");
+}
+
+/// Lenient wall-clock smoke for the acceptance budget: the release-mode
+/// gate (<100 ms, enforced by `sim_bench --check`) gets an order of
+/// magnitude of debug-mode headroom here, so the test flags only
+/// catastrophic blowups (e.g. an accidentally quadratic closure).
+#[test]
+fn verifier_latency_smoke() {
+    let (name, spec) = largest_committed_spec();
+    let machine = paper_machine();
+    // Warm up, then best-of-3.
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let report = graph_report_for(&spec, &machine).expect("committed spec is driveable");
+        assert!(report.is_safe());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    assert!(
+        best < 1.0,
+        "{name}: static verification took {best:.3}s even in debug mode"
+    );
+    let _ = Outcome::Ok;
+}
