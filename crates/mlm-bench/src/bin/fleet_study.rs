@@ -1,0 +1,212 @@
+//! Fleet placement study and throughput benchmark driver.
+//!
+//! Three modes, run from the repo root in release:
+//!
+//! * default — run the deterministic CSV sweep (nodes × placement ×
+//!   policy at [`CSV_JOBS_PER_NODE`] jobs per node-stream), print the
+//!   table, and write `results/fleet_study.csv`. Byte-reproducible, so
+//!   CI's results-drift job regenerates and diffs it.
+//! * `--bench` — additionally run the million-job throughput benchmark
+//!   (16 nodes × [`BENCH_JOBS_PER_NODE`] jobs, one cell per
+//!   `BENCH_PLACEMENTS` policy) and write `BENCH_fleet.json` with
+//!   jobs/sec and the decision digests.
+//! * `--check` — re-run the benchmark and compare against the committed
+//!   `BENCH_fleet.json`: **hard failure** (`::error::`, nonzero exit)
+//!   when any placement decision digest drifts or when best-fit-hbw no
+//!   longer beats least-loaded on strict-HBW p99; **warning**
+//!   (`::warning::`, exit 0) when jobs/sec falls more than 20% below the
+//!   baseline — wall-clock noise on shared runners is a signal, not a
+//!   gate. Check mode never rewrites the baseline.
+
+use std::collections::HashMap;
+use std::fs;
+use std::process::ExitCode;
+
+use mlm_bench::fleet::{
+    fleet_study, run_fleet_bench, FleetBenchReport, BENCH_JOBS_PER_NODE, CSV_JOBS_PER_NODE,
+    FLEET_SEED,
+};
+use mlm_bench::report::{render_table, secs, write_csv};
+
+const OUT: &str = "BENCH_fleet.json";
+/// Warn when a cell's jobs/sec falls below this fraction of the baseline.
+const REGRESSION_FLOOR: f64 = 0.80;
+
+fn write_study_csv() {
+    let rows = fleet_study(CSV_JOBS_PER_NODE).expect("fleet study failed");
+    let headers = [
+        "nodes",
+        "placement",
+        "policy",
+        "jobs",
+        "rejected",
+        "steals",
+        "makespan_s",
+        "mean_wait_s",
+        "mean_latency_s",
+        "p99_s",
+        "strict_p99_s",
+        "mcdram_hwm_gib",
+        "digest",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let s = &r.stats;
+            vec![
+                r.nodes.to_string(),
+                r.placement.label().to_string(),
+                r.policy.label().to_string(),
+                s.jobs.to_string(),
+                s.rejected.to_string(),
+                r.steals.to_string(),
+                secs(s.makespan),
+                secs(s.mean_queue_wait),
+                secs(s.mean_latency),
+                secs(s.p99_latency),
+                secs(r.strict_p99),
+                format!("{:.2}", s.mcdram_high_water as f64 / (1u64 << 30) as f64),
+                format!("{:#018x}", r.digest),
+            ]
+        })
+        .collect();
+    println!(
+        "Fleet study — {CSV_JOBS_PER_NODE} jobs per node-stream, seed {FLEET_SEED:#x}, \
+         mixed 8/16 GiB KNL 7250 fleet, steal on\n"
+    );
+    println!("{}", render_table(&headers, &body));
+    if let Ok(path) = write_csv("fleet_study", &headers, &body) {
+        println!("wrote {path}");
+    }
+}
+
+fn print_bench(report: &FleetBenchReport) {
+    println!(
+        "\nFleet bench — {} nodes, {} jobs per cell",
+        report.nodes, report.total_jobs
+    );
+    println!(
+        "{:<14} {:>9} {:>9} {:>8} {:>11} {:>12} {:>19}",
+        "placement", "jobs", "rejected", "steals", "jobs/sec", "strict_p99", "digest"
+    );
+    for c in &report.cells {
+        println!(
+            "{:<14} {:>9} {:>9} {:>8} {:>11.0} {:>12} {:>19}",
+            c.placement,
+            c.jobs,
+            c.rejected,
+            c.steals,
+            c.jobs_per_sec,
+            secs(c.strict_p99),
+            c.digest
+        );
+    }
+}
+
+/// The study's headline claim, at full scale: best-fit-hbw must beat
+/// least-loaded on strict-HBW p99.
+fn claim_holds(report: &FleetBenchReport) -> bool {
+    let p99 = |label: &str| {
+        report
+            .cells
+            .iter()
+            .find(|c| c.placement == label)
+            .map(|c| c.strict_p99)
+    };
+    match (p99("best-fit-hbw"), p99("least-loaded")) {
+        (Some(best), Some(spread)) => best < spread,
+        _ => false,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let bench = args.iter().any(|a| a == "--bench");
+
+    if !check {
+        write_study_csv();
+        if !bench {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    let baseline: Option<FleetBenchReport> = if check {
+        match fs::read_to_string(OUT) {
+            Ok(text) => match serde_json::from_str(&text) {
+                Ok(report) => Some(report),
+                Err(e) => {
+                    println!("::warning::{OUT} is unreadable ({e}); skipping comparison");
+                    None
+                }
+            },
+            Err(_) => {
+                println!("::warning::no committed {OUT}; skipping comparison");
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    let report = run_fleet_bench(BENCH_JOBS_PER_NODE).expect("fleet bench failed");
+    print_bench(&report);
+
+    if !claim_holds(&report) {
+        println!(
+            "::error::fleet claim violated: best-fit-hbw strict p99 no longer \
+             beats least-loaded at {} nodes",
+            report.nodes
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("claim holds: best-fit-hbw < least-loaded on strict-HBW p99");
+
+    if let Some(base) = baseline {
+        let old: HashMap<&str, (&str, f64)> = base
+            .cells
+            .iter()
+            .map(|c| (c.placement.as_str(), (c.digest.as_str(), c.jobs_per_sec)))
+            .collect();
+        let mut drifted = false;
+        for c in &report.cells {
+            let Some(&(digest, prev)) = old.get(c.placement.as_str()) else {
+                println!("::warning::no baseline cell for {}", c.placement);
+                continue;
+            };
+            // Placement decisions are deterministic: any digest change is
+            // a behaviour change, not noise.
+            if c.digest != digest {
+                drifted = true;
+                println!(
+                    "::error::placement decision drift at {}: digest {} vs committed {}",
+                    c.placement, c.digest, digest
+                );
+            }
+            if prev > 0.0 && c.jobs_per_sec < REGRESSION_FLOOR * prev {
+                println!(
+                    "::warning::fleet throughput regression at {}: {:.0} jobs/sec \
+                     vs baseline {:.0} ({:+.1}%)",
+                    c.placement,
+                    c.jobs_per_sec,
+                    prev,
+                    100.0 * (c.jobs_per_sec / prev - 1.0)
+                );
+            }
+        }
+        if drifted {
+            return ExitCode::FAILURE;
+        }
+        // Check mode never rewrites the committed baseline.
+        return ExitCode::SUCCESS;
+    }
+
+    if check {
+        return ExitCode::SUCCESS;
+    }
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    fs::write(OUT, json + "\n").expect("write BENCH_fleet.json");
+    println!("wrote {OUT}");
+    ExitCode::SUCCESS
+}

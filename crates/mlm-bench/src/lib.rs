@@ -16,9 +16,11 @@
 //! | §2.3 / §4 Bender corroboration | [`experiments::bender_check`] | `bender_check` |
 //! | host lockstep-vs-dataflow ablation | [`experiments::host_pipeline_ablation`] | `host_ablation` |
 //! | multi-tenant serving study | [`serving::serve_study`] | `serve_study` |
+//! | fleet placement study | [`fleet::fleet_study`] | `fleet_study` |
 
 pub mod calibrate;
 pub mod experiments;
+pub mod fleet;
 pub mod paper;
 pub mod report;
 pub mod serving;

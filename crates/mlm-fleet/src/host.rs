@@ -1,0 +1,534 @@
+//! The real-thread fleet host: a long-running dispatcher thread driving
+//! per-node worker pools over the dataflow stage pools.
+//!
+//! Same placement code, same admission code, real execution: the
+//! dispatcher thread owns every node's [`CapacityBroker`] and ready
+//! queue, places the submission stream with [`place`], admits per node
+//! with the shared [`select_candidate`] pass, and hands admitted jobs to
+//! that node's worker pool, which runs them on
+//! [`run_host_pipeline_dataflow`] with tuner-sized stage pools. Workers
+//! report completions over a channel; the dispatcher releases the broker
+//! reservation and admits the next job.
+//!
+//! **Decision equivalence with the virtual-time mode.** Wall clocks are
+//! not virtual clocks, so the two modes can only be compared on
+//! timing-independent decisions: the whole submission batch is placed (in
+//! job order) *before* serving starts, mirroring the virtual-time
+//! dispatcher placing all due arrivals before completions, and each
+//! node's admission order is fixed by the queue discipline. Under FIFO
+//! with strict jobs, the canonical projection
+//! ([`crate::decision::decision_digest`]) is therefore identical between
+//! the two modes — the equivalence the test suite asserts on the demo
+//! trace. (Fair-share aging and stealing are virtual-time refinements the
+//! host mode does not implement; the wall clock makes their trigger
+//! points nondeterministic.)
+//!
+//! [`CapacityBroker`]: mlm_serve::CapacityBroker
+//! [`select_candidate`]: mlm_serve::select_candidate
+//! [`run_host_pipeline_dataflow`]: mlm_core::pipeline::host::run_host_pipeline_dataflow
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use knl_sim::MemLevel;
+use mlm_core::pipeline::host::{run_host_pipeline_dataflow, HostStagePools, KernelCtx};
+use mlm_core::{PipelineSpec, Placement, ThreadSplit};
+use mlm_serve::{
+    charge_credit, predicted_makespan, profile, select_candidate, AdmitOutcome, CapacityBroker,
+    DeadlineClass, JobId, Policy, N_CLASSES,
+};
+
+use crate::config::FleetConfig;
+use crate::decision::Decision;
+use crate::placement::{place, PlacementView};
+
+/// One host fleet job: spec plus the data to stream through it.
+#[derive(Debug)]
+pub struct FleetHostJob {
+    /// Job identifier.
+    pub id: JobId,
+    /// Latency class (drives fair-share admission).
+    pub class: DeadlineClass,
+    /// Strict-HBW: never spill this job's ring to DDR.
+    pub strict: bool,
+    /// Pipeline geometry; pool sizes are re-derived per admission.
+    pub spec: PipelineSpec,
+    /// Input elements.
+    pub data: Vec<i64>,
+}
+
+/// Host fleet configuration.
+#[derive(Debug, Clone)]
+pub struct FleetHostConfig {
+    /// Fleet shape and policies (stealing and fair aging are ignored —
+    /// virtual-time refinements; see the module docs).
+    pub fleet: FleetConfig,
+    /// Host threads each node divides among its co-resident jobs.
+    pub host_threads: usize,
+    /// Worker threads per node pool (concurrent jobs per node).
+    pub workers: usize,
+}
+
+/// Outcome of one served host fleet job.
+#[derive(Debug)]
+pub struct FleetHostResult {
+    /// Job identifier.
+    pub id: JobId,
+    /// Node that ran it.
+    pub node: usize,
+    /// Pool split the tuner assigned.
+    pub split: ThreadSplit,
+    /// Where the broker placed the ring reservation.
+    pub buffer_level: MemLevel,
+    /// Wall-clock duration of the pipeline run.
+    pub wall: Duration,
+    /// Output elements.
+    pub data: Vec<i64>,
+}
+
+/// Everything a host fleet run produces.
+#[derive(Debug)]
+pub struct FleetHostOutcome {
+    /// Per-job results, sorted by job id.
+    pub results: Vec<FleetHostResult>,
+    /// Jobs no node could ever fit.
+    pub rejected: Vec<JobId>,
+    /// The dispatcher's decision log.
+    pub decisions: Vec<Decision>,
+}
+
+/// The dispatcher's per-node state: broker + queue + credit, the host
+/// mirror of `NodeSim`'s admission-relevant fields.
+struct HostNode {
+    broker: CapacityBroker,
+    spill: bool,
+    machine: knl_sim::machine::MachineConfig,
+    // Parallel vectors over jobs placed on this node.
+    est: Vec<f64>,
+    ids: Vec<JobId>,
+    classes: Vec<DeadlineClass>,
+    spill_ok: Vec<bool>,
+    global: Vec<usize>,
+    ready: Vec<usize>, // node-local indices, placement order
+    credit: [f64; N_CLASSES],
+    running: usize,
+    work_tx: channel::Sender<Work>,
+}
+
+impl PlacementView for HostNode {
+    fn can_take(&self, spec: &PipelineSpec, strict: bool) -> bool {
+        self.broker.can_ever_fit_job(spec, !strict)
+    }
+    fn fits_now(&self, spec: &PipelineSpec, strict: bool) -> bool {
+        let f = crate::placement::ring_footprint(spec);
+        f == 0 || f <= self.broker.hbw_headroom() || (!strict && self.spill)
+    }
+    fn hbw_headroom(&self) -> u64 {
+        self.broker.hbw_headroom()
+    }
+    fn queued_strict_bytes(&self) -> u64 {
+        self.broker.queued_strict_bytes()
+    }
+    fn reserved_mcdram(&self) -> u64 {
+        self.broker.reserved_mcdram()
+    }
+    fn budget(&self) -> u64 {
+        self.broker.budget()
+    }
+}
+
+/// A job handed to a node's worker pool.
+struct Work {
+    node: usize,
+    local: usize,
+    spec: PipelineSpec,
+    split: ThreadSplit,
+    data: Vec<i64>,
+    kernel: fn(&mut [i64], KernelCtx),
+}
+
+/// A completion reported back to the dispatcher.
+struct Done {
+    node: usize,
+    local: usize,
+    wall: Duration,
+    data: Vec<i64>,
+}
+
+/// Serve `jobs` across the fleet, applying `kernel` to every compute
+/// slice. Blocks until the fleet drains; the dispatcher itself runs on
+/// its own thread for the whole call.
+pub fn fleet_serve_host(
+    cfg: &FleetHostConfig,
+    jobs: Vec<FleetHostJob>,
+    kernel: fn(&mut [i64], KernelCtx),
+) -> Result<FleetHostOutcome, String> {
+    cfg.fleet.validate()?;
+    if cfg.workers == 0 {
+        return Err("need at least one worker per node".into());
+    }
+    for j in &jobs {
+        j.spec
+            .validate()
+            .map_err(|e| format!("job {}: {e}", j.id))?;
+        j.spec
+            .validate_elem_size(std::mem::size_of::<i64>())
+            .map_err(|e| format!("job {}: {e}", j.id))?;
+        let need = (j.data.len() * std::mem::size_of::<i64>()) as u64;
+        if need != j.spec.total_bytes {
+            return Err(format!(
+                "job {}: data is {need} B but spec says {} B",
+                j.id, j.spec.total_bytes
+            ));
+        }
+    }
+
+    // Per-node worker pools, all reporting into one completion channel.
+    let (done_tx, done_rx) = channel::unbounded::<Done>();
+    let mut worker_handles = Vec::new();
+    let mut nodes: Vec<HostNode> = Vec::with_capacity(cfg.fleet.nodes.len());
+    for nc in &cfg.fleet.nodes {
+        let (work_tx, work_rx) = channel::unbounded::<Work>();
+        for _ in 0..cfg.workers {
+            let rx = work_rx.clone();
+            let tx = done_tx.clone();
+            worker_handles.push(thread::spawn(move || {
+                while let Ok(w) = rx.recv() {
+                    let pools = HostStagePools::new(w.split.p_in, w.split.p_comp, w.split.p_out);
+                    let mut out = vec![0i64; w.data.len()];
+                    let t = Instant::now();
+                    run_host_pipeline_dataflow(&pools, &w.spec, &w.data, &mut out, w.kernel);
+                    // A hung-up dispatcher just means the run already
+                    // failed; don't double-panic the worker.
+                    let _ = tx.send(Done {
+                        node: w.node,
+                        local: w.local,
+                        wall: t.elapsed(),
+                        data: out,
+                    });
+                }
+            }));
+        }
+        nodes.push(HostNode {
+            broker: CapacityBroker::new(&nc.machine, nc.mcdram_budget, nc.spill),
+            spill: nc.spill,
+            machine: nc.machine.clone(),
+            est: Vec::new(),
+            ids: Vec::new(),
+            classes: Vec::new(),
+            spill_ok: Vec::new(),
+            global: Vec::new(),
+            ready: Vec::new(),
+            credit: [0.0; N_CLASSES],
+            running: 0,
+            work_tx,
+        });
+    }
+    drop(done_tx);
+
+    // The dispatcher thread: place the whole submission stream, then
+    // admit/complete until drained.
+    let placement = cfg.fleet.placement;
+    let policy = cfg.fleet.policy;
+    let host_threads = cfg.host_threads;
+    let dispatcher = thread::spawn(move || -> Result<FleetHostOutcome, String> {
+        let mut decisions: Vec<Decision> = Vec::new();
+        let mut rejected: Vec<JobId> = Vec::new();
+        let mut pending: Vec<Option<FleetHostJob>> = Vec::new();
+
+        // Phase 1: placement, in submission order.
+        for (g, j) in jobs.into_iter().enumerate() {
+            match place(&nodes, placement, &j.spec, j.strict) {
+                Some(n) => {
+                    decisions.push(Decision::Placed { job: j.id, node: n });
+                    let node = &mut nodes[n];
+                    let local = node.ids.len();
+                    node.est.push(predicted_makespan(&j.spec, &node.machine));
+                    node.ids.push(j.id);
+                    node.classes.push(j.class);
+                    node.spill_ok.push(!j.strict);
+                    node.global.push(g);
+                    node.ready.push(local);
+                    if j.strict {
+                        node.broker
+                            .note_strict_queued(crate::placement::ring_footprint(&j.spec));
+                    }
+                }
+                None => {
+                    decisions.push(Decision::Rejected { job: j.id });
+                    rejected.push(j.id);
+                }
+            }
+            pending.push(Some(j));
+        }
+
+        // Phase 2: serve. One admission pass per node, then block on a
+        // completion, release, repeat.
+        let mut results: Vec<FleetHostResult> = Vec::new();
+        let mut meta: std::collections::HashMap<
+            (usize, usize),
+            (Option<mlm_memkind::Reservation>, ThreadSplit, MemLevel),
+        > = std::collections::HashMap::new();
+        loop {
+            for (ni, node) in nodes.iter_mut().enumerate() {
+                admit_node(
+                    ni,
+                    node,
+                    policy,
+                    host_threads,
+                    &mut pending,
+                    &mut decisions,
+                    &mut meta,
+                    kernel,
+                )?;
+            }
+            let queued: usize = nodes.iter().map(|n| n.ready.len()).sum();
+            let running: usize = nodes.iter().map(|n| n.running).sum();
+            if running == 0 {
+                if queued == 0 {
+                    break;
+                }
+                return Err(format!(
+                    "host fleet stuck with {queued} jobs queued and none running"
+                ));
+            }
+            let done = done_rx
+                .recv()
+                .map_err(|_| "worker channels closed unexpectedly".to_string())?;
+            let node = &mut nodes[done.node];
+            node.running -= 1;
+            let (reservation, split, level) = meta
+                .remove(&(done.node, done.local))
+                .expect("completion for unknown job");
+            if let Some(res) = &reservation {
+                node.broker.release(res).map_err(|e| e.to_string())?;
+            }
+            results.push(FleetHostResult {
+                id: node.ids[done.local],
+                node: done.node,
+                split,
+                buffer_level: level,
+                wall: done.wall,
+                data: done.data,
+            });
+        }
+
+        // Drop the work channels so the pools drain and exit.
+        drop(nodes);
+        results.sort_by_key(|r| r.id);
+        Ok(FleetHostOutcome {
+            results,
+            rejected,
+            decisions,
+        })
+    });
+
+    let outcome = dispatcher
+        .join()
+        .map_err(|_| "dispatcher thread panicked".to_string())?;
+    for h in worker_handles {
+        h.join().map_err(|_| "worker thread panicked".to_string())?;
+    }
+    outcome
+}
+
+/// One admission pass over `node`'s queue — the host-side twin of
+/// `NodeSim::admit` (same candidate selection, same broker calls, same
+/// credit charge; no backfill aging, which needs virtual time).
+#[allow(clippy::too_many_arguments)]
+fn admit_node(
+    ni: usize,
+    node: &mut HostNode,
+    policy: Policy,
+    host_threads: usize,
+    pending: &mut [Option<FleetHostJob>],
+    decisions: &mut Vec<Decision>,
+    meta: &mut std::collections::HashMap<
+        (usize, usize),
+        (Option<mlm_memkind::Reservation>, ThreadSplit, MemLevel),
+    >,
+    kernel: fn(&mut [i64], KernelCtx),
+) -> Result<(), String> {
+    let mut blocked = [false; N_CLASSES];
+    loop {
+        let pos = select_candidate(
+            policy,
+            &node.ready,
+            &node.est,
+            &node.ids,
+            &node.classes,
+            &node.credit,
+            &blocked,
+        );
+        let Some(pos) = pos else { break };
+        let local = node.ready[pos];
+        let g = node.global[local];
+        let spec = pending[g].as_ref().expect("job not yet run").spec.clone();
+        match node.broker.try_admit_job(&spec, node.spill_ok[local])? {
+            AdmitOutcome::Admitted(reservation) => {
+                node.ready.remove(pos);
+                if !node.spill_ok[local] {
+                    node.broker
+                        .note_strict_dequeued(crate::placement::ring_footprint(&spec));
+                }
+                let level = reservation
+                    .as_ref()
+                    .map(|r| r.level())
+                    .unwrap_or(MemLevel::Ddr);
+                let effective = if level == MemLevel::Ddr && spec.placement == Placement::Hbw {
+                    Placement::Ddr
+                } else {
+                    spec.placement
+                };
+                let budget = (host_threads / (node.running + 1)).max(3);
+                let split = profile(&spec, effective, &node.machine, budget, true)?.split;
+                decisions.push(Decision::Admitted {
+                    job: node.ids[local],
+                    node: ni,
+                    level,
+                });
+                charge_credit(
+                    policy,
+                    &mut node.credit,
+                    node.classes[local],
+                    node.est[local],
+                );
+                meta.insert((ni, local), (reservation, split, level));
+                node.running += 1;
+                let job = pending[g].take().expect("job taken twice");
+                let mut spec2 = job.spec;
+                spec2.p_in = split.p_in;
+                spec2.p_out = split.p_out;
+                spec2.p_comp = split.p_comp;
+                node.work_tx
+                    .send(Work {
+                        node: ni,
+                        local,
+                        spec: spec2,
+                        split,
+                        data: job.data,
+                        kernel,
+                    })
+                    .map_err(|_| "node worker pool hung up".to_string())?;
+            }
+            AdmitOutcome::Busy => match policy {
+                Policy::Fifo | Policy::Sjf => break,
+                Policy::FairShare => {
+                    blocked[node.classes[local].index()] = true;
+                    if blocked.iter().all(|&b| b) {
+                        break;
+                    }
+                }
+            },
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FleetConfig, PlacementPolicy};
+    use knl_sim::machine::{MachineConfig, MemMode};
+
+    const MIB: u64 = 1 << 20;
+
+    fn kernel(slice: &mut [i64], ctx: KernelCtx) {
+        for (i, x) in slice.iter_mut().enumerate() {
+            *x = x.wrapping_mul(3) ^ (ctx.global_offset + i) as i64;
+        }
+    }
+
+    fn spec(total: u64, chunk: u64) -> PipelineSpec {
+        PipelineSpec {
+            total_bytes: total,
+            chunk_bytes: chunk,
+            p_in: 1,
+            p_out: 1,
+            p_comp: 2,
+            compute_passes: 1,
+            compute_rate: 6.78e9,
+            copy_rate: 4.8e9,
+            placement: Placement::Hbw,
+            lockstep: false,
+            data_addr: 0,
+        }
+    }
+
+    fn input(n: usize, salt: i64) -> Vec<i64> {
+        (0..n as i64).map(|i| i * 7 + salt).collect()
+    }
+
+    fn reference(mut data: Vec<i64>) -> Vec<i64> {
+        for (i, x) in data.iter_mut().enumerate() {
+            *x = x.wrapping_mul(3) ^ i as i64;
+        }
+        data
+    }
+
+    #[test]
+    fn fleet_host_serves_every_job_and_spreads_strict_load() {
+        let n = (MIB / 8) as usize; // 1 MiB per job
+        let jobs: Vec<FleetHostJob> = (0..6)
+            .map(|i| FleetHostJob {
+                id: i,
+                class: DeadlineClass::Standard,
+                strict: true,
+                spec: spec(MIB, MIB / 4),
+                data: input(n, i as i64),
+            })
+            .collect();
+        let mut fleet =
+            FleetConfig::homogeneous(MachineConfig::knl_7250(MemMode::Flat), 2, 2 * MIB, false);
+        fleet.placement = PlacementPolicy::LeastLoaded;
+        let cfg = FleetHostConfig {
+            fleet,
+            host_threads: 8,
+            workers: 2,
+        };
+        let out = fleet_serve_host(&cfg, jobs, kernel).unwrap();
+        assert!(out.rejected.is_empty());
+        assert_eq!(out.results.len(), 6);
+        for (i, r) in out.results.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert_eq!(r.buffer_level, MemLevel::Mcdram);
+            assert_eq!(r.data, reference(input(n, i as i64)), "job {i} corrupted");
+        }
+        // Least-loaded sees queued strict bytes, so the batch spreads.
+        let used: std::collections::HashSet<usize> = out.results.iter().map(|r| r.node).collect();
+        assert_eq!(used.len(), 2, "strict batch should use both nodes");
+    }
+
+    #[test]
+    fn fleet_host_rejects_rings_no_node_fits() {
+        let big_n = (8 * MIB / 8) as usize;
+        let jobs = vec![
+            FleetHostJob {
+                id: 0,
+                class: DeadlineClass::Standard,
+                strict: true,
+                spec: spec(8 * MIB, 4 * MIB), // 12 MiB ring > 2 MiB budgets
+                data: input(big_n, 0),
+            },
+            FleetHostJob {
+                id: 1,
+                class: DeadlineClass::Standard,
+                strict: true,
+                spec: spec(MIB, MIB / 4),
+                data: input((MIB / 8) as usize, 1),
+            },
+        ];
+        let fleet =
+            FleetConfig::homogeneous(MachineConfig::knl_7250(MemMode::Flat), 2, 2 * MIB, false);
+        let cfg = FleetHostConfig {
+            fleet,
+            host_threads: 8,
+            workers: 1,
+        };
+        let out = fleet_serve_host(&cfg, jobs, kernel).unwrap();
+        assert_eq!(out.rejected, vec![0]);
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].id, 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Fleet-scale trace generation: per-node SplitMix64 streams, merged.
+//!
+//! A fleet trace is the union of one bounded-Pareto heavy-tailed stream
+//! per node ([`mlm_serve::heavy_tailed_trace`]), each drawn from its own
+//! seeded SplitMix64 whose seed depends only on `(fleet seed, node id)` —
+//! *not* on the node count. Growing a 4-node study to 16 nodes leaves the
+//! first four nodes' job streams bit-identical, so `fleet_study.csv`
+//! deltas across node counts are pure scheduling effects, and the CSV is
+//! byte-reproducible in CI.
+//!
+//! Two knobs distinguish a fleet trace from N independent single-node
+//! traces: a per-node arrival-rate **skew** (low-discrepancy weights in
+//! `[1−skew, 1+skew]`, so some nodes' tenants are hotter than others —
+//! total λ still scales with the node count), and a **strict fraction**
+//! (jobs that demand `HBW` rather than `HBW_PREFERRED` semantics, the
+//! population placement policies fight over).
+
+use mlm_core::workload::SplitMix64;
+use mlm_serve::trace::{heavy_tailed_trace, TraceConfig};
+use mlm_serve::JobRequest;
+
+/// A job in a fleet trace.
+#[derive(Debug, Clone)]
+pub struct FleetJob {
+    /// The job (id, arrival, class, spec). Ids are `0..jobs` in merged
+    /// arrival order.
+    pub req: JobRequest,
+    /// Strict-HBW: the ring must live in MCDRAM (queue for it) even on a
+    /// spill-capable node. Non-strict jobs are `HBW_PREFERRED`.
+    pub strict: bool,
+    /// The node whose tenant stream generated this job (skew bookkeeping;
+    /// the dispatcher is free to place it anywhere).
+    pub origin: usize,
+}
+
+/// Parameters of a fleet trace.
+#[derive(Debug, Clone)]
+pub struct FleetTraceConfig {
+    /// Per-node stream template. `base.jobs` is the job count *per node*;
+    /// `base.arrival_rate` the per-node base rate; `base.seed` the fleet
+    /// seed every per-node stream is derived from.
+    pub base: TraceConfig,
+    /// Number of per-node streams.
+    pub nodes: usize,
+    /// Arrival-rate skew in `[0, 1)`: node weights spread over
+    /// `[1−skew, 1+skew]` by a golden-ratio low-discrepancy sequence.
+    pub skew: f64,
+    /// Fraction of jobs that are strict-HBW.
+    pub strict_frac: f64,
+}
+
+impl FleetTraceConfig {
+    /// A fleet trace over `nodes` streams of `jobs_per_node` jobs each.
+    pub fn new(base: TraceConfig, nodes: usize, jobs_per_node: usize) -> Self {
+        let mut base = base;
+        base.jobs = jobs_per_node;
+        FleetTraceConfig {
+            base,
+            nodes,
+            skew: 0.3,
+            strict_frac: 0.35,
+        }
+    }
+}
+
+/// The seed of node `i`'s stream: depends only on the fleet seed and `i`,
+/// decorrelated through one SplitMix64 step.
+fn node_seed(fleet_seed: u64, i: usize) -> u64 {
+    SplitMix64::new(fleet_seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
+
+/// Node `i`'s arrival-rate weight in `[1−skew, 1+skew]`, by the
+/// golden-ratio sequence (depends only on `i`, never on the node count).
+fn skew_weight(skew: f64, i: usize) -> f64 {
+    const PHI_FRAC: f64 = 0.618_033_988_749_894_9;
+    let u = ((i + 1) as f64 * PHI_FRAC).fract();
+    1.0 + skew * (2.0 * u - 1.0)
+}
+
+/// Uniform in `[0, 1)` from the top 53 bits of one draw.
+fn u01(rng: &mut SplitMix64) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Generate the merged fleet trace. Jobs are sorted by arrival (ties by
+/// origin node, then by position in the origin stream) and re-numbered
+/// `0..total` in that order.
+pub fn fleet_trace(cfg: &FleetTraceConfig) -> Vec<FleetJob> {
+    assert!(cfg.nodes > 0, "fleet trace needs at least one node stream");
+    assert!(
+        (0.0..1.0).contains(&cfg.skew),
+        "skew must be in [0, 1), got {}",
+        cfg.skew
+    );
+    assert!(
+        (0.0..=1.0).contains(&cfg.strict_frac),
+        "strict_frac must be in [0, 1], got {}",
+        cfg.strict_frac
+    );
+    let mut merged: Vec<(f64, usize, u64, JobRequest, bool)> =
+        Vec::with_capacity(cfg.nodes * cfg.base.jobs);
+    for i in 0..cfg.nodes {
+        let seed = node_seed(cfg.base.seed, i);
+        let node_cfg = TraceConfig {
+            seed,
+            arrival_rate: cfg.base.arrival_rate * skew_weight(cfg.skew, i),
+            ..cfg.base.clone()
+        };
+        // Strictness comes from a separate salted stream so it never
+        // perturbs the arrival/size draws.
+        let mut strict_rng = SplitMix64::new(seed ^ 0x5712_C7F1_EE75_0A11);
+        for req in heavy_tailed_trace(&node_cfg) {
+            let strict = u01(&mut strict_rng) < cfg.strict_frac;
+            merged.push((req.arrival, i, req.id, req, strict));
+        }
+    }
+    merged.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    merged
+        .into_iter()
+        .enumerate()
+        .map(|(gid, (_, origin, _, mut req, strict))| {
+            req.id = gid as u64;
+            FleetJob {
+                req,
+                strict,
+                origin,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knl_sim::machine::{MachineConfig, MemMode};
+
+    fn cfg(nodes: usize, per_node: usize, seed: u64) -> FleetTraceConfig {
+        FleetTraceConfig::new(
+            TraceConfig::new(MachineConfig::knl_7250(MemMode::Flat), 0, 2.0, seed),
+            nodes,
+            per_node,
+        )
+    }
+
+    #[test]
+    fn per_node_streams_are_stable_under_node_count_changes() {
+        let four = fleet_trace(&cfg(4, 100, 9));
+        let sixteen = fleet_trace(&cfg(16, 100, 9));
+        // Every job from origin streams 0..4 appears identically (spec,
+        // arrival, class, strictness) in the 16-node trace; only global
+        // ids differ.
+        let key = |j: &FleetJob| {
+            (
+                j.origin,
+                j.req.arrival.to_bits(),
+                j.req.spec.total_bytes,
+                j.req.class,
+                j.strict,
+            )
+        };
+        let small: Vec<_> = four.iter().map(key).collect();
+        let big: Vec<_> = sixteen.iter().filter(|j| j.origin < 4).map(key).collect();
+        assert_eq!(small, big);
+    }
+
+    #[test]
+    fn trace_is_deterministic_merged_and_skewed() {
+        let a = fleet_trace(&cfg(4, 200, 3));
+        let b = fleet_trace(&cfg(4, 200, 3));
+        assert_eq!(a.len(), 800);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.req.id, y.req.id);
+            assert_eq!(x.req.arrival.to_bits(), y.req.arrival.to_bits());
+            assert_eq!(x.strict, y.strict);
+            assert_eq!(x.origin, y.origin);
+        }
+        // Sorted by arrival, ids sequential.
+        for (i, w) in a.windows(2).enumerate() {
+            assert!(w[1].req.arrival >= w[0].req.arrival);
+            assert_eq!(w[0].req.id, i as u64);
+        }
+        // Skew: per-origin makespans differ, so hot streams pack more
+        // jobs early. Weights stay within [1 - skew, 1 + skew].
+        for i in 0..16 {
+            let w = skew_weight(0.3, i);
+            assert!((0.7..=1.3).contains(&w), "weight {w} out of range");
+        }
+        // Both strict and preferred jobs occur at the default fraction.
+        let strict = a.iter().filter(|j| j.strict).count();
+        assert!(strict > 100 && strict < 700, "strict count {strict}");
+    }
+}

@@ -41,6 +41,8 @@ pub struct CapacityBroker {
     ddr_capacity: u64,
     spill: bool,
     hwm: u64,
+    ddr_hwm: u64,
+    queued_strict: u64,
 }
 
 impl CapacityBroker {
@@ -57,15 +59,19 @@ impl CapacityBroker {
             ddr_capacity: cfg.ddr_capacity,
             spill,
             hwm: 0,
+            ddr_hwm: 0,
+            queued_strict: 0,
         }
     }
 
-    /// The [`Kind`] a spec's buffers are requested with under the broker's
-    /// spill policy.
-    fn kind_for(&self, spec: &PipelineSpec) -> Kind {
+    /// The [`Kind`] a spec's buffers are requested with, given whether this
+    /// particular job may spill to DDR (`spill_ok` is AND-ed with the
+    /// broker's own spill policy, so a strict job stays strict even on a
+    /// spill-capable node).
+    fn kind_for(&self, spec: &PipelineSpec, spill_ok: bool) -> Kind {
         match spec.placement {
             Placement::Hbw => {
-                if self.spill {
+                if self.spill && spill_ok {
                     Kind::HbwPreferred
                 } else {
                     Kind::Hbw
@@ -80,11 +86,18 @@ impl CapacityBroker {
     /// land in — such jobs are rejected at submission rather than queued
     /// forever.
     pub fn can_ever_fit(&self, spec: &PipelineSpec) -> bool {
+        self.can_ever_fit_job(spec, true)
+    }
+
+    /// Per-job variant of [`Self::can_ever_fit`]: `spill_ok = false` asks
+    /// whether a *strict-HBW* job could ever fit, even on a broker whose
+    /// policy would let preferred jobs fall back to DDR.
+    pub fn can_ever_fit_job(&self, spec: &PipelineSpec, spill_ok: bool) -> bool {
         let footprint = spec.buffer_footprint(RING_SLOTS);
         if footprint == 0 {
             return true;
         }
-        match self.kind_for(spec) {
+        match self.kind_for(spec, spill_ok) {
             Kind::Hbw => footprint <= self.mcdram_budget,
             Kind::HbwPreferred => footprint <= self.mcdram_budget.max(self.ddr_capacity),
             Kind::Default => footprint <= self.ddr_capacity,
@@ -98,20 +111,34 @@ impl CapacityBroker {
     /// [`Self::can_ever_fit`] — asking for more than the budget is a caller
     /// bug, not transient contention.
     pub fn try_admit(&mut self, spec: &PipelineSpec) -> Result<AdmitOutcome, String> {
+        self.try_admit_job(spec, true)
+    }
+
+    /// Per-job variant of [`Self::try_admit`]: `spill_ok = false` keeps
+    /// this job strict (queue for MCDRAM) even on a spill-capable broker.
+    pub fn try_admit_job(
+        &mut self,
+        spec: &PipelineSpec,
+        spill_ok: bool,
+    ) -> Result<AdmitOutcome, String> {
         let footprint = spec.buffer_footprint(RING_SLOTS);
         if footprint == 0 {
             return Ok(AdmitOutcome::Admitted(None));
         }
-        if !self.can_ever_fit(spec) {
+        if !self.can_ever_fit_job(spec, spill_ok) {
             return Err(format!(
                 "job footprint {footprint} B exceeds broker capacity \
                  (budget {} B)",
                 self.mcdram_budget
             ));
         }
-        match self.mk.try_reserve(self.kind_for(spec), footprint) {
+        match self
+            .mk
+            .try_reserve(self.kind_for(spec, spill_ok), footprint)
+        {
             Ok(r) => {
                 self.hwm = self.hwm.max(self.mk.reserved(MemLevel::Mcdram));
+                self.ddr_hwm = self.ddr_hwm.max(self.mk.reserved(MemLevel::Ddr));
                 Ok(AdmitOutcome::Admitted(Some(r)))
             }
             Err(SimError::OutOfMemory { .. }) => Ok(AdmitOutcome::Busy),
@@ -132,6 +159,38 @@ impl CapacityBroker {
     /// Highest MCDRAM reservation level ever observed.
     pub fn high_water(&self) -> u64 {
         self.hwm
+    }
+
+    /// Highest DDR reservation level ever observed (spilled rings and
+    /// `Placement::Ddr` jobs land here; the MCDRAM-only [`Self::high_water`]
+    /// misses them).
+    pub fn ddr_high_water(&self) -> u64 {
+        self.ddr_hwm
+    }
+
+    /// MCDRAM bytes still unreserved: what a placement layer may pack a
+    /// strict-HBW ring into right now.
+    pub fn hbw_headroom(&self) -> u64 {
+        self.mcdram_budget
+            .saturating_sub(self.mk.reserved(MemLevel::Mcdram))
+    }
+
+    /// Record that a strict-HBW job of `bytes` ring footprint is waiting in
+    /// this broker's queue (it refused to spill and MCDRAM was full).
+    pub fn note_strict_queued(&mut self, bytes: u64) {
+        self.queued_strict = self.queued_strict.saturating_add(bytes);
+    }
+
+    /// Undo [`Self::note_strict_queued`] once the job is admitted, stolen
+    /// away, or abandoned.
+    pub fn note_strict_dequeued(&mut self, bytes: u64) {
+        self.queued_strict = self.queued_strict.saturating_sub(bytes);
+    }
+
+    /// Ring bytes of strict-HBW jobs currently queued behind this broker —
+    /// a backlog signal placement policies use to avoid pile-ups.
+    pub fn queued_strict_bytes(&self) -> u64 {
+        self.queued_strict
     }
 
     /// The broker's MCDRAM budget in bytes.
@@ -226,6 +285,67 @@ mod tests {
             AdmitOutcome::Admitted(None)
         ));
         assert_eq!(b.balance(), 0);
+    }
+
+    #[test]
+    fn ddr_high_water_tracks_spilled_rings() {
+        let mut b = CapacityBroker::new(&machine(), 8 * GIB, true);
+        let s = spec(2 * GIB, Placement::Hbw); // 6 GiB ring
+        let _r1 = b.try_admit(&s).unwrap(); // MCDRAM
+        assert_eq!(b.ddr_high_water(), 0);
+        let _r2 = b.try_admit(&s).unwrap(); // spills to DDR
+        assert_eq!(b.ddr_high_water(), 6 * GIB);
+        assert_eq!(b.high_water(), 6 * GIB); // MCDRAM hwm unchanged by spill
+    }
+
+    #[test]
+    fn hbw_headroom_shrinks_with_reservations() {
+        let mut b = CapacityBroker::new(&machine(), 8 * GIB, false);
+        assert_eq!(b.hbw_headroom(), 8 * GIB);
+        let s = spec(2 * GIB, Placement::Hbw);
+        let r = match b.try_admit(&s).unwrap() {
+            AdmitOutcome::Admitted(Some(r)) => r,
+            other => panic!("expected admission, got {other:?}"),
+        };
+        assert_eq!(b.hbw_headroom(), 2 * GIB);
+        b.release(&r).unwrap();
+        assert_eq!(b.hbw_headroom(), 8 * GIB);
+    }
+
+    #[test]
+    fn strict_queue_accounting_is_saturating() {
+        let mut b = CapacityBroker::new(&machine(), 8 * GIB, false);
+        assert_eq!(b.queued_strict_bytes(), 0);
+        b.note_strict_queued(6 * GIB);
+        b.note_strict_queued(3 * GIB);
+        assert_eq!(b.queued_strict_bytes(), 9 * GIB);
+        b.note_strict_dequeued(6 * GIB);
+        assert_eq!(b.queued_strict_bytes(), 3 * GIB);
+        b.note_strict_dequeued(u64::MAX); // over-dequeue clamps at zero
+        assert_eq!(b.queued_strict_bytes(), 0);
+    }
+
+    #[test]
+    fn strict_jobs_stay_strict_on_spill_brokers() {
+        let mut b = CapacityBroker::new(&machine(), 8 * GIB, true);
+        let s = spec(2 * GIB, Placement::Hbw);
+        let _r1 = b.try_admit_job(&s, false).unwrap(); // MCDRAM
+                                                       // A strict job must wait rather than spill, even though the broker
+                                                       // allows preferred jobs to fall back to DDR.
+        assert!(matches!(
+            b.try_admit_job(&s, false).unwrap(),
+            AdmitOutcome::Busy
+        ));
+        // And a preferred job admitted right after does spill.
+        assert!(matches!(
+            b.try_admit_job(&s, true).unwrap(),
+            AdmitOutcome::Admitted(Some(_))
+        ));
+        // can_ever_fit agrees: a 6 GiB strict ring can never fit a 4 GiB
+        // budget even when the broker spills.
+        let b4 = CapacityBroker::new(&machine(), 4 * GIB, true);
+        assert!(!b4.can_ever_fit_job(&s, false));
+        assert!(b4.can_ever_fit_job(&s, true));
     }
 
     #[test]

@@ -23,6 +23,7 @@ use knl_sim::MemLevel;
 use mlm_core::pipeline::host::{run_host_pipeline_dataflow, HostStagePools, KernelCtx};
 use mlm_core::{PipelineSpec, Placement, ThreadSplit};
 
+use crate::admission::{charge_credit, select_candidate};
 use crate::broker::{AdmitOutcome, CapacityBroker};
 use crate::job::{DeadlineClass, JobId, N_CLASSES};
 use crate::policy::{predicted_makespan, profile, Policy};
@@ -139,37 +140,7 @@ pub fn serve_host(
         // the blocked class.
         let mut blocked = [false; N_CLASSES];
         loop {
-            let pos = match cfg.policy {
-                Policy::Fifo => {
-                    if ready.is_empty() {
-                        None
-                    } else {
-                        Some(0)
-                    }
-                }
-                Policy::Sjf => (0..ready.len()).min_by(|&a, &b| {
-                    est[ready[a]]
-                        .total_cmp(&est[ready[b]])
-                        .then(ids[ready[a]].cmp(&ids[ready[b]]))
-                }),
-                Policy::FairShare => {
-                    let mut best: Option<(f64, usize)> = None;
-                    for (pos, &idx) in ready.iter().enumerate() {
-                        let c = classes[idx].index();
-                        if blocked[c] {
-                            continue;
-                        }
-                        if best.map(|(_, p)| classes[ready[p]].index() == c) == Some(true) {
-                            continue;
-                        }
-                        match best {
-                            Some((cr, _)) if credit[c] >= cr => {}
-                            _ => best = Some((credit[c], pos)),
-                        }
-                    }
-                    best.map(|(_, p)| p)
-                }
-            };
+            let pos = select_candidate(cfg.policy, &ready, &est, &ids, &classes, &credit, &blocked);
             let Some(pos) = pos else { break };
             let idx = ready[pos];
             let spec = pending[idx].as_ref().expect("job not yet run").spec.clone();
@@ -188,11 +159,7 @@ pub fn serve_host(
                     let budget = (cfg.host_threads / (running.len() + 1)).max(3);
                     let split = profile(&spec, effective, &cfg.machine, budget, true)?.split;
                     running.insert(idx, (reservation, split, level, admit_seq));
-                    if cfg.policy == Policy::FairShare {
-                        let c = classes[idx].index();
-                        let service = if est[idx].is_finite() { est[idx] } else { 1.0 };
-                        credit[c] += service / classes[idx].weight();
-                    }
+                    charge_credit(cfg.policy, &mut credit, classes[idx], est[idx]);
                     admit_seq += 1;
                     let job = pending[idx].take().expect("job taken twice");
                     let tx = tx.clone();

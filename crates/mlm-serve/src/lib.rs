@@ -25,18 +25,22 @@
 //! Trace generation ([`trace`]) and fleet statistics ([`stats`]) round out
 //! the loop that `mlm-bench --bin serve_study` sweeps.
 
+pub mod admission;
 pub mod broker;
 pub mod host;
 pub mod job;
+pub mod node;
 pub mod policy;
 pub mod sched;
 pub mod simx;
 pub mod stats;
 pub mod trace;
 
+pub use admission::{charge_credit, select_candidate};
 pub use broker::{AdmitOutcome, CapacityBroker, RING_SLOTS};
 pub use host::{serve_host, HostJob, HostJobResult, HostServeConfig};
-pub use job::{DeadlineClass, JobId, JobRecord, JobRequest, Rejection};
+pub use job::{DeadlineClass, JobId, JobRecord, JobRequest, Rejection, N_CLASSES};
+pub use node::{Admission, NodeSim, DONE_EPS};
 pub use policy::{bus_demand, predicted_makespan, profile, JobProfile, Policy};
 pub use sched::{serve, ServeConfig, ServeOutcome};
 pub use simx::{co_schedule_program, replay, ScheduledJob, SimJobStats};

@@ -21,24 +21,12 @@
 //! Everything is pure arithmetic over the trace — no wall clock, no RNG —
 //! so a fixed trace always produces bit-identical results.
 
-use knl_sim::bandwidth::{allocate_rates, FlowSpec};
 use knl_sim::machine::MachineConfig;
-use knl_sim::MemLevel;
-use mlm_core::Placement;
-use mlm_memkind::Reservation;
 
-use crate::broker::{AdmitOutcome, CapacityBroker};
-use crate::job::{JobRecord, JobRequest, Rejection, N_CLASSES};
-use crate::policy::{predicted_makespan, profile, JobProfile, Policy};
+use crate::job::{JobRecord, JobRequest, Rejection};
+use crate::node::{NodeSim, DONE_EPS};
+use crate::policy::Policy;
 use crate::stats::FleetStats;
-
-/// Resource indices in the job-level bandwidth arbitration.
-const DDR_BUS: usize = 0;
-const MCD_BUS: usize = 1;
-
-/// A job's remaining work is tracked as a fraction so the service time can
-/// be re-derived whenever the thread budget changes mid-flight.
-const DONE_EPS: f64 = 1e-9;
 
 /// Configuration for one serving run.
 #[derive(Debug, Clone)]
@@ -93,18 +81,12 @@ pub struct ServeOutcome {
     pub fleet: FleetStats,
 }
 
-struct Running {
-    idx: usize,
-    start: f64,
-    frac_left: f64,
-    effective: Placement,
-    reservation: Option<Reservation>,
-    profile: JobProfile,
-}
-
 /// Serve `jobs` (any order; sorted internally by arrival) under `cfg`.
+///
+/// This is a thin driver over one [`NodeSim`]: the same state machine a
+/// fleet dispatcher runs per node, so a 1-node fleet and `serve` make
+/// bit-identical decisions by construction.
 pub fn serve(cfg: &ServeConfig, jobs: &[JobRequest]) -> Result<ServeOutcome, String> {
-    cfg.machine.validate().map_err(|e| e.to_string())?;
     for j in jobs {
         j.spec
             .validate()
@@ -114,11 +96,7 @@ pub fn serve(cfg: &ServeConfig, jobs: &[JobRequest]) -> Result<ServeOutcome, Str
         }
     }
 
-    let mut broker = CapacityBroker::new(&cfg.machine, cfg.mcdram_budget, cfg.spill);
-    let est: Vec<f64> = jobs
-        .iter()
-        .map(|j| predicted_makespan(&j.spec, &cfg.machine))
-        .collect();
+    let mut node = NodeSim::new(cfg.clone())?;
 
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by(|&a, &b| {
@@ -128,18 +106,8 @@ pub fn serve(cfg: &ServeConfig, jobs: &[JobRequest]) -> Result<ServeOutcome, Str
             .then(jobs[a].id.cmp(&jobs[b].id))
     });
 
-    let caps = [
-        cfg.machine.ddr_bandwidth,
-        cfg.machine.effective_mcdram_bandwidth(),
-    ];
-    let total_threads = cfg.machine.total_threads();
-
     let mut next_arrival = 0usize;
-    let mut ready: Vec<usize> = Vec::new(); // arrival order
-    let mut running: Vec<Running> = Vec::new();
-    let mut records: Vec<JobRecord> = Vec::new();
     let mut rejections: Vec<Rejection> = Vec::new();
-    let mut credit = [0.0f64; N_CLASSES];
     let mut now = 0.0f64;
 
     loop {
@@ -148,15 +116,13 @@ pub fn serve(cfg: &ServeConfig, jobs: &[JobRequest]) -> Result<ServeOutcome, Str
         while next_arrival < order.len() && jobs[order[next_arrival]].arrival <= now + DONE_EPS {
             let idx = order[next_arrival];
             next_arrival += 1;
-            if broker.can_ever_fit(&jobs[idx].spec) {
-                ready.push(idx);
-            } else {
+            if !node.submit(jobs[idx].clone(), false) {
                 rejections.push(Rejection {
                     id: jobs[idx].id,
                     reason: format!(
                         "buffer ring of {} B exceeds the {} B MCDRAM budget",
                         jobs[idx].spec.buffer_footprint(crate::broker::RING_SLOTS),
-                        broker.budget()
+                        node.broker().budget()
                     ),
                 });
             }
@@ -164,105 +130,40 @@ pub fn serve(cfg: &ServeConfig, jobs: &[JobRequest]) -> Result<ServeOutcome, Str
 
         // 2. Completions: a finished job returns its reservation before
         // admission runs, so freed capacity is immediately re-usable.
-        let mut i = 0;
-        while i < running.len() {
-            if running[i].frac_left <= DONE_EPS {
-                let r = running.swap_remove(i);
-                if let Some(res) = &r.reservation {
-                    broker.release(res)?;
-                }
-                let job = &jobs[r.idx];
-                records.push(JobRecord {
-                    id: job.id,
-                    class: job.class,
-                    arrival: job.arrival,
-                    start: r.start,
-                    finish: now,
-                    buffer_level: match &r.reservation {
-                        Some(res) => res.level(),
-                        None => MemLevel::Ddr,
-                    },
-                    split: r.profile.split,
-                });
-            } else {
-                i += 1;
-            }
-        }
+        node.complete_due(now)?;
 
         // 3. Admission under the configured policy.
-        admit(
-            cfg,
-            &mut broker,
-            jobs,
-            &est,
-            &mut ready,
-            &mut running,
-            &mut credit,
-            now,
-        )?;
+        node.admit(now)?;
 
         // 4. Termination.
-        if running.is_empty() && ready.is_empty() && next_arrival >= order.len() {
+        if node.is_drained() && next_arrival >= order.len() {
             break;
         }
 
         // 5. Re-tune every running job for the current co-residency degree
-        // and re-derive its bus demand coefficients.
-        let budget = (total_threads / running.len().max(1)).max(3);
-        for r in &mut running {
-            r.profile = profile(
-                &jobs[r.idx].spec,
-                r.effective,
-                &cfg.machine,
-                budget,
-                cfg.retune,
-            )?;
-        }
+        // and recompute the fair bus rates.
+        node.retune_and_allocate()?;
 
-        // 6. Fair bus rates for the running set. Each job is a flow whose
-        // unit is "dedicated-seconds per second" (cap 1.0) and whose bus
-        // coefficients are bytes per dedicated-second.
-        let flows: Vec<FlowSpec> = running
-            .iter()
-            .map(|r| {
-                let mut demand = Vec::with_capacity(2);
-                if r.profile.ddr_coeff > 0.0 {
-                    demand.push((DDR_BUS, r.profile.ddr_coeff));
-                }
-                if r.profile.mcd_coeff > 0.0 {
-                    demand.push((MCD_BUS, r.profile.mcd_coeff));
-                }
-                FlowSpec { demand, cap: 1.0 }
-            })
-            .collect();
-        let rates = allocate_rates(&caps, &flows);
-
-        // 7. Advance to the next event.
-        let mut t_next = f64::INFINITY;
-        for (r, &rate) in running.iter().zip(&rates) {
-            if rate > 0.0 {
-                t_next = t_next.min(now + r.frac_left * r.profile.t0 / rate);
-            }
-        }
+        // 6. Advance to the next event.
+        let mut t_next = node.next_completion(now);
         if next_arrival < order.len() {
             t_next = t_next.min(jobs[order[next_arrival]].arrival);
         }
         if !t_next.is_finite() {
             return Err(format!(
                 "scheduler stuck at t={now}: {} queued, {} running, nothing can progress",
-                ready.len(),
-                running.len()
+                node.queue_len(),
+                node.running_len()
             ));
         }
-        let dt = (t_next - now).max(0.0);
-        for (r, &rate) in running.iter_mut().zip(&rates) {
-            r.frac_left = (r.frac_left - rate * dt / r.profile.t0).max(0.0);
-        }
+        node.advance(now, t_next);
         now = t_next;
     }
 
+    let hwm = node.broker().high_water();
+    let mut records: Vec<JobRecord> = node.into_records();
     records.sort_by_key(|r| r.id);
-    let fleet = FleetStats::from_records(&records, rejections.len(), broker.high_water());
+    let fleet = FleetStats::from_records(&records, rejections.len(), hwm);
     Ok(ServeOutcome {
         records,
         rejections,
@@ -270,166 +171,15 @@ pub fn serve(cfg: &ServeConfig, jobs: &[JobRequest]) -> Result<ServeOutcome, Str
     })
 }
 
-/// One admission pass: admit ready jobs in policy order until the broker
-/// reports `Busy` (FIFO/SJF stop at their head; fair-share skips the
-/// blocked class and keeps trying the others).
-#[allow(clippy::too_many_arguments)]
-fn admit(
-    cfg: &ServeConfig,
-    broker: &mut CapacityBroker,
-    jobs: &[JobRequest],
-    est: &[f64],
-    ready: &mut Vec<usize>,
-    running: &mut Vec<Running>,
-    credit: &mut [f64; N_CLASSES],
-    now: f64,
-) -> Result<(), String> {
-    let mut blocked = [false; N_CLASSES];
-    // EASY-backfill reservation for the first aged (long-bypassed) job
-    // found this pass: the projected time its ring fits. Jobs admitted
-    // after the reservation must be predicted to finish before it.
-    let mut backfill_horizon: Option<f64> = None;
-    loop {
-        let pos = match cfg.policy {
-            Policy::Fifo => {
-                if ready.is_empty() {
-                    None
-                } else {
-                    Some(0)
-                }
-            }
-            Policy::Sjf => (0..ready.len()).min_by(|&a, &b| {
-                est[ready[a]]
-                    .total_cmp(&est[ready[b]])
-                    .then(jobs[ready[a]].id.cmp(&jobs[ready[b]].id))
-            }),
-            Policy::FairShare => {
-                // Lowest-credit class with an unblocked queued job; its
-                // oldest job is the candidate.
-                let mut best: Option<(f64, usize)> = None;
-                for (pos, &idx) in ready.iter().enumerate() {
-                    let c = jobs[idx].class.index();
-                    if blocked[c] {
-                        continue;
-                    }
-                    // First (oldest) queued job of each class wins within
-                    // the class; classes compare by normalized credit.
-                    let seen = best.map(|(_, p)| jobs[ready[p]].class.index() == c);
-                    if seen == Some(true) {
-                        continue;
-                    }
-                    match best {
-                        Some((cr, _)) if credit[c] >= cr => {}
-                        _ => best = Some((credit[c], pos)),
-                    }
-                }
-                best.map(|(_, p)| p)
-            }
-        };
-        let Some(pos) = pos else { break };
-        let idx = ready[pos];
-        let job = &jobs[idx];
-        let footprint = match job.spec.placement {
-            Placement::Hbw => job.spec.buffer_footprint(crate::broker::RING_SLOTS),
-            Placement::Ddr | Placement::Implicit => 0,
-        };
-        // A backfill candidate that needs MCDRAM must be predicted to
-        // finish before the reserved job's projected start.
-        if let Some(horizon) = backfill_horizon {
-            if footprint > 0 && now + est[idx] > horizon {
-                blocked[job.class.index()] = true;
-                if blocked.iter().all(|&b| b) {
-                    break;
-                }
-                continue;
-            }
-        }
-        match broker.try_admit(&job.spec)? {
-            AdmitOutcome::Admitted(reservation) => {
-                ready.remove(pos);
-                let effective = match &reservation {
-                    Some(res) if res.level() == MemLevel::Ddr => Placement::Ddr,
-                    _ => job.spec.placement,
-                };
-                // Placeholder profile; step 5 of the main loop recomputes
-                // it for the new co-residency degree before any time
-                // passes.
-                let prof = profile(
-                    &job.spec,
-                    effective,
-                    &cfg.machine,
-                    cfg.machine.total_threads(),
-                    cfg.retune,
-                )?;
-                running.push(Running {
-                    idx,
-                    start: now,
-                    frac_left: 1.0,
-                    effective,
-                    reservation,
-                    profile: prof,
-                });
-                if cfg.policy == Policy::FairShare {
-                    let c = job.class.index();
-                    let service = if est[idx].is_finite() { est[idx] } else { 1.0 };
-                    credit[c] += service / job.class.weight();
-                }
-            }
-            AdmitOutcome::Busy => match cfg.policy {
-                Policy::Fifo | Policy::Sjf => break,
-                Policy::FairShare => {
-                    // Starvation aging: the first job bypassed past the
-                    // bound gets an EASY-backfill reservation at its
-                    // projected fit time, so backfilling can no longer
-                    // postpone it forever.
-                    if backfill_horizon.is_none() && now - job.arrival > cfg.fair_aging {
-                        backfill_horizon = Some(fit_time(broker, running, footprint, now));
-                    }
-                    blocked[job.class.index()] = true;
-                    if blocked.iter().all(|&b| b) {
-                        break;
-                    }
-                }
-            },
-        }
-    }
-    Ok(())
-}
-
-/// Optimistically project when `need` bytes of MCDRAM will be free, by
-/// walking running jobs' dedicated-speed remaining times in completion
-/// order. Contention only pushes real completions later, so a backfill
-/// window computed from this estimate errs in the reserved job's favour.
-fn fit_time(broker: &CapacityBroker, running: &[Running], need: u64, now: f64) -> f64 {
-    let mut free = broker.budget().saturating_sub(broker.reserved_mcdram());
-    if free >= need {
-        return now;
-    }
-    let mut finishes: Vec<(f64, u64)> = running
-        .iter()
-        .filter_map(|r| {
-            let res = r.reservation.as_ref()?;
-            (res.level() == MemLevel::Mcdram)
-                .then(|| (now + r.frac_left * r.profile.t0, res.bytes()))
-        })
-        .collect();
-    finishes.sort_by(|a, b| a.0.total_cmp(&b.0));
-    for (t, bytes) in finishes {
-        free = free.saturating_add(bytes);
-        if free >= need {
-            return t;
-        }
-    }
-    f64::INFINITY
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::job::DeadlineClass;
+    use crate::policy::profile;
     use knl_sim::machine::MemMode;
+    use knl_sim::MemLevel;
     use knl_sim::GIB;
-    use mlm_core::PipelineSpec;
+    use mlm_core::{PipelineSpec, Placement};
 
     fn machine() -> MachineConfig {
         MachineConfig::knl_7250(MemMode::Flat)

@@ -1,0 +1,271 @@
+//! The `mlm-verify fleet` battery: dynamic invariant checks over the
+//! fleet dispatcher (`mlm-fleet`), the runtime complement of the V011
+//! placement-feasibility lint.
+//!
+//! Where the lint battery vets one *plan*, this battery runs the actual
+//! virtual-time dispatcher over small fleet traces and checks the
+//! invariants every policy combination must uphold:
+//!
+//! * **conservation** — every submitted job either completes exactly once
+//!   or is rejected at submission, and each completed job carries exactly
+//!   one placement and one admission decision;
+//! * **capacity** — no node's MCDRAM high-water mark ever exceeds its
+//!   budget, with or without work stealing (a steal that over-commits the
+//!   thief would show up here);
+//! * **determinism** — re-running a configuration reproduces the decision
+//!   log bit-for-bit (the property CI's drift gate relies on);
+//! * **mode equivalence** — the virtual-time and real-thread host
+//!   dispatchers produce the same canonical decision sequence on the demo
+//!   batch (the projection [`mlm_fleet::decision_digest`] defines).
+//!
+//! Like the other batteries, the suite is data: the CLI, CI, and the
+//! crate's tests all execute the same cases.
+
+use knl_sim::machine::{MachineConfig, MemMode};
+use knl_sim::GIB;
+use mlm_core::pipeline::host::KernelCtx;
+use mlm_core::{PipelineSpec, Placement};
+use mlm_fleet::{
+    decision_digest, fleet_serve, fleet_serve_host, fleet_trace, Decision, FleetConfig,
+    FleetHostConfig, FleetHostJob, FleetJob, FleetTraceConfig, PlacementPolicy,
+};
+use mlm_serve::trace::TraceConfig;
+use mlm_serve::{DeadlineClass, JobRequest, Policy};
+use serde::Serialize;
+
+/// One fleet battery case.
+#[derive(Debug, Serialize)]
+pub struct FleetCase {
+    /// Human-readable case name.
+    pub name: String,
+    /// Did every invariant hold?
+    pub ok: bool,
+    /// What was checked (and what failed, when `!ok`).
+    pub detail: String,
+}
+
+fn machine() -> MachineConfig {
+    MachineConfig::knl_7250(MemMode::Flat)
+}
+
+fn small_trace(nodes: usize, per_node: usize, seed: u64) -> Vec<FleetJob> {
+    fleet_trace(&FleetTraceConfig::new(
+        TraceConfig::new(machine(), 0, 2.0, seed),
+        nodes,
+        per_node,
+    ))
+}
+
+/// Check the dispatcher invariants for one configuration.
+fn invariant_case(name: String, cfg: &FleetConfig, jobs: &[FleetJob]) -> FleetCase {
+    let mut failures = Vec::new();
+    match (fleet_serve(cfg, jobs), fleet_serve(cfg, jobs)) {
+        (Ok(a), Ok(b)) => {
+            if a.records.len() + a.rejections.len() != jobs.len() {
+                failures.push(format!(
+                    "conservation: {} records + {} rejections != {} jobs",
+                    a.records.len(),
+                    a.rejections.len(),
+                    jobs.len()
+                ));
+            }
+            for r in &a.records {
+                let placed = a
+                    .decisions
+                    .iter()
+                    .filter(|d| matches!(d, Decision::Placed { job, .. } if *job == r.id))
+                    .count();
+                let admitted = a
+                    .decisions
+                    .iter()
+                    .filter(|d| matches!(d, Decision::Admitted { job, .. } if *job == r.id))
+                    .count();
+                if (placed, admitted) != (1, 1) {
+                    failures.push(format!(
+                        "job {}: placed {placed}×, admitted {admitted}×",
+                        r.id
+                    ));
+                    break;
+                }
+            }
+            for (ni, (stats, node)) in a.per_node.iter().zip(&cfg.nodes).enumerate() {
+                let cap = node.mcdram_budget.min(node.machine.addressable_mcdram());
+                if stats.mcdram_high_water > cap {
+                    failures.push(format!(
+                        "node {ni}: high-water {} exceeds budget {cap}",
+                        stats.mcdram_high_water
+                    ));
+                }
+            }
+            let (da, db) = (
+                decision_digest(&a.decisions, cfg.nodes.len()),
+                decision_digest(&b.decisions, cfg.nodes.len()),
+            );
+            if da != db || a.decisions != b.decisions {
+                failures.push(format!("nondeterministic decisions: {da:#x} vs {db:#x}"));
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => failures.push(format!("fleet_serve failed: {e}")),
+    }
+    FleetCase {
+        name,
+        ok: failures.is_empty(),
+        detail: if failures.is_empty() {
+            format!(
+                "{} jobs: conservation, per-node budget, decision determinism",
+                jobs.len()
+            )
+        } else {
+            failures.join("; ")
+        },
+    }
+}
+
+fn demo_spec(total: u64, chunk: u64) -> PipelineSpec {
+    PipelineSpec {
+        total_bytes: total,
+        chunk_bytes: chunk,
+        p_in: 1,
+        p_out: 1,
+        p_comp: 2,
+        compute_passes: 1,
+        compute_rate: 6.78e9,
+        copy_rate: 4.8e9,
+        placement: Placement::Hbw,
+        lockstep: false,
+        data_addr: 0,
+    }
+}
+
+fn demo_kernel(slice: &mut [i64], _ctx: KernelCtx) {
+    for x in slice.iter_mut() {
+        *x = x.wrapping_mul(3);
+    }
+}
+
+/// The demo batch both serving modes must decide identically: strict
+/// FIFO jobs, all submitted up front, on a two-node fleet.
+fn equivalence_case() -> FleetCase {
+    const MIB: u64 = 1 << 20;
+    let n = (MIB / 8) as usize;
+    let mut fleet = FleetConfig::homogeneous(machine(), 2, 2 * MIB, false);
+    fleet.placement = PlacementPolicy::LeastLoaded;
+    fleet.policy = Policy::Fifo;
+
+    let vt_jobs: Vec<FleetJob> = (0..6)
+        .map(|i| FleetJob {
+            req: JobRequest::new(i, 0.0, DeadlineClass::Standard, demo_spec(MIB, MIB / 4)),
+            strict: true,
+            origin: 0,
+        })
+        .collect();
+    let host_jobs: Vec<FleetHostJob> = (0..6)
+        .map(|i| FleetHostJob {
+            id: i,
+            class: DeadlineClass::Standard,
+            strict: true,
+            spec: demo_spec(MIB, MIB / 4),
+            data: (0..n as i64).map(|x| x * 7 + i as i64).collect(),
+        })
+        .collect();
+
+    let host_cfg = FleetHostConfig {
+        fleet: fleet.clone(),
+        host_threads: 8,
+        workers: 2,
+    };
+    let (ok, detail) = match (
+        fleet_serve(&fleet, &vt_jobs),
+        fleet_serve_host(&host_cfg, host_jobs, demo_kernel),
+    ) {
+        (Ok(vt), Ok(host)) => {
+            let dv = decision_digest(&vt.decisions, 2);
+            let dh = decision_digest(&host.decisions, 2);
+            if dv == dh {
+                (
+                    true,
+                    format!("vt and host decision digests agree: {dv:#018x}"),
+                )
+            } else {
+                (
+                    false,
+                    format!("decision digests diverge: vt {dv:#018x}, host {dh:#018x}"),
+                )
+            }
+        }
+        (Err(e), _) => (false, format!("virtual-time mode failed: {e}")),
+        (_, Err(e)) => (false, format!("host mode failed: {e}")),
+    };
+    FleetCase {
+        name: "vt/host decision equivalence on the demo batch".into(),
+        ok,
+        detail,
+    }
+}
+
+/// Run the whole fleet battery.
+pub fn run_fleet_suite() -> Vec<FleetCase> {
+    let mut out = Vec::new();
+    let jobs = small_trace(4, 50, 7);
+    for placement in PlacementPolicy::ALL {
+        for steal in [false, true] {
+            let mut cfg = FleetConfig::mixed_8_16(machine(), 4, true);
+            cfg.placement = placement;
+            cfg.policy = Policy::Sjf;
+            cfg.steal = steal;
+            if steal {
+                cfg.cluster = Some(mlm_cluster::ClusterConfig::omnipath(4));
+            }
+            out.push(invariant_case(
+                format!(
+                    "invariants: {} on mixed 8/16 GiB ×4, steal={}",
+                    placement.label(),
+                    if steal { "on" } else { "off" }
+                ),
+                &cfg,
+                &jobs,
+            ));
+        }
+    }
+
+    // Heterogeneous feasibility: strict elephants run only where they fit.
+    let mut cfg = FleetConfig::homogeneous(machine(), 2, 4 * GIB, false);
+    cfg.nodes[1].mcdram_budget = 16 * GIB;
+    cfg.placement = PlacementPolicy::BestFitHbw;
+    let mut big = small_trace(2, 30, 13);
+    for j in &mut big {
+        j.strict = true;
+    }
+    out.push(invariant_case(
+        "invariants: strict jobs on a 4/16 GiB fleet".into(),
+        &cfg,
+        &big,
+    ));
+
+    out.push(equivalence_case());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_suite_passes() {
+        for case in run_fleet_suite() {
+            assert!(case.ok, "{}: {}", case.name, case.detail);
+        }
+    }
+
+    #[test]
+    fn fleet_suite_covers_every_policy_and_both_modes() {
+        let names: Vec<String> = run_fleet_suite().into_iter().map(|c| c.name).collect();
+        for label in ["first-fit", "best-fit-hbw", "least-loaded"] {
+            assert!(
+                names.iter().filter(|n| n.contains(label)).count() >= 2,
+                "missing steal on/off coverage for {label}"
+            );
+        }
+        assert!(names.iter().any(|n| n.contains("equivalence")));
+    }
+}

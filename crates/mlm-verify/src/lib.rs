@@ -39,6 +39,14 @@
 //!    and schedule mode plus committed must-fail regression seeds that
 //!    mirror the model battery at the `drive()` level (`mlm-verify fuzz`).
 //!
+//! 5. **Fleet battery** ([`fleetsuite`], over [`mlm_fleet`]) — dynamic
+//!    invariant checks on the multi-node dispatcher: job conservation,
+//!    per-node MCDRAM budget respect under work stealing, decision-log
+//!    determinism across reruns, and virtual-time/host decision
+//!    equivalence on the demo batch (`mlm-verify fleet`). The V011 lint
+//!    is the static face of the same contract: a job the dispatcher would
+//!    reject at submission fails the plan before anything runs.
+//!
 //! What the checker proves is bounded: it verifies the *protocol* for
 //! concrete small geometries (3-slot ring, up to a handful of chunks and
 //! workers; 2–4 cluster nodes), not the Rust implementation itself, and
@@ -50,6 +58,7 @@
 pub mod check;
 pub mod diag;
 pub mod engine;
+pub mod fleetsuite;
 pub mod fuzzsuite;
 pub mod graph;
 pub mod lint;
@@ -59,4 +68,5 @@ pub mod suite;
 pub use check::{check, CheckOptions, CheckReport, Model, Violation};
 pub use diag::{Context, Diagnostic, LintReport, Severity};
 pub use engine::{checked_program, run_checked, VerifyError};
-pub use lint::{lint_target, Lint, LintRegistry, VerifyTarget, RING_SLOTS};
+pub use fleetsuite::{run_fleet_suite, FleetCase};
+pub use lint::{lint_target, FleetTarget, Lint, LintRegistry, VerifyTarget, RING_SLOTS};

@@ -19,6 +19,8 @@ use knl_sim::machine::MachineConfig;
 use mlm_cluster::ClusterConfig;
 use mlm_core::{ModelParams, PipelineSpec, Placement};
 use mlm_exec::Capabilities;
+use mlm_fleet::NodeConfig;
+use mlm_serve::CapacityBroker;
 
 use crate::diag::{Diagnostic, LintReport, Severity};
 
@@ -52,6 +54,21 @@ pub struct VerifyTarget<'a> {
     /// [`VerifyTarget::with_backend`] when targeting a mode-restricted
     /// backend so V010 can reject unexecutable placements statically.
     pub backend: Capabilities,
+    /// The fleet the spec is planned to be dispatched onto, when the run
+    /// is fleet-serving mode (`mlm-fleet`). `None` for single-node runs.
+    pub fleet: Option<FleetTarget<'a>>,
+}
+
+/// The fleet a spec is planned for: per-node capacities plus the job's
+/// spill semantics, enough for V011 to mirror the dispatcher's
+/// submission-time feasibility check.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetTarget<'a> {
+    /// Per-node capacities, in placement id order.
+    pub nodes: &'a [NodeConfig],
+    /// Strict-HBW: the job's ring must live in MCDRAM even on a
+    /// spill-capable node (`HBW` rather than `HBW_PREFERRED` semantics).
+    pub strict: bool,
 }
 
 impl<'a> VerifyTarget<'a> {
@@ -67,7 +84,15 @@ impl<'a> VerifyTarget<'a> {
             cluster: None,
             co_scheduled: &[],
             backend: Capabilities::all(),
+            fleet: None,
         }
+    }
+
+    /// Declare the fleet this spec will be dispatched onto (V011 checks
+    /// its placement feasibility at plan time).
+    pub fn with_fleet(mut self, nodes: &'a [NodeConfig], strict: bool) -> Self {
+        self.fleet = Some(FleetTarget { nodes, strict });
+        self
     }
 
     /// Declare the capability set of the backend that will execute this
@@ -140,6 +165,7 @@ impl LintRegistry {
         r.register(Box::new(ClusterSanity));
         r.register(Box::new(ConcurrentMcdramFit));
         r.register(Box::new(BackendCapability));
+        r.register(Box::new(FleetPlacementFeasibility));
         r
     }
 
@@ -873,6 +899,80 @@ impl Lint for BackendCapability {
     }
 }
 
+/// V011: fleet placement feasibility.
+///
+/// A fleet dispatcher (`mlm-fleet`) rejects at submission any job whose
+/// buffer ring no node could *ever* fit — the fleet-level mirror of the
+/// single-node broker's `can_ever_fit`. This lint raises the same verdict
+/// at plan time: a strict-HBW ring larger than every node's MCDRAM budget
+/// (with no spill escape hatch) will never run, so the plan should fail
+/// before the trace is generated. The check delegates to the same
+/// [`CapacityBroker`] predicate the dispatcher consults, so the two can
+/// never drift.
+struct FleetPlacementFeasibility;
+
+impl Lint for FleetPlacementFeasibility {
+    fn id(&self) -> &'static str {
+        "V011"
+    }
+    fn name(&self) -> &'static str {
+        "fleet-placement-feasibility"
+    }
+    fn description(&self) -> &'static str {
+        "a fleet-dispatched job's buffer ring must be feasible on at least one node"
+    }
+    fn check(&self, t: &VerifyTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(fleet) = &t.fleet else { return };
+        if fleet.nodes.is_empty() {
+            return; // FleetConfig::validate rejects empty fleets outright
+        }
+        if t.spec.placement != Placement::Hbw {
+            return; // only MCDRAM rings compete for node budgets
+        }
+        let footprint = t.spec.buffer_footprint(t.buffer_slots);
+        if footprint == 0 {
+            return;
+        }
+        let feasible = fleet.nodes.iter().any(|n| {
+            CapacityBroker::new(&n.machine, n.mcdram_budget, n.spill)
+                .can_ever_fit_job(t.spec, !fleet.strict)
+        });
+        if feasible {
+            return;
+        }
+        let max_budget = fleet
+            .nodes
+            .iter()
+            .map(|n| n.mcdram_budget.min(n.machine.addressable_mcdram()))
+            .max()
+            .unwrap_or(0);
+        let max_chunk = max_budget / t.buffer_slots.max(1) as u64;
+        let semantics = if fleet.strict { "strict-HBW" } else { "HBW" };
+        out.push(
+            Diagnostic::new(
+                self.id(),
+                self.name(),
+                Severity::Error,
+                format!(
+                    "{semantics} buffer ring of {footprint} bytes ({} slots) fits no node \
+                     of the {}-node fleet (largest usable MCDRAM budget: {max_budget} \
+                     bytes): the dispatcher rejects this job at submission",
+                    t.buffer_slots,
+                    fleet.nodes.len()
+                ),
+            )
+            .with_context("spec.ring_footprint", footprint)
+            .with_context("fleet.nodes", fleet.nodes.len())
+            .with_context("fleet.max_mcdram_budget", max_budget)
+            .with_suggestion(format!(
+                "shrink chunk_bytes to at most {max_chunk}, relax the job to \
+                 HBW_PREFERRED (spill-ok) on a spill-capable node, or add a node \
+                 with a larger MCDRAM budget"
+            )),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1144,7 +1244,7 @@ mod tests {
             ids,
             vec![
                 "V000", "V001", "V002", "V003", "V004", "V005", "V006", "V007", "V008", "V009",
-                "V010"
+                "V010", "V011"
             ]
         );
         // Ids are unique and every lint has a description.
@@ -1198,5 +1298,41 @@ mod tests {
         use std::sync::OnceLock;
         static SPEC: OnceLock<PipelineSpec> = OnceLock::new();
         SPEC.get_or_init(good_spec)
+    }
+
+    #[test]
+    fn v011_fires_only_when_no_fleet_node_fits() {
+        const GIB: u64 = 1 << 30;
+        // 12 GiB ring (4 GiB chunks × 3 slots): fine on one machine's
+        // 16 GiB MCDRAM (no V002), infeasible on 8 GiB fleet budgets.
+        let mut s = good_spec();
+        s.chunk_bytes = 4 * GIB;
+        s.total_bytes = 32 * GIB;
+        let small = vec![
+            NodeConfig::new(knl(), 8 * GIB, false),
+            NodeConfig::new(knl(), 8 * GIB, false),
+        ];
+        let report = lint_target(&VerifyTarget::new(&s, &knl()).with_fleet(&small, true));
+        assert_eq!(report.error_ids(), vec!["V011"]);
+
+        // One 16 GiB node makes the fleet feasible again.
+        let mixed = vec![
+            NodeConfig::new(knl(), 8 * GIB, false),
+            NodeConfig::new(knl(), 16 * GIB, false),
+        ];
+        let report = lint_target(&VerifyTarget::new(&s, &knl()).with_fleet(&mixed, true));
+        assert!(!ids(&report).contains(&"V011"));
+
+        // So does relaxing the job to spill-ok on a spill-capable node.
+        let spilly = vec![NodeConfig::new(knl(), 8 * GIB, true)];
+        let report = lint_target(&VerifyTarget::new(&s, &knl()).with_fleet(&spilly, false));
+        assert!(!ids(&report).contains(&"V011"));
+        // ... but a strict job cannot use the spill escape hatch.
+        let report = lint_target(&VerifyTarget::new(&s, &knl()).with_fleet(&spilly, true));
+        assert!(report.error_ids().contains(&"V011"));
+
+        // Single-node (non-fleet) targets never see V011.
+        let report = lint_target(&VerifyTarget::new(&s, &knl()));
+        assert!(!ids(&report).contains(&"V011"));
     }
 }

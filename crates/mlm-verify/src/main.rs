@@ -6,6 +6,7 @@
 //! mlm-verify graph     [--json]        # static schedule verification (G-series)
 //! mlm-verify models    [--json]        # the model-checking battery only
 //! mlm-verify fuzz [--seeds N] [--json] # adversarial-schedule fuzzing + seeds
+//! mlm-verify fleet     [--json]        # fleet dispatcher invariant battery
 //! mlm-verify list                      # registered lints and checked models
 //! ```
 //!
@@ -37,6 +38,7 @@ use std::process::ExitCode;
 
 use serde::Serialize;
 
+use mlm_verify::fleetsuite::run_fleet_suite;
 use mlm_verify::fuzzsuite::{fuzz_catalog, run_fuzz_corpus, run_fuzz_regressions};
 use mlm_verify::graph::run_graph_suite;
 use mlm_verify::suite::{run_lint_suite, run_model_suite};
@@ -50,13 +52,15 @@ fn main() -> ExitCode {
             let lints = lint_battery(json);
             let graph = graph_battery(json);
             let models = model_battery(json);
-            let ok = lints.ok && graph.ok && models.ok;
+            let fleet = fleet_battery(json);
+            let ok = lints.ok && graph.ok && models.ok && fleet.ok;
             if json {
                 emit(&CheckAllOut {
                     ok,
                     lint: lints,
                     graph,
                     models,
+                    fleet,
                 });
             } else {
                 println!("\ncheck-all: {}", verdict(ok));
@@ -79,12 +83,13 @@ fn main() -> ExitCode {
             }
             finish(json, fuzz_battery(seeds, json))
         }
+        Some("fleet") => finish(json, fleet_battery(json)),
         Some("list") => {
             list();
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: mlm-verify <check-all|lint|graph|models|fuzz|list> [--json]");
+            eprintln!("usage: mlm-verify <check-all|lint|graph|models|fuzz|fleet|list> [--json]");
             ExitCode::from(2)
         }
     }
@@ -134,6 +139,7 @@ struct CheckAllOut {
     lint: LintBatteryOut,
     graph: GraphBatteryOut,
     models: ModelBatteryOut,
+    fleet: FleetBatteryOut,
 }
 
 #[derive(Serialize)]
@@ -459,6 +465,55 @@ fn fuzz_battery(seeds: u64, json: bool) -> FuzzBatteryOut {
         regressions,
         corpus_cases,
         findings,
+    }
+}
+
+#[derive(Serialize)]
+struct FleetBatteryOut {
+    battery: &'static str,
+    ok: bool,
+    cases: Vec<FleetCaseOut>,
+}
+
+#[derive(Serialize)]
+struct FleetCaseOut {
+    name: String,
+    ok: bool,
+    detail: String,
+}
+
+impl Battery for FleetBatteryOut {
+    fn passed(&self) -> bool {
+        self.ok
+    }
+}
+
+fn fleet_battery(json: bool) -> FleetBatteryOut {
+    if !json {
+        println!("\n== fleet dispatcher invariants ==");
+    }
+    let mut ok = true;
+    let mut cases = Vec::new();
+    for case in run_fleet_suite() {
+        if !json {
+            let verdict = if case.ok { "ok" } else { "FAIL" };
+            println!("{verdict:>4}  {}", case.name);
+            println!("      {}", case.detail);
+        }
+        ok &= case.ok;
+        cases.push(FleetCaseOut {
+            name: case.name,
+            ok: case.ok,
+            detail: case.detail,
+        });
+    }
+    if !json {
+        println!("fleet: {}", verdict(ok));
+    }
+    FleetBatteryOut {
+        battery: "fleet",
+        ok,
+        cases,
     }
 }
 

@@ -152,6 +152,32 @@ pub fn run_lint_suite() -> Vec<LintCase> {
         ),
     });
 
+    // A 12 GiB strict ring clears every single-node lint on a 16 GiB
+    // machine, yet fits no node of an all-8-GiB fleet: the dispatcher
+    // would bounce it at submission, so the plan must fail statically.
+    let mut s = paper_spec();
+    s.chunk_bytes = 4 << 30;
+    s.total_bytes = 32 << 30;
+    let small_fleet = vec![
+        mlm_fleet::NodeConfig::new(machine.clone(), 8 << 30, false),
+        mlm_fleet::NodeConfig::new(machine.clone(), 8 << 30, false),
+    ];
+    out.push(LintCase {
+        name: "strict ring fits no node of the fleet",
+        expect_error: Some("V011"),
+        report: lint_target(&VerifyTarget::new(&s, &machine).with_fleet(&small_fleet, true)),
+    });
+
+    // The paper spec's 3 GiB ring is feasible on the mixed 8/16 GiB
+    // fleet the fleet study sweeps.
+    let s = paper_spec();
+    let mixed = mlm_fleet::FleetConfig::mixed_8_16(machine.clone(), 4, false).nodes;
+    out.push(LintCase {
+        name: "paper spec on the mixed 8/16 GiB fleet",
+        expect_error: None,
+        report: lint_target(&VerifyTarget::new(&s, &machine).with_fleet(&mixed, true)),
+    });
+
     out
 }
 
