@@ -1523,6 +1523,7 @@ mod tests {
             placement: mlm_exec::Placement::Hbw,
             lockstep: true,
             data_addr: 0,
+            workload: mlm_exec::Workload::Map,
         };
         // Small chunks: proven safe, peak = full 3-slot ring.
         let report = sim.preflight_spec(&spec(64)).unwrap();

@@ -8,7 +8,7 @@ use knl_sim::machine::{MachineConfig, MemMode};
 use knl_sim::Simulator;
 use mlm_core::merge_bench::merge_kernel;
 use mlm_core::pipeline::host::{run_host_pipeline, run_host_pipeline_dataflow, HostStagePools};
-use mlm_core::pipeline::{PipelineSpec, Placement};
+use mlm_core::pipeline::{PipelineSpec, Placement, Workload};
 use mlm_core::sort::sim::build_sort_program;
 use mlm_core::workload::generate_keys;
 use mlm_core::{Calibration, InputOrder, SortAlgorithm, SortWorkload};
@@ -28,6 +28,7 @@ fn pipeline_spec(lockstep: bool) -> PipelineSpec {
         placement: Placement::Hbw,
         lockstep,
         data_addr: 0,
+        workload: Workload::Map,
     }
 }
 
@@ -101,6 +102,7 @@ fn bench_host_lockstep_vs_dataflow(c: &mut Criterion) {
         placement: Placement::Hbw,
         lockstep,
         data_addr: 0,
+        workload: Workload::Map,
     };
     // Both schedules run the same spec; gate it once before any work.
     mlm_bench::verify::lint_host_spec(&spec(true));

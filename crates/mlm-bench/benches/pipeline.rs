@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mlm_core::merge_bench::merge_kernel;
 use mlm_core::pipeline::host::{run_host_pipeline, run_host_pipeline_dataflow, HostStagePools};
-use mlm_core::pipeline::{PipelineSpec, Placement};
+use mlm_core::pipeline::{PipelineSpec, Placement, Workload};
 use mlm_core::workload::generate_keys;
 use parsort::pool::WorkPool;
 use std::hint::black_box;
@@ -24,6 +24,7 @@ fn spec(p_copy: usize, p_comp: usize, placement: Placement) -> PipelineSpec {
         placement,
         lockstep: true,
         data_addr: 0,
+        workload: Workload::Map,
     }
 }
 

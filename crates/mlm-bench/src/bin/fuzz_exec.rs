@@ -195,10 +195,11 @@ fn parse_construction(name: &str) -> Construction {
         "poison-skip-lock" => Construction::PoisonSkipLock,
         "notify-one" => Construction::NotifyOne,
         "no-recheck" => Construction::NoRecheck,
+        "drop-halo-dep" => Construction::DropHaloDep,
         other => {
             eprintln!(
                 "unknown construction '{other}' (correct, drop-recycle-dep, \
-                 poison-skip-lock, notify-one, no-recheck)"
+                 poison-skip-lock, notify-one, no-recheck, drop-halo-dep)"
             );
             std::process::exit(2);
         }

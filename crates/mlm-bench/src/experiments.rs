@@ -7,6 +7,7 @@ use mlm_core::merge_bench::{
 };
 use mlm_core::model::ModelParams;
 use mlm_core::pipeline::host::{run_host_pipeline, HostRunStats};
+use mlm_core::pipeline::Workload;
 use mlm_core::pipeline::{PipelineSpec, Placement};
 use mlm_core::sort::sim::build_sort_program;
 use mlm_core::workload::generate_keys;
@@ -746,6 +747,7 @@ pub fn host_pipeline_ablation(n_elems: usize, reps: usize) -> Vec<HostAblationRo
         placement: Placement::Hbw,
         lockstep,
         data_addr: 0,
+        workload: Workload::Map,
     };
 
     // Both schedules run the same spec; gate it once before any work.

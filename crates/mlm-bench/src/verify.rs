@@ -46,7 +46,7 @@ pub fn lint_host_spec(spec: &PipelineSpec) -> LintReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mlm_core::pipeline::Placement;
+    use mlm_core::pipeline::{Placement, Workload};
 
     fn spec() -> PipelineSpec {
         PipelineSpec {
@@ -61,6 +61,7 @@ mod tests {
             placement: Placement::Hbw,
             lockstep: true,
             data_addr: 0,
+            workload: Workload::Map,
         }
     }
 

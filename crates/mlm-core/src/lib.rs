@@ -46,6 +46,6 @@ pub use calibration::Calibration;
 pub use merge_bench::{merge_bench_program, simulate_merge_bench, MergeBenchParams};
 pub use model::{ModelParams, ThreadSplit};
 pub use nvm::{simulate_double_chunking, DoubleChunkSpec, NvmConfig};
-pub use pipeline::{PipelineSpec, Placement};
+pub use pipeline::{PipelineSpec, Placement, Workload};
 pub use sort::SortAlgorithm;
 pub use workload::{InputOrder, SortWorkload};

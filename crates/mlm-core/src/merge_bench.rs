@@ -22,7 +22,7 @@ use knl_sim::ops::Program;
 use serde::{Deserialize, Serialize};
 
 use crate::calibration::Calibration;
-use crate::pipeline::{sim, PipelineSpec, Placement};
+use crate::pipeline::{sim, PipelineSpec, Placement, Workload};
 
 /// Parameters of one merge-benchmark configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -88,6 +88,7 @@ impl MergeBenchParams {
             placement: Placement::Hbw,
             lockstep: true,
             data_addr: 0,
+            workload: Workload::Map,
         })
     }
 }

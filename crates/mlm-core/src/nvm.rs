@@ -27,7 +27,7 @@ use knl_sim::ops::{Access, OpKind, Place, Program};
 use knl_sim::{MemLevel, Simulator};
 use serde::{Deserialize, Serialize};
 
-use crate::pipeline::{sim, PipelineSpec, Placement};
+use crate::pipeline::{sim, PipelineSpec, Placement, Workload};
 
 /// The NVM tier's parameters (3D-XPoint-class defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -121,6 +121,7 @@ fn inner_spec(spec: &DoubleChunkSpec, knl: &MachineConfig) -> PipelineSpec {
         placement: Placement::Hbw,
         lockstep: true,
         data_addr: 0,
+        workload: Workload::Map,
     }
 }
 

@@ -28,6 +28,15 @@
 //!   [`super::sim::SimBackend`] lowers) for non-lockstep runs.
 //! * **Implicit** ([`HostImplicitBackend`]): no copy stages; each compute
 //!   action runs in place as it is issued.
+//!
+//! The stencil family ([`run_host_stencil`]) interprets the same plan IR
+//! with a deeper ring and split in/out buffers per slot (computing in
+//! place would corrupt the halo bytes neighbouring computes still read):
+//! lockstep batches each plan step on the shared pool exactly like the
+//! map family, while dataflow runs actions eagerly at issue order —
+//! issue order is a topological order of the plan's dependency edges, so
+//! outputs are bit-identical across schedules by construction (overlap
+//! timing is the simulator's experiment, not the host's).
 
 use std::any::Any;
 use std::panic::resume_unwind;
@@ -38,7 +47,7 @@ use mlm_exec::ring::{coordinate, is_poison_payload, BufSlot, Phase};
 use mlm_exec::{drive, Backend, Capabilities, ChunkAction, Stage, RING_SLOTS};
 use parsort::pool::{copy_split, split_range, StagePool, WorkPool};
 
-use super::{PipelineSpec, Placement};
+use super::{PipelineSpec, Placement, Workload};
 
 pub use mlm_exec::KernelCtx;
 
@@ -134,6 +143,12 @@ where
     spec.validate().expect("invalid pipeline spec");
     spec.validate_elem_size(std::mem::size_of::<T>())
         .expect("invalid chunk geometry");
+    assert_eq!(
+        spec.workload,
+        Workload::Map,
+        "stencil workloads carry halo reads the map kernel shape cannot \
+         express; use run_host_stencil"
+    );
 
     if spec.placement == Placement::Implicit {
         return run_implicit(pool, spec, data, out, &kernel, start);
@@ -661,6 +676,12 @@ where
         Placement::Implicit,
         "implicit placement has no copy stages; use run_host_pipeline"
     );
+    assert_eq!(
+        spec.workload,
+        Workload::Map,
+        "stencil workloads carry halo reads the map kernel shape cannot \
+         express; use run_host_stencil"
+    );
     let start = Instant::now();
     if data.is_empty() {
         return HostRunStats {
@@ -704,6 +725,308 @@ where
     }
 }
 
+// ---------------------------------------------------------------------------
+// Stencil family
+// ---------------------------------------------------------------------------
+
+/// The staged neighbourhood a stencil kernel computes one chunk from.
+///
+/// `mid` is the full input chunk; `left` and `right` are the staged halo
+/// regions of the adjacent chunks — the last `halo` elements of chunk
+/// `c - 1` and the first up-to-`halo` elements of chunk `c + 1`. At the
+/// grid boundary (and past the end of a ragged final chunk) the
+/// corresponding slice is empty or short, and the kernel supplies its own
+/// boundary condition for the missing elements.
+///
+/// All three slices view *staged input* buffers: stencil slots keep
+/// separate output buffers precisely so these bytes stay intact while
+/// neighbouring chunks compute.
+pub struct StencilView<'a, T> {
+    /// Last `halo` elements of chunk `c - 1` (empty when `c == 0`).
+    pub left: &'a [T],
+    /// The full input chunk `c`.
+    pub mid: &'a [T],
+    /// First up-to-`halo` elements of chunk `c + 1` (empty for the last
+    /// chunk, shorter than `halo` when the grid ends inside the halo).
+    pub right: &'a [T],
+}
+
+/// Backend for the stencil family: a four-slot ring of split in/out
+/// buffers. Lockstep accumulates each step's actions and runs them as one
+/// batch on the shared pool (the in-buffer being filled this step is
+/// never one of the three the step's compute reads — slot arithmetic on
+/// the four-slot ring keeps them disjoint). Dataflow executes each action
+/// eagerly at issue: the orchestrator issues in a topological order of
+/// the plan's halo/data/recycle edges, so every staged byte a compute
+/// reads has already landed.
+struct HostStencilBackend<'a, T, F> {
+    pool: &'a WorkPool,
+    data: &'a [T],
+    out: &'a mut [T],
+    kernel: &'a F,
+    chunk_elems: usize,
+    halo_elems: usize,
+    n_chunks: usize,
+    /// Staged input chunks, indexed by [`ChunkAction::slot`].
+    in_bufs: Vec<Vec<T>>,
+    /// Computed output chunks, same indexing.
+    out_bufs: Vec<Vec<T>>,
+    /// Actions issued since the last step barrier (lockstep only).
+    pending: Vec<ChunkAction>,
+    busy_in: AtomicU64,
+    busy_comp: AtomicU64,
+    busy_out: AtomicU64,
+}
+
+impl<T, F> HostStencilBackend<'_, T, F>
+where
+    T: Copy + Send + Sync,
+    F: Fn(StencilView<'_, T>, &mut [T], KernelCtx) + Send + Sync,
+{
+    /// Run one batch of actions (a lockstep step, or a single eagerly
+    /// executed dataflow action) as one `scoped` call on the shared pool.
+    ///
+    /// Mutably touched buffers (the copy-in destination, the compute
+    /// output, the copy-out source) are taken out of the rings for the
+    /// duration of the batch so the compute tasks can borrow the ring of
+    /// staged inputs shared. The plan guarantees the taken slots are
+    /// disjoint from the slots the same step reads: on the four-slot ring,
+    /// step `s` fills slot `s % 4` while compute on `s - 2` reads slots
+    /// `(s - 3) % 4`, `(s - 2) % 4`, and `(s - 1) % 4`.
+    fn run_batch(&mut self, spec: &PipelineSpec, actions: &[ChunkAction]) {
+        if actions.is_empty() {
+            return;
+        }
+        let fill = self.data[0];
+        let chunk_elems = self.chunk_elems;
+        let data_len = self.data.len();
+        let range = |c: usize| (c * chunk_elems, ((c + 1) * chunk_elems).min(data_len));
+
+        // Take the mutably-owned buffers out of their rings.
+        let mut in_dst: Option<Vec<T>> = None;
+        let mut comp_dst: Option<Vec<T>> = None;
+        let mut out_src: Option<Vec<T>> = None;
+        for a in actions {
+            match a.stage {
+                Stage::CopyIn => {
+                    let (lo, hi) = range(a.chunk);
+                    let mut buf = std::mem::take(&mut self.in_bufs[a.slot]);
+                    buf.clear();
+                    buf.resize(hi - lo, fill);
+                    assert!(in_dst.replace(buf).is_none(), "one copy-in per batch");
+                }
+                Stage::Compute => {
+                    let (lo, hi) = range(a.chunk);
+                    let mut buf = std::mem::take(&mut self.out_bufs[a.slot]);
+                    buf.clear();
+                    buf.resize(hi - lo, fill);
+                    assert!(comp_dst.replace(buf).is_none(), "one compute per batch");
+                }
+                Stage::CopyOut => {
+                    let buf = std::mem::take(&mut self.out_bufs[a.slot]);
+                    assert!(out_src.replace(buf).is_none(), "one copy-out per batch");
+                }
+            }
+        }
+
+        // The copy-out destination window of `out`, carved up front.
+        let mut out_dst: Option<&mut [T]> = None;
+        if let Some(a) = actions.iter().find(|a| a.stage == Stage::CopyOut) {
+            let (lo, hi) = range(a.chunk);
+            out_dst = Some(&mut self.out[lo..hi]);
+        }
+
+        let in_bufs = &self.in_bufs;
+        // Single-use mutable handles on the taken buffers, so the task
+        // loop below borrows each exactly once.
+        let mut in_dst_ref = in_dst.as_mut();
+        let mut comp_dst_ref = comp_dst.as_mut();
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        for a in actions {
+            match a.stage {
+                Stage::CopyIn => {
+                    let (lo, hi) = range(a.chunk);
+                    let dst = in_dst_ref.take().expect("taken above");
+                    push_timed_copy(
+                        &mut tasks,
+                        &self.busy_in,
+                        spec.p_in,
+                        &self.data[lo..hi],
+                        dst,
+                    );
+                }
+                Stage::Compute => {
+                    let c = a.chunk;
+                    let (lo, hi) = range(c);
+                    let halo = self.halo_elems;
+                    let left: &[T] = if c > 0 {
+                        let prev = &in_bufs[(c - 1) % in_bufs.len()];
+                        &prev[prev.len() - halo.min(prev.len())..]
+                    } else {
+                        &[]
+                    };
+                    let mid: &[T] = &in_bufs[c % in_bufs.len()];
+                    let right: &[T] = if c + 1 < self.n_chunks {
+                        let next = &in_bufs[(c + 1) % in_bufs.len()];
+                        &next[..halo.min(next.len())]
+                    } else {
+                        &[]
+                    };
+                    debug_assert_eq!(mid.len(), hi - lo, "stale staged input for chunk {c}");
+
+                    let len = hi - lo;
+                    let parts = spec.p_comp.min(len).max(1);
+                    let mut rest: &mut [T] = comp_dst_ref.take().expect("taken above");
+                    for t in 0..parts {
+                        let (ss, se) = split_range(len, parts, t);
+                        let (head, tail) = rest.split_at_mut(se - ss);
+                        rest = tail;
+                        let ctx = KernelCtx {
+                            chunk: c,
+                            thread: t,
+                            global_offset: lo + ss,
+                        };
+                        let busy = &self.busy_comp;
+                        let kernel = self.kernel;
+                        tasks.push(Box::new(move || {
+                            let t0 = Instant::now();
+                            super::fault::maybe_panic_compute(ctx.chunk);
+                            kernel(StencilView { left, mid, right }, head, ctx);
+                            busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        }));
+                    }
+                }
+                Stage::CopyOut => {
+                    let src = out_src.as_ref().expect("taken above");
+                    let dst = out_dst.take().expect("one copy-out per batch");
+                    debug_assert_eq!(src.len(), dst.len());
+                    push_timed_copy(&mut tasks, &self.busy_out, spec.p_out, src, dst);
+                }
+            }
+        }
+
+        self.pool.scoped(tasks);
+
+        // Return the taken buffers to their ring slots.
+        for a in actions {
+            match a.stage {
+                Stage::CopyIn => self.in_bufs[a.slot] = in_dst.take().expect("taken above"),
+                Stage::Compute => self.out_bufs[a.slot] = comp_dst.take().expect("taken above"),
+                Stage::CopyOut => self.out_bufs[a.slot] = out_src.take().expect("taken above"),
+            }
+        }
+    }
+}
+
+impl<T, F> Backend for HostStencilBackend<'_, T, F>
+where
+    T: Copy + Send + Sync,
+    F: Fn(StencilView<'_, T>, &mut [T], KernelCtx) + Send + Sync,
+{
+    // Ordering is realised structurally: lockstep by step batching,
+    // dataflow by executing in issue order (a topological order of the
+    // plan's edges), so tokens carry no information.
+    type Token = ();
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::all()
+    }
+
+    fn issue(&mut self, spec: &PipelineSpec, action: ChunkAction, _deps: &[()]) {
+        if spec.lockstep {
+            self.pending.push(action);
+        } else {
+            self.run_batch(spec, &[action]);
+        }
+    }
+
+    fn step_barrier(&mut self, spec: &PipelineSpec, _after: &[()]) {
+        let actions = std::mem::take(&mut self.pending);
+        self.run_batch(spec, &actions);
+    }
+}
+
+/// Stream `data` through the out-of-core stencil pipeline, applying
+/// `kernel` to each chunk's staged neighbourhood and writing results to
+/// `out`.
+///
+/// `kernel(view, out_slice, ctx)` receives the full staged input chunk
+/// plus both neighbours' halo regions ([`StencilView`]) and must fill
+/// `out_slice` — its thread's part of the chunk's output, starting at
+/// grid element `ctx.global_offset` — as a pure function of the view and
+/// the position. Outputs land in separate buffers, so the staged inputs a
+/// neighbouring compute still reads are never overwritten.
+///
+/// `spec.lockstep` selects the schedule exactly as in
+/// [`run_host_pipeline`]; both schedules produce bit-identical output.
+///
+/// # Panics
+/// Panics if `out.len() != data.len()`, the spec fails validation, the
+/// workload is not [`Workload::Stencil`], or the chunk/halo geometry is
+/// not a whole number of `T` elements.
+pub fn run_host_stencil<T, F>(
+    pool: &WorkPool,
+    spec: &PipelineSpec,
+    data: &[T],
+    out: &mut [T],
+    kernel: F,
+) -> HostRunStats
+where
+    T: Copy + Send + Sync,
+    F: Fn(StencilView<'_, T>, &mut [T], KernelCtx) + Send + Sync,
+{
+    assert_eq!(out.len(), data.len(), "out must match data length");
+    let Workload::Stencil { halo_bytes } = spec.workload else {
+        panic!("run_host_stencil needs a stencil workload; use run_host_pipeline for map kernels");
+    };
+    let start = Instant::now();
+    if data.is_empty() {
+        return HostRunStats {
+            elapsed: start.elapsed(),
+            ..HostRunStats::empty()
+        };
+    }
+    spec.validate().expect("invalid pipeline spec");
+    spec.validate_elem_size(std::mem::size_of::<T>())
+        .expect("invalid chunk geometry");
+    let elem = std::mem::size_of::<T>().max(1) as u64;
+    assert!(
+        halo_bytes.is_multiple_of(elem),
+        "halo_bytes = {halo_bytes} is not a whole number of {elem}-byte elements"
+    );
+
+    let chunk_elems = chunk_elems_for::<T>(spec);
+    let n_chunks = data.len().div_ceil(chunk_elems).max(1);
+    let ring = spec.ring_slots();
+
+    let espec = host_spec::<T>(spec, data.len());
+    let mut backend = HostStencilBackend {
+        pool,
+        data,
+        out,
+        kernel: &kernel,
+        chunk_elems,
+        halo_elems: (halo_bytes / elem) as usize,
+        n_chunks,
+        in_bufs: (0..ring).map(|_| Vec::new()).collect(),
+        out_bufs: (0..ring).map(|_| Vec::new()).collect(),
+        pending: Vec::new(),
+        busy_in: AtomicU64::new(0),
+        busy_comp: AtomicU64::new(0),
+        busy_out: AtomicU64::new(0),
+    };
+    drive(&mut backend, &espec).expect("host stencil backend refused the schedule");
+
+    HostRunStats {
+        chunks: n_chunks,
+        steps: n_chunks + 3,
+        elapsed: start.elapsed(),
+        copy_in: stage_stats(spec.p_in, &backend.busy_in),
+        compute: stage_stats(spec.p_comp, &backend.busy_comp),
+        copy_out: stage_stats(spec.p_out, &backend.busy_out),
+    }
+}
+
 /// Push `src → dst` copy tasks (split across up to `parts_max` workers)
 /// onto a lockstep step batch, crediting wall time to `busy`. The shared
 /// `WorkPool` is untimed, so the tasks time themselves — unlike the
@@ -736,6 +1059,7 @@ mod tests {
     use std::panic::{catch_unwind, AssertUnwindSafe};
 
     use super::*;
+    use crate::pipeline::Workload;
 
     fn spec(chunk_bytes: u64, placement: Placement) -> PipelineSpec {
         PipelineSpec {
@@ -750,6 +1074,7 @@ mod tests {
             placement,
             lockstep: true,
             data_addr: 0,
+            workload: Workload::Map,
         }
     }
 
@@ -999,6 +1324,146 @@ mod tests {
         assert!(out.iter().zip(&data).all(|(o, d)| *o == -d));
         assert_eq!(stats.copy_in.threads, 0, "implicit mode has no copy stages");
         assert!(stats.compute.busy > Duration::ZERO);
+    }
+
+    // -- stencil family --------------------------------------------------
+
+    /// Spec for an i64 stencil over `chunk_elems`-element chunks with an
+    /// `h`-element halo, processing `n` elements.
+    fn stencil_spec(chunk_elems: usize, h: usize, n: usize, lockstep: bool) -> PipelineSpec {
+        let mut s = spec((8 * chunk_elems) as u64, Placement::Hbw);
+        s.total_bytes = (8 * n) as u64;
+        s.workload = Workload::Stencil {
+            halo_bytes: (8 * h) as u64,
+        };
+        s.lockstep = lockstep;
+        s
+    }
+
+    /// The 3-point stencil at distance `h` with zero boundary: what any
+    /// correct out-of-core execution must compute for global element `g`.
+    fn stencil_reference(data: &[i64], h: usize) -> Vec<i64> {
+        (0..data.len())
+            .map(|g| {
+                let l = if g >= h { data[g - h] } else { 0 };
+                let r = data.get(g + h).copied().unwrap_or(0);
+                data[g]
+                    .wrapping_mul(3)
+                    .wrapping_sub(l)
+                    .wrapping_add(r.wrapping_mul(7))
+            })
+            .collect()
+    }
+
+    /// The same stencil expressed against the staged [`StencilView`]:
+    /// exercises mid reads, both halo regions, the left grid boundary, and
+    /// the (possibly short) right halo of a ragged tail.
+    fn stencil_kernel(
+        chunk_elems: usize,
+        h: usize,
+    ) -> impl Fn(StencilView<'_, i64>, &mut [i64], KernelCtx) {
+        move |view, out, ctx| {
+            let l0 = ctx.global_offset - ctx.chunk * chunk_elems;
+            for (i, o) in out.iter_mut().enumerate() {
+                let l = l0 + i;
+                let left = if l >= h {
+                    view.mid[l - h]
+                } else if view.left.is_empty() {
+                    0 // grid boundary
+                } else {
+                    view.left[l] // left holds globals [base - h, base)
+                };
+                let j = l + h;
+                let right = if j < view.mid.len() {
+                    view.mid[j]
+                } else {
+                    view.right.get(j - view.mid.len()).copied().unwrap_or(0)
+                };
+                *o = view.mid[l]
+                    .wrapping_mul(3)
+                    .wrapping_sub(left)
+                    .wrapping_add(right.wrapping_mul(7));
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_matches_reference_across_geometries() {
+        let pool = WorkPool::new(7);
+        for (chunk_elems, h, n) in [
+            (64usize, 8usize, 1003usize), // ragged tail
+            (64, 8, 640),                 // exact division
+            (64, 60, 1003),               // halo nearly the whole chunk
+            (64, 8, 50),                  // single chunk
+            (64, 8, 70),                  // two chunks, short tail < halo reach
+            (16, 4, 16 * 4 + 2),          // tail shorter than the halo
+        ] {
+            let s = stencil_spec(chunk_elems, h, n, true);
+            let data: Vec<i64> = (0..n as i64).map(|x| x.wrapping_mul(0x9E37)).collect();
+            let mut out = vec![0i64; n];
+            let stats =
+                run_host_stencil(&pool, &s, &data, &mut out, stencil_kernel(chunk_elems, h));
+            assert_eq!(
+                out,
+                stencil_reference(&data, h),
+                "chunk={chunk_elems} h={h} n={n}"
+            );
+            assert_eq!(stats.chunks, n.div_ceil(chunk_elems));
+            assert_eq!(stats.steps, stats.chunks + 3);
+        }
+    }
+
+    #[test]
+    fn stencil_dataflow_matches_lockstep_bit_for_bit() {
+        let pool = WorkPool::new(7);
+        for n in [1usize, 64, 65, 129, 1003] {
+            let (chunk_elems, h) = (64, 8);
+            let data: Vec<i64> = (0..n as i64).map(|x| x.wrapping_mul(-77)).collect();
+
+            let mut out_lock = vec![0i64; n];
+            let s = stencil_spec(chunk_elems, h, n, true);
+            run_host_stencil(
+                &pool,
+                &s,
+                &data,
+                &mut out_lock,
+                stencil_kernel(chunk_elems, h),
+            );
+
+            let mut out_flow = vec![0i64; n];
+            let s = stencil_spec(chunk_elems, h, n, false);
+            run_host_stencil(
+                &pool,
+                &s,
+                &data,
+                &mut out_flow,
+                stencil_kernel(chunk_elems, h),
+            );
+
+            assert_eq!(out_lock, out_flow, "n={n}");
+            assert_eq!(out_lock, stencil_reference(&data, h), "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "use run_host_stencil")]
+    fn map_entry_point_rejects_stencil_specs() {
+        let pool = WorkPool::new(2);
+        let s = stencil_spec(64, 8, 100, true);
+        let data: Vec<i64> = (0..100).collect();
+        let mut out = vec![0i64; 100];
+        run_host_pipeline(&pool, &s, &data, &mut out, negate_kernel);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a stencil workload")]
+    fn stencil_entry_point_rejects_map_specs() {
+        let pool = WorkPool::new(2);
+        let mut s = spec(8 * 64, Placement::Hbw);
+        s.total_bytes = 8 * 100;
+        let data: Vec<i64> = (0..100).collect();
+        let mut out = vec![0i64; 100];
+        run_host_stencil(&pool, &s, &data, &mut out, stencil_kernel(64, 8));
     }
 
     #[test]

@@ -23,4 +23,4 @@ pub mod fault;
 pub mod host;
 pub mod sim;
 
-pub use mlm_exec::{PipelineSpec, Placement};
+pub use mlm_exec::{PipelineSpec, Placement, Workload};

@@ -20,7 +20,7 @@
 use knl_sim::ops::{Access, OpId, OpKind, Place, Program};
 use mlm_exec::{drive_verified, Backend, Capabilities, ChunkAction, Stage};
 
-use super::{PipelineSpec, Placement};
+use super::{PipelineSpec, Placement, Workload};
 
 /// The op-level simulator as an execution backend.
 ///
@@ -79,6 +79,18 @@ impl SimBackend {
         let buf_place = buf_place(spec);
         let bytes = spec.chunk_size(chunk);
         let comp0 = spec.p_in + spec.p_out;
+        // The stencil retuning of the model's compute term: each chunk's
+        // kernel additionally reads `halo_bytes` of boundary rows from
+        // every staged neighbour (the plan's `KernelDesc::extra_read_bytes`,
+        // halved per absent neighbour at the grid edges). The halo lives in
+        // the same tier as the chunk buffers, so it rides the same bus.
+        let halo_extra = match spec.workload {
+            Workload::Map => 0,
+            Workload::Stencil { halo_bytes } => {
+                let neighbours = u64::from(chunk > 0) + u64::from(chunk + 1 < spec.n_chunks());
+                neighbours * halo_bytes
+            }
+        };
         let mut ops = Vec::new();
         for t in 0..spec.p_comp {
             let share = thread_share(bytes, spec.p_comp, t);
@@ -86,11 +98,12 @@ impl SimBackend {
                 continue;
             }
             let traffic = share * u64::from(spec.compute_passes);
+            let halo_share = thread_share(halo_extra, spec.p_comp, t);
             let id = self.prog.push(
                 comp0 + t,
                 OpKind::Stream {
                     accesses: vec![
-                        Access::read(buf_place, traffic),
+                        Access::read(buf_place, traffic + halo_share),
                         Access::write(buf_place, traffic),
                     ],
                     rate_cap: spec.compute_rate,
@@ -284,6 +297,7 @@ fn thread_share(bytes: u64, pool: usize, t: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::Workload;
     use knl_sim::machine::{MachineConfig, MemMode};
     use knl_sim::{MemLevel, Simulator};
 
@@ -300,6 +314,7 @@ mod tests {
             placement: Placement::Hbw,
             lockstep: true,
             data_addr: 0,
+            workload: Workload::Map,
         }
     }
 
@@ -452,6 +467,65 @@ mod tests {
         assert!(t4 < t1, "more copy threads help: {t4} !< {t1}");
         // Past DDR saturation (10 threads x 1 GB/s > 10 GB/s), no gain.
         assert!(t16 >= t8 * 0.95, "saturated: {t16} vs {t8}");
+    }
+
+    fn stencil_base_spec(halo_bytes: u64) -> PipelineSpec {
+        PipelineSpec {
+            workload: Workload::Stencil { halo_bytes },
+            ..base_spec()
+        }
+    }
+
+    #[test]
+    fn stencil_program_adds_halo_read_traffic() {
+        // 3 chunks: chunk 0 and 2 read one neighbour halo, chunk 1 reads
+        // two — 4 halo reads on the buffer tier beyond the map family's
+        // 4x total.
+        let halo = 64 << 10;
+        let map = build_program(&base_spec()).unwrap();
+        let sten = build_program(&stencil_base_spec(halo)).unwrap();
+        let cfg = MachineConfig::tiny(MemMode::Flat);
+        let sim = Simulator::new(cfg);
+        let rm = sim.run(&map).unwrap();
+        let rs = sim.run(&sten).unwrap();
+        let total = base_spec().total_bytes;
+        assert_eq!(rm.traffic_on(MemLevel::Mcdram).total(), 4 * total);
+        assert_eq!(
+            rs.traffic_on(MemLevel::Mcdram).total(),
+            4 * total + 4 * halo,
+            "stencil computes must read both staged neighbour halos"
+        );
+        // DDR traffic (grid in, grid out) is workload-independent.
+        assert_eq!(rs.traffic_on(MemLevel::Ddr).read, total);
+        assert_eq!(rs.traffic_on(MemLevel::Ddr).written, total);
+    }
+
+    #[test]
+    fn stencil_dataflow_is_no_slower_than_lockstep() {
+        let mut lock = stencil_base_spec(128 << 10);
+        lock.total_bytes = 64 << 20;
+        lock.chunk_bytes = 4 << 20;
+        let mut flow = lock.clone();
+        flow.lockstep = false;
+        let cfg = MachineConfig::tiny(MemMode::Flat);
+        let sim = Simulator::new(cfg);
+        let t_lock = sim.run(&build_program(&lock).unwrap()).unwrap().makespan;
+        let t_flow = sim.run(&build_program(&flow).unwrap()).unwrap().makespan;
+        assert!(
+            t_flow <= t_lock * (1.0 + 1e-9),
+            "dataflow {t_flow} > lockstep {t_lock}"
+        );
+    }
+
+    #[test]
+    fn stencil_ragged_tail_is_processed() {
+        let mut spec = stencil_base_spec(4096);
+        spec.total_bytes = (2 << 20) + 12345;
+        let prog = build_program(&spec).unwrap();
+        let cfg = MachineConfig::tiny(MemMode::Flat);
+        let r = Simulator::new(cfg).run(&prog).unwrap();
+        assert_eq!(r.traffic_on(MemLevel::Ddr).read, spec.total_bytes);
+        assert_eq!(r.traffic_on(MemLevel::Ddr).written, spec.total_bytes);
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //! what validates the sim lowering's schedules and feeds the native
 //! Criterion benchmarks.
 
-use mlm_exec::{plan_sort, ChunkSortStyle, SortPhase, SortPlan, SortStructure};
-use parsort::multiway::parallel_multiway_merge_into;
+use mlm_exec::{
+    plan_sort, waves, ChunkSortStyle, PlanKind, PlanNode, SortPlan, SortStructure, WorkloadPlan,
+    SORT_KERNEL_FINAL_MERGE, SORT_KERNEL_MERGE_RUNS,
+};
+use parsort::multiway::{multiway_merge_into, parallel_multiway_merge_into};
 use parsort::parallel::{parallel_mergesort, sort_chunks_serial, split_borrows};
 use parsort::pool::{parallel_copy, split_mut, split_range, WorkPool};
 
@@ -29,13 +32,19 @@ pub struct HostSortStats {
 
 /// Execute a [`SortPlan`] on the host.
 ///
-/// The plan says *what* happens (stage megachunk `m`, sort its chunks,
-/// merge the runs out, final k-way merge); this interpreter decides *how*
-/// on one-level host memory: the working buffer and the merge scratch are
+/// The plan is first lowered into the workload-generic IR
+/// ([`SortPlan::to_workload_plan`]) and the interpreter walks
+/// [`mlm_exec::waves`] of that plan — the same node/edge DAG the sim
+/// lowering and the graph verifier consume — realising each node on
+/// one-level host memory: the working buffer and the merge scratch are
 /// the same `data`-sized allocation, staged copies are real `memcpy`s over
 /// the pool, and [`SortStructure::Whole`] plans collapse into the
 /// library's parallel mergesort (one call realises `ThreadSort` +
 /// `ThreadMerge` + `FinalCopyBack`, with its own internal scratch).
+/// Sequential structures produce one node per wave (the barrier-per-phase
+/// execution this module always had); the overlapped structure's
+/// multi-node waves each run as one scoped task batch
+/// ([`run_buffered_plan`]).
 pub fn run_sort_plan<T: Ord + Copy + Send + Sync>(
     pool: &WorkPool,
     plan: &SortPlan,
@@ -51,8 +60,9 @@ pub fn run_sort_plan<T: Ord + Copy + Send + Sync>(
             elapsed: start.elapsed(),
         };
     }
+    let wplan = plan.to_workload_plan();
     if plan.overlapped {
-        return run_buffered_plan(pool, plan, data, start);
+        return run_buffered_plan(pool, plan, &wplan, data, start);
     }
     if plan.structure == SortStructure::Whole {
         parallel_mergesort(pool, data);
@@ -69,68 +79,72 @@ pub fn run_sort_plan<T: Ord + Copy + Send + Sync>(
     let mut chunk_sorts = 0usize;
     let mut scratch = data.to_vec();
 
-    for phase in &plan.phases {
-        match *phase {
-            // "Copy-in": stage the megachunk in the working buffer
-            // (MCDRAM -> the scratch allocation on the host).
-            SortPhase::StageIn { mega, .. } => {
-                let (lo, hi) = bounds(mega);
-                parallel_copy(pool, &data[lo..hi], &mut scratch[lo..hi]);
-            }
-            // Sort the megachunk's chunks where the plan staged them:
-            // the working buffer for staged plans, in place otherwise.
-            SortPhase::ChunkSort { mega, elems } => {
-                let (lo, hi) = bounds(mega);
-                let block = if plan.structure == SortStructure::InPlace {
-                    &mut data[lo..hi]
-                } else {
-                    &mut scratch[lo..hi]
-                };
-                match plan.chunk_style {
-                    ChunkSortStyle::Serial => {
-                        let parts = p.min(elems as usize);
-                        chunk_sorts += parts;
-                        sort_chunks_serial(pool, split_mut(block, parts));
+    for wave in waves(&wplan) {
+        for i in wave {
+            let node = &wplan.nodes[i];
+            match (node.kind, node.chunk) {
+                // "Copy-in": stage the megachunk in the working buffer
+                // (MCDRAM -> the scratch allocation on the host).
+                (PlanKind::StageIn, Some(mega)) => {
+                    let (lo, hi) = bounds(mega);
+                    parallel_copy(pool, &data[lo..hi], &mut scratch[lo..hi]);
+                }
+                // Sort the megachunk's chunks where the plan staged them:
+                // the working buffer for staged plans, in place otherwise.
+                (PlanKind::Kernel, Some(mega)) => {
+                    let (lo, hi) = bounds(mega);
+                    let block = if plan.structure == SortStructure::InPlace {
+                        &mut data[lo..hi]
+                    } else {
+                        &mut scratch[lo..hi]
+                    };
+                    match plan.chunk_style {
+                        ChunkSortStyle::Serial => {
+                            let parts = p.min(node.len as usize);
+                            chunk_sorts += parts;
+                            sort_chunks_serial(pool, split_mut(block, parts));
+                        }
+                        ChunkSortStyle::Gnu => parallel_mergesort(pool, block),
                     }
-                    ChunkSortStyle::Gnu => parallel_mergesort(pool, block),
                 }
-            }
-            // Multiway-merge the sorted runs out of the working buffer
-            // (staged: back to `data`; in-place: out to scratch).
-            SortPhase::MergeRuns { mega, elems } => {
-                let (lo, hi) = bounds(mega);
-                let parts = match plan.chunk_style {
-                    ChunkSortStyle::Serial => p.min(elems as usize),
-                    // The GNU-style chunk sort left one fully sorted run,
-                    // so the merge-out degenerates to moving it.
-                    ChunkSortStyle::Gnu => 1,
-                };
-                if plan.structure == SortStructure::InPlace {
-                    let runs = split_borrows(&data[lo..hi], parts);
-                    parallel_multiway_merge_into(pool, &runs, &mut scratch[lo..hi]);
-                } else {
-                    let runs = split_borrows(&scratch[lo..hi], parts);
-                    parallel_multiway_merge_into(pool, &runs, &mut data[lo..hi]);
+                // A kernel-carrying stage-out is the run merge: multiway-
+                // merge the sorted runs out of the working buffer (staged:
+                // back to `data`; in-place: out to scratch). A plain one is
+                // the in-place copy-back from scratch.
+                (PlanKind::StageOut, Some(mega)) => {
+                    let (lo, hi) = bounds(mega);
+                    if node.kernel == Some(SORT_KERNEL_MERGE_RUNS) {
+                        let parts = match plan.chunk_style {
+                            ChunkSortStyle::Serial => p.min(node.len as usize),
+                            // The GNU-style chunk sort left one fully sorted
+                            // run, so the merge-out degenerates to moving it.
+                            ChunkSortStyle::Gnu => 1,
+                        };
+                        if plan.structure == SortStructure::InPlace {
+                            let runs = split_borrows(&data[lo..hi], parts);
+                            parallel_multiway_merge_into(pool, &runs, &mut scratch[lo..hi]);
+                        } else {
+                            let runs = split_borrows(&scratch[lo..hi], parts);
+                            parallel_multiway_merge_into(pool, &runs, &mut data[lo..hi]);
+                        }
+                    } else {
+                        parallel_copy(pool, &scratch[lo..hi], &mut data[lo..hi]);
+                    }
                 }
-            }
-            // In-place plans merged out to scratch; bring the megachunk home.
-            SortPhase::CopyBack { mega, .. } => {
-                let (lo, hi) = bounds(mega);
-                parallel_copy(pool, &scratch[lo..hi], &mut data[lo..hi]);
-            }
-            // Final multiway merge of the sorted megachunk runs.
-            SortPhase::FinalMerge { k, .. } => {
-                let runs: Vec<&[T]> = (0..k)
-                    .map(|m| {
-                        let (lo, hi) = bounds(m);
-                        &data[lo..hi]
-                    })
-                    .collect();
-                parallel_multiway_merge_into(pool, &runs, &mut scratch);
-            }
-            SortPhase::FinalCopyBack { .. } => parallel_copy(pool, &scratch, data),
-            SortPhase::ThreadSort { .. } | SortPhase::ThreadMerge { .. } => {
-                unreachable!("Whole plans collapse into parallel_mergesort above")
+                // Final multiway merge of the sorted megachunk runs.
+                (PlanKind::Kernel, None) if node.kernel == Some(SORT_KERNEL_FINAL_MERGE) => {
+                    let runs: Vec<&[T]> = (0..wplan.chunks)
+                        .map(|m| {
+                            let (lo, hi) = bounds(m);
+                            &data[lo..hi]
+                        })
+                        .collect();
+                    parallel_multiway_merge_into(pool, &runs, &mut scratch);
+                }
+                (PlanKind::StageOut, None) => parallel_copy(pool, &scratch, data),
+                (kind, chunk) => {
+                    unreachable!("no host realisation for {kind:?}/{chunk:?} in this structure")
+                }
             }
         }
     }
@@ -234,13 +248,19 @@ pub fn mlm_sort_buffered<T: Ord + Copy + Send + Sync>(
     run_sort_plan(pool, &plan, data)
 }
 
-/// The overlapped ([`SortStructure::Buffered`]) interpretation: the same
-/// staged phase sequence, but StageIn of megachunk `m + 1` runs in the
-/// *same* scoped batch as ChunkSort of megachunk `m` (the prime copy of
-/// megachunk 0 stands alone, so every thread helps with it).
+/// The overlapped ([`SortStructure::Buffered`]) interpretation: run each
+/// wave of the lowered [`WorkloadPlan`] as one scoped task batch over the
+/// two staging buffers ("the two halves of MCDRAM"). The plan's Recycle
+/// edges guarantee a wave never touches one buffer twice, so megachunk
+/// `m + 1`'s prefetch copy shares a batch with `m`'s chunk sorts (and a
+/// merge-out shares with its wave-mates as a single dedicated task). A
+/// wave that degenerates to one pool-wide node — the tail merge-out, the
+/// final k-way merge, the final copy-back — runs with every thread
+/// instead.
 fn run_buffered_plan<T: Ord + Copy + Send + Sync>(
     pool: &WorkPool,
     plan: &SortPlan,
+    wplan: &WorkloadPlan,
     data: &mut [T],
     start: std::time::Instant,
 ) -> HostSortStats {
@@ -251,78 +271,137 @@ fn run_buffered_plan<T: Ord + Copy + Send + Sync>(
     let mut chunk_sorts = 0usize;
 
     let bounds = |m: usize| -> (usize, usize) { (m * mega_elems, ((m + 1) * mega_elems).min(n)) };
+    let parts_of = |len: u64| -> usize { p.min(len as usize) };
 
-    // Two staging buffers ("the two halves of MCDRAM").
+    // The two staging buffers the plan's 2-slot ring indexes.
     let mut bufs: [Vec<T>; 2] = [Vec::new(), Vec::new()];
-    {
-        // Prime: stage megachunk 0.
-        let (lo, hi) = bounds(0);
-        bufs[0].clear();
-        bufs[0].extend_from_slice(&data[lo..hi]);
-    }
+    // Scratch for the final merge, allocated when its wave arrives.
+    let mut scratch: Vec<T> = Vec::new();
 
-    for m in 0..k {
-        let (lo, hi) = bounds(m);
-        let mega = hi - lo;
-        let parts = p.min(mega);
-        chunk_sorts += parts;
-
-        // Split the two buffers so the copy-in of m+1 and the chunk sorts
-        // of m can run in one scoped batch.
-        let (cur, next) = {
-            let (a, b) = bufs.split_at_mut(1);
-            if m % 2 == 0 {
-                (&mut a[0], &mut b[0])
-            } else {
-                (&mut b[0], &mut a[0])
-            }
-        };
-
-        // Prepare the prefetch destination.
-        let prefetch_src = if m + 1 < k {
-            let (nlo, nhi) = bounds(m + 1);
-            next.clear();
-            next.resize(nhi - nlo, data[0]);
-            Some(&data[nlo..nhi])
-        } else {
-            None
-        };
-
-        {
-            // One batch: sort tasks on `cur` + copy tasks into `next`.
-            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
-            for chunk in split_mut(cur, parts) {
-                tasks.push(Box::new(move || parsort::serial::introsort(chunk)));
-            }
-            if let Some(src) = prefetch_src {
-                let copy_parts = 4.min(src.len()).max(1);
-                let mut rest: &mut [T] = next;
-                for t in 0..copy_parts {
-                    let (s, e) = split_range(src.len(), copy_parts, t);
-                    let (head, tail) = rest.split_at_mut(e - s);
-                    rest = tail;
-                    let sr = &src[s..e];
-                    tasks.push(Box::new(move || head.copy_from_slice(sr)));
+    for wave in waves(wplan) {
+        // A single-node wave has the pool to itself: realise it with the
+        // pool-wide primitives instead of a one-task batch.
+        if let [i] = wave[..] {
+            let node = &wplan.nodes[i];
+            match (node.kind, node.chunk) {
+                (PlanKind::StageIn, Some(m)) => {
+                    let (lo, hi) = bounds(m);
+                    let buf = &mut bufs[node.slot];
+                    buf.clear();
+                    buf.resize(hi - lo, data[lo]);
+                    parallel_copy(pool, &data[lo..hi], buf);
+                }
+                (PlanKind::Kernel, Some(_)) => {
+                    let parts = parts_of(node.len);
+                    chunk_sorts += parts;
+                    sort_chunks_serial(pool, split_mut(&mut bufs[node.slot], parts));
+                }
+                (PlanKind::StageOut, Some(m)) => {
+                    let (lo, hi) = bounds(m);
+                    let runs = split_borrows(&bufs[node.slot], parts_of(node.len));
+                    parallel_multiway_merge_into(pool, &runs, &mut data[lo..hi]);
+                }
+                (PlanKind::Kernel, None) => {
+                    scratch.clear();
+                    scratch.resize(n, data[0]);
+                    let runs: Vec<&[T]> = (0..k)
+                        .map(|m| {
+                            let (lo, hi) = bounds(m);
+                            &data[lo..hi]
+                        })
+                        .collect();
+                    parallel_multiway_merge_into(pool, &runs, &mut scratch);
+                }
+                (PlanKind::StageOut, None) => parallel_copy(pool, &scratch, data),
+                (kind, chunk) => {
+                    unreachable!("no host realisation for {kind:?}/{chunk:?} in a buffered plan")
                 }
             }
-            pool.scoped(tasks);
+            continue;
         }
 
-        // Merge the sorted chunk runs of `cur` out to the original array.
-        let runs = split_borrows(cur, parts);
-        parallel_multiway_merge_into(pool, &runs, &mut data[lo..hi]);
-    }
+        // A multi-node wave: at most one stage-in, one chunk-sort, and one
+        // merge-out (the 2-slot ring admits no more), all mutually
+        // independent. Carve the buffers and `data` into the disjoint
+        // regions each node owns, then run everything as one batch.
+        let mut si: Option<&PlanNode> = None;
+        let mut sort: Option<&PlanNode> = None;
+        let mut merge: Option<&PlanNode> = None;
+        for &i in &wave {
+            let node = &wplan.nodes[i];
+            let slot = match node.kind {
+                PlanKind::StageIn => &mut si,
+                PlanKind::Kernel => &mut sort,
+                PlanKind::StageOut => &mut merge,
+                PlanKind::Barrier => unreachable!("sort plans carry no barriers"),
+            };
+            assert!(slot.replace(node).is_none(), "wave reuses a node kind");
+        }
 
-    if k > 1 {
-        let mut scratch = data.to_vec();
-        let runs: Vec<&[T]> = (0..k)
-            .map(|m| {
-                let (lo, hi) = bounds(m);
-                &data[lo..hi]
-            })
-            .collect();
-        parallel_multiway_merge_into(pool, &runs, &mut scratch);
-        parallel_copy(pool, &scratch, data);
+        // Hand each role its staging buffer; a double `take` means the
+        // plan broke the ring discipline.
+        let (buf0, buf1) = {
+            let (a, b) = bufs.split_at_mut(1);
+            (&mut a[0], &mut b[0])
+        };
+        let mut by_slot = [Some(buf0), Some(buf1)];
+        let si_buf = si.map(|nd| by_slot[nd.slot].take().expect("stage-in buffer free"));
+        let sort_buf = sort.map(|nd| by_slot[nd.slot].take().expect("sort buffer free"));
+        let merge_buf = merge.map(|nd| by_slot[nd.slot].take().expect("merge buffer free"));
+
+        // Carve `data`: the merge-out writes its megachunk, the stage-in
+        // reads a later one (its Recycle edge points two megachunks back,
+        // so the ranges never overlap).
+        let (merge_dst, si_src): (Option<&mut [T]>, Option<&[T]>) =
+            match (merge.map(|nd| nd.chunk), si.map(|nd| nd.chunk)) {
+                (Some(Some(mm)), Some(Some(sm))) => {
+                    let ((mlo, mhi), (slo, shi)) = (bounds(mm), bounds(sm));
+                    assert!(mhi <= slo, "merge-out must precede the prefetch in `data`");
+                    let (left, right) = data.split_at_mut(slo);
+                    (Some(&mut left[mlo..mhi]), Some(&right[..shi - slo]))
+                }
+                (Some(Some(mm)), None) => {
+                    let (mlo, mhi) = bounds(mm);
+                    (Some(&mut data[mlo..mhi]), None)
+                }
+                (None, Some(Some(sm))) => {
+                    let (slo, shi) = bounds(sm);
+                    (None, Some(&data[slo..shi]))
+                }
+                _ => (None, None),
+            };
+
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        // Prefetch: split the staging copy a few ways so it shares the
+        // pool with the sorts without monopolising it.
+        if let (Some(buf), Some(src)) = (si_buf, si_src) {
+            buf.clear();
+            buf.resize(src.len(), src[0]);
+            let copy_parts = 4.min(src.len()).max(1);
+            let mut rest: &mut [T] = buf;
+            for t in 0..copy_parts {
+                let (s, e) = split_range(src.len(), copy_parts, t);
+                let (head, tail) = rest.split_at_mut(e - s);
+                rest = tail;
+                let sr = &src[s..e];
+                tasks.push(Box::new(move || head.copy_from_slice(sr)));
+            }
+        }
+        // One introsort task per chunk of the sorting megachunk.
+        if let (Some(nd), Some(buf)) = (sort, sort_buf) {
+            let parts = parts_of(nd.len);
+            chunk_sorts += parts;
+            for chunk in split_mut(buf, parts) {
+                tasks.push(Box::new(move || parsort::serial::introsort(chunk)));
+            }
+        }
+        // The merge-out runs as one dedicated task: serial against its
+        // wave-mates, overlapped with them on the pool.
+        if let (Some(nd), Some(buf), Some(dst)) = (merge, merge_buf, merge_dst) {
+            let runs = split_borrows(buf, parts_of(nd.len));
+            tasks.push(Box::new(move || multiway_merge_into(&runs, dst)));
+        }
+        pool.scoped(tasks);
     }
 
     HostSortStats {

@@ -27,7 +27,10 @@
 
 use knl_sim::machine::MachineConfig;
 use knl_sim::ops::{Access, OpId, OpKind, Place, Program};
-use mlm_exec::{plan_sort, SortPhase, SortPlan};
+use mlm_exec::{
+    plan_sort, PlanKind, PlanNode, SortPhase, WorkloadPlan, SORT_KERNEL_FINAL_MERGE,
+    SORT_KERNEL_MERGE_RUNS, SORT_KERNEL_THREAD_MERGE, SORT_KERNEL_THREAD_SORT,
+};
 
 use super::SortAlgorithm;
 use crate::calibration::Calibration;
@@ -532,6 +535,47 @@ fn lower_phase(b: &mut SortBuilder, lx: &Lowering, phase: &SortPhase) {
     }
 }
 
+/// Recover the [`SortPhase`] a generic-IR node stands for, from its
+/// `(kind, chunk, kernel)` triple — the inverse of
+/// [`mlm_exec::SortPlan::to_workload_plan`]'s per-phase emission. This is
+/// what lets the sim walk the same [`WorkloadPlan`] the host executor and
+/// the graph verifier consume while keeping the per-variant phase
+/// emitters (and hence the emitted programs) byte-identical.
+fn node_phase(wplan: &WorkloadPlan, node: &PlanNode) -> SortPhase {
+    match (node.kind, node.chunk, node.kernel) {
+        (PlanKind::StageIn, Some(mega), _) => SortPhase::StageIn {
+            mega,
+            elems: node.len,
+        },
+        (PlanKind::Kernel, Some(mega), _) => SortPhase::ChunkSort {
+            mega,
+            elems: node.len,
+        },
+        (PlanKind::StageOut, Some(mega), Some(SORT_KERNEL_MERGE_RUNS)) => SortPhase::MergeRuns {
+            mega,
+            elems: node.len,
+        },
+        (PlanKind::StageOut, Some(mega), None) => SortPhase::CopyBack {
+            mega,
+            elems: node.len,
+        },
+        (PlanKind::Kernel, None, Some(SORT_KERNEL_THREAD_SORT)) => {
+            SortPhase::ThreadSort { elems: node.len }
+        }
+        (PlanKind::Kernel, None, Some(SORT_KERNEL_THREAD_MERGE)) => {
+            SortPhase::ThreadMerge { elems: node.len }
+        }
+        (PlanKind::Kernel, None, Some(SORT_KERNEL_FINAL_MERGE)) => SortPhase::FinalMerge {
+            elems: node.len,
+            k: wplan.chunks,
+        },
+        (PlanKind::StageOut, None, _) => SortPhase::FinalCopyBack { elems: node.len },
+        (kind, chunk, kernel) => {
+            unreachable!("sort plans never emit {kind:?}/{chunk:?}/{kernel:?}")
+        }
+    }
+}
+
 /// §2.4 (Li et al.): flat mode with `numactl --preferred` — the first
 /// `addressable_mcdram` bytes of the array live in MCDRAM, the spill in
 /// DDR; the unchunked GNU sort runs over the mix. Per-thread blocks are
@@ -615,13 +659,16 @@ fn numactl_mcdram_threads(b: &SortBuilder, lx: &Lowering) -> usize {
 /// Lower an overlapped ([`SortStructure::Buffered`]) plan: the §6
 /// future-work variant, where a small dedicated copy pool prefetches
 /// megachunk `m+1` while the compute pool sorts and merges megachunk `m`.
-/// The phase sequence is the shared plan's; only the dependency edges
-/// differ — instead of barriers between phases, StageIn of megachunk `m`
-/// waits on MergeRuns of `m-2` (double buffering), ChunkSort on StageIn
-/// of its own megachunk, MergeRuns on ChunkSort.
+/// The node set and every dependency come from the generic-IR lowering
+/// ([`mlm_exec::SortPlan::to_workload_plan`]): StageIn of megachunk `m`
+/// waits on MergeRuns of `m-2` (the Recycle edge of the 2-slot ring),
+/// ChunkSort on StageIn of its own megachunk, MergeRuns on ChunkSort (Data
+/// edges), and the final merge on every merge-out. Ops are emitted in
+/// per-megachunk phase order so each thread's program order — and hence
+/// the whole emitted program — is unchanged from the pre-IR lowering.
 ///
 /// [`SortStructure::Buffered`]: mlm_exec::SortStructure::Buffered
-fn lower_buffered(b: &mut SortBuilder, lx: &Lowering, plan: &SortPlan) {
+fn lower_buffered(b: &mut SortBuilder, lx: &Lowering, wplan: &WorkloadPlan) {
     // A small dedicated pool prefetches megachunk m+1 while the rest
     // compute on m (the §5 lesson: copy threads are compute threads
     // forgone, so keep the pool small). The *prime* copy of megachunk 0
@@ -631,25 +678,45 @@ fn lower_buffered(b: &mut SortBuilder, lx: &Lowering, plan: &SortPlan) {
     let p_copy = BUFFERED_COPY_THREADS.min(threads.saturating_sub(1)).max(1);
     let p_comp = threads - p_copy;
     let comp0 = p_copy;
-    let k_megas = plan.megachunks;
+    let k_megas = wplan.chunks;
     let order = lx.order;
-    let mut copyin_done: Vec<Vec<OpId>> = vec![Vec::new(); k_megas];
-    let mut merge_done: Vec<Vec<OpId>> = vec![Vec::new(); k_megas];
-    let mut sort_done: Vec<OpId> = Vec::new();
 
-    for phase in &plan.phases {
-        match *phase {
-            // Prefetch megachunk m; buffer (m % 2) is free once megachunk
-            // m-2 has merged out.
+    // Ops realising each plan node, so edges resolve to op dependencies.
+    let mut done: Vec<Vec<OpId>> = vec![Vec::new(); wplan.nodes.len()];
+    let emit_order: Vec<usize> = (0..k_megas)
+        .flat_map(|m| {
+            [
+                wplan.find(PlanKind::StageIn, m),
+                wplan.find(PlanKind::Kernel, m),
+                wplan.find(PlanKind::StageOut, m),
+            ]
+        })
+        .flatten()
+        .chain(
+            wplan
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.chunk.is_none())
+                .map(|(i, _)| i),
+        )
+        .collect();
+
+    for i in emit_order {
+        let node = &wplan.nodes[i];
+        let deps: Vec<OpId> = node
+            .deps
+            .iter()
+            .flat_map(|e| done[e.from].iter().copied())
+            .collect();
+        let mut ops: Vec<OpId> = Vec::new();
+        match node_phase(wplan, node) {
+            // Prefetch megachunk m; its Recycle edge says buffer (m % 2)
+            // is free once megachunk m-2 has merged out.
             SortPhase::StageIn { mega: m, elems } => {
                 let bytes = elems * lx.elem;
                 let base = lx.mega_base(m);
                 let pool = if m == 0 { threads } else { p_copy };
-                let deps: Vec<OpId> = if m >= 2 {
-                    merge_done[m - 2].clone()
-                } else {
-                    Vec::new()
-                };
                 let mut offset = 0u64;
                 for t in 0..pool {
                     let share = bytes / pool as u64 + u64::from((t as u64) < bytes % pool as u64);
@@ -669,17 +736,17 @@ fn lower_buffered(b: &mut SortBuilder, lx: &Lowering, plan: &SortPlan) {
                         &deps,
                     );
                     offset += share;
-                    copyin_done[m].push(id);
+                    ops.push(id);
                 }
             }
 
-            // Serial chunk sorts on the compute pool (in MCDRAM).
-            SortPhase::ChunkSort { mega: m, elems } => {
+            // Serial chunk sorts on the compute pool (in MCDRAM), behind
+            // the Data edge from the megachunk's stage-in.
+            SortPhase::ChunkSort { mega: _, elems } => {
                 let chunk = elems.div_ceil(p_comp as u64);
                 let block_bytes = chunk * lx.elem;
                 let passes = b.cal.sort_passes(chunk as usize);
                 let incache = chunk as f64 * b.cal.incache_time(order);
-                sort_done = Vec::with_capacity(2 * p_comp);
                 for t in 0..p_comp {
                     let traffic = block_bytes * u64::from(passes);
                     let mem = b.prog.push(
@@ -691,20 +758,20 @@ fn lower_buffered(b: &mut SortBuilder, lx: &Lowering, plan: &SortPlan) {
                             ],
                             rate_cap: b.cal.sort_rate(order) * b.cal.mcdram_boost,
                         },
-                        &copyin_done[m],
+                        &deps,
                     );
-                    sort_done.push(mem);
+                    ops.push(mem);
                     if incache > 0.0 {
-                        sort_done.push(b.prog.push(
-                            comp0 + t,
-                            OpKind::Delay { seconds: incache },
-                            &[],
-                        ));
+                        ops.push(
+                            b.prog
+                                .push(comp0 + t, OpKind::Delay { seconds: incache }, &[]),
+                        );
                     }
                 }
             }
 
-            // Multiway merge out to DDR on the compute pool.
+            // Multiway merge out to DDR on the compute pool, behind the
+            // Data edge from the megachunk's chunk-sort.
             SortPhase::MergeRuns { mega: m, elems } => {
                 let bytes = elems * lx.elem;
                 let base = lx.mega_base(m);
@@ -729,22 +796,24 @@ fn lower_buffered(b: &mut SortBuilder, lx: &Lowering, plan: &SortPlan) {
                             ],
                             rate_cap: rate,
                         },
-                        &sort_done,
+                        &deps,
                     );
-                    merge_done[m].push(id);
+                    ops.push(id);
                 }
             }
 
-            // Final multiway merge + copyback, joined on the last
-            // megachunk; from here the lockstep lowering applies.
-            SortPhase::FinalMerge { .. } => {
-                b.barrier = merge_done.concat();
-                lower_phase(b, lx, phase);
+            // Final multiway merge + copyback, joined on every megachunk's
+            // merge-out (the plan's Data fan-in); from here the lockstep
+            // lowering applies.
+            phase @ SortPhase::FinalMerge { .. } => {
+                b.barrier = deps;
+                lower_phase(b, lx, &phase);
             }
-            SortPhase::FinalCopyBack { .. } => lower_phase(b, lx, phase),
+            phase @ SortPhase::FinalCopyBack { .. } => lower_phase(b, lx, &phase),
 
             _ => unreachable!("Buffered plans are staged"),
         }
+        done[i] = ops;
     }
 }
 
@@ -814,6 +883,7 @@ pub fn build_sort_program(
     }
 
     let plan = plan_sort(alg.structure(), alg.chunk_style(), w.n, megachunk_elems);
+    let wplan = plan.to_workload_plan();
     let lx = Lowering {
         alg,
         elem,
@@ -826,10 +896,12 @@ pub fn build_sort_program(
 
     let mut b = SortBuilder::new(threads, cal, machine);
     if plan.overlapped {
-        lower_buffered(&mut b, &lx, &plan);
+        lower_buffered(&mut b, &lx, &wplan);
     } else {
-        for phase in &plan.phases {
-            lower_phase(&mut b, &lx, phase);
+        // Sequential structures: one node per phase, Seq-chained — the
+        // generic walk reproduces the barrier-per-phase emission exactly.
+        for node in &wplan.nodes {
+            lower_phase(&mut b, &lx, &node_phase(&wplan, node));
         }
     }
     Ok(b.prog)

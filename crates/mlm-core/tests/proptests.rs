@@ -3,7 +3,7 @@
 
 use knl_sim::machine::{MachineConfig, MemMode};
 use knl_sim::{MemLevel, Simulator};
-use mlm_core::pipeline::{sim::build_program, PipelineSpec, Placement};
+use mlm_core::pipeline::{sim::build_program, PipelineSpec, Placement, Workload};
 use mlm_core::{Calibration, InputOrder, MergeBenchParams, SortAlgorithm, SortWorkload};
 use proptest::prelude::*;
 
@@ -30,6 +30,7 @@ fn arb_spec() -> impl Strategy<Value = PipelineSpec> {
                 placement: Placement::Hbw,
                 lockstep,
                 data_addr: 0,
+                workload: Workload::Map,
             },
         )
 }

@@ -1,35 +1,53 @@
-//! The single chunk-schedule orchestrator.
+//! The chunk-schedule orchestrator.
 //!
-//! This is the one place in the workspace that knows the paper's §3
-//! schedule: which chunk each stage touches at each step, which buffer
-//! slot it occupies, and which dependencies order the work. Backends
-//! (host thread pools, the op-level simulator, recorders) only interpret
-//! the primitive actions.
+//! Since the [`WorkloadPlan`](crate::plan::WorkloadPlan) refactor, this
+//! module no longer hand-rolls the paper's §3 schedule: [`drive`] builds
+//! the plan for the spec's workload family with
+//! [`plan_pipeline`](crate::plan::plan_pipeline) and walks it over the
+//! backend with [`interpret`](crate::plan::interpret). Backends (host
+//! thread pools, the op-level simulator, recorders) only interpret the
+//! primitive actions; the schedule itself — which chunk each stage
+//! touches at each step, which buffer slot it occupies, and which
+//! dependencies order the work — lives in one place, the plan builder.
 
-use crate::backend::{Backend, ChunkAction, Stage};
+use crate::backend::Backend;
 use crate::error::DriveError;
 use crate::graph::{verify_spec, GraphReport};
-use crate::placement::Placement;
+use crate::plan::{interpret, plan_pipeline};
 use crate::spec::PipelineSpec;
 
-/// Number of rotating chunk buffers. Three lets step `s` overlap copy-in
-/// of chunk `s`, compute on `s-1`, and copy-out of `s-2` (paper Fig. 2);
-/// chunk `c` always occupies slot `c % RING_SLOTS`.
+/// Number of rotating chunk buffers for chunk-local (map) workloads.
+/// Three lets step `s` overlap copy-in of chunk `s`, compute on `s-1`,
+/// and copy-out of `s-2` (paper Fig. 2); chunk `c` always occupies slot
+/// `c % RING_SLOTS`.
 pub const RING_SLOTS: usize = 3;
+
+/// Ring depth for the stencil family. A compute reads its *right*
+/// neighbour's staged halo, so it trails the stage-in front by two steps
+/// instead of one — a fourth slot keeps the pipeline full while chunk
+/// `c + 1` lands. Stencil slots also carry separate in/out buffers
+/// (see [`PipelineSpec::buffers_per_slot`]): computing in place would
+/// corrupt the halo bytes the next compute still has to read.
+pub const STENCIL_RING_SLOTS: usize = 4;
 
 /// Walk the chunk schedule of `spec` over `backend`.
 ///
-/// * **Explicit placements** ([`Placement::Hbw`]/[`Placement::Ddr`]): steps
-///   `0..n+2`, where step `s` issues copy-in of chunk `s`, compute on
-///   `s-1`, and copy-out of `s-2`. With `spec.lockstep` every action in a
-///   step depends on the previous step's barrier and a new barrier closes
-///   the step; without it, only dataflow edges order the work — compute
-///   waits on its chunk's copy-in, copy-out on its compute, and copy-in of
-///   chunk `c` waits for copy-out of chunk `c - RING_SLOTS` (buffer
-///   recycling).
-/// * **[`Placement::Implicit`]**: no copies — every chunk is one compute
-///   action followed by a barrier (all threads advance chunk by chunk
-///   through the cache).
+/// * **Explicit placements** ([`Placement::Hbw`](crate::placement::Placement::Hbw)/
+///   [`Placement::Ddr`](crate::placement::Placement::Ddr)): the map family
+///   runs steps `0..n+2` where step `s` issues copy-in of chunk `s`,
+///   compute on `s-1`, and copy-out of `s-2`; the stencil family runs
+///   steps `0..n+3` with compute on `s-2` and copy-out of `s-3`, since a
+///   compute also waits for its right neighbour's halo. With
+///   `spec.lockstep` every action in a step depends on the previous
+///   step's barrier and a new barrier closes the step; without it, only
+///   dataflow edges order the work — compute waits on the stage-ins it
+///   reads (its own chunk, plus halo edges to both neighbours for
+///   stencils), copy-out on its compute, and copy-in of chunk `c` waits
+///   for every reader of the chunk previously occupying its slot
+///   (buffer recycling).
+/// * **[`Placement::Implicit`](crate::placement::Placement::Implicit)**:
+///   no copies — every chunk is one compute action followed by a barrier
+///   (all threads advance chunk by chunk through the cache).
 ///
 /// Returns an error without issuing any work if the spec fails
 /// validation ([`DriveError::Spec`]) or asks for a placement outside the
@@ -45,112 +63,8 @@ pub fn drive<B: Backend>(backend: &mut B, spec: &PipelineSpec) -> Result<(), Dri
             capabilities: backend.capabilities(),
         });
     }
-    let n = spec.n_chunks();
-
-    if spec.placement == Placement::Implicit {
-        let mut barrier: Option<B::Token> = None;
-        for c in 0..n {
-            let deps: Vec<B::Token> = barrier.into_iter().collect();
-            let action = ChunkAction {
-                stage: Stage::Compute,
-                chunk: c,
-                slot: c % RING_SLOTS,
-            };
-            let t = backend.issue(spec, action, &deps);
-            barrier = Some(backend.step_barrier(spec, &[t]));
-        }
-        return backend.finish(spec).map_err(DriveError::Backend);
-    }
-
-    let mut copyin: Vec<Option<B::Token>> = vec![None; n];
-    let mut compute: Vec<Option<B::Token>> = vec![None; n];
-    let mut copyout: Vec<Option<B::Token>> = vec![None; n];
-    let mut step_barrier: Option<B::Token> = None;
-    let barrier_deps = |b: &Option<B::Token>| -> Vec<B::Token> { b.iter().cloned().collect() };
-
-    for s in 0..n + 2 {
-        let mut step_tokens: Vec<B::Token> = Vec::new();
-
-        // Copy-in of chunk `s`.
-        if s < n {
-            let deps: Vec<B::Token> = if spec.lockstep {
-                barrier_deps(&step_barrier)
-            } else if s >= RING_SLOTS {
-                // Buffer recycling: slot s % RING_SLOTS is free once chunk
-                // s - RING_SLOTS has been drained.
-                vec![copyout[s - RING_SLOTS]
-                    .clone()
-                    .ok_or_else(|| DriveError::Protocol {
-                        op: Stage::CopyIn,
-                        chunk: s,
-                        detail: format!(
-                            "copy-out of chunk {} never produced a recycling token",
-                            s - RING_SLOTS
-                        ),
-                    })?]
-            } else {
-                Vec::new()
-            };
-            let action = ChunkAction {
-                stage: Stage::CopyIn,
-                chunk: s,
-                slot: s % RING_SLOTS,
-            };
-            let t = backend.issue(spec, action, &deps);
-            copyin[s] = Some(t.clone());
-            step_tokens.push(t);
-        }
-
-        // Compute on chunk `s-1`.
-        if s >= 1 && s - 1 < n {
-            let c = s - 1;
-            let deps: Vec<B::Token> = if spec.lockstep {
-                barrier_deps(&step_barrier)
-            } else {
-                vec![copyin[c].clone().ok_or_else(|| DriveError::Protocol {
-                    op: Stage::Compute,
-                    chunk: c,
-                    detail: "copy-in of this chunk never produced a token".into(),
-                })?]
-            };
-            let action = ChunkAction {
-                stage: Stage::Compute,
-                chunk: c,
-                slot: c % RING_SLOTS,
-            };
-            let t = backend.issue(spec, action, &deps);
-            compute[c] = Some(t.clone());
-            step_tokens.push(t);
-        }
-
-        // Copy-out of chunk `s-2`.
-        if s >= 2 && s - 2 < n {
-            let c = s - 2;
-            let deps: Vec<B::Token> = if spec.lockstep {
-                barrier_deps(&step_barrier)
-            } else {
-                vec![compute[c].clone().ok_or_else(|| DriveError::Protocol {
-                    op: Stage::CopyOut,
-                    chunk: c,
-                    detail: "compute on this chunk never produced a token".into(),
-                })?]
-            };
-            let action = ChunkAction {
-                stage: Stage::CopyOut,
-                chunk: c,
-                slot: c % RING_SLOTS,
-            };
-            let t = backend.issue(spec, action, &deps);
-            copyout[c] = Some(t.clone());
-            step_tokens.push(t);
-        }
-
-        if spec.lockstep {
-            step_barrier = Some(backend.step_barrier(spec, &step_tokens));
-        }
-    }
-
-    backend.finish(spec).map_err(DriveError::Backend)
+    let plan = plan_pipeline(spec);
+    interpret(backend, spec, &plan)
 }
 
 /// [`drive`] with the static schedule verifier as a preflight gate.
@@ -182,7 +96,9 @@ pub fn drive_verified<B: Backend>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::placement::Capabilities;
+    use crate::backend::{ChunkAction, Stage};
+    use crate::placement::{Capabilities, Placement};
+    use crate::spec::Workload;
 
     /// A backend that records issue order and checks dependency sanity.
     struct Probe {
@@ -242,6 +158,14 @@ mod tests {
             placement,
             lockstep,
             data_addr: 0,
+            workload: Workload::Map,
+        }
+    }
+
+    fn stencil_spec(n_chunks: u64, lockstep: bool) -> PipelineSpec {
+        PipelineSpec {
+            workload: Workload::Stencil { halo_bytes: 16 },
+            ..spec(n_chunks, lockstep, Placement::Hbw)
         }
     }
 
@@ -276,6 +200,53 @@ mod tests {
         let mut b = Probe::new(Capabilities::all());
         drive(&mut b, &s).unwrap();
         assert!(b.issued.iter().all(|a| a.slot == a.chunk % RING_SLOTS));
+    }
+
+    #[test]
+    fn stencil_schedule_covers_every_chunk_on_a_four_slot_ring() {
+        for lockstep in [true, false] {
+            let s = stencil_spec(6, lockstep);
+            let mut b = Probe::new(Capabilities::all());
+            drive(&mut b, &s).unwrap();
+            assert!(b.finished);
+            for stage in [Stage::CopyIn, Stage::Compute, Stage::CopyOut] {
+                let chunks: Vec<usize> = b
+                    .issued
+                    .iter()
+                    .filter(|a| a.stage == stage)
+                    .map(|a| a.chunk)
+                    .collect();
+                assert_eq!(chunks, vec![0, 1, 2, 3, 4, 5], "{stage:?}");
+            }
+            assert!(b
+                .issued
+                .iter()
+                .all(|a| a.slot == a.chunk % STENCIL_RING_SLOTS));
+            // Steps 0..n+3, all non-empty for n = 6.
+            assert_eq!(b.barriers, if lockstep { 9 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn stencil_compute_trails_the_stage_in_front_by_two() {
+        let s = stencil_spec(5, false);
+        let mut b = Probe::new(Capabilities::all());
+        drive(&mut b, &s).unwrap();
+        // Compute on chunk c must come after copy-in of chunk c + 1 (its
+        // right halo) in issue order.
+        for c in 0..4usize {
+            let comp = b
+                .issued
+                .iter()
+                .position(|a| a.stage == Stage::Compute && a.chunk == c)
+                .unwrap();
+            let in_right = b
+                .issued
+                .iter()
+                .position(|a| a.stage == Stage::CopyIn && a.chunk == c + 1)
+                .unwrap();
+            assert!(comp > in_right, "compute {c} before its right halo landed");
+        }
     }
 
     #[test]

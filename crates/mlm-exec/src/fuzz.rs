@@ -28,9 +28,10 @@
 //!   entries are validated against the recorded graph: addressing a
 //!   `(stage, chunk)` the schedule never issues is a
 //!   [`DriveError::Spec`], not a silent no-op.
-//! * [`Construction`] selects deliberately-broken executor disciplines
-//!   mirroring mlm-verify's four must-fail regression models; each is a
-//!   [`Discipline`] weakening of the dependency edges, which is also how
+//! * [`Construction`] selects deliberately-broken executor disciplines —
+//!   mirrors of mlm-verify's four must-fail regression models plus the
+//!   stencil family's dropped-halo class; each is a [`Discipline`]
+//!   weakening of the dependency edges, which is also how
 //!   [`crate::graph::analyze`] flags the same bugs statically. The fuzzer
 //!   must find each one's bug ([`Violation`]) within a committed seed.
 //! * On a failure, [`shrink`] minimizes the decision trace to a short
@@ -49,7 +50,7 @@ use crate::drive::{drive, RING_SLOTS};
 use crate::error::DriveError;
 use crate::graph::{record_graph, DepGraph, Discipline, GraphNode, SlotError, SlotModel};
 use crate::placement::{Capabilities, Placement};
-use crate::spec::PipelineSpec;
+use crate::spec::{PipelineSpec, Workload};
 
 // ---------------------------------------------------------------------------
 // Deterministic PRNG
@@ -92,12 +93,36 @@ fn apply_kernel(v: u64, passes: u32) -> u64 {
     (0..passes).fold(v, |acc, _| scramble(acc))
 }
 
+/// The modeled stencil combine: fold the two neighbour halo values into
+/// the chunk's own before the compute passes. Asymmetric rotations keep
+/// it order-sensitive, so reading a stale or missing neighbour (the bug
+/// class the halo edges exist to prevent) always changes the output.
+fn stencil_mix(left: u64, mid: u64, right: u64) -> u64 {
+    scramble(mid ^ left.rotate_left(8) ^ right.rotate_right(8))
+}
+
 /// Ground truth for chunk `c` of `spec`: what any correct execution of
 /// the schedule must deliver. Identical to walking the graph in natural
 /// (issue) order — the lockstep/NullBackend reference — because the
-/// kernel model is positional and pure.
+/// kernel model is positional and pure. Stencil chunks fold in both
+/// neighbours' inputs (zero sentinels past the boundary) before the
+/// compute passes, mirroring the halo reads of the real kernel.
 pub fn ground_truth(spec: &PipelineSpec, c: usize) -> u64 {
-    apply_kernel(chunk_input(c), spec.compute_passes)
+    match spec.workload {
+        Workload::Map => apply_kernel(chunk_input(c), spec.compute_passes),
+        Workload::Stencil { .. } => {
+            let left = if c > 0 { chunk_input(c - 1) } else { 0 };
+            let right = if c + 1 < spec.n_chunks() {
+                chunk_input(c + 1)
+            } else {
+                0
+            };
+            apply_kernel(
+                stencil_mix(left, chunk_input(c), right),
+                spec.compute_passes,
+            )
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -218,7 +243,8 @@ pub fn validate_faults(graph: &DepGraph, faults: &FaultPlan) -> Result<(), Strin
 
 /// Which dependency-tracking discipline the executor uses. `Correct` is
 /// the shipped semantics; the others are deliberately broken analogues of
-/// mlm-verify's four must-fail regression models, re-expressed at the
+/// must-fail regression models (mlm-verify's four model-checker classes,
+/// plus the stencil family's dropped-halo class), re-expressed at the
 /// `drive()` schedule level, and exist so committed regression seeds can
 /// prove the fuzzer still catches each bug class.
 ///
@@ -246,6 +272,12 @@ pub enum Construction {
     /// without rechecking the rest — the `NoRecheck` condvar regression.
     /// The fuzzer finds premature execution breaking the ring.
     NoRecheck,
+    /// Ignore the inter-chunk halo edges (neighbour copy-in → compute) a
+    /// stencil plan emits: the kernel runs before its neighbour's
+    /// boundary bytes landed and folds in stale or missing halo data.
+    /// The fuzzer finds the resulting wrong output. A no-op for the map
+    /// family, whose plans carry no halo edges.
+    DropHaloDep,
 }
 
 impl Construction {
@@ -257,6 +289,7 @@ impl Construction {
             Construction::PoisonSkipLock => "poison-skip-lock",
             Construction::NotifyOne => "notify-one",
             Construction::NoRecheck => "no-recheck",
+            Construction::DropHaloDep => "drop-halo-dep",
         }
     }
 
@@ -280,6 +313,10 @@ impl Construction {
             },
             Construction::NoRecheck => Discipline {
                 no_recheck: true,
+                ..Discipline::CORRECT
+            },
+            Construction::DropHaloDep => Discipline {
+                drop_halo: true,
                 ..Discipline::CORRECT
             },
         }
@@ -519,6 +556,47 @@ impl Backend for FuzzBackend {
 // The adversarial executor
 // ---------------------------------------------------------------------------
 
+/// The value model for the stencil family's split per-slot buffers.
+///
+/// Unlike the map family's [`SlotModel`] phase machine, this model is
+/// deliberately *permissive*: loads overwrite whatever is resident and
+/// computes read whatever the three in-slots currently hold. A schedule
+/// that violates the halo or recycling edges therefore doesn't trip an
+/// immediate clash — it silently folds stale (or missing) neighbour data
+/// into the output, which the end-of-run ground-truth comparison flags as
+/// [`Violation::WrongOutput`]. That is exactly the failure mode a real
+/// stencil kernel has: no fault, just wrong boundary bytes.
+struct StencilModel {
+    /// `(resident chunk, staged input value)` per in-buffer slot.
+    in_slots: Vec<Option<(usize, u64)>>,
+    /// `(computed chunk, output value)` per out-buffer slot.
+    out_slots: Vec<Option<(usize, u64)>>,
+}
+
+impl StencilModel {
+    fn new(slots: usize) -> Self {
+        StencilModel {
+            in_slots: vec![None; slots],
+            out_slots: vec![None; slots],
+        }
+    }
+
+    /// The value a compute of `chunk` reads for neighbour offset
+    /// `delta` ∈ {-1, 0, +1}: whatever its ring slot holds right now,
+    /// the zero sentinel past the boundary, or zero when nothing landed.
+    fn halo_read(&self, chunk: usize, delta: i64, n_chunks: usize) -> u64 {
+        let Some(c) = chunk
+            .checked_add_signed(delta as isize)
+            .filter(|&c| c < n_chunks)
+        else {
+            return 0;
+        };
+        self.in_slots[c % self.in_slots.len()]
+            .map(|(_, v)| v)
+            .unwrap_or(0)
+    }
+}
+
 struct Executor<'a> {
     graph: &'a DepGraph,
     spec: &'a PipelineSpec,
@@ -532,6 +610,7 @@ struct Executor<'a> {
     notified: Vec<bool>,
     ready: BTreeSet<usize>,
     ring: SlotModel,
+    stencil: Option<StencilModel>,
     output: Vec<Option<u64>>,
     poisoned_chunk: Option<usize>,
 }
@@ -541,18 +620,23 @@ impl<'a> Executor<'a> {
         let n = graph.len();
         let disc = case.construction.discipline();
         // Build the effective edge set: the discipline's drop_recycle
-        // weakening erases exactly the buffer-recycling edges.
+        // weakening erases exactly the buffer-recycling edges, drop_halo
+        // the inter-chunk halo edges.
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut remaining = vec![0usize; n];
         for (i, rem) in remaining.iter_mut().enumerate() {
             for &d in graph.deps(i) {
-                if !(disc.drop_recycle && graph.is_recycle_edge(i, d)) {
+                let dropped = (disc.drop_recycle && graph.is_recycle_edge(i, d))
+                    || (disc.drop_halo && graph.is_halo_edge(i, d));
+                if !dropped {
                     dependents[d].push(i);
                     *rem += 1;
                 }
             }
         }
         let ready: BTreeSet<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+        let stencil = matches!(spec.workload, Workload::Stencil { .. })
+            .then(|| StencilModel::new(spec.ring_slots()));
         Executor {
             graph,
             spec,
@@ -566,6 +650,7 @@ impl<'a> Executor<'a> {
             notified: vec![false; n],
             ready,
             ring: SlotModel::new(RING_SLOTS),
+            stencil,
             output: vec![None; spec.n_chunks()],
             poisoned_chunk: None,
         }
@@ -652,6 +737,37 @@ impl<'a> Executor<'a> {
         }
         let panic_here =
             a.stage == Stage::Compute && self.case.faults.kernel_panic == Some(a.chunk);
+        if let Some(model) = &mut self.stencil {
+            // Permissive split-buffer model: violations surface as wrong
+            // outputs at finish, not as immediate clashes (see
+            // [`StencilModel`]).
+            match a.stage {
+                Stage::CopyIn => {
+                    model.in_slots[a.slot] = Some((a.chunk, chunk_input(a.chunk)));
+                }
+                Stage::Compute if panic_here => {
+                    model.out_slots[a.slot] = None;
+                    self.poisoned_chunk = Some(a.chunk);
+                    return Ok(true);
+                }
+                Stage::Compute => {
+                    let n = self.spec.n_chunks();
+                    let mixed = stencil_mix(
+                        model.halo_read(a.chunk, -1, n),
+                        model.halo_read(a.chunk, 0, n),
+                        model.halo_read(a.chunk, 1, n),
+                    );
+                    model.out_slots[a.slot] =
+                        Some((a.chunk, apply_kernel(mixed, self.spec.compute_passes)));
+                }
+                Stage::CopyOut => {
+                    if let Some((_, v)) = model.out_slots[a.slot].take() {
+                        self.output[a.chunk] = Some(v);
+                    }
+                }
+            }
+            return Ok(false);
+        }
         let result = match a.stage {
             Stage::CopyIn => self.ring.load(a, chunk_input(a.chunk)).map(|()| false),
             Stage::Compute if panic_here => self.ring.poison(a).map(|()| {
@@ -885,8 +1001,11 @@ pub fn fuzz_case(case: &FuzzCase, base: u64, seeds: u64) -> Result<Vec<Finding>,
 
 /// The default corpus: every placement/schedule mode the orchestrator
 /// emits, at several chunk counts including single-chunk and ragged
-/// tails. All cases are [`Construction::Correct`] and fault-free; any
-/// finding is a real orchestrator bug.
+/// tails — for both workload families (the stencil rows exercise the
+/// halo-edge geometries on the four-slot ring, including the ragged
+/// tail, whose last chunk still spans a full halo). All cases are
+/// [`Construction::Correct`] and fault-free; any finding is a real
+/// orchestrator bug.
 pub fn default_corpus() -> Vec<FuzzCase> {
     let mut cases = Vec::new();
     let geometries: &[(u64, &str)] = &[
@@ -911,6 +1030,14 @@ pub fn default_corpus() -> Vec<FuzzCase> {
             ));
         }
     }
+    for &(lockstep, mode) in &[(true, "stencil-lockstep"), (false, "stencil-dataflow")] {
+        for &(total, geom) in geometries {
+            cases.push(FuzzCase::clean(
+                format!("{mode}-{geom}"),
+                corpus_stencil_spec(total, lockstep),
+            ));
+        }
+    }
     cases
 }
 
@@ -929,6 +1056,17 @@ pub fn corpus_spec(total_bytes: u64, placement: Placement, lockstep: bool) -> Pi
         placement,
         lockstep,
         data_addr: 0,
+        workload: Workload::Map,
+    }
+}
+
+/// The stencil-family counterpart of [`corpus_spec`]: HBW placement,
+/// 64-byte chunks with a 16-byte halo on each side (so the ragged
+/// 240-byte geometry's 48-byte tail still spans a full halo).
+pub fn corpus_stencil_spec(total_bytes: u64, lockstep: bool) -> PipelineSpec {
+    PipelineSpec {
+        workload: Workload::Stencil { halo_bytes: 16 },
+        ..corpus_spec(total_bytes, Placement::Hbw, lockstep)
     }
 }
 
@@ -1084,5 +1222,75 @@ mod tests {
         let spec = corpus_spec(256, Placement::Hbw, false);
         assert_eq!(ground_truth(&spec, 2), ground_truth(&spec, 2));
         assert_ne!(ground_truth(&spec, 0), ground_truth(&spec, 1));
+    }
+
+    #[test]
+    fn stencil_ground_truth_folds_both_neighbours() {
+        let map = corpus_spec(256, Placement::Hbw, false);
+        let sten = corpus_stencil_spec(256, false);
+        for c in 0..4 {
+            assert_ne!(ground_truth(&map, c), ground_truth(&sten, c), "chunk {c}");
+        }
+        // Boundary sentinels: a 2-chunk run and a 4-chunk run disagree on
+        // chunk 1 (right neighbour present vs absent).
+        let short = corpus_stencil_spec(128, false);
+        assert_ne!(ground_truth(&short, 1), ground_truth(&sten, 1));
+        assert_eq!(ground_truth(&short, 0), ground_truth(&sten, 0));
+    }
+
+    #[test]
+    fn stencil_correct_construction_survives_many_seeds() {
+        for lockstep in [true, false] {
+            for total in [64, 240, 448] {
+                let case = FuzzCase::clean(
+                    format!("stencil-{total}-{lockstep}"),
+                    corpus_stencil_spec(total, lockstep),
+                );
+                for seed in 0..150 {
+                    let run = fuzz_seed(&case, seed).unwrap();
+                    assert_eq!(run.outcome, Outcome::Ok, "{} seed {seed}", case.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_halo_edges_produce_wrong_outputs() {
+        let mut case = FuzzCase::clean("stencil-drop-halo", corpus_stencil_spec(448, false));
+        case.construction = Construction::DropHaloDep;
+        let finding = (0..300)
+            .flat_map(|seed| fuzz_case(&case, seed, 1).unwrap())
+            .next()
+            .expect("dropped halo edge must be caught");
+        assert_eq!(finding.violation.kind(), "wrong-output");
+        assert!(finding.shrunk.len() <= 20, "{:?}", finding.shrunk);
+        // The same trace is clean when every edge is honoured.
+        let mut correct = case.clone();
+        correct.construction = Construction::Correct;
+        let rerun = replay(&correct, &finding.shrunk).unwrap();
+        assert_eq!(rerun.outcome, Outcome::Ok);
+        // And the weakening is a no-op for the map family.
+        let mut map_case = dataflow_case();
+        map_case.construction = Construction::DropHaloDep;
+        for seed in 0..100 {
+            let run = fuzz_seed(&map_case, seed).unwrap();
+            assert_eq!(run.outcome, Outcome::Ok, "map seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stencil_kernel_panic_drains_cleanly() {
+        let mut case = FuzzCase::clean("stencil-panic", corpus_stencil_spec(448, false));
+        case.faults.kernel_panic = Some(3);
+        for seed in 0..100 {
+            let run = fuzz_seed(&case, seed).unwrap();
+            match run.outcome {
+                Outcome::Poisoned {
+                    chunk: 3,
+                    cancelled,
+                } => assert!(cancelled > 0, "poison cancels downstream work"),
+                other => panic!("seed {seed}: expected clean poison-drain, got {other:?}"),
+            }
+        }
     }
 }

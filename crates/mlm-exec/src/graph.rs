@@ -43,7 +43,7 @@ use crate::backend::{Backend, ChunkAction, Stage};
 use crate::drive::{drive, RING_SLOTS};
 use crate::error::DriveError;
 use crate::placement::{Capabilities, Placement};
-use crate::spec::PipelineSpec;
+use crate::spec::{PipelineSpec, Workload};
 
 // ---------------------------------------------------------------------------
 // The recorded graph
@@ -146,14 +146,33 @@ impl DepGraph {
         out
     }
 
-    /// True when the edge `dep -> node` is a buffer-recycling edge (a
-    /// copy-in waiting for the copy-out that frees its slot). The
+    /// True when the edge `dep -> node` is a buffer-recycling edge: a
+    /// writer waiting for the last consumer of its slot's previous
+    /// occupant. For the map family that is a copy-in waiting on a
+    /// copy-out; the stencil family adds copy-ins waiting on neighbour
+    /// *computes* (the halo readers of the evicted chunk) and computes
+    /// waiting on the copy-out that frees their output buffer. The
     /// [`Discipline::drop_recycle`] weakening erases exactly these.
     pub fn is_recycle_edge(&self, node: usize, dep: usize) -> bool {
+        match (&self.nodes[node], &self.nodes[dep]) {
+            (GraphNode::Action(a), GraphNode::Action(d)) => {
+                (a.stage == Stage::CopyIn && d.stage == Stage::CopyOut)
+                    || (a.stage == Stage::CopyIn && d.stage == Stage::Compute && d.chunk != a.chunk)
+                    || (a.stage == Stage::Compute && d.stage == Stage::CopyOut)
+            }
+            _ => false,
+        }
+    }
+
+    /// True when the edge `dep -> node` is an inter-chunk halo edge: a
+    /// compute waiting on the copy-in of a *neighbouring* chunk whose
+    /// boundary bytes it reads. Only stencil-family plans emit these; the
+    /// [`Discipline::drop_halo`] weakening erases exactly these.
+    pub fn is_halo_edge(&self, node: usize, dep: usize) -> bool {
         matches!(
             (&self.nodes[node], &self.nodes[dep]),
             (GraphNode::Action(a), GraphNode::Action(d))
-                if a.stage == Stage::CopyIn && d.stage == Stage::CopyOut
+                if a.stage == Stage::Compute && d.stage == Stage::CopyIn && d.chunk != a.chunk
         )
     }
 
@@ -375,8 +394,12 @@ impl SlotModel {
 /// the same bug classes statically.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Discipline {
-    /// Ignore copy-out → copy-in buffer-recycling edges.
+    /// Ignore buffer-recycling edges (copy-out → copy-in for maps, plus
+    /// the stencil's halo-reader → copy-in and copy-out → compute forms).
     pub drop_recycle: bool,
+    /// Ignore inter-chunk halo edges (neighbour copy-in → compute): the
+    /// stencil kernel reads boundary bytes that may not have landed.
+    pub drop_halo: bool,
     /// A completion wakes only the statically-first dependent; an edge to
     /// any later dependent delivers no notification (the waiter starves).
     pub notify_one: bool,
@@ -393,6 +416,7 @@ impl Discipline {
     /// Honour every edge; poison cancels dependents.
     pub const CORRECT: Discipline = Discipline {
         drop_recycle: false,
+        drop_halo: false,
         notify_one: false,
         no_recheck: false,
         poison_skip: false,
@@ -754,6 +778,73 @@ fn max_antichain(n: usize, adj: &[Vec<usize>]) -> Vec<usize> {
 }
 
 // ---------------------------------------------------------------------------
+// Buffer footprints (the workload-generic race model)
+// ---------------------------------------------------------------------------
+
+/// One modeled staging buffer an action can touch. The race check (G001)
+/// is defined over footprints on these: two actions conflict when they
+/// touch the same buffer and at least one writes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BufferKey {
+    /// The single staging buffer of a map-family ring slot (every stage
+    /// of a chunk reads and writes it in place).
+    Main(usize),
+    /// The input buffer of a stencil ring slot: written by copy-in, read
+    /// by the owning compute *and* both neighbour computes (halo).
+    In(usize),
+    /// The output buffer of a stencil ring slot: written by the compute,
+    /// read by copy-out.
+    Out(usize),
+}
+
+impl BufferKey {
+    /// Buffer name as used in G001 messages.
+    pub fn describe(self) -> String {
+        match self {
+            BufferKey::Main(s) => format!("ring slot {s}"),
+            BufferKey::In(s) => format!("in-buffer slot {s}"),
+            BufferKey::Out(s) => format!("out-buffer slot {s}"),
+        }
+    }
+}
+
+/// The buffers `a` touches under `spec`'s workload, each with a
+/// `write` flag.
+///
+/// The map family models every stage as a *write* of its slot's single
+/// buffer — all same-slot action pairs conflict, which is exactly the
+/// phase-machine discipline [`SlotModel`] enforces dynamically. The
+/// stencil family splits each slot into an in- and an out-buffer and
+/// lets computes read the neighbouring in-buffers, so e.g. two computes
+/// reading the same in-buffer do *not* conflict but a copy-in
+/// overwriting it while a neighbour compute still reads it does.
+pub fn action_footprint(spec: &PipelineSpec, a: ChunkAction) -> Vec<(BufferKey, bool)> {
+    match spec.workload {
+        Workload::Map => vec![(BufferKey::Main(a.slot), true)],
+        Workload::Stencil { .. } => {
+            let ring = spec.ring_slots();
+            let n = spec.n_chunks();
+            match a.stage {
+                Stage::CopyIn => vec![(BufferKey::In(a.slot), true)],
+                Stage::Compute => {
+                    let mut fp = Vec::new();
+                    if a.chunk > 0 {
+                        fp.push((BufferKey::In((a.chunk - 1) % ring), false));
+                    }
+                    fp.push((BufferKey::In(a.slot), false));
+                    if a.chunk + 1 < n {
+                        fp.push((BufferKey::In((a.chunk + 1) % ring), false));
+                    }
+                    fp.push((BufferKey::Out(a.slot), true));
+                    fp
+                }
+                Stage::CopyOut => vec![(BufferKey::Out(a.slot), false)],
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The analyzer
 // ---------------------------------------------------------------------------
 
@@ -827,13 +918,15 @@ pub fn analyze(graph: &DepGraph, spec: &PipelineSpec, cfg: &AnalysisConfig) -> G
 
     let disc = cfg.discipline;
 
-    // Effective edges, step 1: drop_recycle erases the recycling edges.
+    // Effective edges, step 1: drop_recycle erases the recycling edges
+    // and drop_halo the inter-chunk halo edges.
     let kept: Vec<Vec<usize>> = (0..n)
         .map(|i| {
             valid_deps[i]
                 .iter()
                 .copied()
                 .filter(|&d| !(disc.drop_recycle && graph.is_recycle_edge(i, d)))
+                .filter(|&d| !(disc.drop_halo && graph.is_halo_edge(i, d)))
                 .collect()
         })
         .collect();
@@ -918,40 +1011,55 @@ pub fn analyze(graph: &DepGraph, spec: &PipelineSpec, cfg: &AnalysisConfig) -> G
         .collect();
     let explicit = spec.placement != Placement::Implicit;
 
-    // G001 — happens-before races: any two actions on the same ring slot
-    // must be connected by a dependency path, else some linearization runs
-    // them concurrently (the slot phase machine is then violated).
+    // G001 — happens-before races: any two actions whose buffer
+    // footprints conflict (same buffer, at least one write) must be
+    // connected by a dependency path, else some linearization runs them
+    // concurrently. For the map family every action writes its slot's
+    // single buffer, so this degenerates to "same-slot actions must be
+    // ordered" — the slot phase machine's static counterpart; the stencil
+    // family's split in/out buffers and halo reads refine the model.
     if explicit {
-        let mut by_slot: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        for &(i, a) in &actions {
-            by_slot.entry(a.slot).or_default().push(i);
-        }
-        for (slot, members) in &by_slot {
-            let mut unordered: Vec<(usize, usize)> = Vec::new();
-            for (k, &i) in members.iter().enumerate() {
-                for &j in &members[k + 1..] {
-                    if !ordered(i, j) {
-                        unordered.push((i, j));
+        let footprints: Vec<Vec<(BufferKey, bool)>> = actions
+            .iter()
+            .map(|&(_, a)| action_footprint(spec, a))
+            .collect();
+        let mut by_buffer: BTreeMap<BufferKey, Vec<(usize, usize)>> = BTreeMap::new();
+        for (k, &(i, _)) in actions.iter().enumerate() {
+            for (m, &(j, _)) in actions.iter().enumerate().skip(k + 1) {
+                if ordered(i, j) {
+                    continue;
+                }
+                for &(key_a, write_a) in &footprints[k] {
+                    for &(key_b, write_b) in &footprints[m] {
+                        if key_a == key_b && (write_a || write_b) {
+                            let pairs = by_buffer.entry(key_a).or_default();
+                            if pairs.last() != Some(&(i, j)) {
+                                pairs.push((i, j));
+                            }
+                        }
                     }
                 }
             }
-            if let Some(&(i, j)) = unordered.first() {
-                findings.push(GraphFinding {
-                    check: GraphCheck::Race,
-                    message: format!(
-                        "ring slot {slot}: {} action pair(s) with no dependency path between them",
-                        unordered.len()
+        }
+        for (key, pairs) in &by_buffer {
+            let &(i, j) = pairs.first().expect("entry implies a pair");
+            findings.push(GraphFinding {
+                check: GraphCheck::Race,
+                message: format!(
+                    "{}: {} action pair(s) with no dependency path between them",
+                    key.describe(),
+                    pairs.len()
+                ),
+                trace: vec![
+                    format!(
+                        "{} and {} both touch {}",
+                        graph.describe(i),
+                        graph.describe(j),
+                        key.describe()
                     ),
-                    trace: vec![
-                        format!(
-                            "{} and {} both touch slot {slot}",
-                            graph.describe(i),
-                            graph.describe(j)
-                        ),
-                        "no dependency path orders them under the analysed discipline".into(),
-                    ],
-                });
-            }
+                    "no dependency path orders them under the analysed discipline".into(),
+                ],
+            });
         }
     }
 
@@ -992,70 +1100,142 @@ pub fn analyze(graph: &DepGraph, spec: &PipelineSpec, cfg: &AnalysisConfig) -> G
         }
     }
 
-    // G003/G004 — chunk liveness antichain. Chunk `c` is live from its
-    // first resident action (copy-in; the compute itself in implicit
-    // mode) until its last (copy-out). `c` strictly precedes `d` when
-    // `c`'s end happens-before `d`'s start, so by Dilworth the maximum
-    // antichain of the precedence order is exactly the worst-case number
-    // of simultaneously-live chunks any linearization can reach.
+    // G003/G004 — buffer liveness antichains. A buffer is live from the
+    // action that fills it until the last action that reads it; buffer
+    // `c` strictly precedes buffer `d` when `c`'s end happens-before
+    // `d`'s start, so by Dilworth the maximum antichain of the precedence
+    // order is exactly the worst-case number of simultaneously-live
+    // buffers any linearization can reach.
+    //
+    // The map family has one buffer per chunk, spanning copy-in to
+    // copy-out (the compute itself in implicit mode). The stencil family
+    // has two: the in-buffer of chunk `c` spans its copy-in to the last
+    // halo reader (compute of `c + 1`), the out-buffer its compute to its
+    // copy-out — each ring of `ring_slots` buffers is bounded separately,
+    // and the HBW peak sums both.
     let n_chunks = spec.n_chunks();
-    let live_span = |c: usize| -> (Option<usize>, Option<usize>) {
-        if explicit {
-            (
-                graph.find_action(Stage::CopyIn, c),
-                graph.find_action(Stage::CopyOut, c),
-            )
-        } else {
-            let comp = graph.find_action(Stage::Compute, c);
-            (comp, comp)
-        }
-    };
-    let spans: Vec<(Option<usize>, Option<usize>)> = (0..n_chunks).map(live_span).collect();
-    let mut precedes: Vec<Vec<usize>> = vec![Vec::new(); n_chunks];
-    for (c, &(_, end_c)) in spans.iter().enumerate() {
-        for (d, &(start_d, _)) in spans.iter().enumerate() {
-            if let (Some(out_c), Some(in_d)) = (end_c, start_d) {
-                if c != d && anc[in_d].get(out_c) {
-                    precedes[c].push(d);
+    let antichain_of = |spans: &[(Option<usize>, Option<usize>)]| -> Vec<usize> {
+        let mut precedes: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+        for (c, &(_, end_c)) in spans.iter().enumerate() {
+            for (d, &(start_d, _)) in spans.iter().enumerate() {
+                if let (Some(out_c), Some(in_d)) = (end_c, start_d) {
+                    if c != d && anc[in_d].get(out_c) {
+                        precedes[c].push(d);
+                    }
                 }
             }
         }
-    }
-    let antichain = max_antichain(n_chunks, &precedes);
-    let peak_live_chunks = antichain.len();
-    let peak_hbw_bytes = if explicit && spec.placement == Placement::Hbw {
-        peak_live_chunks as u64 * spec.chunk_bytes
-    } else {
-        0
+        max_antichain(spans.len(), &precedes)
     };
-    let witness_chunks = || -> Vec<String> {
+    let witness = |antichain: &[usize], what: &str| -> Vec<String> {
         let mut lines: Vec<String> = antichain
             .iter()
             .take(8)
-            .map(|&c| format!("chunk {c} live (slot {})", c % cfg.ring_slots))
+            .map(|&c| format!("chunk {c}{what} live (slot {})", c % cfg.ring_slots))
             .collect();
         if antichain.len() > 8 {
             lines.push(format!("... and {} more", antichain.len() - 8));
         }
         lines
     };
-    if explicit && peak_live_chunks > cfg.ring_slots {
-        findings.push(GraphFinding {
-            check: GraphCheck::RingWidth,
-            message: format!(
-                "{peak_live_chunks} chunks can be in flight concurrently but the ring has {} slots",
-                cfg.ring_slots
-            ),
-            trace: witness_chunks(),
-        });
-    }
+
+    let stencil = explicit && matches!(spec.workload, Workload::Stencil { .. });
+    let (peak_live_chunks, peak_hbw_buffers, ring_findings, budget_head, budget_witness) =
+        if stencil {
+            let in_spans: Vec<(Option<usize>, Option<usize>)> = (0..n_chunks)
+                .map(|c| {
+                    let last_reader = (c + 1).min(n_chunks - 1);
+                    (
+                        graph.find_action(Stage::CopyIn, c),
+                        graph.find_action(Stage::Compute, last_reader),
+                    )
+                })
+                .collect();
+            let out_spans: Vec<(Option<usize>, Option<usize>)> = (0..n_chunks)
+                .map(|c| {
+                    (
+                        graph.find_action(Stage::Compute, c),
+                        graph.find_action(Stage::CopyOut, c),
+                    )
+                })
+                .collect();
+            let in_chain = antichain_of(&in_spans);
+            let out_chain = antichain_of(&out_spans);
+            let (peak_in, peak_out) = (in_chain.len(), out_chain.len());
+            let mut ring_findings = Vec::new();
+            for (peak, chain, what) in [
+                (peak_in, &in_chain, " in-buffer"),
+                (peak_out, &out_chain, " out-buffer"),
+            ] {
+                if peak > cfg.ring_slots {
+                    ring_findings.push(GraphFinding {
+                        check: GraphCheck::RingWidth,
+                        message: format!(
+                            "{peak} stencil{what}s can be in flight concurrently but the ring has {} slots",
+                            cfg.ring_slots
+                        ),
+                        trace: witness(chain, what),
+                    });
+                }
+            }
+            let head = format!(
+                "peak = ({peak_in} in-buffers + {peak_out} out-buffers) x {} bytes each",
+                spec.chunk_bytes
+            );
+            let mut wit = witness(&in_chain, " in-buffer");
+            wit.extend(witness(&out_chain, " out-buffer"));
+            (
+                peak_in.max(peak_out),
+                (peak_in + peak_out) as u64,
+                ring_findings,
+                head,
+                wit,
+            )
+        } else {
+            let spans: Vec<(Option<usize>, Option<usize>)> = (0..n_chunks)
+                .map(|c| {
+                    if explicit {
+                        (
+                            graph.find_action(Stage::CopyIn, c),
+                            graph.find_action(Stage::CopyOut, c),
+                        )
+                    } else {
+                        let comp = graph.find_action(Stage::Compute, c);
+                        (comp, comp)
+                    }
+                })
+                .collect();
+            let antichain = antichain_of(&spans);
+            let peak = antichain.len();
+            let mut ring_findings = Vec::new();
+            if explicit && peak > cfg.ring_slots {
+                ring_findings.push(GraphFinding {
+                    check: GraphCheck::RingWidth,
+                    message: format!(
+                        "{peak} chunks can be in flight concurrently but the ring has {} slots",
+                        cfg.ring_slots
+                    ),
+                    trace: witness(&antichain, ""),
+                });
+            }
+            let head = format!(
+                "peak = {peak} live chunks x {} bytes/chunk = {} bytes",
+                spec.chunk_bytes,
+                peak as u64 * spec.chunk_bytes
+            );
+            let wit = witness(&antichain, "");
+            (peak, peak as u64, ring_findings, head, wit)
+        };
+    findings.extend(ring_findings);
+    let peak_hbw_bytes = if explicit && spec.placement == Placement::Hbw {
+        peak_hbw_buffers * spec.chunk_bytes
+    } else {
+        0
+    };
     if let Some(budget) = cfg.hbw_budget {
         if peak_hbw_bytes > budget {
-            let mut trace = vec![format!(
-                "peak = {peak_live_chunks} live chunks x {} bytes/chunk = {peak_hbw_bytes} bytes",
-                spec.chunk_bytes
-            )];
-            trace.extend(witness_chunks());
+            let mut trace = vec![budget_head];
+            trace.extend(budget_witness);
             findings.push(GraphFinding {
                 check: GraphCheck::Capacity,
                 message: format!(
@@ -1107,6 +1287,7 @@ pub fn verify_spec(
 ) -> Result<GraphReport, DriveError> {
     let graph = record_graph(spec)?;
     let cfg = AnalysisConfig {
+        ring_slots: spec.ring_slots(),
         hbw_budget,
         ..AnalysisConfig::default()
     };
@@ -1130,6 +1311,7 @@ mod tests {
             placement,
             lockstep,
             data_addr: 0,
+            workload: Workload::Map,
         }
     }
 
@@ -1325,6 +1507,139 @@ mod tests {
             ring.load(act(Stage::CopyIn, 3), 9),
             Err(SlotError::Poisoned { .. })
         ));
+    }
+
+    fn stencil_spec(n_chunks: u64, lockstep: bool) -> PipelineSpec {
+        PipelineSpec {
+            workload: Workload::Stencil { halo_bytes: 16 },
+            ..spec(n_chunks, lockstep, Placement::Hbw)
+        }
+    }
+
+    #[test]
+    fn stencil_graphs_verify_clean_on_the_deeper_ring() {
+        for lockstep in [true, false] {
+            for n in [1, 2, 5, 9] {
+                let s = stencil_spec(n, lockstep);
+                let r = verify_spec(&s, Some(1 << 30)).unwrap();
+                assert!(r.is_safe(), "lockstep={lockstep} n={n}: {r}");
+                assert!(r.findings.is_empty(), "{r}");
+            }
+        }
+        // A long dataflow run saturates both 4-deep buffer rings: peak
+        // HBW = (4 in + 4 out) x 64 bytes.
+        let r = verify_spec(&stencil_spec(9, false), Some(1 << 30)).unwrap();
+        assert_eq!(r.peak_live_chunks, 4, "{r}");
+        assert_eq!(r.peak_hbw_bytes, 8 * 64, "{r}");
+    }
+
+    #[test]
+    fn dropped_halo_edges_race_the_in_buffers() {
+        let s = stencil_spec(6, false);
+        let g = record_graph(&s).unwrap();
+        let cfg = AnalysisConfig {
+            ring_slots: s.ring_slots(),
+            discipline: Discipline {
+                drop_halo: true,
+                ..Discipline::CORRECT
+            },
+            ..AnalysisConfig::default()
+        };
+        let r = analyze(&g, &s, &cfg);
+        assert!(r.codes().contains(&"G001"), "{r}");
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.check == GraphCheck::Race && f.message.contains("in-buffer")),
+            "{r}"
+        );
+        // Map graphs carry no halo edges, so the weakening is a no-op.
+        let s = spec(6, false, Placement::Hbw);
+        let g = record_graph(&s).unwrap();
+        let r = analyze(&g, &s, &cfg);
+        assert!(r.is_safe(), "{r}");
+    }
+
+    #[test]
+    fn stencil_recycle_edges_are_classified_and_droppable() {
+        let s = stencil_spec(7, false);
+        let g = record_graph(&s).unwrap();
+        // Stage-in of chunk 4 recycles slot 0: its deps are computes.
+        let in4 = g.find_action(Stage::CopyIn, 4).unwrap();
+        assert!(!g.deps(in4).is_empty());
+        for &d in g.deps(in4) {
+            assert!(g.is_recycle_edge(in4, d), "{}", g.describe(d));
+            assert!(!g.is_halo_edge(in4, d));
+        }
+        // Compute of chunk 2 has halo edges to both neighbour stage-ins.
+        let comp2 = g.find_action(Stage::Compute, 2).unwrap();
+        let halos = g
+            .deps(comp2)
+            .iter()
+            .filter(|&&d| g.is_halo_edge(comp2, d))
+            .count();
+        assert_eq!(halos, 2);
+        // Dropping recycle edges must blow both race and ring-width.
+        let cfg = AnalysisConfig {
+            ring_slots: s.ring_slots(),
+            discipline: Discipline {
+                drop_recycle: true,
+                ..Discipline::CORRECT
+            },
+            ..AnalysisConfig::default()
+        };
+        let r = analyze(&g, &s, &cfg);
+        assert!(r.codes().contains(&"G001"), "{r}");
+        assert!(r.codes().contains(&"G004"), "{r}");
+    }
+
+    #[test]
+    fn stencil_footprints_model_split_buffers_and_halo_reads() {
+        let s = stencil_spec(6, false);
+        let fp = |stage, chunk: usize| {
+            action_footprint(
+                &s,
+                ChunkAction {
+                    stage,
+                    chunk,
+                    slot: chunk % s.ring_slots(),
+                },
+            )
+        };
+        assert_eq!(fp(Stage::CopyIn, 2), vec![(BufferKey::In(2), true)]);
+        assert_eq!(fp(Stage::CopyOut, 2), vec![(BufferKey::Out(2), false)]);
+        // Interior compute: reads in-slots 1, 2, 3; writes out-slot 2.
+        assert_eq!(
+            fp(Stage::Compute, 2),
+            vec![
+                (BufferKey::In(1), false),
+                (BufferKey::In(2), false),
+                (BufferKey::In(3), false),
+                (BufferKey::Out(2), true),
+            ]
+        );
+        // Boundary computes drop the missing halo read.
+        assert_eq!(
+            fp(Stage::Compute, 0),
+            vec![
+                (BufferKey::In(0), false),
+                (BufferKey::In(1), false),
+                (BufferKey::Out(0), true),
+            ]
+        );
+        // Map keeps the single-buffer model.
+        let m = spec(6, false, Placement::Hbw);
+        assert_eq!(
+            action_footprint(
+                &m,
+                ChunkAction {
+                    stage: Stage::Compute,
+                    chunk: 4,
+                    slot: 1,
+                }
+            ),
+            vec![(BufferKey::Main(1), true)]
+        );
     }
 
     #[test]

@@ -15,8 +15,14 @@
 //!   them);
 //! * [`Backend`] — the primitive surface a memory system must offer:
 //!   issue one chunk-stage action, close a lockstep step, tell the time;
-//! * [`drive`] — the single orchestrator that walks the chunk schedule
-//!   (lockstep, dataflow, and implicit cache mode) and calls the backend;
+//! * [`plan`] — the workload-generic plan IR ([`WorkloadPlan`]): a DAG of
+//!   stage-in / compute-kernel / stage-out nodes with tagged dependency
+//!   edges (sequencing, dataflow, buffer recycling, inter-chunk halo)
+//!   that every workload family lowers into and every executor
+//!   interprets;
+//! * [`drive`] — the orchestrator that builds the plan for the spec's
+//!   workload (map or halo-exchanging stencil; lockstep, dataflow, and
+//!   implicit cache mode) and interprets it over the backend;
 //! * [`graph`] — the recorded dependency DAG ([`graph::DepGraph`]) shared
 //!   by the fuzzer and the static schedule verifier ([`graph::analyze`],
 //!   diagnostics G001–G006), plus [`drive_verified`], the preflight-gated
@@ -27,7 +33,8 @@
 //!   into an event-trace producer, making host ≡ sim equivalence a
 //!   property test instead of folklore;
 //! * [`SortPlan`] — the megachunk-level phase sequence of the §4 sort
-//!   algorithms, interpreted by the sort host executor and sim lowering.
+//!   algorithms, which [`SortPlan::to_workload_plan`] lowers onto the
+//!   generic IR for the sort host executor and sim lowering.
 //!
 //! Concrete backends live next to the machinery they adapt: the host
 //! adapters over `parsort::pool` in `mlm-core::pipeline::host`, the
@@ -46,6 +53,7 @@ pub mod error;
 pub mod fuzz;
 pub mod graph;
 pub mod placement;
+pub mod plan;
 pub mod recording;
 pub mod report;
 pub mod ring;
@@ -53,10 +61,18 @@ pub mod sortplan;
 pub mod spec;
 
 pub use backend::{Backend, ChunkAction, KernelCtx, Stage};
-pub use drive::{drive, drive_verified, RING_SLOTS};
+pub use drive::{drive, drive_verified, RING_SLOTS, STENCIL_RING_SLOTS};
 pub use error::DriveError;
 pub use placement::{Capabilities, MemTier, Placement};
+pub use plan::{
+    interpret, plan_pipeline, waves, EdgeKind, KernelDesc, PlanEdge, PlanKind, PlanNode,
+    WorkloadPlan,
+};
 pub use recording::{Event, NullBackend, RecordingBackend};
 pub use report::{RunReport, StageReport};
-pub use sortplan::{mega_size, plan_sort, ChunkSortStyle, SortPhase, SortPlan, SortStructure};
-pub use spec::PipelineSpec;
+pub use sortplan::{
+    mega_size, plan_sort, ChunkSortStyle, SortPhase, SortPlan, SortStructure,
+    SORT_KERNEL_CHUNK_SORT, SORT_KERNEL_FINAL_MERGE, SORT_KERNEL_MERGE_RUNS,
+    SORT_KERNEL_THREAD_MERGE, SORT_KERNEL_THREAD_SORT,
+};
+pub use spec::{PipelineSpec, Workload};

@@ -181,6 +181,7 @@ mod tests {
     use crate::backend::Stage;
     use crate::drive::drive;
     use crate::placement::Placement;
+    use crate::spec::Workload;
 
     fn spec(lockstep: bool) -> PipelineSpec {
         PipelineSpec {
@@ -195,6 +196,7 @@ mod tests {
             placement: Placement::Hbw,
             lockstep,
             data_addr: 0,
+            workload: Workload::Map,
         }
     }
 

@@ -11,6 +11,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::plan::{EdgeKind, KernelDesc, PlanEdge, PlanKind, PlanNode, WorkloadPlan};
+
 /// The megachunk-level shape of a sort variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SortStructure {
@@ -121,6 +123,214 @@ pub struct SortPlan {
     pub overlapped: bool,
     /// The phases, in execution (and issue) order.
     pub phases: Vec<SortPhase>,
+}
+
+/// Kernel-table index of the chunk-sort kernel in a lowered sort plan.
+pub const SORT_KERNEL_CHUNK_SORT: usize = 0;
+/// Kernel-table index of the run-merge (merge-out) kernel.
+pub const SORT_KERNEL_MERGE_RUNS: usize = 1;
+/// Kernel-table index of the per-thread block-sort kernel.
+pub const SORT_KERNEL_THREAD_SORT: usize = 2;
+/// Kernel-table index of the thread-count-way merge kernel.
+pub const SORT_KERNEL_THREAD_MERGE: usize = 3;
+/// Kernel-table index of the final k-way megachunk merge kernel.
+pub const SORT_KERNEL_FINAL_MERGE: usize = 4;
+
+impl SortPlan {
+    /// Lower the megachunk phase sequence into the workload-generic
+    /// [`WorkloadPlan`] IR.
+    ///
+    /// Every phase becomes one node — [`SortPhase::StageIn`] a
+    /// [`PlanKind::StageIn`], [`SortPhase::ChunkSort`] a
+    /// [`PlanKind::Kernel`], [`SortPhase::MergeRuns`] a
+    /// [`PlanKind::StageOut`] *carrying* the merge kernel (the sort
+    /// family's drain transforms as it copies), [`SortPhase::CopyBack`] a
+    /// plain [`PlanKind::StageOut`], and the whole-array phases
+    /// ([`SortPhase::ThreadSort`], [`SortPhase::ThreadMerge`],
+    /// [`SortPhase::FinalMerge`], [`SortPhase::FinalCopyBack`]) global
+    /// nodes with `chunk: None`. Node `len` is in *elements*.
+    ///
+    /// Sequential structures chain every node to its predecessor with
+    /// [`EdgeKind::Seq`] — [`crate::plan::waves`] degenerates to one node
+    /// per wave, which is exactly the barrier-per-phase execution the
+    /// host and sim always had. The [`SortStructure::Buffered`] structure
+    /// instead emits the double-buffered dependency shape: megachunk `m`'s
+    /// stage-in waits only for the merge-out of `m - 2`
+    /// ([`EdgeKind::Recycle`] — its buffer's previous occupant), computes
+    /// wait on their own stage-in ([`EdgeKind::Data`]), merges wait on
+    /// their compute, so `waves` overlaps megachunk `m + 1`'s prefetch
+    /// with `m`'s sort.
+    pub fn to_workload_plan(&self) -> WorkloadPlan {
+        let kernels = [
+            "chunk-sort",
+            "merge-runs",
+            "thread-sort",
+            "thread-merge",
+            "final-merge",
+        ]
+        .iter()
+        .map(|name| KernelDesc {
+            name: (*name).to_string(),
+            passes: 1,
+            extra_read_bytes: 0,
+        })
+        .collect();
+        let mut plan = WorkloadPlan {
+            family: "sort",
+            ring_slots: if self.overlapped { 2 } else { 1 },
+            chunks: self.megachunks,
+            kernels,
+            nodes: Vec::new(),
+        };
+
+        if self.overlapped {
+            self.lower_overlapped(&mut plan);
+        } else {
+            self.lower_sequential(&mut plan);
+        }
+        debug_assert_eq!(plan.validate(), Ok(()));
+        plan
+    }
+
+    /// Sequential lowering: phases in order, each [`EdgeKind::Seq`]-chained
+    /// to its predecessor.
+    fn lower_sequential(&self, plan: &mut WorkloadPlan) {
+        for phase in &self.phases {
+            let (kind, chunk, kernel, len) = match *phase {
+                SortPhase::ThreadSort { elems } => {
+                    (PlanKind::Kernel, None, Some(SORT_KERNEL_THREAD_SORT), elems)
+                }
+                SortPhase::ThreadMerge { elems } => (
+                    PlanKind::Kernel,
+                    None,
+                    Some(SORT_KERNEL_THREAD_MERGE),
+                    elems,
+                ),
+                SortPhase::StageIn { mega, elems } => (PlanKind::StageIn, Some(mega), None, elems),
+                SortPhase::ChunkSort { mega, elems } => (
+                    PlanKind::Kernel,
+                    Some(mega),
+                    Some(SORT_KERNEL_CHUNK_SORT),
+                    elems,
+                ),
+                SortPhase::MergeRuns { mega, elems } => (
+                    PlanKind::StageOut,
+                    Some(mega),
+                    Some(SORT_KERNEL_MERGE_RUNS),
+                    elems,
+                ),
+                SortPhase::CopyBack { mega, elems } => {
+                    (PlanKind::StageOut, Some(mega), None, elems)
+                }
+                SortPhase::FinalMerge { elems, .. } => {
+                    (PlanKind::Kernel, None, Some(SORT_KERNEL_FINAL_MERGE), elems)
+                }
+                SortPhase::FinalCopyBack { elems } => (PlanKind::StageOut, None, None, elems),
+            };
+            let deps = match plan.nodes.len() {
+                0 => Vec::new(),
+                n => vec![PlanEdge::new(n - 1, EdgeKind::Seq)],
+            };
+            plan.nodes.push(PlanNode {
+                kind,
+                chunk,
+                slot: chunk.map_or(0, |m| m % plan.ring_slots),
+                kernel,
+                len,
+                deps,
+            });
+        }
+    }
+
+    /// Double-buffered lowering ([`SortStructure::Buffered`]): nodes in
+    /// pipeline-step order, `waves`-ready.
+    fn lower_overlapped(&self, plan: &mut WorkloadPlan) {
+        let n = self.megachunks;
+        let push = |plan: &mut WorkloadPlan,
+                    kind: PlanKind,
+                    mega: usize,
+                    kernel: Option<usize>,
+                    deps: Vec<PlanEdge>| {
+            plan.nodes.push(PlanNode {
+                kind,
+                chunk: Some(mega),
+                slot: mega % plan.ring_slots,
+                kernel,
+                len: mega_size(self.n_elems, self.mega_elems, mega),
+                deps,
+            });
+            plan.nodes.len() - 1
+        };
+        let mut stage_in: Vec<Option<usize>> = vec![None; n];
+        let mut chunk_sort: Vec<Option<usize>> = vec![None; n];
+        let mut merge_out: Vec<Option<usize>> = vec![None; n];
+
+        // Step `s`: merge out megachunk `s - 2` (freeing its buffer),
+        // chunk-sort `s - 1`, prefetch `s`. Within a step the merge-out is
+        // emitted first so the stage-in's Recycle edge points backward.
+        for s in 0..n + 2 {
+            if s >= 2 && s - 2 < n {
+                let m = s - 2;
+                merge_out[m] = Some(push(
+                    plan,
+                    PlanKind::StageOut,
+                    m,
+                    Some(SORT_KERNEL_MERGE_RUNS),
+                    vec![PlanEdge::new(
+                        chunk_sort[m].expect("sorted in an earlier step"),
+                        EdgeKind::Data,
+                    )],
+                ));
+            }
+            if s >= 1 && s - 1 < n {
+                let m = s - 1;
+                chunk_sort[m] = Some(push(
+                    plan,
+                    PlanKind::Kernel,
+                    m,
+                    Some(SORT_KERNEL_CHUNK_SORT),
+                    vec![PlanEdge::new(
+                        stage_in[m].expect("staged in an earlier step"),
+                        EdgeKind::Data,
+                    )],
+                ));
+            }
+            if s < n {
+                let deps = if s >= 2 {
+                    vec![PlanEdge::new(
+                        merge_out[s - 2].expect("merged out this step"),
+                        EdgeKind::Recycle,
+                    )]
+                } else {
+                    Vec::new()
+                };
+                stage_in[s] = Some(push(plan, PlanKind::StageIn, s, None, deps));
+            }
+        }
+
+        if n > 1 {
+            let deps = merge_out
+                .iter()
+                .map(|i| PlanEdge::new(i.expect("every megachunk merged out"), EdgeKind::Data))
+                .collect();
+            plan.nodes.push(PlanNode {
+                kind: PlanKind::Kernel,
+                chunk: None,
+                slot: 0,
+                kernel: Some(SORT_KERNEL_FINAL_MERGE),
+                len: self.n_elems,
+                deps,
+            });
+            plan.nodes.push(PlanNode {
+                kind: PlanKind::StageOut,
+                chunk: None,
+                slot: 0,
+                kernel: None,
+                len: self.n_elems,
+                deps: vec![PlanEdge::new(plan.nodes.len() - 1, EdgeKind::Data)],
+            });
+        }
+    }
 }
 
 /// Elements in megachunk `m` of an `n`-element array cut into
@@ -277,5 +487,122 @@ mod tests {
         let q = plan_sort(SortStructure::Staged, ChunkSortStyle::Serial, 10, 4);
         assert!(p.overlapped);
         assert_eq!(p.phases, q.phases);
+    }
+
+    #[test]
+    fn sequential_lowering_is_one_node_per_phase_in_order() {
+        for structure in [
+            SortStructure::Whole,
+            SortStructure::Staged,
+            SortStructure::InPlace,
+        ] {
+            let p = plan_sort(structure, ChunkSortStyle::Serial, 10, 4);
+            let w = p.to_workload_plan();
+            w.validate().unwrap();
+            assert_eq!(w.family, "sort");
+            assert_eq!(w.nodes.len(), p.phases.len(), "{structure:?}");
+            // Strictly sequential: every node Seq-chains its predecessor,
+            // so waves degenerate to one node each.
+            assert!(
+                crate::plan::waves(&w).iter().all(|wave| wave.len() == 1),
+                "{structure:?}"
+            );
+            for (node, phase) in w.nodes.iter().zip(&p.phases) {
+                let expect = match phase {
+                    SortPhase::StageIn { .. } => (PlanKind::StageIn, None),
+                    SortPhase::ChunkSort { .. } => (PlanKind::Kernel, Some(SORT_KERNEL_CHUNK_SORT)),
+                    SortPhase::MergeRuns { .. } => {
+                        (PlanKind::StageOut, Some(SORT_KERNEL_MERGE_RUNS))
+                    }
+                    SortPhase::CopyBack { .. } => (PlanKind::StageOut, None),
+                    SortPhase::ThreadSort { .. } => {
+                        (PlanKind::Kernel, Some(SORT_KERNEL_THREAD_SORT))
+                    }
+                    SortPhase::ThreadMerge { .. } => {
+                        (PlanKind::Kernel, Some(SORT_KERNEL_THREAD_MERGE))
+                    }
+                    SortPhase::FinalMerge { .. } => {
+                        (PlanKind::Kernel, Some(SORT_KERNEL_FINAL_MERGE))
+                    }
+                    SortPhase::FinalCopyBack { .. } => (PlanKind::StageOut, None),
+                };
+                assert_eq!((node.kind, node.kernel), expect, "{structure:?} {phase:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn whole_lowering_is_all_global_nodes() {
+        let w = plan_sort(SortStructure::Whole, ChunkSortStyle::Gnu, 100, 7).to_workload_plan();
+        assert!(w.nodes.iter().all(|n| n.chunk.is_none()));
+        assert_eq!(w.nodes.len(), 3);
+    }
+
+    #[test]
+    fn buffered_lowering_overlaps_prefetch_with_compute() {
+        let p = plan_sort(SortStructure::Buffered, ChunkSortStyle::Serial, 16, 4);
+        let w = p.to_workload_plan();
+        w.validate().unwrap();
+        assert_eq!(w.ring_slots, 2);
+
+        // Covers the same work as the sequential lowering: per megachunk
+        // one stage-in, one chunk-sort, one merge-out, plus the final pair.
+        let mut pairs: Vec<(PlanKind, Option<usize>)> =
+            w.nodes.iter().map(|n| (n.kind, n.chunk)).collect();
+        let mut expect: Vec<(PlanKind, Option<usize>)> = (0..4)
+            .flat_map(|m| {
+                [
+                    (PlanKind::StageIn, Some(m)),
+                    (PlanKind::Kernel, Some(m)),
+                    (PlanKind::StageOut, Some(m)),
+                ]
+            })
+            .chain([(PlanKind::Kernel, None), (PlanKind::StageOut, None)])
+            .collect();
+        pairs.sort_by_key(|(k, c)| (*c, *k as usize));
+        expect.sort_by_key(|(k, c)| (*c, *k as usize));
+        assert_eq!(pairs, expect);
+
+        // Stage-in of megachunk m >= 2 recycles the buffer megachunk
+        // m - 2's merge-out freed.
+        for m in 2..4 {
+            let si = w.find(PlanKind::StageIn, m).unwrap();
+            assert_eq!(w.nodes[si].deps.len(), 1);
+            assert_eq!(w.nodes[si].deps[0].kind, EdgeKind::Recycle);
+            assert_eq!(w.nodes[w.nodes[si].deps[0].from].chunk, Some(m - 2));
+        }
+
+        // The final merge waits on every megachunk's merge-out.
+        let fm = w
+            .nodes
+            .iter()
+            .position(|n| n.kernel == Some(SORT_KERNEL_FINAL_MERGE))
+            .unwrap();
+        let dep_chunks: Vec<Option<usize>> = w.nodes[fm]
+            .deps
+            .iter()
+            .map(|e| w.nodes[e.from].chunk)
+            .collect();
+        assert_eq!(dep_chunks, vec![Some(0), Some(1), Some(2), Some(3)]);
+
+        // And waves genuinely overlap: megachunk 1's prefetch shares a
+        // wave with megachunk 0's sort.
+        let waves = crate::plan::waves(&w);
+        let k0 = w.find(PlanKind::Kernel, 0).unwrap();
+        let si1 = w.find(PlanKind::StageIn, 1).unwrap();
+        assert!(
+            waves
+                .iter()
+                .any(|wave| wave.contains(&k0) && wave.contains(&si1)),
+            "{waves:?}"
+        );
+    }
+
+    #[test]
+    fn single_megachunk_buffered_lowering_has_no_final_pair() {
+        let w = plan_sort(SortStructure::Buffered, ChunkSortStyle::Serial, 4, 8).to_workload_plan();
+        w.validate().unwrap();
+        assert_eq!(w.nodes.len(), 3);
+        assert!(w.nodes.iter().all(|n| n.chunk == Some(0)));
     }
 }

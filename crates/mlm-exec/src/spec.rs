@@ -6,7 +6,41 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::drive::{RING_SLOTS, STENCIL_RING_SLOTS};
 use crate::placement::Placement;
+
+/// Which compute family the pipeline runs over its chunks.
+///
+/// The §3 schedule (stage in, compute, stage out over a rotating buffer
+/// ring) is workload-generic; what differs per family is the kernel's
+/// data footprint — and therefore the dependency edges and ring depth the
+/// plan layer emits. `Map` is the paper's merge-benchmark shape (each
+/// chunk is independent); `Stencil` is the first out-of-core family with
+/// *inter-chunk* dependencies (halo reads from both staged neighbours).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Workload {
+    /// Chunk-local kernel: compute on chunk `c` touches only chunk `c`.
+    #[default]
+    Map,
+    /// Out-of-core 2D stencil over a row-partitioned grid: compute on
+    /// chunk `c` also reads `halo_bytes` of boundary rows from each
+    /// adjacent staged chunk (`c - 1` and `c + 1`), so the plan keeps
+    /// separate input and output buffers per slot and a deeper ring.
+    Stencil {
+        /// Bytes of boundary data read from each neighbouring chunk.
+        halo_bytes: u64,
+    },
+}
+
+impl Workload {
+    /// Short family name, used in plan metadata and diagnostics.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Workload::Map => "map",
+            Workload::Stencil { .. } => "stencil",
+        }
+    }
+}
 
 /// Full description of one chunked execution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -38,6 +72,11 @@ pub struct PipelineSpec {
     /// Simulated DDR base address of the source data (used by cache-mode
     /// accesses).
     pub data_addr: u64,
+    /// Which compute family runs over the chunks. Defaults to [`Workload::Map`]
+    /// (the paper's chunk-local kernels), so serialized specs from before
+    /// the plan-IR refactor deserialize unchanged.
+    #[serde(default)]
+    pub workload: Workload,
 }
 
 impl PipelineSpec {
@@ -62,8 +101,32 @@ impl PipelineSpec {
         self.chunk_bytes.min(self.total_bytes - start)
     }
 
+    /// Buffer-ring depth the schedule rotates over: three slots for
+    /// chunk-local workloads (paper Fig. 2), four for the stencil family
+    /// (compute on chunk `c` reads the staged neighbours `c - 1` and
+    /// `c + 1`, so a slot may only be recycled once *three* computes have
+    /// read it).
+    pub fn ring_slots(&self) -> usize {
+        match self.workload {
+            Workload::Map => RING_SLOTS,
+            Workload::Stencil { .. } => STENCIL_RING_SLOTS,
+        }
+    }
+
+    /// Chunk-sized buffers each ring slot owns: one for chunk-local
+    /// kernels (computed in place), two (input + output) for stencils —
+    /// an in-place stencil would corrupt the boundary rows its
+    /// neighbours' computes still have to read.
+    pub fn buffers_per_slot(&self) -> u64 {
+        match self.workload {
+            Workload::Map => 1,
+            Workload::Stencil { .. } => 2,
+        }
+    }
+
     /// Bytes of chunk-buffer capacity the pipeline keeps resident: the
-    /// rotating ring of `slots` chunk buffers, or nothing for
+    /// rotating ring of `slots` chunk buffers (doubled for workloads with
+    /// separate input/output buffers), or nothing for
     /// [`Placement::Implicit`] (which owns no buffers at all).
     ///
     /// For [`Placement::Hbw`] this is the MCDRAM capacity an admission
@@ -72,7 +135,10 @@ impl PipelineSpec {
     pub fn buffer_footprint(&self, slots: usize) -> u64 {
         match self.placement {
             Placement::Implicit => 0,
-            Placement::Hbw | Placement::Ddr => self.chunk_bytes.saturating_mul(slots as u64),
+            Placement::Hbw | Placement::Ddr => self
+                .chunk_bytes
+                .saturating_mul(slots as u64)
+                .saturating_mul(self.buffers_per_slot()),
         }
     }
 
@@ -109,6 +175,22 @@ impl PipelineSpec {
             && self.copy_rate.is_finite())
         {
             return Err("rates must be positive and finite".into());
+        }
+        if let Workload::Stencil { halo_bytes } = self.workload {
+            if self.placement == Placement::Implicit {
+                return Err(
+                    "stencil workloads need explicit staging: implicit cache mode has no \
+                     halo buffers to exchange through"
+                        .into(),
+                );
+            }
+            if halo_bytes >= self.chunk_bytes {
+                return Err(format!(
+                    "stencil halo of {halo_bytes} bytes must be smaller than the \
+                     {}-byte chunk (wider halos reach past the adjacent chunk)",
+                    self.chunk_bytes
+                ));
+            }
         }
         Ok(())
     }
@@ -159,7 +241,14 @@ mod tests {
             placement: Placement::Hbw,
             lockstep: true,
             data_addr: 0,
+            workload: Workload::Map,
         }
+    }
+
+    fn stencil_spec(halo_bytes: u64) -> PipelineSpec {
+        let mut s = spec();
+        s.workload = Workload::Stencil { halo_bytes };
+        s
     }
 
     #[test]
@@ -268,5 +357,50 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: PipelineSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+
+        let s = stencil_spec(8);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: PipelineSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn specs_without_a_workload_field_deserialize_as_map() {
+        // Serialized specs predating the plan-IR refactor carry no
+        // `workload` key; they must keep meaning chunk-local kernels.
+        let json = serde_json::to_string(&spec()).unwrap();
+        let stripped = json.replace(",\"workload\":\"Map\"", "");
+        assert_ne!(json, stripped, "test must actually strip the field");
+        let back: PipelineSpec = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, spec());
+    }
+
+    #[test]
+    fn stencil_geometry_deepens_the_ring_and_doubles_the_buffers() {
+        let s = spec();
+        assert_eq!(s.ring_slots(), 3);
+        assert_eq!(s.buffers_per_slot(), 1);
+        let t = stencil_spec(8);
+        assert_eq!(t.ring_slots(), 4);
+        assert_eq!(t.buffers_per_slot(), 2);
+        // 4 slots x 2 buffers x 30-byte chunks.
+        assert_eq!(t.buffer_footprint(t.ring_slots()), 240);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn stencil_validation_rejects_infeasible_shapes() {
+        // Implicit cache mode has no staging buffers to exchange halos in.
+        let mut s = stencil_spec(8);
+        s.placement = Placement::Implicit;
+        s.p_in = 0;
+        s.p_out = 0;
+        assert!(s.validate().unwrap_err().contains("explicit staging"));
+
+        // A halo as wide as the chunk would reach past the adjacent chunk.
+        let s = stencil_spec(30);
+        assert!(s.validate().is_err());
+        let s = stencil_spec(29);
+        assert!(s.validate().is_ok());
     }
 }

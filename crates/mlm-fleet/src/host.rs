@@ -431,6 +431,7 @@ mod tests {
     use super::*;
     use crate::config::{FleetConfig, PlacementPolicy};
     use knl_sim::machine::{MachineConfig, MemMode};
+    use mlm_core::Workload;
 
     const MIB: u64 = 1 << 20;
 
@@ -453,6 +454,7 @@ mod tests {
             placement: Placement::Hbw,
             lockstep: false,
             data_addr: 0,
+            workload: Workload::Map,
         }
     }
 

@@ -151,7 +151,7 @@ mod tests {
         // admission, so its headroom still looks open), node 0 admits one
         // at a time, and nodes 1..3 sit idle. Stealing lets them lift the
         // queued jobs over the interconnect; queue wait collapses.
-        use mlm_core::{PipelineSpec, Placement};
+        use mlm_core::{PipelineSpec, Placement, Workload};
         use mlm_serve::{DeadlineClass, JobRequest};
         let spec = PipelineSpec {
             total_bytes: 32 * GIB,
@@ -165,6 +165,7 @@ mod tests {
             placement: Placement::Hbw,
             lockstep: false,
             data_addr: 0,
+            workload: Workload::Map,
         };
         let jobs: Vec<FleetJob> = (0..8)
             .map(|i| FleetJob {

@@ -104,6 +104,7 @@ pub fn place<V: PlacementView>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mlm_core::Workload;
 
     struct Fake {
         headroom: u64,
@@ -151,6 +152,7 @@ mod tests {
             placement: Placement::Hbw,
             lockstep: false,
             data_addr: 0,
+            workload: Workload::Map,
         }
     }
 

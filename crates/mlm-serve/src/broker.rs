@@ -209,6 +209,7 @@ mod tests {
     use super::*;
     use knl_sim::machine::MemMode;
     use knl_sim::GIB;
+    use mlm_core::Workload;
 
     fn machine() -> MachineConfig {
         MachineConfig::knl_7250(MemMode::Flat)
@@ -227,6 +228,7 @@ mod tests {
             placement,
             lockstep: false,
             data_addr: 0,
+            workload: Workload::Map,
         }
     }
 

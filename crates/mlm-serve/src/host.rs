@@ -231,6 +231,7 @@ pub fn serve_host(
 mod tests {
     use super::*;
     use knl_sim::machine::MemMode;
+    use mlm_core::Workload;
 
     const MIB: u64 = 1 << 20;
 
@@ -253,6 +254,7 @@ mod tests {
             placement: Placement::Hbw,
             lockstep: false,
             data_addr: 0,
+            workload: Workload::Map,
         }
     }
 

@@ -135,7 +135,7 @@ pub struct Rejection {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mlm_core::Placement;
+    use mlm_core::{Placement, Workload};
 
     fn spec() -> PipelineSpec {
         PipelineSpec {
@@ -150,6 +150,7 @@ mod tests {
             placement: Placement::Hbw,
             lockstep: false,
             data_addr: 0,
+            workload: Workload::Map,
         }
     }
 

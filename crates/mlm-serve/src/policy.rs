@@ -175,6 +175,7 @@ pub fn predicted_makespan(spec: &PipelineSpec, machine: &MachineConfig) -> f64 {
 mod tests {
     use super::*;
     use knl_sim::{MachineConfig, MemMode, GIB};
+    use mlm_core::Workload;
 
     fn machine() -> MachineConfig {
         MachineConfig::knl_7250(MemMode::Flat)
@@ -193,6 +194,7 @@ mod tests {
             placement: Placement::Hbw,
             lockstep: false,
             data_addr: 0,
+            workload: Workload::Map,
         }
     }
 

@@ -179,7 +179,7 @@ mod tests {
     use knl_sim::machine::MemMode;
     use knl_sim::MemLevel;
     use knl_sim::GIB;
-    use mlm_core::{PipelineSpec, Placement};
+    use mlm_core::{PipelineSpec, Placement, Workload};
 
     fn machine() -> MachineConfig {
         MachineConfig::knl_7250(MemMode::Flat)
@@ -198,6 +198,7 @@ mod tests {
             placement: Placement::Hbw,
             lockstep: false,
             data_addr: 0,
+            workload: Workload::Map,
         }
     }
 

@@ -121,7 +121,7 @@ mod tests {
     use super::*;
     use knl_sim::machine::MemMode;
     use knl_sim::GIB;
-    use mlm_core::Placement;
+    use mlm_core::{Placement, Workload};
 
     fn machine() -> MachineConfig {
         MachineConfig::knl_7250(MemMode::Flat)
@@ -140,6 +140,7 @@ mod tests {
             placement: Placement::Hbw,
             lockstep: false,
             data_addr: 0,
+            workload: Workload::Map,
         }
     }
 

@@ -12,7 +12,7 @@
 use knl_sim::machine::MachineConfig;
 use knl_sim::GIB;
 use mlm_core::workload::SplitMix64;
-use mlm_core::{ModelParams, PipelineSpec, Placement};
+use mlm_core::{ModelParams, PipelineSpec, Placement, Workload};
 
 use crate::job::{DeadlineClass, JobRequest};
 
@@ -131,6 +131,7 @@ pub fn heavy_tailed_trace(cfg: &TraceConfig) -> Vec<JobRequest> {
             placement: Placement::Hbw,
             lockstep: false,
             data_addr: 0,
+            workload: Workload::Map,
         };
         out.push(JobRequest::new(id, t, class, spec));
     }

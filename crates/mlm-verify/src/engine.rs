@@ -91,7 +91,7 @@ pub fn run_checked(target: &VerifyTarget<'_>) -> Result<(SimReport, LintReport),
 mod tests {
     use super::*;
     use knl_sim::machine::{MachineConfig, MemMode};
-    use mlm_core::pipeline::{PipelineSpec, Placement};
+    use mlm_core::pipeline::{PipelineSpec, Placement, Workload};
 
     fn spec() -> PipelineSpec {
         PipelineSpec {
@@ -106,6 +106,7 @@ mod tests {
             placement: Placement::Hbw,
             lockstep: false,
             data_addr: 0,
+            workload: Workload::Map,
         }
     }
 

@@ -24,7 +24,7 @@
 use knl_sim::machine::{MachineConfig, MemMode};
 use knl_sim::GIB;
 use mlm_core::pipeline::host::KernelCtx;
-use mlm_core::{PipelineSpec, Placement};
+use mlm_core::{PipelineSpec, Placement, Workload};
 use mlm_fleet::{
     decision_digest, fleet_serve, fleet_serve_host, fleet_trace, Decision, FleetConfig,
     FleetHostConfig, FleetHostJob, FleetJob, FleetTraceConfig, PlacementPolicy,
@@ -134,6 +134,7 @@ fn demo_spec(total: u64, chunk: u64) -> PipelineSpec {
         placement: Placement::Hbw,
         lockstep: false,
         data_addr: 0,
+        workload: Workload::Map,
     }
 }
 

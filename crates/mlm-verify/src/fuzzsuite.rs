@@ -9,10 +9,11 @@
 //! * [`run_fuzz_corpus`] sweeps the default corpus (every placement and
 //!   schedule mode, [`Construction::Correct`], no faults) over N seeds per
 //!   case — any finding is a real orchestrator bug and fails CI;
-//! * [`regression_seeds`] are the four committed must-fail seeds, each
-//!   mirroring one of the model checker's regression models at the
-//!   `drive()` level. Each carries the seed that found it and the shrunk
-//!   decision trace ([`FuzzRegression::shrunk`], all ≤ 20 decisions);
+//! * [`regression_seeds`] are the five committed must-fail seeds: one
+//!   per model-checker regression model mirrored at the `drive()` level,
+//!   plus the stencil family's dropped-halo-edge class. Each carries the
+//!   seed that found it and the shrunk decision trace
+//!   ([`FuzzRegression::shrunk`], all ≤ 20 decisions);
 //!   [`run_fuzz_regressions`] asserts that the buggy construction still
 //!   reproduces the violation *and* that the identical trace runs clean
 //!   under [`Construction::Correct`] — if either stops being true, the
@@ -23,8 +24,8 @@
 //! see EXPERIMENTS.md for reproducing one from scratch.
 
 use mlm_exec::fuzz::{
-    corpus_spec, default_corpus, fuzz_case, replay, Construction, FaultPlan, Finding, FuzzCase,
-    Outcome, Violation,
+    corpus_spec, corpus_stencil_spec, default_corpus, fuzz_case, replay, Construction, FaultPlan,
+    Finding, FuzzCase, Outcome, Violation,
 };
 use mlm_exec::{Placement, Stage};
 
@@ -69,10 +70,12 @@ impl FuzzRegressionRun {
     }
 }
 
-/// The four committed must-fail seeds, mirroring the model checker's
-/// regression battery at the `drive()` schedule level. Seeds and traces
-/// were found by `fuzz_exec` and shrunk; they are data, not code — if a
-/// schedule change invalidates one, re-run
+/// The five committed must-fail seeds: the model checker's regression
+/// battery mirrored at the `drive()` schedule level, plus the stencil
+/// family's dropped-halo-edge class (which has no model-checker
+/// counterpart — the halo edges exist only in the generic plan IR).
+/// Seeds and traces were found by `fuzz_exec` and shrunk; they are data,
+/// not code — if a schedule change invalidates one, re-run
 /// `fuzz_exec --construction <name>` and commit the new trace.
 pub fn regression_seeds() -> Vec<FuzzRegression> {
     let dataflow = || corpus_spec(256, Placement::Hbw, false);
@@ -144,6 +147,24 @@ pub fn regression_seeds() -> Vec<FuzzRegression> {
             shrunk: vec![0, 0, 1, 1, 1, 2],
             expect_kind: "slot-clash",
         },
+        // DropHaloDep: the stencil compute no longer waits for its right
+        // neighbour's stage-in; the adversarial schedule runs it first
+        // and the kernel folds a missing halo into the output. Lockstep
+        // stencils are immune (barriers order every step), so the
+        // committed case is dataflow.
+        FuzzRegression {
+            name: "fuzz-regression: dropped halo edge folds stale neighbour data",
+            mirrors: "stencil halo exchange — no model-checker counterpart",
+            case: FuzzCase {
+                name: "stencil-dataflow-4".into(),
+                spec: corpus_stencil_spec(256, false),
+                construction: Construction::DropHaloDep,
+                faults: FaultPlan::NONE,
+            },
+            seed: 0,
+            shrunk: vec![0, 0, 3],
+            expect_kind: "wrong-output",
+        },
     ]
 }
 
@@ -195,7 +216,8 @@ pub fn fuzz_catalog() -> Vec<String> {
 }
 
 /// Sanity anchor for the suite: the regression battery must reference
-/// all four construction classes and both schedule modes.
+/// all five construction classes, both schedule modes, and both workload
+/// families.
 pub fn regression_coverage_is_complete() -> bool {
     let regs = regression_seeds();
     let classes: std::collections::BTreeSet<&str> =
@@ -203,7 +225,10 @@ pub fn regression_coverage_is_complete() -> bool {
     let has_lockstep = regs.iter().any(|r| r.case.spec.lockstep);
     let has_dataflow = regs.iter().any(|r| !r.case.spec.lockstep);
     let has_fault = regs.iter().any(|r| r.case.faults.kernel_panic.is_some());
-    classes.len() == 4 && has_lockstep && has_dataflow && has_fault && {
+    let has_stencil = regs
+        .iter()
+        .any(|r| matches!(r.case.spec.workload, mlm_exec::Workload::Stencil { .. }));
+    classes.len() == 5 && has_lockstep && has_dataflow && has_fault && has_stencil && {
         // Keep the Stage type in the public signature space honest: the
         // fault taxonomy addresses actions by (stage, chunk).
         let _ = Stage::Compute;
@@ -231,7 +256,7 @@ mod tests {
     }
 
     #[test]
-    fn regression_battery_covers_all_four_classes() {
+    fn regression_battery_covers_all_five_classes() {
         assert!(regression_coverage_is_complete());
     }
 

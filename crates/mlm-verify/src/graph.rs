@@ -7,20 +7,21 @@
 //! committed experiment-spec catalog every CI run re-proves, and packages
 //! the whole thing as a suite (`mlm-verify graph`):
 //!
-//! * every case of the fuzz corpus (all placements and schedule modes,
-//!   five geometries) must prove race-free, deadlock-free, and within the
-//!   slot/MCDRAM bounds **statically** — over every linearization, not a
-//!   seed sample;
+//! * every case of the fuzz corpus (all placements and schedule modes of
+//!   both workload families, five geometries) must prove race-free,
+//!   deadlock-free, and within the slot/MCDRAM bounds **statically** —
+//!   over every linearization, not a seed sample;
 //! * every committed experiment spec (the paper pipelines, the host
-//!   ablation shape, the largest serve-trace batch) must prove the same
-//!   against the paper machine's addressable MCDRAM;
-//! * the four buggy [`Construction`]s the fuzzer finds dynamically must
+//!   ablation shape, the largest serve-trace batch, the out-of-core
+//!   stencil) must prove the same against the paper machine's
+//!   addressable MCDRAM;
+//! * the five buggy [`Construction`]s the fuzzer finds dynamically must
 //!   each be flagged by a G-diagnostic with a counterexample trace, *no
 //!   fuzz seeds involved* — the analyzer subsumes the sampled findings.
 
 use knl_sim::machine::MachineConfig;
-use mlm_core::pipeline::{PipelineSpec, Placement};
-use mlm_exec::fuzz::{corpus_spec, default_corpus, Construction};
+use mlm_core::pipeline::{PipelineSpec, Placement, Workload};
+use mlm_exec::fuzz::{corpus_spec, corpus_stencil_spec, default_corpus, Construction};
 use mlm_exec::graph::{
     analyze, record_graph, AnalysisConfig, GraphCheck, GraphFinding, GraphReport,
 };
@@ -105,6 +106,7 @@ pub fn committed_specs() -> Vec<(&'static str, PipelineSpec)> {
         placement: Placement::Hbw,
         lockstep,
         data_addr: 0,
+        workload: Workload::Map,
     };
     let mut dataflow = paper_spec();
     dataflow.lockstep = false;
@@ -113,6 +115,16 @@ pub fn committed_specs() -> Vec<(&'static str, PipelineSpec)> {
     let mut serve_elephant = paper_spec();
     serve_elephant.total_bytes = 256 << 30;
     serve_elephant.chunk_bytes = 2 << 30;
+    // The out-of-core stencil study shape: 64 GiB through 1 GiB chunks on
+    // the four-slot split-buffer ring (8 GiB peak HBW — half the paper
+    // machine's MCDRAM goes to staged halos).
+    let mut stencil = paper_spec();
+    stencil.total_bytes = 64 << 30;
+    stencil.chunk_bytes = 1 << 30;
+    stencil.lockstep = false;
+    stencil.workload = Workload::Stencil {
+        halo_bytes: 16 << 20,
+    };
     vec![
         ("paper-lockstep", paper_spec()),
         ("paper-dataflow", dataflow),
@@ -120,6 +132,7 @@ pub fn committed_specs() -> Vec<(&'static str, PipelineSpec)> {
         ("host-ablation-lockstep", ablation(true)),
         ("host-ablation-dataflow", ablation(false)),
         ("serve-batch-elephant", serve_elephant),
+        ("stencil-out-of-core", stencil),
     ]
 }
 
@@ -169,9 +182,10 @@ impl GraphCase {
 
 /// Build and run the full graph-verification suite:
 ///
-/// 1. all 25 fuzz-corpus cases, proven safe against the paper machine;
+/// 1. all 35 fuzz-corpus cases (both workload families), proven safe
+///    against the paper machine;
 /// 2. every committed experiment spec, proven safe;
-/// 3. the four buggy constructions analysed under their discipline
+/// 3. the five buggy constructions analysed under their discipline
 ///    weakening — each must be flagged statically with a trace.
 pub fn run_graph_suite() -> Vec<GraphCase> {
     let machine = paper_machine();
@@ -193,7 +207,7 @@ pub fn run_graph_suite() -> Vec<GraphCase> {
         });
     }
 
-    // The four must-fail constructions, mirrored from the fuzz
+    // The five must-fail constructions, mirrored from the fuzz
     // regression battery ([`crate::fuzzsuite::regression_seeds`]) — but
     // proven statically: the discipline weakening is applied to the
     // recorded graph and the analyzer must produce the finding with no
@@ -201,6 +215,7 @@ pub fn run_graph_suite() -> Vec<GraphCase> {
     struct MustFail {
         name: &'static str,
         lockstep: bool,
+        stencil: bool,
         construction: Construction,
         kernel_panic: Option<usize>,
         expect: &'static [&'static str],
@@ -209,6 +224,7 @@ pub fn run_graph_suite() -> Vec<GraphCase> {
         MustFail {
             name: "drop-recycle-dep",
             lockstep: false,
+            stencil: false,
             construction: Construction::DropRecycleDep,
             kernel_panic: None,
             expect: &["G001", "G004"],
@@ -216,6 +232,7 @@ pub fn run_graph_suite() -> Vec<GraphCase> {
         MustFail {
             name: "poison-skip-lock",
             lockstep: false,
+            stencil: false,
             construction: Construction::PoisonSkipLock,
             kernel_panic: Some(1),
             expect: &["G001"],
@@ -223,6 +240,7 @@ pub fn run_graph_suite() -> Vec<GraphCase> {
         MustFail {
             name: "notify-one",
             lockstep: true,
+            stencil: false,
             construction: Construction::NotifyOne,
             kernel_panic: None,
             expect: &["G002"],
@@ -230,15 +248,29 @@ pub fn run_graph_suite() -> Vec<GraphCase> {
         MustFail {
             name: "no-recheck",
             lockstep: true,
+            stencil: false,
             construction: Construction::NoRecheck,
+            kernel_panic: None,
+            expect: &["G001"],
+        },
+        MustFail {
+            name: "drop-halo-dep",
+            lockstep: false,
+            stencil: true,
+            construction: Construction::DropHaloDep,
             kernel_panic: None,
             expect: &["G001"],
         },
     ];
     for mf in must_fail {
-        let spec = corpus_spec(256, Placement::Hbw, mf.lockstep);
+        let spec = if mf.stencil {
+            corpus_stencil_spec(256, mf.lockstep)
+        } else {
+            corpus_spec(256, Placement::Hbw, mf.lockstep)
+        };
         let report = record_graph(&spec).map(|g| {
             let cfg = AnalysisConfig {
+                ring_slots: spec.ring_slots(),
                 discipline: mf.construction.discipline(),
                 kernel_panic: mf.kernel_panic,
                 ..AnalysisConfig::default()
@@ -289,11 +321,11 @@ mod tests {
             .filter(|c| c.name.starts_with("construction/"))
             .count();
         assert_eq!(
-            corpus, 25,
-            "hbw/ddr x lockstep/dataflow + implicit, 5 geometries"
+            corpus, 35,
+            "hbw/ddr x lockstep/dataflow + implicit + stencil modes, 5 geometries"
         );
         assert_eq!(specs, committed_specs().len());
-        assert_eq!(constructions, 4);
+        assert_eq!(constructions, 5);
     }
 
     #[test]

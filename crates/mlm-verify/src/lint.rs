@@ -977,6 +977,7 @@ impl Lint for FleetPlacementFeasibility {
 mod tests {
     use super::*;
     use knl_sim::machine::MemMode;
+    use mlm_core::pipeline::Workload;
 
     fn knl() -> MachineConfig {
         MachineConfig::knl_7250(MemMode::Flat)
@@ -995,6 +996,7 @@ mod tests {
             placement: Placement::Hbw,
             lockstep: true,
             data_addr: 0,
+            workload: Workload::Map,
         }
     }
 

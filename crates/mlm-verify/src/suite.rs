@@ -11,7 +11,7 @@
 //! must not use) still fails.
 
 use knl_sim::machine::{MachineConfig, MemMode};
-use mlm_core::pipeline::{PipelineSpec, Placement};
+use mlm_core::pipeline::{PipelineSpec, Placement, Workload};
 
 use crate::check::{check, CheckOptions, Model};
 use crate::diag::LintReport;
@@ -36,6 +36,7 @@ pub fn paper_spec() -> PipelineSpec {
         placement: Placement::Hbw,
         lockstep: true,
         data_addr: 0,
+        workload: Workload::Map,
     }
 }
 

@@ -13,7 +13,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use knl_sim::machine::{MachineConfig, MemMode};
 use knl_sim::Simulator;
 use mlm_core::pipeline::host::run_host_pipeline;
-use mlm_core::pipeline::{sim::build_program, PipelineSpec, Placement};
+use mlm_core::pipeline::{sim::build_program, PipelineSpec, Placement, Workload};
 use mlm_verify::check::{check, CheckOptions};
 use mlm_verify::lint::{lint_target, VerifyTarget};
 use mlm_verify::models::psrs::PsrsModel;
@@ -54,6 +54,7 @@ fn arb_spec() -> impl Strategy<Value = PipelineSpec> {
                 placement: Placement::Hbw,
                 lockstep,
                 data_addr: 0,
+                workload: Workload::Map,
             },
         )
 }

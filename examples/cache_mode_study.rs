@@ -6,7 +6,7 @@
 
 use knl_sim::machine::{MachineConfig, MemMode};
 use knl_sim::{MemLevel, Simulator};
-use mlm_core::pipeline::{sim::build_program, PipelineSpec, Placement};
+use mlm_core::pipeline::{sim::build_program, PipelineSpec, Placement, Workload};
 use mlm_memkind::{Kind, MemKind};
 
 fn spec(placement: Placement, p_copy: usize) -> PipelineSpec {
@@ -22,6 +22,7 @@ fn spec(placement: Placement, p_copy: usize) -> PipelineSpec {
         placement,
         lockstep: true,
         data_addr: 0,
+        workload: Workload::Map,
     }
 }
 

@@ -6,7 +6,7 @@
 
 use knl_sim::machine::{MachineConfig, MemMode};
 use knl_sim::Simulator;
-use mlm_core::pipeline::{sim::build_program, PipelineSpec, Placement};
+use mlm_core::pipeline::{sim::build_program, PipelineSpec, Placement, Workload};
 
 fn main() {
     // A small pipeline so each thread's row is legible: 2 copy-in, 2
@@ -23,6 +23,7 @@ fn main() {
         placement: Placement::Hbw,
         lockstep: true,
         data_addr: 0,
+        workload: Workload::Map,
     };
     let machine = MachineConfig::knl_7250(MemMode::Flat);
     let prog = build_program(&spec).unwrap();

@@ -13,7 +13,7 @@
 use knl_sim::machine::{MachineConfig, MemMode};
 use knl_sim::GIB;
 use mlm_core::ModelParams;
-use mlm_exec::{PipelineSpec, Placement};
+use mlm_exec::{PipelineSpec, Placement, Workload};
 use mlm_serve::{serve, DeadlineClass, JobRequest, Policy, ServeConfig};
 
 /// A chunked MLM-sort job: two compute passes over an MCDRAM buffer ring,
@@ -41,6 +41,7 @@ fn sort_spec(machine: &MachineConfig, total: u64, chunk: u64) -> PipelineSpec {
         placement: Placement::Hbw,
         lockstep: false,
         data_addr: 0,
+        workload: Workload::Map,
     }
 }
 

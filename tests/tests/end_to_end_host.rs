@@ -3,7 +3,7 @@
 
 use knl_sim::machine::{MachineConfig, MemMode};
 use mlm_core::merge_bench::merge_kernel;
-use mlm_core::pipeline::{host::run_host_pipeline, PipelineSpec, Placement};
+use mlm_core::pipeline::{host::run_host_pipeline, PipelineSpec, Placement, Workload};
 use mlm_core::sort::host::{basic_chunked_sort, mlm_sort, run_host_sort};
 use mlm_core::workload::{generate_keys, InputOrder};
 use mlm_core::SortAlgorithm;
@@ -61,6 +61,7 @@ fn pipeline_with_merge_kernel_preserves_data() {
         placement: Placement::Hbw,
         lockstep: true,
         data_addr: 0,
+        workload: Workload::Map,
     };
     let mut out = vec![0i64; n];
     let stats = run_host_pipeline(&pool, &spec, &data, &mut out, |slice, _| {
@@ -92,6 +93,7 @@ fn sorting_kernel_inside_pipeline_sorts_each_slice() {
         placement: Placement::Hbw,
         lockstep: true,
         data_addr: 0,
+        workload: Workload::Map,
     };
     let mut out = vec![0i64; n];
     run_host_pipeline(&pool, &spec, &data, &mut out, |slice, _| {
@@ -149,6 +151,7 @@ fn host_and_sim_agree_on_structure() {
         placement: Placement::Hbw,
         lockstep: true,
         data_addr: 0,
+        workload: Workload::Map,
     };
     let pool = WorkPool::new(4);
     let data = generate_keys(100_000, InputOrder::Random, 3);

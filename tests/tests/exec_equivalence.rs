@@ -14,10 +14,11 @@
 
 use proptest::prelude::*;
 
-use mlm_core::pipeline::host::run_host_pipeline;
+use mlm_core::pipeline::host::{run_host_pipeline, run_host_stencil, StencilView};
 use mlm_core::pipeline::sim::SimBackend;
 use mlm_exec::{
-    drive, Event, NullBackend, PipelineSpec, Placement, RecordingBackend, Stage, RING_SLOTS,
+    drive, Event, NullBackend, PipelineSpec, Placement, RecordingBackend, Stage, Workload,
+    RING_SLOTS,
 };
 use parsort::pool::WorkPool;
 
@@ -45,6 +46,7 @@ fn spec_for(
         placement: Placement::Hbw,
         lockstep,
         data_addr: 0,
+        workload: Workload::Map,
     }
 }
 
@@ -64,6 +66,53 @@ fn reference(data: &[i64]) -> Vec<i64> {
     data.iter()
         .enumerate()
         .map(|(i, v)| v.wrapping_mul(31).wrapping_add(i as i64))
+        .collect()
+}
+
+/// The stencil analogue of [`kernel`]: a 3-point stencil at halo
+/// distance `h` with zero boundary, expressed against the staged
+/// [`StencilView`] — so a stale or missing halo changes the output.
+fn stencil_kernel(
+    chunk_elems: usize,
+    h: usize,
+) -> impl Fn(StencilView<'_, i64>, &mut [i64], mlm_core::pipeline::host::KernelCtx) {
+    move |view, out, ctx| {
+        let l0 = ctx.global_offset - ctx.chunk * chunk_elems;
+        for (i, o) in out.iter_mut().enumerate() {
+            let l = l0 + i;
+            let left = if l >= h {
+                view.mid[l - h]
+            } else if view.left.is_empty() {
+                0
+            } else {
+                view.left[l]
+            };
+            let j = l + h;
+            let right = if j < view.mid.len() {
+                view.mid[j]
+            } else {
+                view.right.get(j - view.mid.len()).copied().unwrap_or(0)
+            };
+            *o = view.mid[l]
+                .wrapping_mul(31)
+                .wrapping_sub(left)
+                .wrapping_add(right.wrapping_mul(7));
+        }
+    }
+}
+
+/// What the stencil pipeline must compute, derived element-by-element
+/// from the flat grid (no chunking involved).
+fn stencil_reference(data: &[i64], h: usize) -> Vec<i64> {
+    (0..data.len())
+        .map(|g| {
+            let l = if g >= h { data[g - h] } else { 0 };
+            let r = data.get(g + h).copied().unwrap_or(0);
+            data[g]
+                .wrapping_mul(31)
+                .wrapping_sub(l)
+                .wrapping_add(r.wrapping_mul(7))
+        })
         .collect()
 }
 
@@ -236,6 +285,74 @@ proptest! {
                 };
                 prop_assert_eq!(deps, &expect, "event {} has wrong deps", idx);
             }
+        }
+    }
+
+    /// (1, stencil) Lockstep and dataflow stencil runs are bit-identical
+    /// and both match the flat-grid reference — halo bytes staged through
+    /// the split-buffer ring equal the neighbours' own input everywhere,
+    /// including across ragged tails shorter than the halo.
+    #[test]
+    fn stencil_host_runs_are_bit_identical_across_schedules(
+        chunk_elems in 2usize..48,
+        n_full in 1usize..6,
+        tail in 0usize..48,
+        h_frac in 1usize..48,
+        p_in in 1usize..3,
+        p_out in 1usize..3,
+        p_comp in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let tail = tail % chunk_elems;
+        let h = 1 + h_frac % (chunk_elems - 1).max(1); // 1 <= h < chunk_elems
+        let total = n_full * chunk_elems + tail;
+        let data: Vec<i64> = (0..total)
+            .map(|i| (seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) as i64)
+            .collect();
+        let pool = WorkPool::new(p_in.max(p_out).max(p_comp));
+
+        let mut lock = spec_for(total, chunk_elems, p_in, p_out, p_comp, true);
+        lock.workload = Workload::Stencil { halo_bytes: (h * ELEM) as u64 };
+        let flow = PipelineSpec { lockstep: false, ..lock.clone() };
+
+        let mut out_lock = vec![0i64; total];
+        let mut out_flow = vec![0i64; total];
+        let s_lock = run_host_stencil(&pool, &lock, &data, &mut out_lock, stencil_kernel(chunk_elems, h));
+        let s_flow = run_host_stencil(&pool, &flow, &data, &mut out_flow, stencil_kernel(chunk_elems, h));
+
+        prop_assert_eq!(&out_lock, &out_flow, "schedules must not change results");
+        prop_assert_eq!(&out_lock, &stencil_reference(&data, h));
+        prop_assert_eq!(s_lock.chunks, s_flow.chunks);
+        prop_assert_eq!(s_lock.chunks, total.div_ceil(chunk_elems));
+    }
+
+    /// (2, stencil) The recorded stencil schedule is backend-independent:
+    /// the trace the sim lowering is driven with equals the null-backend
+    /// trace, and per-chunk action accounting holds on the deeper ring.
+    #[test]
+    fn stencil_trace_matches_sim_lowering_of_the_same_spec(
+        chunk_elems in 2usize..48,
+        n_full in 1usize..6,
+        tail in 0usize..48,
+        h_frac in 1usize..48,
+        p_comp in 1usize..4,
+        lockstep in any::<bool>(),
+    ) {
+        let tail = tail % chunk_elems;
+        let h = 1 + h_frac % (chunk_elems - 1).max(1);
+        let total = n_full * chunk_elems + tail;
+        let mut spec = spec_for(total, chunk_elems, 1, 1, p_comp, lockstep);
+        spec.workload = Workload::Stencil { halo_bytes: (h * ELEM) as u64 };
+
+        let null = null_trace(&spec);
+        let sim = sim_trace(&spec);
+        prop_assert_eq!(&null, &sim, "sim must be lowered from the identical schedule");
+
+        let n = spec.n_chunks();
+        for stage in [Stage::CopyIn, Stage::Compute, Stage::CopyOut] {
+            let mut chunks = stage_order(&null, stage);
+            chunks.sort_unstable();
+            prop_assert_eq!(chunks, (0..n).collect::<Vec<_>>());
         }
     }
 }

@@ -14,7 +14,7 @@ use mlm_core::pipeline::fault::{arm_compute_panic, disarm};
 use mlm_core::pipeline::host::{
     run_host_pipeline, run_host_pipeline_dataflow, HostStagePools, KernelCtx,
 };
-use mlm_core::pipeline::{PipelineSpec, Placement};
+use mlm_core::pipeline::{PipelineSpec, Placement, Workload};
 use parsort::pool::WorkPool;
 
 /// The hook is a process-global; tests touching it must not interleave.
@@ -33,6 +33,7 @@ fn spec(placement: Placement, lockstep: bool) -> PipelineSpec {
         placement,
         lockstep,
         data_addr: 0,
+        workload: Workload::Map,
     }
 }
 

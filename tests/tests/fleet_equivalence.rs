@@ -6,7 +6,7 @@
 use knl_sim::machine::{MachineConfig, MemMode};
 use knl_sim::{MemLevel, GIB};
 use mlm_core::pipeline::host::KernelCtx;
-use mlm_core::{PipelineSpec, Placement};
+use mlm_core::{PipelineSpec, Placement, Workload};
 use mlm_fleet::{
     admission_sequence, decision_digest, fleet_serve, fleet_serve_host, fleet_trace,
     placement_sequence, Decision, FleetConfig, FleetHostConfig, FleetHostJob, FleetJob,
@@ -166,6 +166,7 @@ fn demo_spec(total: u64, chunk: u64) -> PipelineSpec {
         placement: Placement::Hbw,
         lockstep: false,
         data_addr: 0,
+        workload: Workload::Map,
     }
 }
 

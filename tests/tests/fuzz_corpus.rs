@@ -15,22 +15,34 @@ use mlm_exec::Placement;
 use mlm_verify::fuzzsuite::{regression_seeds, run_fuzz_regressions};
 use proptest::prelude::*;
 
-/// 100 seeds x 25 corpus cases = 2500 adversarial schedules. Any finding
-/// on the correct construction is a real orchestrator bug.
+/// 100 seeds x 25 map-family cases plus 250 seeds x 10 stencil cases =
+/// 5000 adversarial schedules, at least 2500 of them over halo-edge
+/// geometries (incl. the ragged tail). Any finding on the correct
+/// construction is a real orchestrator bug.
 #[test]
 fn corpus_sweep_finds_nothing_on_the_correct_construction() {
     let corpus = default_corpus();
     let mut schedules = 0u64;
+    let mut stencil_schedules = 0u64;
     for case in &corpus {
-        for seed in 0..100 {
+        let stencil = case.name.starts_with("stencil");
+        let seeds = if stencil { 250 } else { 100 };
+        for seed in 0..seeds {
             let run = fuzz_seed(case, seed).expect("corpus cases are driveable");
             assert_eq!(run.outcome, Outcome::Ok, "{} seed {seed}", case.name);
             schedules += 1;
+            if stencil {
+                stencil_schedules += 1;
+            }
         }
     }
     assert!(
         schedules >= 1000,
         "default run must cover >= 1000 schedules"
+    );
+    assert!(
+        stencil_schedules >= 2500,
+        "stencil sweep must cover >= 2500 halo-edge schedules, got {stencil_schedules}"
     );
 }
 
@@ -40,7 +52,11 @@ fn corpus_sweep_finds_nothing_on_the_correct_construction() {
 #[test]
 fn committed_regression_seeds_reproduce_and_pass_on_main() {
     let runs = run_fuzz_regressions();
-    assert_eq!(runs.len(), 4, "one regression per model-checker bug class");
+    assert_eq!(
+        runs.len(),
+        5,
+        "one regression per model-checker bug class, plus the stencil halo class"
+    );
     for run in runs {
         assert!(run.caught, "{}: violation no longer reproduces", run.name);
         assert!(

@@ -27,10 +27,11 @@ fn fuzz_corpus_is_statically_safe() {
         let report = graph_report_for(&case.spec, &machine).expect("corpus specs are driveable");
         assert!(report.is_safe(), "{}:\n{report}", case.name);
         assert!(
-            report.peak_live_chunks <= mlm_exec::RING_SLOTS,
-            "{}: peak {} chunks",
+            report.peak_live_chunks <= case.spec.ring_slots(),
+            "{}: peak {} chunks on a {}-slot ring",
             case.name,
-            report.peak_live_chunks
+            report.peak_live_chunks,
+            case.spec.ring_slots()
         );
     }
 }
@@ -51,7 +52,10 @@ fn graph_suite_expectations_hold() {
         );
     }
     let must_fail = cases.iter().filter(|c| !c.expect.is_empty()).count();
-    assert_eq!(must_fail, 4, "one static refutation per buggy construction");
+    assert_eq!(
+        must_fail, 5,
+        "one static refutation per buggy construction, incl. the dropped-halo class"
+    );
 }
 
 /// The static verdicts agree with the dynamic ones: for each buggy

@@ -7,7 +7,7 @@ use mlm_core::model::ModelParams;
 use mlm_core::pipeline::host::{
     run_host_pipeline, run_host_pipeline_dataflow, HostStagePools, KernelCtx,
 };
-use mlm_core::pipeline::{PipelineSpec, Placement};
+use mlm_core::pipeline::{PipelineSpec, Placement, Workload};
 use mlm_core::sort::host::mlm_sort;
 use parsort::pool::WorkPool;
 use proptest::prelude::*;
@@ -36,6 +36,7 @@ fn host_spec(n_elems: usize, chunk_elems: usize, p: (usize, usize, usize)) -> Pi
         placement: Placement::Hbw,
         lockstep: true,
         data_addr: 0,
+        workload: Workload::Map,
     }
 }
 
@@ -91,6 +92,7 @@ proptest! {
             placement: Placement::Hbw,
             lockstep: true,
             data_addr: 0,
+            workload: Workload::Map,
         };
         let mut out = vec![0i64; data.len()];
         run_host_pipeline(&pool, &spec, &data, &mut out, |_s, _c| {});

@@ -5,7 +5,7 @@
 use knl_sim::machine::{MachineConfig, MemMode};
 use knl_sim::{Simulator, GIB};
 use mlm_core::pipeline::sim::build_program;
-use mlm_core::{PipelineSpec, Placement};
+use mlm_core::{PipelineSpec, Placement, Workload};
 use mlm_serve::{
     heavy_tailed_trace, profile, replay, serve, AdmitOutcome, CapacityBroker, DeadlineClass,
     JobRequest, Policy, ScheduledJob, ServeConfig, TraceConfig,
@@ -30,6 +30,7 @@ fn spec(total: u64, chunk: u64, passes: u32, placement: Placement) -> PipelineSp
         placement,
         lockstep: false,
         data_addr: 0,
+        workload: Workload::Map,
     }
 }
 

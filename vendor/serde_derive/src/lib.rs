@@ -8,31 +8,71 @@
 //! Supported shapes — exactly what this workspace derives on:
 //! * structs with named fields (no generics);
 //! * enums whose variants are unit or struct-like (externally tagged,
-//!   matching serde's default JSON representation).
+//!   matching serde's default JSON representation);
+//! * the `#[serde(default)]` field attribute: a missing field
+//!   deserializes via `Default::default()` instead of erroring, so specs
+//!   serialized before a field existed keep loading.
 //!
-//! Anything else (tuple structs, tuple variants, generics) panics at
-//! macro-expansion time with a clear message rather than miscompiling.
+//! Anything else (tuple structs, tuple variants, generics, other `serde`
+//! attributes) panics at macro-expansion time with a clear message rather
+//! than miscompiling.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field: its name plus whether `#[serde(default)]` was set.
+struct Field {
+    name: String,
+    default: bool,
+}
 
 /// Parsed item: name plus struct fields or enum variants.
 enum Item {
     Struct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     Enum {
         name: String,
-        variants: Vec<(String, Option<Vec<String>>)>,
+        variants: Vec<(String, Option<Vec<Field>>)>,
     },
 }
 
-/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`) tokens.
-fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+/// `true` if the attribute group tokens spell `serde(default)`.
+fn is_serde_default(group: &TokenTree) -> bool {
+    let TokenTree::Group(g) = group else {
+        return false;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match inner.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(args)] if id.to_string() == "serde" => {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            match args.as_slice() {
+                [TokenTree::Ident(arg)] if arg.to_string() == "default" => true,
+                other => panic!(
+                    "serde derive: only #[serde(default)] is supported, got #[serde({})]",
+                    other
+                        .iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ),
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`) tokens,
+/// reporting whether any skipped attribute was `#[serde(default)]`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut default = false;
     loop {
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 // `#` then `[...]`.
+                if let Some(attr) = tokens.get(i + 1) {
+                    default |= is_serde_default(attr);
+                }
                 i += 2;
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -43,17 +83,18 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
                     }
                 }
             }
-            _ => return i,
+            _ => return (i, default),
         }
     }
 }
 
-/// Parse the named fields of a brace-delimited body into field names.
-fn parse_named_fields(body: &[TokenTree], context: &str) -> Vec<String> {
+/// Parse the named fields of a brace-delimited body.
+fn parse_named_fields(body: &[TokenTree], context: &str) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < body.len() {
-        i = skip_attrs_and_vis(body, i);
+        let (j, default) = skip_attrs_and_vis(body, i);
+        i = j;
         if i >= body.len() {
             break;
         }
@@ -82,7 +123,7 @@ fn parse_named_fields(body: &[TokenTree], context: &str) -> Vec<String> {
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     fields
 }
@@ -90,7 +131,7 @@ fn parse_named_fields(body: &[TokenTree], context: &str) -> Vec<String> {
 /// Parse the derive input item.
 fn parse_item(input: TokenStream) -> Item {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
-    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let (mut i, _) = skip_attrs_and_vis(&tokens, 0);
     let kind = match &tokens[i] {
         TokenTree::Ident(id) => id.to_string(),
         other => panic!("serde derive: expected `struct` or `enum`, got {other}"),
@@ -124,7 +165,8 @@ fn parse_item(input: TokenStream) -> Item {
             let mut variants = Vec::new();
             let mut i = 0;
             while i < body.len() {
-                i = skip_attrs_and_vis(&body, i);
+                let (j, _) = skip_attrs_and_vis(&body, i);
+                i = j;
                 if i >= body.len() {
                     break;
                 }
@@ -164,13 +206,14 @@ fn parse_item(input: TokenStream) -> Item {
 }
 
 /// Derive `Serialize` (vendored serde's Value-tree trait).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let mut out = String::new();
     match parse_item(input) {
         Item::Struct { name, fields } => {
             let mut entries = String::new();
             for f in &fields {
+                let f = &f.name;
                 entries.push_str(&format!(
                     "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
                 ));
@@ -191,9 +234,14 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         "{name}::{vname} => ::serde::value::Value::Str(\"{vname}\".to_string()),"
                     )),
                     Some(fs) => {
-                        let pat = fs.join(", ");
+                        let pat = fs
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let mut entries = String::new();
                         for f in fs {
+                            let f = &f.name;
                             entries.push_str(&format!(
                                 "(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"
                             ));
@@ -221,17 +269,27 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derive `Deserialize` (vendored serde's Value-tree trait).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let mut out = String::new();
     match parse_item(input) {
         Item::Struct { name, fields } => {
             let mut inits = String::new();
             for f in &fields {
-                inits.push_str(&format!(
-                    "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\").ok_or_else(|| \
-                         ::serde::DeError(\"{name}: missing field `{f}`\".to_string()))?)?,"
-                ));
+                let (f, default) = (&f.name, f.default);
+                if default {
+                    inits.push_str(&format!(
+                        "{f}: match v.get(\"{f}\") {{ \
+                             Some(x) => ::serde::Deserialize::from_value(x)?, \
+                             None => ::core::default::Default::default(), \
+                         }},"
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\").ok_or_else(|| \
+                             ::serde::DeError(\"{name}: missing field `{f}`\".to_string()))?)?,"
+                    ));
+                }
             }
             out.push_str(&format!(
                 "impl ::serde::Deserialize for {name} {{\n\
@@ -254,10 +312,20 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     Some(fs) => {
                         let mut inits = String::new();
                         for f in fs {
-                            inits.push_str(&format!(
-                                "{f}: ::serde::Deserialize::from_value(inner.get(\"{f}\").ok_or_else(|| \
-                                     ::serde::DeError(\"{name}::{vname}: missing field `{f}`\".to_string()))?)?,"
-                            ));
+                            let (f, default) = (&f.name, f.default);
+                            if default {
+                                inits.push_str(&format!(
+                                    "{f}: match inner.get(\"{f}\") {{ \
+                                         Some(x) => ::serde::Deserialize::from_value(x)?, \
+                                         None => ::core::default::Default::default(), \
+                                     }},"
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{f}: ::serde::Deserialize::from_value(inner.get(\"{f}\").ok_or_else(|| \
+                                         ::serde::DeError(\"{name}::{vname}: missing field `{f}`\".to_string()))?)?,"
+                                ));
+                            }
                         }
                         tagged_arms.push_str(&format!(
                             "\"{vname}\" => Ok({name}::{vname} {{ {inits} }}),"
