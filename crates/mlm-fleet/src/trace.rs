@@ -164,6 +164,31 @@ mod tests {
     }
 
     #[test]
+    fn stencil_frac_flows_into_every_node_stream() {
+        use mlm_core::Workload;
+        // The fleet template clones the serve-side TraceConfig per node,
+        // so the mixed-workload knob reaches every origin stream.
+        let mut c = cfg(3, 150, 5);
+        c.base.stencil_frac = 0.5;
+        let jobs = fleet_trace(&c);
+        for origin in 0..3 {
+            assert!(
+                jobs.iter().any(|j| j.origin == origin
+                    && matches!(j.req.spec.workload, Workload::Stencil { .. })),
+                "node {origin} drew no stencil jobs"
+            );
+            assert!(
+                jobs.iter()
+                    .any(|j| j.origin == origin && j.req.spec.workload == Workload::Map),
+                "node {origin} drew no map jobs"
+            );
+        }
+        for j in &jobs {
+            j.req.spec.validate().unwrap();
+        }
+    }
+
+    #[test]
     fn trace_is_deterministic_merged_and_skewed() {
         let a = fleet_trace(&cfg(4, 200, 3));
         let b = fleet_trace(&cfg(4, 200, 3));

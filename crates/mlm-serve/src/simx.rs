@@ -12,6 +12,13 @@
 //! A job starting at `t = 0` gets no delay op at all, so a single-job
 //! replay is the *identical* program `build_program` produces — bit-for-bit
 //! equal makespans, which the property tests pin down.
+//!
+//! `build_program` is itself the generic plan-to-program lowering: it
+//! drives the spec's [`WorkloadPlan`](mlm_exec::plan::WorkloadPlan)
+//! through the simulator backend, so nothing here is coupled to any one
+//! workload family. A realized schedule may freely mix map, sort-shaped,
+//! and stencil pipelines; each job's halo traffic and ring depth come
+//! from its own plan.
 
 use knl_sim::machine::MachineConfig;
 use knl_sim::ops::{OpKind, Program};
@@ -144,6 +151,14 @@ mod tests {
         }
     }
 
+    fn stencil_spec(total: u64, passes: u32) -> PipelineSpec {
+        let mut s = spec(total, passes);
+        s.workload = Workload::Stencil {
+            halo_bytes: GIB / 64,
+        };
+        s
+    }
+
     #[test]
     fn single_job_replay_is_bit_identical_to_direct_run() {
         let s = spec(2 * GIB, 2);
@@ -160,6 +175,79 @@ mod tests {
         .unwrap();
         assert_eq!(report.makespan.to_bits(), direct.makespan.to_bits());
         assert_eq!(stats[0].makespan.to_bits(), direct.makespan.to_bits());
+    }
+
+    #[test]
+    fn single_stencil_job_replay_is_bit_identical_to_direct_run() {
+        // Same bit-identity guarantee for the stencil family: the replay
+        // splices whatever program the generic lowering emits, halo
+        // traffic and 4-slot ring included.
+        let s = stencil_spec(2 * GIB, 2);
+        let sim = Simulator::new(machine());
+        let direct = sim.run(&build_program(&s).unwrap()).unwrap();
+        let (stats, report) = replay(
+            &machine(),
+            &[ScheduledJob {
+                id: 1,
+                start: 0.0,
+                spec: s,
+            }],
+        )
+        .unwrap();
+        assert_eq!(report.makespan.to_bits(), direct.makespan.to_bits());
+        assert_eq!(stats[0].makespan.to_bits(), direct.makespan.to_bits());
+    }
+
+    #[test]
+    fn mixed_map_and_stencil_batch_replays() {
+        let jobs = [
+            ScheduledJob {
+                id: 0,
+                start: 0.0,
+                spec: spec(GIB, 2),
+            },
+            ScheduledJob {
+                id: 1,
+                start: 0.25,
+                spec: stencil_spec(GIB, 2),
+            },
+        ];
+        let (stats, report) = replay(&machine(), &jobs).unwrap();
+        assert_eq!(stats.len(), 2);
+        for j in &stats {
+            assert!(j.makespan > 0.0, "job {} did no work", j.id);
+        }
+        let last = stats.iter().map(|j| j.finish).fold(0.0f64, f64::max);
+        assert_eq!(report.makespan.to_bits(), last.to_bits());
+        // The stencil twin reads two halos per interior chunk on top of
+        // the map job's traffic, so alone on the machine it can never be
+        // faster than the map job of identical size, passes, and split.
+        let map_solo = replay(
+            &machine(),
+            &[ScheduledJob {
+                id: 0,
+                start: 0.0,
+                spec: spec(GIB, 2),
+            }],
+        )
+        .unwrap()
+        .0[0]
+            .makespan;
+        let stencil_solo = replay(
+            &machine(),
+            &[ScheduledJob {
+                id: 0,
+                start: 0.0,
+                spec: stencil_spec(GIB, 2),
+            }],
+        )
+        .unwrap()
+        .0[0]
+            .makespan;
+        assert!(
+            stencil_solo >= map_solo,
+            "stencil {stencil_solo} vs map {map_solo}"
+        );
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //! class-stratified mixture whose batch tail is bounded Pareto, and
 //! everything is drawn from a seeded [`SplitMix64`] by inverse transform,
 //! so a `(seed, config)` pair always yields the identical trace.
+//!
+//! With [`TraceConfig::stencil_frac`] above zero, the stream mixes
+//! out-of-core stencil pipelines in with the map jobs — the generic plan
+//! layer means the scheduler and both replay backends take the mixed
+//! batch without caring which family each job belongs to.
 
 use knl_sim::machine::MachineConfig;
 use knl_sim::GIB;
@@ -40,6 +45,14 @@ pub struct TraceConfig {
     pub standard_chunk: u64,
     /// Chunk size of batch jobs.
     pub batch_chunk: u64,
+    /// Fraction of jobs generated as out-of-core stencil pipelines
+    /// instead of map pipelines. At the default `0.0` the generator
+    /// draws *no* extra RNG values, so every `(seed, config)` trace
+    /// produced before the knob existed stays bit-identical.
+    pub stencil_frac: f64,
+    /// Halo width in bytes (per side) of generated stencil jobs,
+    /// clamped below each job's chunk size and 8-byte aligned.
+    pub stencil_halo: u64,
 }
 
 impl TraceConfig {
@@ -57,6 +70,8 @@ impl TraceConfig {
             interactive_chunk: GIB / 4,
             standard_chunk: GIB / 2,
             batch_chunk: 2 * GIB,
+            stencil_frac: 0.0,
+            stencil_halo: GIB / 64,
         }
     }
 }
@@ -94,6 +109,11 @@ fn class_shape(cfg: &TraceConfig, class: DeadlineClass, u: f64) -> (u64, u64, u3
 /// Generate the trace. Job ids are `0..jobs` in arrival order.
 pub fn heavy_tailed_trace(cfg: &TraceConfig) -> Vec<JobRequest> {
     assert!(cfg.arrival_rate > 0.0, "arrival rate must be positive");
+    assert!(
+        (0.0..=1.0).contains(&cfg.stencil_frac),
+        "stencil_frac must be in [0, 1], got {}",
+        cfg.stencil_frac
+    );
     let mut rng = SplitMix64::new(cfg.seed);
     let mut t = 0.0f64;
     let mut out = Vec::with_capacity(cfg.jobs);
@@ -110,6 +130,15 @@ pub fn heavy_tailed_trace(cfg: &TraceConfig) -> Vec<JobRequest> {
         };
         let (size, chunk, passes) = class_shape(cfg, class, u01(&mut rng));
         let total_bytes = (size & !7).max(8); // whole 8-byte elements
+        // The workload draw happens only when the mix is actually on, so
+        // stencil_frac = 0.0 leaves the draw sequence untouched.
+        let workload = if cfg.stencil_frac > 0.0 && u01(&mut rng) < cfg.stencil_frac {
+            Workload::Stencil {
+                halo_bytes: (cfg.stencil_halo.min(chunk / 2) & !7).max(8),
+            }
+        } else {
+            Workload::Map
+        };
         let m = ModelParams {
             b_copy: total_bytes as f64,
             ddr_max: cfg.machine.ddr_bandwidth,
@@ -131,7 +160,7 @@ pub fn heavy_tailed_trace(cfg: &TraceConfig) -> Vec<JobRequest> {
             placement: Placement::Hbw,
             lockstep: false,
             data_addr: 0,
-            workload: Workload::Map,
+            workload,
         };
         out.push(JobRequest::new(id, t, class, spec));
     }
@@ -162,6 +191,37 @@ mod tests {
             .iter()
             .zip(&c)
             .any(|(x, y)| x.spec.total_bytes != y.spec.total_bytes));
+    }
+
+    #[test]
+    fn stencil_frac_mixes_families_and_default_stays_pure_map() {
+        // Default knob: every job is a map pipeline (and, because the
+        // workload draw is skipped entirely, the draw sequence matches
+        // traces generated before the knob existed — serve_study.csv
+        // pins that down byte-for-byte).
+        let base = heavy_tailed_trace(&cfg(11));
+        assert!(base.iter().all(|j| j.spec.workload == Workload::Map));
+        // At 40% the mix contains both families and every stencil spec
+        // is well-formed: halo under the chunk, whole elements.
+        let mut mixed_cfg = cfg(11);
+        mixed_cfg.stencil_frac = 0.4;
+        let mixed = heavy_tailed_trace(&mixed_cfg);
+        let stencils = mixed
+            .iter()
+            .filter(|j| matches!(j.spec.workload, Workload::Stencil { .. }))
+            .count();
+        assert!(
+            stencils > 100 && stencils < 300,
+            "stencil count {stencils} of {}",
+            mixed.len()
+        );
+        for j in &mixed {
+            j.spec.validate().unwrap();
+            if let Workload::Stencil { halo_bytes } = j.spec.workload {
+                assert!(halo_bytes < j.spec.chunk_bytes);
+                assert_eq!(halo_bytes % 8, 0);
+            }
+        }
     }
 
     #[test]
