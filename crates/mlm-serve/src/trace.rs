@@ -130,6 +130,7 @@ pub fn heavy_tailed_trace(cfg: &TraceConfig) -> Vec<JobRequest> {
         };
         let (size, chunk, passes) = class_shape(cfg, class, u01(&mut rng));
         let total_bytes = (size & !7).max(8); // whole 8-byte elements
+
         // The workload draw happens only when the mix is actually on, so
         // stencil_frac = 0.0 leaves the draw sequence untouched.
         let workload = if cfg.stencil_frac > 0.0 && u01(&mut rng) < cfg.stencil_frac {

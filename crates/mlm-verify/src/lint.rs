@@ -17,7 +17,7 @@
 
 use knl_sim::machine::MachineConfig;
 use mlm_cluster::ClusterConfig;
-use mlm_core::{ModelParams, PipelineSpec, Placement};
+use mlm_core::{ModelParams, PipelineSpec, Placement, Workload};
 use mlm_exec::Capabilities;
 use mlm_fleet::NodeConfig;
 use mlm_serve::CapacityBroker;
@@ -74,13 +74,15 @@ pub struct FleetTarget<'a> {
 impl<'a> VerifyTarget<'a> {
     /// A target with the in-tree executors' defaults: 8-byte elements
     /// (`i64`/`u64` keys, as every workload in this repo uses) and the
-    /// three-slot ring.
+    /// spec's own ring depth — [`RING_SLOTS`] for chunk-local workloads,
+    /// one deeper for stencils, matching what both in-tree schedulers
+    /// allocate.
     pub fn new(spec: &'a PipelineSpec, machine: &'a MachineConfig) -> Self {
         VerifyTarget {
             spec,
             machine,
             elem_bytes: 8,
-            buffer_slots: RING_SLOTS,
+            buffer_slots: spec.ring_slots(),
             cluster: None,
             co_scheduled: &[],
             backend: Capabilities::all(),
@@ -166,6 +168,7 @@ impl LintRegistry {
         r.register(Box::new(ConcurrentMcdramFit));
         r.register(Box::new(BackendCapability));
         r.register(Box::new(FleetPlacementFeasibility));
+        r.register(Box::new(StencilHaloFeasibility));
         r
     }
 
@@ -306,18 +309,22 @@ impl Lint for McdramFit {
                 if addressable == 0 {
                     return; // V003's finding; don't double-report.
                 }
-                let resident = t.spec.chunk_bytes.saturating_mul(t.buffer_slots as u64);
+                let resident = t.spec.buffer_footprint(t.buffer_slots);
                 if resident > addressable {
-                    let max_chunk = addressable / t.buffer_slots.max(1) as u64;
+                    let bufs = (t.buffer_slots as u64).saturating_mul(t.spec.buffers_per_slot());
+                    let max_chunk = addressable / bufs.max(1);
                     out.push(
                         Diagnostic::new(
                             self.id(),
                             self.name(),
                             Severity::Error,
                             format!(
-                                "{} buffer slots of {} bytes need {resident} bytes of MCDRAM \
-                                 but only {addressable} are addressable",
-                                t.buffer_slots, t.spec.chunk_bytes
+                                "{bufs} chunk buffers ({} slots x {} per slot) of {} bytes \
+                                 need {resident} bytes of MCDRAM but only {addressable} are \
+                                 addressable",
+                                t.buffer_slots,
+                                t.spec.buffers_per_slot(),
+                                t.spec.chunk_bytes
                             ),
                         )
                         .with_context("spec.chunk_bytes", t.spec.chunk_bytes)
@@ -973,11 +980,111 @@ impl Lint for FleetPlacementFeasibility {
     }
 }
 
+/// V012: stencil halo/dependency feasibility.
+///
+/// The stencil family adds two spec-level hazards no chunk-local lint
+/// sees. First, halo geometry: `PipelineSpec::validate` rejects a halo
+/// as wide as the chunk outright, but a halo that is merely *large* is
+/// legal and quietly inverts the traffic balance — every interior chunk
+/// re-reads both neighbours' boundary bytes, so past `2 x halo >= chunk`
+/// the pipeline moves more halo bytes than payload bytes and Eqs. 1–5
+/// stop favouring staging at all; a halo that is not a whole number of
+/// host elements panics the host backend's slice carving. Second,
+/// inter-chunk dependency edges vs the buffer ring: a stencil compute on
+/// chunk `c` reads the staged buffers of `c-1`, `c`, and `c+1` while
+/// stage-in fills a fourth slot, so a ring shallower than the spec's
+/// [`ring_slots`](PipelineSpec::ring_slots) lets the fill overwrite a
+/// halo some neighbour's compute still has to read — a data race the
+/// graph verifier (G001) would catch per-schedule, raised here from the
+/// spec alone.
+struct StencilHaloFeasibility;
+
+impl Lint for StencilHaloFeasibility {
+    fn id(&self) -> &'static str {
+        "V012"
+    }
+    fn name(&self) -> &'static str {
+        "stencil-halo-feasibility"
+    }
+    fn description(&self) -> &'static str {
+        "stencil halos must be whole elements, narrow relative to the chunk, and backed by enough buffer slots for the inter-chunk edges"
+    }
+    fn check(&self, t: &VerifyTarget<'_>, out: &mut Vec<Diagnostic>) {
+        let Workload::Stencil { halo_bytes } = t.spec.workload else {
+            return;
+        };
+        if t.spec.validate().is_err() {
+            return; // V000 already rejects (halo >= chunk, implicit staging)
+        }
+        let elem = t.elem_bytes as u64;
+        if elem > 0 && halo_bytes % elem != 0 {
+            let rounded = (halo_bytes / elem).max(1) * elem;
+            out.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.name(),
+                    Severity::Error,
+                    format!(
+                        "halo of {halo_bytes} bytes is not a whole number of {elem}-byte \
+                         elements: the host backend cannot carve the neighbour views and \
+                         panics at run start"
+                    ),
+                )
+                .with_context("spec.workload.halo_bytes", halo_bytes)
+                .with_context("target.elem_bytes", t.elem_bytes)
+                .with_suggestion(format!(
+                    "round halo_bytes to a multiple of the element size, e.g. {rounded}"
+                )),
+            );
+        }
+        let need = t.spec.ring_slots();
+        if t.buffer_slots < need {
+            out.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.name(),
+                    Severity::Error,
+                    format!(
+                        "stencil inter-chunk edges need {need} buffer slots (compute on \
+                         chunk c reads the staged buffers of c-1, c, and c+1 while \
+                         stage-in fills a fourth) but the executor ring has {}: the fill \
+                         would overwrite a halo a neighbour still reads (the per-schedule \
+                         G001 race, refuted from the spec alone)",
+                        t.buffer_slots
+                    ),
+                )
+                .with_context("target.buffer_slots", t.buffer_slots)
+                .with_context("spec.ring_slots", need)
+                .with_suggestion(format!("use {need} buffer slots for stencil workloads")),
+            );
+        }
+        if 2 * halo_bytes >= t.spec.chunk_bytes {
+            out.push(
+                Diagnostic::new(
+                    self.id(),
+                    self.name(),
+                    Severity::Warning,
+                    format!(
+                        "interior chunks re-read {} halo bytes against a {}-byte payload: \
+                         neighbour traffic matches or exceeds the chunk's own, so the \
+                         staged pipeline's copy/compute balance (Eqs. 1-5) no longer \
+                         favours staging",
+                        2 * halo_bytes,
+                        t.spec.chunk_bytes
+                    ),
+                )
+                .with_context("spec.workload.halo_bytes", halo_bytes)
+                .with_context("spec.chunk_bytes", t.spec.chunk_bytes)
+                .with_suggestion("grow chunk_bytes or shrink the halo until 2 x halo < chunk"),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use knl_sim::machine::MemMode;
-    use mlm_core::pipeline::Workload;
 
     fn knl() -> MachineConfig {
         MachineConfig::knl_7250(MemMode::Flat)
@@ -1238,6 +1345,80 @@ mod tests {
         assert!(!ids(&report).contains(&"V010"), "{report}");
     }
 
+    fn stencil_spec(halo_bytes: u64) -> PipelineSpec {
+        let mut s = good_spec();
+        s.workload = Workload::Stencil { halo_bytes };
+        s
+    }
+
+    #[test]
+    fn v012_well_formed_stencil_is_clean() {
+        let machine = knl();
+        let spec = stencil_spec(1 << 20);
+        // The default target picks up the spec's own 4-slot ring, and the
+        // doubled in/out buffers still fit MCDRAM: no findings at all.
+        let report = lint_target(&VerifyTarget::new(&spec, &machine));
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn v012_shallow_ring_is_an_error() {
+        let machine = knl();
+        let spec = stencil_spec(1 << 20);
+        let mut t = VerifyTarget::new(&spec, &machine);
+        t.buffer_slots = 3; // the map family's ring: one slot short
+        let report = lint_target(&t);
+        assert!(report.error_ids().contains(&"V012"), "{report}");
+        let d = report
+            .errors()
+            .find(|d| d.id == "V012")
+            .expect("V012 diagnostic");
+        assert!(d.suggestion.is_some());
+    }
+
+    #[test]
+    fn v012_misaligned_halo_is_an_error() {
+        let machine = knl();
+        let spec = stencil_spec((1 << 20) + 4); // not a whole 8-byte element
+        let report = lint_target(&VerifyTarget::new(&spec, &machine));
+        assert!(report.error_ids().contains(&"V012"), "{report}");
+    }
+
+    #[test]
+    fn v012_dominant_halo_is_a_warning() {
+        let machine = knl();
+        let spec = stencil_spec(good_spec().chunk_bytes / 2); // 2 x halo == chunk
+        let report = lint_target(&VerifyTarget::new(&spec, &machine));
+        assert!(!report.has_errors(), "{report}");
+        assert!(ids(&report).contains(&"V012"));
+    }
+
+    #[test]
+    fn v012_defers_invalid_specs_to_v000() {
+        let machine = knl();
+        let spec = stencil_spec(good_spec().chunk_bytes); // halo >= chunk
+        let report = lint_target(&VerifyTarget::new(&spec, &machine));
+        assert!(report.error_ids().contains(&"V000"));
+        assert!(!report.error_ids().contains(&"V012"), "{report}");
+    }
+
+    #[test]
+    fn v002_counts_the_stencil_double_buffers() {
+        let machine = knl();
+        // 3 GiB chunks x 4 slots x 2 buffers = 24 GiB > 16 GiB MCDRAM,
+        // where the same geometry as a map workload (3 slots x 1) fits.
+        let mut spec = stencil_spec(1 << 20);
+        spec.chunk_bytes = 3 << 30;
+        spec.total_bytes = 24 << 30;
+        let report = lint_target(&VerifyTarget::new(&spec, &machine));
+        assert!(report.error_ids().contains(&"V002"), "{report}");
+        let mut map = good_spec();
+        map.chunk_bytes = 3 << 30;
+        map.total_bytes = 24 << 30;
+        let report = lint_target(&VerifyTarget::new(&map, &machine));
+        assert!(!ids(&report).contains(&"V002"), "{report}");
+    }
+
     #[test]
     fn registry_lists_builtin_lints() {
         let r = LintRegistry::with_builtin_lints();
@@ -1246,7 +1427,7 @@ mod tests {
             ids,
             vec![
                 "V000", "V001", "V002", "V003", "V004", "V005", "V006", "V007", "V008", "V009",
-                "V010", "V011"
+                "V010", "V011", "V012"
             ]
         );
         // Ids are unique and every lint has a description.
