@@ -92,6 +92,26 @@ for dir in $dirs; do
   done
 done
 
+# Second discipline, since the plan layer went workload-generic: the
+# WorkloadPlan IR has exactly one home. Workload families add a lowering
+# inside crates/mlm-exec/src (plan_pipeline for pipeline shapes,
+# SortPlan::to_workload_plan for the sort family, the fuzzer's buggy
+# constructions for regression seeds); every other crate only *consumes*
+# plans — walking nodes, matching on PlanKind — never assembles them.
+# A `PlanNode {` literal outside mlm-exec is a workload module growing a
+# private schedule the static verifier and the fuzz corpus never see:
+# exactly the dual-impl drift this script exists to block, one layer up.
+producers=$(grep -rl 'PlanNode {' --include='*.rs' crates tests examples \
+  | grep -v '^crates/mlm-exec/src/' || true)
+if [ -n "$producers" ]; then
+  for f in $producers; do
+    echo "error: ${f} constructs WorkloadPlan nodes outside the plan layer" >&2
+    echo "       add the workload's lowering in crates/mlm-exec/src (see plan_pipeline" >&2
+    echo "       and SortPlan::to_workload_plan) so the verifier and fuzzer cover it" >&2
+  done
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo >&2
   echo "New host/sim pairs must adapt the shared execution layer, not re-implement the schedule." >&2
@@ -99,3 +119,4 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 echo "check_no_dual_impl: every host/sim pair rides the mlm-exec execution layer"
+echo "check_no_dual_impl: every WorkloadPlan producer lives in the plan layer"
